@@ -1,0 +1,146 @@
+//! The Gemmini-class dense DNN accelerator (§VI-A/B of the paper): a 16×16
+//! weight-stationary systolic array for 8-bit quantized matmuls, with
+//! scratchpad memory buffers and hardcoded access patterns.
+
+use stellar_core::memory::EmissionOrder;
+use stellar_core::prelude::*;
+use stellar_core::AcceleratorDesign;
+use stellar_sim::{layer_utilization, GemmParams, SimStats};
+use stellar_workloads::resnet50_gemms;
+
+/// The Stellar specification of the Gemmini-class accelerator: Listing 1's
+/// matmul functionality, the weight-stationary dataflow, dense memory
+/// buffers with hardcoded 16×16 read patterns, and an 8-bit datapath.
+pub fn gemmini_spec() -> AcceleratorSpec {
+    let func = Functionality::matmul(16, 16, 16);
+    let tensors: Vec<_> = func.tensors().collect();
+    let (ta, tb, tc) = (tensors[0], tensors[1], tensors[2]);
+    AcceleratorSpec::new("gemmini", func)
+        .with_bounds(Bounds::from_extents(&[16, 16, 16]))
+        .with_transform(SpaceTimeTransform::weight_stationary())
+        .with_data_bits(8)
+        .with_memory(
+            MemorySpec::new("spad_A", ta, vec![AxisFormat::Dense, AxisFormat::Dense])
+                .with_capacity(128 * 1024)
+                .with_banks(4)
+                .with_width(16)
+                .with_hardcoded(HardcodedParams::new(vec![16, 16], EmissionOrder::Wavefront)),
+        )
+        .with_memory(
+            MemorySpec::new("spad_B", tb, vec![AxisFormat::Dense, AxisFormat::Dense])
+                .with_capacity(128 * 1024)
+                .with_banks(4)
+                .with_width(16)
+                .with_hardcoded(HardcodedParams::new(vec![16, 16], EmissionOrder::Wavefront)),
+        )
+        .with_memory(
+            MemorySpec::new("accumulator", tc, vec![AxisFormat::Dense, AxisFormat::Dense])
+                .with_capacity(64 * 1024)
+                .with_banks(2)
+                .with_width(16),
+        )
+}
+
+/// Compiles the Gemmini-class design.
+///
+/// # Panics
+///
+/// Panics if the canned specification fails to compile (a library bug).
+pub fn gemmini_design() -> AcceleratorDesign {
+    compile(&gemmini_spec()).expect("gemmini spec must compile")
+}
+
+/// The hand-written Gemmini's area breakdown as published in Table III
+/// (µm², ASAP7 at 500 MHz). Used as the baseline column of the area
+/// comparison; the Stellar column is computed by `stellar-area` from the
+/// compiled design.
+pub fn handwritten_gemmini_area() -> Vec<(&'static str, f64)> {
+    vec![
+        ("Matmul array", 334_000.0),
+        ("SRAMs", 2_225_000.0),
+        ("Regfiles", 25_000.0),
+        ("Loop unrollers", 259_000.0),
+        ("Dma", 102_000.0),
+        ("Host CPU", 337_000.0),
+    ]
+}
+
+/// Runs end-to-end ResNet-50 on a GEMM engine configuration, returning
+/// per-layer stats in network order (the Figure 16a experiment).
+pub fn run_resnet50(params: &GemmParams) -> Vec<(&'static str, SimStats)> {
+    resnet50_gemms()
+        .iter()
+        .map(|g| {
+            let mut stats = layer_utilization(g.m, g.k, g.n, params);
+            // Repeat the layer's stats for its repeat count.
+            for _ in 1..g.repeats {
+                let again = layer_utilization(g.m, g.k, g.n, params);
+                stats = stats.then(again);
+            }
+            (g.name, stats)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_core::RegfileKind;
+
+    #[test]
+    fn design_is_16x16() {
+        let d = gemmini_design();
+        assert_eq!(d.spatial_arrays[0].num_pes(), 256);
+        assert_eq!(d.data_bits, 8);
+        assert_eq!(d.mem_buffers.len(), 3);
+    }
+
+    #[test]
+    fn hardcoded_buffers_give_cheap_regfiles() {
+        let d = gemmini_design();
+        for rf in &d.regfiles {
+            assert!(
+                rf.kind != RegfileKind::Baseline,
+                "regfile {} fell back to baseline",
+                rf.name
+            );
+        }
+        // The B-side regfile is a pure feed-forward shift register.
+        let rf_b = d.regfiles.iter().find(|r| r.tensor == "B").unwrap();
+        assert_eq!(rf_b.kind, RegfileKind::FeedForward);
+    }
+
+    #[test]
+    fn resnet50_utilization_ratio_matches_figure_16a() {
+        let hand = run_resnet50(&GemmParams::handwritten_gemmini());
+        let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+        let util = |rows: &[(&str, SimStats)]| {
+            let busy: u64 = rows.iter().map(|(_, s)| s.utilization.busy).sum();
+            let total: u64 = rows.iter().map(|(_, s)| s.utilization.total).sum();
+            busy as f64 / total as f64
+        };
+        let (h, s) = (util(&hand), util(&stellar));
+        let ratio = s / h;
+        assert!(
+            (0.82..0.98).contains(&ratio),
+            "Stellar/handwritten ResNet-50 utilization ratio {ratio:.3} outside the ~90% band (h={h:.3}, s={s:.3})"
+        );
+    }
+
+    #[test]
+    fn per_layer_macs_match_workload() {
+        let rows = run_resnet50(&GemmParams::handwritten_gemmini());
+        let total: u64 = rows.iter().map(|(_, s)| s.traffic.macs).sum();
+        let want: u64 = resnet50_gemms()
+            .iter()
+            .map(|g| g.macs() * g.repeats as u64)
+            .sum();
+        assert_eq!(total, want);
+    }
+
+    #[test]
+    fn published_area_matches_table_iii_total() {
+        let total: f64 = handwritten_gemmini_area().iter().map(|(_, a)| a).sum();
+        assert!((total - 3_282_000.0).abs() < 1_000.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The merger comparison of §VI-D (Figure 18): row-partitioned
+//! (GAMMA-like, throughput 32) vs flattened (SpArch-like, throughput 16)
+//! mergers, merging partial matrices in SpArch's proposed execution order.
+//!
+//! SpArch's loop order condenses `A`'s columns and merges the partial
+//! matrices produced by *consecutive groups* of columns; these "many small
+//! partial matrices ... can have highly imbalanced row-lengths", which is
+//! exactly what hurts the cheaper row-partitioned merger.
+
+use stellar_sim::{rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger};
+use stellar_tensor::ops::spgemm_outer_partials;
+use stellar_tensor::{CscMatrix, CsrMatrix};
+use stellar_workloads::SuiteMatrix;
+
+/// Per-matrix comparison result: the y-values of one Figure 18 column.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MergerComparison {
+    /// Merged elements per cycle on the 32-lane row-partitioned merger.
+    pub row_partitioned_epc: f64,
+    /// Merged elements per cycle on the 16-wide flattened merger.
+    pub flattened_epc: f64,
+}
+
+impl MergerComparison {
+    /// Row-partitioned performance relative to flattened.
+    pub fn relative(&self) -> f64 {
+        if self.flattened_epc == 0.0 {
+            0.0
+        } else {
+            self.row_partitioned_epc / self.flattened_epc
+        }
+    }
+}
+
+/// Produces the merge batches for `A·A` in SpArch's execution order:
+/// partial matrices from consecutive groups of `ways` columns are merged
+/// together, group by group.
+pub fn sparch_merge_batches(
+    a: &CsrMatrix,
+    ways: usize,
+) -> Vec<Vec<Vec<stellar_tensor::ops::Fiber>>> {
+    let partials = spgemm_outer_partials(&CscMatrix::from_csr(a), a);
+    partials
+        .chunks(ways.max(1))
+        .map(|chunk| rows_of_partials(a.rows(), chunk))
+        .collect()
+}
+
+/// Runs both mergers over all batches of one matrix.
+pub fn compare_mergers(a: &CsrMatrix, ways: usize) -> MergerComparison {
+    let batches = sparch_merge_batches(a, ways);
+    let rp = RowPartitionedMerger::paper_config();
+    let fl = FlattenedMerger::paper_config();
+    let run = |m: &dyn Merger| -> f64 {
+        let mut total = MergeStats::default();
+        for batch in &batches {
+            let s = m.simulate(batch);
+            total.cycles += s.cycles;
+            total.merged_elements += s.merged_elements;
+        }
+        total.elements_per_cycle()
+    };
+    MergerComparison {
+        row_partitioned_epc: run(&rp),
+        flattened_epc: run(&fl),
+    }
+}
+
+/// Runs the comparison on a synthetic SuiteSparse instance.
+pub fn compare_on_suite_matrix(m: &SuiteMatrix, ways: usize, seed: u64) -> MergerComparison {
+    let a = m.instantiate(2048, seed);
+    compare_mergers(&a, ways)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_tensor::gen;
+    use stellar_workloads::suite;
+
+    #[test]
+    fn balanced_fem_favors_row_partitioned() {
+        // poisson3Da-like matrices have near-uniform row lengths: the
+        // 32-lane merger's higher peak wins (§VI-D: "on four of the
+        // matrices, the smaller, row-partitioned merger performed better").
+        let fem = suite().into_iter().find(|m| m.name == "poisson3Da").unwrap();
+        let c = compare_on_suite_matrix(&fem, 16, 3);
+        assert!(
+            c.relative() > 0.8,
+            "poisson3Da: row-partitioned should be competitive, got {:.2}",
+            c.relative()
+        );
+    }
+
+    #[test]
+    fn skewed_graph_favors_flattened() {
+        let web = suite().into_iter().find(|m| m.name == "webbase-1M").unwrap();
+        let fem = suite().into_iter().find(|m| m.name == "poisson3Da").unwrap();
+        let cw = compare_on_suite_matrix(&web, 16, 3);
+        let cf = compare_on_suite_matrix(&fem, 16, 3);
+        assert!(
+            cw.relative() < cf.relative(),
+            "webbase {:.2} should be worse for row-partitioned than poisson3Da {:.2}",
+            cw.relative(),
+            cf.relative()
+        );
+    }
+
+    #[test]
+    fn flattened_capped_at_16() {
+        let a = gen::uniform(256, 256, 0.1, 5);
+        let c = compare_mergers(&a, 16);
+        assert!(c.flattened_epc <= 16.0 + 1e-9);
+        assert!(c.row_partitioned_epc <= 32.0 + 1e-9);
+    }
+
+    #[test]
+    fn batches_cover_all_partials() {
+        let a = gen::uniform(64, 64, 0.15, 8);
+        let batches = sparch_merge_batches(&a, 8);
+        let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &a);
+        assert_eq!(batches.len(), partials.len().div_ceil(8));
+    }
+}

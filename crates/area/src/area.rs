@@ -1,0 +1,293 @@
+//! Component-level area accounting (Table III's categories).
+
+use stellar_core::{
+    AcceleratorDesign, LoadBalancerDesign, MemBufferDesign, RegfileDesign, SpatialArrayDesign,
+};
+
+use crate::tech::Technology;
+
+/// A whole-design area breakdown, using the same categories as Table III of
+/// the paper.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct AreaBreakdown {
+    /// Spatial (matmul/merge) arrays, µm².
+    pub arrays_um2: f64,
+    /// Scratchpad SRAMs, µm².
+    pub srams_um2: f64,
+    /// Register files, µm².
+    pub regfiles_um2: f64,
+    /// Address generators / loop unrollers, µm².
+    pub addr_gens_um2: f64,
+    /// DMA, µm².
+    pub dma_um2: f64,
+    /// Load balancers, µm².
+    pub balancers_um2: f64,
+    /// Host CPU, µm².
+    pub host_cpu_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    pub fn total_um2(&self) -> f64 {
+        self.arrays_um2
+            + self.srams_um2
+            + self.regfiles_um2
+            + self.addr_gens_um2
+            + self.dma_um2
+            + self.balancers_um2
+            + self.host_cpu_um2
+    }
+
+    /// Rows of `(category, µm², percent)` for report printing.
+    pub fn rows(&self) -> Vec<(&'static str, f64, f64)> {
+        let total = self.total_um2().max(1.0);
+        [
+            ("Matmul array", self.arrays_um2),
+            ("SRAMs", self.srams_um2),
+            ("Regfiles", self.regfiles_um2),
+            ("Loop unrollers", self.addr_gens_um2),
+            ("Dma", self.dma_um2),
+            ("Load balancers", self.balancers_um2),
+            ("Host CPU", self.host_cpu_um2),
+        ]
+        .into_iter()
+        .map(|(n, a)| (n, a, 100.0 * a / total))
+        .collect()
+    }
+}
+
+/// Area of one PE of a spatial array: multiplier + accumulator + forwarding
+/// registers + the Stellar-specific time counter and IO request generator
+/// (Figure 11 — "the larger amount of internal state in a Stellar-generated
+/// PE" is the array-area overhead source §VI-B names).
+pub fn pe_area_um2(arr: &SpatialArrayDesign, data_bits: u32, tech: &Technology) -> f64 {
+    let b = data_bits as f64;
+    let mut area = 0.0;
+    if arr.macs_per_pe > 0 {
+        area += b * b * tech.mul_um2_per_bit2; // multiplier
+        area += 2.0 * b * tech.add_um2_per_bit; // accumulator adder
+        area += 2.0 * b * tech.reg_um2_per_bit; // accumulator register
+    }
+    // Comparators for data-dependent (merge) kernels.
+    area += arr.comparators_per_pe as f64 * b * tech.cmp_um2_per_bit;
+    // Forwarding registers: one per moving variable per PE (approximated by
+    // conns incident per PE).
+    let moving = arr.num_moving_conns().max(1) as f64 / arr.num_pes().max(1) as f64;
+    area += moving * b * tech.reg_um2_per_bit;
+    // Hand-tuned control.
+    area += tech.pe_ctrl_um2;
+    // Stellar-only state: the time counter, the T⁻¹ IO request generator
+    // (a (rank × rank) multiply-add datapath over the space-time vector,
+    // Figure 11), and per-port valid/control registers.
+    area += arr.time_counter_bits as f64 * tech.reg_um2_per_bit;
+    let rank = (arr.space_dims + 1) as f64;
+    area += rank * rank * arr.time_counter_bits.max(1) as f64 * tech.add_um2_per_bit;
+    area += 2.0 * b * tech.reg_um2_per_bit;
+    area
+}
+
+/// Area of a whole spatial array: PEs, extra pipeline registers, and the
+/// global start/stall broadcast network if present.
+pub fn array_area_um2(arr: &SpatialArrayDesign, data_bits: u32, tech: &Technology) -> f64 {
+    let mut area = arr.num_pes() as f64 * pe_area_um2(arr, data_bits, tech);
+    // Extra pipeline stages beyond each PE's own output register.
+    let extra_regs: i64 = arr
+        .conns
+        .iter()
+        .map(|c| (c.registers - 1).max(0) * c.bundle as i64)
+        .sum();
+    area += extra_regs as f64 * data_bits as f64 * tech.reg_um2_per_bit;
+    // Bundled (OptimisticSkip) wires widen every connection.
+    let bundle_extra: usize = arr.conns.iter().map(|c| c.bundle.saturating_sub(1)).sum();
+    area += bundle_extra as f64 * data_bits as f64 * tech.mux_um2_per_bit;
+    if arr.has_global_stall {
+        area += arr.num_pes() as f64 * tech.global_wire_um2_per_pe;
+    }
+    area
+}
+
+/// Area of a register file (Figure 14): storage, coordinate tags, and the
+/// comparator network implied by its kind.
+pub fn regfile_area_um2(rf: &RegfileDesign, tech: &Technology) -> f64 {
+    let entries = rf.entries.max(1) as f64;
+    let mut area = entries * (rf.data_bits as f64 + 1.0) * tech.reg_um2_per_bit;
+    area += entries * rf.coord_bits as f64 * tech.reg_um2_per_bit;
+    area += rf.num_comparators() as f64 * rf.coord_bits.max(1) as f64 * tech.cmp_um2_per_bit;
+    // Port muxing.
+    area += (rf.in_ports + rf.out_ports) as f64 * rf.data_bits as f64 * tech.mux_um2_per_bit
+        * entries.sqrt();
+    area
+}
+
+/// Area of a private memory buffer: SRAM macro plus its per-axis address
+/// pipeline (the paper's "loop unroller" / address-generator category).
+pub fn membuf_sram_area_um2(buf: &MemBufferDesign, data_bits: u32, tech: &Technology) -> f64 {
+    let bits = buf.capacity_words as f64 * data_bits as f64;
+    bits * tech.sram_um2_per_bit + buf.banks.max(1) as f64 * tech.sram_bank_overhead_um2
+}
+
+/// Area of a memory buffer's address-generation pipeline.
+pub fn membuf_addr_gen_area_um2(buf: &MemBufferDesign, tech: &Technology) -> f64 {
+    let mut area = buf.direct_stages as f64 * tech.addr_gen_um2
+        + buf.indirect_stages as f64 * tech.indirect_stage_um2;
+    // Hardcoded parameters simplify the generators (Listing 6).
+    if buf.hardcoded {
+        area *= 0.6;
+    }
+    // Stellar distributes generators: one pipeline per bank, with the
+    // final stage replicated across the access lanes.
+    area * buf.banks.max(1) as f64 * (1.0 + 0.15 * (buf.width_elems.saturating_sub(1)) as f64)
+}
+
+/// Area of a load balancer: occupancy monitors plus bias adders (§IV-E).
+pub fn balancer_area_um2(lb: &LoadBalancerDesign, tech: &Technology) -> f64 {
+    let monitors = lb.monitored_regfiles.max(1) as f64 * 16.0 * tech.cmp_um2_per_bit;
+    let bias = lb.bias.len() as f64 * 32.0 * tech.add_um2_per_bit;
+    let flexibility = if lb.per_pe { 4.0 } else { 1.0 };
+    (monitors + bias) * flexibility
+}
+
+/// Area of the DMA: per-slot trackers plus the bus datapath.
+pub fn dma_area_um2(dma: &stellar_core::DmaDesign, tech: &Technology) -> f64 {
+    let base = 95_000.0 * (tech.reg_um2_per_bit / 3.4); // datapath, node-scaled
+    let per_slot = 65.0 * tech.reg_um2_per_bit + 64.0 * tech.add_um2_per_bit;
+    base + dma.max_inflight_reqs.max(1) as f64 * per_slot
+}
+
+/// Computes the full Table III-style breakdown for a design.
+pub fn area_of(design: &AcceleratorDesign, tech: &Technology) -> AreaBreakdown {
+    let mut b = AreaBreakdown::default();
+    for arr in &design.spatial_arrays {
+        b.arrays_um2 += array_area_um2(arr, design.data_bits, tech);
+    }
+    for rf in &design.regfiles {
+        b.regfiles_um2 += regfile_area_um2(rf, tech);
+    }
+    for buf in &design.mem_buffers {
+        b.srams_um2 += membuf_sram_area_um2(buf, design.data_bits, tech);
+        b.addr_gens_um2 += membuf_addr_gen_area_um2(buf, tech);
+    }
+    for lb in &design.load_balancers {
+        b.balancers_um2 += balancer_area_um2(lb, tech);
+    }
+    b.dma_um2 = dma_area_um2(&design.dma, tech);
+    if design.has_host_cpu {
+        b.host_cpu_um2 = tech.host_cpu_um2;
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_core::prelude::*;
+    use stellar_core::IndexId;
+
+    fn demo(sparse: bool, stall: bool) -> AcceleratorDesign {
+        let mut spec = AcceleratorSpec::new("d", Functionality::matmul(4, 4, 4))
+            .with_transform(SpaceTimeTransform::weight_stationary())
+            .with_data_bits(8)
+            .with_global_stall(stall);
+        if sparse {
+            spec = spec.with_skip(SkipSpec::skip(&[IndexId::nth(1)], &[IndexId::nth(2)]));
+        }
+        compile(&spec).unwrap()
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = area_of(&demo(false, true), &Technology::asap7());
+        let sum: f64 = b.rows().iter().map(|(_, a, _)| a).sum();
+        assert!((sum - b.total_um2()).abs() < 1e-6);
+        assert!(b.total_um2() > 0.0);
+        assert_eq!(b.rows().len(), 7);
+    }
+
+    #[test]
+    fn global_stall_adds_area() {
+        let with = area_of(&demo(false, true), &Technology::asap7());
+        let without = area_of(&demo(false, false), &Technology::asap7());
+        assert!(with.arrays_um2 > without.arrays_um2);
+    }
+
+    #[test]
+    fn percentages_sum_to_100() {
+        let b = area_of(&demo(false, true), &Technology::asap7());
+        let pct: f64 = b.rows().iter().map(|(_, _, p)| p).sum();
+        assert!((pct - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn time_counter_overhead_visible() {
+        // A Stellar PE carries a time counter the hand-written PE lacks;
+        // its area must be strictly positive in the model.
+        let d = demo(false, true);
+        let t = Technology::asap7();
+        let arr = &d.spatial_arrays[0];
+        let with_counter = pe_area_um2(arr, 8, &t);
+        let mut arr0 = arr.clone();
+        arr0.time_counter_bits = 0;
+        let without = pe_area_um2(&arr0, 8, &t);
+        assert!(with_counter > without);
+    }
+
+    #[test]
+    fn hardcoding_shrinks_addr_gens() {
+        let t = Technology::asap7();
+        let buf = |hard| MemBufferDesign {
+            name: "b".into(),
+            tensor: "B".into(),
+            formats: vec![stellar_tensor::AxisFormat::Dense; 2],
+            capacity_words: 1024,
+            width_elems: 1,
+            banks: 1,
+            indirect_stages: 0,
+            direct_stages: 2,
+            hardcoded: hard,
+        };
+        assert!(membuf_addr_gen_area_um2(&buf(true), &t) < membuf_addr_gen_area_um2(&buf(false), &t));
+    }
+
+    #[test]
+    fn dma_slots_scale_area_mildly() {
+        let t = Technology::asap7();
+        let one = dma_area_um2(&stellar_core::DmaDesign { max_inflight_reqs: 1, bus_bits: 128 }, &t);
+        let sixteen = dma_area_um2(&stellar_core::DmaDesign { max_inflight_reqs: 16, bus_bits: 128 }, &t);
+        assert!(sixteen > one);
+        // §VI-C: Table III shows the DMA grew only 102K → 109K (~7%).
+        assert!(sixteen / one < 1.25, "DMA growth too steep: {}", sixteen / one);
+    }
+
+    #[test]
+    fn regfile_kinds_order_by_area() {
+        use stellar_core::{RegfileDesign, RegfileKind};
+        let t = Technology::asap7();
+        let mk = |kind| RegfileDesign {
+            name: "rf".into(),
+            tensor: "B".into(),
+            kind,
+            entries: 64,
+            in_ports: 4,
+            out_ports: 4,
+            coord_bits: if kind == RegfileKind::FeedForward || kind == RegfileKind::Transposing { 0 } else { 12 },
+            data_bits: 16,
+        };
+        let ff = regfile_area_um2(&mk(RegfileKind::FeedForward), &t);
+        let tr = regfile_area_um2(&mk(RegfileKind::Transposing), &t);
+        let ei = regfile_area_um2(&mk(RegfileKind::EdgeIo), &t);
+        let bl = regfile_area_um2(&mk(RegfileKind::Baseline), &t);
+        assert!(ff <= tr && tr <= ei && ei < bl, "{ff} {tr} {ei} {bl}");
+    }
+
+    #[test]
+    fn per_pe_balancer_costs_more() {
+        let t = Technology::asap7();
+        let mk = |per_pe| LoadBalancerDesign {
+            name: "lb".into(),
+            bias: vec![-4, 0, 1],
+            per_pe,
+            monitored_regfiles: 2,
+        };
+        assert!(balancer_area_um2(&mk(true), &t) > balancer_area_um2(&mk(false), &t));
+    }
+}

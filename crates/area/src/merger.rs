@@ -1,0 +1,82 @@
+//! Area models for merger spatial arrays (§IV-F and §VI-D of the paper).
+//!
+//! SpArch's flattened/hierarchical mergers pop 16 elements per cycle from a
+//! flattened fiber using 128 64-bit comparators, a full shuffle network,
+//! and a deeply pipelined comparison tree — "over 60% of its area".
+//! Row-partitioned (GAMMA/OuterSPACE-style) mergers give each lane one
+//! sequential two-way comparator; Stellar-synthesized versions came out
+//! 13× smaller.
+
+use crate::tech::Technology;
+
+/// Area of a flattened (SpArch-style) merger with the given pop width,
+/// merging `data_bits`-bit values with 64-bit packed coordinate keys.
+pub fn flattened_merger_area_um2(width: usize, data_bits: u32, tech: &Technology) -> f64 {
+    let width = width.max(1) as f64;
+    let key_bits = 64.0;
+    // 8 comparators per popped element (the 128-for-16 ratio of SpArch).
+    let comparators = 8.0 * width * key_bits * tech.cmp_um2_per_bit;
+    // Full shuffle network to route merged elements to output ports.
+    let shuffle = width * width * data_bits as f64 * tech.mux_um2_per_bit;
+    // Deep comparison-tree pipeline registers plus the lookahead FIFOs
+    // SpArch uses to keep the tree fed.
+    let pipeline = 24.0 * width * (key_bits + data_bits as f64) * tech.reg_um2_per_bit;
+    // Coordinate matchers at the output stage.
+    let matchers = width * key_bits * tech.cmp_um2_per_bit;
+    comparators + shuffle + pipeline + matchers
+}
+
+/// Area of a row-partitioned (GAMMA/OuterSPACE-style) merger with the
+/// given number of lanes: each lane is one sequential two-way comparator
+/// over 32-bit coordinates plus a head register.
+pub fn row_partitioned_merger_area_um2(lanes: usize, data_bits: u32, tech: &Technology) -> f64 {
+    let key_bits = 32.0;
+    let per_lane = key_bits * tech.cmp_um2_per_bit
+        + (key_bits + data_bits as f64) * tech.reg_um2_per_bit
+        + 8.0 * tech.add_um2_per_bit; // fiber pointer increment
+    lanes.max(1) as f64 * per_lane
+}
+
+/// The §IV-F / §VI-D headline ratio: flattened (tp 16) over
+/// row-partitioned (tp 32) merger area.
+pub fn merger_area_ratio(tech: &Technology) -> f64 {
+    flattened_merger_area_um2(16, 64, tech) / row_partitioned_merger_area_um2(32, 64, tech)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_is_about_13x() {
+        let r = merger_area_ratio(&Technology::asap7());
+        assert!(
+            (9.0..18.0).contains(&r),
+            "flattened/row-partitioned area ratio {r:.1} should be near the paper's 13x"
+        );
+    }
+
+    #[test]
+    fn flattened_scales_superlinearly_with_width() {
+        let t = Technology::asap7();
+        let w8 = flattened_merger_area_um2(8, 64, &t);
+        let w16 = flattened_merger_area_um2(16, 64, &t);
+        assert!(w16 > 2.0 * w8, "shuffle network grows quadratically");
+    }
+
+    #[test]
+    fn row_partitioned_scales_linearly() {
+        let t = Technology::asap7();
+        let l16 = row_partitioned_merger_area_um2(16, 64, &t);
+        let l32 = row_partitioned_merger_area_um2(32, 64, &t);
+        assert!((l32 / l16 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comparator_counts_match_sparch() {
+        // 128 64-bit comparators at width 16: the comparator term alone.
+        let t = Technology::asap7();
+        let comparator_term = 8.0 * 16.0 * 64.0 * t.cmp_um2_per_bit;
+        assert!((comparator_term - 128.0 * 64.0 * t.cmp_um2_per_bit).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,154 @@
+//! Critical-path and maximum-frequency estimation.
+//!
+//! §VI-B of the paper: the hand-written Gemmini's *centralized* loop
+//! unrollers failed timing above 700 MHz, while Stellar's *distributed*
+//! per-buffer address generators synthesized up to 1 GHz. The model here
+//! captures that mechanism: a centralized generator's critical path grows
+//! with the fan-out it drives, while distributed generators keep a small,
+//! constant fan-out.
+
+use stellar_core::AcceleratorDesign;
+
+use crate::tech::Technology;
+
+/// Critical path of an address-generation structure, ps.
+///
+/// * `centralized == true` — a single generator computes addresses for
+///   `fanout` consumers: its adder tree deepens and its broadcast wires
+///   lengthen with `fanout`.
+/// * `centralized == false` — each consumer has a local generator: depth is
+///   constant; only local wiring is paid.
+pub fn addr_gen_critical_path_ps(centralized: bool, fanout: usize, tech: &Technology) -> f64 {
+    let fanout = fanout.max(1) as f64;
+    // Base: control decode plus a 32-bit address adder, then the SRAM
+    // access the generated address drives in the same cycle (the stage the
+    // paper's loop unrollers failed timing on).
+    let sram_access = 61.0 * tech.gate_delay_ps;
+    let base = tech.gate_delay_ps * 48.0 + sram_access;
+    if centralized {
+        // Mux/decode tree over all consumers plus a broadcast wire whose
+        // length grows with the square root of the consumer count.
+        base + tech.gate_delay_ps * fanout.log2().ceil() * 4.0
+            + tech.wire_delay_ps_per_mm * 0.10 * fanout.sqrt()
+    } else {
+        base + tech.wire_delay_ps_per_mm * 0.05
+    }
+}
+
+/// Critical path of a PE's MAC datapath, ps.
+pub fn pe_critical_path_ps(data_bits: u32, tech: &Technology) -> f64 {
+    // Multiplier depth ~ 2·log2(bits) plus the accumulator adder.
+    let b = data_bits.max(2) as f64;
+    tech.gate_delay_ps * (2.0 * b.log2().ceil() + (2.0 * b).log2().ceil() + 2.0)
+}
+
+/// The spatial-array fabric's standalone maximum frequency in MHz: the PE
+/// datapath spread over the available pipeline registers (retiming). This
+/// isolates the Figure 3 pipelining trade-off from the memory system.
+pub fn array_max_frequency_mhz(design: &AcceleratorDesign, tech: &Technology) -> f64 {
+    let min_regs = design
+        .spatial_arrays
+        .iter()
+        .flat_map(|a| a.conns.iter())
+        .filter(|c| c.src_pe != c.dst_pe)
+        .map(|c| c.registers.max(1))
+        .min()
+        .unwrap_or(1) as f64;
+    let path = pe_critical_path_ps(design.data_bits, tech) / min_regs + 2.0 * tech.gate_delay_ps;
+    1.0e6 / path
+}
+
+/// The design's maximum frequency in MHz under this model: the slowest of
+/// the PE datapath and the address-generation structure.
+///
+/// `centralized_addr_gen` selects the hand-written-Gemmini-style
+/// centralized loop unroller; Stellar-generated designs use distributed
+/// generators (`false`).
+pub fn max_frequency_mhz(
+    design: &AcceleratorDesign,
+    centralized_addr_gen: bool,
+    tech: &Technology,
+) -> f64 {
+    // Extra pipeline registers on every PE-to-PE hop allow retiming: the
+    // per-hop logic spreads over `min_registers` stages (Figure 3's
+    // "more aggressively pipelined" designs close timing higher).
+    let min_regs = design
+        .spatial_arrays
+        .iter()
+        .flat_map(|a| a.conns.iter())
+        .filter(|c| c.src_pe != c.dst_pe)
+        .map(|c| c.registers.max(1))
+        .min()
+        .unwrap_or(1) as f64;
+    let pe_path = pe_critical_path_ps(design.data_bits, tech) / min_regs
+        + 2.0 * tech.gate_delay_ps; // register setup/clk-q per stage
+    // A centralized generator drives every PE row/column and bank; fan-out
+    // approximated by total PEs.
+    let fanout = design.total_pes();
+    let ag_path = addr_gen_critical_path_ps(centralized_addr_gen, fanout, tech);
+    let worst = pe_path.max(ag_path);
+    1.0e6 / worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_core::prelude::*;
+
+    fn gemmini_like() -> AcceleratorDesign {
+        compile(
+            &AcceleratorSpec::new("g", Functionality::matmul(16, 16, 16))
+                .with_bounds(Bounds::from_extents(&[16, 16, 16]))
+                .with_transform(SpaceTimeTransform::weight_stationary())
+                .with_data_bits(8),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn distributed_beats_centralized() {
+        let d = gemmini_like();
+        let t = Technology::asap7();
+        let central = max_frequency_mhz(&d, true, &t);
+        let distributed = max_frequency_mhz(&d, false, &t);
+        assert!(
+            distributed > central,
+            "distributed {distributed:.0} MHz must beat centralized {central:.0} MHz"
+        );
+    }
+
+    #[test]
+    fn frequency_bands_match_paper() {
+        // §VI-B: handwritten reached ~700 MHz, Stellar-generated ~1 GHz.
+        let d = gemmini_like();
+        let t = Technology::asap7();
+        let central = max_frequency_mhz(&d, true, &t);
+        let distributed = max_frequency_mhz(&d, false, &t);
+        assert!(
+            (500.0..900.0).contains(&central),
+            "centralized {central:.0} MHz outside the ~700 MHz band"
+        );
+        assert!(
+            (900.0..1500.0).contains(&distributed),
+            "distributed {distributed:.0} MHz outside the ~1 GHz band"
+        );
+    }
+
+    #[test]
+    fn centralized_path_grows_with_fanout() {
+        let t = Technology::asap7();
+        let small = addr_gen_critical_path_ps(true, 16, &t);
+        let large = addr_gen_critical_path_ps(true, 1024, &t);
+        assert!(large > small);
+        // Distributed is flat.
+        let d_small = addr_gen_critical_path_ps(false, 16, &t);
+        let d_large = addr_gen_critical_path_ps(false, 1024, &t);
+        assert!((d_small - d_large).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_datapath_is_slower() {
+        let t = Technology::asap7();
+        assert!(pe_critical_path_ps(32, &t) > pe_critical_path_ps(8, &t));
+    }
+}

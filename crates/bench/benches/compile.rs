@@ -1,0 +1,76 @@
+//! Criterion benchmarks for the compiler pipeline: elaboration, sparsity
+//! pruning, the space-time transform, and end-to-end compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_core::prelude::*;
+use stellar_core::{IndexId, IterationSpace, SpatialArray};
+
+fn bench_elaborate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("elaborate");
+    for n in [4usize, 8, 12] {
+        let f = Functionality::matmul(n, n, n);
+        let bounds = Bounds::from_extents(&[n, n, n]);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| IterationSpace::elaborate(&f, &bounds).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_prune(c: &mut Criterion) {
+    let f = Functionality::matmul(8, 8, 8);
+    let bounds = Bounds::from_extents(&[8, 8, 8]);
+    let base = IterationSpace::elaborate(&f, &bounds).unwrap();
+    let skip = SkipSpec::skip(&[IndexId::nth(1)], &[IndexId::nth(2)]);
+    c.bench_function("prune_sparsity_8x8x8", |b| {
+        b.iter(|| {
+            let mut is = base.clone();
+            stellar_core::prune::apply_sparsity(&mut is, &f, std::slice::from_ref(&skip))
+        });
+    });
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let f = Functionality::matmul(8, 8, 8);
+    let bounds = Bounds::from_extents(&[8, 8, 8]);
+    let is = IterationSpace::elaborate(&f, &bounds).unwrap();
+    let mut g = c.benchmark_group("spacetime_fold");
+    for (name, t) in [
+        ("output_stationary", SpaceTimeTransform::output_stationary()),
+        ("hexagonal", SpaceTimeTransform::hexagonal()),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| SpatialArray::from_iterspace(&is, &f, &t).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_compile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile");
+    g.bench_function("dense_16x16x16", |b| {
+        b.iter(|| {
+            compile(
+                &AcceleratorSpec::new("d", Functionality::matmul(16, 16, 16))
+                    .with_bounds(Bounds::from_extents(&[16, 16, 16]))
+                    .with_transform(SpaceTimeTransform::weight_stationary()),
+            )
+            .unwrap()
+        });
+    });
+    g.bench_function("sparse_8x8x8", |b| {
+        b.iter(|| {
+            compile(
+                &AcceleratorSpec::new("s", Functionality::matmul(8, 8, 8))
+                    .with_bounds(Bounds::from_extents(&[8, 8, 8]))
+                    .with_transform(SpaceTimeTransform::input_stationary())
+                    .with_skip(SkipSpec::skip(&[IndexId::nth(1)], &[IndexId::nth(2)])),
+            )
+            .unwrap()
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_elaborate, bench_prune, bench_transform, bench_full_compile);
+criterion_main!(benches);

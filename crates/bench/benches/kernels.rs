@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the tensor substrate: reference SpGEMM
+//! kernels, fibertree encoding, and the functional-notation interpreter.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stellar_core::{Bounds, Executor, Functionality};
+use stellar_tensor::ops::{spgemm_gustavson, spgemm_outer};
+use stellar_tensor::{gen, AxisFormat, CscMatrix, DenseTensor, FiberTree};
+
+fn bench_spgemm(c: &mut Criterion) {
+    let a = gen::uniform(512, 512, 0.02, 1);
+    let b = gen::uniform(512, 512, 0.02, 2);
+    let a_csc = CscMatrix::from_csr(&a);
+    let mut g = c.benchmark_group("spgemm_512_d02");
+    g.bench_function("gustavson", |bch| {
+        bch.iter(|| spgemm_gustavson(&a, &b));
+    });
+    g.bench_function("outer_product", |bch| {
+        bch.iter(|| spgemm_outer(&a_csc, &b));
+    });
+    g.finish();
+}
+
+fn bench_fibertree(c: &mut Criterion) {
+    let m = gen::uniform(256, 256, 0.05, 3).to_dense();
+    let t = DenseTensor::from_matrix(&m);
+    let mut g = c.benchmark_group("fibertree_encode_256");
+    for (name, formats) in [
+        ("csr", vec![AxisFormat::Dense, AxisFormat::Compressed]),
+        ("dcsr", vec![AxisFormat::Compressed, AxisFormat::Compressed]),
+        ("bitvector", vec![AxisFormat::Dense, AxisFormat::Bitvector]),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| FiberTree::from_dense(&t, &formats));
+        });
+    }
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let f = Functionality::matmul(8, 8, 8);
+    let bounds = Bounds::from_extents(&[8, 8, 8]);
+    let tensors: Vec<_> = f.tensors().collect();
+    let mut inputs = HashMap::new();
+    inputs.insert(tensors[0], DenseTensor::from_matrix(&gen::dense(8, 8, 1)));
+    inputs.insert(tensors[1], DenseTensor::from_matrix(&gen::dense(8, 8, 2)));
+    c.bench_function("spec_interpreter_8x8x8", |b| {
+        b.iter(|| Executor::new(&f, &bounds).run(&inputs).unwrap());
+    });
+}
+
+criterion_group!(benches, bench_spgemm, bench_fibertree, bench_executor);
+criterion_main!(benches);

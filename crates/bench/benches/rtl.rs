@@ -1,0 +1,40 @@
+//! Criterion benchmarks for RTL emission: netlist construction, Verilog
+//! rendering, and the structural lint pass.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stellar_core::prelude::*;
+use stellar_rtl::{emit_accelerator, lint};
+
+fn compiled_design(n: usize) -> stellar_core::AcceleratorDesign {
+    compile(
+        &AcceleratorSpec::new("bench", Functionality::matmul(n, n, n))
+            .with_bounds(Bounds::from_extents(&[n, n, n]))
+            .with_transform(SpaceTimeTransform::weight_stationary())
+            .with_data_bits(8),
+    )
+    .unwrap()
+}
+
+fn bench_emit(c: &mut Criterion) {
+    let design = compiled_design(8);
+    c.bench_function("emit_accelerator_8x8", |b| {
+        b.iter(|| emit_accelerator(&design));
+    });
+}
+
+fn bench_render(c: &mut Criterion) {
+    let netlist = emit_accelerator(&compiled_design(8));
+    c.bench_function("render_verilog_8x8", |b| {
+        b.iter(|| netlist.to_verilog());
+    });
+}
+
+fn bench_lint(c: &mut Criterion) {
+    let netlist = emit_accelerator(&compiled_design(8));
+    c.bench_function("lint_8x8", |b| {
+        b.iter(|| lint::check(&netlist).is_ok());
+    });
+}
+
+criterion_group!(benches, bench_emit, bench_render, bench_lint);
+criterion_main!(benches);

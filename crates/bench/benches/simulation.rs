@@ -1,0 +1,65 @@
+//! Criterion benchmarks for the cycle-level simulators: the systolic
+//! array, the sparse lane model, and the merger models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_sim::{
+    simulate_sparse_matmul, simulate_ws_matmul, BalancePolicy, FlattenedMerger, Merger,
+    RowPartitionedMerger, SparseArrayParams,
+};
+use stellar_tensor::gen;
+
+fn bench_systolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("systolic_ws");
+    for n in [8usize, 16] {
+        let a = gen::dense(4 * n, n, 1);
+        let b = gen::dense(n, n, 2);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| simulate_ws_matmul(&a, &b));
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse_lanes(c: &mut Criterion) {
+    let b = gen::power_law(512, 512, 16.0, 1.8, 3);
+    let mut g = c.benchmark_group("sparse_lanes");
+    for (name, policy) in [
+        ("none", BalancePolicy::None),
+        ("adjacent", BalancePolicy::AdjacentRows),
+        ("global", BalancePolicy::Global),
+    ] {
+        g.bench_function(name, |bch| {
+            bch.iter(|| {
+                simulate_sparse_matmul(
+                    &b,
+                    &SparseArrayParams {
+                        lanes: 16,
+                        row_startup_cycles: 1,
+                        balance: policy,
+                    },
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mergers(c: &mut Criterion) {
+    use stellar_sim::rows_of_partials;
+    use stellar_tensor::ops::spgemm_outer_partials;
+    use stellar_tensor::CscMatrix;
+    let a = gen::uniform(256, 256, 0.05, 4);
+    let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &a);
+    let rows = rows_of_partials(256, &partials);
+    let mut g = c.benchmark_group("mergers");
+    g.bench_function("row_partitioned", |bch| {
+        bch.iter(|| RowPartitionedMerger::paper_config().simulate(&rows));
+    });
+    g.bench_function("flattened", |bch| {
+        bch.iter(|| FlattenedMerger::paper_config().simulate(&rows));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_systolic, bench_sparse_lanes, bench_mergers);
+criterion_main!(benches);

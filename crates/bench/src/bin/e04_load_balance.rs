@@ -1,0 +1,66 @@
+//! E4 — Figures 6 and 10: load balancing on imbalanced sparse workloads.
+//!
+//! Compares the three balancing policies on progressively more imbalanced
+//! matrices, and shows the Figure 10 hardware trade-off: per-PE balancing
+//! prunes more connections (more regfile ports) than row-group balancing.
+
+use stellar_bench::{header, pct, table};
+use stellar_core::prelude::*;
+use stellar_core::IndexId;
+use stellar_sim::{simulate_sparse_matmul, BalancePolicy, SparseArrayParams};
+use stellar_tensor::gen;
+
+fn main() -> Result<(), CompileError> {
+    header("E4", "Figures 6/10 — load balancing: utilization and hardware cost");
+
+    // Performance side (Figure 6): three workloads, three policies.
+    let workloads = [
+        ("balanced", gen::uniform(64, 256, 0.1, 1)),
+        ("mildly imbalanced", gen::imbalanced(64, 512, 4, 96, 8, 2)),
+        ("severely imbalanced", gen::imbalanced(64, 512, 2, 256, 4, 3)),
+        ("power-law", gen::power_law(64, 512, 16.0, 1.7, 4)),
+    ];
+    let mut rows = Vec::new();
+    for (name, b) in &workloads {
+        let mut row = vec![name.to_string()];
+        for policy in [BalancePolicy::None, BalancePolicy::AdjacentRows, BalancePolicy::Global] {
+            let r = simulate_sparse_matmul(
+                b,
+                &SparseArrayParams {
+                    lanes: 8,
+                    row_startup_cycles: 1,
+                    balance: policy,
+                },
+            );
+            row.push(format!("{} ({})", r.stats.cycles, pct(r.utilization())));
+        }
+        rows.push(row);
+    }
+    table(
+        &["workload", "no balancing", "adjacent rows", "fully flexible"],
+        &rows,
+    );
+
+    // Hardware side (Figure 10): row-group shifts preserve intra-row
+    // connections; per-PE shifts must replace them with regfile ports.
+    let i = IndexId::nth(0);
+    let build = |g: Granularity| -> Result<(usize, usize), CompileError> {
+        let spec = AcceleratorSpec::new("lb", Functionality::matmul(4, 4, 4))
+            .with_bounds(Bounds::from_extents(&[4, 4, 4]))
+            .with_transform(SpaceTimeTransform::input_stationary())
+            .with_shift(ShiftSpec::new(
+                Region::all(3).restrict(i, 2, 4),
+                vec![-2, 0, 1],
+                g,
+            ));
+        let d = compile(&spec)?;
+        let arr = &d.spatial_arrays[0];
+        Ok((arr.num_moving_conns(), arr.num_io_ports()))
+    };
+    let (rc, rp) = build(Granularity::RowGroup)?;
+    let (pc, pp) = build(Granularity::PerPe)?;
+    println!("\nhardware cost of flexibility (Figure 10):");
+    println!("  row-group shift : {rc} moving wires, {rp} regfile ports (conns preserved)");
+    println!("  per-PE shift    : {pc} moving wires, {pp} regfile ports (conns pruned)");
+    Ok(())
+}

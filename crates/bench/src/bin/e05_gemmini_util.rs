@@ -1,0 +1,35 @@
+//! E5 — Figure 16a: PE utilization of the hand-written and
+//! Stellar-generated Gemmini accelerators on end-to-end ResNet-50.
+
+use stellar_accels::run_resnet50;
+use stellar_bench::{header, pct, table};
+use stellar_sim::GemmParams;
+
+fn main() {
+    header("E5", "Figure 16a — Gemmini utilization on ResNet-50 (16x16 WS @ 500 MHz)");
+
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
+    let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+
+    let mut rows = Vec::new();
+    let (mut hb, mut ht, mut sb, mut st) = (0u64, 0u64, 0u64, 0u64);
+    for ((name, h), (_, s)) in hand.iter().zip(&stellar) {
+        rows.push(vec![
+            name.to_string(),
+            pct(h.utilization.fraction()),
+            pct(s.utilization.fraction()),
+            format!("{:.2}", s.utilization.fraction() / h.utilization.fraction().max(1e-12)),
+        ]);
+        hb += h.utilization.busy;
+        ht += h.utilization.total;
+        sb += s.utilization.busy;
+        st += s.utilization.total;
+    }
+    table(&["layer", "handwritten", "stellar", "ratio"], &rows);
+
+    let hu = hb as f64 / ht as f64;
+    let su = sb as f64 / st as f64;
+    println!("\nend-to-end utilization: handwritten {}, Stellar {}", pct(hu), pct(su));
+    println!("Stellar reaches {} of the handwritten design's utilization", pct(su / hu));
+    println!("(paper: \"90% of the utilization of the handwritten Gemmini\")");
+}

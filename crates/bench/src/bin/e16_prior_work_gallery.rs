@@ -1,0 +1,52 @@
+//! E16 — the expressibility gallery: the prior-work spatial arrays of the
+//! evaluation (SCNN's cartesian-product PE, OuterSPACE's outer-product
+//! multiply array, a GAMMA-style merger lane array, the A100 2:4 array,
+//! and the Gemmini weight-stationary array), all compiled from the same
+//! five-concern specification language, with their emitted-RTL size and
+//! modelled area.
+
+use stellar_accels::{
+    a100_sparse_spec, gemmini_spec, outerspace_multiply_spec, row_merger_spec, scnn_pe_spec,
+};
+use stellar_area::{area_of, Technology};
+use stellar_bench::{header, table};
+use stellar_core::prelude::*;
+use stellar_rtl::{emit_accelerator, lint};
+
+fn main() -> Result<(), CompileError> {
+    header("E16", "prior-work spatial arrays, regenerated through one language");
+
+    let specs: Vec<(&str, AcceleratorSpec)> = vec![
+        ("Gemmini WS 16x16 (dense DNN)", gemmini_spec()),
+        ("SCNN PE (cartesian product)", scnn_pe_spec(4, 4)),
+        ("OuterSPACE multiply (outer product)", outerspace_multiply_spec(4)),
+        ("GAMMA-style merger lanes", row_merger_spec(8, 8)),
+        ("A100 2:4 structured-sparse", a100_sparse_spec(4)),
+    ];
+
+    let tech = Technology::asap7();
+    let mut rows = Vec::new();
+    for (name, spec) in specs {
+        let design = compile(&spec)?;
+        let netlist = emit_accelerator(&design);
+        let lint_ok = lint::check(&netlist).is_ok();
+        let arr = &design.spatial_arrays[0];
+        rows.push(vec![
+            name.to_string(),
+            arr.num_pes().to_string(),
+            arr.macs_per_pe.to_string(),
+            arr.comparators_per_pe.to_string(),
+            netlist.verilog_lines().to_string(),
+            if lint_ok { "clean".into() } else { "FAIL".into() },
+            format!("{:.0}K", area_of(&design, &tech).total_um2() / 1e3),
+        ]);
+    }
+    table(
+        &["accelerator", "PEs", "MACs/PE", "cmps/PE", "verilog lines", "lint", "area"],
+        &rows,
+    );
+    println!("\nEvery design above was produced by the same compile() pipeline from");
+    println!("independent functionality/dataflow/sparsity clauses — the separation");
+    println!("of concerns Table I claims, demonstrated end to end.");
+    Ok(())
+}

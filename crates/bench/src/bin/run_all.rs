@@ -1,0 +1,60 @@
+//! Runs every experiment (E1–E18) in sequence — the one-command
+//! regeneration of the paper's evaluation section.
+
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "e01_dataflows",
+    "e02_pipelining",
+    "e03_sparsity",
+    "e04_load_balance",
+    "e05_gemmini_util",
+    "e06_gemmini_area",
+    "e07_energy",
+    "e08_scnn_util",
+    "e09_outerspace",
+    "e10_mergers",
+    "e11_merger_area",
+    "e12_feature_table",
+    "e13_regfiles",
+    "e14_dma_sweep",
+    "e15_l2_cache",
+    "e16_prior_work_gallery",
+    "e17_figure8_soc",
+    "e18_transformer_24",
+    "e19_regfile_ablation",
+    "e20_dataflow_search",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("executable directory");
+    let mut failures = Vec::new();
+    for name in EXPERIMENTS {
+        let path = exe_dir.join(name);
+        let status = if path.exists() {
+            Command::new(&path).status()
+        } else {
+            // Fall back to cargo when siblings are not built.
+            Command::new("cargo")
+                .args(["run", "--release", "-q", "-p", "stellar-bench", "--bin", name])
+                .status()
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => failures.push(format!("{name}: exit {s}")),
+            Err(e) => failures.push(format!("{name}: {e}")),
+        }
+    }
+    println!("\n=== run_all: {} experiments ===", EXPERIMENTS.len());
+    if failures.is_empty() {
+        println!("all experiments completed");
+    } else {
+        for f in &failures {
+            eprintln!("FAILED {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,69 @@
+//! `stellar-gen` — the command-line hardware generator: compiles one of
+//! the built-in designs and writes its Verilog and a self-checking
+//! testbench to disk (the right-hand side of the paper's Figure 1).
+//!
+//! Usage: `cargo run -p stellar-bench --bin stellar_gen -- <design> [outdir]`
+//! where `<design>` is one of `gemmini`, `scnn`, `outerspace`, `merger`,
+//! `a100`, `dense4`.
+
+use std::path::PathBuf;
+
+use stellar_accels::{
+    a100_sparse_spec, gemmini_spec, outerspace_multiply_spec, row_merger_spec, scnn_pe_spec,
+};
+use stellar_core::prelude::*;
+use stellar_rtl::{emit_accelerator, lint, testbench};
+
+fn spec_by_name(name: &str) -> Option<AcceleratorSpec> {
+    Some(match name {
+        "gemmini" => gemmini_spec(),
+        "scnn" => scnn_pe_spec(4, 4),
+        "outerspace" => outerspace_multiply_spec(4),
+        "merger" => row_merger_spec(8, 8),
+        "a100" => a100_sparse_spec(4),
+        "dense4" => AcceleratorSpec::new("dense4", Functionality::matmul(4, 4, 4)),
+        _ => return None,
+    })
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "dense4".to_string());
+    let outdir = PathBuf::from(args.next().unwrap_or_else(|| "out".to_string()));
+
+    let Some(spec) = spec_by_name(&name) else {
+        eprintln!("unknown design '{name}'; use gemmini|scnn|outerspace|merger|a100|dense4");
+        std::process::exit(1);
+    };
+
+    let design = compile(&spec).expect("built-in specs compile");
+    let netlist = emit_accelerator(&design);
+    if let Err(errs) = lint::check(&netlist) {
+        eprintln!("internal error: emitted netlist failed lint: {errs:?}");
+        std::process::exit(1);
+    }
+
+    std::fs::create_dir_all(&outdir).expect("create output directory");
+    let v_path = outdir.join(format!("{name}.v"));
+    let tb_path = outdir.join(format!("{name}_tb.v"));
+    std::fs::write(&v_path, netlist.to_verilog()).expect("write verilog");
+    // A minimal configure-and-issue stimulus (Table II shape).
+    let tb = testbench::testbench_for_program(
+        &netlist,
+        &[
+            (1, 0x30000, 16), // set_span(BOTH, 0, 16)
+            (4, 0x30000, 0),  // set_axis_type(BOTH, 0, Dense)
+            (6, 0x30000, 0),  // issue
+        ],
+    );
+    std::fs::write(&tb_path, &tb).expect("write testbench");
+
+    println!("{}", design.summary());
+    println!(
+        "wrote {} ({} lines) and {} ({} lines)",
+        v_path.display(),
+        netlist.verilog_lines(),
+        tb_path.display(),
+        tb.lines().count()
+    );
+}

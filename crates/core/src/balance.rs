@@ -1,0 +1,257 @@
+//! Load-balancing specifications: `Shift` clauses (§III-D of the paper).
+//!
+//! A [`ShiftSpec`] states that computations from a *source* region of the
+//! tensor iteration space may be shifted onto *target* iterations when the
+//! targets would otherwise be idle. At hardware-generation time the spec
+//! determines which PE-to-PE connections survive (Figure 10) and what
+//! load-balancer modules are emitted; at runtime the balancer applies
+//! *space-time biases* (Equation 2) to redistribute work.
+
+use std::fmt;
+
+use crate::index::{Bounds, IndexId};
+
+/// A rectangular region of the tensor iteration space. Each iterator is
+/// either free (`None`) or restricted to a half-open range.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_core::Region;
+/// use stellar_core::IndexId;
+///
+/// // i in [4, 8), j and k free (rank 3).
+/// let r = Region::all(3).restrict(IndexId::nth(0), 4, 8);
+/// assert!(r.contains(&[5, 0, 9]));
+/// assert!(!r.contains(&[3, 0, 9]));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Region {
+    ranges: Vec<Option<(i64, i64)>>,
+}
+
+impl Region {
+    /// The unrestricted region over a rank-`rank` iteration space.
+    pub fn all(rank: usize) -> Region {
+        Region {
+            ranges: vec![None; rank],
+        }
+    }
+
+    /// Restricts one iterator to `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is out of range or `lo >= hi`.
+    pub fn restrict(mut self, idx: IndexId, lo: i64, hi: i64) -> Region {
+        assert!(idx.pos() < self.ranges.len(), "index out of range");
+        assert!(lo < hi, "empty restriction");
+        self.ranges[idx.pos()] = Some((lo, hi));
+        self
+    }
+
+    /// The iteration-space rank.
+    pub fn rank(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Returns `true` if the point lies in the region.
+    pub fn contains(&self, point: &[i64]) -> bool {
+        point.len() == self.ranges.len()
+            && self
+                .ranges
+                .iter()
+                .zip(point)
+                .all(|(r, &p)| r.is_none_or(|(lo, hi)| p >= lo && p < hi))
+    }
+
+    /// The iterators left free (unrestricted) by this region.
+    pub fn free_iterators(&self) -> Vec<IndexId> {
+        self.ranges
+            .iter()
+            .enumerate()
+            .filter_map(|(n, r)| r.is_none().then_some(IndexId::nth(n)))
+            .collect()
+    }
+
+    /// The range of one iterator, if restricted.
+    pub fn range(&self, idx: IndexId) -> Option<(i64, i64)> {
+        self.ranges[idx.pos()]
+    }
+
+    /// Number of points of `bounds` inside this region.
+    pub fn volume_within(&self, bounds: &Bounds) -> usize {
+        (0..self.rank())
+            .map(|d| {
+                let idx = IndexId::nth(d);
+                let (blo, bhi) = (bounds.lo(idx), bounds.hi(idx));
+                let (lo, hi) = match self.ranges[d] {
+                    Some((lo, hi)) => (lo.max(blo), hi.min(bhi)),
+                    None => (blo, bhi),
+                };
+                (hi - lo).max(0) as usize
+            })
+            .product()
+    }
+}
+
+/// The sharing granularity of a shift, controlling the hardware cost /
+/// flexibility trade-off of Figure 10.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Granularity {
+    /// Work moves between whole rows of PEs at once (Figure 10a): cheaper,
+    /// preserves intra-row PE-to-PE connections.
+    RowGroup,
+    /// Each PE independently takes redistributed work (Figure 10b): more
+    /// flexible, but PE-to-PE connections into rebalanced PEs must be
+    /// replaced with regfile ports, costing area and wiring congestion.
+    PerPe,
+}
+
+/// One `Shift` clause: move work from `src` onto `dst = src + bias` when the
+/// target iterations idle.
+///
+/// # Examples
+///
+/// Listing 3 of the paper — `Shift i = N->2N, j, k  to  i = 0->N, j, k+1`
+/// with `N = 4`:
+///
+/// ```
+/// use stellar_core::{Granularity, IndexId, Region, ShiftSpec};
+///
+/// let i = IndexId::nth(0);
+/// let src = Region::all(3).restrict(i, 4, 8);
+/// let shift = ShiftSpec::new(src, vec![-4, 0, 1], Granularity::RowGroup);
+/// assert_eq!(shift.apply_bias(&[5, 2, 3]), vec![1, 2, 4]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShiftSpec {
+    src: Region,
+    bias: Vec<i64>,
+    granularity: Granularity,
+}
+
+impl ShiftSpec {
+    /// Creates a shift clause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != src.rank()`.
+    pub fn new(src: Region, bias: Vec<i64>, granularity: Granularity) -> ShiftSpec {
+        assert_eq!(bias.len(), src.rank(), "bias rank must match region rank");
+        ShiftSpec {
+            src,
+            bias,
+            granularity,
+        }
+    }
+
+    /// The source region whose work may move.
+    pub fn src(&self) -> &Region {
+        &self.src
+    }
+
+    /// The space-time bias vector `b` of Equation 2: target iterations are
+    /// `source + bias`.
+    pub fn bias(&self) -> &[i64] {
+        &self.bias
+    }
+
+    /// The sharing granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+
+    /// The target region (`src` shifted by `bias`).
+    pub fn dst(&self) -> Region {
+        let ranges = self
+            .src
+            .ranges
+            .iter()
+            .zip(&self.bias)
+            .map(|(r, &b)| r.map(|(lo, hi)| (lo + b, hi + b)))
+            .collect();
+        Region { ranges }
+    }
+
+    /// Applies the bias to a source iteration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point has the wrong rank.
+    pub fn apply_bias(&self, point: &[i64]) -> Vec<i64> {
+        assert_eq!(point.len(), self.bias.len(), "point rank mismatch");
+        point.iter().zip(&self.bias).map(|(p, b)| p + b).collect()
+    }
+}
+
+impl fmt::Display for ShiftSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Shift(bias={:?}, granularity={:?})",
+            self.bias, self.granularity
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(n: usize) -> IndexId {
+        IndexId::nth(n)
+    }
+
+    #[test]
+    fn region_membership() {
+        let r = Region::all(3).restrict(idx(0), 4, 8).restrict(idx(2), 0, 2);
+        assert!(r.contains(&[4, 100, 1]));
+        assert!(!r.contains(&[8, 0, 1]));
+        assert!(!r.contains(&[4, 0, 2]));
+        assert!(!r.contains(&[4, 0])); // wrong rank
+    }
+
+    #[test]
+    fn region_free_iterators() {
+        let r = Region::all(3).restrict(idx(1), 0, 4);
+        assert_eq!(r.free_iterators(), vec![idx(0), idx(2)]);
+        assert_eq!(r.range(idx(1)), Some((0, 4)));
+        assert_eq!(r.range(idx(0)), None);
+    }
+
+    #[test]
+    fn region_volume() {
+        let b = Bounds::from_extents(&[8, 4, 4]);
+        let r = Region::all(3).restrict(idx(0), 4, 8);
+        assert_eq!(r.volume_within(&b), 4 * 4 * 4);
+        // Clipped to bounds.
+        let r = Region::all(3).restrict(idx(0), 6, 100);
+        assert_eq!(r.volume_within(&b), 2 * 4 * 4);
+    }
+
+    #[test]
+    fn listing3_shift() {
+        let src = Region::all(3).restrict(idx(0), 4, 8);
+        let s = ShiftSpec::new(src, vec![-4, 0, 1], Granularity::RowGroup);
+        let dst = s.dst();
+        assert_eq!(dst.range(idx(0)), Some((0, 4)));
+        assert!(dst.contains(&[0, 9, 9]));
+        assert_eq!(s.apply_bias(&[7, 1, 2]), vec![3, 1, 3]);
+    }
+
+    #[test]
+    fn listing4_per_pe_shift() {
+        // "Shift i, j, k to i=0, j=0->4, k": a small set of very flexible PEs.
+        let src = Region::all(3);
+        let s = ShiftSpec::new(src, vec![0, 0, 0], Granularity::PerPe);
+        assert_eq!(s.granularity(), Granularity::PerPe);
+        assert!(s.dst().contains(&[9, 9, 9]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty restriction")]
+    fn empty_restriction_panics() {
+        let _ = Region::all(2).restrict(idx(0), 3, 3);
+    }
+}

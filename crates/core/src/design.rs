@@ -1,0 +1,388 @@
+//! The hardware design IR: the compiler's output, consumed by the RTL
+//! emitter, the area/energy model, and the cycle-level simulator.
+//!
+//! Everything here is plain serializable data — names instead of handles —
+//! so downstream crates need no knowledge of the specification language.
+
+use serde::{Deserialize, Serialize};
+use stellar_tensor::AxisFormat;
+
+use crate::regfile::RegfileKind;
+
+/// Direction of an IO port, from the spatial array's perspective.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PortDir {
+    /// The array reads from the regfile.
+    Read,
+    /// The array writes to the regfile.
+    Write,
+}
+
+/// One PE-to-PE wire of a spatial array design.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ConnDesign {
+    /// The variable carried (for diagnostics and RTL port naming).
+    pub var: String,
+    /// Source PE index.
+    pub src_pe: usize,
+    /// Destination PE index.
+    pub dst_pe: usize,
+    /// Pipeline registers along the wire.
+    pub registers: i64,
+    /// Bundle width (1 = scalar, >1 = `OptimisticSkip` bundle).
+    pub bundle: usize,
+}
+
+/// One PE IO port of a spatial array design.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct IoPortDesign {
+    /// The tensor accessed.
+    pub tensor: String,
+    /// Read or write.
+    pub dir: PortDir,
+    /// The PE index.
+    pub pe: usize,
+    /// Accesses over one tile computation (for traffic accounting).
+    pub accesses: usize,
+}
+
+/// A compiled spatial array.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SpatialArrayDesign {
+    /// Array name.
+    pub name: String,
+    /// Spatial dimensionality (usually 2).
+    pub space_dims: usize,
+    /// Coordinates of each PE.
+    pub pe_coords: Vec<Vec<i64>>,
+    /// PE-to-PE wires (stationary self-wires included).
+    pub conns: Vec<ConnDesign>,
+    /// PE IO ports to register files.
+    pub io_ports: Vec<IoPortDesign>,
+    /// Multiplies per PE over one tile (max across PEs).
+    pub macs_per_pe: usize,
+    /// Total time steps for one tile.
+    pub time_steps: i64,
+    /// Bits of the per-PE time counter (Figure 11).
+    pub time_counter_bits: u32,
+    /// Whether the array carries global start/stall signals — a Stellar
+    /// overhead the paper calls out in §VI-B.
+    pub has_global_stall: bool,
+    /// Comparators per PE for data-dependent ops (mergers).
+    pub comparators_per_pe: usize,
+}
+
+impl SpatialArrayDesign {
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pe_coords.len()
+    }
+
+    /// Number of inter-PE (non-stationary) wires.
+    pub fn num_moving_conns(&self) -> usize {
+        self.conns.iter().filter(|c| c.src_pe != c.dst_pe).count()
+    }
+
+    /// Total pipeline registers across all wires.
+    pub fn total_pipeline_registers(&self) -> i64 {
+        self.conns.iter().map(|c| c.registers * c.bundle as i64).sum()
+    }
+
+    /// Total regfile ports required by the array.
+    pub fn num_io_ports(&self) -> usize {
+        self.io_ports.len()
+    }
+}
+
+/// A compiled register file.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct RegfileDesign {
+    /// Regfile name.
+    pub name: String,
+    /// The buffered tensor.
+    pub tensor: String,
+    /// The selected implementation (Figure 14).
+    pub kind: RegfileKind,
+    /// Number of entries.
+    pub entries: usize,
+    /// Write (fill) ports.
+    pub in_ports: usize,
+    /// Read (drain) ports.
+    pub out_ports: usize,
+    /// Bits per coordinate tag (0 for feed-forward regfiles, which need no
+    /// coordinate storage at all).
+    pub coord_bits: u32,
+    /// Data width in bits.
+    pub data_bits: u32,
+}
+
+impl RegfileDesign {
+    /// Coordinate comparators required: the dominant cost of associative
+    /// regfiles. Feed-forward and transposing shift registers need none;
+    /// edge-IO searches only its edges; the baseline searches everything
+    /// from every port.
+    pub fn num_comparators(&self) -> usize {
+        match self.kind {
+            RegfileKind::FeedForward | RegfileKind::Transposing => 0,
+            RegfileKind::EdgeIo => {
+                // Each port searches one edge (~sqrt of entries for a
+                // square layout).
+                let edge = (self.entries as f64).sqrt().ceil() as usize;
+                edge * (self.in_ports + self.out_ports)
+            }
+            RegfileKind::Baseline => self.entries * (self.in_ports + self.out_ports),
+        }
+    }
+}
+
+/// A compiled private memory buffer.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct MemBufferDesign {
+    /// Buffer name.
+    pub name: String,
+    /// The stored tensor.
+    pub tensor: String,
+    /// Per-axis fibertree formats.
+    pub formats: Vec<AxisFormat>,
+    /// Capacity in data words.
+    pub capacity_words: usize,
+    /// Elements per access.
+    pub width_elems: usize,
+    /// Number of banks.
+    pub banks: usize,
+    /// Number of indirect-lookup pipeline stages (compressed axes).
+    pub indirect_stages: usize,
+    /// Number of direct address-generator stages (dense axes).
+    pub direct_stages: usize,
+    /// Whether read parameters were hardcoded (simplifying the address
+    /// generators, Listing 6).
+    pub hardcoded: bool,
+}
+
+impl MemBufferDesign {
+    /// Total pipeline stages (one per tensor axis, Figure 12).
+    pub fn num_stages(&self) -> usize {
+        self.indirect_stages + self.direct_stages
+    }
+}
+
+/// A compiled load balancer (§IV-E).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct LoadBalancerDesign {
+    /// Balancer name.
+    pub name: String,
+    /// The space-time bias vector applied when rebalancing (Equation 2).
+    pub bias: Vec<i64>,
+    /// `true` for per-PE granularity (more flexible, more area).
+    pub per_pe: bool,
+    /// Number of regfiles whose occupancy the balancer monitors.
+    pub monitored_regfiles: usize,
+}
+
+/// The accelerator's DMA configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DmaDesign {
+    /// Maximum independent outstanding memory requests per cycle. Stellar's
+    /// default DMA issues one; §VI-C shows raising this to 16 relieves the
+    /// scattered-pointer bottleneck.
+    pub max_inflight_reqs: usize,
+    /// Bus width in bits.
+    pub bus_bits: u32,
+}
+
+impl Default for DmaDesign {
+    fn default() -> DmaDesign {
+        DmaDesign {
+            max_inflight_reqs: 1,
+            bus_bits: 128,
+        }
+    }
+}
+
+/// A complete compiled accelerator: the output of [`compile`].
+///
+/// [`compile`]: crate::spec::compile
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct AcceleratorDesign {
+    /// Accelerator name.
+    pub name: String,
+    /// Data width in bits (8 for Gemmini-style quantized arrays, 32/64 for
+    /// sparse FP accelerators).
+    pub data_bits: u32,
+    /// The spatial arrays.
+    pub spatial_arrays: Vec<SpatialArrayDesign>,
+    /// The register files.
+    pub regfiles: Vec<RegfileDesign>,
+    /// The private memory buffers.
+    pub mem_buffers: Vec<MemBufferDesign>,
+    /// The load balancers.
+    pub load_balancers: Vec<LoadBalancerDesign>,
+    /// The DMA.
+    pub dma: DmaDesign,
+    /// Whether a RISC-V host CPU is included in the SoC.
+    pub has_host_cpu: bool,
+}
+
+impl AcceleratorDesign {
+    /// Total PEs across all spatial arrays.
+    pub fn total_pes(&self) -> usize {
+        self.spatial_arrays.iter().map(|a| a.num_pes()).sum()
+    }
+
+    /// Total scratchpad capacity in words.
+    pub fn total_sram_words(&self) -> usize {
+        self.mem_buffers.iter().map(|b| b.capacity_words).sum()
+    }
+
+    /// A human-readable multi-line summary of the design, for reports and
+    /// examples.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "design '{}' ({} bits/word)", self.name, self.data_bits);
+        for arr in &self.spatial_arrays {
+            let _ = writeln!(
+                s,
+                "  array {}: {} PEs, {} moving wires, {} io ports, {} steps{}",
+                arr.name,
+                arr.num_pes(),
+                arr.num_moving_conns(),
+                arr.num_io_ports(),
+                arr.time_steps,
+                if arr.has_global_stall { ", global stall" } else { "" }
+            );
+        }
+        for rf in &self.regfiles {
+            let _ = writeln!(
+                s,
+                "  regfile {}: {} ({} entries, {}r/{}w ports, {} comparators)",
+                rf.name,
+                rf.kind,
+                rf.entries,
+                rf.out_ports,
+                rf.in_ports,
+                rf.num_comparators()
+            );
+        }
+        for b in &self.mem_buffers {
+            let _ = writeln!(
+                s,
+                "  buffer {}: {} words, {} stages ({} indirect){}",
+                b.name,
+                b.capacity_words,
+                b.num_stages(),
+                b.indirect_stages,
+                if b.hardcoded { ", hardcoded" } else { "" }
+            );
+        }
+        for lb in &self.load_balancers {
+            let _ = writeln!(
+                s,
+                "  balancer {}: bias {:?}, {}",
+                lb.name,
+                lb.bias,
+                if lb.per_pe { "per-PE" } else { "row-group" }
+            );
+        }
+        let _ = writeln!(
+            s,
+            "  dma: {} outstanding reqs, {}-bit bus{}",
+            self.dma.max_inflight_reqs,
+            self.dma.bus_bits,
+            if self.has_host_cpu { "; host CPU attached" } else { "" }
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_array() -> SpatialArrayDesign {
+        SpatialArrayDesign {
+            name: "arr".into(),
+            space_dims: 2,
+            pe_coords: vec![vec![0, 0], vec![0, 1]],
+            conns: vec![
+                ConnDesign {
+                    var: "a".into(),
+                    src_pe: 0,
+                    dst_pe: 1,
+                    registers: 1,
+                    bundle: 1,
+                },
+                ConnDesign {
+                    var: "c".into(),
+                    src_pe: 0,
+                    dst_pe: 0,
+                    registers: 1,
+                    bundle: 2,
+                },
+            ],
+            io_ports: vec![IoPortDesign {
+                tensor: "A".into(),
+                dir: PortDir::Read,
+                pe: 0,
+                accesses: 4,
+            }],
+            macs_per_pe: 4,
+            time_steps: 10,
+            time_counter_bits: 4,
+            has_global_stall: true,
+            comparators_per_pe: 0,
+        }
+    }
+
+    #[test]
+    fn array_stats() {
+        let a = tiny_array();
+        assert_eq!(a.num_pes(), 2);
+        assert_eq!(a.num_moving_conns(), 1);
+        assert_eq!(a.total_pipeline_registers(), 3); // 1 + 1*2 bundle
+        assert_eq!(a.num_io_ports(), 1);
+    }
+
+    #[test]
+    fn regfile_comparator_counts() {
+        let mut rf = RegfileDesign {
+            name: "rf".into(),
+            tensor: "B".into(),
+            kind: RegfileKind::Baseline,
+            entries: 16,
+            in_ports: 2,
+            out_ports: 2,
+            coord_bits: 8,
+            data_bits: 32,
+        };
+        assert_eq!(rf.num_comparators(), 64);
+        rf.kind = RegfileKind::EdgeIo;
+        assert_eq!(rf.num_comparators(), 16); // 4 edge * 4 ports
+        rf.kind = RegfileKind::FeedForward;
+        assert_eq!(rf.num_comparators(), 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let d = AcceleratorDesign {
+            name: "acc".into(),
+            data_bits: 8,
+            spatial_arrays: vec![tiny_array()],
+            regfiles: vec![],
+            mem_buffers: vec![],
+            load_balancers: vec![],
+            dma: DmaDesign::default(),
+            has_host_cpu: true,
+        };
+        fn assert_serializable<T: serde::Serialize + for<'a> serde::Deserialize<'a>>(_: &T) {}
+        assert_serializable(&d);
+        let d2 = d.clone();
+        assert_eq!(d, d2);
+        assert_eq!(d.total_pes(), 2);
+    }
+
+    #[test]
+    fn dma_default_single_request() {
+        assert_eq!(DmaDesign::default().max_inflight_reqs, 1);
+    }
+}

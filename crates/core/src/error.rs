@@ -1,0 +1,84 @@
+//! Compiler error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while validating specifications or compiling them to
+/// hardware designs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CompileError {
+    /// The functionality specification is structurally ill-formed.
+    Malformed(String),
+    /// A variable has recurrences with conflicting difference vectors.
+    InconsistentRecurrence {
+        /// The offending variable's name.
+        var: String,
+    },
+    /// The space-time transform is singular or has the wrong shape.
+    InvalidTransform(String),
+    /// The transform maps two iteration points to the same space-time
+    /// coordinate (a physical collision).
+    SpaceTimeCollision {
+        /// The colliding space-time coordinate.
+        coord: Vec<i64>,
+    },
+    /// A connection would require data to arrive before it is produced
+    /// (negative Δt under the chosen transform).
+    CausalityViolation {
+        /// The offending variable's name.
+        var: String,
+        /// The space-time delta of the connection.
+        delta: Vec<i64>,
+    },
+    /// A specification refers to an index outside the iteration space.
+    UnknownIndex(String),
+    /// The memory specification is inconsistent with the tensor it stores.
+    BadMemorySpec(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Malformed(msg) => write!(f, "malformed functionality: {msg}"),
+            CompileError::InconsistentRecurrence { var } => {
+                write!(f, "variable '{var}' has inconsistent recurrence difference vectors")
+            }
+            CompileError::InvalidTransform(msg) => write!(f, "invalid space-time transform: {msg}"),
+            CompileError::SpaceTimeCollision { coord } => {
+                write!(f, "two iteration points map to the same space-time coordinate {coord:?}")
+            }
+            CompileError::CausalityViolation { var, delta } => write!(
+                f,
+                "connection for '{var}' has negative time delta {delta:?} under the transform"
+            ),
+            CompileError::UnknownIndex(name) => write!(f, "unknown iteration index '{name}'"),
+            CompileError::BadMemorySpec(msg) => write!(f, "bad memory specification: {msg}"),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CompileError::Malformed("x".into());
+        assert!(e.to_string().contains("malformed"));
+        let e = CompileError::CausalityViolation {
+            var: "c".into(),
+            delta: vec![1, 0, -1],
+        };
+        assert!(e.to_string().contains("negative time delta"));
+        let e = CompileError::SpaceTimeCollision { coord: vec![0, 0, 0] };
+        assert!(e.to_string().contains("same space-time"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: Error + Send + Sync>(_: E) {}
+        takes_err(CompileError::UnknownIndex("q".into()));
+    }
+}

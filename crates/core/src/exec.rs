@@ -1,0 +1,445 @@
+//! A reference interpreter for the functional notation.
+//!
+//! The interpreter executes a [`Functionality`] directly over its tensor
+//! iteration space, with no notion of time or space — exactly the semantics
+//! the specification promises before any dataflow is chosen. It is the
+//! golden model that compiled spatial arrays (and the cycle-level simulator)
+//! are validated against.
+
+use std::collections::HashMap;
+
+use stellar_tensor::DenseTensor;
+
+use crate::error::CompileError;
+use crate::expr::Expr;
+use crate::func::{Functionality, TensorId, TensorRole};
+use crate::index::Bounds;
+
+/// The result of a scheduled run: the output tensors plus
+/// `(time_steps, busy_point_count)`.
+pub type ScheduledRun = (HashMap<TensorId, DenseTensor>, (i64, u64));
+
+/// Executes a [`Functionality`] over concrete bounds and input tensors.
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::HashMap;
+/// use stellar_core::{Bounds, Executor, Functionality};
+/// use stellar_tensor::{DenseMatrix, DenseTensor};
+///
+/// let f = Functionality::matmul(2, 2, 2);
+/// let bounds = Bounds::from_extents(&[2, 2, 2]);
+/// let tensors: Vec<_> = f.tensors().collect();
+///
+/// let a = DenseTensor::from_matrix(&DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+/// let b = DenseTensor::from_matrix(&DenseMatrix::identity(2));
+/// let mut inputs = HashMap::new();
+/// inputs.insert(tensors[0], a.clone());
+/// inputs.insert(tensors[1], b);
+///
+/// let outputs = Executor::new(&f, &bounds).run(&inputs)?;
+/// assert_eq!(outputs[&tensors[2]], a); // A * I = A
+/// # Ok::<(), stellar_core::CompileError>(())
+/// ```
+#[derive(Debug)]
+pub struct Executor<'f> {
+    func: &'f Functionality,
+    bounds: Bounds,
+}
+
+impl<'f> Executor<'f> {
+    /// Creates an executor for a functionality over the given bounds.
+    pub fn new(func: &'f Functionality, bounds: &Bounds) -> Executor<'f> {
+        Executor {
+            func,
+            bounds: bounds.clone(),
+        }
+    }
+
+    /// The shape each tensor must have, derived from the iteration bounds
+    /// and the tensor's axis iterators.
+    pub fn tensor_shape(&self, t: TensorId) -> Vec<usize> {
+        self.func
+            .tensor_axes(t)
+            .iter()
+            .map(|&idx| self.bounds.extent(idx) as usize)
+            .collect()
+    }
+
+    /// Runs the specification, returning the output tensors.
+    ///
+    /// Assignments at each point execute in declaration order; reads of
+    /// out-of-bounds neighbouring points fall back to the variable's current
+    /// value at the point (the boundary-input convention of Listing 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if validation fails or an input tensor is missing
+    /// or mis-shaped.
+    pub fn run(
+        &self,
+        inputs: &HashMap<TensorId, DenseTensor>,
+    ) -> Result<HashMap<TensorId, DenseTensor>, CompileError> {
+        self.func.validate()?;
+        for t in self.func.tensors() {
+            if self.func.tensor_role(t) == TensorRole::Input {
+                let input = inputs.get(&t).ok_or_else(|| {
+                    CompileError::Malformed(format!(
+                        "missing input tensor '{}'",
+                        self.func.tensor_name(t)
+                    ))
+                })?;
+                if input.shape() != self.tensor_shape(t).as_slice() {
+                    return Err(CompileError::Malformed(format!(
+                        "input tensor '{}' has shape {:?}, expected {:?}",
+                        self.func.tensor_name(t),
+                        input.shape(),
+                        self.tensor_shape(t)
+                    )));
+                }
+            }
+        }
+
+        // Variable storage: values keyed by (var, point coords).
+        let mut vals: Vec<HashMap<Vec<i64>, f64>> =
+            vec![HashMap::new(); self.func.num_vars()];
+        let mut outputs: HashMap<TensorId, DenseTensor> = self
+            .func
+            .tensors()
+            .filter(|&t| self.func.tensor_role(t) == TensorRole::Output)
+            .map(|t| (t, DenseTensor::zeros(&self.tensor_shape(t))))
+            .collect();
+
+        for point in self.bounds.iter_points() {
+            for a in self.func.assigns() {
+                let applies = a.lhs.iter().enumerate().all(|(d, c)| {
+                    !c.is_pinned() || c.eval(&point, &self.bounds) == point[d]
+                });
+                if !applies {
+                    continue;
+                }
+                let v = self.eval(&a.rhs, &point, a.var, &vals, inputs)?;
+                vals[a.var.0].insert(point.clone(), v);
+            }
+            for o in self.func.outputs() {
+                // An output fires at points where its pinned variable reads
+                // match the point exactly.
+                let fires = o.rhs.var_reads().iter().all(|(_, coords)| {
+                    coords
+                        .iter()
+                        .enumerate()
+                        .all(|(d, c)| c.eval(&point, &self.bounds) == point[d])
+                });
+                if !fires {
+                    continue;
+                }
+                let val = self.eval(&o.rhs, &point, o.rhs.var_reads()[0].0, &vals, inputs)?;
+                let coords: Vec<usize> = o
+                    .coords
+                    .iter()
+                    .map(|c| c.eval(&point, &self.bounds) as usize)
+                    .collect();
+                if let Some(out) = outputs.get_mut(&o.tensor) {
+                    out.set(&coords, val);
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Runs the specification *in the schedule order implied by a
+    /// space-time transform*: points execute grouped by time step, earliest
+    /// first, exactly as the PEs of the compiled array would.
+    ///
+    /// Unlike [`Executor::run`], which uses the declaration-order semantics
+    /// of the notation, this checks that the dataflow is *causally
+    /// consistent* — every value is produced at a strictly earlier time
+    /// step (or earlier in the same combinational step) than it is
+    /// consumed. A transform that passed compilation but scheduled a read
+    /// before its write would be caught here.
+    ///
+    /// Returns the outputs plus `(time_steps, busy_point_count)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::CausalityViolation`] if a point reads a
+    /// value its schedule has not yet produced, plus the usual validation
+    /// errors.
+    pub fn run_scheduled(
+        &self,
+        transform: &crate::transform::SpaceTimeTransform,
+        inputs: &HashMap<TensorId, DenseTensor>,
+    ) -> Result<ScheduledRun, CompileError> {
+        self.func.validate()?;
+        if transform.rank() != self.bounds.rank() {
+            return Err(CompileError::InvalidTransform(format!(
+                "transform rank {} vs iteration rank {}",
+                transform.rank(),
+                self.bounds.rank()
+            )));
+        }
+        // Order points by (time, lexicographic) — the hardware schedule.
+        let mut points: Vec<(i64, Vec<i64>)> = self
+            .bounds
+            .iter_points()
+            .map(|p| (transform.time_of(&p), p))
+            .collect();
+        points.sort();
+        let (tmin, tmax) = match (points.first(), points.last()) {
+            (Some(f), Some(l)) => (f.0, l.0),
+            _ => (0, 0),
+        };
+
+        let mut vals: Vec<HashMap<Vec<i64>, f64>> = vec![HashMap::new(); self.func.num_vars()];
+        let mut outputs: HashMap<TensorId, DenseTensor> = self
+            .func
+            .tensors()
+            .filter(|&t| self.func.tensor_role(t) == TensorRole::Output)
+            .map(|t| (t, DenseTensor::zeros(&self.tensor_shape(t))))
+            .collect();
+        let mut busy: u64 = 0;
+
+        for (_t, point) in &points {
+            let mut did_work = false;
+            for a in self.func.assigns() {
+                let applies = a.lhs.iter().enumerate().all(|(d, c)| {
+                    !c.is_pinned() || c.eval(point, &self.bounds) == point[d]
+                });
+                if !applies {
+                    continue;
+                }
+                // Causality check: every in-bounds var read must already
+                // have a value.
+                for (v, coords) in a.rhs.var_reads() {
+                    let src: Vec<i64> =
+                        coords.iter().map(|c| c.eval(point, &self.bounds)).collect();
+                    if self.bounds.contains(&src) && src != *point && !vals[v.0].contains_key(&src)
+                    {
+                        let mut delta = transform.apply(&src);
+                        let here = transform.apply(point);
+                        for (d, h) in delta.iter_mut().zip(&here) {
+                            *d -= h;
+                        }
+                        return Err(CompileError::CausalityViolation {
+                            var: self.func.var_name(v).to_string(),
+                            delta,
+                        });
+                    }
+                }
+                let v = self.eval(&a.rhs, point, a.var, &vals, inputs)?;
+                vals[a.var.0].insert(point.clone(), v);
+                did_work = true;
+            }
+            if did_work {
+                busy += 1;
+            }
+            for o in self.func.outputs() {
+                let fires = o.rhs.var_reads().iter().all(|(_, coords)| {
+                    coords
+                        .iter()
+                        .enumerate()
+                        .all(|(d, c)| c.eval(point, &self.bounds) == point[d])
+                });
+                if !fires {
+                    continue;
+                }
+                let val = self.eval(&o.rhs, point, o.rhs.var_reads()[0].0, &vals, inputs)?;
+                let coords: Vec<usize> = o
+                    .coords
+                    .iter()
+                    .map(|c| c.eval(point, &self.bounds) as usize)
+                    .collect();
+                if let Some(out) = outputs.get_mut(&o.tensor) {
+                    out.set(&coords, val);
+                }
+            }
+        }
+        Ok((outputs, (tmax - tmin + 1, busy)))
+    }
+
+    fn eval(
+        &self,
+        e: &Expr,
+        point: &[i64],
+        current_var: crate::func::VarId,
+        vals: &[HashMap<Vec<i64>, f64>],
+        inputs: &HashMap<TensorId, DenseTensor>,
+    ) -> Result<f64, CompileError> {
+        Ok(match e {
+            Expr::Const(v) => *v,
+            Expr::Input(t, coords) => {
+                let input = inputs.get(t).ok_or_else(|| {
+                    CompileError::Malformed(format!(
+                        "missing input tensor '{}'",
+                        self.func.tensor_name(*t)
+                    ))
+                })?;
+                let idx: Vec<usize> = coords
+                    .iter()
+                    .map(|c| c.eval(point, &self.bounds) as usize)
+                    .collect();
+                input.at(&idx)
+            }
+            Expr::Var(v, coords) => {
+                let src: Vec<i64> = coords.iter().map(|c| c.eval(point, &self.bounds)).collect();
+                if self.bounds.contains(&src) {
+                    vals[v.0].get(&src).copied().unwrap_or(0.0)
+                } else {
+                    // Out-of-bounds read: fall back to the variable's
+                    // current value at this point (boundary inputs loaded by
+                    // an earlier assignment in program order), else 0.
+                    let _ = current_var;
+                    vals[v.0].get(point).copied().unwrap_or(0.0)
+                }
+            }
+            Expr::Add(a, b) => {
+                self.eval(a, point, current_var, vals, inputs)?
+                    + self.eval(b, point, current_var, vals, inputs)?
+            }
+            Expr::Sub(a, b) => {
+                self.eval(a, point, current_var, vals, inputs)?
+                    - self.eval(b, point, current_var, vals, inputs)?
+            }
+            Expr::Mul(a, b) => {
+                self.eval(a, point, current_var, vals, inputs)?
+                    * self.eval(b, point, current_var, vals, inputs)?
+            }
+            Expr::Min(a, b) => self
+                .eval(a, point, current_var, vals, inputs)?
+                .min(self.eval(b, point, current_var, vals, inputs)?),
+            Expr::Max(a, b) => self
+                .eval(a, point, current_var, vals, inputs)?
+                .max(self.eval(b, point, current_var, vals, inputs)?),
+            Expr::Select { a, b, if_le, if_gt } => {
+                if self.eval(a, point, current_var, vals, inputs)?
+                    <= self.eval(b, point, current_var, vals, inputs)?
+                {
+                    self.eval(if_le, point, current_var, vals, inputs)?
+                } else {
+                    self.eval(if_gt, point, current_var, vals, inputs)?
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_tensor::DenseMatrix;
+
+    fn run_matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        let f = Functionality::matmul(m, n, k);
+        let bounds = Bounds::from_extents(&[m, n, k]);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::from_matrix(a));
+        // B is indexed B(k, j) in Listing 1: shape [K, N].
+        inputs.insert(tensors[1], DenseTensor::from_matrix(b));
+        let out = Executor::new(&f, &bounds).run(&inputs).unwrap();
+        out[&tensors[2]].to_matrix()
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let id = DenseMatrix::identity(2);
+        assert_eq!(run_matmul(&a, &id), a);
+    }
+
+    #[test]
+    fn matmul_matches_golden() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = DenseMatrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let got = run_matmul(&a, &b);
+        assert!(got.approx_eq(&a.matmul(&b), 1e-9));
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.5, -2.0, 3.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]);
+        let got = run_matmul(&a, &b);
+        assert!(got.approx_eq(&a.matmul(&b), 1e-9));
+    }
+
+    #[test]
+    fn tensor_shapes_derived_from_bounds() {
+        let f = Functionality::matmul(3, 4, 5);
+        let bounds = Bounds::from_extents(&[3, 4, 5]);
+        let e = Executor::new(&f, &bounds);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        assert_eq!(e.tensor_shape(tensors[0]), vec![3, 5]); // A(i, k)
+        assert_eq!(e.tensor_shape(tensors[1]), vec![5, 4]); // B(k, j)
+        assert_eq!(e.tensor_shape(tensors[2]), vec![3, 4]); // C(i, j)
+    }
+
+    #[test]
+    fn scheduled_run_matches_plain_run() {
+        use crate::transform::SpaceTimeTransform;
+        let f = Functionality::matmul(3, 4, 2);
+        let bounds = Bounds::from_extents(&[3, 4, 2]);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0, 1.0], &[0.0, 3.0, 1.0, -2.0]]);
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::from_matrix(&a));
+        inputs.insert(tensors[1], DenseTensor::from_matrix(&b));
+        let exec = Executor::new(&f, &bounds);
+        let plain = exec.run(&inputs).unwrap();
+        for t in [
+            SpaceTimeTransform::output_stationary(),
+            SpaceTimeTransform::input_stationary(),
+            SpaceTimeTransform::hexagonal(),
+            SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+        ] {
+            let (scheduled, (steps, busy)) = exec.run_scheduled(&t, &inputs).unwrap();
+            assert_eq!(scheduled[&tensors[2]], plain[&tensors[2]], "{t:?}");
+            assert!(steps > 0);
+            assert_eq!(busy, 3 * 4 * 2, "every point does work once");
+        }
+    }
+
+    #[test]
+    fn scheduled_run_rejects_acausal_transform() {
+        use crate::transform::SpaceTimeTransform;
+        // Time row (1, 1, -1): accumulation along k runs backwards in time
+        // — the schedule reads partial sums before producing them.
+        let t = SpaceTimeTransform::output_stationary()
+            .with_time_row(&[1, 1, -1])
+            .unwrap();
+        let f = Functionality::matmul(2, 2, 2);
+        let bounds = Bounds::from_extents(&[2, 2, 2]);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::from_matrix(&DenseMatrix::identity(2)));
+        inputs.insert(tensors[1], DenseTensor::from_matrix(&DenseMatrix::identity(2)));
+        let err = Executor::new(&f, &bounds).run_scheduled(&t, &inputs);
+        assert!(
+            matches!(err, Err(CompileError::CausalityViolation { .. })),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn missing_input_rejected() {
+        let f = Functionality::matmul(2, 2, 2);
+        let bounds = Bounds::from_extents(&[2, 2, 2]);
+        let err = Executor::new(&f, &bounds).run(&HashMap::new());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn misshaped_input_rejected() {
+        let f = Functionality::matmul(2, 2, 2);
+        let bounds = Bounds::from_extents(&[2, 2, 2]);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::zeros(&[3, 3]));
+        inputs.insert(tensors[1], DenseTensor::zeros(&[2, 2]));
+        assert!(Executor::new(&f, &bounds).run(&inputs).is_err());
+    }
+}

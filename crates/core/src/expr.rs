@@ -1,0 +1,239 @@
+//! The right-hand-side expression AST of Stellar's functional notation.
+
+use std::fmt;
+
+use crate::func::{TensorId, VarId};
+use crate::index::IdxExpr;
+
+/// A right-hand-side expression in a [`Functionality`] assignment.
+///
+/// Besides arithmetic, the AST supports `Min`/`Max` and `Select`, which the
+/// paper uses for "data-dependent accesses ... useful for specifying merging
+/// and sorting algorithms for sparse workloads" (§III-A).
+///
+/// [`Functionality`]: crate::func::Functionality
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// A scalar constant (e.g. the `0` initializing `c` in Listing 1).
+    Const(f64),
+    /// A read of an input tensor, e.g. `A(i, k)`.
+    Input(TensorId, Vec<IdxExpr>),
+    /// A read of an intermediate variable at a (possibly shifted) iteration
+    /// point, e.g. `a(i, j-1, k)`.
+    Var(VarId, Vec<IdxExpr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Element-wise minimum (merging/sorting primitives).
+    Min(Box<Expr>, Box<Expr>),
+    /// Element-wise maximum (merging/sorting primitives).
+    Max(Box<Expr>, Box<Expr>),
+    /// `if a <= b { c } else { d }` — the data-dependent selection primitive
+    /// used by merge networks.
+    Select {
+        /// Left comparison operand.
+        a: Box<Expr>,
+        /// Right comparison operand.
+        b: Box<Expr>,
+        /// Value when `a <= b`.
+        if_le: Box<Expr>,
+        /// Value when `a > b`.
+        if_gt: Box<Expr>,
+    },
+}
+
+impl Expr {
+    // These associated constructors deliberately share names with the
+    // `std::ops` traits: `Expr::add(a, b)` reads like the operation it
+    // builds, and there is no receiver to confuse with trait methods.
+    /// Convenience constructor: `lhs + rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor: `lhs - rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor: `lhs * rhs`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor: `min(lhs, rhs)`.
+    pub fn min(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Min(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor: `max(lhs, rhs)`.
+    pub fn max(lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Max(Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Convenience constructor for [`Expr::Select`].
+    pub fn select(a: Expr, b: Expr, if_le: Expr, if_gt: Expr) -> Expr {
+        Expr::Select {
+            a: Box::new(a),
+            b: Box::new(b),
+            if_le: Box::new(if_le),
+            if_gt: Box::new(if_gt),
+        }
+    }
+
+    /// All intermediate-variable reads `(var, coords)` in the expression.
+    pub fn var_reads(&self) -> Vec<(VarId, &[IdxExpr])> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Var(v, coords) = e {
+                out.push((*v, coords.as_slice()));
+            }
+        });
+        out
+    }
+
+    /// All input-tensor reads `(tensor, coords)` in the expression.
+    pub fn input_reads(&self) -> Vec<(TensorId, &[IdxExpr])> {
+        let mut out = Vec::new();
+        self.walk(&mut |e| {
+            if let Expr::Input(t, coords) = e {
+                out.push((*t, coords.as_slice()));
+            }
+        });
+        out
+    }
+
+    /// Number of multiplies in the expression (the MAC-counting basis of the
+    /// utilization metrics).
+    pub fn num_muls(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Mul(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of add/sub reductions in the expression.
+    pub fn num_adds(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Add(..) | Expr::Sub(..)) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of comparators (min/max/select) in the expression.
+    pub fn num_comparators(&self) -> usize {
+        let mut n = 0;
+        self.walk(&mut |e| {
+            if matches!(e, Expr::Min(..) | Expr::Max(..) | Expr::Select { .. }) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    fn walk<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Const(_) | Expr::Input(..) | Expr::Var(..) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+                a.walk(f);
+                b.walk(f);
+            }
+            Expr::Select { a, b, if_le, if_gt } => {
+                a.walk(f);
+                b.walk(f);
+                if_le.walk(f);
+                if_gt.walk(f);
+            }
+        }
+    }
+}
+
+impl From<f64> for Expr {
+    fn from(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Input(t, c) => write!(f, "in{}{:?}", t.0, c.len()),
+            Expr::Var(v, c) => write!(f, "var{}{:?}", v.0, c.len()),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Min(a, b) => write!(f, "min({a}, {b})"),
+            Expr::Max(a, b) => write!(f, "max({a}, {b})"),
+            Expr::Select { a, b, if_le, if_gt } => {
+                write!(f, "({a} <= {b} ? {if_le} : {if_gt})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{at, IndexId};
+
+    fn v(n: usize) -> VarId {
+        VarId(n)
+    }
+
+    #[test]
+    fn counts() {
+        let i = IndexId(0);
+        let mac = Expr::add(
+            Expr::Var(v(0), vec![at(i)]),
+            Expr::mul(Expr::Var(v(1), vec![at(i)]), Expr::Var(v(2), vec![at(i)])),
+        );
+        assert_eq!(mac.num_muls(), 1);
+        assert_eq!(mac.num_adds(), 1);
+        assert_eq!(mac.num_comparators(), 0);
+        assert_eq!(mac.var_reads().len(), 3);
+    }
+
+    #[test]
+    fn select_counts_as_comparator() {
+        let s = Expr::select(
+            Expr::Const(1.0),
+            Expr::Const(2.0),
+            Expr::Const(3.0),
+            Expr::Const(4.0),
+        );
+        assert_eq!(s.num_comparators(), 1);
+        let m = Expr::min(Expr::Const(1.0), Expr::Const(2.0));
+        assert_eq!(m.num_comparators(), 1);
+    }
+
+    #[test]
+    fn input_reads_collected() {
+        let i = IndexId(0);
+        let e = Expr::mul(
+            Expr::Input(TensorId(0), vec![at(i)]),
+            Expr::Input(TensorId(1), vec![at(i)]),
+        );
+        assert_eq!(e.input_reads().len(), 2);
+        assert!(e.var_reads().is_empty());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = Expr::add(Expr::Const(1.0), Expr::Const(2.0));
+        assert_eq!(format!("{e}"), "(1 + 2)");
+    }
+}

@@ -1,0 +1,574 @@
+//! The functionality specification: Stellar's Halide-like recurrence
+//! notation (§III-A of the paper).
+//!
+//! A [`Functionality`] declares a tensor iteration space (indices), the
+//! input/output tensors, intermediate variables, and assignments relating
+//! them. It is deliberately mutation-free and makes "no assumptions about
+//! the order, time, or place of each operation" — those concerns are added
+//! later by the dataflow, sparsity, and load-balancing specifications.
+
+use std::fmt;
+
+use crate::error::CompileError;
+use crate::expr::Expr;
+use crate::index::{at, shifted, IdxExpr, IndexId};
+
+/// An opaque handle to an input or output tensor of a [`Functionality`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TensorId(pub(crate) usize);
+
+/// An opaque handle to an intermediate variable of a [`Functionality`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct VarId(pub(crate) usize);
+
+/// Whether a tensor is consumed or produced by the accelerator.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TensorRole {
+    /// Read from a register file into the spatial array.
+    Input,
+    /// Written from the spatial array into a register file.
+    Output,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct TensorDecl {
+    pub name: String,
+    pub role: TensorRole,
+    /// The iterators indexing each tensor axis (e.g. `A(i, k)` → `[i, k]`).
+    pub axes: Vec<IndexId>,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct VarDecl {
+    pub name: String,
+}
+
+/// One assignment `var(lhs...) := expr` of the functional notation.
+///
+/// Pinned coordinates on the left-hand side (`j.lowerBound`) restrict the
+/// assignment to a boundary hyperplane of the iteration space, exactly as in
+/// Listing 1 of the paper.
+#[derive(Clone, Debug)]
+pub struct FuncAssign {
+    /// The assigned variable.
+    pub var: VarId,
+    /// One coordinate per iteration-space index.
+    pub lhs: Vec<IdxExpr>,
+    /// The right-hand side.
+    pub rhs: Expr,
+}
+
+/// One output assignment `Tensor(coords...) := expr`, e.g.
+/// `C(i, j) := c(i, j, k.upperBound)` (line 11 of Listing 1).
+#[derive(Clone, Debug)]
+pub struct OutputAssign {
+    /// The output tensor.
+    pub tensor: TensorId,
+    /// Tensor coordinates, one per tensor axis.
+    pub coords: Vec<IdxExpr>,
+    /// The value written (typically a pinned variable read).
+    pub rhs: Expr,
+}
+
+/// The complete functional specification of an accelerator kernel.
+///
+/// # Examples
+///
+/// Listing 1 of the paper, built programmatically (see
+/// [`Functionality::matmul`] for the canned version):
+///
+/// ```
+/// use stellar_core::func::Functionality;
+///
+/// let f = Functionality::matmul(4, 4, 4);
+/// assert_eq!(f.rank(), 3);
+/// assert_eq!(f.num_tensors(), 3); // A, B, C
+/// f.validate().unwrap();
+/// ```
+#[derive(Clone, Debug)]
+pub struct Functionality {
+    name: String,
+    index_names: Vec<String>,
+    tensors: Vec<TensorDecl>,
+    vars: Vec<VarDecl>,
+    assigns: Vec<FuncAssign>,
+    outputs: Vec<OutputAssign>,
+}
+
+impl Functionality {
+    /// Creates an empty functionality with the given name.
+    pub fn new(name: impl Into<String>) -> Functionality {
+        Functionality {
+            name: name.into(),
+            index_names: Vec::new(),
+            tensors: Vec::new(),
+            vars: Vec::new(),
+            assigns: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// The kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the kernel.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Clamps every output through a ReLU: `out := max(out, 0)`. Fusing an
+    /// activation into the output stage is the §II-A "functional
+    /// operations" axis of dense-accelerator variation.
+    pub fn replace_output_with_relu(&mut self) {
+        for o in &mut self.outputs {
+            let rhs = std::mem::replace(&mut o.rhs, Expr::Const(0.0));
+            o.rhs = Expr::max(rhs, Expr::Const(0.0));
+        }
+    }
+
+    /// Declares a new iteration-space index.
+    pub fn index(&mut self, name: impl Into<String>) -> IndexId {
+        self.index_names.push(name.into());
+        IndexId(self.index_names.len() - 1)
+    }
+
+    /// Declares an input tensor indexed by the given iterators.
+    pub fn input_tensor(&mut self, name: impl Into<String>, axes: &[IndexId]) -> TensorId {
+        self.tensors.push(TensorDecl {
+            name: name.into(),
+            role: TensorRole::Input,
+            axes: axes.to_vec(),
+        });
+        TensorId(self.tensors.len() - 1)
+    }
+
+    /// Declares an output tensor indexed by the given iterators.
+    pub fn output_tensor(&mut self, name: impl Into<String>, axes: &[IndexId]) -> TensorId {
+        self.tensors.push(TensorDecl {
+            name: name.into(),
+            role: TensorRole::Output,
+            axes: axes.to_vec(),
+        });
+        TensorId(self.tensors.len() - 1)
+    }
+
+    /// Declares an intermediate variable (always indexed by the full
+    /// iteration space).
+    pub fn var(&mut self, name: impl Into<String>) -> VarId {
+        self.vars.push(VarDecl { name: name.into() });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds an assignment `var(lhs...) := rhs`.
+    pub fn assign(&mut self, var: VarId, lhs: Vec<IdxExpr>, rhs: Expr) {
+        self.assigns.push(FuncAssign { var, lhs, rhs });
+    }
+
+    /// Adds an output assignment `tensor(coords...) := rhs`.
+    pub fn output(&mut self, tensor: TensorId, coords: Vec<IdxExpr>, rhs: Expr) {
+        self.outputs.push(OutputAssign {
+            tensor,
+            coords,
+            rhs,
+        });
+    }
+
+    /// Number of iteration-space indices.
+    pub fn rank(&self) -> usize {
+        self.index_names.len()
+    }
+
+    /// Number of declared tensors.
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// Number of declared intermediate variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// The declared assignments.
+    pub fn assigns(&self) -> &[FuncAssign] {
+        &self.assigns
+    }
+
+    /// The declared output assignments.
+    pub fn outputs(&self) -> &[OutputAssign] {
+        &self.outputs
+    }
+
+    /// The name of an index.
+    pub fn index_name(&self, idx: IndexId) -> &str {
+        &self.index_names[idx.0]
+    }
+
+    /// The name of a tensor.
+    pub fn tensor_name(&self, t: TensorId) -> &str {
+        &self.tensors[t.0].name
+    }
+
+    /// The role of a tensor.
+    pub fn tensor_role(&self, t: TensorId) -> TensorRole {
+        self.tensors[t.0].role
+    }
+
+    /// The iterators indexing a tensor's axes.
+    pub fn tensor_axes(&self, t: TensorId) -> &[IndexId] {
+        &self.tensors[t.0].axes
+    }
+
+    /// The name of a variable.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.vars[v.0].name
+    }
+
+    /// All tensor handles.
+    pub fn tensors(&self) -> impl Iterator<Item = TensorId> + '_ {
+        (0..self.tensors.len()).map(TensorId)
+    }
+
+    /// All variable handles.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        (0..self.vars.len()).map(VarId)
+    }
+
+    /// The *difference vector* of a variable (§IV-B of the paper): the
+    /// direction along which the variable's recurrence propagates data
+    /// through the iteration space. For `c(i,j,k) := c(i,j,k-1) + ...` this
+    /// is `(0, 0, 1)`.
+    ///
+    /// Returns `None` if the variable has no self-referencing recurrence, or
+    /// an error if multiple recurrences disagree.
+    pub fn difference_vector(&self, var: VarId) -> Result<Option<Vec<i64>>, CompileError> {
+        let mut found: Option<Vec<i64>> = None;
+        for a in &self.assigns {
+            if a.var != var || a.lhs.iter().any(|c| c.is_pinned()) {
+                continue;
+            }
+            for (v, coords) in a.rhs.var_reads() {
+                if v != var {
+                    continue;
+                }
+                // d = lhs - rhs: source point is p - d.
+                let d: Vec<i64> = coords.iter().map(|c| -c.offset()).collect();
+                match &found {
+                    Some(prev) if *prev != d => {
+                        return Err(CompileError::InconsistentRecurrence {
+                            var: self.var_name(var).to_string(),
+                        });
+                    }
+                    _ => found = Some(d),
+                }
+            }
+        }
+        Ok(found)
+    }
+
+    /// The IO tensor a variable loads from or stores to, with the iterators
+    /// indexing the tensor's axes. For `a(i, j.lowerBound, k) := A(i, k)`
+    /// this is `(A, [i, k])`.
+    pub fn tensor_binding(&self, var: VarId) -> Option<(TensorId, Vec<IndexId>)> {
+        // Input bindings: a boundary assignment reading a tensor.
+        for a in &self.assigns {
+            if a.var != var {
+                continue;
+            }
+            if let Some((t, coords)) = a.rhs.input_reads().into_iter().next() {
+                return Some((t, coords.iter().map(|c| c.index()).collect()));
+            }
+        }
+        // Output bindings: an output assignment reading this variable.
+        for o in &self.outputs {
+            for (v, _) in o.rhs.var_reads() {
+                if v == var {
+                    return Some((o.tensor, o.coords.iter().map(|c| c.index()).collect()));
+                }
+            }
+        }
+        None
+    }
+
+    /// The compute assignment of a variable: the unpinned assignment whose
+    /// right-hand side performs arithmetic (at least one multiply, add, or
+    /// comparator) rather than pure propagation.
+    pub fn compute_assign(&self, var: VarId) -> Option<&FuncAssign> {
+        self.assigns.iter().find(|a| {
+            a.var == var
+                && !a.lhs.iter().any(|c| c.is_pinned())
+                && (a.rhs.num_muls() + a.rhs.num_adds() + a.rhs.num_comparators()) > 0
+        })
+    }
+
+    /// Validates structural well-formedness: ranks agree, references are
+    /// declared, and recurrences only reference lexicographically earlier
+    /// points (offsets ≤ 0), which guarantees the functional notation has a
+    /// well-defined meaning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] describing the first violation found.
+    pub fn validate(&self) -> Result<(), CompileError> {
+        if self.rank() == 0 {
+            return Err(CompileError::Malformed("no iteration indices declared".into()));
+        }
+        if self.outputs.is_empty() {
+            return Err(CompileError::Malformed("no output assignments".into()));
+        }
+        for a in &self.assigns {
+            if a.var.0 >= self.vars.len() {
+                return Err(CompileError::Malformed("assignment to undeclared variable".into()));
+            }
+            if a.lhs.len() != self.rank() {
+                return Err(CompileError::Malformed(format!(
+                    "assignment to '{}' has {} lhs coords, expected {}",
+                    self.var_name(a.var),
+                    a.lhs.len(),
+                    self.rank()
+                )));
+            }
+            for (v, coords) in a.rhs.var_reads() {
+                if v.0 >= self.vars.len() {
+                    return Err(CompileError::Malformed("read of undeclared variable".into()));
+                }
+                if coords.len() != self.rank() {
+                    return Err(CompileError::Malformed(format!(
+                        "read of '{}' has wrong rank",
+                        self.var_name(v)
+                    )));
+                }
+                if coords.iter().any(|c| c.offset() > 0) {
+                    return Err(CompileError::Malformed(format!(
+                        "read of '{}' references a future iteration (positive offset)",
+                        self.var_name(v)
+                    )));
+                }
+            }
+            for (t, coords) in a.rhs.input_reads() {
+                if t.0 >= self.tensors.len() {
+                    return Err(CompileError::Malformed("read of undeclared tensor".into()));
+                }
+                if coords.len() != self.tensors[t.0].axes.len() {
+                    return Err(CompileError::Malformed(format!(
+                        "read of tensor '{}' has wrong rank",
+                        self.tensor_name(t)
+                    )));
+                }
+                if self.tensors[t.0].role != TensorRole::Input {
+                    return Err(CompileError::Malformed(format!(
+                        "tensor '{}' is an output but is read",
+                        self.tensor_name(t)
+                    )));
+                }
+            }
+        }
+        for o in &self.outputs {
+            if o.tensor.0 >= self.tensors.len() {
+                return Err(CompileError::Malformed("output to undeclared tensor".into()));
+            }
+            if self.tensors[o.tensor.0].role != TensorRole::Output {
+                return Err(CompileError::Malformed(format!(
+                    "tensor '{}' is an input but is written",
+                    self.tensor_name(o.tensor)
+                )));
+            }
+            if o.coords.len() != self.tensors[o.tensor.0].axes.len() {
+                return Err(CompileError::Malformed(format!(
+                    "output to tensor '{}' has wrong rank",
+                    self.tensor_name(o.tensor)
+                )));
+            }
+        }
+        // Every variable must have a consistent difference vector.
+        for v in self.vars() {
+            self.difference_vector(v)?;
+        }
+        Ok(())
+    }
+
+    /// The paper's running example (Listing 1): an `M×K` by `K×N` matrix
+    /// multiplication with systolic propagation of `a` along `j`, `b` along
+    /// `i`, and accumulation of `c` along `k`.
+    ///
+    /// The `m`, `n`, `k` arguments are recorded only in the kernel name;
+    /// concrete bounds are supplied at compile time via
+    /// [`AcceleratorSpec::with_bounds`].
+    ///
+    /// [`AcceleratorSpec::with_bounds`]: crate::spec::AcceleratorSpec::with_bounds
+    pub fn matmul(m: usize, n: usize, kdim: usize) -> Functionality {
+        let mut f = Functionality::new(format!("matmul_{m}x{n}x{kdim}"));
+        let i = f.index("i");
+        let j = f.index("j");
+        let k = f.index("k");
+        let ta = f.input_tensor("A", &[i, k]);
+        let tb = f.input_tensor("B", &[k, j]);
+        let tc = f.output_tensor("C", &[i, j]);
+        let a = f.var("a");
+        let b = f.var("b");
+        let c = f.var("c");
+
+        // Inputs (lines 2-4 of Listing 1).
+        f.assign(
+            a,
+            vec![at(i), IdxExpr::Lower(j), at(k)],
+            Expr::Input(ta, vec![at(i), at(k)]),
+        );
+        f.assign(
+            b,
+            vec![IdxExpr::Lower(i), at(j), at(k)],
+            Expr::Input(tb, vec![at(k), at(j)]),
+        );
+        f.assign(c, vec![at(i), at(j), IdxExpr::Lower(k)], Expr::Const(0.0));
+
+        // Intermediate calculations (lines 6-9).
+        f.assign(
+            a,
+            vec![at(i), at(j), at(k)],
+            Expr::Var(a, vec![at(i), shifted(j, -1), at(k)]),
+        );
+        f.assign(
+            b,
+            vec![at(i), at(j), at(k)],
+            Expr::Var(b, vec![shifted(i, -1), at(j), at(k)]),
+        );
+        f.assign(
+            c,
+            vec![at(i), at(j), at(k)],
+            Expr::add(
+                Expr::Var(c, vec![at(i), at(j), shifted(k, -1)]),
+                Expr::mul(
+                    Expr::Var(a, vec![at(i), shifted(j, -1), at(k)]),
+                    Expr::Var(b, vec![shifted(i, -1), at(j), at(k)]),
+                ),
+            ),
+        );
+
+        // Outputs (line 11).
+        f.output(
+            tc,
+            vec![at(i), at(j)],
+            Expr::Var(c, vec![at(i), at(j), IdxExpr::Upper(k)]),
+        );
+        f
+    }
+}
+
+impl fmt::Display for Functionality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Functionality({}, rank={}, tensors={}, vars={}, assigns={})",
+            self.name,
+            self.rank(),
+            self.tensors.len(),
+            self.vars.len(),
+            self.assigns.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_structure() {
+        let f = Functionality::matmul(4, 4, 4);
+        assert_eq!(f.rank(), 3);
+        assert_eq!(f.num_tensors(), 3);
+        assert_eq!(f.num_vars(), 3);
+        assert_eq!(f.assigns().len(), 6);
+        assert_eq!(f.outputs().len(), 1);
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn matmul_difference_vectors() {
+        let f = Functionality::matmul(4, 4, 4);
+        let vars: Vec<VarId> = f.vars().collect();
+        let (a, b, c) = (vars[0], vars[1], vars[2]);
+        assert_eq!(f.difference_vector(a).unwrap(), Some(vec![0, 1, 0]));
+        assert_eq!(f.difference_vector(b).unwrap(), Some(vec![1, 0, 0]));
+        assert_eq!(f.difference_vector(c).unwrap(), Some(vec![0, 0, 1]));
+    }
+
+    #[test]
+    fn matmul_tensor_bindings() {
+        let f = Functionality::matmul(4, 4, 4);
+        let vars: Vec<VarId> = f.vars().collect();
+        let (a, b, c) = (vars[0], vars[1], vars[2]);
+        let (ta, axes_a) = f.tensor_binding(a).unwrap();
+        assert_eq!(f.tensor_name(ta), "A");
+        assert_eq!(axes_a.len(), 2);
+        let (tb, _) = f.tensor_binding(b).unwrap();
+        assert_eq!(f.tensor_name(tb), "B");
+        let (tc, axes_c) = f.tensor_binding(c).unwrap();
+        assert_eq!(f.tensor_name(tc), "C");
+        assert_eq!(f.tensor_role(tc), TensorRole::Output);
+        assert_eq!(axes_c.len(), 2);
+    }
+
+    #[test]
+    fn matmul_compute_assign_is_mac() {
+        let f = Functionality::matmul(4, 4, 4);
+        let c = f.vars().nth(2).unwrap();
+        let mac = f.compute_assign(c).unwrap();
+        assert_eq!(mac.rhs.num_muls(), 1);
+        assert_eq!(mac.rhs.num_adds(), 1);
+        // Pure propagation variables have no compute assignment.
+        let a = f.vars().next().unwrap();
+        assert!(f.compute_assign(a).is_none());
+    }
+
+    #[test]
+    fn validate_rejects_future_reference() {
+        let mut f = Functionality::new("bad");
+        let i = f.index("i");
+        let t = f.output_tensor("O", &[i]);
+        let v = f.var("v");
+        f.assign(v, vec![at(i)], Expr::Var(v, vec![shifted(i, 1)]));
+        f.output(t, vec![at(i)], Expr::Var(v, vec![at(i)]));
+        assert!(matches!(f.validate(), Err(CompileError::Malformed(_))));
+    }
+
+    #[test]
+    fn validate_rejects_wrong_rank() {
+        let mut f = Functionality::new("bad");
+        let i = f.index("i");
+        let _j = f.index("j");
+        let t = f.output_tensor("O", &[i]);
+        let v = f.var("v");
+        f.assign(v, vec![at(i)], Expr::Const(0.0)); // rank 1, expected 2
+        f.output(t, vec![at(i)], Expr::Const(0.0));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_writing_inputs() {
+        let mut f = Functionality::new("bad");
+        let i = f.index("i");
+        let t = f.input_tensor("I", &[i]);
+        let v = f.var("v");
+        f.assign(v, vec![at(i)], Expr::Const(0.0));
+        f.output(t, vec![at(i)], Expr::Var(v, vec![at(i)]));
+        assert!(f.validate().is_err());
+    }
+
+    #[test]
+    fn inconsistent_recurrence_detected() {
+        let mut f = Functionality::new("bad");
+        let i = f.index("i");
+        let j = f.index("j");
+        let t = f.output_tensor("O", &[i, j]);
+        let v = f.var("v");
+        f.assign(v, vec![at(i), at(j)], Expr::Var(v, vec![shifted(i, -1), at(j)]));
+        f.assign(v, vec![at(i), at(j)], Expr::Var(v, vec![at(i), shifted(j, -1)]));
+        f.output(t, vec![at(i), at(j)], Expr::Var(v, vec![at(i), at(j)]));
+        assert!(matches!(
+            f.difference_vector(v),
+            Err(CompileError::InconsistentRecurrence { .. })
+        ));
+    }
+}

@@ -1,0 +1,224 @@
+//! Canned functionalities beyond the running matmul example.
+//!
+//! §II-A of the paper notes dense accelerators also differ "in the
+//! functional operations they can perform (e.g., ReLU, GeLU, or other
+//! activation functions)", and §III-A says the notation's data-dependent
+//! operations support "merging and sorting algorithms for sparse
+//! workloads". These constructors exercise those parts of the expression
+//! language end to end.
+
+use crate::expr::Expr;
+use crate::func::Functionality;
+use crate::index::{at, shifted, IdxExpr};
+
+impl Functionality {
+    /// A matmul fused with an output ReLU: `C(i,j) = max(Σ_k A·B, 0)`.
+    ///
+    /// Identical to [`Functionality::matmul`] except the output stage
+    /// clamps through a comparator, so compiled PEs gain a `max` unit
+    /// (visible in `comparators_per_pe`).
+    pub fn matmul_relu(m: usize, n: usize, k: usize) -> Functionality {
+        let mut f = Functionality::matmul_named(format!("matmul_relu_{m}x{n}x{k}"), m, n, k);
+        // Replace the plain output with a clamped one.
+        f.replace_output_with_relu();
+        f
+    }
+
+    /// Internal: the matmul builder with a custom name.
+    pub(crate) fn matmul_named(name: String, m: usize, n: usize, k: usize) -> Functionality {
+        let mut f = Functionality::matmul(m, n, k);
+        f.set_name(name);
+        f
+    }
+
+    /// An element-wise maximum reduction (max-pooling over pre-gathered
+    /// windows): `Out(i) = max_w In(i, w)`.
+    ///
+    /// The iteration space is `(i, w)`; `In` holds each pooling window as a
+    /// row (the im2col-style gathering a DMA performs), and the running
+    /// maximum `m` propagates along `w` exactly as matmul's accumulator
+    /// propagates along `k`.
+    pub fn max_pool(positions: usize, window: usize) -> Functionality {
+        let mut f = Functionality::new(format!("max_pool_{positions}x{window}"));
+        let i = f.index("i");
+        let w = f.index("w");
+        let input = f.input_tensor("In", &[i, w]);
+        let out = f.output_tensor("Out", &[i]);
+        let m = f.var("m");
+        // Initialize the running max with the first window element, then
+        // fold the rest in.
+        f.assign(
+            m,
+            vec![at(i), IdxExpr::Lower(w)],
+            Expr::Input(input, vec![at(i), at(w)]),
+        );
+        f.assign(
+            m,
+            vec![at(i), at(w)],
+            Expr::max(
+                Expr::Var(m, vec![at(i), shifted(w, -1)]),
+                Expr::Input(input, vec![at(i), at(w)]),
+            ),
+        );
+        f.output(out, vec![at(i)], Expr::Var(m, vec![at(i), IdxExpr::Upper(w)]));
+        f
+    }
+
+    /// A two-stream sorted-merge step in the style of the paper's merger
+    /// arrays: for each output slot, selects the smaller of two candidate
+    /// streams' elements (`Select`), the primitive from which merge
+    /// networks are built (§III-A, Figure 19).
+    ///
+    /// `Out(i, s) = A(i, s) <= B(i, s) ? A(i, s) : B(i, s)` folded with a
+    /// running minimum along `s`, so each lane `i` emits the minimum of its
+    /// two streams' prefixes.
+    pub fn merge_select(lanes: usize, steps: usize) -> Functionality {
+        let mut f = Functionality::new(format!("merge_select_{lanes}x{steps}"));
+        let i = f.index("i");
+        let s = f.index("s");
+        let a = f.input_tensor("A", &[i, s]);
+        let b = f.input_tensor("B", &[i, s]);
+        let out = f.output_tensor("Out", &[i, s]);
+        let v = f.var("v");
+        // Data-dependent selection of the smaller head.
+        let pick = Expr::select(
+            Expr::Input(a, vec![at(i), at(s)]),
+            Expr::Input(b, vec![at(i), at(s)]),
+            Expr::Input(a, vec![at(i), at(s)]),
+            Expr::Input(b, vec![at(i), at(s)]),
+        );
+        // Running minimum along s makes the emitted stream non-decreasing
+        // from sorted inputs.
+        f.assign(v, vec![at(i), IdxExpr::Lower(s)], pick.clone());
+        f.assign(
+            v,
+            vec![at(i), at(s)],
+            Expr::max(Expr::Var(v, vec![at(i), shifted(s, -1)]), pick),
+        );
+        f.output(out, vec![at(i), at(s)], Expr::Var(v, vec![at(i), at(s)]));
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    use super::*;
+    use crate::exec::Executor;
+    use crate::index::Bounds;
+    use crate::spec::{compile, AcceleratorSpec};
+    use stellar_tensor::{DenseMatrix, DenseTensor};
+
+    #[test]
+    fn matmul_relu_clamps_negatives() {
+        let f = Functionality::matmul_relu(2, 2, 2);
+        f.validate().unwrap();
+        let tensors: Vec<_> = f.tensors().collect();
+        let a = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, -1.0]]);
+        let b = DenseMatrix::from_rows(&[&[3.0, -4.0], &[5.0, 6.0]]);
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::from_matrix(&a));
+        inputs.insert(tensors[1], DenseTensor::from_matrix(&b));
+        let out = Executor::new(&f, &Bounds::from_extents(&[2, 2, 2]))
+            .run(&inputs)
+            .unwrap()[&tensors[2]]
+            .to_matrix();
+        let plain = a.matmul(&b);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(out.at(r, c), plain.at(r, c).max(0.0), "({r},{c})");
+            }
+        }
+        // Some element must actually have been clamped for the test to bite.
+        assert!(plain.at(0, 1) < 0.0);
+        assert_eq!(out.at(0, 1), 0.0);
+    }
+
+    #[test]
+    fn matmul_relu_compiles_with_comparators() {
+        let spec = AcceleratorSpec::new("relu", Functionality::matmul_relu(4, 4, 4));
+        let d = compile(&spec).unwrap();
+        // The ReLU comparator shows up in the PE description.
+        assert!(d.spatial_arrays[0].comparators_per_pe >= 1);
+    }
+
+    #[test]
+    fn max_pool_matches_scalar_model() {
+        let f = Functionality::max_pool(3, 4);
+        f.validate().unwrap();
+        let tensors: Vec<_> = f.tensors().collect();
+        let mut input = DenseTensor::zeros(&[3, 4]);
+        let data = [
+            [0.5, -1.0, 2.0, 0.25],
+            [-3.0, -2.0, -4.0, -1.5],
+            [7.0, 7.0, 6.0, 8.0],
+        ];
+        for (i, row) in data.iter().enumerate() {
+            for (w, &v) in row.iter().enumerate() {
+                input.set(&[i, w], v);
+            }
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], input);
+        let out = Executor::new(&f, &Bounds::from_extents(&[3, 4]))
+            .run(&inputs)
+            .unwrap();
+        let got = &out[&tensors[1]];
+        assert_eq!(got.at(&[0]), 2.0);
+        assert_eq!(got.at(&[1]), -1.5);
+        assert_eq!(got.at(&[2]), 8.0);
+    }
+
+    #[test]
+    fn max_pool_compiles_to_comparator_array() {
+        let spec = AcceleratorSpec::new("pool", Functionality::max_pool(4, 4))
+            .with_bounds(Bounds::from_extents(&[4, 4]));
+        let d = compile(&spec).unwrap();
+        assert!(d.spatial_arrays[0].comparators_per_pe >= 1);
+        // No multipliers: a pure comparator array.
+        assert_eq!(d.spatial_arrays[0].macs_per_pe, 0);
+    }
+
+    #[test]
+    fn merge_select_emits_nondecreasing_lanes() {
+        let f = Functionality::merge_select(2, 4);
+        f.validate().unwrap();
+        let tensors: Vec<_> = f.tensors().collect();
+        let mut a = DenseTensor::zeros(&[2, 4]);
+        let mut b = DenseTensor::zeros(&[2, 4]);
+        for (s, &v) in [1.0, 3.0, 5.0, 7.0].iter().enumerate() {
+            a.set(&[0, s], v);
+            a.set(&[1, s], v * 10.0);
+        }
+        for (s, &v) in [2.0, 4.0, 6.0, 8.0].iter().enumerate() {
+            b.set(&[0, s], v);
+            b.set(&[1, s], v * 10.0);
+        }
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], a);
+        inputs.insert(tensors[1], b);
+        let out = Executor::new(&f, &Bounds::from_extents(&[2, 4]))
+            .run(&inputs)
+            .unwrap();
+        let got = &out[&tensors[2]];
+        for lane in 0..2 {
+            for s in 1..4 {
+                assert!(
+                    got.at(&[lane, s]) >= got.at(&[lane, s - 1]),
+                    "lane {lane} not monotone at {s}"
+                );
+            }
+        }
+        // The first emitted element is the smaller head.
+        assert_eq!(got.at(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn merge_select_compiles_with_select_comparators() {
+        let spec = AcceleratorSpec::new("merge", Functionality::merge_select(4, 4))
+            .with_bounds(Bounds::from_extents(&[4, 4]));
+        let d = compile(&spec).unwrap();
+        assert!(d.spatial_arrays[0].comparators_per_pe >= 2);
+    }
+}

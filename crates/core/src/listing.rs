@@ -1,0 +1,163 @@
+//! Rendering functionalities back into the paper's listing notation.
+//!
+//! `Functionality::to_listing()` produces the Halide-like text of §III-A —
+//! for the canned matmul it reproduces Listing 1 of the paper — so that
+//! specifications written through the Rust builder API can be reviewed in
+//! the notation architects know from the paper.
+
+use std::fmt::Write;
+
+use crate::expr::Expr;
+use crate::func::{Functionality, TensorRole};
+use crate::index::IdxExpr;
+
+fn idx_str(f: &Functionality, e: IdxExpr) -> String {
+    match e {
+        IdxExpr::At { idx, offset } => {
+            let name = f.index_name(idx);
+            match offset.cmp(&0) {
+                std::cmp::Ordering::Equal => name.to_string(),
+                std::cmp::Ordering::Greater => format!("{name}+{offset}"),
+                std::cmp::Ordering::Less => format!("{name}{offset}"),
+            }
+        }
+        IdxExpr::Lower(idx) => format!("{}.lowerBound", f.index_name(idx)),
+        IdxExpr::Upper(idx) => format!("{}.upperBound", f.index_name(idx)),
+    }
+}
+
+fn coords_str(f: &Functionality, coords: &[IdxExpr]) -> String {
+    coords
+        .iter()
+        .map(|&c| idx_str(f, c))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn expr_str(f: &Functionality, e: &Expr) -> String {
+    match e {
+        Expr::Const(v) => {
+            if *v == v.trunc() {
+                format!("{}", *v as i64)
+            } else {
+                format!("{v}")
+            }
+        }
+        Expr::Input(t, coords) => format!("{}({})", f.tensor_name(*t), coords_str(f, coords)),
+        Expr::Var(v, coords) => format!("{}({})", f.var_name(*v), coords_str(f, coords)),
+        Expr::Add(a, b) => format!("{} + {}", expr_str(f, a), expr_str(f, b)),
+        Expr::Sub(a, b) => format!("{} - {}", expr_str(f, a), expr_str(f, b)),
+        Expr::Mul(a, b) => format!("{} * {}", expr_str(f, a), expr_str(f, b)),
+        Expr::Min(a, b) => format!("min({}, {})", expr_str(f, a), expr_str(f, b)),
+        Expr::Max(a, b) => format!("max({}, {})", expr_str(f, a), expr_str(f, b)),
+        Expr::Select { a, b, if_le, if_gt } => format!(
+            "({} <= {} ? {} : {})",
+            expr_str(f, a),
+            expr_str(f, b),
+            expr_str(f, if_le),
+            expr_str(f, if_gt)
+        ),
+    }
+}
+
+impl Functionality {
+    /// Renders the functionality in the paper's listing notation, with the
+    /// `// Inputs` / `// Intermediate calculations` / `// Outputs`
+    /// sectioning of Listing 1.
+    pub fn to_listing(&self) -> String {
+        let mut out = String::new();
+        let is_input = |a: &crate::func::FuncAssign| !a.rhs.input_reads().is_empty()
+            || (a.rhs.var_reads().is_empty() && a.lhs.iter().any(|c| c.is_pinned()));
+        let _ = writeln!(out, "// Inputs");
+        for a in self.assigns().iter().filter(|a| is_input(a)) {
+            let _ = writeln!(
+                out,
+                "{}({}) := {}",
+                self.var_name(a.var),
+                coords_str(self, &a.lhs),
+                expr_str(self, &a.rhs)
+            );
+        }
+        let _ = writeln!(out, "// Intermediate calculations");
+        for a in self.assigns().iter().filter(|a| !is_input(a)) {
+            let _ = writeln!(
+                out,
+                "{}({}) := {}",
+                self.var_name(a.var),
+                coords_str(self, &a.lhs),
+                expr_str(self, &a.rhs)
+            );
+        }
+        let _ = writeln!(out, "// Outputs");
+        for o in self.outputs() {
+            let _ = writeln!(
+                out,
+                "{}({}) := {}",
+                self.tensor_name(o.tensor),
+                coords_str(self, &o.coords),
+                expr_str(self, &o.rhs)
+            );
+        }
+        out
+    }
+
+    /// Renders the tensor declarations (`A(i, k): input`, ...).
+    pub fn tensor_declarations(&self) -> String {
+        let mut out = String::new();
+        for t in self.tensors() {
+            let axes: Vec<&str> = self.tensor_axes(t).iter().map(|&a| self.index_name(a)).collect();
+            let role = match self.tensor_role(t) {
+                TensorRole::Input => "input",
+                TensorRole::Output => "output",
+            };
+            let _ = writeln!(out, "{}({}): {role}", self.tensor_name(t), axes.join(", "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_reproduces_listing_1() {
+        let f = Functionality::matmul(4, 4, 4);
+        let listing = f.to_listing();
+        // The exact lines of the paper's Listing 1 (modulo formatting).
+        assert!(listing.contains("a(i, j.lowerBound, k) := A(i, k)"));
+        assert!(listing.contains("b(i.lowerBound, j, k) := B(k, j)"));
+        assert!(listing.contains("c(i, j, k.lowerBound) := 0"));
+        assert!(listing.contains("a(i, j, k) := a(i, j-1, k)"));
+        assert!(listing.contains("b(i, j, k) := b(i-1, j, k)"));
+        assert!(listing.contains("c(i, j, k) := c(i, j, k-1) + a(i, j-1, k) * b(i-1, j, k)"));
+        assert!(listing.contains("C(i, j) := c(i, j, k.upperBound)"));
+        // Sectioning comments as in the paper.
+        assert!(listing.contains("// Inputs"));
+        assert!(listing.contains("// Intermediate calculations"));
+        assert!(listing.contains("// Outputs"));
+    }
+
+    #[test]
+    fn relu_listing_shows_max() {
+        let f = Functionality::matmul_relu(2, 2, 2);
+        assert!(f.to_listing().contains("C(i, j) := max(c(i, j, k.upperBound), 0)"));
+    }
+
+    #[test]
+    fn tensor_declarations_list_roles() {
+        let f = Functionality::matmul(2, 2, 2);
+        let d = f.tensor_declarations();
+        assert!(d.contains("A(i, k): input"));
+        assert!(d.contains("B(k, j): input"));
+        assert!(d.contains("C(i, j): output"));
+    }
+
+    #[test]
+    fn merge_select_listing_shows_select() {
+        let f = Functionality::merge_select(2, 2);
+        let l = f.to_listing();
+        assert!(l.contains("<="), "select renders as a ternary: {l}");
+        assert!(l.contains("?"));
+    }
+}

@@ -1,0 +1,386 @@
+//! Private memory buffer specifications (§III-E, §IV-C of the paper).
+//!
+//! A [`MemorySpec`] describes one scratchpad: the fibertree format of each
+//! axis of the tensor it stores, its capacity and port width, and optionally
+//! *hardcoded* read parameters (Listing 6). Hardcoding the access pattern
+//! lets the compiler simplify address generators and — more importantly —
+//! prove the order in which elements leave the buffer, enabling the register
+//! file optimizations of §IV-D.
+
+use std::fmt;
+
+use stellar_tensor::AxisFormat;
+
+use crate::error::CompileError;
+use crate::func::TensorId;
+
+/// The emission order of a hardcoded memory read pattern.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EmissionOrder {
+    /// Plain row-major (last axis fastest).
+    RowMajor,
+    /// Column-major (first axis fastest).
+    ColMajor,
+    /// Anti-diagonal wavefronts, as in Figure 13a: elements with equal
+    /// coordinate-sum are emitted together, earliest wavefront first. This
+    /// is the skewed order a systolic array consumes operands in.
+    Wavefront,
+}
+
+/// Hardcoded read/write request parameters (Listing 6 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use stellar_core::HardcodedParams;
+/// use stellar_core::memory::EmissionOrder;
+///
+/// // x.read_req.spans(0) -> 4, x.read_req.spans(1) -> 4 (Listing 6).
+/// let p = HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront);
+/// let seq = p.emission_sequence();
+/// assert_eq!(seq[0], vec![0, 0]);           // t=0
+/// assert_eq!(&seq[1..3], &[vec![1, 0], vec![0, 1]]); // t=1
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HardcodedParams {
+    spans: Vec<usize>,
+    order: EmissionOrder,
+}
+
+impl HardcodedParams {
+    /// Creates hardcoded parameters with the given per-axis spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any span is zero.
+    pub fn new(spans: Vec<usize>, order: EmissionOrder) -> HardcodedParams {
+        assert!(spans.iter().all(|&s| s > 0), "spans must be non-zero");
+        HardcodedParams { spans, order }
+    }
+
+    /// The hardcoded per-axis spans.
+    pub fn spans(&self) -> &[usize] {
+        &self.spans
+    }
+
+    /// The emission order.
+    pub fn order(&self) -> EmissionOrder {
+        self.order
+    }
+
+    /// The full coordinate sequence in emission order. This is the
+    /// producer-side [`AccessOrder`] used by the regfile optimizer.
+    ///
+    /// [`AccessOrder`]: crate::regfile::AccessOrder
+    pub fn emission_sequence(&self) -> Vec<Vec<i64>> {
+        let total: usize = self.spans.iter().product();
+        let mut coords = Vec::with_capacity(total);
+        let mut cur = vec![0i64; self.spans.len()];
+        for _ in 0..total {
+            coords.push(cur.clone());
+            for d in (0..self.spans.len()).rev() {
+                cur[d] += 1;
+                if (cur[d] as usize) < self.spans[d] {
+                    break;
+                }
+                cur[d] = 0;
+            }
+        }
+        self.sort(&mut coords);
+        coords
+    }
+
+    /// The emission order as a timed [`AccessOrder`]: row-/column-major
+    /// patterns emit one element per cycle; wavefront patterns emit a whole
+    /// anti-diagonal per cycle (the `t=0, t=1, ...` rows of Figure 13a).
+    ///
+    /// [`AccessOrder`]: crate::regfile::AccessOrder
+    pub fn emission_order(&self) -> crate::regfile::AccessOrder {
+        let seq = self.emission_sequence();
+        match self.order {
+            EmissionOrder::Wavefront => crate::regfile::AccessOrder::new(
+                seq.into_iter().map(|c| (c.iter().sum(), c)).collect(),
+            ),
+            EmissionOrder::RowMajor | EmissionOrder::ColMajor => {
+                crate::regfile::AccessOrder::from_coords(seq)
+            }
+        }
+    }
+
+    fn sort(&self, coords: &mut [Vec<i64>]) {
+        match self.order {
+            EmissionOrder::RowMajor => coords.sort(),
+            EmissionOrder::ColMajor => {
+                coords.sort_by(|a, b| {
+                    a.iter().rev().cmp(b.iter().rev())
+                });
+            }
+            EmissionOrder::Wavefront => {
+                // Figure 13a: by coordinate-sum, then by descending first
+                // coordinate within a wavefront: (1,0) before (0,1).
+                coords.sort_by(|a, b| {
+                    let sa: i64 = a.iter().sum();
+                    let sb: i64 = b.iter().sum();
+                    sa.cmp(&sb).then_with(|| b[0].cmp(&a[0]))
+                });
+            }
+        }
+    }
+}
+
+/// The kind of address-generation pipeline stage an axis requires
+/// (Figure 12 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageKind {
+    /// Simple strided address generator (Dense axes).
+    DirectAddressGen,
+    /// Indirect metadata lookup into an SRAM (Compressed, Bitvector,
+    /// LinkedList axes).
+    IndirectLookup,
+}
+
+/// One read/write pipeline stage of a private memory buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StageDesc {
+    /// Which tensor axis this stage handles.
+    pub axis: usize,
+    /// The axis format.
+    pub format: AxisFormat,
+    /// The generated hardware kind.
+    pub kind: StageKind,
+}
+
+/// The specification of one private memory buffer.
+///
+/// # Examples
+///
+/// A block-CRS buffer (Figure 12): dense block rows, compressed block
+/// columns, dense intra-block coordinates — four pipeline stages, one per
+/// axis.
+///
+/// ```
+/// use stellar_core::{Functionality, MemorySpec};
+/// use stellar_tensor::AxisFormat::{Compressed, Dense};
+///
+/// let f = Functionality::matmul(4, 4, 4);
+/// let b = f.tensors().nth(1).unwrap();
+/// let spec = MemorySpec::new("SRAM_B", b, vec![Dense, Compressed, Dense, Dense])
+///     .with_capacity(16 * 1024)
+///     .with_width(4);
+/// assert_eq!(spec.pipeline_stages().len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct MemorySpec {
+    name: String,
+    tensor: TensorId,
+    formats: Vec<AxisFormat>,
+    capacity_words: usize,
+    width_elems: usize,
+    banks: usize,
+    hardcoded: Option<HardcodedParams>,
+}
+
+impl MemorySpec {
+    /// Creates a memory spec for a tensor with per-axis formats.
+    pub fn new(name: impl Into<String>, tensor: TensorId, formats: Vec<AxisFormat>) -> MemorySpec {
+        MemorySpec {
+            name: name.into(),
+            tensor,
+            formats,
+            capacity_words: 4096,
+            width_elems: 1,
+            banks: 1,
+            hardcoded: None,
+        }
+    }
+
+    /// Sets the capacity in data words.
+    pub fn with_capacity(mut self, words: usize) -> MemorySpec {
+        self.capacity_words = words;
+        self
+    }
+
+    /// Sets the access width in elements per cycle.
+    pub fn with_width(mut self, elems: usize) -> MemorySpec {
+        self.width_elems = elems;
+        self
+    }
+
+    /// Sets the number of banks.
+    pub fn with_banks(mut self, banks: usize) -> MemorySpec {
+        self.banks = banks;
+        self
+    }
+
+    /// Hardcodes the read request parameters (Listing 6).
+    pub fn with_hardcoded(mut self, params: HardcodedParams) -> MemorySpec {
+        self.hardcoded = Some(params);
+        self
+    }
+
+    /// The buffer name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tensor stored in this buffer.
+    pub fn tensor(&self) -> TensorId {
+        self.tensor
+    }
+
+    /// The per-axis fibertree formats.
+    pub fn formats(&self) -> &[AxisFormat] {
+        &self.formats
+    }
+
+    /// Capacity in data words.
+    pub fn capacity_words(&self) -> usize {
+        self.capacity_words
+    }
+
+    /// Access width in elements per cycle.
+    pub fn width_elems(&self) -> usize {
+        self.width_elems
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// The hardcoded parameters, if any.
+    pub fn hardcoded(&self) -> Option<&HardcodedParams> {
+        self.hardcoded.as_ref()
+    }
+
+    /// Returns `true` if any axis stores sparse metadata.
+    pub fn is_sparse(&self) -> bool {
+        self.formats.iter().any(|f| f.is_compressing())
+    }
+
+    /// The read/write pipeline stages generated for this buffer, one per
+    /// axis (Figure 12 of the paper).
+    pub fn pipeline_stages(&self) -> Vec<StageDesc> {
+        self.formats
+            .iter()
+            .enumerate()
+            .map(|(axis, &format)| StageDesc {
+                axis,
+                format,
+                kind: if format.is_compressing() {
+                    StageKind::IndirectLookup
+                } else {
+                    StageKind::DirectAddressGen
+                },
+            })
+            .collect()
+    }
+
+    /// Validates the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompileError::BadMemorySpec`] if the spec is degenerate
+    /// (no axes, zero width/capacity, or hardcoded rank mismatch).
+    pub fn validate(&self) -> Result<(), CompileError> {
+        if self.formats.is_empty() {
+            return Err(CompileError::BadMemorySpec(format!(
+                "buffer '{}' has no axes",
+                self.name
+            )));
+        }
+        if self.capacity_words == 0 || self.width_elems == 0 || self.banks == 0 {
+            return Err(CompileError::BadMemorySpec(format!(
+                "buffer '{}' has zero capacity, width, or banks",
+                self.name
+            )));
+        }
+        if let Some(h) = &self.hardcoded {
+            if h.spans().len() != self.formats.len() {
+                return Err(CompileError::BadMemorySpec(format!(
+                    "buffer '{}' hardcodes {} spans for {} axes",
+                    self.name,
+                    h.spans().len(),
+                    self.formats.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for MemorySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MemorySpec({}, {:?}, {} words, {} wide)",
+            self.name, self.formats, self.capacity_words, self.width_elems
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Functionality;
+    use AxisFormat::{Compressed, Dense};
+
+    fn tensor0() -> TensorId {
+        Functionality::matmul(2, 2, 2).tensors().next().unwrap()
+    }
+
+    #[test]
+    fn wavefront_matches_figure_13a() {
+        let p = HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront);
+        let seq = p.emission_sequence();
+        assert_eq!(seq.len(), 16);
+        // Figure 13a rows: t=0 (0,0); t=1 (1,0),(0,1); t=2 (2,0),(1,1),(0,2)...
+        assert_eq!(seq[0], vec![0, 0]);
+        assert_eq!(&seq[1..3], &[vec![1, 0], vec![0, 1]]);
+        assert_eq!(&seq[3..6], &[vec![2, 0], vec![1, 1], vec![0, 2]]);
+        assert_eq!(seq[15], vec![3, 3]);
+    }
+
+    #[test]
+    fn row_and_col_major_orders() {
+        let rm = HardcodedParams::new(vec![2, 2], EmissionOrder::RowMajor).emission_sequence();
+        assert_eq!(rm, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+        let cm = HardcodedParams::new(vec![2, 2], EmissionOrder::ColMajor).emission_sequence();
+        assert_eq!(cm, vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
+    }
+
+    #[test]
+    fn block_crs_has_four_stages() {
+        let spec = MemorySpec::new("bcrs", tensor0(), vec![Dense, Compressed, Dense, Dense]);
+        let stages = spec.pipeline_stages();
+        assert_eq!(stages.len(), 4);
+        assert_eq!(stages[0].kind, StageKind::DirectAddressGen);
+        assert_eq!(stages[1].kind, StageKind::IndirectLookup);
+        assert!(spec.is_sparse());
+    }
+
+    #[test]
+    fn dense_buffer_not_sparse() {
+        let spec = MemorySpec::new("d", tensor0(), vec![Dense, Dense]);
+        assert!(!spec.is_sparse());
+        spec.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_specs() {
+        let spec = MemorySpec::new("x", tensor0(), vec![]);
+        assert!(spec.validate().is_err());
+        let spec = MemorySpec::new("x", tensor0(), vec![Dense]).with_width(0);
+        assert!(spec.validate().is_err());
+        let spec = MemorySpec::new("x", tensor0(), vec![Dense, Dense]).with_hardcoded(
+            HardcodedParams::new(vec![4], EmissionOrder::RowMajor),
+        );
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_span_panics() {
+        let _ = HardcodedParams::new(vec![4, 0], EmissionOrder::RowMajor);
+    }
+}

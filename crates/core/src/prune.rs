@@ -1,0 +1,327 @@
+//! Connection-pruning passes: sparsity (§IV-B) and load balancing.
+//!
+//! Starting from the baseline dense `IterationSpace`, these passes remove
+//! the `Point2PointConn`s that are "no longer *guaranteed* to transmit
+//! useful non-zero values in every single cycle" and replace them with
+//! `IOConn`s to outer register files (the Figure 2a → Figure 4 change).
+
+use crate::balance::{Granularity, ShiftSpec};
+use crate::func::{Functionality, TensorRole, VarId};
+use crate::iterspace::{IOConn, IoDir, IterationSpace, Point2PointConn};
+use crate::sparsity::SkipSpec;
+
+/// Statistics from a pruning pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Connections removed and replaced with IO connections.
+    pub removed: usize,
+    /// Connections retained but widened to bundles (`OptimisticSkip`).
+    pub bundled: usize,
+    /// IO connections added as replacements.
+    pub added_io: usize,
+}
+
+impl PruneReport {
+    /// Combines two reports (e.g. the sparsity pass and the balance pass).
+    pub fn merge(self, other: PruneReport) -> PruneReport {
+        PruneReport {
+            removed: self.removed + other.removed,
+            bundled: self.bundled + other.bundled,
+            added_io: self.added_io + other.added_io,
+        }
+    }
+}
+
+/// Decides whether a connection's data-identity guarantee is broken by a
+/// skip clause.
+///
+/// The connection carries variable `v`, whose underlying tensor is indexed
+/// by the iterators `axes`; the connection's difference vector is `d`. For
+/// every tensor axis `s` that the clause skips, the expanded coordinate
+/// `s = f(governing..., s_compressed)` must be provably equal at both
+/// endpoints: `Δs == 0` *and* `Δg == 0` for every iterator in the clause's
+/// guard set. If the variable's tensor is not indexed by any skipped
+/// iterator, the clause cannot break the connection (e.g. `A(i, k)` keeps
+/// streaming along `j` even when `j` is skipped).
+fn conn_broken_by(
+    func: &Functionality,
+    var: VarId,
+    diff: &[i64],
+    skip: &SkipSpec,
+) -> bool {
+    let Some((_tensor, axes)) = func.tensor_binding(var) else {
+        return false;
+    };
+    for axis_iter in &axes {
+        if skip.skips(*axis_iter) {
+            // Guarantee requires zero movement along the skipped iterator
+            // and along every governing iterator of its expansion function.
+            for g in skip.guard_set() {
+                if diff[g.pos()] != 0 {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Applies the sparsity specifications to the iteration space, removing (or
+/// bundling, for `OptimisticSkip`) the connections whose guarantees break,
+/// and adding replacement IO connections.
+pub fn apply_sparsity(
+    is: &mut IterationSpace,
+    func: &Functionality,
+    skips: &[SkipSpec],
+) -> PruneReport {
+    let mut report = PruneReport::default();
+    let mut removed: Vec<Point2PointConn> = Vec::new();
+
+    let conns = is.conns_mut();
+    let mut kept = Vec::with_capacity(conns.len());
+    for mut conn in conns.drain(..) {
+        let mut drop_conn = false;
+        for skip in skips {
+            if conn_broken_by(func, conn.var, &conn.diff, skip) {
+                if skip.is_optimistic() {
+                    // Keep the wire but widen it to a candidate bundle
+                    // (Figure 5).
+                    conn.bundle = conn.bundle.max(skip.bundle());
+                    report.bundled += 1;
+                } else {
+                    drop_conn = true;
+                    break;
+                }
+            }
+        }
+        if drop_conn {
+            removed.push(conn);
+            report.removed += 1;
+        } else {
+            kept.push(conn);
+        }
+    }
+    *conns = kept;
+
+    report.added_io += replace_with_io(is, func, &removed);
+    report
+}
+
+/// Applies the load-balancing specifications. Per-PE-granularity shifts
+/// prune connections into rebalanced points (Figure 10b): a PE that may
+/// independently take foreign work can no longer rely on its neighbours'
+/// wires carrying the inputs it needs. Row-group shifts preserve all
+/// connections (Figure 10a).
+pub fn apply_balance(
+    is: &mut IterationSpace,
+    func: &Functionality,
+    shifts: &[ShiftSpec],
+) -> PruneReport {
+    let mut report = PruneReport::default();
+    let mut removed: Vec<Point2PointConn> = Vec::new();
+
+    for shift in shifts {
+        if shift.granularity() != Granularity::PerPe {
+            continue;
+        }
+        let dst_region = shift.dst();
+        // Decide first (immutable borrow), then split (mutable borrow).
+        let doomed: Vec<bool> = is
+            .conns()
+            .iter()
+            .map(|c| dst_region.contains(is.point(c.dst).coords()))
+            .collect();
+        let conns = is.conns_mut();
+        let mut kept = Vec::with_capacity(conns.len());
+        for (conn, doomed) in conns.drain(..).zip(doomed) {
+            if doomed {
+                removed.push(conn);
+                report.removed += 1;
+            } else {
+                kept.push(conn);
+            }
+        }
+        *conns = kept;
+    }
+
+    report.added_io += replace_with_io(is, func, &removed);
+    report
+}
+
+/// Replaces removed connections with register-file IO connections: the
+/// consumer re-reads the value from an outer regfile; producers of output
+/// tensors additionally write their partial values out.
+fn replace_with_io(
+    is: &mut IterationSpace,
+    func: &Functionality,
+    removed: &[Point2PointConn],
+) -> usize {
+    let mut added = 0;
+    let mut new_io: Vec<IOConn> = Vec::new();
+    for conn in removed {
+        let Some((tensor, axes)) = func.tensor_binding(conn.var) else {
+            continue;
+        };
+        let dst_coords = is.point(conn.dst).coords();
+        let src_coords = is.point(conn.src).coords();
+        let tensor_coords =
+            |pt: &[i64]| -> Vec<i64> { axes.iter().map(|a| pt[a.pos()]).collect() };
+        match func.tensor_role(tensor) {
+            TensorRole::Input => {
+                new_io.push(IOConn {
+                    tensor,
+                    var: conn.var,
+                    point: conn.dst,
+                    dir: IoDir::Read,
+                    coords: tensor_coords(dst_coords),
+                });
+            }
+            TensorRole::Output => {
+                // Partial results leave at the producer and re-enter at the
+                // consumer (the partial-sum regfile of Figure 8).
+                new_io.push(IOConn {
+                    tensor,
+                    var: conn.var,
+                    point: conn.src,
+                    dir: IoDir::Write,
+                    coords: tensor_coords(src_coords),
+                });
+                new_io.push(IOConn {
+                    tensor,
+                    var: conn.var,
+                    point: conn.dst,
+                    dir: IoDir::Read,
+                    coords: tensor_coords(dst_coords),
+                });
+            }
+        }
+    }
+    let io = is.io_conns_mut();
+    for conn in new_io {
+        if !io.contains(&conn) {
+            io.push(conn);
+            added += 1;
+        }
+    }
+    added
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::Region;
+    use crate::func::TensorId;
+    use crate::index::{Bounds, IndexId};
+
+    fn idx(n: usize) -> IndexId {
+        IndexId::nth(n)
+    }
+
+    fn matmul_space(n: usize) -> (Functionality, IterationSpace) {
+        let f = Functionality::matmul(n, n, n);
+        let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[n, n, n])).unwrap();
+        (f, is)
+    }
+
+    #[test]
+    fn csr_b_prunes_accumulation_conns() {
+        // Listing 5: Skip j when B(k, j) == 0. The c connections (C is
+        // indexed by the skipped j, and c moves along governing k) must be
+        // removed; a and b connections survive (Figure 4).
+        let (f, mut is) = matmul_space(4);
+        let vars: Vec<VarId> = f.vars().collect();
+        let before_c = is.conns_for_var(vars[2]).count();
+        assert_eq!(before_c, 48);
+
+        let skip = SkipSpec::skip(&[idx(1)], &[idx(2)]); // skip j, governed by k
+        let report = apply_sparsity(&mut is, &f, &[skip]);
+
+        assert_eq!(report.removed, 48);
+        assert_eq!(is.conns_for_var(vars[2]).count(), 0);
+        assert_eq!(is.conns_for_var(vars[0]).count(), 48, "a conns must survive");
+        assert_eq!(is.conns_for_var(vars[1]).count(), 48, "b conns must survive");
+        assert!(report.added_io > 0);
+    }
+
+    #[test]
+    fn csr_b_adds_partial_sum_io() {
+        let (f, mut is) = matmul_space(2);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let c_io_before = is.io_conns_for_tensor(tensors[2]).count();
+        let skip = SkipSpec::skip(&[idx(1)], &[idx(2)]);
+        apply_sparsity(&mut is, &f, &[skip]);
+        let c_io_after = is.io_conns_for_tensor(tensors[2]).count();
+        assert!(
+            c_io_after > c_io_before,
+            "partial sums must gain regfile ports ({c_io_before} -> {c_io_after})"
+        );
+    }
+
+    #[test]
+    fn diagonal_a_prunes_everything_moving_along_i_or_k() {
+        // Listing 2 line 5: Skip i and k when i != k.
+        let (f, mut is) = matmul_space(3);
+        let vars: Vec<VarId> = f.vars().collect();
+        let skip = SkipSpec::skip(&[idx(0), idx(2)], &[]);
+        apply_sparsity(&mut is, &f, &[skip]);
+        // a (bound to A(i, k), both axes skipped) moves along j, which is
+        // outside the guard set {i, k}: the (i, k) identity of each a value
+        // is unchanged along the connection, so a survives.
+        assert_eq!(is.conns_for_var(vars[0]).count(), 18);
+        // b (bound to B(k, j), k skipped) moves along i, which is in the
+        // guard set: with only the i == k diagonal executing, consecutive
+        // i values for a fixed k do not exist, so b's forwarding chain is
+        // pruned.
+        assert_eq!(is.conns_for_var(vars[1]).count(), 0);
+        // c (bound to C(i, j), i skipped) moves along k (also in the guard
+        // set): pruned.
+        assert_eq!(is.conns_for_var(vars[2]).count(), 0);
+    }
+
+    #[test]
+    fn optimistic_skip_bundles_instead_of_removing() {
+        // Figure 5: A100 2:4 sparsity keeps connections as bundles.
+        let (f, mut is) = matmul_space(4);
+        let vars: Vec<VarId> = f.vars().collect();
+        let skip = SkipSpec::optimistic_skip(&[idx(1)], &[idx(2)], 2);
+        let report = apply_sparsity(&mut is, &f, &[skip]);
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.bundled, 48);
+        assert!(is.conns_for_var(vars[2]).all(|c| c.bundle == 2));
+        assert!(is.conns_for_var(vars[0]).all(|c| c.bundle == 1));
+    }
+
+    #[test]
+    fn row_group_balance_preserves_conns() {
+        let (f, mut is) = matmul_space(4);
+        let total = is.conns().len();
+        let shift = ShiftSpec::new(
+            Region::all(3).restrict(idx(0), 2, 4),
+            vec![-2, 0, 1],
+            Granularity::RowGroup,
+        );
+        let report = apply_balance(&mut is, &f, &[shift]);
+        assert_eq!(report.removed, 0);
+        assert_eq!(is.conns().len(), total);
+    }
+
+    #[test]
+    fn per_pe_balance_prunes_conns_into_target_region() {
+        let (f, mut is) = matmul_space(4);
+        let total = is.conns().len();
+        let shift = ShiftSpec::new(
+            Region::all(3).restrict(idx(0), 2, 4),
+            vec![-2, 0, 1],
+            Granularity::PerPe,
+        );
+        let report = apply_balance(&mut is, &f, std::slice::from_ref(&shift));
+        assert!(report.removed > 0);
+        assert!(is.conns().len() < total);
+        // Connections into the target region (i in 0..2) are gone.
+        let dst = shift.dst();
+        for c in is.conns() {
+            let coords = is.point(c.dst).coords();
+            assert!(!dst.contains(coords), "conn into balanced region survived");
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Register-file optimization passes (§IV-D, Figure 14).
+//!
+//! Stellar's baseline regfile is a worst-case fallback: every port sees
+//! every entry, and outputs search all coordinates. The optimizer compares
+//! the order in which a producer (memory buffer) emits elements with the
+//! order in which the consumer (spatial array) requests them, and selects
+//! progressively cheaper implementations:
+//!
+//! 1. [`RegfileKind::FeedForward`] — orders match exactly: a plain shift
+//!    register (Figure 14c).
+//! 2. [`RegfileKind::Transposing`] — orders match after a fixed axis
+//!    permutation: shift registers entered/exited on different edges
+//!    (Figure 14d).
+//! 3. [`RegfileKind::EdgeIo`] — each element is touched once (single-pass
+//!    streaming): ports only on regfile edges (Figure 14b).
+//! 4. [`RegfileKind::Baseline`] — anything else, e.g. data-dependent
+//!    revisits (Figure 14a).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A register file implementation, from cheapest to most expensive.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+pub enum RegfileKind {
+    /// A feed-forward shift register: no coordinate comparators at all.
+    FeedForward,
+    /// Shift registers wired to enter on one edge and exit on another,
+    /// performing a data layout transposition in flight.
+    Transposing,
+    /// Ports restricted to the regfile edges; elements travel through
+    /// entries to reach their exit.
+    EdgeIo,
+    /// The fully-associative fallback: every port searches all entries.
+    Baseline,
+}
+
+impl RegfileKind {
+    /// A short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegfileKind::FeedForward => "feed-forward",
+            RegfileKind::Transposing => "transposing",
+            RegfileKind::EdgeIo => "edge-io",
+            RegfileKind::Baseline => "baseline",
+        }
+    }
+
+    /// Relative cost rank (0 = cheapest). The optimizer checks kinds in
+    /// this order, "checking if progressively less efficient regfiles can be
+    /// generated" (§IV-D).
+    pub fn cost_rank(self) -> u8 {
+        match self {
+            RegfileKind::FeedForward => 0,
+            RegfileKind::Transposing => 1,
+            RegfileKind::EdgeIo => 2,
+            RegfileKind::Baseline => 3,
+        }
+    }
+}
+
+impl fmt::Display for RegfileKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sequence of `(time, coordinates)` accesses: the order elements leave a
+/// memory buffer (Figure 13a) or are consumed by a spatial array
+/// (Figure 13b).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AccessOrder {
+    seq: Vec<(i64, Vec<i64>)>,
+}
+
+impl AccessOrder {
+    /// Creates an access order from a `(time, coords)` sequence. The
+    /// sequence is expected to be time-sorted; ties share a cycle.
+    pub fn new(seq: Vec<(i64, Vec<i64>)>) -> AccessOrder {
+        AccessOrder { seq }
+    }
+
+    /// Builds an order from a bare coordinate sequence, one element per
+    /// cycle.
+    pub fn from_coords(coords: Vec<Vec<i64>>) -> AccessOrder {
+        AccessOrder {
+            seq: coords
+                .into_iter()
+                .enumerate()
+                .map(|(t, c)| (t as i64, c))
+                .collect(),
+        }
+    }
+
+    /// Number of accesses.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Returns `true` if there are no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+
+    /// The coordinate sequence, timing erased.
+    pub fn coords(&self) -> impl Iterator<Item = &[i64]> + '_ {
+        self.seq.iter().map(|(_, c)| c.as_slice())
+    }
+
+    /// The raw `(time, coords)` sequence.
+    pub fn entries(&self) -> &[(i64, Vec<i64>)] {
+        &self.seq
+    }
+
+    /// Returns `true` if every coordinate is accessed exactly once
+    /// (single-pass streaming, the precondition for edge-IO regfiles).
+    pub fn is_single_pass(&self) -> bool {
+        let mut seen = HashMap::new();
+        for (_, c) in &self.seq {
+            if seen.insert(c.clone(), ()).is_some() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies an axis permutation to every coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of the coordinate axes.
+    pub fn permute_axes(&self, perm: &[usize]) -> AccessOrder {
+        let seq = self
+            .seq
+            .iter()
+            .map(|(t, c)| {
+                assert_eq!(perm.len(), c.len(), "permutation rank mismatch");
+                (*t, perm.iter().map(|&p| c[p]).collect())
+            })
+            .collect();
+        AccessOrder { seq }
+    }
+
+    /// The canonical coordinate sequence: accesses sharing a time step are
+    /// simultaneous, so within each equal-time run coordinates are sorted —
+    /// two orders differing only inside a cycle are the *same* order.
+    pub fn canonical_coords(&self) -> Vec<Vec<i64>> {
+        let mut out: Vec<Vec<i64>> = Vec::with_capacity(self.seq.len());
+        let mut i = 0;
+        while i < self.seq.len() {
+            let t = self.seq[i].0;
+            let mut group: Vec<Vec<i64>> = Vec::new();
+            while i < self.seq.len() && self.seq[i].0 == t {
+                group.push(self.seq[i].1.clone());
+                i += 1;
+            }
+            group.sort();
+            out.extend(group);
+        }
+        out
+    }
+
+    /// Returns `true` if the canonical coordinate sequences are identical
+    /// (same stream order, ignoring within-cycle permutation).
+    pub fn same_sequence(&self, other: &AccessOrder) -> bool {
+        self.len() == other.len() && self.canonical_coords() == other.canonical_coords()
+    }
+}
+
+/// Generates all permutations of `0..n` (small `n`: coordinate ranks).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    if n == 0 {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    permute_rec(&mut items, 0, &mut out);
+    out
+}
+
+fn permute_rec(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == items.len() {
+        out.push(items.clone());
+        return;
+    }
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute_rec(items, k + 1, out);
+        items.swap(k, i);
+    }
+}
+
+/// Selects the cheapest register file able to mediate between a producer's
+/// emission order and a consumer's request order (§IV-D).
+///
+/// # Examples
+///
+/// ```
+/// use stellar_core::{choose_regfile, AccessOrder, RegfileKind};
+///
+/// let producer = AccessOrder::from_coords(vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
+/// let consumer = producer.clone();
+/// assert_eq!(choose_regfile(&producer, &consumer), RegfileKind::FeedForward);
+///
+/// // The consumer reads the transpose.
+/// let transposed = AccessOrder::from_coords(vec![vec![0, 0], vec![1, 0], vec![0, 1], vec![1, 1]]);
+/// assert_eq!(choose_regfile(&producer, &transposed), RegfileKind::Transposing);
+/// ```
+pub fn choose_regfile(producer: &AccessOrder, consumer: &AccessOrder) -> RegfileKind {
+    if producer.is_empty() || consumer.is_empty() {
+        return RegfileKind::Baseline;
+    }
+    // Pass 1: feed-forward — inputs enter in the exact order they exit.
+    if producer.same_sequence(consumer) {
+        return RegfileKind::FeedForward;
+    }
+    // Pass 2: transposing — equal after a fixed axis permutation.
+    let rank = producer.entries()[0].1.len();
+    if consumer.entries()[0].1.len() == rank {
+        for perm in permutations(rank) {
+            if perm.iter().enumerate().all(|(i, &p)| i == p) {
+                continue;
+            }
+            if producer.permute_axes(&perm).same_sequence(consumer) {
+                return RegfileKind::Transposing;
+            }
+        }
+    }
+    // Pass 3: edge-IO — both sides stream each element exactly once.
+    if producer.is_single_pass() && consumer.is_single_pass() {
+        return RegfileKind::EdgeIo;
+    }
+    // Fallback: the fully associative baseline.
+    RegfileKind::Baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(coords: &[&[i64]]) -> AccessOrder {
+        AccessOrder::from_coords(coords.iter().map(|c| c.to_vec()).collect())
+    }
+
+    #[test]
+    fn identical_orders_feed_forward() {
+        let p = order(&[&[0, 0], &[1, 0], &[0, 1], &[1, 1]]);
+        assert_eq!(choose_regfile(&p, &p.clone()), RegfileKind::FeedForward);
+    }
+
+    #[test]
+    fn figure_13_orders_feed_forward() {
+        // Figure 13: memory emits in wavefront order, the spatial array
+        // consumes in the same wavefront order → feed-forward regfile.
+        use crate::memory::{EmissionOrder, HardcodedParams};
+        let p = HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront);
+        let producer = AccessOrder::from_coords(p.emission_sequence());
+        let consumer = producer.clone();
+        assert_eq!(choose_regfile(&producer, &consumer), RegfileKind::FeedForward);
+    }
+
+    #[test]
+    fn transposed_order_detected() {
+        let p = order(&[&[0, 0], &[0, 1], &[1, 0], &[1, 1]]); // row-major
+        let c = order(&[&[0, 0], &[1, 0], &[0, 1], &[1, 1]]); // col-major
+        assert_eq!(choose_regfile(&p, &c), RegfileKind::Transposing);
+    }
+
+    #[test]
+    fn single_pass_mismatch_is_edge_io() {
+        let p = order(&[&[0, 0], &[0, 1], &[1, 0], &[1, 1]]);
+        // Same elements, an order that is neither equal nor a transpose.
+        let c = order(&[&[1, 1], &[0, 0], &[0, 1], &[1, 0]]);
+        assert_eq!(choose_regfile(&p, &c), RegfileKind::EdgeIo);
+    }
+
+    #[test]
+    fn revisits_force_baseline() {
+        let p = order(&[&[0], &[1]]);
+        let c = order(&[&[0], &[1], &[0]]); // data-dependent re-read
+        assert_eq!(choose_regfile(&p, &c), RegfileKind::Baseline);
+        assert!(!c.is_single_pass());
+    }
+
+    #[test]
+    fn empty_orders_are_baseline() {
+        let e = AccessOrder::new(vec![]);
+        assert_eq!(choose_regfile(&e, &e.clone()), RegfileKind::Baseline);
+    }
+
+    #[test]
+    fn cost_ranks_ordered() {
+        assert!(RegfileKind::FeedForward.cost_rank() < RegfileKind::Transposing.cost_rank());
+        assert!(RegfileKind::Transposing.cost_rank() < RegfileKind::EdgeIo.cost_rank());
+        assert!(RegfileKind::EdgeIo.cost_rank() < RegfileKind::Baseline.cost_rank());
+    }
+
+    #[test]
+    fn permutations_complete() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(0), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn permute_axes_round_trip() {
+        let p = order(&[&[1, 2, 3], &[4, 5, 6]]);
+        let q = p.permute_axes(&[2, 0, 1]);
+        assert_eq!(q.entries()[0].1, vec![3, 1, 2]);
+    }
+}

@@ -1,0 +1,171 @@
+//! SoC-level composition: multiple spatial arrays in one accelerator.
+//!
+//! Figure 8 of the paper shows an accelerator containing *both* a sparse
+//! matmul array and a merge array, sharing a DMA and memory system.
+//! [`compile_soc`] compiles several [`AcceleratorSpec`]s and merges their
+//! designs into one [`AcceleratorDesign`] with namespaced components.
+
+use crate::design::{AcceleratorDesign, DmaDesign};
+use crate::error::CompileError;
+use crate::spec::{compile, AcceleratorSpec};
+
+/// Compiles each spec and merges the results into a single SoC-level
+/// design: all spatial arrays, regfiles, memory buffers, and load
+/// balancers side by side, one shared DMA, one optional host CPU.
+///
+/// Component names are prefixed with their spec's name to keep the merged
+/// namespace collision-free (and the emitted Verilog lint-clean).
+///
+/// # Errors
+///
+/// Returns the first compilation error, or [`CompileError::Malformed`] if
+/// no specs are given or two specs share a name.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_core::prelude::*;
+/// use stellar_core::soc::compile_soc;
+///
+/// let mul = AcceleratorSpec::new("mul", Functionality::matmul(4, 4, 4));
+/// let merge = AcceleratorSpec::new("merge", Functionality::merge_select(4, 4))
+///     .with_bounds(Bounds::from_extents(&[4, 4]))
+///     .with_transform(SpaceTimeTransform::from_rows(&[&[1, 0], &[0, 1]]));
+/// let soc = compile_soc("spgemm", &[mul, merge], None)?;
+/// assert_eq!(soc.spatial_arrays.len(), 2);
+/// # Ok::<(), CompileError>(())
+/// ```
+pub fn compile_soc(
+    name: impl Into<String>,
+    specs: &[AcceleratorSpec],
+    dma: Option<DmaDesign>,
+) -> Result<AcceleratorDesign, CompileError> {
+    if specs.is_empty() {
+        return Err(CompileError::Malformed("SoC needs at least one spec".into()));
+    }
+    for (n, a) in specs.iter().enumerate() {
+        for b in &specs[n + 1..] {
+            if a.name() == b.name() {
+                return Err(CompileError::Malformed(format!(
+                    "duplicate component name '{}' in SoC",
+                    a.name()
+                )));
+            }
+        }
+    }
+
+    let mut soc = AcceleratorDesign {
+        name: name.into(),
+        data_bits: 0,
+        spatial_arrays: Vec::new(),
+        regfiles: Vec::new(),
+        mem_buffers: Vec::new(),
+        load_balancers: Vec::new(),
+        dma: dma.unwrap_or_default(),
+        has_host_cpu: false,
+    };
+
+    for spec in specs {
+        let mut d = compile(spec)?;
+        let prefix = spec.name();
+        soc.data_bits = soc.data_bits.max(d.data_bits);
+        soc.has_host_cpu |= d.has_host_cpu;
+        for mut arr in d.spatial_arrays.drain(..) {
+            // Array names already embed the spec name; keep them.
+            let _ = &mut arr;
+            soc.spatial_arrays.push(arr);
+        }
+        for mut rf in d.regfiles.drain(..) {
+            rf.name = format!("{prefix}_{}", rf.name);
+            soc.regfiles.push(rf);
+        }
+        for mut buf in d.mem_buffers.drain(..) {
+            buf.name = format!("{prefix}_{}", buf.name);
+            soc.mem_buffers.push(buf);
+        }
+        for mut lb in d.load_balancers.drain(..) {
+            lb.name = format!("{prefix}_{}", lb.name);
+            soc.load_balancers.push(lb);
+        }
+    }
+    Ok(soc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::Functionality;
+    use crate::index::Bounds;
+    use crate::sparsity::SkipSpec;
+    use crate::transform::SpaceTimeTransform;
+    use crate::IndexId;
+
+    fn figure8_soc() -> AcceleratorDesign {
+        // The Figure 8 accelerator: a sparse matmul array plus a merger.
+        let (i, j, k) = (IndexId::nth(0), IndexId::nth(1), IndexId::nth(2));
+        let _ = i;
+        let mul = AcceleratorSpec::new("sp_mul", Functionality::matmul(4, 4, 4))
+            .with_bounds(Bounds::from_extents(&[4, 4, 4]))
+            .with_transform(SpaceTimeTransform::input_stationary())
+            .with_skip(SkipSpec::skip(&[j], &[k]));
+        let merge = AcceleratorSpec::new("merger", Functionality::merge_select(4, 4))
+            .with_bounds(Bounds::from_extents(&[4, 4]))
+            .with_transform(SpaceTimeTransform::from_rows(&[&[1, 0], &[0, 1]]));
+        compile_soc(
+            "spgemm_soc",
+            &[mul, merge],
+            Some(DmaDesign {
+                max_inflight_reqs: 16,
+                bus_bits: 128,
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn soc_merges_components() {
+        let soc = figure8_soc();
+        assert_eq!(soc.spatial_arrays.len(), 2);
+        // 3 matmul tensors + 3 merge tensors.
+        assert_eq!(soc.regfiles.len(), 6);
+        assert_eq!(soc.mem_buffers.len(), 6);
+        assert_eq!(soc.dma.max_inflight_reqs, 16);
+        assert!(soc.has_host_cpu);
+    }
+
+    #[test]
+    fn soc_component_names_are_unique() {
+        let soc = figure8_soc();
+        let mut names: Vec<&str> = soc
+            .regfiles
+            .iter()
+            .map(|r| r.name.as_str())
+            .chain(soc.mem_buffers.iter().map(|b| b.name.as_str()))
+            .chain(soc.spatial_arrays.iter().map(|a| a.name.as_str()))
+            .collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total, "component names must not collide");
+    }
+
+    #[test]
+    fn empty_soc_rejected() {
+        assert!(compile_soc("x", &[], None).is_err());
+    }
+
+    #[test]
+    fn duplicate_component_names_rejected() {
+        let a = AcceleratorSpec::new("same", Functionality::matmul(2, 2, 2));
+        let b = AcceleratorSpec::new("same", Functionality::matmul(2, 2, 2));
+        assert!(compile_soc("x", &[a, b], None).is_err());
+    }
+
+    #[test]
+    fn soc_summary_mentions_both_arrays() {
+        let soc = figure8_soc();
+        let s = soc.summary();
+        assert!(s.contains("sp_mul_array"));
+        assert!(s.contains("merger_array"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Applying the space-time transform: from `IterationSpace` to a physical
+//! spatial array (§IV-B, Figure 9c).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Per-tensor, per-direction access orders keyed for the regfile optimizer.
+type IoOrderMap = HashMap<(TensorId, IoDir), AccessOrder>;
+
+use crate::error::CompileError;
+use crate::func::{Functionality, TensorId, VarId};
+use crate::iterspace::{AssignKind, IoDir, IterationSpace};
+use crate::regfile::AccessOrder;
+use crate::transform::SpaceTimeTransform;
+
+/// One physical PE of the transformed array: a spatial coordinate onto
+/// which one or more iteration points fold (different time steps of the
+/// same PE).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Pe {
+    /// The PE's spatial coordinates.
+    pub coords: Vec<i64>,
+    /// Number of iteration points mapped to this PE.
+    pub num_points: usize,
+    /// Total multiplies this PE performs over the computation.
+    pub macs: usize,
+}
+
+/// A physical PE-to-PE connection after the transform: the image of one or
+/// more `Point2PointConn`s sharing endpoints.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PhysConn {
+    /// The variable carried.
+    pub var: VarId,
+    /// Source PE index.
+    pub src_pe: usize,
+    /// Destination PE index (may equal `src_pe` for stationary variables).
+    pub dst_pe: usize,
+    /// Spatial delta (zero vector for stationary variables).
+    pub dspace: Vec<i64>,
+    /// Pipeline registers along the connection (`Δt`, Figure 3).
+    pub registers: i64,
+    /// Bundle width (>1 for `OptimisticSkip` connections).
+    pub bundle: usize,
+    /// How many point-level connections folded into this wire.
+    pub multiplicity: usize,
+}
+
+impl PhysConn {
+    /// Returns `true` if the variable stays within one PE (a stationary
+    /// operand or in-place accumulator).
+    pub fn is_stationary(&self) -> bool {
+        self.dspace.iter().all(|&d| d == 0)
+    }
+}
+
+/// A physical IO port: one PE's read or write traffic for one tensor.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PhysIoPort {
+    /// The tensor accessed.
+    pub tensor: TensorId,
+    /// Read or write.
+    pub dir: IoDir,
+    /// The PE index.
+    pub pe: usize,
+    /// Number of accesses over the computation.
+    pub accesses: usize,
+}
+
+/// The physical spatial array produced by applying a space-time transform
+/// to a (possibly pruned) iteration space.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_core::{Bounds, Functionality, IterationSpace, SpaceTimeTransform, SpatialArray};
+///
+/// let f = Functionality::matmul(4, 4, 4);
+/// let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[4, 4, 4]))?;
+/// let arr = SpatialArray::from_iterspace(&is, &f, &SpaceTimeTransform::output_stationary())?;
+/// assert_eq!(arr.num_pes(), 16); // 4x4 grid of output-stationary PEs
+/// # Ok::<(), stellar_core::CompileError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct SpatialArray {
+    transform: SpaceTimeTransform,
+    pes: Vec<Pe>,
+    conns: Vec<PhysConn>,
+    io_ports: Vec<PhysIoPort>,
+    io_orders: IoOrderMap,
+    time_range: (i64, i64),
+}
+
+impl SpatialArray {
+    /// Folds an iteration space onto physical space and time.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompileError::SpaceTimeCollision`] if two points map to the same
+    ///   space-time coordinate.
+    /// * [`CompileError::CausalityViolation`] if any connection would have
+    ///   negative `Δt`.
+    pub fn from_iterspace(
+        is: &IterationSpace,
+        func: &Functionality,
+        transform: &SpaceTimeTransform,
+    ) -> Result<SpatialArray, CompileError> {
+        if transform.rank() != is.bounds().rank() {
+            return Err(CompileError::InvalidTransform(format!(
+                "transform rank {} does not match iteration rank {}",
+                transform.rank(),
+                is.bounds().rank()
+            )));
+        }
+
+        // Map points to PEs, checking space-time collisions.
+        let mut pe_ids: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut pes: Vec<Pe> = Vec::new();
+        let mut point_pe: Vec<usize> = Vec::with_capacity(is.num_points());
+        let mut point_time: Vec<i64> = Vec::with_capacity(is.num_points());
+        let mut seen_st: HashMap<Vec<i64>, ()> = HashMap::with_capacity(is.num_points());
+        let mut tmin = i64::MAX;
+        let mut tmax = i64::MIN;
+
+        for pid in 0..is.num_points() {
+            let point = is.point(crate::iterspace::PointId(pid));
+            let st = transform.apply(point.coords());
+            if seen_st.insert(st.clone(), ()).is_some() {
+                return Err(CompileError::SpaceTimeCollision { coord: st });
+            }
+            let (space, time) = (st[..st.len() - 1].to_vec(), st[st.len() - 1]);
+            tmin = tmin.min(time);
+            tmax = tmax.max(time);
+            let pe_id = *pe_ids.entry(space.clone()).or_insert_with(|| {
+                pes.push(Pe {
+                    coords: space,
+                    num_points: 0,
+                    macs: 0,
+                });
+                pes.len() - 1
+            });
+            pes[pe_id].num_points += 1;
+            let macs: usize = is
+                .assignments(crate::iterspace::PointId(pid))
+                .iter()
+                .filter(|a| a.kind == AssignKind::Compute)
+                .map(|a| func.assigns()[a.source].rhs.num_muls())
+                .sum();
+            pes[pe_id].macs += macs;
+            point_pe.push(pe_id);
+            point_time.push(time);
+        }
+
+        // Fold connections, checking causality and deduplicating wires.
+        let mut conn_map: HashMap<(VarId, usize, usize), PhysConn> = HashMap::new();
+        for conn in is.conns() {
+            let dt = transform.time_delta(&conn.diff);
+            if dt < 0 {
+                return Err(CompileError::CausalityViolation {
+                    var: func.var_name(conn.var).to_string(),
+                    delta: {
+                        let mut d = transform.space_delta(&conn.diff);
+                        d.push(dt);
+                        d
+                    },
+                });
+            }
+            let src_pe = point_pe[conn.src.0];
+            let dst_pe = point_pe[conn.dst.0];
+            let entry = conn_map
+                .entry((conn.var, src_pe, dst_pe))
+                .or_insert_with(|| PhysConn {
+                    var: conn.var,
+                    src_pe,
+                    dst_pe,
+                    dspace: transform.space_delta(&conn.diff),
+                    registers: dt,
+                    bundle: conn.bundle,
+                    multiplicity: 0,
+                });
+            entry.multiplicity += 1;
+            entry.bundle = entry.bundle.max(conn.bundle);
+        }
+        let mut conns: Vec<PhysConn> = conn_map.into_values().collect();
+        conns.sort_by_key(|a| (a.var.0, a.src_pe, a.dst_pe));
+
+        // Fold IO connections into per-PE ports and per-tensor access
+        // orders (for the regfile optimizer).
+        let mut port_map: HashMap<(TensorId, IoDir, usize), usize> = HashMap::new();
+        type TimedCoords = Vec<(i64, Vec<i64>)>;
+        let mut order_map: HashMap<(TensorId, IoDir), TimedCoords> = HashMap::new();
+        for io in is.io_conns() {
+            let pe = point_pe[io.point.0];
+            *port_map.entry((io.tensor, io.dir, pe)).or_insert(0) += 1;
+            order_map
+                .entry((io.tensor, io.dir))
+                .or_default()
+                .push((point_time[io.point.0], io.coords.clone()));
+        }
+        let mut io_ports: Vec<PhysIoPort> = port_map
+            .into_iter()
+            .map(|((tensor, dir, pe), accesses)| PhysIoPort {
+                tensor,
+                dir,
+                pe,
+                accesses,
+            })
+            .collect();
+        io_ports.sort_by_key(|a| (a.tensor.0, a.pe, a.dir == IoDir::Write));
+        let io_orders = order_map
+            .into_iter()
+            .map(|(k, mut seq)| {
+                seq.sort();
+                (k, AccessOrder::new(seq))
+            })
+            .collect();
+
+        Ok(SpatialArray {
+            transform: transform.clone(),
+            pes,
+            conns,
+            io_ports,
+            io_orders,
+            time_range: if tmin <= tmax { (tmin, tmax) } else { (0, 0) },
+        })
+    }
+
+    /// The transform that produced this array.
+    pub fn transform(&self) -> &SpaceTimeTransform {
+        &self.transform
+    }
+
+    /// The PEs.
+    pub fn pes(&self) -> &[Pe] {
+        &self.pes
+    }
+
+    /// Number of PEs.
+    pub fn num_pes(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// The physical connections.
+    pub fn conns(&self) -> &[PhysConn] {
+        &self.conns
+    }
+
+    /// The IO ports.
+    pub fn io_ports(&self) -> &[PhysIoPort] {
+        &self.io_ports
+    }
+
+    /// The `(first, last)` time steps of the computation.
+    pub fn time_range(&self) -> (i64, i64) {
+        self.time_range
+    }
+
+    /// Total time steps (the dense array's latency in cycles).
+    pub fn total_time_steps(&self) -> i64 {
+        self.time_range.1 - self.time_range.0 + 1
+    }
+
+    /// The order in which the array accesses a tensor's elements, for the
+    /// regfile optimizer (Figure 13b).
+    pub fn access_order(&self, tensor: TensorId, dir: IoDir) -> Option<&AccessOrder> {
+        self.io_orders.get(&(tensor, dir))
+    }
+
+    /// Total MACs across all PEs.
+    pub fn total_macs(&self) -> usize {
+        self.pes.iter().map(|p| p.macs).sum()
+    }
+
+    /// Connections carrying a given variable.
+    pub fn conns_for_var(&self, var: VarId) -> impl Iterator<Item = &PhysConn> + '_ {
+        self.conns.iter().filter(move |c| c.var == var)
+    }
+}
+
+impl fmt::Display for SpatialArray {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SpatialArray({} PEs, {} conns, {} io ports, {} steps)",
+            self.pes.len(),
+            self.conns.len(),
+            self.io_ports.len(),
+            self.total_time_steps()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::Bounds;
+
+    fn build(n: usize, t: &SpaceTimeTransform) -> (Functionality, SpatialArray) {
+        let f = Functionality::matmul(n, n, n);
+        let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[n, n, n])).unwrap();
+        let arr = SpatialArray::from_iterspace(&is, &f, t).unwrap();
+        (f, arr)
+    }
+
+    #[test]
+    fn output_stationary_shape() {
+        let (f, arr) = build(4, &SpaceTimeTransform::output_stationary());
+        assert_eq!(arr.num_pes(), 16);
+        // Each PE computes all 4 k-steps: 4 MACs.
+        assert!(arr.pes().iter().all(|pe| pe.macs == 4));
+        assert_eq!(arr.total_macs(), 64);
+        // c is stationary; a and b move.
+        let vars: Vec<VarId> = f.vars().collect();
+        assert!(arr.conns_for_var(vars[2]).all(|c| c.is_stationary()));
+        assert!(arr.conns_for_var(vars[0]).all(|c| !c.is_stationary()));
+        // Time range: t = i + j + k over [0,3]^3 → 0..=9 → 10 steps.
+        assert_eq!(arr.total_time_steps(), 10);
+    }
+
+    #[test]
+    fn input_stationary_shape() {
+        let (f, arr) = build(4, &SpaceTimeTransform::input_stationary());
+        // x = k, y = j: 16 PEs.
+        assert_eq!(arr.num_pes(), 16);
+        let vars: Vec<VarId> = f.vars().collect();
+        // b (the stationary input) stays put; c travels down x.
+        assert!(arr.conns_for_var(vars[1]).all(|c| c.is_stationary()));
+        for c in arr.conns_for_var(vars[2]) {
+            assert_eq!(c.dspace, vec![1, 0]);
+            assert_eq!(c.registers, 1);
+        }
+    }
+
+    #[test]
+    fn hexagonal_is_2d_with_more_pes() {
+        let (_, arr) = build(4, &SpaceTimeTransform::hexagonal());
+        // x = i - k, y = j - k: coordinates range over [-3, 3]^2 but only
+        // feasible combinations appear; more PEs than a 4x4 grid.
+        assert!(arr.num_pes() > 16, "hexagonal array has {} PEs", arr.num_pes());
+        assert!(arr.pes().iter().all(|pe| pe.coords.len() == 2));
+    }
+
+    #[test]
+    fn pipelining_scales_registers() {
+        let t = SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap();
+        let (f, arr) = build(4, &t);
+        let vars: Vec<VarId> = f.vars().collect();
+        // Doubled time row → 2 registers per a/b hop (Figure 3).
+        for c in arr.conns_for_var(vars[0]) {
+            assert_eq!(c.registers, 2);
+        }
+        assert_eq!(arr.total_time_steps(), 19); // t in 0..=18 even steps
+    }
+
+    #[test]
+    fn collision_detected() {
+        // A transform with a non-injective fold: project onto (i, j) with
+        // time = k only... make time row equal to a space row to collide.
+        let f = Functionality::matmul(2, 2, 2);
+        let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[2, 2, 2])).unwrap();
+        // x=i, y=j, t=i+j: all k fold onto the same space-time coordinate.
+        // This matrix is singular, so it is rejected at construction —
+        // demonstrating that invertibility prevents trivial collisions.
+        assert!(SpaceTimeTransform::new(stellar_linalg::IntMat::from_rows(&[
+            &[1, 0, 0],
+            &[0, 1, 0],
+            &[1, 1, 0],
+        ]))
+        .is_err());
+        // An invertible transform over a *folded* bounds can still collide:
+        // map two separate tiles onto the same coordinates by using a
+        // transform whose image overlaps. x = i mod nothing... Instead we
+        // verify the collision check by elaborating with duplicated points:
+        // not constructible through the public API, so invertibility plus
+        // distinct points guarantees no collision.
+        let arr =
+            SpatialArray::from_iterspace(&is, &f, &SpaceTimeTransform::output_stationary());
+        assert!(arr.is_ok());
+    }
+
+    #[test]
+    fn causality_violation_detected() {
+        let f = Functionality::matmul(2, 2, 2);
+        let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[2, 2, 2])).unwrap();
+        // Time row (1, 1, -1): c's diff (0,0,1) gets Δt = -1.
+        let t = SpaceTimeTransform::output_stationary()
+            .with_time_row(&[1, 1, -1])
+            .unwrap();
+        let err = SpatialArray::from_iterspace(&is, &f, &t);
+        assert!(matches!(err, Err(CompileError::CausalityViolation { .. })));
+    }
+
+    #[test]
+    fn access_orders_available() {
+        let (f, arr) = build(4, &SpaceTimeTransform::output_stationary());
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let a_reads = arr.access_order(tensors[0], IoDir::Read).unwrap();
+        assert_eq!(a_reads.len(), 16);
+        let c_writes = arr.access_order(tensors[2], IoDir::Write).unwrap();
+        assert_eq!(c_writes.len(), 16);
+        assert!(arr.access_order(tensors[2], IoDir::Read).is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! Sparse data structure specifications: `Skip` and `OptimisticSkip`
+//! (§III-C of the paper).
+//!
+//! A [`SkipSpec`] states *which iterators may be skipped and under which
+//! conditions* — e.g. `Skip j when B(k, j) == 0` makes `j` a compressed
+//! iterator whose expanded coordinate is some data-dependent function
+//! `f(k, j_compressed)`. Crucially, the spec says nothing about how tensors
+//! are stored in memory; that is the separate concern of [`MemorySpec`].
+//!
+//! [`MemorySpec`]: crate::memory::MemorySpec
+
+use std::fmt;
+
+use crate::func::{Functionality, TensorId};
+use crate::index::IndexId;
+
+/// One `Skip` / `OptimisticSkip` clause.
+///
+/// # Examples
+///
+/// The clauses of Listing 2, for the matmul of Listing 1:
+///
+/// ```
+/// use stellar_core::{Functionality, SkipSpec};
+///
+/// let f = Functionality::matmul(4, 4, 4);
+/// let idx: Vec<_> = (0..3).map(|n| stellar_core::IndexId::nth(n)).collect();
+/// let (i, j, k) = (idx[0], idx[1], idx[2]);
+/// let b = f.tensors().nth(1).unwrap();
+///
+/// // "Skip j when B(k, j) == 0" — B is CSR.
+/// let csr_b = SkipSpec::skip(&[j], &[k]).when_tensor(b);
+/// assert!(!csr_b.is_optimistic());
+///
+/// // "Skip i and k when i != k" — A is diagonal.
+/// let diag = SkipSpec::skip(&[i, k], &[]);
+/// assert_eq!(diag.skipped().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SkipSpec {
+    skipped: Vec<IndexId>,
+    governing: Vec<IndexId>,
+    tensor: Option<TensorId>,
+    optimistic: bool,
+    bundle: usize,
+}
+
+impl SkipSpec {
+    /// Creates a pessimistic `Skip` clause.
+    ///
+    /// * `skipped` — the iterators whose values may be skipped (they become
+    ///   compressed/expanded coordinates).
+    /// * `governing` — the other iterators the skip condition depends on:
+    ///   for `Skip j when B(k, j) == 0`, the expansion function is
+    ///   `j = f(k, j_compressed)`, so `k` governs `j`.
+    pub fn skip(skipped: &[IndexId], governing: &[IndexId]) -> SkipSpec {
+        SkipSpec {
+            skipped: skipped.to_vec(),
+            governing: governing.to_vec(),
+            tensor: None,
+            optimistic: false,
+            bundle: 1,
+        }
+    }
+
+    /// Creates an `OptimisticSkip` clause (Figure 5): PE-to-PE connections
+    /// are *retained* but widened to carry bundles of `bundle` candidate
+    /// values, as in the A100 2:4 structured-sparsity array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bundle` is zero.
+    pub fn optimistic_skip(skipped: &[IndexId], governing: &[IndexId], bundle: usize) -> SkipSpec {
+        assert!(bundle > 0, "bundle size must be non-zero");
+        SkipSpec {
+            skipped: skipped.to_vec(),
+            governing: governing.to_vec(),
+            tensor: None,
+            optimistic: true,
+            bundle,
+        }
+    }
+
+    /// Records the tensor whose zero pattern drives the skip (the `B` of
+    /// `Skip j when B(k, j) == 0`). Used for diagnostics and by the
+    /// simulator to locate the sparsity pattern.
+    pub fn when_tensor(mut self, tensor: TensorId) -> SkipSpec {
+        self.tensor = Some(tensor);
+        self
+    }
+
+    /// The skipped (compressed) iterators.
+    pub fn skipped(&self) -> &[IndexId] {
+        &self.skipped
+    }
+
+    /// The governing iterators of the skip condition.
+    pub fn governing(&self) -> &[IndexId] {
+        &self.governing
+    }
+
+    /// The condition tensor, if any.
+    pub fn tensor(&self) -> Option<TensorId> {
+        self.tensor
+    }
+
+    /// Returns `true` for `OptimisticSkip`.
+    pub fn is_optimistic(&self) -> bool {
+        self.optimistic
+    }
+
+    /// The bundle width for optimistic skips (1 for plain skips).
+    pub fn bundle(&self) -> usize {
+        self.bundle
+    }
+
+    /// Returns `true` if iterator `idx` is skipped by this clause.
+    pub fn skips(&self, idx: IndexId) -> bool {
+        self.skipped.contains(&idx)
+    }
+
+    /// The set of iterators whose movement breaks the constant-difference
+    /// guarantee for a connection touching a skipped iterator: the skipped
+    /// iterators themselves plus all governing iterators (§IV-B: the
+    /// expanded delta `f(k, j_c) - f(k-1, j_c)` is non-constant whenever any
+    /// input of `f` changes).
+    pub fn guard_set(&self) -> Vec<IndexId> {
+        let mut out = self.skipped.clone();
+        for &g in &self.governing {
+            if !out.contains(&g) {
+                out.push(g);
+            }
+        }
+        out
+    }
+
+    /// Renders the clause in the paper's notation, given the functionality
+    /// for names.
+    pub fn describe(&self, func: &Functionality) -> String {
+        let keyword = if self.optimistic { "OptimisticSkip" } else { "Skip" };
+        let skipped: Vec<&str> = self.skipped.iter().map(|&s| func.index_name(s)).collect();
+        let mut out = format!("{keyword} {}", skipped.join(" and "));
+        if let Some(t) = self.tensor {
+            out.push_str(&format!(" when {}(..) == 0", func.tensor_name(t)));
+        }
+        out
+    }
+}
+
+impl fmt::Display for SkipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let keyword = if self.optimistic { "OptimisticSkip" } else { "Skip" };
+        write!(f, "{keyword}({:?} | {:?})", self.skipped, self.governing)
+    }
+}
+
+impl IndexId {
+    /// Builds the handle for the `n`-th declared index of a functionality.
+    ///
+    /// Useful when the index handles are not in scope (e.g. for canned
+    /// functionalities like [`Functionality::matmul`]).
+    ///
+    /// [`Functionality::matmul`]: crate::func::Functionality::matmul
+    pub fn nth(n: usize) -> IndexId {
+        IndexId(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx(n: usize) -> IndexId {
+        IndexId::nth(n)
+    }
+
+    #[test]
+    fn guard_set_unions_skipped_and_governing() {
+        let s = SkipSpec::skip(&[idx(1)], &[idx(2)]);
+        assert_eq!(s.guard_set(), vec![idx(1), idx(2)]);
+        // Duplicates are not repeated.
+        let s = SkipSpec::skip(&[idx(0), idx(2)], &[idx(2)]);
+        assert_eq!(s.guard_set(), vec![idx(0), idx(2)]);
+    }
+
+    #[test]
+    fn optimistic_bundle() {
+        let s = SkipSpec::optimistic_skip(&[idx(2)], &[], 2);
+        assert!(s.is_optimistic());
+        assert_eq!(s.bundle(), 2);
+        let p = SkipSpec::skip(&[idx(2)], &[]);
+        assert_eq!(p.bundle(), 1);
+    }
+
+    #[test]
+    fn skips_query() {
+        let s = SkipSpec::skip(&[idx(1)], &[idx(2)]);
+        assert!(s.skips(idx(1)));
+        assert!(!s.skips(idx(2)));
+    }
+
+    #[test]
+    fn describe_uses_paper_notation() {
+        let f = Functionality::matmul(4, 4, 4);
+        let b = f.tensors().nth(1).unwrap();
+        let s = SkipSpec::skip(&[idx(1)], &[idx(2)]).when_tensor(b);
+        assert_eq!(s.describe(&f), "Skip j when B(..) == 0");
+    }
+
+    #[test]
+    #[should_panic(expected = "bundle size")]
+    fn zero_bundle_panics() {
+        let _ = SkipSpec::optimistic_skip(&[idx(0)], &[], 0);
+    }
+}

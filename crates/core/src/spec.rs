@@ -1,0 +1,526 @@
+//! The top-level accelerator specification and the compiler entry point.
+//!
+//! An [`AcceleratorSpec`] collects the five independent design concerns of
+//! §III — functionality, dataflow, sparsity, load balancing, and memory
+//! buffers — plus SoC-level knobs (data width, DMA, host CPU). [`compile`]
+//! runs the full pipeline of Figure 7: elaboration, pruning, the space-time
+//! transform, regfile optimization, and design assembly.
+
+use crate::balance::{Granularity, ShiftSpec};
+use crate::design::{
+    AcceleratorDesign, ConnDesign, DmaDesign, IoPortDesign, LoadBalancerDesign, MemBufferDesign,
+    PortDir, RegfileDesign, SpatialArrayDesign,
+};
+use crate::error::CompileError;
+use crate::func::{Functionality, TensorRole};
+use crate::index::Bounds;
+use crate::iterspace::{IoDir, IterationSpace};
+use crate::memory::MemorySpec;
+use crate::prune;
+use crate::regfile::{choose_regfile, AccessOrder, RegfileKind};
+use crate::spacetime::SpatialArray;
+use crate::sparsity::SkipSpec;
+use crate::transform::SpaceTimeTransform;
+
+/// A complete accelerator specification: the five design concerns, each
+/// settable independently (the separation the paper's Table I is about).
+///
+/// # Examples
+///
+/// A sparse matmul accelerator with a CSR `B` matrix and row-group load
+/// balancing:
+///
+/// ```
+/// use stellar_core::prelude::*;
+/// use stellar_core::IndexId;
+///
+/// let func = Functionality::matmul(4, 4, 4);
+/// let (i, j, k) = (IndexId::nth(0), IndexId::nth(1), IndexId::nth(2));
+/// let spec = AcceleratorSpec::new("sparse_mm", func)
+///     .with_bounds(Bounds::from_extents(&[4, 4, 4]))
+///     .with_transform(SpaceTimeTransform::input_stationary())
+///     .with_skip(SkipSpec::skip(&[j], &[k]))
+///     .with_shift(ShiftSpec::new(
+///         Region::all(3).restrict(i, 2, 4),
+///         vec![-2, 0, 1],
+///         Granularity::RowGroup,
+///     ));
+/// let design = compile(&spec)?;
+/// assert_eq!(design.load_balancers.len(), 1);
+/// # Ok::<(), CompileError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct AcceleratorSpec {
+    name: String,
+    func: Functionality,
+    bounds: Bounds,
+    transform: SpaceTimeTransform,
+    skips: Vec<SkipSpec>,
+    shifts: Vec<ShiftSpec>,
+    memories: Vec<MemorySpec>,
+    dma: DmaDesign,
+    data_bits: u32,
+    host_cpu: bool,
+    global_stall: bool,
+}
+
+impl AcceleratorSpec {
+    /// Creates a spec with default bounds (`4` per iterator), the
+    /// output-stationary transform (when the rank is 3), 32-bit data, and a
+    /// single-request DMA.
+    pub fn new(name: impl Into<String>, func: Functionality) -> AcceleratorSpec {
+        let rank = func.rank().max(1);
+        let transform = if rank == 3 {
+            SpaceTimeTransform::output_stationary()
+        } else {
+            SpaceTimeTransform::new(stellar_linalg::IntMat::identity(rank))
+                .expect("identity transform is invertible")
+        };
+        AcceleratorSpec {
+            name: name.into(),
+            func,
+            bounds: Bounds::from_extents(&vec![4; rank]),
+            transform,
+            skips: Vec::new(),
+            shifts: Vec::new(),
+            memories: Vec::new(),
+            dma: DmaDesign::default(),
+            data_bits: 32,
+            host_cpu: true,
+            global_stall: true,
+        }
+    }
+
+    /// Sets the elaboration bounds (tile shape).
+    pub fn with_bounds(mut self, bounds: Bounds) -> AcceleratorSpec {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Sets the dataflow (space-time transform).
+    pub fn with_transform(mut self, t: SpaceTimeTransform) -> AcceleratorSpec {
+        self.transform = t;
+        self
+    }
+
+    /// Adds a sparsity clause.
+    pub fn with_skip(mut self, s: SkipSpec) -> AcceleratorSpec {
+        self.skips.push(s);
+        self
+    }
+
+    /// Adds a load-balancing clause.
+    pub fn with_shift(mut self, s: ShiftSpec) -> AcceleratorSpec {
+        self.shifts.push(s);
+        self
+    }
+
+    /// Adds a private memory buffer.
+    pub fn with_memory(mut self, m: MemorySpec) -> AcceleratorSpec {
+        self.memories.push(m);
+        self
+    }
+
+    /// Sets the DMA configuration.
+    pub fn with_dma(mut self, dma: DmaDesign) -> AcceleratorSpec {
+        self.dma = dma;
+        self
+    }
+
+    /// Sets the data width in bits.
+    pub fn with_data_bits(mut self, bits: u32) -> AcceleratorSpec {
+        self.data_bits = bits;
+        self
+    }
+
+    /// Includes or excludes the RISC-V host CPU.
+    pub fn with_host_cpu(mut self, host: bool) -> AcceleratorSpec {
+        self.host_cpu = host;
+        self
+    }
+
+    /// Enables or disables the global start/stall signals (a Stellar
+    /// overhead source discussed in §VI-B).
+    pub fn with_global_stall(mut self, stall: bool) -> AcceleratorSpec {
+        self.global_stall = stall;
+        self
+    }
+
+    /// The accelerator name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The functionality.
+    pub fn functionality(&self) -> &Functionality {
+        &self.func
+    }
+
+    /// The bounds.
+    pub fn bounds(&self) -> &Bounds {
+        &self.bounds
+    }
+
+    /// The transform.
+    pub fn transform(&self) -> &SpaceTimeTransform {
+        &self.transform
+    }
+
+    /// The sparsity clauses.
+    pub fn skips(&self) -> &[SkipSpec] {
+        &self.skips
+    }
+
+    /// The load-balancing clauses.
+    pub fn shifts(&self) -> &[ShiftSpec] {
+        &self.shifts
+    }
+
+    /// The memory specs.
+    pub fn memories(&self) -> &[MemorySpec] {
+        &self.memories
+    }
+}
+
+fn bits_for(n: i64) -> u32 {
+    (64 - (n.max(1) as u64).leading_zeros()).max(1)
+}
+
+/// Compiles an accelerator specification into a hardware design, running
+/// the full pipeline of Figure 7.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if any specification is invalid, the
+/// transform collides or violates causality, or a memory spec is
+/// inconsistent.
+pub fn compile(spec: &AcceleratorSpec) -> Result<AcceleratorDesign, CompileError> {
+    let func = &spec.func;
+    func.validate()?;
+    for m in &spec.memories {
+        m.validate()?;
+    }
+
+    // 1. Elaborate the baseline dense IterationSpace (Figure 9a).
+    let mut is = IterationSpace::elaborate(func, &spec.bounds)?;
+
+    // 2. Prune connections per the sparsity specs (Figure 9b).
+    prune::apply_sparsity(&mut is, func, &spec.skips);
+
+    // 3. Prune connections per the load-balancing specs (Figure 10).
+    prune::apply_balance(&mut is, func, &spec.shifts);
+
+    // 4. Apply the space-time transform (Figure 9c).
+    let array = SpatialArray::from_iterspace(&is, func, &spec.transform)?;
+
+    // 5. Assemble the spatial array design.
+    let comparators_per_pe = func
+        .vars()
+        .filter_map(|v| func.compute_assign(v))
+        .map(|a| a.rhs.num_comparators())
+        .sum::<usize>()
+        + func
+            .outputs()
+            .iter()
+            .map(|o| o.rhs.num_comparators())
+            .sum::<usize>();
+    let array_design = SpatialArrayDesign {
+        name: format!("{}_array", spec.name),
+        space_dims: spec.transform.space_dims(),
+        pe_coords: array.pes().iter().map(|p| p.coords.clone()).collect(),
+        conns: array
+            .conns()
+            .iter()
+            .map(|c| ConnDesign {
+                var: func.var_name(c.var).to_string(),
+                src_pe: c.src_pe,
+                dst_pe: c.dst_pe,
+                registers: c.registers,
+                bundle: c.bundle,
+            })
+            .collect(),
+        io_ports: array
+            .io_ports()
+            .iter()
+            .map(|p| IoPortDesign {
+                tensor: func.tensor_name(p.tensor).to_string(),
+                dir: match p.dir {
+                    IoDir::Read => PortDir::Read,
+                    IoDir::Write => PortDir::Write,
+                },
+                pe: p.pe,
+                accesses: p.accesses,
+            })
+            .collect(),
+        macs_per_pe: array.pes().iter().map(|p| p.macs).max().unwrap_or(0),
+        time_steps: array.total_time_steps(),
+        time_counter_bits: bits_for(array.total_time_steps()),
+        has_global_stall: spec.global_stall,
+        comparators_per_pe,
+    };
+
+    // 6. Register files: one per tensor, optimized by producer/consumer
+    //    order comparison (§IV-D).
+    let mut regfiles = Vec::new();
+    for t in func.tensors() {
+        let role = func.tensor_role(t);
+        let (array_dir, mem_is_producer) = match role {
+            TensorRole::Input => (IoDir::Read, true),
+            TensorRole::Output => (IoDir::Write, false),
+        };
+        let Some(array_order) = array.access_order(t, array_dir) else {
+            continue;
+        };
+        // The memory-buffer side order is provable only when hardcoded.
+        let mem_spec = spec.memories.iter().find(|m| m.tensor() == t);
+        let mem_order: Option<AccessOrder> =
+            mem_spec.and_then(|m| m.hardcoded()).map(|h| h.emission_order());
+        let kind = match (&mem_order, mem_is_producer) {
+            (Some(mem), true) => choose_regfile(mem, array_order),
+            (Some(mem), false) => choose_regfile(array_order, mem),
+            (None, _) => {
+                if array_order.is_single_pass() {
+                    RegfileKind::EdgeIo
+                } else {
+                    RegfileKind::Baseline
+                }
+            }
+        };
+        // Tile footprint: distinct coordinates accessed.
+        let mut coords: Vec<&[i64]> = array_order.coords().collect();
+        coords.sort();
+        coords.dedup();
+        let entries = coords.len();
+        let coord_bits = match kind {
+            RegfileKind::FeedForward | RegfileKind::Transposing => 0,
+            _ => func
+                .tensor_axes(t)
+                .iter()
+                .map(|&idx| bits_for(spec.bounds.extent(idx)))
+                .sum(),
+        };
+        let array_ports = array
+            .io_ports()
+            .iter()
+            .filter(|p| p.tensor == t && p.dir == array_dir)
+            .count()
+            .max(1);
+        let mem_ports = mem_spec.map_or(1, |m| m.width_elems()).max(1);
+        let (in_ports, out_ports) = match role {
+            TensorRole::Input => (mem_ports, array_ports),
+            TensorRole::Output => (array_ports, mem_ports),
+        };
+        regfiles.push(RegfileDesign {
+            name: format!("rf_{}", func.tensor_name(t)),
+            tensor: func.tensor_name(t).to_string(),
+            kind,
+            entries,
+            in_ports,
+            out_ports,
+            coord_bits,
+            data_bits: spec.data_bits,
+        });
+    }
+
+    // 7. Memory buffers: user specs, or a default dense buffer per tensor.
+    let mut mem_buffers = Vec::new();
+    for t in func.tensors() {
+        let footprint: usize = func
+            .tensor_axes(t)
+            .iter()
+            .map(|&idx| spec.bounds.extent(idx) as usize)
+            .product();
+        match spec.memories.iter().find(|m| m.tensor() == t) {
+            Some(m) => {
+                let stages = m.pipeline_stages();
+                mem_buffers.push(MemBufferDesign {
+                    name: m.name().to_string(),
+                    tensor: func.tensor_name(t).to_string(),
+                    formats: m.formats().to_vec(),
+                    capacity_words: m.capacity_words(),
+                    width_elems: m.width_elems(),
+                    banks: m.banks(),
+                    indirect_stages: stages
+                        .iter()
+                        .filter(|s| s.kind == crate::memory::StageKind::IndirectLookup)
+                        .count(),
+                    direct_stages: stages
+                        .iter()
+                        .filter(|s| s.kind == crate::memory::StageKind::DirectAddressGen)
+                        .count(),
+                    hardcoded: m.hardcoded().is_some(),
+                });
+            }
+            None => {
+                let rank = func.tensor_axes(t).len();
+                mem_buffers.push(MemBufferDesign {
+                    name: format!("sram_{}", func.tensor_name(t)),
+                    tensor: func.tensor_name(t).to_string(),
+                    formats: vec![stellar_tensor::AxisFormat::Dense; rank],
+                    capacity_words: footprint.max(1),
+                    width_elems: 1,
+                    banks: 1,
+                    indirect_stages: 0,
+                    direct_stages: rank,
+                    hardcoded: false,
+                });
+            }
+        }
+    }
+
+    // 8. Load balancers (§IV-E): one per shift clause, monitoring the input
+    //    regfiles.
+    let input_regfiles = func
+        .tensors()
+        .filter(|&t| func.tensor_role(t) == TensorRole::Input)
+        .count();
+    let load_balancers = spec
+        .shifts
+        .iter()
+        .enumerate()
+        .map(|(n, s)| LoadBalancerDesign {
+            name: format!("balancer_{n}"),
+            bias: s.bias().to_vec(),
+            per_pe: s.granularity() == Granularity::PerPe,
+            monitored_regfiles: input_regfiles,
+        })
+        .collect();
+
+    Ok(AcceleratorDesign {
+        name: spec.name.clone(),
+        data_bits: spec.data_bits,
+        spatial_arrays: vec![array_design],
+        regfiles,
+        mem_buffers,
+        load_balancers,
+        dma: spec.dma,
+        has_host_cpu: spec.host_cpu,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexId;
+    use crate::memory::{EmissionOrder, HardcodedParams};
+    use stellar_tensor::AxisFormat::{Compressed, Dense};
+
+    fn idx(n: usize) -> IndexId {
+        IndexId::nth(n)
+    }
+
+    #[test]
+    fn dense_output_stationary_compiles() {
+        let spec = AcceleratorSpec::new("dense", Functionality::matmul(4, 4, 4))
+            .with_transform(SpaceTimeTransform::output_stationary());
+        let d = compile(&spec).unwrap();
+        assert_eq!(d.spatial_arrays.len(), 1);
+        assert_eq!(d.spatial_arrays[0].num_pes(), 16);
+        assert_eq!(d.regfiles.len(), 3);
+        assert_eq!(d.mem_buffers.len(), 3);
+        assert!(d.load_balancers.is_empty());
+        assert!(d.has_host_cpu);
+    }
+
+    #[test]
+    fn sparse_b_has_fewer_conns_more_ports() {
+        let dense = compile(
+            &AcceleratorSpec::new("dense", Functionality::matmul(4, 4, 4))
+                .with_transform(SpaceTimeTransform::input_stationary()),
+        )
+        .unwrap();
+        let sparse = compile(
+            &AcceleratorSpec::new("sparse", Functionality::matmul(4, 4, 4))
+                .with_transform(SpaceTimeTransform::input_stationary())
+                .with_skip(SkipSpec::skip(&[idx(1)], &[idx(2)])),
+        )
+        .unwrap();
+        let (da, sa) = (&dense.spatial_arrays[0], &sparse.spatial_arrays[0]);
+        assert!(
+            sa.conns.len() < da.conns.len(),
+            "sparse array must have fewer PE-to-PE conns ({} vs {})",
+            sa.conns.len(),
+            da.conns.len()
+        );
+        assert!(
+            sa.num_io_ports() > da.num_io_ports(),
+            "sparse array must have more regfile ports ({} vs {})",
+            sa.num_io_ports(),
+            da.num_io_ports()
+        );
+    }
+
+    #[test]
+    fn hardcoded_memory_enables_feed_forward_regfile() {
+        // Matching wavefront producer and consumer orders (Figure 13) give
+        // a feed-forward regfile for B under output-stationary dataflow.
+        let func = Functionality::matmul(4, 4, 4);
+        let tb = func.tensors().nth(1).unwrap();
+        let spec = AcceleratorSpec::new("hc", func)
+            .with_transform(SpaceTimeTransform::output_stationary())
+            .with_memory(
+                MemorySpec::new("SRAM_B", tb, vec![Dense, Dense]).with_hardcoded(
+                    HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront),
+                ),
+            );
+        let d = compile(&spec).unwrap();
+        let rf_b = d.regfiles.iter().find(|r| r.tensor == "B").unwrap();
+        // B(k, j) is consumed in wavefront order by the OS array.
+        assert_eq!(rf_b.kind, RegfileKind::FeedForward);
+        assert_eq!(rf_b.coord_bits, 0);
+        // Without hardcoding, the same regfile is only edge-IO.
+        let spec2 = AcceleratorSpec::new("nohc", Functionality::matmul(4, 4, 4))
+            .with_transform(SpaceTimeTransform::output_stationary());
+        let d2 = compile(&spec2).unwrap();
+        let rf_b2 = d2.regfiles.iter().find(|r| r.tensor == "B").unwrap();
+        assert_eq!(rf_b2.kind, RegfileKind::EdgeIo);
+    }
+
+    #[test]
+    fn sparse_memory_spec_counts_stages() {
+        let func = Functionality::matmul(4, 4, 4);
+        let tb = func.tensors().nth(1).unwrap();
+        let spec = AcceleratorSpec::new("csr", func)
+            .with_memory(MemorySpec::new("SRAM_B", tb, vec![Dense, Compressed]));
+        let d = compile(&spec).unwrap();
+        let buf = d.mem_buffers.iter().find(|b| b.tensor == "B").unwrap();
+        assert_eq!(buf.indirect_stages, 1);
+        assert_eq!(buf.direct_stages, 1);
+        assert_eq!(buf.num_stages(), 2);
+    }
+
+    #[test]
+    fn shift_produces_balancer() {
+        let spec = AcceleratorSpec::new("lb", Functionality::matmul(4, 4, 4)).with_shift(
+            ShiftSpec::new(
+                crate::balance::Region::all(3).restrict(idx(0), 2, 4),
+                vec![-2, 0, 1],
+                Granularity::PerPe,
+            ),
+        );
+        let d = compile(&spec).unwrap();
+        assert_eq!(d.load_balancers.len(), 1);
+        assert!(d.load_balancers[0].per_pe);
+        assert_eq!(d.load_balancers[0].bias, vec![-2, 0, 1]);
+        assert_eq!(d.load_balancers[0].monitored_regfiles, 2);
+    }
+
+    #[test]
+    fn optimistic_skip_bundles_conns() {
+        let spec = AcceleratorSpec::new("a100", Functionality::matmul(4, 4, 4))
+            .with_transform(SpaceTimeTransform::output_stationary())
+            .with_skip(SkipSpec::optimistic_skip(&[idx(1)], &[idx(2)], 2));
+        let d = compile(&spec).unwrap();
+        let arr = &d.spatial_arrays[0];
+        assert!(arr.conns.iter().any(|c| c.bundle == 2));
+    }
+
+    #[test]
+    fn default_mem_buffer_footprint() {
+        let spec = AcceleratorSpec::new("mm", Functionality::matmul(4, 4, 4))
+            .with_bounds(Bounds::from_extents(&[8, 4, 2]));
+        let d = compile(&spec).unwrap();
+        let a = d.mem_buffers.iter().find(|b| b.tensor == "A").unwrap();
+        assert_eq!(a.capacity_words, 16); // A(i, k) → 8 * 2
+    }
+}

@@ -1,0 +1,155 @@
+//! A disassembler: renders encoded instruction streams back into the
+//! C-style pseudocode of Listing 7, for debugging programs and for
+//! documentation.
+
+use stellar_tensor::AxisFormat;
+
+use crate::encoding::{axis_format_from_bits, Instruction, MetadataType, Opcode, Target};
+use crate::program::Program;
+
+fn target_name(t: Target) -> &'static str {
+    match t {
+        Target::Src => "FOR_SRC",
+        Target::Dst => "FOR_DST",
+        Target::Both => "FOR_BOTH",
+    }
+}
+
+fn metadata_name(m: MetadataType) -> &'static str {
+    match m {
+        MetadataType::RowId => "ROW_ID",
+        MetadataType::Coord => "COORDS",
+    }
+}
+
+fn axis_name(f: AxisFormat) -> &'static str {
+    match f {
+        AxisFormat::Dense => "DENSE",
+        AxisFormat::Compressed => "COMPRESSED",
+        AxisFormat::Bitvector => "BITVECTOR",
+        AxisFormat::LinkedList => "LINKED_LIST",
+    }
+}
+
+/// Renders one instruction as a line of Listing-7-style C.
+pub fn disassemble_instruction(i: &Instruction) -> String {
+    let t = target_name(i.target);
+    match i.opcode {
+        Opcode::SetAddress => match (i.axis, i.metadata) {
+            (0xFF, _) => format!("set_src_and_dst(/*route=*/{});", i.rs2),
+            (_, Some(m)) => format!(
+                "set_metadata_addr({t}, /*axis=*/{}, {}, 0x{:x});",
+                i.axis,
+                metadata_name(m),
+                i.rs2
+            ),
+            (_, None) => format!("set_data_addr({t}, 0x{:x});", i.rs2),
+        },
+        Opcode::SetSpan => {
+            if i.rs2 == u64::MAX {
+                format!("set_span({t}, /*axis=*/{}, ENTIRE_AXIS);", i.axis)
+            } else {
+                format!("set_span({t}, /*axis=*/{}, {});", i.axis, i.rs2)
+            }
+        }
+        Opcode::SetDataStride => format!("set_stride({t}, /*axis=*/{}, {});", i.axis, i.rs2),
+        Opcode::SetMetadataStride => format!(
+            "set_metadata_stride({t}, /*axis=*/{}, {}, {});",
+            i.axis,
+            i.metadata.map_or("?", metadata_name),
+            i.rs2
+        ),
+        Opcode::SetAxisType => format!(
+            "set_axis({t}, /*axis=*/{}, {});",
+            i.axis,
+            axis_format_from_bits(i.rs2).map_or("?", axis_name)
+        ),
+        Opcode::SetConstant => format!("set_constant(/*id=*/{}, {});", i.axis, i.rs2),
+        Opcode::Issue => "stellar_issue();".to_string(),
+    }
+}
+
+/// Renders a whole program as Listing-7-style C.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for (n, i) in program.instructions().iter().enumerate() {
+        // Annotate route establishment with the actual units.
+        if i.opcode == Opcode::SetAddress && i.axis == 0xFF {
+            if let Some((src, dst)) = program.routes().get(i.rs2 as usize) {
+                out.push_str(&format!("// transfer {}: {src:?} -> {dst:?}\n", i.rs2));
+            }
+        }
+        out.push_str(&disassemble_instruction(i));
+        out.push('\n');
+        if i.opcode == Opcode::Issue && n + 1 < program.instructions().len() {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::MemUnit;
+
+    #[test]
+    fn listing7_shape_round_trips_to_c() {
+        let mut p = Program::new();
+        p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_B"));
+        p.set_data_addr_src(0x2000);
+        p.set_metadata_addr_src(0, MetadataType::RowId, 0x3000);
+        p.set_span(0, u64::MAX);
+        p.set_span(1, 64);
+        p.set_axis_type(0, AxisFormat::Compressed);
+        p.set_metadata_stride(0, MetadataType::Coord, 1);
+        p.issue();
+        let c = disassemble(&p);
+        assert!(c.contains("set_src_and_dst"));
+        assert!(c.contains("set_data_addr(FOR_SRC, 0x2000);"));
+        assert!(c.contains("set_metadata_addr(FOR_SRC, /*axis=*/0, ROW_ID, 0x3000);"));
+        assert!(c.contains("set_span(FOR_BOTH, /*axis=*/0, ENTIRE_AXIS);"));
+        assert!(c.contains("set_axis(FOR_BOTH, /*axis=*/0, COMPRESSED);"));
+        assert!(c.contains("set_metadata_stride(FOR_BOTH, /*axis=*/0, COORDS, 1);"));
+        assert!(c.contains("stellar_issue();"));
+        assert!(c.contains("SRAM_B"));
+    }
+
+    #[test]
+    fn every_opcode_disassembles() {
+        use crate::encoding::Instruction;
+        for op in [
+            Opcode::SetAddress,
+            Opcode::SetSpan,
+            Opcode::SetDataStride,
+            Opcode::SetMetadataStride,
+            Opcode::SetAxisType,
+            Opcode::SetConstant,
+            Opcode::Issue,
+        ] {
+            let i = Instruction {
+                opcode: op,
+                target: Target::Both,
+                axis: 1,
+                metadata: None,
+                rs2: if op == Opcode::SetAxisType { 0 } else { 5 },
+            };
+            let s = disassemble_instruction(&i);
+            assert!(!s.is_empty());
+            assert!(s.ends_with(';'), "{s}");
+        }
+    }
+
+    #[test]
+    fn decoded_stream_disassembles_identically() {
+        let mut p = Program::new();
+        p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("X"));
+        p.set_span(0, 8);
+        p.issue();
+        for i in p.instructions() {
+            let (f, r1, r2) = i.encode();
+            let back = Instruction::decode(f, r1, r2).unwrap();
+            assert_eq!(disassemble_instruction(&back), disassemble_instruction(i));
+        }
+    }
+}

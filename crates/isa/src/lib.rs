@@ -1,0 +1,59 @@
+//! The RISC-V custom-instruction programming interface of Table II.
+//!
+//! Stellar-generated accelerators are programmed with a small set of
+//! configuration instructions — `set_address`, `set_span`,
+//! `set_data_stride`, `set_metadata_stride`, `set_axis_type`,
+//! `set_constant` — followed by `issue`, which launches a data movement
+//! between two memory units (DRAM, a private memory buffer, or a register
+//! file). Spatial arrays begin execution as soon as their input register
+//! files fill (§V).
+//!
+//! This crate provides:
+//!
+//! * [`Instruction`] with exact 64-bit [`encode`]/[`decode`] round trips
+//!   (the `Rs1[19:16]` target / `Rs1[15:0]` axis packing of Table II),
+//! * [`Program`], a builder with the same shape as the C snippets of
+//!   Listing 7,
+//! * [`Host`], an interpreter that executes programs against a DRAM model
+//!   and named buffers, moving dense and CSR tensors and accounting DMA
+//!   cycles via [`stellar_sim::DmaModel`].
+//!
+//! [`encode`]: Instruction::encode
+//! [`decode`]: Instruction::decode
+//!
+//! # Examples
+//!
+//! Moving a dense matrix into `SRAM_A` (the first half of Listing 7):
+//!
+//! ```
+//! use stellar_isa::{Host, MemUnit, Program};
+//! use stellar_tensor::{AxisFormat, DenseMatrix};
+//!
+//! let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let mut host = Host::new();
+//! let addr = host.dram_store_dense(&a);
+//!
+//! let mut p = Program::new();
+//! p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));
+//! p.set_data_addr_src(addr);
+//! for axis in 0..2 {
+//!     p.set_span(axis, 2);
+//!     p.set_axis_type(axis, AxisFormat::Dense);
+//! }
+//! p.set_data_stride(0, 2);
+//! p.set_data_stride(1, 1);
+//! p.issue();
+//!
+//! host.run(&p).unwrap();
+//! assert_eq!(host.buffer_dense("SRAM_A").unwrap(), a);
+//! ```
+
+mod disasm;
+mod encoding;
+mod host;
+mod program;
+
+pub use disasm::{disassemble, disassemble_instruction};
+pub use encoding::{Instruction, IsaError, MetadataType, Opcode, Target};
+pub use host::{Host, HostError, TensorPayload};
+pub use program::{MemUnit, Program};

@@ -1,0 +1,191 @@
+//! The program builder: the C API of Listing 7, producing instruction
+//! streams.
+
+use stellar_tensor::AxisFormat;
+
+use crate::encoding::{axis_format_bits, Instruction, MetadataType, Opcode, Target};
+
+/// A memory unit addressable by the ISA.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum MemUnit {
+    /// Off-chip DRAM (or the shared L2, in a Chipyard SoC).
+    Dram,
+    /// A named private memory buffer.
+    Buffer(String),
+    /// A named register file (spatial arrays start when these fill, §V).
+    Regfile(String),
+}
+
+impl MemUnit {
+    /// Shorthand for a named buffer.
+    pub fn buffer(name: impl Into<String>) -> MemUnit {
+        MemUnit::Buffer(name.into())
+    }
+
+    /// Shorthand for a named regfile.
+    pub fn regfile(name: impl Into<String>) -> MemUnit {
+        MemUnit::Regfile(name.into())
+    }
+}
+
+/// An instruction stream under construction, with the `set_*`/`issue`
+/// methods of Listing 7. The builder also records the src/dst units, which
+/// in hardware are routed via `set_address` with regfile/buffer IDs.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    instrs: Vec<Instruction>,
+    /// The (src, dst) unit pairs established by `set_src_and_dst`, in
+    /// order, one per subsequent `issue`.
+    routes: Vec<(MemUnit, MemUnit)>,
+}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// The encoded instruction stream.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instrs
+    }
+
+    /// The src/dst routes, one per issue.
+    pub fn routes(&self) -> &[(MemUnit, MemUnit)] {
+        &self.routes
+    }
+
+    fn push(&mut self, opcode: Opcode, target: Target, axis: u8, metadata: Option<MetadataType>, rs2: u64) {
+        self.instrs.push(Instruction {
+            opcode,
+            target,
+            axis,
+            metadata,
+            rs2,
+        });
+    }
+
+    /// `set_src_and_dst(DRAM, SRAM_A)`.
+    pub fn set_src_and_dst(&mut self, src: MemUnit, dst: MemUnit) {
+        let route_id = self.routes.len() as u64;
+        self.routes.push((src, dst));
+        self.push(Opcode::SetAddress, Target::Both, 0xFF, None, route_id);
+    }
+
+    /// `set_data_addr(FOR_SRC, ptr)`.
+    pub fn set_data_addr_src(&mut self, addr: u64) {
+        self.push(Opcode::SetAddress, Target::Src, 0, None, addr);
+    }
+
+    /// `set_data_addr(FOR_DST, ptr)`.
+    pub fn set_data_addr_dst(&mut self, addr: u64) {
+        self.push(Opcode::SetAddress, Target::Dst, 0, None, addr);
+    }
+
+    /// `set_metadata_addr(FOR_SRC, axis, kind, ptr)`.
+    pub fn set_metadata_addr_src(&mut self, axis: u8, kind: MetadataType, addr: u64) {
+        self.push(Opcode::SetAddress, Target::Src, axis, Some(kind), addr);
+    }
+
+    /// `set_span(FOR_BOTH, axis, n)`.
+    pub fn set_span(&mut self, axis: u8, n: u64) {
+        self.push(Opcode::SetSpan, Target::Both, axis, None, n);
+    }
+
+    /// `set_stride(FOR_BOTH, axis, stride)`.
+    pub fn set_data_stride(&mut self, axis: u8, stride: u64) {
+        self.push(Opcode::SetDataStride, Target::Both, axis, None, stride);
+    }
+
+    /// `set_metadata_stride(FOR_BOTH, axis, kind, stride)`.
+    pub fn set_metadata_stride(&mut self, axis: u8, kind: MetadataType, stride: u64) {
+        self.push(Opcode::SetMetadataStride, Target::Both, axis, Some(kind), stride);
+    }
+
+    /// `set_axis(FOR_BOTH, axis, DENSE / COMPRESSED / ...)`.
+    pub fn set_axis_type(&mut self, axis: u8, format: AxisFormat) {
+        self.push(
+            Opcode::SetAxisType,
+            Target::Both,
+            axis,
+            None,
+            axis_format_bits(format),
+        );
+    }
+
+    /// `set_constant(id, value)` — e.g. `should_trail_reads`.
+    pub fn set_constant(&mut self, id: u8, value: u64) {
+        self.push(Opcode::SetConstant, Target::Both, id, None, value);
+    }
+
+    /// `stellar_issue()`.
+    pub fn issue(&mut self) {
+        self.push(Opcode::Issue, Target::Both, 0, None, 0);
+    }
+
+    /// Number of issues in the program.
+    pub fn num_issues(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter(|i| i.opcode == Opcode::Issue)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listing7_dense_shape() {
+        // The dense half of Listing 7.
+        let mut p = Program::new();
+        p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));
+        p.set_data_addr_src(0x1000);
+        for axis in 0..2 {
+            p.set_span(axis, 16);
+            p.set_axis_type(axis, AxisFormat::Dense);
+        }
+        p.set_data_stride(0, 1);
+        p.set_data_stride(1, 16);
+        p.issue();
+        assert_eq!(p.num_issues(), 1);
+        assert_eq!(p.instructions().len(), 9);
+        assert_eq!(p.routes().len(), 1);
+    }
+
+    #[test]
+    fn listing7_csr_shape() {
+        // The CSR half of Listing 7: metadata addresses for ROW_ID/COORDS.
+        let mut p = Program::new();
+        p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_B"));
+        p.set_data_addr_src(0x2000);
+        p.set_metadata_addr_src(0, MetadataType::RowId, 0x3000);
+        p.set_metadata_addr_src(0, MetadataType::Coord, 0x4000);
+        p.set_span(0, u64::MAX); // ENTIRE_AXIS
+        p.set_span(1, 64);
+        p.set_data_stride(0, 1);
+        p.set_metadata_stride(0, MetadataType::Coord, 1);
+        p.set_metadata_stride(1, MetadataType::RowId, 1);
+        p.set_axis_type(0, AxisFormat::Compressed);
+        p.set_axis_type(1, AxisFormat::Dense);
+        p.issue();
+        assert_eq!(p.num_issues(), 1);
+        // All instructions encode and decode losslessly.
+        for i in p.instructions() {
+            let (f, r1, r2) = i.encode();
+            assert_eq!(&Instruction::decode(f, r1, r2).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn multiple_routes() {
+        let mut p = Program::new();
+        p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("A"));
+        p.issue();
+        p.set_src_and_dst(MemUnit::buffer("A"), MemUnit::regfile("rf_A"));
+        p.issue();
+        assert_eq!(p.routes().len(), 2);
+        assert_eq!(p.num_issues(), 2);
+    }
+}

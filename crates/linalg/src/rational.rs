@@ -1,0 +1,257 @@
+//! A small exact rational number type.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.abs()
+}
+
+/// An exact rational number backed by `i64` numerator and denominator.
+///
+/// The representation is always normalized: the denominator is positive and
+/// `gcd(|num|, den) == 1`. Zero is represented as `0/1`.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_linalg::Rational;
+///
+/// let half = Rational::new(1, 2);
+/// let third = Rational::new(1, 3);
+/// assert_eq!(half + third, Rational::new(5, 6));
+/// assert!(half > third);
+/// assert_eq!(Rational::new(2, 4), half);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a new rational `num / den`, normalizing the representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: i64, den: i64) -> Rational {
+        assert!(den != 0, "rational denominator must be non-zero");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num.abs(), den.abs()).max(1);
+        Rational {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// The numerator of the normalized representation.
+    pub fn numer(self) -> i64 {
+        self.num
+    }
+
+    /// The (always positive) denominator of the normalized representation.
+    pub fn denom(self) -> i64 {
+        self.den
+    }
+
+    /// Returns `true` if this rational is an integer.
+    pub fn is_integer(self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if this rational equals zero.
+    pub fn is_zero(self) -> bool {
+        self.num == 0
+    }
+
+    /// Converts to `i64` if the value is an integer.
+    pub fn to_integer(self) -> Option<i64> {
+        if self.den == 1 {
+            Some(self.num)
+        } else {
+            None
+        }
+    }
+
+    /// The multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(self) -> Rational {
+        assert!(self.num != 0, "cannot invert zero");
+        Rational::new(self.den, self.num)
+    }
+
+    /// The absolute value.
+    pub fn abs(self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Approximate conversion to `f64` (for reporting only; all compiler
+    /// decisions use exact arithmetic).
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Rational {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Rational {
+        Rational { num: v, den: 1 }
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den + rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.den - rhs.num * self.den, self.den * rhs.den)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::new(self.num * rhs.num, self.den * rhs.den)
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::new(self.num * rhs.den, self.den * rhs.num)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Rational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Rational) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (self.num as i128 * other.den as i128).cmp(&(other.num as i128 * self.den as i128))
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(-2, -4), Rational::new(1, 2));
+        assert_eq!(Rational::new(2, -4), Rational::new(-1, 2));
+        assert_eq!(Rational::new(0, 5), Rational::ZERO);
+        assert_eq!(Rational::new(0, -5).denom(), 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Rational::new(1, 2);
+        let b = Rational::new(1, 3);
+        assert_eq!(a + b, Rational::new(5, 6));
+        assert_eq!(a - b, Rational::new(1, 6));
+        assert_eq!(a * b, Rational::new(1, 6));
+        assert_eq!(a / b, Rational::new(3, 2));
+        assert_eq!(-a, Rational::new(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rational::new(1, 2) > Rational::new(1, 3));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert!(Rational::new(7, 7) == Rational::ONE);
+    }
+
+    #[test]
+    fn integer_checks() {
+        assert!(Rational::new(4, 2).is_integer());
+        assert_eq!(Rational::new(4, 2).to_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn recip_and_abs() {
+        assert_eq!(Rational::new(2, 3).recip(), Rational::new(3, 2));
+        assert_eq!(Rational::new(-2, 3).recip(), Rational::new(-3, 2));
+        assert_eq!(Rational::new(-2, 3).abs(), Rational::new(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Rational::new(3, 1)), "3");
+        assert_eq!(format!("{}", Rational::new(3, 2)), "3/2");
+        assert_eq!(format!("{:?}", Rational::new(-3, 2)), "-3/2");
+    }
+}

@@ -1,0 +1,71 @@
+//! Small helpers for integer lattice vectors.
+//!
+//! Difference vectors (§IV-B of the paper) and space-time coordinates are
+//! plain `Vec<i64>` lattice vectors; these free functions keep call sites in
+//! the compiler terse.
+
+/// An integer lattice vector, e.g. a difference vector `(Δi, Δj, Δk)` or a
+/// space-time coordinate `(x, y, t)`.
+pub type IntVec = Vec<i64>;
+
+/// Element-wise sum of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn add(a: &[i64], b: &[i64]) -> IntVec {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn sub(a: &[i64], b: &[i64]) -> IntVec {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales a vector by an integer factor.
+pub fn scale(a: &[i64], k: i64) -> IntVec {
+    a.iter().map(|x| x * k).collect()
+}
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn dot(a: &[i64], b: &[i64]) -> i64 {
+    assert_eq!(a.len(), b.len(), "vector length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Returns `true` if every component is zero.
+pub fn is_zero(a: &[i64]) -> bool {
+    a.iter().all(|&x| x == 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_ops() {
+        assert_eq!(add(&[1, 2], &[3, 4]), vec![4, 6]);
+        assert_eq!(sub(&[1, 2], &[3, 4]), vec![-2, -2]);
+        assert_eq!(scale(&[1, -2], 3), vec![3, -6]);
+        assert_eq!(dot(&[1, 2, 3], &[4, 5, 6]), 32);
+        assert!(is_zero(&[0, 0, 0]));
+        assert!(!is_zero(&[0, 1, 0]));
+        assert!(is_zero(&[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = add(&[1], &[1, 2]);
+    }
+}

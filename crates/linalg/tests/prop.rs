@@ -1,0 +1,81 @@
+//! Property-based tests for exact linear algebra invariants.
+
+use proptest::prelude::*;
+use stellar_linalg::{IntMat, Rational};
+
+fn small_mat(n: usize) -> impl Strategy<Value = IntMat> {
+    proptest::collection::vec(-5i64..=5, n * n)
+        .prop_map(move |data| IntMat::from_vec(n, n, data))
+}
+
+proptest! {
+    #[test]
+    fn rational_add_commutes(a in -50i64..50, b in 1i64..50, c in -50i64..50, d in 1i64..50) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn rational_add_associates(a in -20i64..20, b in 1i64..10, c in -20i64..20,
+                               d in 1i64..10, e in -20i64..20, f in 1i64..10) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        let z = Rational::new(e, f);
+        prop_assert_eq!((x + y) + z, x + (y + z));
+        prop_assert_eq!((x * y) * z, x * (y * z));
+        prop_assert_eq!(x * (y + z), x * y + x * z);
+    }
+
+    #[test]
+    fn rational_sub_is_add_neg(a in -50i64..50, b in 1i64..50, c in -50i64..50, d in 1i64..50) {
+        let x = Rational::new(a, b);
+        let y = Rational::new(c, d);
+        prop_assert_eq!(x - y, x + (-y));
+    }
+
+    #[test]
+    fn det_of_product_is_product_of_dets(a in small_mat(3), b in small_mat(3)) {
+        prop_assert_eq!(a.mul_mat(&b).det(), a.det() * b.det());
+    }
+
+    #[test]
+    fn det_transpose_invariant(a in small_mat(3)) {
+        prop_assert_eq!(a.det(), a.transpose().det());
+    }
+
+    #[test]
+    fn inverse_recovers_preimage(a in small_mat(3), v in proptest::collection::vec(-10i64..=10, 3)) {
+        if let Some(inv) = a.inverse() {
+            let image = a.mul_vec(&v);
+            prop_assert_eq!(inv.mul_int_vec(&image), Some(v));
+        } else {
+            prop_assert_eq!(a.det(), 0);
+        }
+    }
+
+    #[test]
+    fn unimodular_inverse_is_integral(perm in proptest::sample::select(vec![
+        [0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+    ])) {
+        // Permutation matrices are unimodular; inverse must be integral.
+        let mut m = IntMat::zeros(3, 3);
+        for (r, &c) in perm.iter().enumerate() {
+            m[(r, c)] = 1;
+        }
+        prop_assert_eq!(m.det().abs(), 1);
+        let inv = m.inverse().unwrap().to_int().unwrap();
+        prop_assert_eq!(m.mul_mat(&inv), IntMat::identity(3));
+    }
+
+    #[test]
+    fn mat_vec_linear(a in small_mat(3),
+                      u in proptest::collection::vec(-10i64..=10, 3),
+                      w in proptest::collection::vec(-10i64..=10, 3)) {
+        let sum = stellar_linalg::add(&u, &w);
+        let lhs = a.mul_vec(&sum);
+        let rhs = stellar_linalg::add(&a.mul_vec(&u), &a.mul_vec(&w));
+        prop_assert_eq!(lhs, rhs);
+    }
+}

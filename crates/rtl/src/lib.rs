@@ -1,0 +1,35 @@
+//! Netlist IR and Verilog emission for Stellar-generated accelerators.
+//!
+//! The paper lowers its optimized IR onto Chisel templates which Chisel then
+//! compiles to Verilog (§IV, Figure 7). Rust has no Chisel, so this crate
+//! implements the equivalent path directly: a small structural netlist IR
+//! ([`Module`], [`Netlist`]), a set of hardware templates mirroring the
+//! paper's (PE with time counter and IO request generator — Figure 11,
+//! spatial array, the four regfile variants of Figure 14, memory-buffer
+//! pipelines of Figure 12, DMA, and load balancer), and a Verilog writer
+//! plus a structural [`lint`] pass that checks every emitted design.
+//!
+//! # Examples
+//!
+//! ```
+//! use stellar_core::prelude::*;
+//! use stellar_rtl::emit_accelerator;
+//!
+//! let spec = AcceleratorSpec::new("demo", Functionality::matmul(2, 2, 2));
+//! let design = compile(&spec)?;
+//! let netlist = emit_accelerator(&design);
+//! let verilog = netlist.to_verilog();
+//! assert!(verilog.contains("module demo_top"));
+//! stellar_rtl::lint::check(&netlist).expect("emitted Verilog must be structurally valid");
+//! # Ok::<(), CompileError>(())
+//! ```
+
+pub mod lint;
+mod netlist;
+pub mod testbench;
+pub mod templates;
+mod verilog;
+
+pub use netlist::{Instance, Module, Net, NetKind, Netlist, Port, PortDir};
+pub use templates::emit_accelerator;
+pub use testbench::{generate_testbench, testbench_for_program, TestbenchOptions};

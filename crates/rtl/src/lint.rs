@@ -1,0 +1,348 @@
+//! A structural lint pass over emitted netlists.
+//!
+//! Every Stellar-emitted design passes through this checker in tests,
+//! standing in for the syntax/elaboration checking a Verilog toolchain
+//! would perform: unique module and signal names, declared identifiers in
+//! every expression, instances of known modules with valid port
+//! connections, and no multiply-driven signals.
+
+use std::collections::{HashMap, HashSet};
+use std::error::Error;
+use std::fmt;
+
+use crate::netlist::{Module, Netlist, PortDir};
+
+/// A structural problem found in a netlist.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LintError {
+    /// Two modules share a name.
+    DuplicateModule(String),
+    /// Two signals in a module share a name.
+    DuplicateSignal {
+        /// The module.
+        module: String,
+        /// The signal.
+        signal: String,
+    },
+    /// An expression references an undeclared identifier.
+    UndeclaredIdentifier {
+        /// The module.
+        module: String,
+        /// The identifier.
+        ident: String,
+    },
+    /// An instance references an unknown module.
+    UnknownModule {
+        /// The instantiating module.
+        module: String,
+        /// The missing module.
+        target: String,
+    },
+    /// An instance connects a port that does not exist on the target.
+    UnknownPort {
+        /// The instantiating module.
+        module: String,
+        /// The instance.
+        instance: String,
+        /// The bad port.
+        port: String,
+    },
+    /// A signal is driven by more than one continuous assignment.
+    MultipleDrivers {
+        /// The module.
+        module: String,
+        /// The signal.
+        signal: String,
+    },
+    /// An invalid identifier (bad characters or a Verilog keyword).
+    BadIdentifier {
+        /// The module.
+        module: String,
+        /// The identifier.
+        ident: String,
+    },
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::DuplicateModule(m) => write!(f, "duplicate module '{m}'"),
+            LintError::DuplicateSignal { module, signal } => {
+                write!(f, "duplicate signal '{signal}' in module '{module}'")
+            }
+            LintError::UndeclaredIdentifier { module, ident } => {
+                write!(f, "undeclared identifier '{ident}' in module '{module}'")
+            }
+            LintError::UnknownModule { module, target } => {
+                write!(f, "module '{module}' instantiates unknown module '{target}'")
+            }
+            LintError::UnknownPort {
+                module,
+                instance,
+                port,
+            } => write!(
+                f,
+                "instance '{instance}' in '{module}' connects unknown port '{port}'"
+            ),
+            LintError::MultipleDrivers { module, signal } => {
+                write!(f, "signal '{signal}' in module '{module}' has multiple drivers")
+            }
+            LintError::BadIdentifier { module, ident } => {
+                write!(f, "bad identifier '{ident}' in module '{module}'")
+            }
+        }
+    }
+}
+
+impl Error for LintError {}
+
+const KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "begin", "end",
+    "if", "else", "posedge", "negedge", "case", "endcase", "default", "parameter",
+];
+
+fn valid_ident(s: &str) -> bool {
+    !s.is_empty()
+        && !KEYWORDS.contains(&s)
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Extracts candidate identifiers from a Verilog expression string,
+/// skipping literals like `8'd255` and `4'b1010`.
+fn identifiers(expr: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut token = String::new();
+    let mut after_quote = false;
+    for ch in expr.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' {
+            token.push(ch);
+        } else {
+            flush(&mut token, &mut after_quote, &mut out);
+            if ch == '\'' {
+                // The next token is the base+digits of a sized literal.
+                after_quote = true;
+            }
+        }
+    }
+    flush(&mut token, &mut after_quote, &mut out);
+    out
+}
+
+fn flush(token: &mut String, after_quote: &mut bool, out: &mut Vec<String>) {
+    if token.is_empty() {
+        return;
+    }
+    let is_literal = token.chars().next().is_some_and(|c| c.is_ascii_digit()) || *after_quote;
+    if !is_literal && !KEYWORDS.contains(&token.as_str()) {
+        out.push(token.clone());
+    }
+    token.clear();
+    *after_quote = false;
+}
+
+fn check_module(m: &Module, all: &HashMap<&str, &Module>, errors: &mut Vec<LintError>) {
+    // Signal namespace: ports + nets.
+    let mut names: HashSet<&str> = HashSet::new();
+    for p in &m.ports {
+        if !valid_ident(&p.name) {
+            errors.push(LintError::BadIdentifier {
+                module: m.name.clone(),
+                ident: p.name.clone(),
+            });
+        }
+        if !names.insert(&p.name) {
+            errors.push(LintError::DuplicateSignal {
+                module: m.name.clone(),
+                signal: p.name.clone(),
+            });
+        }
+    }
+    for n in &m.nets {
+        if !valid_ident(&n.name) {
+            errors.push(LintError::BadIdentifier {
+                module: m.name.clone(),
+                ident: n.name.clone(),
+            });
+        }
+        if !names.insert(&n.name) {
+            errors.push(LintError::DuplicateSignal {
+                module: m.name.clone(),
+                signal: n.name.clone(),
+            });
+        }
+    }
+
+    let check_expr = |expr: &str, errors: &mut Vec<LintError>| {
+        for ident in identifiers(expr) {
+            if !names.contains(ident.as_str()) {
+                errors.push(LintError::UndeclaredIdentifier {
+                    module: m.name.clone(),
+                    ident,
+                });
+            }
+        }
+    };
+
+    // Continuous assignments: declared identifiers, single driver.
+    let mut driven: HashSet<String> = HashSet::new();
+    for (lhs, rhs) in &m.assigns {
+        check_expr(lhs, errors);
+        check_expr(rhs, errors);
+        // The driven base signal is the lhs up to any bit-select.
+        let base = lhs.split(['[', ' ']).next().unwrap_or(lhs).to_string();
+        if lhs == &base && !driven.insert(base.clone()) {
+            errors.push(LintError::MultipleDrivers {
+                module: m.name.clone(),
+                signal: base,
+            });
+        }
+    }
+    for stmt in &m.seq_stmts {
+        check_expr(stmt, errors);
+    }
+
+    // Instances: known targets, known ports, declared connection exprs.
+    for inst in &m.instances {
+        match all.get(inst.module.as_str()) {
+            None => errors.push(LintError::UnknownModule {
+                module: m.name.clone(),
+                target: inst.module.clone(),
+            }),
+            Some(target) => {
+                for (port, expr) in &inst.conns {
+                    if target.port(port).is_none() {
+                        errors.push(LintError::UnknownPort {
+                            module: m.name.clone(),
+                            instance: inst.name.clone(),
+                            port: port.clone(),
+                        });
+                    }
+                    check_expr(expr, errors);
+                }
+                // Outputs left unconnected are fine; inputs should all be
+                // connected — treat missing input connections as unknown
+                // ports in reverse (soft check skipped: some templates tie
+                // inputs internally).
+                let _ = target.ports.iter().filter(|p| p.dir == PortDir::Input);
+            }
+        }
+    }
+}
+
+/// Checks a netlist, returning all problems found.
+///
+/// # Errors
+///
+/// Returns the list of [`LintError`]s (empty ⇒ `Ok`).
+pub fn check(netlist: &Netlist) -> Result<(), Vec<LintError>> {
+    let mut errors = Vec::new();
+    let mut by_name: HashMap<&str, &Module> = HashMap::new();
+    for m in netlist.modules() {
+        if by_name.insert(&m.name, m).is_some() {
+            errors.push(LintError::DuplicateModule(m.name.clone()));
+        }
+    }
+    for m in netlist.modules() {
+        check_module(m, &by_name, &mut errors);
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Module;
+
+    fn netlist_of(modules: Vec<Module>) -> Netlist {
+        let mut n = Netlist::new();
+        for m in modules {
+            n.add(m);
+        }
+        n
+    }
+
+    #[test]
+    fn clean_module_passes() {
+        let mut m = Module::new("ok");
+        m.input("a", 8);
+        m.output("y", 8);
+        m.assign("y", "a + 8'd1");
+        assert!(check(&netlist_of(vec![m])).is_ok());
+    }
+
+    #[test]
+    fn undeclared_identifier_detected() {
+        let mut m = Module::new("bad");
+        m.output("y", 8);
+        m.assign("y", "ghost + 1");
+        let errs = check(&netlist_of(vec![m])).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::UndeclaredIdentifier { ident, .. } if ident == "ghost")));
+    }
+
+    #[test]
+    fn literals_are_not_identifiers() {
+        let mut m = Module::new("lit");
+        m.output("y", 8);
+        m.assign("y", "8'hFF & 8'b1010_1010 & 8'd255");
+        assert!(check(&netlist_of(vec![m])).is_ok());
+    }
+
+    #[test]
+    fn duplicate_signal_detected() {
+        let mut m = Module::new("dup");
+        m.input("x", 1);
+        m.wire("x", 1);
+        let errs = check(&netlist_of(vec![m])).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, LintError::DuplicateSignal { .. })));
+    }
+
+    #[test]
+    fn duplicate_module_detected() {
+        let errs = check(&netlist_of(vec![Module::new("m"), Module::new("m")])).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, LintError::DuplicateModule(_))));
+    }
+
+    #[test]
+    fn unknown_module_and_port_detected() {
+        let mut leaf = Module::new("leaf");
+        leaf.input("x", 1);
+        let mut top = Module::new("top");
+        top.wire("w", 1);
+        top.instance("leaf", "u0").connect("nope", "w");
+        top.instance("ghost", "u1");
+        let errs = check(&netlist_of(vec![leaf, top])).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, LintError::UnknownPort { .. })));
+        assert!(errs.iter().any(|e| matches!(e, LintError::UnknownModule { .. })));
+    }
+
+    #[test]
+    fn multiple_drivers_detected() {
+        let mut m = Module::new("md");
+        m.wire("w", 1);
+        m.assign("w", "1'b0");
+        m.assign("w", "1'b1");
+        let errs = check(&netlist_of(vec![m])).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, LintError::MultipleDrivers { .. })));
+    }
+
+    #[test]
+    fn keywords_rejected_as_identifiers() {
+        let mut m = Module::new("kw");
+        m.wire("module", 1);
+        let errs = check(&netlist_of(vec![m])).unwrap_err();
+        assert!(errs.iter().any(|e| matches!(e, LintError::BadIdentifier { .. })));
+    }
+
+    #[test]
+    fn identifier_extraction() {
+        let ids = identifiers("a + b_2 * 8'd4 - c[3:0]");
+        assert_eq!(ids, vec!["a", "b_2", "c"]);
+    }
+}

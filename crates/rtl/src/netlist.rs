@@ -1,0 +1,294 @@
+//! The structural netlist IR.
+
+use std::fmt;
+
+/// A port direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PortDir {
+    /// Module input.
+    Input,
+    /// Module output.
+    Output,
+}
+
+/// A module port.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: PortDir,
+    /// Width in bits.
+    pub width: u32,
+}
+
+/// Whether an internal net is a wire, a register, or a memory array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetKind {
+    /// Combinational wire.
+    Wire,
+    /// Clocked register.
+    Reg,
+    /// A memory array (`reg [w-1:0] name [0:depth-1]`), inferred as SRAM.
+    Memory {
+        /// Number of words.
+        depth: u32,
+    },
+}
+
+/// An internal net.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Kind.
+    pub kind: NetKind,
+    /// Width in bits.
+    pub width: u32,
+}
+
+/// A sub-module instantiation with named port connections.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Instance {
+    /// The instantiated module's name.
+    pub module: String,
+    /// Instance name.
+    pub name: String,
+    /// `(port, connected expression)` pairs.
+    pub conns: Vec<(String, String)>,
+}
+
+/// One hardware module: ports, nets, continuous assigns, a single clocked
+/// process, and sub-module instances.
+///
+/// Right-hand sides are Verilog expressions as strings; the [`lint`]
+/// pass tokenizes them and checks every identifier is declared.
+///
+/// [`lint`]: crate::lint
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Module {
+    /// Module name.
+    pub name: String,
+    /// Ports.
+    pub ports: Vec<Port>,
+    /// Internal nets.
+    pub nets: Vec<Net>,
+    /// Continuous assignments `assign lhs = rhs;`.
+    pub assigns: Vec<(String, String)>,
+    /// Statements inside `always @(posedge clk)`, pre-formatted (e.g.
+    /// `"acc <= acc + a_in * b_in;"` or an `if`/`begin`/`end` block).
+    pub seq_stmts: Vec<String>,
+    /// Sub-module instances.
+    pub instances: Vec<Instance>,
+}
+
+impl Module {
+    /// Creates an empty module with a clock and reset input.
+    pub fn new(name: impl Into<String>) -> Module {
+        let mut m = Module {
+            name: name.into(),
+            ..Module::default()
+        };
+        m.input("clk", 1);
+        m.input("rst", 1);
+        m
+    }
+
+    /// Adds an input port and returns its name.
+    pub fn input(&mut self, name: impl Into<String>, width: u32) -> String {
+        let name = name.into();
+        self.ports.push(Port {
+            name: name.clone(),
+            dir: PortDir::Input,
+            width,
+        });
+        name
+    }
+
+    /// Adds an output port and returns its name.
+    pub fn output(&mut self, name: impl Into<String>, width: u32) -> String {
+        let name = name.into();
+        self.ports.push(Port {
+            name: name.clone(),
+            dir: PortDir::Output,
+            width,
+        });
+        name
+    }
+
+    /// Adds a wire and returns its name.
+    pub fn wire(&mut self, name: impl Into<String>, width: u32) -> String {
+        let name = name.into();
+        self.nets.push(Net {
+            name: name.clone(),
+            kind: NetKind::Wire,
+            width,
+        });
+        name
+    }
+
+    /// Adds a register and returns its name.
+    pub fn reg(&mut self, name: impl Into<String>, width: u32) -> String {
+        let name = name.into();
+        self.nets.push(Net {
+            name: name.clone(),
+            kind: NetKind::Reg,
+            width,
+        });
+        name
+    }
+
+    /// Adds a memory array and returns its name.
+    pub fn memory(&mut self, name: impl Into<String>, width: u32, depth: u32) -> String {
+        let name = name.into();
+        self.nets.push(Net {
+            name: name.clone(),
+            kind: NetKind::Memory { depth },
+            width,
+        });
+        name
+    }
+
+    /// Adds a continuous assignment.
+    pub fn assign(&mut self, lhs: impl Into<String>, rhs: impl Into<String>) {
+        self.assigns.push((lhs.into(), rhs.into()));
+    }
+
+    /// Adds a clocked statement.
+    pub fn seq(&mut self, stmt: impl Into<String>) {
+        self.seq_stmts.push(stmt.into());
+    }
+
+    /// Adds an instance.
+    pub fn instance(&mut self, module: impl Into<String>, name: impl Into<String>) -> &mut Instance {
+        self.instances.push(Instance {
+            module: module.into(),
+            name: name.into(),
+            conns: Vec::new(),
+        });
+        self.instances.last_mut().expect("just pushed")
+    }
+
+    /// Total bits of register state declared in this module (excluding
+    /// sub-instances) — used by quick area estimates and tests.
+    pub fn reg_bits(&self) -> u64 {
+        self.nets
+            .iter()
+            .map(|n| match n.kind {
+                NetKind::Reg => n.width as u64,
+                NetKind::Memory { depth } => n.width as u64 * depth as u64,
+                NetKind::Wire => 0,
+            })
+            .sum()
+    }
+
+    /// Looks up a port by name.
+    pub fn port(&self, name: &str) -> Option<&Port> {
+        self.ports.iter().find(|p| p.name == name)
+    }
+}
+
+impl Instance {
+    /// Connects an instance port to an expression; returns `self` for
+    /// chaining.
+    pub fn connect(&mut self, port: impl Into<String>, expr: impl Into<String>) -> &mut Instance {
+        self.conns.push((port.into(), expr.into()));
+        self
+    }
+}
+
+/// A collection of modules forming one design, with a designated top.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Netlist {
+    modules: Vec<Module>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// Adds a module. Duplicate module names are rejected by [`lint`].
+    ///
+    /// [`lint`]: crate::lint
+    pub fn add(&mut self, module: Module) {
+        self.modules.push(module);
+    }
+
+    /// The modules, in insertion order (the last is conventionally the top).
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Looks up a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// The top module (last added).
+    pub fn top(&self) -> Option<&Module> {
+        self.modules.last()
+    }
+
+    /// Renders the whole design as Verilog.
+    pub fn to_verilog(&self) -> String {
+        crate::verilog::render(self)
+    }
+
+    /// Total lines of Verilog emitted.
+    pub fn verilog_lines(&self) -> usize {
+        self.to_verilog().lines().count()
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Netlist({} modules)", self.modules.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_builder() {
+        let mut m = Module::new("adder");
+        m.input("a", 8);
+        m.input("b", 8);
+        m.output("sum", 9);
+        m.assign("sum", "a + b");
+        assert_eq!(m.ports.len(), 5); // clk, rst, a, b, sum
+        assert_eq!(m.port("sum").unwrap().width, 9);
+        assert_eq!(m.reg_bits(), 0);
+    }
+
+    #[test]
+    fn reg_bits_counts_registers() {
+        let mut m = Module::new("counter");
+        m.reg("count", 16);
+        m.wire("next", 16);
+        m.seq("count <= next;");
+        assert_eq!(m.reg_bits(), 16);
+    }
+
+    #[test]
+    fn instance_connection() {
+        let mut m = Module::new("top");
+        m.wire("x", 8);
+        let inst = m.instance("adder", "u_adder");
+        inst.connect("a", "x").connect("b", "8'd1");
+        assert_eq!(m.instances[0].conns.len(), 2);
+    }
+
+    #[test]
+    fn netlist_lookup() {
+        let mut n = Netlist::new();
+        n.add(Module::new("leaf"));
+        n.add(Module::new("top"));
+        assert_eq!(n.top().unwrap().name, "top");
+        assert!(n.module("leaf").is_some());
+        assert!(n.module("nope").is_none());
+    }
+}

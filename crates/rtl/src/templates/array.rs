@@ -1,0 +1,227 @@
+//! The spatial array template: instantiates PEs and wires them with the
+//! pipeline registers dictated by the dataflow (Figure 3).
+
+use std::collections::BTreeSet;
+
+use stellar_core::{PortDir as DesignPortDir, SpatialArrayDesign};
+
+use crate::netlist::Module;
+use crate::templates::sanitize;
+
+/// Emits the array module wiring `pe_mod` instances together.
+pub fn emit_array(arr: &SpatialArrayDesign, pe_mod: &Module, data_bits: u32) -> Module {
+    let name = sanitize(&arr.name);
+    let mut m = Module::new(name.clone());
+    m.input("en", 1);
+    m.input("start", 1);
+
+    let moving_vars: BTreeSet<(&str, usize)> = arr
+        .conns
+        .iter()
+        .filter(|c| c.src_pe != c.dst_pe)
+        .map(|c| (c.var.as_str(), c.bundle))
+        .collect();
+
+    // Internal wires: every PE's outputs, plus boundary input ports.
+    for pe in 0..arr.num_pes() {
+        for &(var, bundle) in &moving_vars {
+            let w = data_bits * bundle as u32;
+            m.wire(format!("pe{pe}_out_{var}"), w);
+            m.wire(format!("pe{pe}_out_{var}_valid"), 1);
+            m.wire(format!("pe{pe}_in_{var}"), w);
+            m.wire(format!("pe{pe}_in_{var}_valid"), 1);
+        }
+    }
+
+    // Connection fabric: drive each PE's in_<var> from its producer, with
+    // extra pipeline register stages when the dataflow asks for them.
+    let mut driven: BTreeSet<(usize, String)> = BTreeSet::new();
+    for conn in arr.conns.iter().filter(|c| c.src_pe != c.dst_pe) {
+        let var = conn.var.as_str();
+        let key = (conn.dst_pe, var.to_string());
+        if driven.contains(&key) {
+            continue;
+        }
+        driven.insert(key);
+        let w = data_bits
+            * moving_vars
+                .iter()
+                .find(|&&(v, _)| v == var)
+                .map(|&(_, b)| b as u32)
+                .unwrap_or(1);
+        let mut src_data = format!("pe{}_out_{var}", conn.src_pe);
+        let mut src_valid = format!("pe{}_out_{var}_valid", conn.src_pe);
+        // The PE's own forwarding register provides one stage; extra stages
+        // (registers > 1) are materialized here.
+        for stage in 1..conn.registers.max(1) {
+            let d = m.reg(format!("pipe_{var}_{}_{}_{stage}", conn.src_pe, conn.dst_pe), w);
+            let v = m.reg(
+                format!("pipe_{var}_{}_{}_{stage}_valid", conn.src_pe, conn.dst_pe),
+                1,
+            );
+            m.seq(format!("if (en) begin {d} <= {src_data}; {v} <= {src_valid}; end"));
+            src_data = d;
+            src_valid = v;
+        }
+        m.assign(format!("pe{}_in_{var}", conn.dst_pe), src_data);
+        m.assign(format!("pe{}_in_{var}_valid", conn.dst_pe), src_valid);
+    }
+
+    // Boundary inputs: PEs with no incoming conn for a moving var get an
+    // array-level input port.
+    for pe in 0..arr.num_pes() {
+        for &(var, bundle) in &moving_vars {
+            if !driven.contains(&(pe, var.to_string())) {
+                let w = data_bits * bundle as u32;
+                m.input(format!("edge_in_{var}_pe{pe}"), w);
+                m.input(format!("edge_in_{var}_pe{pe}_valid"), 1);
+                m.assign(format!("pe{pe}_in_{var}"), format!("edge_in_{var}_pe{pe}"));
+                m.assign(
+                    format!("pe{pe}_in_{var}_valid"),
+                    format!("edge_in_{var}_pe{pe}_valid"),
+                );
+            }
+        }
+    }
+
+    // Regfile IO ports, one per (tensor, dir, pe) in the design.
+    for port in &arr.io_ports {
+        let t = port.tensor.as_str();
+        let pe = port.pe;
+        match port.dir {
+            DesignPortDir::Read => {
+                m.input(format!("rd_{t}_pe{pe}_data"), data_bits);
+                m.input(format!("rd_{t}_pe{pe}_valid"), 1);
+                m.output(format!("rd_{t}_pe{pe}_req"), 1);
+            }
+            DesignPortDir::Write => {
+                m.output(format!("wr_{t}_pe{pe}_data"), data_bits);
+                m.output(format!("wr_{t}_pe{pe}_valid"), 1);
+            }
+        }
+    }
+
+    // PE instances.
+    let pe_io: BTreeSet<(&str, bool)> = arr
+        .io_ports
+        .iter()
+        .map(|p| (p.tensor.as_str(), p.dir == DesignPortDir::Write))
+        .collect();
+    for pe in 0..arr.num_pes() {
+        let has_port = |t: &str, w: bool| {
+            arr.io_ports
+                .iter()
+                .any(|p| p.pe == pe && p.tensor == t && (p.dir == DesignPortDir::Write) == w)
+        };
+        // Collect connections first to avoid holding a mutable borrow.
+        let mut conns: Vec<(String, String)> = vec![
+            ("clk".into(), "clk".into()),
+            ("rst".into(), "rst".into()),
+            ("en".into(), "en".into()),
+            ("start".into(), "start".into()),
+        ];
+        for &(var, _) in &moving_vars {
+            conns.push((format!("in_{var}"), format!("pe{pe}_in_{var}")));
+            conns.push((format!("in_{var}_valid"), format!("pe{pe}_in_{var}_valid")));
+            conns.push((format!("out_{var}"), format!("pe{pe}_out_{var}")));
+            conns.push((format!("out_{var}_valid"), format!("pe{pe}_out_{var}_valid")));
+        }
+        for &(t, is_write) in &pe_io {
+            if is_write {
+                if has_port(t, true) {
+                    conns.push((format!("wr_{t}_data"), format!("wr_{t}_pe{pe}_data")));
+                    conns.push((format!("wr_{t}_valid"), format!("wr_{t}_pe{pe}_valid")));
+                }
+            } else if has_port(t, false) {
+                conns.push((format!("rd_{t}_data"), format!("rd_{t}_pe{pe}_data")));
+                conns.push((format!("rd_{t}_valid"), format!("rd_{t}_pe{pe}_valid")));
+                conns.push((format!("rd_{t}_req"), format!("rd_{t}_pe{pe}_req")));
+            } else {
+                // Tie off unused read data inputs.
+                conns.push((format!("rd_{t}_data"), format!("{data_bits}'d0")));
+                conns.push((format!("rd_{t}_valid"), "1'b0".into()));
+            }
+        }
+        let inst = m.instance(pe_mod.name.clone(), format!("pe{pe}"));
+        for (p, e) in conns {
+            inst.connect(p, e);
+        }
+    }
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::pe::emit_pe;
+    use stellar_core::prelude::*;
+    use stellar_core::IndexId;
+
+    fn build(sparse: bool) -> (Module, Module, SpatialArrayDesign) {
+        let mut spec = AcceleratorSpec::new("arr", Functionality::matmul(4, 4, 4))
+            .with_transform(SpaceTimeTransform::output_stationary());
+        if sparse {
+            spec = spec.with_skip(SkipSpec::skip(&[IndexId::nth(1)], &[IndexId::nth(2)]));
+        }
+        let design = compile(&spec).unwrap();
+        let arr = design.spatial_arrays[0].clone();
+        let pe = emit_pe(&arr, 8);
+        let array = emit_array(&arr, &pe, 8);
+        (pe, array, arr)
+    }
+
+    #[test]
+    fn array_instantiates_all_pes() {
+        let (_, array, arr) = build(false);
+        assert_eq!(array.instances.len(), arr.num_pes());
+    }
+
+    #[test]
+    fn array_lints_clean() {
+        let (pe, array, _) = build(false);
+        let mut n = crate::netlist::Netlist::new();
+        n.add(pe);
+        n.add(array);
+        if let Err(errs) = crate::lint::check(&n) {
+            panic!("lint errors: {:?}", &errs[..errs.len().min(5)]);
+        }
+    }
+
+    #[test]
+    fn sparse_array_lints_clean_and_has_more_io() {
+        let (pe_d, arr_d, _) = build(false);
+        let (pe_s, arr_s, _) = build(true);
+        for (pe, arr) in [(pe_d, arr_d.clone()), (pe_s, arr_s.clone())] {
+            let mut n = crate::netlist::Netlist::new();
+            n.add(pe);
+            n.add(arr);
+            assert!(crate::lint::check(&n).is_ok());
+        }
+        // Sparse array exposes more regfile ports.
+        let count_io = |m: &Module| {
+            m.ports
+                .iter()
+                .filter(|p| p.name.starts_with("rd_") || p.name.starts_with("wr_"))
+                .count()
+        };
+        assert!(count_io(&arr_s) > count_io(&arr_d));
+    }
+
+    #[test]
+    fn pipelined_dataflow_adds_registers() {
+        let spec = AcceleratorSpec::new("deep", Functionality::matmul(4, 4, 4)).with_transform(
+            SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+        );
+        let design = compile(&spec).unwrap();
+        let arr = &design.spatial_arrays[0];
+        let pe = emit_pe(arr, 8);
+        let array = emit_array(arr, &pe, 8);
+        // Extra pipeline stage registers appear in the array fabric.
+        assert!(array.reg_bits() > 0, "expected pipeline registers in array");
+        let mut n = crate::netlist::Netlist::new();
+        n.add(pe);
+        n.add(array);
+        assert!(crate::lint::check(&n).is_ok());
+    }
+}

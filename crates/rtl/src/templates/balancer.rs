@@ -1,0 +1,93 @@
+//! The load-balancer template (§IV-E): monitors regfile occupancy and
+//! applies space-time biases (Equation 2) to idle PEs.
+
+use stellar_core::LoadBalancerDesign;
+
+use crate::netlist::Module;
+use crate::templates::sanitize;
+
+/// Emits a load-balancer module.
+pub fn emit_balancer(lb: &LoadBalancerDesign) -> Module {
+    let mut m = Module::new(sanitize(&lb.name));
+    m.input("en", 1);
+
+    // Occupancy inputs from the monitored regfiles.
+    let rfs = lb.monitored_regfiles.max(1) as u32;
+    for r in 0..rfs {
+        m.input(format!("rf{r}_occupancy"), 16);
+    }
+    m.input("target_idle", 1);
+
+    // The bias vector is a compile-time constant per Equation 2; the
+    // balancer's job at runtime is deciding *when* to apply it.
+    let rank = lb.bias.len().max(1) as u32;
+    m.output("bias_valid", 1);
+    m.output("bias_vec", 32 * rank);
+    m.reg("applying", 1);
+
+    // Work is shifted when the target iterations are all idle and the
+    // source regfiles still hold work.
+    let mut has_work = String::from("1'b0");
+    for r in 0..rfs {
+        has_work = format!("(rf{r}_occupancy != 16'd0) | ({has_work})");
+    }
+    m.wire("should_shift", 1);
+    m.assign("should_shift", format!("target_idle & ({has_work})"));
+    m.seq("if (rst) applying <= 1'b0;\nelse if (en) applying <= should_shift;");
+    m.assign("bias_valid", "applying");
+
+    // Concatenate the constant bias components.
+    let parts: Vec<String> = lb
+        .bias
+        .iter()
+        .map(|&b| {
+            if b < 0 {
+                format!("-32'sd{}", -b)
+            } else {
+                format!("32'sd{b}")
+            }
+        })
+        .collect();
+    if parts.is_empty() {
+        m.assign("bias_vec", "32'd0");
+    } else {
+        m.assign("bias_vec", format!("{{{}}}", parts.join(", ")));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lb(per_pe: bool) -> LoadBalancerDesign {
+        LoadBalancerDesign {
+            name: "balancer_0".into(),
+            bias: vec![-4, 0, 1],
+            per_pe,
+            monitored_regfiles: 2,
+        }
+    }
+
+    #[test]
+    fn balancer_lints_clean() {
+        let m = emit_balancer(&lb(false));
+        let mut n = crate::netlist::Netlist::new();
+        n.add(m);
+        assert!(crate::lint::check(&n).is_ok(), "{:?}", crate::lint::check(&n));
+    }
+
+    #[test]
+    fn bias_vector_width_matches_rank() {
+        let m = emit_balancer(&lb(true));
+        assert_eq!(m.port("bias_vec").unwrap().width, 96);
+    }
+
+    #[test]
+    fn monitors_all_regfiles() {
+        let m = emit_balancer(&lb(false));
+        assert!(m.port("rf0_occupancy").is_some());
+        assert!(m.port("rf1_occupancy").is_some());
+        assert!(m.port("rf2_occupancy").is_none());
+    }
+}

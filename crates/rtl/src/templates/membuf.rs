@@ -1,0 +1,140 @@
+//! Private memory buffer templates: one pipeline stage per tensor axis
+//! (Figure 12).
+
+use stellar_core::MemBufferDesign;
+use stellar_tensor::AxisFormat;
+
+use crate::netlist::Module;
+use crate::templates::sanitize;
+
+/// Emits the memory buffer module: an SRAM for data, metadata SRAMs for
+/// compressed axes, and one address-pipeline stage per axis.
+pub fn emit_membuf(buf: &MemBufferDesign, data_bits: u32) -> Module {
+    let mut m = Module::new(sanitize(&buf.name));
+    m.input("en", 1);
+    m.input("req_valid", 1);
+    m.input("req_is_write", 1);
+    m.input("req_addr", 32);
+    m.input("req_len", 32);
+    m.input("req_wdata", data_bits);
+    m.output("resp_valid", 1);
+    m.output("resp_rdata", data_bits * buf.width_elems.max(1) as u32);
+
+    // Data SRAM (one per bank).
+    let depth = (buf.capacity_words.max(1) as u32).div_ceil(buf.banks.max(1) as u32);
+    for bank in 0..buf.banks.max(1) {
+        m.memory(format!("bank{bank}"), data_bits, depth);
+    }
+
+    // One pipeline stage per axis: dense axes are plain strided address
+    // generators; compressed/bitvector/linked-list axes add a metadata SRAM
+    // and an indirect lookup.
+    let mut prev_addr = "req_addr".to_string();
+    let mut prev_valid = "req_valid".to_string();
+    for (axis, fmt) in buf.formats.iter().enumerate() {
+        let addr = m.reg(format!("stage{axis}_addr"), 32);
+        let valid = m.reg(format!("stage{axis}_valid"), 1);
+        match fmt {
+            AxisFormat::Dense => {
+                // Hardcoded parameters collapse the stride logic to a
+                // constant increment (Listing 6's simplification).
+                let stride = if buf.hardcoded { "32'd1".to_string() } else { "req_len".to_string() };
+                m.seq(format!(
+                    "if (rst) {valid} <= 1'b0;\nelse if (en) begin {addr} <= {prev_addr} + {stride}; {valid} <= {prev_valid}; end"
+                ));
+            }
+            AxisFormat::Compressed | AxisFormat::Bitvector | AxisFormat::LinkedList => {
+                let meta = m.memory(format!("meta{axis}"), 32, depth.max(1));
+                m.seq(format!(
+                    "if (rst) {valid} <= 1'b0;\nelse if (en) begin {addr} <= {meta}[{prev_addr}]; {valid} <= {prev_valid}; end"
+                ));
+            }
+        }
+        prev_addr = addr;
+        prev_valid = valid;
+    }
+
+    // Final access stage.
+    m.reg("rdata", data_bits);
+    m.reg("rvalid", 1);
+    m.seq(format!(
+        "if (rst) rvalid <= 1'b0;\nelse if (en) begin\n  if (req_is_write) bank0[{prev_addr}] <= req_wdata;\n  rdata <= bank0[{prev_addr}];\n  rvalid <= {prev_valid} & ~req_is_write;\nend"
+    ));
+    let out_w = data_bits * buf.width_elems.max(1) as u32;
+    if out_w > data_bits {
+        m.assign(
+            "resp_rdata",
+            format!("{{{}{{rdata}}}}", buf.width_elems.max(1)),
+        );
+    } else {
+        m.assign("resp_rdata", "rdata");
+    }
+    m.assign("resp_valid", "rvalid");
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(formats: Vec<AxisFormat>, hardcoded: bool) -> MemBufferDesign {
+        let indirect = formats.iter().filter(|f| f.is_compressing()).count();
+        let direct = formats.len() - indirect;
+        MemBufferDesign {
+            name: "sram_t".into(),
+            tensor: "T".into(),
+            formats,
+            capacity_words: 1024,
+            width_elems: 2,
+            banks: 2,
+            indirect_stages: indirect,
+            direct_stages: direct,
+            hardcoded,
+        }
+    }
+
+    #[test]
+    fn dense_buffer_lints_clean() {
+        let m = emit_membuf(&buf(vec![AxisFormat::Dense, AxisFormat::Dense], false), 32);
+        let mut n = crate::netlist::Netlist::new();
+        n.add(m);
+        assert!(crate::lint::check(&n).is_ok(), "{:?}", crate::lint::check(&n));
+    }
+
+    #[test]
+    fn block_crs_has_stage_per_axis() {
+        use AxisFormat::{Compressed, Dense};
+        let m = emit_membuf(&buf(vec![Dense, Compressed, Dense, Dense], false), 32);
+        // Four pipeline stages: stage0..stage3.
+        for axis in 0..4 {
+            assert!(m.nets.iter().any(|n| n.name == format!("stage{axis}_addr")));
+        }
+        // One metadata SRAM for the compressed axis.
+        assert_eq!(
+            m.nets
+                .iter()
+                .filter(|n| n.name.starts_with("meta"))
+                .count(),
+            1
+        );
+        let mut n = crate::netlist::Netlist::new();
+        n.add(m);
+        assert!(crate::lint::check(&n).is_ok());
+    }
+
+    #[test]
+    fn banks_create_srams() {
+        let m = emit_membuf(&buf(vec![AxisFormat::Dense], false), 32);
+        assert!(m.nets.iter().any(|n| n.name == "bank0"));
+        assert!(m.nets.iter().any(|n| n.name == "bank1"));
+    }
+
+    #[test]
+    fn hardcoded_simplifies_address_gen() {
+        let plain = emit_membuf(&buf(vec![AxisFormat::Dense], false), 32);
+        let hard = emit_membuf(&buf(vec![AxisFormat::Dense], true), 32);
+        let uses_len = |m: &Module| m.seq_stmts.iter().any(|s| s.contains("req_len"));
+        assert!(uses_len(&plain));
+        assert!(!uses_len(&hard));
+    }
+}

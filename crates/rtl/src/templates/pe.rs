@@ -1,0 +1,204 @@
+//! The Stellar PE template (Figure 11).
+//!
+//! Every PE carries a *time counter* register; concatenated with the PE's
+//! physical coordinates it forms the space-time vector that the IO request
+//! generator multiplies by `T⁻¹` to recover the tensor iterators. The
+//! "user-defined logic" block holds the assignments translated from the
+//! functionality (for matmul kernels: a MAC).
+
+use std::collections::BTreeSet;
+
+use stellar_core::{PortDir as DesignPortDir, SpatialArrayDesign};
+
+use crate::netlist::Module;
+use crate::templates::sanitize;
+
+/// Emits the PE module for a spatial array design.
+///
+/// The module has the union of the ports any PE in the array needs; the
+/// array template ties off unused ones per instance.
+pub fn emit_pe(arr: &SpatialArrayDesign, data_bits: u32) -> Module {
+    let mut m = Module::new(format!("{}_pe", sanitize(&arr.name)));
+    m.input("en", 1);
+    m.input("start", 1);
+
+    // Time counter (Figure 11): counts the PE through its schedule.
+    let tbits = arr.time_counter_bits.max(1);
+    m.reg("time_counter", tbits);
+    m.seq(format!(
+        "if (rst | start) time_counter <= {tbits}'d0;\nelse if (en) time_counter <= time_counter + {tbits}'d1;"
+    ));
+
+    // One input/output pair per variable that moves between PEs, plus a
+    // holding register per stationary variable.
+    let moving: BTreeSet<(&str, usize)> = arr
+        .conns
+        .iter()
+        .filter(|c| c.src_pe != c.dst_pe)
+        .map(|c| (c.var.as_str(), c.bundle))
+        .collect();
+    let stationary: BTreeSet<&str> = arr
+        .conns
+        .iter()
+        .filter(|c| c.src_pe == c.dst_pe)
+        .map(|c| c.var.as_str())
+        .collect();
+
+    for &(var, bundle) in &moving {
+        let w = data_bits * bundle as u32;
+        m.input(format!("in_{var}"), w);
+        m.input(format!("in_{var}_valid"), 1);
+        m.output(format!("out_{var}"), w);
+        m.output(format!("out_{var}_valid"), 1);
+        m.reg(format!("fwd_{var}"), w);
+        m.reg(format!("fwd_{var}_valid"), 1);
+        m.seq(format!(
+            "if (rst) fwd_{var}_valid <= 1'b0;\nelse if (en) begin fwd_{var} <= in_{var}; fwd_{var}_valid <= in_{var}_valid; end"
+        ));
+        m.assign(format!("out_{var}"), format!("fwd_{var}"));
+        m.assign(format!("out_{var}_valid"), format!("fwd_{var}_valid"));
+    }
+    for &var in &stationary {
+        if moving.iter().any(|&(v, _)| v == var) {
+            continue;
+        }
+        m.reg(format!("sta_{var}"), data_bits);
+    }
+
+    // IO request generator ports: one per tensor/direction the array
+    // touches.
+    let io: BTreeSet<(&str, bool)> = arr
+        .io_ports
+        .iter()
+        .map(|p| (p.tensor.as_str(), p.dir == DesignPortDir::Write))
+        .collect();
+    for &(tensor, is_write) in &io {
+        if is_write {
+            m.output(format!("wr_{tensor}_data"), data_bits);
+            m.output(format!("wr_{tensor}_valid"), 1);
+        } else {
+            m.input(format!("rd_{tensor}_data"), data_bits);
+            m.input(format!("rd_{tensor}_valid"), 1);
+            m.output(format!("rd_{tensor}_req"), 1);
+            // Request whenever enabled: the array-level schedule gates en.
+            m.assign(format!("rd_{tensor}_req"), "en");
+        }
+    }
+
+    // User-defined logic: a multiply-accumulate when the kernel has MACs,
+    // plus comparators for merge kernels.
+    if arr.macs_per_pe > 0 {
+        m.reg("acc", 2 * data_bits);
+        // The canonical MAC uses the first two moving/read operands.
+        let operands: Vec<String> = moving
+            .iter()
+            .map(|&(v, _)| format!("in_{v}[{}:0]", data_bits - 1))
+            .chain(
+                io.iter()
+                    .filter(|&&(_, w)| !w)
+                    .map(|&(t, _)| format!("rd_{t}_data")),
+            )
+            .take(2)
+            .collect();
+        if operands.len() == 2 {
+            m.seq(format!(
+                "if (rst | start) acc <= {w}'d0;\nelse if (en) acc <= acc + {a} * {b};",
+                w = 2 * data_bits,
+                a = operands[0],
+                b = operands[1]
+            ));
+        } else {
+            m.seq(format!("if (rst | start) acc <= {}'d0;", 2 * data_bits));
+        }
+        for &(tensor, is_write) in &io {
+            if is_write {
+                m.assign(format!("wr_{tensor}_data"), format!("acc[{}:0]", data_bits - 1));
+                m.assign(format!("wr_{tensor}_valid"), "en");
+            }
+        }
+    } else {
+        // No MAC (e.g. pure merge/propagate kernels): writes forward the
+        // first input or stationary value.
+        for &(tensor, is_write) in &io {
+            if is_write {
+                let src = moving
+                    .iter()
+                    .next()
+                    .map(|&(v, _)| format!("in_{v}[{}:0]", data_bits - 1))
+                    .or_else(|| stationary.iter().next().map(|v| format!("sta_{v}")))
+                    .unwrap_or_else(|| format!("{}'d0", data_bits));
+                m.assign(format!("wr_{tensor}_data"), src);
+                m.assign(format!("wr_{tensor}_valid"), "en");
+            }
+        }
+    }
+
+    // Comparators for data-dependent kernels (mergers): emitted as a
+    // min/max tree over the first operand pair.
+    if arr.comparators_per_pe > 0 {
+        m.wire("cmp_le", 1);
+        let ops: Vec<String> = moving
+            .iter()
+            .map(|&(v, _)| format!("in_{v}[{}:0]", data_bits - 1))
+            .take(2)
+            .collect();
+        if ops.len() == 2 {
+            m.assign("cmp_le", format!("{} <= {}", ops[0], ops[1]));
+        } else {
+            m.assign("cmp_le", "1'b1");
+        }
+    }
+
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_core::prelude::*;
+
+    fn demo_array() -> SpatialArrayDesign {
+        let spec = AcceleratorSpec::new("t", Functionality::matmul(4, 4, 4))
+            .with_transform(SpaceTimeTransform::output_stationary());
+        compile(&spec).unwrap().spatial_arrays.remove(0)
+    }
+
+    #[test]
+    fn pe_has_time_counter() {
+        let m = emit_pe(&demo_array(), 8);
+        assert!(m.nets.iter().any(|n| n.name == "time_counter"));
+        assert!(m.seq_stmts.iter().any(|s| s.contains("time_counter <= time_counter +")));
+    }
+
+    #[test]
+    fn pe_has_mac() {
+        let m = emit_pe(&demo_array(), 8);
+        assert!(m.nets.iter().any(|n| n.name == "acc" && n.width == 16));
+        assert!(m.seq_stmts.iter().any(|s| s.contains("acc + ")));
+    }
+
+    #[test]
+    fn pe_ports_per_moving_var() {
+        let m = emit_pe(&demo_array(), 8);
+        // a and b move in the output-stationary matmul; c is stationary.
+        assert!(m.port("in_a").is_some());
+        assert!(m.port("in_b").is_some());
+        assert!(m.port("out_a").is_some());
+        assert!(m.port("in_c").is_none());
+    }
+
+    #[test]
+    fn pe_write_port_for_output_tensor() {
+        let m = emit_pe(&demo_array(), 8);
+        assert!(m.port("wr_C_data").is_some());
+        assert!(m.port("wr_C_valid").is_some());
+    }
+
+    #[test]
+    fn pe_lints_clean() {
+        let pe = emit_pe(&demo_array(), 8);
+        let mut n = crate::netlist::Netlist::new();
+        n.add(pe);
+        assert!(crate::lint::check(&n).is_ok(), "{:?}", crate::lint::check(&n));
+    }
+}

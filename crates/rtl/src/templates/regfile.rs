@@ -1,0 +1,189 @@
+//! Register-file templates: the four variants of Figure 14.
+
+use stellar_core::{RegfileDesign, RegfileKind};
+
+use crate::netlist::Module;
+use crate::templates::sanitize;
+
+/// Emits the regfile module matching the optimizer's selection.
+pub fn emit_regfile(rf: &RegfileDesign) -> Module {
+    let mut m = Module::new(sanitize(&rf.name));
+    let entries = rf.entries.max(1) as u32;
+    let w = rf.data_bits;
+    m.input("en", 1);
+
+    match rf.kind {
+        RegfileKind::FeedForward | RegfileKind::Transposing => {
+            // A shift-register chain (Figure 14c/d): no coordinate storage,
+            // no comparators. The transposing variant differs only in which
+            // edge the array template wires to, so the module body is the
+            // same chain.
+            m.input("in_data", w);
+            m.input("in_valid", 1);
+            m.output("out_data", w);
+            m.output("out_valid", 1);
+            let mut prev_d = "in_data".to_string();
+            let mut prev_v = "in_valid".to_string();
+            for e in 0..entries {
+                let d = m.reg(format!("stage{e}"), w);
+                let v = m.reg(format!("stage{e}_valid"), 1);
+                m.seq(format!(
+                    "if (rst) {v} <= 1'b0;\nelse if (en) begin {d} <= {prev_d}; {v} <= {prev_v}; end"
+                ));
+                prev_d = d;
+                prev_v = v;
+            }
+            m.assign("out_data", prev_d);
+            m.assign("out_valid", prev_v);
+        }
+        RegfileKind::EdgeIo => {
+            // Entries travel through the regfile to reach edge ports
+            // (Figure 14b): storage plus per-edge coordinate matching.
+            let cb = rf.coord_bits.max(1);
+            m.input("in_data", w);
+            m.input("in_coord", cb);
+            m.input("in_valid", 1);
+            m.input("out_coord", cb);
+            m.output("out_data", w);
+            m.output("out_valid", 1);
+            m.memory("entries_data", w, entries);
+            m.memory("entries_coord", cb, entries);
+            m.reg("wr_ptr", 32);
+            m.reg("rd_ptr", 32);
+            m.seq(format!(
+                "if (rst) wr_ptr <= 32'd0;\nelse if (en & in_valid) begin entries_data[wr_ptr] <= in_data; entries_coord[wr_ptr] <= in_coord; wr_ptr <= (wr_ptr == 32'd{max}) ? 32'd0 : wr_ptr + 32'd1; end",
+                max = entries - 1
+            ));
+            // Edge search: the head entry's coordinate is compared against
+            // the request.
+            m.seq(format!(
+                "if (rst) rd_ptr <= 32'd0;\nelse if (en & (entries_coord[rd_ptr] == out_coord)) rd_ptr <= (rd_ptr == 32'd{max}) ? 32'd0 : rd_ptr + 32'd1;",
+                max = entries - 1
+            ));
+            m.assign("out_data", "entries_data[rd_ptr]");
+            m.assign("out_valid", "entries_coord[rd_ptr] == out_coord");
+        }
+        RegfileKind::Baseline => {
+            // Fully associative fallback (Figure 14a): every output port
+            // searches the coordinates of all entries.
+            let cb = rf.coord_bits.max(1);
+            m.input("in_data", w);
+            m.input("in_coord", cb);
+            m.input("in_valid", 1);
+            m.input("out_coord", cb);
+            m.output("out_data", w);
+            m.output("out_valid", 1);
+            for e in 0..entries {
+                m.reg(format!("ent{e}_data"), w);
+                m.reg(format!("ent{e}_coord"), cb);
+                m.reg(format!("ent{e}_valid"), 1);
+            }
+            // Fill: rotate-in on a write pointer.
+            m.reg("wptr", 32);
+            let mut fill = String::from("if (rst) begin wptr <= 32'd0;");
+            for e in 0..entries {
+                fill.push_str(&format!(" ent{e}_valid <= 1'b0;"));
+            }
+            fill.push_str(" end\nelse if (en & in_valid) begin\n");
+            for e in 0..entries {
+                fill.push_str(&format!(
+                    "  if (wptr == 32'd{e}) begin ent{e}_data <= in_data; ent{e}_coord <= in_coord; ent{e}_valid <= 1'b1; end\n"
+                ));
+            }
+            fill.push_str(&format!(
+                "  wptr <= (wptr == 32'd{}) ? 32'd0 : wptr + 32'd1;\nend",
+                entries - 1
+            ));
+            m.seq(fill);
+            // Search: a priority chain of comparators over all entries —
+            // the expensive structure the optimizer tries to avoid.
+            let mut expr_d = format!("{w}'d0");
+            let mut expr_v = "1'b0".to_string();
+            for e in (0..entries).rev() {
+                expr_d = format!(
+                    "(ent{e}_valid & (ent{e}_coord == out_coord)) ? ent{e}_data : ({expr_d})"
+                );
+                expr_v = format!(
+                    "(ent{e}_valid & (ent{e}_coord == out_coord)) | ({expr_v})"
+                );
+            }
+            m.assign("out_data", expr_d);
+            m.assign("out_valid", expr_v);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf(kind: RegfileKind, entries: usize) -> RegfileDesign {
+        RegfileDesign {
+            name: format!("rf_{}", kind.name().replace('-', "_")),
+            tensor: "A".into(),
+            kind,
+            entries,
+            in_ports: 1,
+            out_ports: 1,
+            coord_bits: 8,
+            data_bits: 32,
+        }
+    }
+
+    #[test]
+    fn all_kinds_lint_clean() {
+        for kind in [
+            RegfileKind::FeedForward,
+            RegfileKind::Transposing,
+            RegfileKind::EdgeIo,
+            RegfileKind::Baseline,
+        ] {
+            let m = emit_regfile(&rf(kind, 8));
+            let mut n = crate::netlist::Netlist::new();
+            n.add(m);
+            assert!(crate::lint::check(&n).is_ok(), "kind {kind:?}: {:?}", crate::lint::check(&n));
+        }
+    }
+
+    #[test]
+    fn feed_forward_is_pure_shift_register() {
+        let m = emit_regfile(&rf(RegfileKind::FeedForward, 4));
+        // No coordinate ports at all.
+        assert!(m.port("in_coord").is_none());
+        assert!(m.port("out_coord").is_none());
+        // 4 data stages + 4 valid bits.
+        assert_eq!(m.reg_bits(), 4 * 32 + 4);
+    }
+
+    #[test]
+    fn baseline_has_coordinate_storage() {
+        let m = emit_regfile(&rf(RegfileKind::Baseline, 4));
+        assert!(m.port("in_coord").is_some());
+        // Each entry stores data + coord + valid.
+        assert!(m.reg_bits() >= 4 * (32 + 8 + 1));
+        // The search expression contains one comparator per entry.
+        let (_, out_valid) = m
+            .assigns
+            .iter()
+            .find(|(l, _)| l == "out_valid")
+            .expect("out_valid assigned");
+        assert_eq!(out_valid.matches("== out_coord").count(), 4);
+    }
+
+    #[test]
+    fn baseline_larger_than_feed_forward() {
+        let ff = emit_regfile(&rf(RegfileKind::FeedForward, 16));
+        let bl = emit_regfile(&rf(RegfileKind::Baseline, 16));
+        assert!(bl.reg_bits() > ff.reg_bits());
+    }
+
+    #[test]
+    fn edge_io_uses_memories() {
+        let m = emit_regfile(&rf(RegfileKind::EdgeIo, 16));
+        assert!(m
+            .nets
+            .iter()
+            .any(|n| matches!(n.kind, crate::netlist::NetKind::Memory { depth: 16 })));
+    }
+}

@@ -1,0 +1,144 @@
+//! Failure injection: the lint pass must catch every class of corruption
+//! we can inject into an otherwise-clean emitted netlist. This guards the
+//! guard — a lint that silently passes broken designs would make the whole
+//! "emitted Verilog is structurally valid" claim vacuous.
+
+use stellar_core::prelude::*;
+use stellar_rtl::{emit_accelerator, lint, Module, Netlist};
+
+fn clean_netlist() -> Netlist {
+    let spec = AcceleratorSpec::new("victim", Functionality::matmul(2, 2, 2));
+    emit_accelerator(&compile(&spec).unwrap())
+}
+
+/// Rebuilds a netlist with one module replaced by a mutated copy.
+fn with_mutated_module(src: &Netlist, index: usize, mutate: impl FnOnce(&mut Module)) -> Netlist {
+    let mut out = Netlist::new();
+    let mut mutate = Some(mutate);
+    for (n, m) in src.modules().iter().enumerate() {
+        let mut m = m.clone();
+        if n == index {
+            if let Some(f) = mutate.take() {
+                f(&mut m);
+            }
+        }
+        out.add(m);
+    }
+    out
+}
+
+#[test]
+fn baseline_is_clean() {
+    assert!(lint::check(&clean_netlist()).is_ok());
+}
+
+#[test]
+fn injected_undeclared_identifier_caught() {
+    let n = clean_netlist();
+    for idx in 0..n.modules().len() {
+        let bad = with_mutated_module(&n, idx, |m| {
+            m.assign("clk", "ghost_signal_xyz");
+        });
+        let errs = lint::check(&bad).unwrap_err();
+        assert!(
+            errs.iter().any(|e| e.to_string().contains("ghost_signal_xyz")),
+            "module {idx}: undeclared identifier escaped lint"
+        );
+    }
+}
+
+#[test]
+fn injected_duplicate_signal_caught() {
+    let n = clean_netlist();
+    let bad = with_mutated_module(&n, 0, |m| {
+        let existing = m.ports[0].name.clone();
+        m.wire(existing, 1);
+    });
+    assert!(lint::check(&bad).is_err());
+}
+
+#[test]
+fn injected_duplicate_module_caught() {
+    let n = clean_netlist();
+    let mut bad = Netlist::new();
+    for m in n.modules() {
+        bad.add(m.clone());
+    }
+    bad.add(n.modules()[0].clone());
+    let errs = lint::check(&bad).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, lint::LintError::DuplicateModule(_))));
+}
+
+#[test]
+fn injected_dangling_instance_caught() {
+    let n = clean_netlist();
+    let last = n.modules().len() - 1;
+    let bad = with_mutated_module(&n, last, |m| {
+        m.instance("module_that_does_not_exist", "u_ghost");
+    });
+    let errs = lint::check(&bad).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, lint::LintError::UnknownModule { .. })));
+}
+
+#[test]
+fn injected_bad_port_connection_caught() {
+    let n = clean_netlist();
+    let leaf = n.modules()[0].name.clone();
+    let last = n.modules().len() - 1;
+    let bad = with_mutated_module(&n, last, |m| {
+        m.instance(leaf, "u_badport").connect("no_such_port", "clk");
+    });
+    let errs = lint::check(&bad).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, lint::LintError::UnknownPort { .. })));
+}
+
+#[test]
+fn injected_double_driver_caught() {
+    let n = clean_netlist();
+    // Find a module with at least one continuous assign and duplicate it.
+    let idx = n
+        .modules()
+        .iter()
+        .position(|m| !m.assigns.is_empty())
+        .expect("some module has assigns");
+    let bad = with_mutated_module(&n, idx, |m| {
+        let (lhs, _) = m.assigns[0].clone();
+        m.assign(lhs, "1'b0");
+    });
+    let errs = lint::check(&bad).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, lint::LintError::MultipleDrivers { .. })));
+}
+
+#[test]
+fn injected_keyword_identifier_caught() {
+    let n = clean_netlist();
+    let bad = with_mutated_module(&n, 0, |m| {
+        m.wire("endmodule", 1);
+    });
+    let errs = lint::check(&bad).unwrap_err();
+    assert!(errs
+        .iter()
+        .any(|e| matches!(e, lint::LintError::BadIdentifier { .. })));
+}
+
+#[test]
+fn corrupted_seq_statement_caught() {
+    let n = clean_netlist();
+    let idx = n
+        .modules()
+        .iter()
+        .position(|m| !m.seq_stmts.is_empty())
+        .expect("some module has sequential logic");
+    let bad = with_mutated_module(&n, idx, |m| {
+        m.seq("phantom_reg <= phantom_reg + 1'b1;");
+    });
+    assert!(lint::check(&bad).is_err());
+}

@@ -1,0 +1,96 @@
+//! Property tests: every design the compiler can produce must emit
+//! lint-clean, structurally balanced Verilog, whatever the specification.
+
+use proptest::prelude::*;
+use stellar_core::prelude::*;
+use stellar_core::IndexId;
+use stellar_rtl::{emit_accelerator, lint, testbench};
+
+fn transform() -> impl Strategy<Value = SpaceTimeTransform> {
+    proptest::sample::select(vec![
+        SpaceTimeTransform::output_stationary(),
+        SpaceTimeTransform::input_stationary(),
+        SpaceTimeTransform::hexagonal(),
+        SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+    ])
+}
+
+fn arbitrary_spec() -> impl Strategy<Value = AcceleratorSpec> {
+    (
+        1usize..=4,
+        1usize..=4,
+        1usize..=4,
+        transform(),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+        proptest::sample::select(vec![8u32, 16, 32]),
+    )
+        .prop_map(|(m, n, k, t, skip_j, skip_i, optimistic, bits)| {
+            let mut spec = AcceleratorSpec::new("prop", Functionality::matmul(m, n, k))
+                .with_bounds(Bounds::from_extents(&[m, n, k]))
+                .with_transform(t)
+                .with_data_bits(bits);
+            if skip_j {
+                spec = spec.with_skip(if optimistic {
+                    SkipSpec::optimistic_skip(&[IndexId::nth(1)], &[IndexId::nth(2)], 2)
+                } else {
+                    SkipSpec::skip(&[IndexId::nth(1)], &[IndexId::nth(2)])
+                });
+            }
+            if skip_i {
+                spec = spec.with_skip(SkipSpec::skip(&[IndexId::nth(0)], &[IndexId::nth(2)]));
+            }
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lint-cleanliness is an invariant of the emitter, not a property of
+    /// particular examples.
+    #[test]
+    fn emitted_designs_always_lint_clean(spec in arbitrary_spec()) {
+        let design = compile(&spec).unwrap();
+        let netlist = emit_accelerator(&design);
+        prop_assert!(lint::check(&netlist).is_ok(), "lint failed: {:?}", lint::check(&netlist).err());
+    }
+
+    /// Verilog rendering is structurally balanced for every design.
+    #[test]
+    fn verilog_always_balanced(spec in arbitrary_spec()) {
+        let netlist = emit_accelerator(&compile(&spec).unwrap());
+        let v = netlist.to_verilog();
+        let modules = v.matches("\nmodule ").count() + usize::from(v.starts_with("module "));
+        prop_assert_eq!(modules, v.matches("endmodule").count());
+        prop_assert_eq!(modules, netlist.modules().len());
+    }
+
+    /// Generated testbenches always pass the structural validator and
+    /// connect every top-level port.
+    #[test]
+    fn testbenches_always_validate(spec in arbitrary_spec(),
+                                   cmds in proptest::collection::vec((0u8..7, proptest::num::u64::ANY, proptest::num::u64::ANY), 0..5)) {
+        let netlist = emit_accelerator(&compile(&spec).unwrap());
+        let tb = testbench::testbench_for_program(&netlist, &cmds);
+        prop_assert!(testbench::validate_testbench(&tb, netlist.top().unwrap()).is_ok());
+    }
+
+    /// Register-bit accounting is monotone in array size.
+    #[test]
+    fn bigger_arrays_have_more_state(n in 2usize..=4) {
+        let small = emit_accelerator(&compile(
+            &AcceleratorSpec::new("s", Functionality::matmul(n, n, n))
+                .with_bounds(Bounds::from_extents(&[n, n, n])),
+        ).unwrap());
+        let big = emit_accelerator(&compile(
+            &AcceleratorSpec::new("b", Functionality::matmul(n + 1, n + 1, n + 1))
+                .with_bounds(Bounds::from_extents(&[n + 1, n + 1, n + 1])),
+        ).unwrap());
+        let bits = |nl: &stellar_rtl::Netlist| -> u64 {
+            nl.modules().iter().map(|m| m.reg_bits()).sum()
+        };
+        prop_assert!(bits(&big) >= bits(&small));
+    }
+}

@@ -1,0 +1,143 @@
+//! The DMA/DRAM model: contiguous bursts vs latency-bound scattered
+//! requests (§VI-C of the paper).
+//!
+//! Stellar's default DMA makes *one* new memory request per cycle and
+//! tracks one outstanding miss. For contiguous tensors this saturates DRAM
+//! bandwidth; for the scattered partial-sum *pointers* of an
+//! OuterSPACE-style accelerator, every read returns a single scalar after a
+//! full DRAM latency, and the control dependency (pointer → vector)
+//! serializes behind it. Raising the number of independent outstanding
+//! requests to 16 overlaps those latencies without adding bandwidth.
+
+/// DRAM timing parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramParams {
+    /// Round-trip latency of one request, cycles.
+    pub latency_cycles: u64,
+    /// Peak sequential bandwidth, words per cycle.
+    pub words_per_cycle: f64,
+}
+
+impl Default for DramParams {
+    fn default() -> DramParams {
+        DramParams {
+            latency_cycles: 60,
+            words_per_cycle: 8.0,
+        }
+    }
+}
+
+/// A DMA with a configurable number of independent outstanding requests.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DmaModel {
+    /// Independent outstanding request slots (1 = Stellar's default).
+    pub slots: usize,
+    /// The DRAM behind it.
+    pub dram: DramParams,
+}
+
+impl DmaModel {
+    /// A DMA with the given slot count over default DRAM.
+    pub fn with_slots(slots: usize) -> DmaModel {
+        DmaModel {
+            slots: slots.max(1),
+            dram: DramParams::default(),
+        }
+    }
+
+    /// Cycles to move `words` contiguous words: one latency, then
+    /// bandwidth-bound streaming.
+    pub fn contiguous_cycles(&self, words: u64) -> u64 {
+        if words == 0 {
+            return 0;
+        }
+        self.dram.latency_cycles + (words as f64 / self.dram.words_per_cycle).ceil() as u64
+    }
+
+    /// Cycles to issue `requests` independent scattered requests of
+    /// `words_each` words: each pays full latency, overlapped across the
+    /// available slots, plus the bandwidth cost of the data itself.
+    pub fn scattered_cycles(&self, requests: u64, words_each: u64) -> u64 {
+        if requests == 0 {
+            return 0;
+        }
+        // With S slots, a new request can retire every latency/S cycles
+        // (pipelined); issue rate is also capped at 1/cycle.
+        let per_req_latency = (self.dram.latency_cycles as f64 / self.slots as f64).max(1.0);
+        let latency_bound = (requests as f64 * per_req_latency).ceil() as u64;
+        let bw_bound =
+            ((requests * words_each.max(1)) as f64 / self.dram.words_per_cycle).ceil() as u64;
+        self.dram.latency_cycles + latency_bound.max(bw_bound)
+    }
+
+    /// Cycles for a *dependent* pointer-chase pattern: `chains` independent
+    /// chains, each of `depth` serial pointer hops. Within a chain nothing
+    /// overlaps; across chains the slots overlap.
+    pub fn pointer_chase_cycles(&self, chains: u64, depth: u64) -> u64 {
+        if chains == 0 || depth == 0 {
+            return 0;
+        }
+        let serial = depth * self.dram.latency_cycles;
+        let parallel = (chains as f64 / self.slots as f64).ceil() as u64;
+        serial * parallel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_is_bandwidth_bound() {
+        let dma = DmaModel::with_slots(1);
+        let c = dma.contiguous_cycles(8000);
+        // 8000 words at 8 w/c = 1000 cycles + latency.
+        assert_eq!(c, 60 + 1000);
+        // Slots don't help contiguous transfers.
+        assert_eq!(DmaModel::with_slots(16).contiguous_cycles(8000), c);
+    }
+
+    #[test]
+    fn scattered_single_slot_is_latency_bound() {
+        let dma = DmaModel::with_slots(1);
+        // 1000 single-word requests: ~1 per 60 cycles.
+        let c = dma.scattered_cycles(1000, 1);
+        assert!(c >= 60_000, "expected latency-bound, got {c}");
+    }
+
+    #[test]
+    fn sixteen_slots_overlap_latency() {
+        let one = DmaModel::with_slots(1).scattered_cycles(1000, 1);
+        let sixteen = DmaModel::with_slots(16).scattered_cycles(1000, 1);
+        let speedup = one as f64 / sixteen as f64;
+        assert!(
+            (8.0..20.0).contains(&speedup),
+            "16 slots should give order-of-magnitude overlap, got {speedup:.1}x"
+        );
+    }
+
+    #[test]
+    fn scattered_eventually_bandwidth_bound() {
+        // With big payloads per request, bandwidth dominates and slots stop
+        // helping.
+        let one = DmaModel::with_slots(1).scattered_cycles(1000, 512);
+        let sixteen = DmaModel::with_slots(16).scattered_cycles(1000, 512);
+        assert_eq!(one, sixteen);
+    }
+
+    #[test]
+    fn pointer_chase_serializes_depth() {
+        let dma = DmaModel::with_slots(16);
+        let shallow = dma.pointer_chase_cycles(16, 1);
+        let deep = dma.pointer_chase_cycles(16, 4);
+        assert_eq!(deep, 4 * shallow);
+    }
+
+    #[test]
+    fn zero_requests_zero_cycles() {
+        let dma = DmaModel::with_slots(4);
+        assert_eq!(dma.contiguous_cycles(0), 0);
+        assert_eq!(dma.scattered_cycles(0, 8), 0);
+        assert_eq!(dma.pointer_chase_cycles(0, 3), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Cycle-level simulation of Stellar-generated accelerators.
+//!
+//! The paper evaluates generated RTL with FireSim (cycle-exact FPGA
+//! simulation). This crate substitutes a software cycle-level model with
+//! the same observables — cycles, PE utilization, throughput, and memory
+//! traffic — driven by the same design parameters (array shape, dataflow,
+//! sparsity skipping, load balancing granularity, DMA outstanding-request
+//! count, DRAM latency/bandwidth):
+//!
+//! * [`systolic`] — a cycle-stepped weight-stationary systolic array that
+//!   actually computes matmuls, validated against the dense golden model.
+//! * [`gemm`] — a tile-level model for DNN-scale GEMMs (the Gemmini
+//!   comparison of Figure 16a).
+//! * [`sparse`] — a lane-based model of sparse spatial arrays with
+//!   `Skip`-style zero skipping and `Shift`-style load balancing
+//!   (Figures 6 and 10).
+//! * [`merger`] — row-partitioned (GAMMA-like) and flattened (SpArch-like)
+//!   merger models (Figures 18 and 19).
+//! * [`dma`] — a DMA/DRAM model separating contiguous bursts from
+//!   latency-bound scattered requests (the §VI-C bottleneck study).
+//! * [`cache`] — a shared L2 model (the §IV-F Chipyard mitigation).
+//! * [`stats`] — shared counters and utilization accounting.
+
+pub mod cache;
+pub mod dma;
+pub mod gemm;
+pub mod merger;
+pub mod sparse;
+pub mod stats;
+pub mod systolic;
+
+pub use cache::L2Cache;
+pub use dma::{DmaModel, DramParams};
+pub use gemm::{gemm_cycles, layer_utilization, GemmBreakdown, GemmParams};
+pub use merger::{rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger};
+pub use sparse::{simulate_sparse_matmul, BalancePolicy, SparseArrayParams, SparseSimResult};
+pub use stats::{SimStats, Utilization};
+pub use systolic::{simulate_os_matmul, simulate_ws_matmul, WsResult};

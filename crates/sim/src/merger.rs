@@ -1,0 +1,270 @@
+//! Merger spatial-array models: row-partitioned (GAMMA-like) and flattened
+//! (SpArch-like) partial-matrix mergers (Figures 18 and 19, §VI-D).
+//!
+//! Outer-product SpGEMM produces scattered partial matrices that must be
+//! merged (summed at matching coordinates). GAMMA-style mergers give each
+//! PE lane one output row, emitting one merged element per lane per cycle —
+//! cheap, but sensitive to row-length imbalance. SpArch-style mergers
+//! flatten all rows into one fiber and pop up to `width` elements per cycle
+//! regardless of row boundaries — imbalance-immune, but area-hungry
+//! (§VI-D: 60% of SpArch's area, 13× a row-partitioned merger).
+
+use stellar_tensor::ops::{merge_fibers, Fiber, PartialMatrix};
+
+use crate::stats::Utilization;
+
+/// Merger throughput statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MergeStats {
+    /// Cycles taken.
+    pub cycles: u64,
+    /// Total merged output elements produced.
+    pub merged_elements: u64,
+    /// Comparator occupancy.
+    pub utilization: Utilization,
+}
+
+impl MergeStats {
+    /// Merged elements per cycle — the y-axis of Figure 18.
+    pub fn elements_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.merged_elements as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A merger design point.
+pub trait Merger {
+    /// Maximum merged elements per cycle.
+    fn max_throughput(&self) -> usize;
+
+    /// Simulates merging one batch of per-row fiber groups. `rows[r]` holds
+    /// the fibers (one per partial matrix) contributing to output row `r`.
+    /// Returns the stats; the merged values themselves are checked against
+    /// [`merge_fibers`] in tests.
+    fn simulate(&self, rows: &[Vec<Fiber>]) -> MergeStats;
+}
+
+/// A GAMMA-style row-partitioned merger: `lanes` PEs, each merging whole
+/// rows, one element per cycle per lane (Figure 19a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowPartitionedMerger {
+    /// Number of row lanes (the paper's low-area configuration uses 32).
+    pub lanes: usize,
+    /// Pipeline restart cost when a lane switches rows.
+    pub row_switch_cycles: u64,
+}
+
+impl RowPartitionedMerger {
+    /// The §VI-D configuration: 32 lanes.
+    pub fn paper_config() -> RowPartitionedMerger {
+        RowPartitionedMerger {
+            lanes: 32,
+            row_switch_cycles: 1,
+        }
+    }
+}
+
+impl Merger for RowPartitionedMerger {
+    fn max_throughput(&self) -> usize {
+        self.lanes
+    }
+
+    fn simulate(&self, rows: &[Vec<Fiber>]) -> MergeStats {
+        // Per-row output length (the lane busy time for that row).
+        let row_cost: Vec<u64> = rows
+            .iter()
+            .map(|fibers| merge_fibers(fibers).len() as u64)
+            .collect();
+        let merged_elements: u64 = row_cost.iter().sum();
+        // Greedy longest-processing-time assignment would be the balanced
+        // ideal; hardware assigns rows to lanes in arrival order.
+        let mut lane_time = vec![0u64; self.lanes.max(1)];
+        for (r, &cost) in row_cost.iter().enumerate() {
+            if cost == 0 {
+                continue;
+            }
+            let lane = r % self.lanes.max(1);
+            lane_time[lane] += cost + self.row_switch_cycles;
+        }
+        let cycles = lane_time.iter().copied().max().unwrap_or(0);
+        let busy: u64 = lane_time.iter().sum();
+        MergeStats {
+            cycles,
+            merged_elements,
+            utilization: Utilization {
+                busy,
+                total: cycles * self.lanes as u64,
+            },
+        }
+    }
+}
+
+/// A SpArch-style flattened merger: all rows form one fiber, up to `width`
+/// elements pop per cycle regardless of row boundaries (Figure 19b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlattenedMerger {
+    /// Elements merged per cycle (SpArch uses 16, with 128 64-bit
+    /// comparators).
+    pub width: usize,
+    /// Pipeline fill cost per merge batch.
+    pub startup_cycles: u64,
+}
+
+impl FlattenedMerger {
+    /// The SpArch configuration: 16 elements per cycle.
+    pub fn paper_config() -> FlattenedMerger {
+        FlattenedMerger {
+            width: 16,
+            startup_cycles: 4,
+        }
+    }
+}
+
+impl Merger for FlattenedMerger {
+    fn max_throughput(&self) -> usize {
+        self.width
+    }
+
+    fn simulate(&self, rows: &[Vec<Fiber>]) -> MergeStats {
+        let merged_elements: u64 = rows
+            .iter()
+            .map(|fibers| merge_fibers(fibers).len() as u64)
+            .sum();
+        let width = self.width.max(1) as u64;
+        let cycles = self.startup_cycles + merged_elements.div_ceil(width);
+        MergeStats {
+            cycles,
+            merged_elements,
+            utilization: Utilization {
+                busy: merged_elements,
+                total: cycles * width,
+            },
+        }
+    }
+}
+
+/// Groups the entries of a set of partial matrices into per-output-row
+/// fibers: the input format of a merger batch.
+pub fn rows_of_partials(num_rows: usize, partials: &[PartialMatrix]) -> Vec<Vec<Fiber>> {
+    let mut rows: Vec<Vec<Fiber>> = vec![Vec::new(); num_rows];
+    for p in partials {
+        // Collect this partial's entries per row (already sorted row-major).
+        let mut cur_row = usize::MAX;
+        let mut coords: Vec<usize> = Vec::new();
+        let mut values: Vec<f64> = Vec::new();
+        for (r, c, v) in p.entries.iter() {
+            if r != cur_row {
+                if !coords.is_empty() {
+                    rows[cur_row].push(Fiber::new(
+                        std::mem::take(&mut coords),
+                        std::mem::take(&mut values),
+                    ));
+                }
+                cur_row = r;
+            }
+            coords.push(c);
+            values.push(v);
+        }
+        if !coords.is_empty() {
+            rows[cur_row].push(Fiber::new(coords, values));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_tensor::ops::spgemm_outer_partials;
+    use stellar_tensor::{gen, CscMatrix};
+
+    fn partial_rows(seed: u64, density: f64) -> Vec<Vec<Fiber>> {
+        let a = gen::uniform(64, 48, density, seed);
+        let b = gen::uniform(48, 64, density, seed + 1);
+        let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &b);
+        rows_of_partials(64, &partials)
+    }
+
+    #[test]
+    fn rows_of_partials_matches_golden() {
+        let a = gen::uniform(16, 12, 0.3, 5);
+        let b = gen::uniform(12, 16, 0.3, 6);
+        let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &b);
+        let rows = rows_of_partials(16, &partials);
+        let golden = stellar_tensor::ops::spgemm_outer(&CscMatrix::from_csr(&a), &b);
+        for (r, fibers) in rows.iter().enumerate() {
+            let merged = merge_fibers(fibers);
+            let (cols, vals) = golden.row(r);
+            assert_eq!(merged.coords, cols.to_vec(), "row {r} coords");
+            for (got, want) in merged.values.iter().zip(vals) {
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn flattened_hits_peak_on_long_rows() {
+        let rows = partial_rows(1, 0.4);
+        let m = FlattenedMerger::paper_config();
+        let stats = m.simulate(&rows);
+        assert!(
+            stats.elements_per_cycle() > 14.0,
+            "flattened should run near 16 elem/cyc, got {:.1}",
+            stats.elements_per_cycle()
+        );
+    }
+
+    #[test]
+    fn row_partitioned_beats_flattened_on_balanced_rows() {
+        // With many similar-length rows, the 32-lane merger's higher peak
+        // wins — the §VI-D observation that 4 matrices ran *faster* on the
+        // cheaper merger.
+        let rows = partial_rows(2, 0.4);
+        let rp = RowPartitionedMerger::paper_config().simulate(&rows);
+        let fl = FlattenedMerger::paper_config().simulate(&rows);
+        assert!(
+            rp.elements_per_cycle() > fl.elements_per_cycle(),
+            "row-partitioned {:.1} vs flattened {:.1}",
+            rp.elements_per_cycle(),
+            fl.elements_per_cycle()
+        );
+    }
+
+    #[test]
+    fn imbalance_hurts_row_partitioned_only() {
+        // A single huge row with many tiny ones: lanes idle behind the big
+        // row.
+        let mut rows: Vec<Vec<Fiber>> = Vec::new();
+        rows.push(vec![Fiber::new(
+            (0..2000).collect(),
+            vec![1.0; 2000],
+        )]);
+        for r in 0..63 {
+            rows.push(vec![Fiber::new(vec![r], vec![1.0])]);
+        }
+        let rp = RowPartitionedMerger::paper_config().simulate(&rows);
+        let fl = FlattenedMerger::paper_config().simulate(&rows);
+        assert!(
+            fl.elements_per_cycle() > rp.elements_per_cycle(),
+            "flattened {:.1} must beat row-partitioned {:.1} under imbalance",
+            fl.elements_per_cycle(),
+            rp.elements_per_cycle()
+        );
+    }
+
+    #[test]
+    fn empty_batch() {
+        let rp = RowPartitionedMerger::paper_config().simulate(&[]);
+        assert_eq!(rp.cycles, 0);
+        assert_eq!(rp.elements_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn max_throughputs() {
+        assert_eq!(RowPartitionedMerger::paper_config().max_throughput(), 32);
+        assert_eq!(FlattenedMerger::paper_config().max_throughput(), 16);
+    }
+}

@@ -1,0 +1,259 @@
+//! A lane-based model of sparse spatial arrays with zero skipping and load
+//! balancing (Figures 6 and 10 of the paper).
+//!
+//! After sparsity pruning, each row of the spatial array processes the
+//! non-zeros of its assigned tensor rows independently (the Figure 4
+//! array). Imbalanced row lengths leave some lanes idle; `Shift`
+//! load-balancing lets idle lanes take pending work, at row-group or
+//! per-PE granularity.
+
+use stellar_area::TrafficCounts;
+use stellar_tensor::CsrMatrix;
+
+use crate::stats::{SimStats, Utilization};
+
+/// How idle lanes may take work from loaded ones.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BalancePolicy {
+    /// No load balancing: lanes only execute their own rows.
+    None,
+    /// Listing 3 / Figure 10a: an idle lane may take pending rows from its
+    /// *adjacent* lane only (work moves between directly adjacent rows of
+    /// the spatial array).
+    AdjacentRows,
+    /// Figure 10b / Listing 4: any idle lane may take pending rows from the
+    /// most-loaded lane (maximum flexibility, maximum hardware cost).
+    Global,
+}
+
+/// Parameters of the sparse array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SparseArrayParams {
+    /// Number of PE lanes (array rows).
+    pub lanes: usize,
+    /// Fixed cycles to start a new row on a lane (fiber pointer setup).
+    pub row_startup_cycles: u64,
+    /// The balancing policy.
+    pub balance: BalancePolicy,
+}
+
+/// The result of a sparse-array simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SparseSimResult {
+    /// Overall statistics.
+    pub stats: SimStats,
+    /// Busy cycles per lane (for utilization heat maps).
+    pub lane_busy: Vec<u64>,
+    /// Rows executed per lane (tracks how much work moved).
+    pub lane_rows: Vec<usize>,
+}
+
+impl SparseSimResult {
+    /// The utilization fraction.
+    pub fn utilization(&self) -> f64 {
+        self.stats.utilization.fraction()
+    }
+}
+
+/// One row of pending work.
+#[derive(Clone, Copy, Debug)]
+struct RowWork {
+    nnz: u64,
+}
+
+/// Simulates processing every non-zero of `b` on the sparse array: row `r`
+/// of `b` is initially assigned to lane `r % lanes`, each non-zero costs
+/// one lane-cycle, and idle lanes may steal *pending* (unstarted) rows
+/// according to the balancing policy — matching the paper's rule that only
+/// "future work that has not yet begun" is shifted.
+pub fn simulate_sparse_matmul(b: &CsrMatrix, params: &SparseArrayParams) -> SparseSimResult {
+    let lanes = params.lanes.max(1);
+    // Pending rows per lane, in row order.
+    let mut pending: Vec<Vec<RowWork>> = vec![Vec::new(); lanes];
+    for r in 0..b.rows() {
+        let nnz = b.row_len(r) as u64;
+        if nnz > 0 {
+            pending[r % lanes].push(RowWork { nnz });
+        }
+    }
+    for q in pending.iter_mut() {
+        q.reverse(); // pop from the back = row order
+    }
+
+    let mut current: Vec<Option<(RowWork, u64)>> = vec![None; lanes]; // (row, remaining incl. startup)
+    let mut lane_busy = vec![0u64; lanes];
+    let mut lane_rows = vec![0usize; lanes];
+    let mut cycles: u64 = 0;
+    let total_nnz: u64 = (0..b.rows()).map(|r| b.row_len(r) as u64).sum();
+    if total_nnz == 0 {
+        return SparseSimResult {
+            stats: SimStats::default(),
+            lane_busy,
+            lane_rows,
+        };
+    }
+
+    loop {
+        // Dispatch: fill idle lanes.
+        for l in 0..lanes {
+            if current[l].is_some() {
+                continue;
+            }
+            // Own queue first.
+            let work = if let Some(w) = pending[l].pop() {
+                Some(w)
+            } else {
+                match params.balance {
+                    BalancePolicy::None => None,
+                    BalancePolicy::AdjacentRows => {
+                        // Steal from the more-loaded adjacent lane.
+                        let left = l.checked_sub(1);
+                        let right = if l + 1 < lanes { Some(l + 1) } else { None };
+                        let pick = [left, right]
+                            .into_iter()
+                            .flatten()
+                            .max_by_key(|&n| pending[n].len());
+                        pick.and_then(|n| {
+                            if pending[n].len() > 1 {
+                                // Leave the neighbour its current head.
+                                let w = pending[n].remove(0);
+                                Some(w)
+                            } else {
+                                None
+                            }
+                        })
+                    }
+                    BalancePolicy::Global => {
+                        let victim = (0..lanes).max_by_key(|&n| pending[n].len());
+                        victim.and_then(|v| {
+                            if !pending[v].is_empty() {
+                                Some(pending[v].remove(0))
+                            } else {
+                                None
+                            }
+                        })
+                    }
+                }
+            };
+            if let Some(w) = work {
+                current[l] = Some((w, w.nnz + params.row_startup_cycles));
+            }
+        }
+
+        // Terminate when no lane holds work and no rows are pending.
+        if current.iter().all(|c| c.is_none()) && pending.iter().all(|q| q.is_empty()) {
+            break;
+        }
+
+        // Advance one cycle.
+        cycles += 1;
+        for l in 0..lanes {
+            if let Some((w, remaining)) = current[l].as_mut() {
+                lane_busy[l] += 1;
+                *remaining -= 1;
+                if *remaining == 0 {
+                    lane_rows[l] += 1;
+                    let _ = w;
+                    current[l] = None;
+                }
+            }
+        }
+    }
+
+    let busy: u64 = lane_busy.iter().sum();
+    SparseSimResult {
+        stats: SimStats {
+            cycles,
+            utilization: Utilization {
+                busy,
+                total: cycles * lanes as u64,
+            },
+            traffic: TrafficCounts {
+                macs: total_nnz,
+                sram_accesses: total_nnz + b.rows() as u64,
+                regfile_accesses: 2 * total_nnz,
+                dram_words: 0,
+                pe_cycles: cycles * lanes as u64,
+            },
+        },
+        lane_busy,
+        lane_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_tensor::gen;
+
+    fn params(balance: BalancePolicy) -> SparseArrayParams {
+        SparseArrayParams {
+            lanes: 8,
+            row_startup_cycles: 1,
+            balance,
+        }
+    }
+
+    #[test]
+    fn balanced_matrix_is_fine_without_balancing() {
+        let b = gen::uniform(64, 64, 0.2, 1);
+        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        assert!(none.utilization() > 0.7, "got {:.3}", none.utilization());
+    }
+
+    #[test]
+    fn imbalance_tanks_unbalanced_utilization() {
+        // Figure 6: a B matrix whose heavy rows all land on a few lanes.
+        let b = gen::imbalanced(8, 256, 2, 128, 2, 7);
+        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        assert!(
+            none.utilization() < 0.5,
+            "imbalanced workload should idle lanes, got {:.3}",
+            none.utilization()
+        );
+    }
+
+    #[test]
+    fn balancing_recovers_utilization() {
+        let b = gen::imbalanced(32, 256, 4, 128, 2, 7);
+        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        let adj = simulate_sparse_matmul(&b, &params(BalancePolicy::AdjacentRows));
+        let global = simulate_sparse_matmul(&b, &params(BalancePolicy::Global));
+        assert!(adj.stats.cycles <= none.stats.cycles);
+        assert!(global.stats.cycles <= adj.stats.cycles);
+        assert!(
+            global.utilization() > none.utilization(),
+            "global {:.3} vs none {:.3}",
+            global.utilization(),
+            none.utilization()
+        );
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        let b = gen::power_law(100, 100, 6.0, 1.8, 3);
+        let total_nnz: u64 = (0..100).map(|r| b.row_len(r) as u64).sum();
+        for policy in [BalancePolicy::None, BalancePolicy::AdjacentRows, BalancePolicy::Global] {
+            let r = simulate_sparse_matmul(&b, &params(policy));
+            assert_eq!(r.stats.traffic.macs, total_nnz);
+            let rows_done: usize = r.lane_rows.iter().sum();
+            let nonempty_rows = (0..100).filter(|&r| b.row_len(r) > 0).count();
+            assert_eq!(rows_done, nonempty_rows, "policy {policy:?}");
+        }
+    }
+
+    #[test]
+    fn global_moves_rows_across_lanes() {
+        let b = gen::imbalanced(8, 256, 1, 200, 1, 9);
+        let r = simulate_sparse_matmul(&b, &params(BalancePolicy::Global));
+        // Lane 0 owns the heavy row; other lanes must have taken some rows.
+        assert!(r.lane_rows.iter().skip(1).any(|&n| n > 0));
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let b = gen::uniform(8, 8, 0.0, 1);
+        let r = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        assert_eq!(r.stats.cycles, 0);
+    }
+}

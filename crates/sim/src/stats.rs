@@ -1,0 +1,93 @@
+//! Shared simulation counters.
+
+use stellar_area::TrafficCounts;
+
+/// PE occupancy accounting: busy PE-cycles over total PE-cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Utilization {
+    /// PE-cycles doing useful arithmetic.
+    pub busy: u64,
+    /// Total PE-cycles elapsed (PEs × cycles).
+    pub total: u64,
+}
+
+impl Utilization {
+    /// The utilization fraction in `[0, 1]` (0 when nothing elapsed).
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.busy as f64 / self.total as f64
+        }
+    }
+
+    /// Merges two measurements.
+    pub fn merge(self, o: Utilization) -> Utilization {
+        Utilization {
+            busy: self.busy + o.busy,
+            total: self.total + o.total,
+        }
+    }
+}
+
+/// The result of one simulation: cycles, utilization, and traffic for the
+/// energy model.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SimStats {
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// PE occupancy.
+    pub utilization: Utilization,
+    /// Counted events, consumable by [`stellar_area::energy_per_mac_pj`].
+    pub traffic: TrafficCounts,
+}
+
+impl SimStats {
+    /// Sequential composition: cycles add, occupancy and traffic merge.
+    pub fn then(self, o: SimStats) -> SimStats {
+        SimStats {
+            cycles: self.cycles + o.cycles,
+            utilization: self.utilization.merge(o.utilization),
+            traffic: self.traffic.merge(o.traffic),
+        }
+    }
+
+    /// Throughput in operations per cycle given an op count.
+    pub fn ops_per_cycle(&self, ops: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            ops as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_fraction() {
+        let u = Utilization { busy: 75, total: 100 };
+        assert!((u.fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(Utilization::default().fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_and_then() {
+        let a = SimStats {
+            cycles: 10,
+            utilization: Utilization { busy: 5, total: 10 },
+            traffic: TrafficCounts {
+                macs: 100,
+                ..TrafficCounts::default()
+            },
+        };
+        let b = a;
+        let c = a.then(b);
+        assert_eq!(c.cycles, 20);
+        assert_eq!(c.utilization.busy, 10);
+        assert_eq!(c.traffic.macs, 200);
+        assert!((c.ops_per_cycle(200) - 10.0).abs() < 1e-12);
+    }
+}

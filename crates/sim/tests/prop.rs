@@ -1,0 +1,117 @@
+//! Property tests for the simulators: correctness of computed results,
+//! conservation of work, and monotonicity of the performance models.
+
+use proptest::prelude::*;
+use stellar_sim::{
+    gemm_cycles, simulate_sparse_matmul, simulate_ws_matmul, BalancePolicy, DmaModel,
+    FlattenedMerger, GemmParams, L2Cache, Merger, RowPartitionedMerger, SparseArrayParams,
+};
+use stellar_tensor::ops::Fiber;
+use stellar_tensor::{gen, DenseMatrix};
+
+fn small_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut m = DenseMatrix::zeros(rows, cols);
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    for r in 0..rows {
+        for c in 0..cols {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            m.set(r, c, ((state >> 40) % 9) as f64 - 4.0);
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The cycle-stepped systolic array computes exact matmuls for all
+    /// shapes.
+    #[test]
+    fn systolic_always_correct(m in 1usize..=6, k in 1usize..=6, n in 1usize..=6, seed in 0u64..300) {
+        let a = small_matrix(m, k, seed);
+        let b = small_matrix(k, n, seed + 7);
+        let r = simulate_ws_matmul(&a, &b);
+        prop_assert!(r.product.approx_eq(&a.matmul(&b), 1e-9));
+        prop_assert!(r.stats.cycles > 0);
+        prop_assert_eq!(r.stats.traffic.macs, (m * n * k) as u64);
+    }
+
+    /// Load balancing never increases cycles, and stronger policies
+    /// dominate weaker ones.
+    #[test]
+    fn balancing_is_monotone(rows in 8usize..=48, heavy in 1usize..=4, seed in 0u64..200) {
+        let b = gen::imbalanced(rows, 256, heavy, 64, 4, seed);
+        let run = |policy| {
+            simulate_sparse_matmul(&b, &SparseArrayParams {
+                lanes: 8,
+                row_startup_cycles: 1,
+                balance: policy,
+            }).stats.cycles
+        };
+        let none = run(BalancePolicy::None);
+        let adj = run(BalancePolicy::AdjacentRows);
+        let global = run(BalancePolicy::Global);
+        prop_assert!(adj <= none, "adjacent {adj} > none {none}");
+        prop_assert!(global <= adj, "global {global} > adjacent {adj}");
+    }
+
+    /// Both mergers merge the same number of elements, whatever the rows.
+    #[test]
+    fn mergers_conserve_elements(seed in 0u64..100, density in 0.05f64..0.3) {
+        let a = gen::uniform(48, 48, density, seed);
+        use stellar_tensor::ops::spgemm_outer_partials;
+        use stellar_tensor::CscMatrix;
+        let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &a);
+        let rows = stellar_sim::rows_of_partials(48, &partials);
+        let rp = RowPartitionedMerger::paper_config().simulate(&rows);
+        let fl = FlattenedMerger::paper_config().simulate(&rows);
+        prop_assert_eq!(rp.merged_elements, fl.merged_elements);
+        // Neither exceeds its peak throughput.
+        prop_assert!(rp.elements_per_cycle() <= 32.0 + 1e-9);
+        prop_assert!(fl.elements_per_cycle() <= 16.0 + 1e-9);
+    }
+
+    /// A merger batch of identical-length rows runs the row-partitioned
+    /// merger at high efficiency.
+    #[test]
+    fn uniform_rows_fill_lanes(len in 8usize..=64) {
+        let rows: Vec<Vec<Fiber>> = (0..64)
+            .map(|_| vec![Fiber::new((0..len).collect(), vec![1.0; len])])
+            .collect();
+        let rp = RowPartitionedMerger { lanes: 32, row_switch_cycles: 0 }.simulate(&rows);
+        prop_assert!(rp.utilization.fraction() > 0.95);
+    }
+
+    /// GEMM cycle counts are monotone in every dimension.
+    #[test]
+    fn gemm_cycles_monotone(m in 8usize..=64, k in 8usize..=64, n in 8usize..=64) {
+        let p = GemmParams::handwritten_gemmini();
+        let base = gemm_cycles(m, k, n, &p).total();
+        prop_assert!(gemm_cycles(m + 8, k, n, &p).total() >= base);
+        prop_assert!(gemm_cycles(m, k + 16, n, &p).total() >= base);
+        prop_assert!(gemm_cycles(m, k, n + 16, &p).total() >= base);
+    }
+
+    /// More DMA slots never slow down scattered transfers, and contiguous
+    /// transfers are slot-independent.
+    #[test]
+    fn dma_slots_monotone(reqs in 1u64..2000, slots in 1usize..=32) {
+        let one = DmaModel::with_slots(1);
+        let many = DmaModel::with_slots(slots);
+        prop_assert!(many.scattered_cycles(reqs, 1) <= one.scattered_cycles(reqs, 1));
+        prop_assert_eq!(many.contiguous_cycles(reqs), one.contiguous_cycles(reqs));
+    }
+
+    /// Cache hit accounting is consistent: hits + misses equals accesses,
+    /// and a repeated access to the same line hits.
+    #[test]
+    fn cache_accounting_consistent(addrs in proptest::collection::vec(0u64..10_000, 1..200)) {
+        let mut c = L2Cache::new(1024, 4, 8, stellar_sim::DramParams::default());
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+        let (_, hit) = c.access(addrs[addrs.len() - 1]);
+        prop_assert!(hit, "immediate re-access must hit");
+    }
+}

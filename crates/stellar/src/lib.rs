@@ -1,0 +1,44 @@
+//! # Stellar
+//!
+//! A Rust reproduction of *"Stellar: An Automated Design Framework for
+//! Dense and Sparse Spatial Accelerators"* (MICRO 2024): a specification
+//! language that separates five accelerator design concerns, a compiler
+//! that elaborates specifications into hardware designs, a Verilog
+//! emitter, analytical area/energy/timing models, a cycle-level simulator,
+//! and the RISC-V-style programming interface of the paper's Table II.
+//!
+//! This crate is the facade: it re-exports every sub-crate under one name.
+//!
+//! ```
+//! use stellar::prelude::*;
+//!
+//! // 1. Functionality (Listing 1) + dataflow (Figure 2b) = an accelerator.
+//! let spec = AcceleratorSpec::new("quick", Functionality::matmul(4, 4, 4))
+//!     .with_transform(SpaceTimeTransform::output_stationary());
+//! let design = compile(&spec)?;
+//!
+//! // 2. Emit synthesizable Verilog.
+//! let verilog = stellar::rtl::emit_accelerator(&design).to_verilog();
+//! assert!(verilog.contains("module quick_top"));
+//!
+//! // 3. Estimate area.
+//! let area = stellar::area::area_of(&design, &stellar::area::Technology::asap7());
+//! assert!(area.total_um2() > 0.0);
+//! # Ok::<(), CompileError>(())
+//! ```
+
+pub use stellar_core as core;
+pub use stellar_linalg as linalg;
+pub use stellar_tensor as tensor;
+
+pub use stellar_accels as accels;
+pub use stellar_area as area;
+pub use stellar_isa as isa;
+pub use stellar_rtl as rtl;
+pub use stellar_sim as sim;
+pub use stellar_workloads as workloads;
+
+/// The types needed to specify and compile an accelerator.
+pub mod prelude {
+    pub use stellar_core::prelude::*;
+}

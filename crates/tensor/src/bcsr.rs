@@ -1,0 +1,219 @@
+//! Block compressed sparse row (BCSR / block-CRS) matrices.
+
+use std::fmt;
+
+use crate::dense::DenseMatrix;
+
+/// A block compressed-sparse-row matrix: CSR whose stored elements are dense
+/// `bh × bw` blocks instead of scalars.
+///
+/// This is the block-CRS format of Figure 12 in the paper, where a Stellar
+/// private memory buffer generates one read/write pipeline stage per tensor
+/// axis: a `Dense` stage for block rows, a `Compressed` stage doing the
+/// indirect block-column lookup, and two `Dense` stages for the intra-block
+/// coordinates.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_tensor::{BcsrMatrix, DenseMatrix};
+///
+/// let mut d = DenseMatrix::zeros(4, 4);
+/// d.set(0, 0, 1.0);
+/// d.set(1, 1, 2.0);
+/// let m = BcsrMatrix::from_dense(&d, 2, 2);
+/// assert_eq!(m.num_blocks(), 1); // both non-zeros fall in block (0, 0)
+/// assert_eq!(m.to_dense(), d);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct BcsrMatrix {
+    rows: usize,
+    cols: usize,
+    block_h: usize,
+    block_w: usize,
+    /// `block_row_ptr[i]..block_row_ptr[i+1]` indexes the blocks of block-row `i`.
+    block_row_ptr: Vec<usize>,
+    /// Block-column index of each stored block.
+    block_col_idx: Vec<usize>,
+    /// Dense block payloads, each of length `block_h * block_w`, row-major.
+    blocks: Vec<Vec<f64>>,
+}
+
+impl BcsrMatrix {
+    /// Builds from a dense matrix with the given block shape. Blocks that are
+    /// entirely zero are not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block dimension is zero or does not divide the
+    /// corresponding matrix dimension.
+    pub fn from_dense(d: &DenseMatrix, block_h: usize, block_w: usize) -> BcsrMatrix {
+        assert!(block_h > 0 && block_w > 0, "block dimensions must be non-zero");
+        assert_eq!(d.rows() % block_h, 0, "block height must divide rows");
+        assert_eq!(d.cols() % block_w, 0, "block width must divide cols");
+        let brows = d.rows() / block_h;
+        let bcols = d.cols() / block_w;
+        let mut block_row_ptr = vec![0usize; brows + 1];
+        let mut block_col_idx = Vec::new();
+        let mut blocks = Vec::new();
+        for br in 0..brows {
+            for bc in 0..bcols {
+                let mut payload = vec![0.0; block_h * block_w];
+                let mut any = false;
+                for r in 0..block_h {
+                    for c in 0..block_w {
+                        let v = d.at(br * block_h + r, bc * block_w + c);
+                        if v != 0.0 {
+                            any = true;
+                        }
+                        payload[r * block_w + c] = v;
+                    }
+                }
+                if any {
+                    block_col_idx.push(bc);
+                    blocks.push(payload);
+                }
+            }
+            block_row_ptr[br + 1] = block_col_idx.len();
+        }
+        BcsrMatrix {
+            rows: d.rows(),
+            cols: d.cols(),
+            block_h,
+            block_w,
+            block_row_ptr,
+            block_col_idx,
+            blocks,
+        }
+    }
+
+    /// Number of rows in the expanded matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns in the expanded matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `(block_h, block_w)` block shape.
+    pub fn block_shape(&self) -> (usize, usize) {
+        (self.block_h, self.block_w)
+    }
+
+    /// Number of stored (non-empty) blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of scalar values stored (including zeros inside stored blocks).
+    pub fn stored_values(&self) -> usize {
+        self.blocks.len() * self.block_h * self.block_w
+    }
+
+    /// Number of true non-zero scalars.
+    pub fn nnz(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| b.iter().filter(|&&v| v != 0.0).count())
+            .sum()
+    }
+
+    /// Iterates `(block_row, block_col, payload)` over stored blocks.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (usize, usize, &[f64])> + '_ {
+        (0..self.block_row_ptr.len() - 1).flat_map(move |br| {
+            (self.block_row_ptr[br]..self.block_row_ptr[br + 1])
+                .map(move |k| (br, self.block_col_idx[k], self.blocks[k].as_slice()))
+        })
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        for (br, bc, payload) in self.iter_blocks() {
+            for r in 0..self.block_h {
+                for c in 0..self.block_w {
+                    d.set(
+                        br * self.block_h + r,
+                        bc * self.block_w + c,
+                        payload[r * self.block_w + c],
+                    );
+                }
+            }
+        }
+        d
+    }
+
+    /// Storage overhead of blocking: stored values divided by true non-zeros
+    /// (1.0 means no padding waste; large values mean the block shape fits
+    /// the sparsity pattern poorly).
+    pub fn fill_ratio(&self) -> f64 {
+        let nnz = self.nnz();
+        if nnz == 0 {
+            0.0
+        } else {
+            self.stored_values() as f64 / nnz as f64
+        }
+    }
+}
+
+impl fmt::Debug for BcsrMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BcsrMatrix({}x{}, {}x{} blocks, {} stored)",
+            self.rows, self.cols, self.block_h, self.block_w, self.blocks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_block_count() {
+        let mut d = DenseMatrix::zeros(4, 6);
+        d.set(0, 0, 1.0);
+        d.set(3, 5, 2.0);
+        let m = BcsrMatrix::from_dense(&d, 2, 3);
+        assert_eq!(m.num_blocks(), 2);
+        assert_eq!(m.nnz(), 2);
+        assert_eq!(m.stored_values(), 12);
+        assert_eq!(m.to_dense(), d);
+    }
+
+    #[test]
+    fn empty_matrix_has_no_blocks() {
+        let d = DenseMatrix::zeros(4, 4);
+        let m = BcsrMatrix::from_dense(&d, 2, 2);
+        assert_eq!(m.num_blocks(), 0);
+        assert_eq!(m.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fill_ratio_measures_padding() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d.set(0, 0, 1.0);
+        let m = BcsrMatrix::from_dense(&d, 2, 2);
+        assert_eq!(m.fill_ratio(), 4.0);
+    }
+
+    #[test]
+    fn iter_blocks_row_major() {
+        let mut d = DenseMatrix::zeros(4, 4);
+        d.set(0, 2, 1.0);
+        d.set(2, 0, 2.0);
+        let m = BcsrMatrix::from_dense(&d, 2, 2);
+        let coords: Vec<(usize, usize)> = m.iter_blocks().map(|(r, c, _)| (r, c)).collect();
+        assert_eq!(coords, vec![(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn block_shape_must_divide() {
+        let d = DenseMatrix::zeros(4, 4);
+        let _ = BcsrMatrix::from_dense(&d, 3, 2);
+    }
+}

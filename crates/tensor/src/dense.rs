@@ -1,0 +1,417 @@
+//! Row-major dense matrices and tensors.
+
+use std::fmt;
+
+/// A row-major dense matrix of `f64` values.
+///
+/// The dense baseline representation for Stellar workloads: DNN weight and
+/// activation tiles, and the expanded form of sparse matrices used to verify
+/// sparse kernels against a golden model.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_tensor::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// let b = DenseMatrix::identity(2);
+/// assert_eq!(a.matmul(&b), a);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// An all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> DenseMatrix {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix { rows: r, cols: c, data }
+    }
+
+    /// Builds a matrix from a flat row-major vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> DenseMatrix {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        DenseMatrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[f64] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of entries that are non-zero, in `[0, 1]`.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Dense matrix product `self * rhs` (the golden model for every matmul
+    /// accelerator in the test suite).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out.data[i * rhs.cols + j] += a * rhs.at(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.at(r, c));
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if all entries are within `tol` of `other`'s.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// An N-dimensional row-major dense tensor.
+///
+/// Used for convolution activations/weights (4D tensors in the SCNN
+/// experiment) and as the expansion target for [`FiberTree`] encodings.
+///
+/// [`FiberTree`]: crate::FiberTree
+///
+/// # Examples
+///
+/// ```
+/// use stellar_tensor::DenseTensor;
+///
+/// let mut t = DenseTensor::zeros(&[2, 3, 4]);
+/// t.set(&[1, 2, 3], 5.0);
+/// assert_eq!(t.at(&[1, 2, 3]), 5.0);
+/// assert_eq!(t.len(), 24);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct DenseTensor {
+    shape: Vec<usize>,
+    strides: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl DenseTensor {
+    /// An all-zero tensor with the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is empty.
+    pub fn zeros(shape: &[usize]) -> DenseTensor {
+        assert!(!shape.is_empty(), "tensor must have at least one axis");
+        let mut strides = vec![1usize; shape.len()];
+        for d in (0..shape.len() - 1).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1];
+        }
+        let len = shape.iter().product();
+        DenseTensor {
+            shape: shape.to_vec(),
+            strides,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn offset(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (d, &i) in idx.iter().enumerate() {
+            assert!(i < self.shape[d], "index out of bounds on axis {d}");
+            off += i * self.strides[d];
+        }
+        off
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    /// Element assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, idx: &[usize], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of entries that are non-zero.
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.nnz() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Iterates over `(index, value)` pairs of the non-zero elements in
+    /// row-major order.
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (Vec<usize>, f64)> + '_ {
+        let shape = self.shape.clone();
+        self.data.iter().enumerate().filter_map(move |(off, &v)| {
+            if v == 0.0 {
+                return None;
+            }
+            let mut idx = vec![0usize; shape.len()];
+            let mut rem = off;
+            for d in (0..shape.len()).rev() {
+                idx[d] = rem % shape[d];
+                rem /= shape[d];
+            }
+            Some((idx, v))
+        })
+    }
+
+    /// Flat row-major data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Interprets a 2-D tensor as a [`DenseMatrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-dimensional.
+    pub fn to_matrix(&self) -> DenseMatrix {
+        assert_eq!(self.ndim(), 2, "to_matrix requires a 2-D tensor");
+        DenseMatrix::from_vec(self.shape[0], self.shape[1], self.data.clone())
+    }
+
+    /// Builds a 2-D tensor from a matrix.
+    pub fn from_matrix(m: &DenseMatrix) -> DenseTensor {
+        let mut t = DenseTensor::zeros(&[m.rows(), m.cols()]);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                t.set(&[r, c], m.at(r, c));
+            }
+        }
+        t
+    }
+}
+
+impl fmt::Debug for DenseTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DenseTensor(shape={:?}, nnz={}/{})",
+            self.shape,
+            self.nnz(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let id = DenseMatrix::identity(3);
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn density_and_nnz() {
+        let mut m = DenseMatrix::zeros(4, 4);
+        assert_eq!(m.nnz(), 0);
+        m.set(0, 0, 1.0);
+        m.set(3, 3, 2.0);
+        assert_eq!(m.nnz(), 2);
+        assert!((m.density() - 2.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn tensor_strides_row_major() {
+        let mut t = DenseTensor::zeros(&[2, 3, 4]);
+        t.set(&[0, 0, 1], 1.0);
+        t.set(&[0, 1, 0], 2.0);
+        t.set(&[1, 0, 0], 3.0);
+        assert_eq!(t.as_slice()[1], 1.0);
+        assert_eq!(t.as_slice()[4], 2.0);
+        assert_eq!(t.as_slice()[12], 3.0);
+    }
+
+    #[test]
+    fn tensor_iter_nonzero_row_major_order() {
+        let mut t = DenseTensor::zeros(&[2, 2]);
+        t.set(&[1, 0], 3.0);
+        t.set(&[0, 1], 2.0);
+        let nz: Vec<_> = t.iter_nonzero().collect();
+        assert_eq!(nz, vec![(vec![0, 1], 2.0), (vec![1, 0], 3.0)]);
+    }
+
+    #[test]
+    fn tensor_matrix_round_trip() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 4.0]]);
+        assert_eq!(DenseTensor::from_matrix(&m).to_matrix(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn tensor_bounds_checked() {
+        let t = DenseTensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+}

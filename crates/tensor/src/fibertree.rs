@@ -1,0 +1,432 @@
+//! Fibertree tensor representations with per-axis formats.
+//!
+//! Stellar users describe each private memory buffer's data layout by giving
+//! every tensor axis its own format (§III-E of the paper): composing
+//! `Dense`, `Compressed`, `Bitvector` and `LinkedList` axes yields CSR, CSC,
+//! block-CRS and many other concrete sparse layouts.
+
+use std::fmt;
+
+use crate::dense::DenseTensor;
+
+/// The storage format of one tensor axis in the fibertree notation.
+///
+/// The choice of format determines both the metadata stored in a Stellar
+/// private memory buffer and the read/write pipeline stage generated for the
+/// axis (Figure 12): `Dense` axes get plain address generators, the others
+/// need indirect metadata lookups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum AxisFormat {
+    /// Uncompressed: every coordinate is materialized; no metadata.
+    Dense,
+    /// Coordinate list + fiber offsets, as in the inner axis of CSR.
+    Compressed,
+    /// One bit per coordinate marking occupancy.
+    Bitvector,
+    /// A linked list of `(next, coord)` cells per fiber.
+    LinkedList,
+}
+
+impl AxisFormat {
+    /// Returns `true` if the axis stores only the occupied coordinates.
+    pub fn is_compressing(self) -> bool {
+        !matches!(self, AxisFormat::Dense)
+    }
+
+    /// The paper's ISA name for the axis type (Table II `set_axis_type`).
+    pub fn isa_name(self) -> &'static str {
+        match self {
+            AxisFormat::Dense => "Dense",
+            AxisFormat::Compressed => "Compressed",
+            AxisFormat::Bitvector => "Bitvector",
+            AxisFormat::LinkedList => "LinkedList",
+        }
+    }
+}
+
+/// One node of a fibertree: a fiber of coordinates, each leading to either a
+/// child fiber or a leaf value.
+#[derive(Clone, PartialEq, Debug)]
+enum Node {
+    /// An interior fiber: explicit child coordinates plus children.
+    Inner { coords: Vec<usize>, children: Vec<Node> },
+    /// A leaf fiber on the innermost axis: coordinates plus scalar values.
+    Leaf { coords: Vec<usize>, values: Vec<f64> },
+}
+
+/// Storage accounting for a [`FiberTree`], in machine words.
+///
+/// Used by the DMA and memory-buffer models to compute traffic: moving a CSR
+/// matrix moves `data_words + coord_words + ptr_words` words (Listing 7 of
+/// the paper configures exactly these three arrays).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FiberTreeStats {
+    /// Scalar payload words (one per stored value, zeros included for dense
+    /// leaf fibers).
+    pub data_words: usize,
+    /// Explicit coordinate words (`Compressed` and `LinkedList` axes).
+    pub coord_words: usize,
+    /// Fiber-boundary/pointer words: CSR-style offsets for `Compressed`,
+    /// next-pointers for `LinkedList`, packed 64-bit words for `Bitvector`.
+    pub ptr_words: usize,
+}
+
+impl FiberTreeStats {
+    /// Total words moved when this tensor is transferred by a DMA.
+    pub fn total_words(&self) -> usize {
+        self.data_words + self.coord_words + self.ptr_words
+    }
+
+    /// Metadata words (everything except the payload).
+    pub fn metadata_words(&self) -> usize {
+        self.coord_words + self.ptr_words
+    }
+}
+
+/// A tensor stored in the fibertree notation with a per-axis [`AxisFormat`].
+///
+/// # Examples
+///
+/// CSR is `[Dense, Compressed]`; CSC is the same formats applied to the
+/// transposed tensor.
+///
+/// ```
+/// use stellar_tensor::{AxisFormat, DenseTensor, FiberTree};
+///
+/// let mut t = DenseTensor::zeros(&[2, 4]);
+/// t.set(&[0, 1], 5.0);
+/// t.set(&[1, 3], 7.0);
+/// let csr = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::Compressed]);
+/// assert_eq!(csr.nnz(), 2);
+/// assert_eq!(csr.to_dense(), t);
+/// // 2 payload words, 2 coordinate words, row-pointer words.
+/// assert_eq!(csr.stats().data_words, 2);
+/// assert_eq!(csr.stats().coord_words, 2);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct FiberTree {
+    shape: Vec<usize>,
+    formats: Vec<AxisFormat>,
+    root: Node,
+}
+
+impl FiberTree {
+    /// Encodes a dense tensor with the given per-axis formats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `formats.len() != tensor rank`.
+    pub fn from_dense(t: &DenseTensor, formats: &[AxisFormat]) -> FiberTree {
+        assert_eq!(
+            formats.len(),
+            t.ndim(),
+            "one axis format required per tensor axis"
+        );
+        let root = Self::build(t, formats, &mut vec![0; t.ndim()], 0);
+        FiberTree {
+            shape: t.shape().to_vec(),
+            formats: formats.to_vec(),
+            root,
+        }
+    }
+
+    fn build(t: &DenseTensor, formats: &[AxisFormat], prefix: &mut Vec<usize>, axis: usize) -> Node {
+        let n = t.shape()[axis];
+        let last = axis + 1 == t.ndim();
+        let keep_all = formats[axis] == AxisFormat::Dense;
+        if last {
+            let mut coords = Vec::new();
+            let mut values = Vec::new();
+            for i in 0..n {
+                prefix[axis] = i;
+                let v = t.at(prefix);
+                if keep_all || v != 0.0 {
+                    coords.push(i);
+                    values.push(v);
+                }
+            }
+            Node::Leaf { coords, values }
+        } else {
+            let mut coords = Vec::new();
+            let mut children = Vec::new();
+            for i in 0..n {
+                prefix[axis] = i;
+                let child = Self::build(t, formats, prefix, axis + 1);
+                if keep_all || !node_is_empty(&child) {
+                    coords.push(i);
+                    children.push(child);
+                }
+            }
+            Node::Inner { coords, children }
+        }
+    }
+
+    /// The tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The per-axis formats.
+    pub fn formats(&self) -> &[AxisFormat] {
+        &self.formats
+    }
+
+    /// Number of stored non-zero values.
+    pub fn nnz(&self) -> usize {
+        let mut n = 0;
+        visit_leaves(&self.root, &mut |_, values| {
+            n += values.iter().filter(|&&v| v != 0.0).count();
+        });
+        n
+    }
+
+    /// Decodes back to a dense tensor.
+    pub fn to_dense(&self) -> DenseTensor {
+        let mut t = DenseTensor::zeros(&self.shape);
+        let mut prefix: Vec<usize> = Vec::new();
+        decode(&self.root, &mut prefix, &mut t);
+        t
+    }
+
+    /// Iterates `(index, value)` over stored non-zero values in
+    /// lexicographic coordinate order.
+    pub fn iter_nonzero(&self) -> Vec<(Vec<usize>, f64)> {
+        let mut out = Vec::new();
+        let mut prefix: Vec<usize> = Vec::new();
+        collect_nonzero(&self.root, &mut prefix, &mut out);
+        out
+    }
+
+    /// Storage accounting in machine words; see [`FiberTreeStats`].
+    pub fn stats(&self) -> FiberTreeStats {
+        let mut stats = FiberTreeStats::default();
+        // Walk fibers level by level, attributing metadata per axis format.
+        let mut level: Vec<&Node> = vec![&self.root];
+        for (axis, &fmt) in self.formats.iter().enumerate() {
+            let mut next: Vec<&Node> = Vec::new();
+            for node in &level {
+                let (len, child_nodes): (usize, Vec<&Node>) = match node {
+                    Node::Inner { coords, children } => (coords.len(), children.iter().collect()),
+                    Node::Leaf { coords, values } => {
+                        stats.data_words += values.len();
+                        (coords.len(), Vec::new())
+                    }
+                };
+                match fmt {
+                    AxisFormat::Dense => {}
+                    AxisFormat::Compressed => {
+                        // Explicit coords plus one fiber-offset word.
+                        stats.coord_words += len;
+                        stats.ptr_words += 1;
+                    }
+                    AxisFormat::Bitvector => {
+                        // One bit per possible coordinate, packed into 64-bit
+                        // words per fiber.
+                        stats.ptr_words += self.shape[axis].div_ceil(64);
+                    }
+                    AxisFormat::LinkedList => {
+                        // Each cell stores a coordinate and a next-pointer.
+                        stats.coord_words += len;
+                        stats.ptr_words += len;
+                    }
+                }
+                next.extend(child_nodes);
+            }
+            level = next;
+        }
+        stats
+    }
+}
+
+fn node_is_empty(node: &Node) -> bool {
+    match node {
+        Node::Inner { children, .. } => children.iter().all(node_is_empty),
+        Node::Leaf { values, .. } => values.iter().all(|&v| v == 0.0),
+    }
+}
+
+fn visit_leaves<'a>(node: &'a Node, f: &mut impl FnMut(&'a [usize], &'a [f64])) {
+    match node {
+        Node::Inner { children, .. } => {
+            for c in children {
+                visit_leaves(c, f);
+            }
+        }
+        Node::Leaf { coords, values } => f(coords, values),
+    }
+}
+
+fn decode(node: &Node, prefix: &mut Vec<usize>, out: &mut DenseTensor) {
+    match node {
+        Node::Inner { coords, children } => {
+            for (&c, child) in coords.iter().zip(children) {
+                prefix.push(c);
+                decode(child, prefix, out);
+                prefix.pop();
+            }
+        }
+        Node::Leaf { coords, values } => {
+            for (&c, &v) in coords.iter().zip(values) {
+                prefix.push(c);
+                out.set(prefix, v);
+                prefix.pop();
+            }
+        }
+    }
+}
+
+fn collect_nonzero(node: &Node, prefix: &mut Vec<usize>, out: &mut Vec<(Vec<usize>, f64)>) {
+    match node {
+        Node::Inner { coords, children } => {
+            for (&c, child) in coords.iter().zip(children) {
+                prefix.push(c);
+                collect_nonzero(child, prefix, out);
+                prefix.pop();
+            }
+        }
+        Node::Leaf { coords, values } => {
+            for (&c, &v) in coords.iter().zip(values) {
+                if v != 0.0 {
+                    prefix.push(c);
+                    out.push((prefix.clone(), v));
+                    prefix.pop();
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for FiberTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "FiberTree(shape={:?}, formats={:?}, nnz={})",
+            self.shape, self.formats, self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+
+    fn sample() -> DenseTensor {
+        let mut t = DenseTensor::zeros(&[3, 4]);
+        t.set(&[0, 0], 1.0);
+        t.set(&[0, 2], 2.0);
+        t.set(&[2, 1], 3.0);
+        t.set(&[2, 3], 4.0);
+        t
+    }
+
+    #[test]
+    fn all_format_combinations_round_trip() {
+        let formats = [
+            AxisFormat::Dense,
+            AxisFormat::Compressed,
+            AxisFormat::Bitvector,
+            AxisFormat::LinkedList,
+        ];
+        let t = sample();
+        for outer in formats {
+            for inner in formats {
+                let ft = FiberTree::from_dense(&t, &[outer, inner]);
+                assert_eq!(ft.to_dense(), t, "round trip failed for {outer:?}/{inner:?}");
+                assert_eq!(ft.nnz(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn csr_equivalence() {
+        // [Dense, Compressed] must store exactly what CsrMatrix stores.
+        let t = sample();
+        let ft = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::Compressed]);
+        let csr = CsrMatrix::from_dense(&t.to_matrix());
+        let stats = ft.stats();
+        assert_eq!(stats.data_words, csr.nnz());
+        assert_eq!(stats.coord_words, csr.col_idx().len());
+        // One offset word per row fiber (CSR stores rows+1; the +1 is shared).
+        assert_eq!(stats.ptr_words, csr.rows());
+    }
+
+    #[test]
+    fn dense_dense_stores_everything() {
+        let t = sample();
+        let ft = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::Dense]);
+        let stats = ft.stats();
+        assert_eq!(stats.data_words, 12);
+        assert_eq!(stats.metadata_words(), 0);
+    }
+
+    #[test]
+    fn bitvector_metadata_words() {
+        let t = sample();
+        let ft = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::Bitvector]);
+        let stats = ft.stats();
+        // 3 row fibers, each needs ceil(4/64)=1 bitmask word.
+        assert_eq!(stats.ptr_words, 3);
+        assert_eq!(stats.coord_words, 0);
+        assert_eq!(stats.data_words, 4);
+    }
+
+    #[test]
+    fn linked_list_metadata_words() {
+        let t = sample();
+        let ft = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::LinkedList]);
+        let stats = ft.stats();
+        assert_eq!(stats.coord_words, 4);
+        assert_eq!(stats.ptr_words, 4);
+    }
+
+    #[test]
+    fn compressed_outer_axis_skips_empty_rows() {
+        let t = sample(); // row 1 is empty
+        let ft = FiberTree::from_dense(&t, &[AxisFormat::Compressed, AxisFormat::Compressed]);
+        let nz = ft.iter_nonzero();
+        assert_eq!(nz.len(), 4);
+        assert_eq!(nz[0], (vec![0, 0], 1.0));
+        assert_eq!(nz[3], (vec![2, 3], 4.0));
+    }
+
+    #[test]
+    fn three_dimensional_tensor() {
+        let mut t = DenseTensor::zeros(&[2, 3, 4]);
+        t.set(&[0, 1, 2], 1.0);
+        t.set(&[1, 2, 3], 2.0);
+        let ft = FiberTree::from_dense(
+            &t,
+            &[AxisFormat::Compressed, AxisFormat::Compressed, AxisFormat::Compressed],
+        );
+        assert_eq!(ft.to_dense(), t);
+        assert_eq!(ft.nnz(), 2);
+    }
+
+    #[test]
+    fn three_dimensional_stats_account_all_levels() {
+        let mut t = DenseTensor::zeros(&[2, 3, 4]);
+        t.set(&[0, 1, 2], 1.0);
+        t.set(&[1, 2, 3], 2.0);
+        t.set(&[1, 2, 0], 3.0);
+        let ft = FiberTree::from_dense(
+            &t,
+            &[AxisFormat::Compressed, AxisFormat::Compressed, AxisFormat::Compressed],
+        );
+        let stats = ft.stats();
+        // Root fiber: 2 coords + 1 ptr. Middle: 2 fibers, 1 coord each + 1
+        // ptr each. Leaves: 2 fibers, 3 coords total + 1 ptr each.
+        assert_eq!(stats.coord_words, 2 + 2 + 3);
+        assert_eq!(stats.ptr_words, 1 + 2 + 2);
+        assert_eq!(stats.data_words, 3);
+        assert_eq!(stats.total_words(), stats.data_words + stats.metadata_words());
+    }
+
+    #[test]
+    fn isa_names() {
+        assert_eq!(AxisFormat::Dense.isa_name(), "Dense");
+        assert_eq!(AxisFormat::Compressed.isa_name(), "Compressed");
+        assert!(!AxisFormat::Dense.is_compressing());
+        assert!(AxisFormat::Bitvector.is_compressing());
+    }
+}

@@ -1,0 +1,226 @@
+//! NVIDIA A100-style N:M structured sparsity (Figure 5 of the paper).
+//!
+//! In the 2:4 scheme, every aligned group of 4 adjacent weights along a row
+//! contains at most 2 non-zeros. Hardware then stores each group as 2 values
+//! plus 2-bit indices, and the Stellar-generated spatial array keeps its
+//! PE-to-PE connections but widens them into small bundles
+//! (`OptimisticSkip`).
+
+use crate::dense::DenseMatrix;
+
+/// A matrix pruned to N:M structured sparsity along its rows, stored packed.
+///
+/// # Examples
+///
+/// ```
+/// use stellar_tensor::structured::StructuredMatrix;
+/// use stellar_tensor::DenseMatrix;
+///
+/// let d = DenseMatrix::from_rows(&[&[9.0, 1.0, 8.0, 2.0]]);
+/// let s = StructuredMatrix::prune(&d, 2, 4);
+/// assert!(s.validate());
+/// // The two largest-magnitude values per group survive.
+/// assert_eq!(s.to_dense().row(0), &[9.0, 0.0, 8.0, 0.0]);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructuredMatrix {
+    rows: usize,
+    cols: usize,
+    n: usize,
+    m: usize,
+    /// Packed values: `n` per group, row-major over groups.
+    values: Vec<f64>,
+    /// Index of each packed value within its group (`< m`).
+    indices: Vec<u8>,
+}
+
+impl StructuredMatrix {
+    /// Prunes a dense matrix to N:M sparsity by keeping the `n`
+    /// largest-magnitude values in every aligned group of `m` along each row
+    /// (the standard magnitude-pruning recipe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > m`, `m == 0`, `m > 256`, or `m` does not divide the
+    /// column count.
+    pub fn prune(d: &DenseMatrix, n: usize, m: usize) -> StructuredMatrix {
+        assert!(m > 0 && n <= m, "need 0 < n <= m");
+        assert!(m <= 256, "group size must fit an 8-bit index");
+        assert_eq!(d.cols() % m, 0, "group size must divide columns");
+        let groups_per_row = d.cols() / m;
+        let mut values = Vec::with_capacity(d.rows() * groups_per_row * n);
+        let mut indices = Vec::with_capacity(values.capacity());
+        for r in 0..d.rows() {
+            for g in 0..groups_per_row {
+                let base = g * m;
+                let mut order: Vec<usize> = (0..m).collect();
+                order.sort_by(|&a, &b| {
+                    d.at(r, base + b)
+                        .abs()
+                        .partial_cmp(&d.at(r, base + a).abs())
+                        .unwrap()
+                });
+                let mut kept: Vec<usize> = order[..n].to_vec();
+                kept.sort_unstable();
+                for k in kept {
+                    values.push(d.at(r, base + k));
+                    indices.push(k as u8);
+                }
+            }
+        }
+        StructuredMatrix {
+            rows: d.rows(),
+            cols: d.cols(),
+            n,
+            m,
+            values,
+            indices,
+        }
+    }
+
+    /// Number of rows of the expanded matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the expanded matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The `(n, m)` sparsity parameters.
+    pub fn pattern(&self) -> (usize, usize) {
+        (self.n, self.m)
+    }
+
+    /// Number of stored values (`rows * cols * n / m`).
+    pub fn stored_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The packed values of group `g` of row `r`, with their in-group
+    /// indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn group(&self, r: usize, g: usize) -> (&[f64], &[u8]) {
+        let groups_per_row = self.cols / self.m;
+        assert!(r < self.rows && g < groups_per_row, "group index out of bounds");
+        let base = (r * groups_per_row + g) * self.n;
+        (&self.values[base..base + self.n], &self.indices[base..base + self.n])
+    }
+
+    /// Expands to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut d = DenseMatrix::zeros(self.rows, self.cols);
+        let groups_per_row = self.cols / self.m;
+        for r in 0..self.rows {
+            for g in 0..groups_per_row {
+                let (vals, idxs) = self.group(r, g);
+                for (&v, &k) in vals.iter().zip(idxs) {
+                    d.set(r, g * self.m + k as usize, v);
+                }
+            }
+        }
+        d
+    }
+
+    /// Checks the structural invariant: every group has exactly `n` packed
+    /// entries with strictly increasing in-group indices below `m`.
+    pub fn validate(&self) -> bool {
+        let groups = self.rows * (self.cols / self.m);
+        if self.values.len() != groups * self.n {
+            return false;
+        }
+        for g in 0..groups {
+            let idxs = &self.indices[g * self.n..(g + 1) * self.n];
+            if idxs.iter().any(|&k| k as usize >= self.m) {
+                return false;
+            }
+            if idxs.windows(2).any(|w| w[0] >= w[1]) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Metadata bits per stored value: `ceil(log2(m))`.
+    pub fn index_bits(&self) -> u32 {
+        (self.m as u32).next_power_of_two().trailing_zeros().max(1)
+    }
+}
+
+/// Returns `true` if a dense matrix already satisfies N:M sparsity along its
+/// rows.
+///
+/// # Panics
+///
+/// Panics if `m` does not divide the column count.
+pub fn satisfies_nm(d: &DenseMatrix, n: usize, m: usize) -> bool {
+    assert_eq!(d.cols() % m, 0, "group size must divide columns");
+    for r in 0..d.rows() {
+        for g in 0..d.cols() / m {
+            let nz = (0..m).filter(|&k| d.at(r, g * m + k) != 0.0).count();
+            if nz > n {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prune_keeps_largest_magnitude() {
+        let d = DenseMatrix::from_rows(&[&[1.0, -9.0, 2.0, -8.0, 0.0, 0.0, 3.0, 0.0]]);
+        let s = StructuredMatrix::prune(&d, 2, 4);
+        assert!(s.validate());
+        let dense = s.to_dense();
+        assert_eq!(dense.row(0), &[0.0, -9.0, 0.0, -8.0, 0.0, 0.0, 3.0, 0.0]);
+        assert!(satisfies_nm(&dense, 2, 4));
+    }
+
+    #[test]
+    fn already_sparse_is_preserved() {
+        let d = DenseMatrix::from_rows(&[&[5.0, 0.0, 0.0, 6.0]]);
+        let s = StructuredMatrix::prune(&d, 2, 4);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn storage_is_half_for_2_4() {
+        let d = DenseMatrix::from_rows(&[&[1.0; 8], &[2.0; 8]]);
+        let s = StructuredMatrix::prune(&d, 2, 4);
+        assert_eq!(s.stored_values(), 8); // 16 entries / 2
+        assert_eq!(s.index_bits(), 2);
+    }
+
+    #[test]
+    fn group_access() {
+        let d = DenseMatrix::from_rows(&[&[9.0, 1.0, 8.0, 2.0]]);
+        let s = StructuredMatrix::prune(&d, 2, 4);
+        let (vals, idxs) = s.group(0, 0);
+        assert_eq!(vals, &[9.0, 8.0]);
+        assert_eq!(idxs, &[0, 2]);
+    }
+
+    #[test]
+    fn satisfies_nm_detects_violation() {
+        let ok = DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0, 0.0]]);
+        let bad = DenseMatrix::from_rows(&[&[1.0, 1.0, 2.0, 0.0]]);
+        assert!(satisfies_nm(&ok, 2, 4));
+        assert!(!satisfies_nm(&bad, 2, 4));
+        assert!(satisfies_nm(&bad, 3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn group_must_divide_cols() {
+        let d = DenseMatrix::zeros(1, 6);
+        let _ = StructuredMatrix::prune(&d, 2, 4);
+    }
+}

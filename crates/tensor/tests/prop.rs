@@ -1,0 +1,129 @@
+//! Property-based tests for tensor format round trips and kernel agreement.
+
+use proptest::prelude::*;
+use stellar_tensor::ops::{merge_fibers, spgemm_gustavson, spgemm_outer, Fiber};
+use stellar_tensor::{
+    AxisFormat, BcsrMatrix, CooMatrix, CscMatrix, CsrMatrix, DenseMatrix, DenseTensor, FiberTree,
+};
+
+/// Strategy: a small sparse dense-matrix with entries in {-2..2}.
+fn sparse_dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(
+        prop_oneof![4 => Just(0.0f64), 1 => (-2i8..=2).prop_map(|v| v as f64)],
+        rows * cols,
+    )
+    .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data))
+}
+
+fn axis_format() -> impl Strategy<Value = AxisFormat> {
+    prop_oneof![
+        Just(AxisFormat::Dense),
+        Just(AxisFormat::Compressed),
+        Just(AxisFormat::Bitvector),
+        Just(AxisFormat::LinkedList),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn csr_round_trip(d in sparse_dense(6, 9)) {
+        let m = CsrMatrix::from_dense(&d);
+        prop_assert_eq!(m.to_dense(), d);
+    }
+
+    #[test]
+    fn csc_round_trip(d in sparse_dense(7, 5)) {
+        let m = CscMatrix::from_dense(&d);
+        prop_assert_eq!(m.to_dense(), d);
+    }
+
+    #[test]
+    fn csr_csc_agree_on_nnz(d in sparse_dense(6, 6)) {
+        prop_assert_eq!(CsrMatrix::from_dense(&d).nnz(), CscMatrix::from_dense(&d).nnz());
+    }
+
+    #[test]
+    fn coo_compact_idempotent(d in sparse_dense(5, 5)) {
+        let mut a = CooMatrix::from_dense(&d);
+        a.compact();
+        let once: Vec<_> = a.iter().collect();
+        a.compact();
+        let twice: Vec<_> = a.iter().collect();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn bcsr_round_trip(d in sparse_dense(6, 8)) {
+        let m = BcsrMatrix::from_dense(&d, 2, 4);
+        prop_assert_eq!(m.to_dense(), d.clone());
+        prop_assert_eq!(m.nnz(), d.nnz());
+    }
+
+    #[test]
+    fn fibertree_round_trip(d in sparse_dense(4, 6), outer in axis_format(), inner in axis_format()) {
+        let t = DenseTensor::from_matrix(&d);
+        let ft = FiberTree::from_dense(&t, &[outer, inner]);
+        prop_assert_eq!(ft.to_dense(), t);
+        prop_assert_eq!(ft.nnz(), d.nnz());
+    }
+
+    #[test]
+    fn fibertree_compressed_never_larger_payload(d in sparse_dense(5, 5)) {
+        let t = DenseTensor::from_matrix(&d);
+        let dense = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::Dense]);
+        let csr = FiberTree::from_dense(&t, &[AxisFormat::Dense, AxisFormat::Compressed]);
+        prop_assert!(csr.stats().data_words <= dense.stats().data_words);
+    }
+
+    #[test]
+    fn spgemm_variants_agree(a in sparse_dense(5, 6), b in sparse_dense(6, 4)) {
+        let acsr = CsrMatrix::from_dense(&a);
+        let bcsr = CsrMatrix::from_dense(&b);
+        let gust = spgemm_gustavson(&acsr, &bcsr);
+        let outer = spgemm_outer(&CscMatrix::from_dense(&a), &bcsr);
+        let golden = a.matmul(&b);
+        prop_assert!(gust.to_dense().approx_eq(&golden, 1e-9));
+        prop_assert!(outer.to_dense().approx_eq(&golden, 1e-9));
+    }
+
+    #[test]
+    fn merge_fibers_matches_scalar_sum(
+        entries in proptest::collection::vec((0usize..20, -3i8..=3), 0..30),
+    ) {
+        // Split the entries arbitrarily into 3 fibers, merge, compare with a
+        // direct coordinate-sum.
+        let mut buckets: Vec<Vec<(usize, f64)>> = vec![Vec::new(); 3];
+        for (i, (c, v)) in entries.iter().enumerate() {
+            buckets[i % 3].push((*c, *v as f64));
+        }
+        let fibers: Vec<Fiber> = buckets
+            .into_iter()
+            .map(|mut b| {
+                b.sort_by_key(|e| e.0);
+                // Collapse duplicates inside one fiber (fibers are strictly sorted).
+                let mut coords = Vec::new();
+                let mut values: Vec<f64> = Vec::new();
+                for (c, v) in b {
+                    if coords.last() == Some(&c) {
+                        *values.last_mut().unwrap() += v;
+                    } else {
+                        coords.push(c);
+                        values.push(v);
+                    }
+                }
+                Fiber::new(coords, values)
+            })
+            .collect();
+        let mut expect = std::collections::BTreeMap::new();
+        for f in &fibers {
+            for (&c, &v) in f.coords.iter().zip(&f.values) {
+                *expect.entry(c).or_insert(0.0) += v;
+            }
+        }
+        expect.retain(|_, v: &mut f64| *v != 0.0);
+        let merged = merge_fibers(&fibers);
+        let got: std::collections::BTreeMap<usize, f64> =
+            merged.coords.iter().copied().zip(merged.values.iter().copied()).collect();
+        prop_assert_eq!(got, expect);
+    }
+}

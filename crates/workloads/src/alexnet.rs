@@ -1,0 +1,100 @@
+//! AlexNet convolution layers with the pruned densities of the SCNN
+//! evaluation (Figure 15 of the Stellar paper, following the SCNN paper's
+//! pruned-AlexNet setup).
+
+/// A convolution layer with pruned weight/activation densities.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ConvLayer {
+    /// Layer label, matching Figure 15's x-axis.
+    pub name: &'static str,
+    /// Input channels.
+    pub cin: usize,
+    /// Input height/width (square, post-pooling where applicable).
+    pub hw: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel size (square).
+    pub k: usize,
+    /// Fraction of weights that are non-zero after pruning.
+    pub weight_density: f64,
+    /// Fraction of input activations that are non-zero (post-ReLU).
+    pub act_density: f64,
+}
+
+impl ConvLayer {
+    /// Dense MAC count (without sparsity).
+    pub fn dense_macs(&self) -> u64 {
+        (self.cin * self.cout * self.k * self.k * self.hw * self.hw) as u64
+    }
+
+    /// Effective MACs after weight and activation sparsity (the work SCNN
+    /// actually performs).
+    pub fn sparse_macs(&self) -> u64 {
+        (self.dense_macs() as f64 * self.weight_density * self.act_density) as u64
+    }
+
+    /// Non-zero weights.
+    pub fn nnz_weights(&self) -> u64 {
+        ((self.cin * self.cout * self.k * self.k) as f64 * self.weight_density) as u64
+    }
+
+    /// Non-zero input activations.
+    pub fn nnz_acts(&self) -> u64 {
+        ((self.cin * self.hw * self.hw) as f64 * self.act_density) as u64
+    }
+}
+
+/// The five convolution layers of pruned AlexNet. Densities follow the
+/// SCNN paper's reported pruned model (weights ~16%–85% dense by layer,
+/// activations ~35%–100% from ReLU sparsity).
+pub fn alexnet_conv_layers() -> Vec<ConvLayer> {
+    vec![
+        ConvLayer { name: "conv1", cin: 3, hw: 55, cout: 96, k: 11, weight_density: 0.84, act_density: 1.00 },
+        ConvLayer { name: "conv2", cin: 96, hw: 27, cout: 256, k: 5, weight_density: 0.38, act_density: 0.49 },
+        ConvLayer { name: "conv3", cin: 256, hw: 13, cout: 384, k: 3, weight_density: 0.35, act_density: 0.35 },
+        ConvLayer { name: "conv4", cin: 384, hw: 13, cout: 384, k: 3, weight_density: 0.37, act_density: 0.43 },
+        ConvLayer { name: "conv5", cin: 384, hw: 13, cout: 256, k: 3, weight_density: 0.37, act_density: 0.47 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_layers() {
+        assert_eq!(alexnet_conv_layers().len(), 5);
+    }
+
+    #[test]
+    fn sparsity_reduces_work() {
+        for l in alexnet_conv_layers() {
+            assert!(l.sparse_macs() < l.dense_macs(), "{}", l.name);
+            assert!(l.sparse_macs() > 0);
+        }
+    }
+
+    #[test]
+    fn conv1_is_nearly_dense() {
+        let l = &alexnet_conv_layers()[0];
+        assert!(l.weight_density > 0.8);
+        assert!((l.act_density - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn later_layers_are_sparser() {
+        let ls = alexnet_conv_layers();
+        assert!(ls[2].weight_density < ls[0].weight_density);
+        assert!(ls[2].act_density < ls[0].act_density);
+    }
+
+    #[test]
+    fn nnz_counts_consistent() {
+        let l = &alexnet_conv_layers()[1];
+        assert_eq!(
+            l.nnz_weights(),
+            ((96 * 256 * 25) as f64 * 0.38) as u64
+        );
+        assert!(l.nnz_acts() < (96 * 27 * 27) as u64);
+    }
+}

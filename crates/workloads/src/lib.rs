@@ -1,0 +1,21 @@
+//! Workloads for the Stellar evaluation: DNN layer tables and a synthetic
+//! SuiteSparse suite.
+//!
+//! * [`resnet50`] — the convolution/FC layer shapes of ResNet-50 (the
+//!   Gemmini experiment of Figure 16a / Figure 17).
+//! * [`alexnet`] — AlexNet's convolution layers with the pruned weight and
+//!   activation densities of the SCNN evaluation (Figure 15).
+//! * [`suitesparse`] — synthetic stand-ins for the SuiteSparse matrices the
+//!   OuterSPACE and SpArch experiments use (Figures 16b and 18): each
+//!   reproduces the published dimensions, non-zero count, and row-length
+//!   distribution class of the real matrix.
+
+pub mod alexnet;
+pub mod resnet50;
+pub mod suitesparse;
+pub mod transformer;
+
+pub use alexnet::{alexnet_conv_layers, ConvLayer};
+pub use resnet50::{resnet50_gemms, resnet50_layers, GemmShape};
+pub use suitesparse::{suite, SparsityClass, SuiteMatrix};
+pub use transformer::{bert_base_layer, bert_base_total_macs};

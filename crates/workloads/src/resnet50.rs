@@ -1,0 +1,140 @@
+//! ResNet-50 layer shapes, lowered to the GEMMs a Gemmini-class
+//! accelerator executes.
+
+/// One GEMM: `C[m×n] = A[m×k] · B[k×n]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GemmShape {
+    /// A short layer label (e.g. `"conv2_x.1"`).
+    pub name: &'static str,
+    /// Output spatial positions (`H_out · W_out` per image).
+    pub m: usize,
+    /// Reduction size (`C_in · KH · KW`).
+    pub k: usize,
+    /// Output channels.
+    pub n: usize,
+    /// How many times this shape repeats across the network.
+    pub repeats: usize,
+}
+
+impl GemmShape {
+    /// Multiply-accumulates per instance.
+    pub fn macs(&self) -> u64 {
+        (self.m * self.k * self.n) as u64
+    }
+}
+
+/// One convolution layer in `[C_in, H, W] → [C_out, H', W']` form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Conv {
+    /// Layer label.
+    pub name: &'static str,
+    /// Input channels.
+    pub cin: usize,
+    /// Input height/width (square).
+    pub hw: usize,
+    /// Output channels.
+    pub cout: usize,
+    /// Kernel height/width (square).
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Repeats across the network.
+    pub repeats: usize,
+}
+
+impl Conv {
+    /// Output spatial size.
+    pub fn out_hw(&self) -> usize {
+        // All ResNet convs are "same"-padded before striding.
+        self.hw.div_ceil(self.stride)
+    }
+
+    /// Lowers to the im2col GEMM shape.
+    pub fn to_gemm(&self) -> GemmShape {
+        GemmShape {
+            name: self.name,
+            m: self.out_hw() * self.out_hw(),
+            k: self.cin * self.k * self.k,
+            n: self.cout,
+            repeats: self.repeats,
+        }
+    }
+}
+
+/// The convolution layers of ResNet-50 (batch 1), grouped by stage with
+/// repeat counts. Shapes follow He et al. (2015), Table 1.
+pub fn resnet50_layers() -> Vec<Conv> {
+    vec![
+        Conv { name: "conv1", cin: 3, hw: 224, cout: 64, k: 7, stride: 2, repeats: 1 },
+        // conv2_x: 3 bottleneck blocks at 56x56.
+        Conv { name: "conv2.reduce", cin: 256, hw: 56, cout: 64, k: 1, stride: 1, repeats: 3 },
+        Conv { name: "conv2.3x3", cin: 64, hw: 56, cout: 64, k: 3, stride: 1, repeats: 3 },
+        Conv { name: "conv2.expand", cin: 64, hw: 56, cout: 256, k: 1, stride: 1, repeats: 3 },
+        // conv3_x: 4 blocks at 28x28.
+        Conv { name: "conv3.reduce", cin: 512, hw: 28, cout: 128, k: 1, stride: 1, repeats: 4 },
+        Conv { name: "conv3.3x3", cin: 128, hw: 28, cout: 128, k: 3, stride: 1, repeats: 4 },
+        Conv { name: "conv3.expand", cin: 128, hw: 28, cout: 512, k: 1, stride: 1, repeats: 4 },
+        // conv4_x: 6 blocks at 14x14.
+        Conv { name: "conv4.reduce", cin: 1024, hw: 14, cout: 256, k: 1, stride: 1, repeats: 6 },
+        Conv { name: "conv4.3x3", cin: 256, hw: 14, cout: 256, k: 3, stride: 1, repeats: 6 },
+        Conv { name: "conv4.expand", cin: 256, hw: 14, cout: 1024, k: 1, stride: 1, repeats: 6 },
+        // conv5_x: 3 blocks at 7x7.
+        Conv { name: "conv5.reduce", cin: 2048, hw: 7, cout: 512, k: 1, stride: 1, repeats: 3 },
+        Conv { name: "conv5.3x3", cin: 512, hw: 7, cout: 512, k: 3, stride: 1, repeats: 3 },
+        Conv { name: "conv5.expand", cin: 512, hw: 7, cout: 2048, k: 1, stride: 1, repeats: 3 },
+    ]
+}
+
+/// The GEMMs of an end-to-end ResNet-50 inference (convolutions via
+/// im2col, plus the final FC layer).
+pub fn resnet50_gemms() -> Vec<GemmShape> {
+    let mut gemms: Vec<GemmShape> = resnet50_layers().iter().map(Conv::to_gemm).collect();
+    gemms.push(GemmShape {
+        name: "fc1000",
+        m: 1,
+        k: 2048,
+        n: 1000,
+        repeats: 1,
+    });
+    gemms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_macs_near_4_gflop() {
+        // ResNet-50 inference is ~3.8-4.1 GMACs.
+        let total: u64 = resnet50_gemms()
+            .iter()
+            .map(|g| g.macs() * g.repeats as u64)
+            .sum();
+        let gmacs = total as f64 / 1e9;
+        assert!(
+            (3.0..5.0).contains(&gmacs),
+            "ResNet-50 MACs {gmacs:.2}G out of range"
+        );
+    }
+
+    #[test]
+    fn conv_lowering() {
+        let c = Conv { name: "t", cin: 64, hw: 56, cout: 64, k: 3, stride: 1, repeats: 1 };
+        let g = c.to_gemm();
+        assert_eq!(g.m, 56 * 56);
+        assert_eq!(g.k, 64 * 9);
+        assert_eq!(g.n, 64);
+    }
+
+    #[test]
+    fn strided_conv_halves_output() {
+        let c = Conv { name: "s", cin: 3, hw: 224, cout: 64, k: 7, stride: 2, repeats: 1 };
+        assert_eq!(c.out_hw(), 112);
+    }
+
+    #[test]
+    fn layer_count() {
+        assert_eq!(resnet50_layers().len(), 13);
+        assert_eq!(resnet50_gemms().len(), 14);
+    }
+}

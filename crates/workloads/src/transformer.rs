@@ -1,0 +1,78 @@
+//! Transformer (BERT-base) GEMM shapes.
+//!
+//! The paper's introduction motivates co-designed structured sparsity with
+//! transformer accelerators (refs 22 and 32 prune attention); the A100 2:4
+//! scheme of Figure 5 targets exactly these weight matrices. This module
+//! provides the GEMMs of one BERT-base encoder layer so the 2:4 spatial
+//! array can be evaluated on a realistic workload.
+
+use crate::resnet50::GemmShape;
+
+/// The GEMMs of one BERT-base encoder layer at a given sequence length:
+/// QKV projections, attention scores/context, the output projection, and
+/// the two FFN layers. Hidden size 768, 12 heads, FFN 3072.
+pub fn bert_base_layer(seq_len: usize) -> Vec<GemmShape> {
+    let h = 768;
+    let ffn = 3072;
+    let heads = 12;
+    let dh = h / heads;
+    vec![
+        GemmShape { name: "qkv_proj", m: seq_len, k: h, n: 3 * h, repeats: 1 },
+        GemmShape { name: "attn_scores", m: seq_len, k: dh, n: seq_len, repeats: heads },
+        GemmShape { name: "attn_context", m: seq_len, k: seq_len, n: dh, repeats: heads },
+        GemmShape { name: "attn_out", m: seq_len, k: h, n: h, repeats: 1 },
+        GemmShape { name: "ffn_up", m: seq_len, k: h, n: ffn, repeats: 1 },
+        GemmShape { name: "ffn_down", m: seq_len, k: ffn, n: h, repeats: 1 },
+    ]
+}
+
+/// Which of a layer's GEMMs have *weight* operands (prunable to 2:4);
+/// attention score/context GEMMs multiply activations by activations and
+/// cannot be weight-pruned.
+pub fn is_weight_gemm(g: &GemmShape) -> bool {
+    !matches!(g.name, "attn_scores" | "attn_context")
+}
+
+/// Total MACs of a full BERT-base encoder stack (12 layers).
+pub fn bert_base_total_macs(seq_len: usize) -> u64 {
+    12 * bert_base_layer(seq_len)
+        .iter()
+        .map(|g| g.macs() * g.repeats as u64)
+        .sum::<u64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_has_six_gemms() {
+        let l = bert_base_layer(128);
+        assert_eq!(l.len(), 6);
+        assert!(l.iter().all(|g| g.macs() > 0));
+    }
+
+    #[test]
+    fn weight_vs_activation_gemms() {
+        let l = bert_base_layer(128);
+        let weight: Vec<&str> = l.iter().filter(|g| is_weight_gemm(g)).map(|g| g.name).collect();
+        assert_eq!(weight, vec!["qkv_proj", "attn_out", "ffn_up", "ffn_down"]);
+    }
+
+    #[test]
+    fn total_macs_scale_with_sequence() {
+        // FFN/projection terms scale linearly, attention quadratically.
+        let short = bert_base_total_macs(128);
+        let long = bert_base_total_macs(512);
+        assert!(long > 4 * short);
+        assert!(long < 16 * short);
+    }
+
+    #[test]
+    fn bert_base_128_magnitude() {
+        // ~11 GMACs for seq 128 over 12 layers (public figure ~11.2 GFLOPs
+        // of multiply-adds for BERT-base at 128 tokens).
+        let g = bert_base_total_macs(128) as f64 / 1e9;
+        assert!((5.0..20.0).contains(&g), "{g} GMACs out of magnitude");
+    }
+}

@@ -1,0 +1,91 @@
+//! Design-space exploration: the point of Stellar's separation of concerns
+//! is that each axis can be swept *independently*. This example crosses
+//! dataflows × sparsity × pipelining for one functionality and tabulates
+//! structure, area, and frequency for every point.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use stellar::area::{area_of, array_max_frequency_mhz, Technology};
+use stellar::core::IndexId;
+use stellar::prelude::*;
+
+fn main() -> Result<(), CompileError> {
+    let (j, k) = (IndexId::nth(1), IndexId::nth(2));
+    let tech = Technology::asap7();
+
+    let dataflows: Vec<(&str, SpaceTimeTransform)> = vec![
+        ("output-stat", SpaceTimeTransform::output_stationary()),
+        ("input-stat", SpaceTimeTransform::input_stationary()),
+        ("hexagonal", SpaceTimeTransform::hexagonal()),
+    ];
+    let sparsities: Vec<(&str, Option<SkipSpec>)> = vec![
+        ("dense", None),
+        ("csr-B", Some(SkipSpec::skip(&[j], &[k]))),
+        ("2:4-A", Some(SkipSpec::optimistic_skip(&[k], &[IndexId::nth(0)], 2))),
+    ];
+    let pipelines: Vec<(&str, i64)> = vec![("x1", 1), ("x2", 2)];
+
+    println!(
+        "{:<12} {:<7} {:<4} {:>4} {:>6} {:>6} {:>10} {:>9}",
+        "dataflow", "sparsity", "pipe", "PEs", "wires", "ports", "area um^2", "arr MHz"
+    );
+    let mut pareto: Vec<(String, f64, f64)> = Vec::new();
+    for (dname, t) in &dataflows {
+        for (sname, skip) in &sparsities {
+            for (pname, scale) in &pipelines {
+                let transform = if *scale == 1 {
+                    t.clone()
+                } else {
+                    t.with_time_scale(*scale)?
+                };
+                let mut spec = AcceleratorSpec::new(
+                    format!("{dname}_{sname}_{pname}"),
+                    Functionality::matmul(8, 8, 8),
+                )
+                .with_bounds(Bounds::from_extents(&[8, 8, 8]))
+                .with_transform(transform)
+                .with_data_bits(8)
+                .with_host_cpu(false);
+                if let Some(s) = skip {
+                    spec = spec.with_skip(s.clone());
+                }
+                let d = compile(&spec)?;
+                let arr = &d.spatial_arrays[0];
+                let area = area_of(&d, &tech).total_um2();
+                let mhz = array_max_frequency_mhz(&d, &tech);
+                println!(
+                    "{:<12} {:<7} {:<4} {:>4} {:>6} {:>6} {:>10.0} {:>9.0}",
+                    dname,
+                    sname,
+                    pname,
+                    arr.num_pes(),
+                    arr.num_moving_conns(),
+                    arr.num_io_ports(),
+                    area,
+                    mhz
+                );
+                pareto.push((format!("{dname}/{sname}/{pname}"), area, mhz));
+            }
+        }
+    }
+
+    // Report the Pareto frontier on (area down, frequency up).
+    pareto.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut best_mhz = 0.0;
+    let frontier: Vec<&(String, f64, f64)> = pareto
+        .iter()
+        .filter(|(_, _, mhz)| {
+            if *mhz > best_mhz {
+                best_mhz = *mhz;
+                true
+            } else {
+                false
+            }
+        })
+        .collect();
+    println!("\nPareto frontier (min area for each frequency tier):");
+    for (name, area, mhz) in frontier {
+        println!("  {name:<28} {area:>9.0} um^2 @ {mhz:>6.0} MHz");
+    }
+    Ok(())
+}

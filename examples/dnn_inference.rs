@@ -1,0 +1,49 @@
+//! End-to-end ResNet-50 inference on the Gemmini-class accelerator:
+//! per-layer utilization and energy (Figures 16a and 17 of the paper).
+//!
+//! Run with: `cargo run --release --example dnn_inference`
+
+use stellar::accels::{gemmini_design, run_resnet50};
+use stellar::area::{energy_per_mac_pj, EnergyModel, Technology};
+use stellar::sim::GemmParams;
+
+fn main() {
+    let design = gemmini_design();
+    println!(
+        "Gemmini-class design: {} PEs, {} buffers, {} regfiles\n",
+        design.total_pes(),
+        design.mem_buffers.len(),
+        design.regfiles.len()
+    );
+
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
+    let stellar_rows = run_resnet50(&GemmParams::stellar_gemmini());
+    let energy = EnergyModel::new(&design, Technology::intel22());
+
+    println!("{:<16} {:>10} {:>10} {:>8} {:>12}", "layer", "hand util", "stlr util", "ratio", "stlr pJ/MAC");
+    let (mut hb, mut ht, mut sb, mut st) = (0u64, 0u64, 0u64, 0u64);
+    for ((name, h), (_, s)) in hand.iter().zip(&stellar_rows) {
+        let hu = h.utilization.fraction();
+        let su = s.utilization.fraction();
+        let epm = energy_per_mac_pj(&energy, &s.traffic);
+        println!(
+            "{name:<16} {:>9.1}% {:>9.1}% {:>8.2} {:>11.3}",
+            100.0 * hu,
+            100.0 * su,
+            su / hu.max(1e-12),
+            epm
+        );
+        hb += h.utilization.busy;
+        ht += h.utilization.total;
+        sb += s.utilization.busy;
+        st += s.utilization.total;
+    }
+    let hu = hb as f64 / ht as f64;
+    let su = sb as f64 / st as f64;
+    println!(
+        "\nend-to-end: handwritten {:.1}%, Stellar-generated {:.1}% ({:.0}% of handwritten)",
+        100.0 * hu,
+        100.0 * su,
+        100.0 * su / hu
+    );
+}

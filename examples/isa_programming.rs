@@ -1,0 +1,72 @@
+//! Programming a Stellar accelerator through the RISC-V custom ISA of
+//! Table II: the two data movements of Listing 7 (a dense matrix and a CSR
+//! matrix), followed by a cycle-stepped systolic matmul on the moved data.
+//!
+//! Run with: `cargo run --example isa_programming`
+
+use stellar::isa::{Host, MemUnit, MetadataType, Program, TensorPayload};
+use stellar::sim::simulate_ws_matmul;
+use stellar::tensor::{gen, AxisFormat};
+
+fn main() {
+    let mut host = Host::new();
+
+    // Tensors in DRAM: a dense A and a sparse (CSR) B.
+    let a = gen::dense(8, 8, 1);
+    let b = gen::uniform(8, 8, 0.4, 2);
+    let a_addr = host.dram_store_dense(&a);
+    let (b_data, b_row_ids, b_coords) = host.dram_store_csr(&b);
+
+    // Listing 7, first half: move the dense matrix into SRAM_A.
+    let mut p = Program::new();
+    p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));
+    p.set_data_addr_src(a_addr);
+    for axis in 0..2u8 {
+        p.set_span(axis, 8);
+        p.set_axis_type(axis, AxisFormat::Dense);
+    }
+    p.set_data_stride(0, 1);
+    p.set_data_stride(1, 8);
+    p.issue();
+
+    // Listing 7, second half: move the CSR matrix into SRAM_B.
+    p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_B"));
+    p.set_data_addr_src(b_data);
+    p.set_metadata_addr_src(0, MetadataType::RowId, b_row_ids);
+    p.set_metadata_addr_src(0, MetadataType::Coord, b_coords);
+    p.set_span(1, 8); // rows
+    p.set_span(2, 8); // column bound
+    p.set_data_stride(0, 1);
+    p.set_metadata_stride(0, MetadataType::Coord, 1);
+    p.set_metadata_stride(1, MetadataType::RowId, 1);
+    p.set_axis_type(0, AxisFormat::Compressed);
+    p.set_axis_type(1, AxisFormat::Dense);
+    p.issue();
+
+    // Every instruction is a real encoded RISC-V custom instruction.
+    println!("program: {} instructions, {} issues", p.instructions().len(), p.num_issues());
+    for instr in p.instructions().iter().take(4) {
+        let (funct, rs1, rs2) = instr.encode();
+        println!("  funct={funct} rs1={rs1:#010x} rs2={rs2:#x}  ({instr})");
+    }
+    println!("  ...");
+
+    host.run(&p).expect("program executes");
+    println!("DMA cycles for both transfers: {}", host.cycles());
+
+    // The buffers now hold the tensors; run the systolic array on them.
+    let a_in = host.buffer_dense("SRAM_A").expect("SRAM_A filled");
+    let b_in = match host.buffer("SRAM_B").expect("SRAM_B filled") {
+        TensorPayload::Csr(m) => m.to_dense(),
+        TensorPayload::Csc(m) => m.to_dense(),
+        TensorPayload::Dense(m) => m.clone(),
+    };
+    let result = simulate_ws_matmul(&a_in, &b_in);
+    let golden = a.matmul(&b.to_dense());
+    assert!(result.product.approx_eq(&golden, 1e-9), "systolic result must match golden");
+    println!(
+        "systolic matmul: {} cycles, {:.1}% PE utilization, result verified against golden model",
+        result.stats.cycles,
+        100.0 * result.stats.utilization.fraction()
+    );
+}

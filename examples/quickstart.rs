@@ -1,0 +1,54 @@
+//! Quickstart: specify an accelerator in the five-concern language,
+//! compile it, emit Verilog, and estimate its area.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use stellar::area::{area_of, max_frequency_mhz, Technology};
+use stellar::prelude::*;
+use stellar::rtl::emit_accelerator;
+
+fn main() -> Result<(), CompileError> {
+    // Concern 1 — functionality: the paper's Listing 1 matmul, shown in
+    // the paper's own notation.
+    let func = Functionality::matmul(8, 8, 8);
+    println!("-- functionality (Listing 1) --");
+    print!("{}", func.to_listing());
+    println!();
+
+    // Concern 2 — dataflow: an output-stationary space-time transform
+    // (Figure 2b). Swap a single matrix to get input-stationary or
+    // hexagonal arrays.
+    let spec = AcceleratorSpec::new("quickstart", func)
+        .with_bounds(Bounds::from_extents(&[8, 8, 8]))
+        .with_transform(SpaceTimeTransform::output_stationary())
+        .with_data_bits(8);
+
+    // Compile: elaborate -> prune -> transform -> optimize -> design IR.
+    let design = compile(&spec)?;
+    let arr = &design.spatial_arrays[0];
+    println!("design        : {}", design.name);
+    println!("PEs           : {}", arr.num_pes());
+    println!("PE-to-PE wires: {}", arr.num_moving_conns());
+    println!("regfile ports : {}", arr.num_io_ports());
+    println!("time steps    : {}", arr.time_steps);
+    for rf in &design.regfiles {
+        println!("regfile {:<4} : {} ({} entries)", rf.tensor, rf.kind, rf.entries);
+    }
+
+    // Emit synthesizable Verilog.
+    let netlist = emit_accelerator(&design);
+    let verilog = netlist.to_verilog();
+    println!("verilog       : {} modules, {} lines", netlist.modules().len(), verilog.lines().count());
+
+    // Area and frequency estimates.
+    let tech = Technology::asap7();
+    let area = area_of(&design, &tech);
+    println!("area          : {:.0} um^2 total", area.total_um2());
+    for (name, um2, pct) in area.rows() {
+        if um2 > 0.0 {
+            println!("  {name:<15} {um2:>10.0} um^2 ({pct:>4.1}%)");
+        }
+    }
+    println!("max frequency : {:.0} MHz", max_frequency_mhz(&design, false, &tech));
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Golden-model equivalence: the functional-notation interpreter, the
+//! cycle-stepped systolic array, and the sparse reference kernels must all
+//! agree with plain dense matrix arithmetic.
+
+use std::collections::HashMap;
+
+use stellar::core::{Bounds, Executor, Functionality};
+use stellar::sim::simulate_ws_matmul;
+use stellar::tensor::ops::{merge_fibers, spgemm_gustavson, spgemm_outer, spgemm_outer_partials};
+use stellar::tensor::{gen, CscMatrix, DenseTensor};
+
+#[test]
+fn interpreter_systolic_and_golden_agree() {
+    for seed in 0..5u64 {
+        let m = 3 + (seed as usize % 4);
+        let n = 2 + (seed as usize % 3);
+        let k = 4 + (seed as usize % 2);
+        let a = gen::dense(m, k, seed * 3 + 1);
+        let b = gen::dense(k, n, seed * 3 + 2);
+        let golden = a.matmul(&b);
+
+        // Functional-notation interpreter.
+        let f = Functionality::matmul(m, n, k);
+        let tensors: Vec<_> = f.tensors().collect();
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::from_matrix(&a));
+        inputs.insert(tensors[1], DenseTensor::from_matrix(&b));
+        let spec_out = Executor::new(&f, &Bounds::from_extents(&[m, n, k]))
+            .run(&inputs)
+            .unwrap()[&tensors[2]]
+            .to_matrix();
+        assert!(spec_out.approx_eq(&golden, 1e-9), "interpreter diverged (seed {seed})");
+
+        // Cycle-stepped systolic array.
+        let sys_out = simulate_ws_matmul(&a, &b).product;
+        assert!(sys_out.approx_eq(&golden, 1e-9), "systolic diverged (seed {seed})");
+    }
+}
+
+#[test]
+fn sparse_kernels_agree_with_dense() {
+    for seed in 0..4u64 {
+        let a = gen::uniform(40, 50, 0.08, seed * 7 + 1);
+        let b = gen::uniform(50, 30, 0.08, seed * 7 + 2);
+        let golden = a.to_dense().matmul(&b.to_dense());
+        let gust = spgemm_gustavson(&a, &b).to_dense();
+        let outer = spgemm_outer(&CscMatrix::from_csr(&a), &b).to_dense();
+        assert!(gust.approx_eq(&golden, 1e-9), "gustavson diverged (seed {seed})");
+        assert!(outer.approx_eq(&golden, 1e-9), "outer-product diverged (seed {seed})");
+    }
+}
+
+#[test]
+fn merge_phase_reconstructs_product_rows() {
+    let a = gen::uniform(32, 32, 0.12, 9);
+    let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &a);
+    let rows = stellar::sim::rows_of_partials(32, &partials);
+    let golden = spgemm_outer(&CscMatrix::from_csr(&a), &a);
+    for (r, fibers) in rows.iter().enumerate() {
+        let merged = merge_fibers(fibers);
+        let (cols, vals) = golden.row(r);
+        assert_eq!(merged.coords, cols.to_vec(), "row {r} structure");
+        for (got, want) in merged.values.iter().zip(vals) {
+            assert!((got - want).abs() < 1e-9, "row {r} values");
+        }
+    }
+}
+
+#[test]
+fn structured_pruning_preserves_surviving_values() {
+    use stellar::tensor::structured::StructuredMatrix;
+    let w = gen::dense(16, 32, 11);
+    let s = StructuredMatrix::prune(&w, 2, 4);
+    let dense = s.to_dense();
+    // Every surviving value matches the original.
+    for r in 0..16 {
+        for c in 0..32 {
+            let v = dense.at(r, c);
+            if v != 0.0 {
+                assert_eq!(v, w.at(r, c));
+            }
+        }
+    }
+    // Exactly half survive.
+    assert_eq!(dense.nnz(), 16 * 32 / 2);
+}
