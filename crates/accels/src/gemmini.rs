@@ -5,7 +5,7 @@
 use stellar_core::memory::EmissionOrder;
 use stellar_core::prelude::*;
 use stellar_core::AcceleratorDesign;
-use stellar_sim::{layer_utilization, GemmParams, SimStats};
+use stellar_sim::{layer_utilization, GemmParams, SimError, SimStats};
 use stellar_workloads::resnet50_gemms;
 
 /// The Stellar specification of the Gemmini-class accelerator: Listing 1's
@@ -34,10 +34,14 @@ pub fn gemmini_spec() -> AcceleratorSpec {
                 .with_hardcoded(HardcodedParams::new(vec![16, 16], EmissionOrder::Wavefront)),
         )
         .with_memory(
-            MemorySpec::new("accumulator", tc, vec![AxisFormat::Dense, AxisFormat::Dense])
-                .with_capacity(64 * 1024)
-                .with_banks(2)
-                .with_width(16),
+            MemorySpec::new(
+                "accumulator",
+                tc,
+                vec![AxisFormat::Dense, AxisFormat::Dense],
+            )
+            .with_capacity(64 * 1024)
+            .with_banks(2)
+            .with_width(16),
         )
 }
 
@@ -67,17 +71,22 @@ pub fn handwritten_gemmini_area() -> Vec<(&'static str, f64)> {
 
 /// Runs end-to-end ResNet-50 on a GEMM engine configuration, returning
 /// per-layer stats in network order (the Figure 16a experiment).
-pub fn run_resnet50(params: &GemmParams) -> Vec<(&'static str, SimStats)> {
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the engine configuration is degenerate or a
+/// layer exceeds the simulator's cycle budget.
+pub fn run_resnet50(params: &GemmParams) -> Result<Vec<(&'static str, SimStats)>, SimError> {
     resnet50_gemms()
         .iter()
         .map(|g| {
-            let mut stats = layer_utilization(g.m, g.k, g.n, params);
+            let mut stats = layer_utilization(g.m, g.k, g.n, params)?;
             // Repeat the layer's stats for its repeat count.
             for _ in 1..g.repeats {
-                let again = layer_utilization(g.m, g.k, g.n, params);
+                let again = layer_utilization(g.m, g.k, g.n, params)?;
                 stats = stats.then(again);
             }
-            (g.name, stats)
+            Ok((g.name, stats))
         })
         .collect()
 }
@@ -112,8 +121,8 @@ mod tests {
 
     #[test]
     fn resnet50_utilization_ratio_matches_figure_16a() {
-        let hand = run_resnet50(&GemmParams::handwritten_gemmini());
-        let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+        let hand = run_resnet50(&GemmParams::handwritten_gemmini()).unwrap();
+        let stellar = run_resnet50(&GemmParams::stellar_gemmini()).unwrap();
         let util = |rows: &[(&str, SimStats)]| {
             let busy: u64 = rows.iter().map(|(_, s)| s.utilization.busy).sum();
             let total: u64 = rows.iter().map(|(_, s)| s.utilization.total).sum();
@@ -129,7 +138,7 @@ mod tests {
 
     #[test]
     fn per_layer_macs_match_workload() {
-        let rows = run_resnet50(&GemmParams::handwritten_gemmini());
+        let rows = run_resnet50(&GemmParams::handwritten_gemmini()).unwrap();
         let total: u64 = rows.iter().map(|(_, s)| s.traffic.macs).sum();
         let want: u64 = resnet50_gemms()
             .iter()

@@ -18,7 +18,11 @@ pub mod specs;
 
 pub use a100::a100_sparse_spec;
 pub use gemmini::{gemmini_design, gemmini_spec, handwritten_gemmini_area, run_resnet50};
-pub use merger::{compare_mergers, compare_on_suite_matrix, sparch_merge_batches, MergerComparison};
+pub use merger::{
+    compare_mergers, compare_on_suite_matrix, sparch_merge_batches, MergerComparison,
+};
 pub use outerspace::{outerspace_throughput, OuterSpaceConfig, OuterSpaceResult};
 pub use scnn::{run_alexnet, ScnnConfig, ScnnLayerResult};
-pub use specs::{compile_prior_work_specs, outerspace_multiply_spec, row_merger_spec, scnn_pe_spec};
+pub use specs::{
+    compile_prior_work_specs, outerspace_multiply_spec, row_merger_spec, scnn_pe_spec,
+};

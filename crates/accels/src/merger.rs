@@ -7,7 +7,9 @@
 //! partial matrices ... can have highly imbalanced row-lengths", which is
 //! exactly what hurts the cheaper row-partitioned merger.
 
-use stellar_sim::{rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger};
+use stellar_sim::{
+    rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger, SimError,
+};
 use stellar_tensor::ops::spgemm_outer_partials;
 use stellar_tensor::{CscMatrix, CsrMatrix};
 use stellar_workloads::SuiteMatrix;
@@ -47,27 +49,39 @@ pub fn sparch_merge_batches(
 }
 
 /// Runs both mergers over all batches of one matrix.
-pub fn compare_mergers(a: &CsrMatrix, ways: usize) -> MergerComparison {
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a batch exceeds the merger's cycle budget.
+pub fn compare_mergers(a: &CsrMatrix, ways: usize) -> Result<MergerComparison, SimError> {
     let batches = sparch_merge_batches(a, ways);
     let rp = RowPartitionedMerger::paper_config();
     let fl = FlattenedMerger::paper_config();
-    let run = |m: &dyn Merger| -> f64 {
+    let run = |m: &dyn Merger| -> Result<f64, SimError> {
         let mut total = MergeStats::default();
         for batch in &batches {
-            let s = m.simulate(batch);
+            let s = m.simulate(batch)?;
             total.cycles += s.cycles;
             total.merged_elements += s.merged_elements;
         }
-        total.elements_per_cycle()
+        Ok(total.elements_per_cycle())
     };
-    MergerComparison {
-        row_partitioned_epc: run(&rp),
-        flattened_epc: run(&fl),
-    }
+    Ok(MergerComparison {
+        row_partitioned_epc: run(&rp)?,
+        flattened_epc: run(&fl)?,
+    })
 }
 
 /// Runs the comparison on a synthetic SuiteSparse instance.
-pub fn compare_on_suite_matrix(m: &SuiteMatrix, ways: usize, seed: u64) -> MergerComparison {
+///
+/// # Errors
+///
+/// Returns [`SimError`] if a batch exceeds the merger's cycle budget.
+pub fn compare_on_suite_matrix(
+    m: &SuiteMatrix,
+    ways: usize,
+    seed: u64,
+) -> Result<MergerComparison, SimError> {
     let a = m.instantiate(2048, seed);
     compare_mergers(&a, ways)
 }
@@ -83,8 +97,11 @@ mod tests {
         // poisson3Da-like matrices have near-uniform row lengths: the
         // 32-lane merger's higher peak wins (§VI-D: "on four of the
         // matrices, the smaller, row-partitioned merger performed better").
-        let fem = suite().into_iter().find(|m| m.name == "poisson3Da").unwrap();
-        let c = compare_on_suite_matrix(&fem, 16, 3);
+        let fem = suite()
+            .into_iter()
+            .find(|m| m.name == "poisson3Da")
+            .unwrap();
+        let c = compare_on_suite_matrix(&fem, 16, 3).unwrap();
         assert!(
             c.relative() > 0.8,
             "poisson3Da: row-partitioned should be competitive, got {:.2}",
@@ -94,10 +111,16 @@ mod tests {
 
     #[test]
     fn skewed_graph_favors_flattened() {
-        let web = suite().into_iter().find(|m| m.name == "webbase-1M").unwrap();
-        let fem = suite().into_iter().find(|m| m.name == "poisson3Da").unwrap();
-        let cw = compare_on_suite_matrix(&web, 16, 3);
-        let cf = compare_on_suite_matrix(&fem, 16, 3);
+        let web = suite()
+            .into_iter()
+            .find(|m| m.name == "webbase-1M")
+            .unwrap();
+        let fem = suite()
+            .into_iter()
+            .find(|m| m.name == "poisson3Da")
+            .unwrap();
+        let cw = compare_on_suite_matrix(&web, 16, 3).unwrap();
+        let cf = compare_on_suite_matrix(&fem, 16, 3).unwrap();
         assert!(
             cw.relative() < cf.relative(),
             "webbase {:.2} should be worse for row-partitioned than poisson3Da {:.2}",
@@ -109,7 +132,7 @@ mod tests {
     #[test]
     fn flattened_capped_at_16() {
         let a = gen::uniform(256, 256, 0.1, 5);
-        let c = compare_mergers(&a, 16);
+        let c = compare_mergers(&a, 16).unwrap();
         assert!(c.flattened_epc <= 16.0 + 1e-9);
         assert!(c.row_partitioned_epc <= 32.0 + 1e-9);
     }

@@ -80,7 +80,11 @@ pub struct OuterSpaceResult {
 
 /// Runs `A·A` through the phase model for a synthetic instance of the
 /// given SuiteSparse matrix.
-pub fn outerspace_throughput(m: &SuiteMatrix, cfg: &OuterSpaceConfig, seed: u64) -> OuterSpaceResult {
+pub fn outerspace_throughput(
+    m: &SuiteMatrix,
+    cfg: &OuterSpaceConfig,
+    seed: u64,
+) -> OuterSpaceResult {
     // Keep instances tractable while preserving row statistics.
     let a = m.instantiate(4096, seed);
     outerspace_throughput_on(&a, cfg)
@@ -157,7 +161,10 @@ mod tests {
     use stellar_workloads::suite;
 
     fn poisson() -> SuiteMatrix {
-        suite().into_iter().find(|m| m.name == "poisson3Da").unwrap()
+        suite()
+            .into_iter()
+            .find(|m| m.name == "poisson3Da")
+            .unwrap()
     }
 
     #[test]

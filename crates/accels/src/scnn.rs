@@ -6,8 +6,7 @@
 //! Per-PE activation counts are uneven (spatial non-uniformity and halos),
 //! so the layer finishes when the slowest PE does.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use stellar_tensor::rng::Rng64;
 use stellar_workloads::{alexnet_conv_layers, ConvLayer};
 
 /// Configuration of an SCNN-class accelerator.
@@ -81,7 +80,7 @@ pub struct ScnnLayerResult {
 /// channel in `ceil(w/F) × ceil(a/I)` cycles (the cartesian-product
 /// schedule), plus the per-channel synchronization cost.
 pub fn simulate_layer(layer: &ConvLayer, cfg: &ScnnConfig, seed: u64) -> ScnnLayerResult {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let pes = cfg.num_pes();
     let channels = layer.cin;
 
@@ -94,11 +93,11 @@ pub fn simulate_layer(layer: &ConvLayer, cfg: &ScnnConfig, seed: u64) -> ScnnLay
     let mut useful: u64 = 0;
     for _c in 0..channels {
         // Channel-level weight count varies moderately.
-        let wc = (w_per_channel * rng.gen_range(0.7..1.3)).round() as u64;
+        let wc = (w_per_channel * rng.range_f64(0.7, 1.3)).round() as u64;
         for (p, cyc) in pe_cycles.iter_mut().enumerate() {
             // Spatial non-uniformity: corner/edge tiles see fewer non-zeros,
             // dense blobs more.
-            let noise = rng.gen_range(0.55..1.45);
+            let noise = rng.range_f64(0.55, 1.45);
             let ac = (a_per_channel_pe * noise).round() as u64;
             let _ = p;
             if wc == 0 || ac == 0 {

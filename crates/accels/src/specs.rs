@@ -27,11 +27,27 @@ pub fn scnn_pe_spec(f_dim: usize, i_dim: usize) -> AcceleratorSpec {
     let p = func.var("p");
     use stellar_core::index::{at, shifted, IdxExpr};
     // Load weights along the f edge, broadcast across i by propagation.
-    func.assign(w, vec![at(f), IdxExpr::Lower(i)], Expr::Input(w_t, vec![at(f)]));
-    func.assign(w, vec![at(f), at(i)], Expr::Var(w, vec![at(f), shifted(i, -1)]));
+    func.assign(
+        w,
+        vec![at(f), IdxExpr::Lower(i)],
+        Expr::Input(w_t, vec![at(f)]),
+    );
+    func.assign(
+        w,
+        vec![at(f), at(i)],
+        Expr::Var(w, vec![at(f), shifted(i, -1)]),
+    );
     // Load activations along the i edge, broadcast across f.
-    func.assign(a, vec![IdxExpr::Lower(f), at(i)], Expr::Input(a_t, vec![at(i)]));
-    func.assign(a, vec![at(f), at(i)], Expr::Var(a, vec![shifted(f, -1), at(i)]));
+    func.assign(
+        a,
+        vec![IdxExpr::Lower(f), at(i)],
+        Expr::Input(a_t, vec![at(i)]),
+    );
+    func.assign(
+        a,
+        vec![at(f), at(i)],
+        Expr::Var(a, vec![shifted(f, -1), at(i)]),
+    );
     // The cartesian product itself: one multiply per (f, i) point.
     func.assign(
         p,
@@ -73,7 +89,10 @@ pub fn outerspace_multiply_spec(tile: usize) -> AcceleratorSpec {
         .with_memory(
             MemorySpec::new(
                 "sram_A_csc",
-                Functionality::matmul(tile, tile, tile).tensors().next().unwrap(),
+                Functionality::matmul(tile, tile, tile)
+                    .tensors()
+                    .next()
+                    .unwrap(),
                 vec![AxisFormat::Dense, AxisFormat::Compressed],
             )
             .with_capacity(32 * 1024),
@@ -84,16 +103,13 @@ pub fn outerspace_multiply_spec(tile: usize) -> AcceleratorSpec {
 /// `lanes` independent two-stream selection lanes (the `merge_select`
 /// functionality), one comparator per lane per step.
 pub fn row_merger_spec(lanes: usize, steps: usize) -> AcceleratorSpec {
-    AcceleratorSpec::new(
-        "row_merger",
-        Functionality::merge_select(lanes, steps),
-    )
-    .with_bounds(Bounds::from_extents(&[lanes, steps]))
-    .with_transform(
-        SpaceTimeTransform::new(stellar_linalg::IntMat::from_rows(&[&[1, 0], &[0, 1]]))
-            .expect("invertible"),
-    )
-    .with_data_bits(64)
+    AcceleratorSpec::new("row_merger", Functionality::merge_select(lanes, steps))
+        .with_bounds(Bounds::from_extents(&[lanes, steps]))
+        .with_transform(
+            SpaceTimeTransform::new(stellar_linalg::IntMat::from_rows(&[&[1, 0], &[0, 1]]))
+                .expect("invertible"),
+        )
+        .with_data_bits(64)
 }
 
 /// Compiles all three specs, panicking on any failure (used by tests and
@@ -165,15 +181,24 @@ mod tests {
         .unwrap();
         let os = compile(&outerspace_multiply_spec(4)).unwrap();
         let (da, oa) = (&dense.spatial_arrays[0], &os.spatial_arrays[0]);
-        assert!(oa.conns.len() < da.conns.len(), "double-sparse array keeps fewer conns");
-        assert!(oa.num_io_ports() > da.num_io_ports(), "partials leave through ports");
+        assert!(
+            oa.conns.len() < da.conns.len(),
+            "double-sparse array keeps fewer conns"
+        );
+        assert!(
+            oa.num_io_ports() > da.num_io_ports(),
+            "partials leave through ports"
+        );
     }
 
     #[test]
     fn merger_spec_is_comparator_dominated() {
         let d = compile(&row_merger_spec(8, 8)).unwrap();
         let arr = &d.spatial_arrays[0];
-        assert!(arr.comparators_per_pe >= 2, "select-based merging needs comparators");
+        assert!(
+            arr.comparators_per_pe >= 2,
+            "select-based merging needs comparators"
+        );
         assert_eq!(arr.macs_per_pe, 0, "mergers multiply nothing");
     }
 

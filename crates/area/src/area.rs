@@ -114,7 +114,9 @@ pub fn regfile_area_um2(rf: &RegfileDesign, tech: &Technology) -> f64 {
     area += entries * rf.coord_bits as f64 * tech.reg_um2_per_bit;
     area += rf.num_comparators() as f64 * rf.coord_bits.max(1) as f64 * tech.cmp_um2_per_bit;
     // Port muxing.
-    area += (rf.in_ports + rf.out_ports) as f64 * rf.data_bits as f64 * tech.mux_um2_per_bit
+    area += (rf.in_ports + rf.out_ports) as f64
+        * rf.data_bits as f64
+        * tech.mux_um2_per_bit
         * entries.sqrt();
     area
 }
@@ -245,17 +247,35 @@ mod tests {
             direct_stages: 2,
             hardcoded: hard,
         };
-        assert!(membuf_addr_gen_area_um2(&buf(true), &t) < membuf_addr_gen_area_um2(&buf(false), &t));
+        assert!(
+            membuf_addr_gen_area_um2(&buf(true), &t) < membuf_addr_gen_area_um2(&buf(false), &t)
+        );
     }
 
     #[test]
     fn dma_slots_scale_area_mildly() {
         let t = Technology::asap7();
-        let one = dma_area_um2(&stellar_core::DmaDesign { max_inflight_reqs: 1, bus_bits: 128 }, &t);
-        let sixteen = dma_area_um2(&stellar_core::DmaDesign { max_inflight_reqs: 16, bus_bits: 128 }, &t);
+        let one = dma_area_um2(
+            &stellar_core::DmaDesign {
+                max_inflight_reqs: 1,
+                bus_bits: 128,
+            },
+            &t,
+        );
+        let sixteen = dma_area_um2(
+            &stellar_core::DmaDesign {
+                max_inflight_reqs: 16,
+                bus_bits: 128,
+            },
+            &t,
+        );
         assert!(sixteen > one);
         // §VI-C: Table III shows the DMA grew only 102K → 109K (~7%).
-        assert!(sixteen / one < 1.25, "DMA growth too steep: {}", sixteen / one);
+        assert!(
+            sixteen / one < 1.25,
+            "DMA growth too steep: {}",
+            sixteen / one
+        );
     }
 
     #[test]
@@ -269,7 +289,11 @@ mod tests {
             entries: 64,
             in_ports: 4,
             out_ports: 4,
-            coord_bits: if kind == RegfileKind::FeedForward || kind == RegfileKind::Transposing { 0 } else { 12 },
+            coord_bits: if kind == RegfileKind::FeedForward || kind == RegfileKind::Transposing {
+                0
+            } else {
+                12
+            },
             data_bits: 16,
         };
         let ff = regfile_area_um2(&mk(RegfileKind::FeedForward), &t);

@@ -1,0 +1,153 @@
+//! SECDED ECC overhead hooks for the memory models.
+//!
+//! The fault-injection layer in `stellar-sim` can protect SRAM and regfile
+//! reads with a (n, k) Hamming SECDED code. Protection is not free: every
+//! stored word widens by the check bits, and each access pays an
+//! encode/decode XOR tree. This module prices that overhead with the same
+//! component-level unit costs as the rest of the crate, so resilience
+//! sweeps can report area/energy alongside SDC rates.
+//!
+//! The check-bit math mirrors `stellar_sim::fault::secded` (for 32-bit
+//! data: 6 Hamming bits + 1 overall parity, a (39, 32) code) but is
+//! duplicated here because `stellar-area` sits below `stellar-sim` in the
+//! dependency graph.
+
+use stellar_core::{AcceleratorDesign, MemBufferDesign, RegfileDesign};
+
+use crate::area::{area_of, AreaBreakdown};
+use crate::tech::Technology;
+
+/// Number of SECDED check bits for a `data_bits`-wide word: the smallest
+/// `r` with `2^r >= data_bits + r + 1` Hamming bits, plus one overall
+/// parity bit for double-error detection.
+pub fn secded_check_bits(data_bits: u32) -> u32 {
+    let mut r = 0u32;
+    while (1u64 << r) < data_bits as u64 + r as u64 + 1 {
+        r += 1;
+    }
+    r + 1
+}
+
+/// Total stored bits per word under SECDED: data plus check bits.
+pub fn secded_code_bits(data_bits: u32) -> u32 {
+    data_bits + secded_check_bits(data_bits)
+}
+
+/// Storage blow-up ratio (code bits / data bits). 39/32 ≈ 1.22 for 32-bit
+/// words; narrower words pay proportionally more (13/8 ≈ 1.63).
+pub fn secded_storage_ratio(data_bits: u32) -> f64 {
+    secded_code_bits(data_bits.max(1)) as f64 / data_bits.max(1) as f64
+}
+
+/// Extra area for protecting one memory buffer with SECDED: widened SRAM
+/// storage plus an encoder/decoder pair per bank. The codec is XOR trees —
+/// one tree of roughly `data_bits / 2` gates per check bit for the
+/// encoder, the same again plus correction muxing for the decoder.
+pub fn sram_ecc_overhead_um2(buf: &MemBufferDesign, data_bits: u32, tech: &Technology) -> f64 {
+    let check = secded_check_bits(data_bits) as f64;
+    let storage = buf.capacity_words as f64 * check * tech.sram_um2_per_bit;
+    let tree = check * (data_bits as f64 / 2.0) * tech.cmp_um2_per_bit;
+    let decoder = tree + data_bits as f64 * tech.mux_um2_per_bit;
+    storage + buf.banks.max(1) as f64 * buf.width_elems.max(1) as f64 * (tree + decoder)
+}
+
+/// Extra area for protecting one register file with SECDED: check-bit
+/// storage per entry plus one codec pair per port.
+pub fn regfile_ecc_overhead_um2(rf: &RegfileDesign, tech: &Technology) -> f64 {
+    let check = secded_check_bits(rf.data_bits.max(1)) as f64;
+    let storage = rf.entries.max(1) as f64 * check * tech.reg_um2_per_bit;
+    let tree = check * (rf.data_bits.max(1) as f64 / 2.0) * tech.cmp_um2_per_bit;
+    let ports = (rf.in_ports + rf.out_ports).max(1) as f64;
+    storage + ports * (tree + rf.data_bits as f64 * tech.mux_um2_per_bit)
+}
+
+/// The Table III-style breakdown with SECDED on every SRAM and regfile.
+/// Identical to [`area_of`] except for the `srams_um2` and `regfiles_um2`
+/// categories.
+pub fn area_of_with_ecc(design: &AcceleratorDesign, tech: &Technology) -> AreaBreakdown {
+    let mut b = area_of(design, tech);
+    for buf in &design.mem_buffers {
+        b.srams_um2 += sram_ecc_overhead_um2(buf, design.data_bits, tech);
+    }
+    for rf in &design.regfiles {
+        b.regfiles_um2 += regfile_ecc_overhead_um2(rf, tech);
+    }
+    b
+}
+
+/// Whole-design ECC area overhead as a fraction of the unprotected total.
+pub fn ecc_area_overhead_fraction(design: &AcceleratorDesign, tech: &Technology) -> f64 {
+    let base = area_of(design, tech).total_um2();
+    if base <= 0.0 {
+        return 0.0;
+    }
+    area_of_with_ecc(design, tech).total_um2() / base - 1.0
+}
+
+/// Per-access energy multiplier for a SECDED-protected memory: the wider
+/// word switches proportionally more bitlines, and the codec XOR trees add
+/// a few percent on top.
+pub fn secded_access_energy_ratio(data_bits: u32) -> f64 {
+    secded_storage_ratio(data_bits) * 1.04
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_core::prelude::*;
+
+    fn demo() -> AcceleratorDesign {
+        compile(
+            &AcceleratorSpec::new("d", Functionality::matmul(4, 4, 4))
+                .with_transform(SpaceTimeTransform::weight_stationary())
+                .with_data_bits(32),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn check_bits_match_classic_codes() {
+        // (13, 8), (22, 16), (39, 32), (72, 64): the classic SECDED widths.
+        assert_eq!(secded_check_bits(8), 5);
+        assert_eq!(secded_check_bits(16), 6);
+        assert_eq!(secded_check_bits(32), 7);
+        assert_eq!(secded_check_bits(64), 8);
+        assert_eq!(secded_code_bits(32), 39);
+    }
+
+    #[test]
+    fn narrow_words_pay_proportionally_more() {
+        assert!(secded_storage_ratio(8) > secded_storage_ratio(32));
+        assert!(secded_storage_ratio(32) > 1.0);
+        assert!((secded_storage_ratio(32) - 39.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecc_grows_only_memory_categories() {
+        let d = demo();
+        let t = Technology::asap7();
+        let base = area_of(&d, &t);
+        let ecc = area_of_with_ecc(&d, &t);
+        assert!(ecc.srams_um2 > base.srams_um2);
+        assert!(ecc.regfiles_um2 > base.regfiles_um2);
+        assert_eq!(ecc.arrays_um2, base.arrays_um2);
+        assert_eq!(ecc.dma_um2, base.dma_um2);
+        assert_eq!(ecc.addr_gens_um2, base.addr_gens_um2);
+    }
+
+    #[test]
+    fn overhead_fraction_is_modest() {
+        // SECDED on a 32-bit design costs bounded single-to-low-double
+        // digit percent of total area, dominated by the ~22% SRAM storage
+        // blow-up diluted by the non-memory categories.
+        let f = ecc_area_overhead_fraction(&demo(), &Technology::asap7());
+        assert!(f > 0.0 && f < 0.30, "overhead fraction {f}");
+    }
+
+    #[test]
+    fn access_energy_ratio_tracks_storage() {
+        let r = secded_access_energy_ratio(32);
+        assert!(r > secded_storage_ratio(32));
+        assert!(r < 1.35);
+    }
+}

@@ -80,10 +80,9 @@ pub fn max_frequency_mhz(
         .map(|c| c.registers.max(1))
         .min()
         .unwrap_or(1) as f64;
-    let pe_path = pe_critical_path_ps(design.data_bits, tech) / min_regs
-        + 2.0 * tech.gate_delay_ps; // register setup/clk-q per stage
-    // A centralized generator drives every PE row/column and bank; fan-out
-    // approximated by total PEs.
+    let pe_path = pe_critical_path_ps(design.data_bits, tech) / min_regs + 2.0 * tech.gate_delay_ps; // register setup/clk-q per stage
+                                                                                                     // A centralized generator drives every PE row/column and bank; fan-out
+                                                                                                     // approximated by total PEs.
     let fanout = design.total_pes();
     let ag_path = addr_gen_critical_path_ps(centralized_addr_gen, fanout, tech);
     let worst = pe_path.max(ag_path);

@@ -72,5 +72,11 @@ fn bench_full_compile(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_elaborate, bench_prune, bench_transform, bench_full_compile);
+criterion_group!(
+    benches,
+    bench_elaborate,
+    bench_prune,
+    bench_transform,
+    bench_full_compile
+);
 criterion_main!(benches);

@@ -14,7 +14,7 @@ fn bench_systolic(c: &mut Criterion) {
         let a = gen::dense(4 * n, n, 1);
         let b = gen::dense(n, n, 2);
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
-            bch.iter(|| simulate_ws_matmul(&a, &b));
+            bch.iter(|| simulate_ws_matmul(&a, &b).expect("ws sim"));
         });
     }
     g.finish();
@@ -38,6 +38,7 @@ fn bench_sparse_lanes(c: &mut Criterion) {
                         balance: policy,
                     },
                 )
+                .expect("sparse sim")
             });
         });
     }
@@ -53,10 +54,18 @@ fn bench_mergers(c: &mut Criterion) {
     let rows = rows_of_partials(256, &partials);
     let mut g = c.benchmark_group("mergers");
     g.bench_function("row_partitioned", |bch| {
-        bch.iter(|| RowPartitionedMerger::paper_config().simulate(&rows));
+        bch.iter(|| {
+            RowPartitionedMerger::paper_config()
+                .simulate(&rows)
+                .expect("merge")
+        });
     });
     g.bench_function("flattened", |bch| {
-        bch.iter(|| FlattenedMerger::paper_config().simulate(&rows));
+        bch.iter(|| {
+            FlattenedMerger::paper_config()
+                .simulate(&rows)
+                .expect("merge")
+        });
     });
     g.finish();
 }

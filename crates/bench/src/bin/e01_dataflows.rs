@@ -9,11 +9,20 @@ use stellar_bench::{header, table};
 use stellar_core::prelude::*;
 
 fn main() -> Result<(), CompileError> {
-    header("E1", "Figure 2 — space-time transforms and their dense matmul arrays");
+    header(
+        "E1",
+        "Figure 2 — space-time transforms and their dense matmul arrays",
+    );
 
     let dataflows = [
-        ("input-stationary (Fig 2a)", SpaceTimeTransform::input_stationary()),
-        ("output-stationary (Fig 2b)", SpaceTimeTransform::output_stationary()),
+        (
+            "input-stationary (Fig 2a)",
+            SpaceTimeTransform::input_stationary(),
+        ),
+        (
+            "output-stationary (Fig 2b)",
+            SpaceTimeTransform::output_stationary(),
+        ),
         ("hexagonal (Fig 2c)", SpaceTimeTransform::hexagonal()),
     ];
 
@@ -35,7 +44,14 @@ fn main() -> Result<(), CompileError> {
         ]);
     }
     table(
-        &["dataflow", "PEs", "moving wires", "stationary", "steps", "io ports"],
+        &[
+            "dataflow",
+            "PEs",
+            "moving wires",
+            "stationary",
+            "steps",
+            "io ports",
+        ],
         &rows,
     );
     println!(

@@ -9,13 +9,22 @@ use stellar_bench::{header, table};
 use stellar_core::prelude::*;
 
 fn main() -> Result<(), CompileError> {
-    header("E2", "Figure 3 — pipelining strategies via the transform's time row");
+    header(
+        "E2",
+        "Figure 3 — pipelining strategies via the transform's time row",
+    );
 
     let base = SpaceTimeTransform::input_stationary();
     let variants: Vec<(&str, SpaceTimeTransform)> = vec![
         ("time row [1,1,1] (baseline)", base.clone()),
-        ("time row [2,1,1] (extra regs on i)", base.with_time_row(&[2, 1, 1])?),
-        ("time row [1,2,1] (extra regs on j)", base.with_time_row(&[1, 2, 1])?),
+        (
+            "time row [2,1,1] (extra regs on i)",
+            base.with_time_row(&[2, 1, 1])?,
+        ),
+        (
+            "time row [1,2,1] (extra regs on j)",
+            base.with_time_row(&[1, 2, 1])?,
+        ),
         ("time row [2,2,2] (fully doubled)", base.with_time_scale(2)?),
     ];
 
@@ -35,7 +44,15 @@ fn main() -> Result<(), CompileError> {
             format!("{:.0}", array_max_frequency_mhz(&d, &tech)),
         ]);
     }
-    table(&["variant", "pipeline regs", "latency (steps)", "array max MHz"], &rows);
+    table(
+        &[
+            "variant",
+            "pipeline regs",
+            "latency (steps)",
+            "array max MHz",
+        ],
+        &rows,
+    );
     println!("\nMore aggressive pipelining buys registers for clock frequency; the\nlatency in time-steps grows correspondingly (Figure 3).");
     Ok(())
 }

@@ -11,7 +11,10 @@ use stellar_core::prelude::*;
 use stellar_core::IndexId;
 
 fn main() -> Result<(), CompileError> {
-    header("E3", "Figures 4/5 — Skip and OptimisticSkip restructure the array");
+    header(
+        "E3",
+        "Figures 4/5 — Skip and OptimisticSkip restructure the array",
+    );
     let (i, j, k) = (IndexId::nth(0), IndexId::nth(1), IndexId::nth(2));
 
     let build = |name: &str, skips: Vec<SkipSpec>| -> Result<Vec<String>, CompileError> {
@@ -27,7 +30,11 @@ fn main() -> Result<(), CompileError> {
         Ok(vec![
             name.to_string(),
             arr.num_moving_conns().to_string(),
-            arr.conns.iter().filter(|c| c.src_pe == c.dst_pe).count().to_string(),
+            arr.conns
+                .iter()
+                .filter(|c| c.src_pe == c.dst_pe)
+                .count()
+                .to_string(),
             bundled.to_string(),
             arr.num_io_ports().to_string(),
         ])
@@ -45,10 +52,19 @@ fn main() -> Result<(), CompileError> {
             vec![SkipSpec::skip(&[i], &[k]), SkipSpec::skip(&[j], &[k])],
         )?,
         // Listing 2 line 5: diagonal A.
-        build("A diagonal (skip i,k when i!=k)", vec![SkipSpec::skip(&[i, k], &[])])?,
+        build(
+            "A diagonal (skip i,k when i!=k)",
+            vec![SkipSpec::skip(&[i, k], &[])],
+        )?,
     ];
     table(
-        &["sparsity spec", "moving wires", "stationary", "bundled", "regfile ports"],
+        &[
+            "sparsity spec",
+            "moving wires",
+            "stationary",
+            "bundled",
+            "regfile ports",
+        ],
         &rows,
     );
 

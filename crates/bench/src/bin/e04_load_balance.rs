@@ -11,19 +11,29 @@ use stellar_sim::{simulate_sparse_matmul, BalancePolicy, SparseArrayParams};
 use stellar_tensor::gen;
 
 fn main() -> Result<(), CompileError> {
-    header("E4", "Figures 6/10 — load balancing: utilization and hardware cost");
+    header(
+        "E4",
+        "Figures 6/10 — load balancing: utilization and hardware cost",
+    );
 
     // Performance side (Figure 6): three workloads, three policies.
     let workloads = [
         ("balanced", gen::uniform(64, 256, 0.1, 1)),
         ("mildly imbalanced", gen::imbalanced(64, 512, 4, 96, 8, 2)),
-        ("severely imbalanced", gen::imbalanced(64, 512, 2, 256, 4, 3)),
+        (
+            "severely imbalanced",
+            gen::imbalanced(64, 512, 2, 256, 4, 3),
+        ),
         ("power-law", gen::power_law(64, 512, 16.0, 1.7, 4)),
     ];
     let mut rows = Vec::new();
     for (name, b) in &workloads {
         let mut row = vec![name.to_string()];
-        for policy in [BalancePolicy::None, BalancePolicy::AdjacentRows, BalancePolicy::Global] {
+        for policy in [
+            BalancePolicy::None,
+            BalancePolicy::AdjacentRows,
+            BalancePolicy::Global,
+        ] {
             let r = simulate_sparse_matmul(
                 b,
                 &SparseArrayParams {
@@ -31,13 +41,19 @@ fn main() -> Result<(), CompileError> {
                     row_startup_cycles: 1,
                     balance: policy,
                 },
-            );
+            )
+            .expect("sparse simulation");
             row.push(format!("{} ({})", r.stats.cycles, pct(r.utilization())));
         }
         rows.push(row);
     }
     table(
-        &["workload", "no balancing", "adjacent rows", "fully flexible"],
+        &[
+            "workload",
+            "no balancing",
+            "adjacent rows",
+            "fully flexible",
+        ],
         &rows,
     );
 

@@ -6,10 +6,13 @@ use stellar_bench::{header, pct, table};
 use stellar_sim::GemmParams;
 
 fn main() {
-    header("E5", "Figure 16a — Gemmini utilization on ResNet-50 (16x16 WS @ 500 MHz)");
+    header(
+        "E5",
+        "Figure 16a — Gemmini utilization on ResNet-50 (16x16 WS @ 500 MHz)",
+    );
 
-    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
-    let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini()).expect("resnet50 run");
+    let stellar = run_resnet50(&GemmParams::stellar_gemmini()).expect("resnet50 run");
 
     let mut rows = Vec::new();
     let (mut hb, mut ht, mut sb, mut st) = (0u64, 0u64, 0u64, 0u64);
@@ -18,7 +21,10 @@ fn main() {
             name.to_string(),
             pct(h.utilization.fraction()),
             pct(s.utilization.fraction()),
-            format!("{:.2}", s.utilization.fraction() / h.utilization.fraction().max(1e-12)),
+            format!(
+                "{:.2}",
+                s.utilization.fraction() / h.utilization.fraction().max(1e-12)
+            ),
         ]);
         hb += h.utilization.busy;
         ht += h.utilization.total;
@@ -29,7 +35,14 @@ fn main() {
 
     let hu = hb as f64 / ht as f64;
     let su = sb as f64 / st as f64;
-    println!("\nend-to-end utilization: handwritten {}, Stellar {}", pct(hu), pct(su));
-    println!("Stellar reaches {} of the handwritten design's utilization", pct(su / hu));
+    println!(
+        "\nend-to-end utilization: handwritten {}, Stellar {}",
+        pct(hu),
+        pct(su)
+    );
+    println!(
+        "Stellar reaches {} of the handwritten design's utilization",
+        pct(su / hu)
+    );
     println!("(paper: \"90% of the utilization of the handwritten Gemmini\")");
 }

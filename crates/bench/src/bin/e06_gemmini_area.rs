@@ -11,7 +11,10 @@ use stellar_area::{area_of, max_frequency_mhz, Technology};
 use stellar_bench::{header, table};
 
 fn main() {
-    header("E6", "Table III — area comparison between Gemmini accelerators (ASAP7, 500 MHz)");
+    header(
+        "E6",
+        "Table III — area comparison between Gemmini accelerators (ASAP7, 500 MHz)",
+    );
 
     let design = gemmini_design();
     let tech = Technology::asap7();
@@ -48,7 +51,13 @@ fn main() {
         "100%".into(),
     ]);
     table(
-        &["component", "orig um^2", "orig %", "stellar um^2", "stellar %"],
+        &[
+            "component",
+            "orig um^2",
+            "orig %",
+            "stellar um^2",
+            "stellar %",
+        ],
         &rows,
     );
     println!(
@@ -62,5 +71,7 @@ fn main() {
     let distributed = max_frequency_mhz(&design, false, &tech);
     println!("\nmax frequency (timing model):");
     println!("  handwritten (centralized loop unrollers): {central:.0} MHz  (paper: ~700 MHz)");
-    println!("  Stellar (distributed address generators): {distributed:.0} MHz  (paper: up to 1 GHz)");
+    println!(
+        "  Stellar (distributed address generators): {distributed:.0} MHz  (paper: up to 1 GHz)"
+    );
 }

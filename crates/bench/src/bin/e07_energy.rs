@@ -8,7 +8,10 @@ use stellar_bench::{header, table};
 use stellar_sim::GemmParams;
 
 fn main() {
-    header("E7", "Figure 17 — energy per MAC on ResNet-50 layers (Intel 22nm)");
+    header(
+        "E7",
+        "Figure 17 — energy per MAC on ResNet-50 layers (Intel 22nm)",
+    );
 
     // The handwritten design: no global stall tree, hand-tuned control.
     let mut hand_design = gemmini_design();
@@ -21,8 +24,8 @@ fn main() {
     let hand_model = EnergyModel::new(&hand_design, tech.clone());
     let stellar_model = EnergyModel::new(&stellar_design, tech);
 
-    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
-    let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini()).expect("resnet50 run");
+    let stellar = run_resnet50(&GemmParams::stellar_gemmini()).expect("resnet50 run");
 
     let mut rows = Vec::new();
     let mut worst: f64 = 0.0;
@@ -40,7 +43,10 @@ fn main() {
             format!("{:+.1}%", 100.0 * overhead),
         ]);
     }
-    table(&["layer", "hand pJ/MAC", "stellar pJ/MAC", "overhead"], &rows);
+    table(
+        &["layer", "hand pJ/MAC", "stellar pJ/MAC", "overhead"],
+        &rows,
+    );
     println!(
         "\nStellar energy overhead ranges from {:+.1}% to {:+.1}% across layers",
         100.0 * best,

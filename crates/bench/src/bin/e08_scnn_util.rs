@@ -23,7 +23,14 @@ fn main() {
         ]);
     }
     table(
-        &["layer", "hand util", "stellar util", "hand cycles", "stellar cycles", "stellar perf"],
+        &[
+            "layer",
+            "hand util",
+            "stellar util",
+            "hand cycles",
+            "stellar cycles",
+            "stellar perf",
+        ],
         &rows,
     );
 

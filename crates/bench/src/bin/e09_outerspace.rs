@@ -7,7 +7,10 @@ use stellar_bench::{header, table};
 use stellar_workloads::suite;
 
 fn main() {
-    header("E9", "Figure 16b — OuterSPACE throughput on SuiteSparse (GFLOP/s)");
+    header(
+        "E9",
+        "Figure 16b — OuterSPACE throughput on SuiteSparse (GFLOP/s)",
+    );
 
     let default_cfg = OuterSpaceConfig::stellar_default();
     let fixed_cfg = OuterSpaceConfig::stellar_fixed();
@@ -41,7 +44,13 @@ fn main() {
         format!("{:.0}%", 100.0 * ptr_frac_sum / n),
     ]);
     table(
-        &["matrix", "stellar (1-req DMA)", "stellar (16-req DMA)", "handwritten", "ptr stall"],
+        &[
+            "matrix",
+            "stellar (1-req DMA)",
+            "stellar (16-req DMA)",
+            "handwritten",
+            "ptr stall",
+        ],
         &rows,
     );
     println!("\npaper: initial Stellar 1.42 GFLOP/s avg; 16-request DMA 2.1; handwritten 2.9.");

@@ -7,7 +7,10 @@ use stellar_bench::{header, table};
 use stellar_workloads::suite;
 
 fn main() {
-    header("E10", "Figure 18 — merger throughput on SuiteSparse (SpArch execution order)");
+    header(
+        "E10",
+        "Figure 18 — merger throughput on SuiteSparse (SpArch execution order)",
+    );
 
     let mut rows = Vec::new();
     let mut at_least_80 = 0usize;
@@ -16,7 +19,7 @@ fn main() {
     // columns, as in SpArch's proposed order.
     let mats = suite();
     for (n, m) in mats.iter().enumerate() {
-        let c = compare_on_suite_matrix(m, 16, 200 + n as u64);
+        let c = compare_on_suite_matrix(m, 16, 200 + n as u64).expect("merger comparison");
         if c.relative() >= 0.8 {
             at_least_80 += 1;
         }
@@ -31,7 +34,12 @@ fn main() {
         ]);
     }
     table(
-        &["matrix", "row-partitioned (tp 32)", "flattened (tp 16)", "relative"],
+        &[
+            "matrix",
+            "row-partitioned (tp 32)",
+            "flattened (tp 16)",
+            "relative",
+        ],
         &rows,
     );
     println!(

@@ -4,11 +4,16 @@
 //! throughput 16) against GAMMA/OuterSPACE-style row-partitioned mergers
 //! (throughput 32) — the paper reports a 13× area gap.
 
-use stellar_area::{flattened_merger_area_um2, merger_area_ratio, row_partitioned_merger_area_um2, Technology};
+use stellar_area::{
+    flattened_merger_area_um2, merger_area_ratio, row_partitioned_merger_area_um2, Technology,
+};
 use stellar_bench::{header, table};
 
 fn main() {
-    header("E11", "§IV-F/§VI-D — merger area: flattened vs row-partitioned");
+    header(
+        "E11",
+        "§IV-F/§VI-D — merger area: flattened vs row-partitioned",
+    );
 
     let tech = Technology::asap7();
     let mut rows = Vec::new();
@@ -31,7 +36,10 @@ fn main() {
             format!("{:.0}", area / tp as f64),
         ]);
     }
-    table(&["merger", "area um^2", "peak elems/cyc", "um^2 per elem/cyc"], &rows);
+    table(
+        &["merger", "area um^2", "peak elems/cyc", "um^2 per elem/cyc"],
+        &rows,
+    );
 
     println!(
         "\nflattened / row-partitioned area ratio: {:.1}x  (paper: 13x)",

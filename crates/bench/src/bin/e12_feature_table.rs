@@ -7,20 +7,64 @@ fn main() {
     header("E12", "Table I — design-framework feature comparison");
 
     let frameworks = [
-        "PolySA", "AutoSA", "Interstellar", "Tabla", "Sparseloop", "TeAAL", "SAM", "DSAGen",
-        "Spatial", "Stellar",
+        "PolySA",
+        "AutoSA",
+        "Interstellar",
+        "Tabla",
+        "Sparseloop",
+        "TeAAL",
+        "SAM",
+        "DSAGen",
+        "Spatial",
+        "Stellar",
     ];
     // Rows: feature, then yes/no per framework (from the paper's Table I).
     let features: Vec<(&str, [&str; 10], &str)> = vec![
-        ("Functionality", ["y", "y", "y", "y", "y", "y", "y", "y", "y", "y"], "stellar_core::func"),
-        ("Dataflow", ["y", "y", "y", "n", "y", "y", "y", "~", "~", "y"], "stellar_core::transform"),
-        ("Sparse data structures", ["n", "n", "n", "n", "y", "y", "y", "n", "n", "y"], "stellar_core::sparsity + stellar_tensor::fibertree"),
-        ("Load-balancing", ["n", "n", "n", "n", "n", "y", "n", "y", "n", "y"], "stellar_core::balance"),
-        ("Private memory buffers", ["y", "y", "y", "y", "y", "y", "y", "y", "y", "y"], "stellar_core::memory"),
-        ("Simulators", ["n", "n", "n", "n", "y", "y", "y", "n", "n", "n"], "(stellar-sim substitutes for FireSim)"),
-        ("Synthesizable RTL", ["y", "y", "y", "y", "n", "n", "n", "y", "y", "y"], "stellar_rtl::emit_accelerator"),
-        ("Application-level API", ["y", "y", "y", "y", "n", "n", "n", "y", "y", "y"], "stellar_isa::Program"),
-        ("ISA-level interface", ["n", "n", "n", "n", "n", "n", "n", "n", "n", "y"], "stellar_isa::Instruction (Table II)"),
+        (
+            "Functionality",
+            ["y", "y", "y", "y", "y", "y", "y", "y", "y", "y"],
+            "stellar_core::func",
+        ),
+        (
+            "Dataflow",
+            ["y", "y", "y", "n", "y", "y", "y", "~", "~", "y"],
+            "stellar_core::transform",
+        ),
+        (
+            "Sparse data structures",
+            ["n", "n", "n", "n", "y", "y", "y", "n", "n", "y"],
+            "stellar_core::sparsity + stellar_tensor::fibertree",
+        ),
+        (
+            "Load-balancing",
+            ["n", "n", "n", "n", "n", "y", "n", "y", "n", "y"],
+            "stellar_core::balance",
+        ),
+        (
+            "Private memory buffers",
+            ["y", "y", "y", "y", "y", "y", "y", "y", "y", "y"],
+            "stellar_core::memory",
+        ),
+        (
+            "Simulators",
+            ["n", "n", "n", "n", "y", "y", "y", "n", "n", "n"],
+            "(stellar-sim substitutes for FireSim)",
+        ),
+        (
+            "Synthesizable RTL",
+            ["y", "y", "y", "y", "n", "n", "n", "y", "y", "y"],
+            "stellar_rtl::emit_accelerator",
+        ),
+        (
+            "Application-level API",
+            ["y", "y", "y", "y", "n", "n", "n", "y", "y", "y"],
+            "stellar_isa::Program",
+        ),
+        (
+            "ISA-level interface",
+            ["n", "n", "n", "n", "n", "n", "n", "n", "n", "y"],
+            "stellar_isa::Instruction (Table II)",
+        ),
     ];
 
     let mut rows = Vec::new();

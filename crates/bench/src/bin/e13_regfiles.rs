@@ -12,7 +12,10 @@ use stellar_core::prelude::*;
 use stellar_core::{choose_regfile, AccessOrder, RegfileDesign};
 
 fn main() -> Result<(), CompileError> {
-    header("E13", "Figures 13/14 — regfile optimization passes and their area");
+    header(
+        "E13",
+        "Figures 13/14 — regfile optimization passes and their area",
+    );
 
     // Part 1: the optimizer's decisions for producer/consumer order pairs.
     let wavefront = HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront).emission_order();
@@ -25,9 +28,21 @@ fn main() -> Result<(), CompileError> {
     for (p, c, label) in [
         (&wavefront, &wavefront, "wavefront -> wavefront (Figure 13)"),
         (&row_major, &row_major, "row-major -> row-major"),
-        (&row_major, &col_major, "row-major -> col-major (transposition, Fig 14d)"),
-        (&row_major, &wavefront, "row-major -> wavefront (single-pass)"),
-        (&row_major, &revisiting, "row-major -> data-dependent revisits"),
+        (
+            &row_major,
+            &col_major,
+            "row-major -> col-major (transposition, Fig 14d)",
+        ),
+        (
+            &row_major,
+            &wavefront,
+            "row-major -> wavefront (single-pass)",
+        ),
+        (
+            &row_major,
+            &revisiting,
+            "row-major -> data-dependent revisits",
+        ),
     ] {
         rows.push(vec![label.to_string(), choose_regfile(p, c).to_string()]);
     }
@@ -59,7 +74,10 @@ fn main() -> Result<(), CompileError> {
             format!("{:.0}", regfile_area_um2(&rf, &tech)),
         ]);
     }
-    table(&["regfile kind", "coord comparators", "area um^2"], &area_rows);
+    table(
+        &["regfile kind", "coord comparators", "area um^2"],
+        &area_rows,
+    );
 
     // Part 3: the end-to-end effect inside a compiled design.
     let func = Functionality::matmul(4, 4, 4);
@@ -73,14 +91,16 @@ fn main() -> Result<(), CompileError> {
             ),
     )?;
     let without_hc = compile(
-        &AcceleratorSpec::new("nohc", func)
-            .with_transform(SpaceTimeTransform::output_stationary()),
+        &AcceleratorSpec::new("nohc", func).with_transform(SpaceTimeTransform::output_stationary()),
     )?;
     let kind_of = |d: &stellar_core::AcceleratorDesign| {
         d.regfiles.iter().find(|r| r.tensor == "B").unwrap().kind
     };
     println!("\ncompiled design, B regfile:");
     println!("  with hardcoded reads (Listing 6): {}", kind_of(&with_hc));
-    println!("  without hardcoding              : {}", kind_of(&without_hc));
+    println!(
+        "  without hardcoding              : {}",
+        kind_of(&without_hc)
+    );
     Ok(())
 }

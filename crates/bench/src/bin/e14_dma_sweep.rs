@@ -14,7 +14,10 @@ use stellar_sim::DmaModel;
 use stellar_workloads::suite;
 
 fn main() {
-    header("E14", "DMA outstanding-request sweep (ablation of the §VI-C fix)");
+    header(
+        "E14",
+        "DMA outstanding-request sweep (ablation of the §VI-C fix)",
+    );
 
     let mats: Vec<_> = suite().into_iter().take(10).collect();
     let tech = Technology::asap7();
@@ -52,7 +55,12 @@ fn main() {
         prev_gflops = avg;
     }
     table(
-        &["outstanding reqs", "avg GFLOP/s", "marginal gain", "DMA area um^2"],
+        &[
+            "outstanding reqs",
+            "avg GFLOP/s",
+            "marginal gain",
+            "DMA area um^2",
+        ],
         &rows,
     );
     println!("\nThe throughput curve saturates once outstanding requests cover the");

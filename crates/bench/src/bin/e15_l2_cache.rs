@@ -10,7 +10,10 @@ use stellar_bench::{header, table};
 use stellar_sim::{DramParams, L2Cache};
 
 fn main() {
-    header("E15", "§IV-F — shared L2 absorbs scattered pointer reads when they fit");
+    header(
+        "E15",
+        "§IV-F — shared L2 absorbs scattered pointer reads when they fit",
+    );
 
     // A pointer table accessed twice (multiply phase writes, merge phase
     // reads), at several working-set sizes relative to a 512 KiW L2.
@@ -37,7 +40,12 @@ fn main() {
         ]);
     }
     table(
-        &["pointer working set", "cold cyc/ptr", "warm cyc/ptr", "warm hit rate"],
+        &[
+            "pointer working set",
+            "cold cyc/ptr",
+            "warm cyc/ptr",
+            "warm hit rate",
+        ],
         &rows,
     );
     println!("\nWhen the pointer table fits in the shared L2, the merge phase's");

@@ -14,12 +14,18 @@ use stellar_core::prelude::*;
 use stellar_rtl::{emit_accelerator, lint};
 
 fn main() -> Result<(), CompileError> {
-    header("E16", "prior-work spatial arrays, regenerated through one language");
+    header(
+        "E16",
+        "prior-work spatial arrays, regenerated through one language",
+    );
 
     let specs: Vec<(&str, AcceleratorSpec)> = vec![
         ("Gemmini WS 16x16 (dense DNN)", gemmini_spec()),
         ("SCNN PE (cartesian product)", scnn_pe_spec(4, 4)),
-        ("OuterSPACE multiply (outer product)", outerspace_multiply_spec(4)),
+        (
+            "OuterSPACE multiply (outer product)",
+            outerspace_multiply_spec(4),
+        ),
         ("GAMMA-style merger lanes", row_merger_spec(8, 8)),
         ("A100 2:4 structured-sparse", a100_sparse_spec(4)),
     ];
@@ -37,12 +43,24 @@ fn main() -> Result<(), CompileError> {
             arr.macs_per_pe.to_string(),
             arr.comparators_per_pe.to_string(),
             netlist.verilog_lines().to_string(),
-            if lint_ok { "clean".into() } else { "FAIL".into() },
+            if lint_ok {
+                "clean".into()
+            } else {
+                "FAIL".into()
+            },
             format!("{:.0}K", area_of(&design, &tech).total_um2() / 1e3),
         ]);
     }
     table(
-        &["accelerator", "PEs", "MACs/PE", "cmps/PE", "verilog lines", "lint", "area"],
+        &[
+            "accelerator",
+            "PEs",
+            "MACs/PE",
+            "cmps/PE",
+            "verilog lines",
+            "lint",
+            "area",
+        ],
         &rows,
     );
     println!("\nEvery design above was produced by the same compile() pipeline from");

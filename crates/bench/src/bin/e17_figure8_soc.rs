@@ -9,7 +9,10 @@ use stellar_core::{compile_soc, DmaDesign, IndexId};
 use stellar_rtl::{emit_accelerator, lint};
 
 fn main() -> Result<(), CompileError> {
-    header("E17", "Figure 8 — sparse matmul + merger in one accelerator");
+    header(
+        "E17",
+        "Figure 8 — sparse matmul + merger in one accelerator",
+    );
 
     let (j, k) = (IndexId::nth(1), IndexId::nth(2));
     let mul = AcceleratorSpec::new("sp_mul", Functionality::matmul(8, 8, 8))
@@ -37,8 +40,11 @@ fn main() -> Result<(), CompileError> {
 
     let netlist = emit_accelerator(&soc);
     match lint::check(&netlist) {
-        Ok(()) => println!("\nemitted Verilog: {} modules, {} lines, lint clean",
-            netlist.modules().len(), netlist.verilog_lines()),
+        Ok(()) => println!(
+            "\nemitted Verilog: {} modules, {} lines, lint clean",
+            netlist.modules().len(),
+            netlist.verilog_lines()
+        ),
         Err(errs) => println!("\nLINT FAILED: {errs:?}"),
     }
 

@@ -15,19 +15,25 @@ use stellar_sim::{layer_utilization, GemmParams};
 use stellar_workloads::transformer::{bert_base_layer, is_weight_gemm};
 
 fn main() -> Result<(), CompileError> {
-    header("E18", "A100 2:4 structured sparsity on BERT-base (extension of Fig 5)");
+    header(
+        "E18",
+        "A100 2:4 structured sparsity on BERT-base (extension of Fig 5)",
+    );
 
     let params = GemmParams::stellar_gemmini();
     let mut rows = Vec::new();
     let (mut dense_cycles, mut sparse_cycles) = (0u64, 0u64);
     for g in bert_base_layer(128) {
-        let stats = layer_utilization(g.m, g.k, g.n, &params);
+        let stats = layer_utilization(g.m, g.k, g.n, &params).expect("gemm model");
         let reps = g.repeats as u64;
         let d = stats.cycles * reps;
         // 2:4 halves the reduction work of weight GEMMs only.
         let prunable = is_weight_gemm(&g);
         let s = if prunable {
-            layer_utilization(g.m, g.k / 2, g.n, &params).cycles * reps
+            layer_utilization(g.m, g.k / 2, g.n, &params)
+                .expect("gemm model")
+                .cycles
+                * reps
         } else {
             d
         };
@@ -42,7 +48,13 @@ fn main() -> Result<(), CompileError> {
         ]);
     }
     table(
-        &["GEMM", "operand kind", "dense cycles", "2:4 cycles", "speedup"],
+        &[
+            "GEMM",
+            "operand kind",
+            "dense cycles",
+            "2:4 cycles",
+            "speedup",
+        ],
         &rows,
     );
     println!(

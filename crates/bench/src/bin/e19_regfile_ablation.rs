@@ -36,7 +36,10 @@ fn build(hardcoded: bool) -> Result<stellar_core::AcceleratorDesign, CompileErro
 }
 
 fn main() -> Result<(), CompileError> {
-    header("E19", "ablation — what Listing 6's hardcoding buys the regfiles");
+    header(
+        "E19",
+        "ablation — what Listing 6's hardcoding buys the regfiles",
+    );
 
     let tech = Technology::asap7();
     let with = build(true)?;
@@ -57,7 +60,13 @@ fn main() -> Result<(), CompileError> {
         ]);
     }
     table(
-        &["tensor", "hardcoded: kind", "area um^2", "runtime-only: kind", "area um^2"],
+        &[
+            "tensor",
+            "hardcoded: kind",
+            "area um^2",
+            "runtime-only: kind",
+            "area um^2",
+        ],
         &rows,
     );
     println!(

@@ -33,7 +33,16 @@ fn main() -> Result<(), CompileError> {
         ]);
     }
     table(
-        &["rank", "transform rows", "PEs", "moving", "stationary", "ports", "steps", "cost"],
+        &[
+            "rank",
+            "transform rows",
+            "PEs",
+            "moving",
+            "stationary",
+            "ports",
+            "steps",
+            "cost",
+        ],
         &rows,
     );
     println!(

@@ -24,6 +24,7 @@ const EXPERIMENTS: &[&str] = &[
     "e18_transformer_24",
     "e19_regfile_ablation",
     "e20_dataflow_search",
+    "e21_fault_sweep",
 ];
 
 fn main() {
@@ -39,7 +40,15 @@ fn main() {
         } else {
             // Fall back to cargo when siblings are not built.
             Command::new("cargo")
-                .args(["run", "--release", "-q", "-p", "stellar-bench", "--bin", name])
+                .args([
+                    "run",
+                    "--release",
+                    "-q",
+                    "-p",
+                    "stellar-bench",
+                    "--bin",
+                    name,
+                ])
                 .status()
         };
         match status {

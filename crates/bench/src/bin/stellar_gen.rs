@@ -13,6 +13,7 @@ use stellar_accels::{
 };
 use stellar_core::prelude::*;
 use stellar_rtl::{emit_accelerator, lint, testbench};
+use stellar_sim::DmaModel;
 
 fn spec_by_name(name: &str) -> Option<AcceleratorSpec> {
     Some(match name {
@@ -47,7 +48,10 @@ fn main() {
     let v_path = outdir.join(format!("{name}.v"));
     let tb_path = outdir.join(format!("{name}_tb.v"));
     std::fs::write(&v_path, netlist.to_verilog()).expect("write verilog");
-    // A minimal configure-and-issue stimulus (Table II shape).
+    // A minimal configure-and-issue stimulus (Table II shape): a 16-word
+    // dense transfer, so the watchdog budget is derived from what the
+    // design's own DMA needs for it rather than a fixed constant.
+    let expected_cycles = DmaModel::with_slots(design.dma.max_inflight_reqs).contiguous_cycles(16);
     let tb = testbench::testbench_for_program(
         &netlist,
         &[
@@ -55,7 +59,11 @@ fn main() {
             (4, 0x30000, 0),  // set_axis_type(BOTH, 0, Dense)
             (6, 0x30000, 0),  // issue
         ],
+        expected_cycles,
     );
+    if let Err(e) = testbench::validate_testbench(&tb, netlist.top().expect("top module")) {
+        eprintln!("warning: testbench failed structural validation: {e}");
+    }
     std::fs::write(&tb_path, &tb).expect("write testbench");
 
     println!("{}", design.summary());

@@ -28,7 +28,11 @@ pub fn table(columns: &[&str], rows: &[Vec<String>]) {
     let line = |cells: &[String]| {
         let mut out = String::new();
         for (n, cell) in cells.iter().enumerate() {
-            out.push_str(&format!("{:<width$}  ", cell, width = widths.get(n).copied().unwrap_or(8)));
+            out.push_str(&format!(
+                "{:<width$}  ",
+                cell,
+                width = widths.get(n).copied().unwrap_or(8)
+            ));
         }
         println!("{}", out.trim_end());
     };

@@ -1,16 +1,15 @@
 //! The hardware design IR: the compiler's output, consumed by the RTL
 //! emitter, the area/energy model, and the cycle-level simulator.
 //!
-//! Everything here is plain serializable data — names instead of handles —
-//! so downstream crates need no knowledge of the specification language.
+//! Everything here is plain data — names instead of handles — so downstream
+//! crates need no knowledge of the specification language.
 
-use serde::{Deserialize, Serialize};
 use stellar_tensor::AxisFormat;
 
 use crate::regfile::RegfileKind;
 
 /// Direction of an IO port, from the spatial array's perspective.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum PortDir {
     /// The array reads from the regfile.
     Read,
@@ -19,7 +18,7 @@ pub enum PortDir {
 }
 
 /// One PE-to-PE wire of a spatial array design.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ConnDesign {
     /// The variable carried (for diagnostics and RTL port naming).
     pub var: String,
@@ -34,7 +33,7 @@ pub struct ConnDesign {
 }
 
 /// One PE IO port of a spatial array design.
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct IoPortDesign {
     /// The tensor accessed.
     pub tensor: String,
@@ -47,7 +46,7 @@ pub struct IoPortDesign {
 }
 
 /// A compiled spatial array.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct SpatialArrayDesign {
     /// Array name.
     pub name: String,
@@ -85,7 +84,10 @@ impl SpatialArrayDesign {
 
     /// Total pipeline registers across all wires.
     pub fn total_pipeline_registers(&self) -> i64 {
-        self.conns.iter().map(|c| c.registers * c.bundle as i64).sum()
+        self.conns
+            .iter()
+            .map(|c| c.registers * c.bundle as i64)
+            .sum()
     }
 
     /// Total regfile ports required by the array.
@@ -95,7 +97,7 @@ impl SpatialArrayDesign {
 }
 
 /// A compiled register file.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct RegfileDesign {
     /// Regfile name.
     pub name: String,
@@ -136,7 +138,7 @@ impl RegfileDesign {
 }
 
 /// A compiled private memory buffer.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct MemBufferDesign {
     /// Buffer name.
     pub name: String,
@@ -167,7 +169,7 @@ impl MemBufferDesign {
 }
 
 /// A compiled load balancer (§IV-E).
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct LoadBalancerDesign {
     /// Balancer name.
     pub name: String,
@@ -180,7 +182,7 @@ pub struct LoadBalancerDesign {
 }
 
 /// The accelerator's DMA configuration.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DmaDesign {
     /// Maximum independent outstanding memory requests per cycle. Stellar's
     /// default DMA issues one; §VI-C shows raising this to 16 relieves the
@@ -202,7 +204,7 @@ impl Default for DmaDesign {
 /// A complete compiled accelerator: the output of [`compile`].
 ///
 /// [`compile`]: crate::spec::compile
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AcceleratorDesign {
     /// Accelerator name.
     pub name: String,
@@ -249,7 +251,11 @@ impl AcceleratorDesign {
                 arr.num_moving_conns(),
                 arr.num_io_ports(),
                 arr.time_steps,
-                if arr.has_global_stall { ", global stall" } else { "" }
+                if arr.has_global_stall {
+                    ", global stall"
+                } else {
+                    ""
+                }
             );
         }
         for rf in &self.regfiles {
@@ -289,7 +295,11 @@ impl AcceleratorDesign {
             "  dma: {} outstanding reqs, {}-bit bus{}",
             self.dma.max_inflight_reqs,
             self.dma.bus_bits,
-            if self.has_host_cpu { "; host CPU attached" } else { "" }
+            if self.has_host_cpu {
+                "; host CPU attached"
+            } else {
+                ""
+            }
         );
         s
     }
@@ -363,7 +373,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn design_clone_round_trip() {
         let d = AcceleratorDesign {
             name: "acc".into(),
             data_bits: 8,
@@ -374,8 +384,6 @@ mod tests {
             dma: DmaDesign::default(),
             has_host_cpu: true,
         };
-        fn assert_serializable<T: serde::Serialize + for<'a> serde::Deserialize<'a>>(_: &T) {}
-        assert_serializable(&d);
         let d2 = d.clone();
         assert_eq!(d, d2);
         assert_eq!(d.total_pes(), 2);

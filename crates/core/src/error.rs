@@ -34,6 +34,12 @@ pub enum CompileError {
     UnknownIndex(String),
     /// The memory specification is inconsistent with the tensor it stores.
     BadMemorySpec(String),
+    /// The interpreter exceeded its iteration-point budget — the watchdog
+    /// against runaway (or adversarially huge) iteration spaces.
+    BudgetExhausted {
+        /// The point budget that was exhausted.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -41,11 +47,17 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::Malformed(msg) => write!(f, "malformed functionality: {msg}"),
             CompileError::InconsistentRecurrence { var } => {
-                write!(f, "variable '{var}' has inconsistent recurrence difference vectors")
+                write!(
+                    f,
+                    "variable '{var}' has inconsistent recurrence difference vectors"
+                )
             }
             CompileError::InvalidTransform(msg) => write!(f, "invalid space-time transform: {msg}"),
             CompileError::SpaceTimeCollision { coord } => {
-                write!(f, "two iteration points map to the same space-time coordinate {coord:?}")
+                write!(
+                    f,
+                    "two iteration points map to the same space-time coordinate {coord:?}"
+                )
             }
             CompileError::CausalityViolation { var, delta } => write!(
                 f,
@@ -53,6 +65,12 @@ impl fmt::Display for CompileError {
             ),
             CompileError::UnknownIndex(name) => write!(f, "unknown iteration index '{name}'"),
             CompileError::BadMemorySpec(msg) => write!(f, "bad memory specification: {msg}"),
+            CompileError::BudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "interpreter exceeded its budget of {budget} iteration points"
+                )
+            }
         }
     }
 }
@@ -72,8 +90,12 @@ mod tests {
             delta: vec![1, 0, -1],
         };
         assert!(e.to_string().contains("negative time delta"));
-        let e = CompileError::SpaceTimeCollision { coord: vec![0, 0, 0] };
+        let e = CompileError::SpaceTimeCollision {
+            coord: vec![0, 0, 0],
+        };
         assert!(e.to_string().contains("same space-time"));
+        let e = CompileError::BudgetExhausted { budget: 17 };
+        assert!(e.to_string().contains("budget of 17"));
     }
 
     #[test]

@@ -46,15 +46,31 @@ pub type ScheduledRun = (HashMap<TensorId, DenseTensor>, (i64, u64));
 pub struct Executor<'f> {
     func: &'f Functionality,
     bounds: Bounds,
+    point_budget: u64,
 }
 
+/// The default interpreter budget, iteration points. Far above every
+/// specification in the suite, low enough to stop a runaway space quickly.
+pub const DEFAULT_POINT_BUDGET: u64 = 50_000_000;
+
 impl<'f> Executor<'f> {
-    /// Creates an executor for a functionality over the given bounds.
+    /// Creates an executor for a functionality over the given bounds, with
+    /// the default iteration-point budget.
     pub fn new(func: &'f Functionality, bounds: &Bounds) -> Executor<'f> {
         Executor {
             func,
             bounds: bounds.clone(),
+            point_budget: DEFAULT_POINT_BUDGET,
         }
+    }
+
+    /// Replaces the iteration-point budget: [`Executor::run`] and
+    /// [`Executor::run_scheduled`] fail with
+    /// [`CompileError::BudgetExhausted`] instead of interpreting more
+    /// points than this.
+    pub fn with_point_budget(mut self, budget: u64) -> Executor<'f> {
+        self.point_budget = budget;
+        self
     }
 
     /// The shape each tensor must have, derived from the iteration bounds
@@ -102,8 +118,7 @@ impl<'f> Executor<'f> {
         }
 
         // Variable storage: values keyed by (var, point coords).
-        let mut vals: Vec<HashMap<Vec<i64>, f64>> =
-            vec![HashMap::new(); self.func.num_vars()];
+        let mut vals: Vec<HashMap<Vec<i64>, f64>> = vec![HashMap::new(); self.func.num_vars()];
         let mut outputs: HashMap<TensorId, DenseTensor> = self
             .func
             .tensors()
@@ -111,11 +126,20 @@ impl<'f> Executor<'f> {
             .map(|t| (t, DenseTensor::zeros(&self.tensor_shape(t))))
             .collect();
 
+        let mut points_run: u64 = 0;
         for point in self.bounds.iter_points() {
-            for a in self.func.assigns() {
-                let applies = a.lhs.iter().enumerate().all(|(d, c)| {
-                    !c.is_pinned() || c.eval(&point, &self.bounds) == point[d]
+            points_run += 1;
+            if points_run > self.point_budget {
+                return Err(CompileError::BudgetExhausted {
+                    budget: self.point_budget,
                 });
+            }
+            for a in self.func.assigns() {
+                let applies = a
+                    .lhs
+                    .iter()
+                    .enumerate()
+                    .all(|(d, c)| !c.is_pinned() || c.eval(&point, &self.bounds) == point[d]);
                 if !applies {
                     continue;
                 }
@@ -186,6 +210,11 @@ impl<'f> Executor<'f> {
             .map(|p| (transform.time_of(&p), p))
             .collect();
         points.sort();
+        if points.len() as u64 > self.point_budget {
+            return Err(CompileError::BudgetExhausted {
+                budget: self.point_budget,
+            });
+        }
         let (tmin, tmax) = match (points.first(), points.last()) {
             (Some(f), Some(l)) => (f.0, l.0),
             _ => (0, 0),
@@ -203,9 +232,11 @@ impl<'f> Executor<'f> {
         for (_t, point) in &points {
             let mut did_work = false;
             for a in self.func.assigns() {
-                let applies = a.lhs.iter().enumerate().all(|(d, c)| {
-                    !c.is_pinned() || c.eval(point, &self.bounds) == point[d]
-                });
+                let applies = a
+                    .lhs
+                    .iter()
+                    .enumerate()
+                    .all(|(d, c)| !c.is_pinned() || c.eval(point, &self.bounds) == point[d]);
                 if !applies {
                     continue;
                 }
@@ -394,7 +425,9 @@ mod tests {
             SpaceTimeTransform::output_stationary(),
             SpaceTimeTransform::input_stationary(),
             SpaceTimeTransform::hexagonal(),
-            SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+            SpaceTimeTransform::output_stationary()
+                .with_time_scale(2)
+                .unwrap(),
         ] {
             let (scheduled, (steps, busy)) = exec.run_scheduled(&t, &inputs).unwrap();
             assert_eq!(scheduled[&tensors[2]], plain[&tensors[2]], "{t:?}");
@@ -415,13 +448,43 @@ mod tests {
         let bounds = Bounds::from_extents(&[2, 2, 2]);
         let tensors: Vec<TensorId> = f.tensors().collect();
         let mut inputs = HashMap::new();
-        inputs.insert(tensors[0], DenseTensor::from_matrix(&DenseMatrix::identity(2)));
-        inputs.insert(tensors[1], DenseTensor::from_matrix(&DenseMatrix::identity(2)));
+        inputs.insert(
+            tensors[0],
+            DenseTensor::from_matrix(&DenseMatrix::identity(2)),
+        );
+        inputs.insert(
+            tensors[1],
+            DenseTensor::from_matrix(&DenseMatrix::identity(2)),
+        );
         let err = Executor::new(&f, &bounds).run_scheduled(&t, &inputs);
         assert!(
             matches!(err, Err(CompileError::CausalityViolation { .. })),
             "got {err:?}"
         );
+    }
+
+    #[test]
+    fn point_budget_bounds_both_interpreters() {
+        use crate::transform::SpaceTimeTransform;
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::zeros(&[4, 4]));
+        inputs.insert(tensors[1], DenseTensor::zeros(&[4, 4]));
+        // 64 points; a budget of 10 must trip.
+        let e = Executor::new(&f, &bounds).with_point_budget(10);
+        assert!(matches!(
+            e.run(&inputs),
+            Err(CompileError::BudgetExhausted { budget: 10 })
+        ));
+        assert!(matches!(
+            e.run_scheduled(&SpaceTimeTransform::output_stationary(), &inputs),
+            Err(CompileError::BudgetExhausted { budget: 10 })
+        ));
+        // A budget covering the space runs normally.
+        let e = Executor::new(&f, &bounds).with_point_budget(64);
+        assert!(e.run(&inputs).is_ok());
     }
 
     #[test]

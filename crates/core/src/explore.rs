@@ -145,7 +145,13 @@ pub fn explore_dataflows(
             io_ports: arr.io_ports().len(),
             time_steps: arr.total_time_steps(),
         };
-        let key = (e.num_pes, e.moving_conns, e.io_ports, stationary, e.time_steps);
+        let key = (
+            e.num_pes,
+            e.moving_conns,
+            e.io_ports,
+            stationary,
+            e.time_steps,
+        );
         if seen.insert(key, ()).is_some() {
             continue;
         }

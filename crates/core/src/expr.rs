@@ -147,7 +147,11 @@ impl Expr {
         f(self);
         match self {
             Expr::Const(_) | Expr::Input(..) | Expr::Var(..) => {}
-            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Min(a, b) | Expr::Max(a, b) => {
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Min(a, b)
+            | Expr::Max(a, b) => {
                 a.walk(f);
                 b.walk(f);
             }

@@ -312,14 +312,18 @@ impl Functionality {
     /// Returns a [`CompileError`] describing the first violation found.
     pub fn validate(&self) -> Result<(), CompileError> {
         if self.rank() == 0 {
-            return Err(CompileError::Malformed("no iteration indices declared".into()));
+            return Err(CompileError::Malformed(
+                "no iteration indices declared".into(),
+            ));
         }
         if self.outputs.is_empty() {
             return Err(CompileError::Malformed("no output assignments".into()));
         }
         for a in &self.assigns {
             if a.var.0 >= self.vars.len() {
-                return Err(CompileError::Malformed("assignment to undeclared variable".into()));
+                return Err(CompileError::Malformed(
+                    "assignment to undeclared variable".into(),
+                ));
             }
             if a.lhs.len() != self.rank() {
                 return Err(CompileError::Malformed(format!(
@@ -331,7 +335,9 @@ impl Functionality {
             }
             for (v, coords) in a.rhs.var_reads() {
                 if v.0 >= self.vars.len() {
-                    return Err(CompileError::Malformed("read of undeclared variable".into()));
+                    return Err(CompileError::Malformed(
+                        "read of undeclared variable".into(),
+                    ));
                 }
                 if coords.len() != self.rank() {
                     return Err(CompileError::Malformed(format!(
@@ -366,7 +372,9 @@ impl Functionality {
         }
         for o in &self.outputs {
             if o.tensor.0 >= self.tensors.len() {
-                return Err(CompileError::Malformed("output to undeclared tensor".into()));
+                return Err(CompileError::Malformed(
+                    "output to undeclared tensor".into(),
+                ));
             }
             if self.tensors[o.tensor.0].role != TensorRole::Output {
                 return Err(CompileError::Malformed(format!(
@@ -563,8 +571,16 @@ mod tests {
         let j = f.index("j");
         let t = f.output_tensor("O", &[i, j]);
         let v = f.var("v");
-        f.assign(v, vec![at(i), at(j)], Expr::Var(v, vec![shifted(i, -1), at(j)]));
-        f.assign(v, vec![at(i), at(j)], Expr::Var(v, vec![at(i), shifted(j, -1)]));
+        f.assign(
+            v,
+            vec![at(i), at(j)],
+            Expr::Var(v, vec![shifted(i, -1), at(j)]),
+        );
+        f.assign(
+            v,
+            vec![at(i), at(j)],
+            Expr::Var(v, vec![at(i), shifted(j, -1)]),
+        );
         f.output(t, vec![at(i), at(j)], Expr::Var(v, vec![at(i), at(j)]));
         assert!(matches!(
             f.difference_vector(v),

@@ -131,7 +131,10 @@ impl IterationSpace {
     ///
     /// Returns an error if the functionality fails validation or has
     /// inconsistent recurrences.
-    pub fn elaborate(func: &Functionality, bounds: &Bounds) -> Result<IterationSpace, CompileError> {
+    pub fn elaborate(
+        func: &Functionality,
+        bounds: &Bounds,
+    ) -> Result<IterationSpace, CompileError> {
         func.validate()?;
         if bounds.rank() != func.rank() {
             return Err(CompileError::Malformed(format!(
@@ -162,11 +165,9 @@ impl IterationSpace {
             for (a_idx, a) in func.assigns().iter().enumerate() {
                 // Does this assignment apply at this point? Pinned lhs
                 // coordinates must match the point exactly.
-                let applies = a
-                    .lhs
-                    .iter()
-                    .enumerate()
-                    .all(|(d, c)| !c.is_pinned() || c.eval(&point.coords, bounds) == point.coords[d]);
+                let applies = a.lhs.iter().enumerate().all(|(d, c)| {
+                    !c.is_pinned() || c.eval(&point.coords, bounds) == point.coords[d]
+                });
                 if !applies {
                     continue;
                 }
@@ -189,8 +190,10 @@ impl IterationSpace {
                 // uses one physical port and reuses the value, so identical
                 // reads at a point are deduplicated.
                 for (t, coords) in a.rhs.input_reads() {
-                    let tcoords: Vec<i64> =
-                        coords.iter().map(|c| c.eval(&point.coords, bounds)).collect();
+                    let tcoords: Vec<i64> = coords
+                        .iter()
+                        .map(|c| c.eval(&point.coords, bounds))
+                        .collect();
                     let conn = IOConn {
                         tensor: t,
                         var: a.var,
@@ -198,12 +201,7 @@ impl IterationSpace {
                         dir: IoDir::Read,
                         coords: tcoords,
                     };
-                    if !io_conns
-                        .iter()
-                        .rev()
-                        .take(8)
-                        .any(|c: &IOConn| *c == conn)
-                    {
+                    if !io_conns.iter().rev().take(8).any(|c: &IOConn| *c == conn) {
                         io_conns.push(conn);
                     }
                 }
@@ -237,8 +235,11 @@ impl IterationSpace {
                         .enumerate()
                         .all(|(d, c)| c.eval(&point.coords, bounds) == point.coords[d]);
                     if matches {
-                        let tcoords: Vec<i64> =
-                            o.coords.iter().map(|c| c.eval(&point.coords, bounds)).collect();
+                        let tcoords: Vec<i64> = o
+                            .coords
+                            .iter()
+                            .map(|c| c.eval(&point.coords, bounds))
+                            .collect();
                         io_conns.push(IOConn {
                             tensor: o.tensor,
                             var: v,

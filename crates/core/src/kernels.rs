@@ -60,7 +60,11 @@ impl Functionality {
                 Expr::Input(input, vec![at(i), at(w)]),
             ),
         );
-        f.output(out, vec![at(i)], Expr::Var(m, vec![at(i), IdxExpr::Upper(w)]));
+        f.output(
+            out,
+            vec![at(i)],
+            Expr::Var(m, vec![at(i), IdxExpr::Upper(w)]),
+        );
         f
     }
 

@@ -57,8 +57,8 @@ pub mod listing;
 pub mod memory;
 pub mod prune;
 pub mod regfile;
-pub mod spacetime;
 pub mod soc;
+pub mod spacetime;
 pub mod sparsity;
 pub mod spec;
 pub mod transform;
@@ -69,17 +69,17 @@ pub use design::{
     PortDir, RegfileDesign, SpatialArrayDesign,
 };
 pub use error::CompileError;
-pub use explore::{explore_dataflows, ExploreOptions, ExploredDataflow};
 pub use exec::Executor;
+pub use explore::{explore_dataflows, ExploreOptions, ExploredDataflow};
 pub use expr::Expr;
 pub use func::{Functionality, TensorId, TensorRole, VarId};
 pub use index::{Bounds, IdxExpr, IndexId};
-pub use iterspace::{Assignment, IOConn, IterationSpace, Point, PointId, Point2PointConn};
+pub use iterspace::{Assignment, IOConn, IterationSpace, Point, Point2PointConn, PointId};
 pub use memory::{HardcodedParams, MemorySpec};
 pub use regfile::{choose_regfile, AccessOrder, RegfileKind};
+pub use soc::compile_soc;
 pub use spacetime::{PhysConn, PhysIoPort, SpatialArray};
 pub use sparsity::SkipSpec;
-pub use soc::compile_soc;
 pub use spec::{compile, AcceleratorSpec};
 pub use transform::SpaceTimeTransform;
 

@@ -66,8 +66,10 @@ impl Functionality {
     /// sectioning of Listing 1.
     pub fn to_listing(&self) -> String {
         let mut out = String::new();
-        let is_input = |a: &crate::func::FuncAssign| !a.rhs.input_reads().is_empty()
-            || (a.rhs.var_reads().is_empty() && a.lhs.iter().any(|c| c.is_pinned()));
+        let is_input = |a: &crate::func::FuncAssign| {
+            !a.rhs.input_reads().is_empty()
+                || (a.rhs.var_reads().is_empty() && a.lhs.iter().any(|c| c.is_pinned()))
+        };
         let _ = writeln!(out, "// Inputs");
         for a in self.assigns().iter().filter(|a| is_input(a)) {
             let _ = writeln!(
@@ -105,7 +107,11 @@ impl Functionality {
     pub fn tensor_declarations(&self) -> String {
         let mut out = String::new();
         for t in self.tensors() {
-            let axes: Vec<&str> = self.tensor_axes(t).iter().map(|&a| self.index_name(a)).collect();
+            let axes: Vec<&str> = self
+                .tensor_axes(t)
+                .iter()
+                .map(|&a| self.index_name(a))
+                .collect();
             let role = match self.tensor_role(t) {
                 TensorRole::Input => "input",
                 TensorRole::Output => "output",
@@ -141,7 +147,9 @@ mod tests {
     #[test]
     fn relu_listing_shows_max() {
         let f = Functionality::matmul_relu(2, 2, 2);
-        assert!(f.to_listing().contains("C(i, j) := max(c(i, j, k.upperBound), 0)"));
+        assert!(f
+            .to_listing()
+            .contains("C(i, j) := max(c(i, j, k.upperBound), 0)"));
     }
 
     #[test]

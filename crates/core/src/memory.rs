@@ -111,9 +111,7 @@ impl HardcodedParams {
         match self.order {
             EmissionOrder::RowMajor => coords.sort(),
             EmissionOrder::ColMajor => {
-                coords.sort_by(|a, b| {
-                    a.iter().rev().cmp(b.iter().rev())
-                });
+                coords.sort_by(|a, b| a.iter().rev().cmp(b.iter().rev()));
             }
             EmissionOrder::Wavefront => {
                 // Figure 13a: by coordinate-sum, then by descending first
@@ -372,9 +370,8 @@ mod tests {
         assert!(spec.validate().is_err());
         let spec = MemorySpec::new("x", tensor0(), vec![Dense]).with_width(0);
         assert!(spec.validate().is_err());
-        let spec = MemorySpec::new("x", tensor0(), vec![Dense, Dense]).with_hardcoded(
-            HardcodedParams::new(vec![4], EmissionOrder::RowMajor),
-        );
+        let spec = MemorySpec::new("x", tensor0(), vec![Dense, Dense])
+            .with_hardcoded(HardcodedParams::new(vec![4], EmissionOrder::RowMajor));
         assert!(spec.validate().is_err());
     }
 

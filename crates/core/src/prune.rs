@@ -43,12 +43,7 @@ impl PruneReport {
 /// guard set. If the variable's tensor is not indexed by any skipped
 /// iterator, the clause cannot break the connection (e.g. `A(i, k)` keeps
 /// streaming along `j` even when `j` is skipped).
-fn conn_broken_by(
-    func: &Functionality,
-    var: VarId,
-    diff: &[i64],
-    skip: &SkipSpec,
-) -> bool {
+fn conn_broken_by(func: &Functionality, var: VarId, diff: &[i64], skip: &SkipSpec) -> bool {
     let Some((_tensor, axes)) = func.tensor_binding(var) else {
         return false;
     };
@@ -164,8 +159,7 @@ fn replace_with_io(
         };
         let dst_coords = is.point(conn.dst).coords();
         let src_coords = is.point(conn.src).coords();
-        let tensor_coords =
-            |pt: &[i64]| -> Vec<i64> { axes.iter().map(|a| pt[a.pos()]).collect() };
+        let tensor_coords = |pt: &[i64]| -> Vec<i64> { axes.iter().map(|a| pt[a.pos()]).collect() };
         match func.tensor_role(tensor) {
             TensorRole::Input => {
                 new_io.push(IOConn {
@@ -238,8 +232,16 @@ mod tests {
 
         assert_eq!(report.removed, 48);
         assert_eq!(is.conns_for_var(vars[2]).count(), 0);
-        assert_eq!(is.conns_for_var(vars[0]).count(), 48, "a conns must survive");
-        assert_eq!(is.conns_for_var(vars[1]).count(), 48, "b conns must survive");
+        assert_eq!(
+            is.conns_for_var(vars[0]).count(),
+            48,
+            "a conns must survive"
+        );
+        assert_eq!(
+            is.conns_for_var(vars[1]).count(),
+            48,
+            "b conns must survive"
+        );
         assert!(report.added_io > 0);
     }
 

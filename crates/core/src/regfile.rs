@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 /// A register file implementation, from cheapest to most expensive.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum RegfileKind {
     /// A feed-forward shift register: no coordinate comparators at all.
     FeedForward,
@@ -255,7 +255,10 @@ mod tests {
         let p = HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront);
         let producer = AccessOrder::from_coords(p.emission_sequence());
         let consumer = producer.clone();
-        assert_eq!(choose_regfile(&producer, &consumer), RegfileKind::FeedForward);
+        assert_eq!(
+            choose_regfile(&producer, &consumer),
+            RegfileKind::FeedForward
+        );
     }
 
     #[test]

@@ -41,7 +41,9 @@ pub fn compile_soc(
     dma: Option<DmaDesign>,
 ) -> Result<AcceleratorDesign, CompileError> {
     if specs.is_empty() {
-        return Err(CompileError::Malformed("SoC needs at least one spec".into()));
+        return Err(CompileError::Malformed(
+            "SoC needs at least one spec".into(),
+        ));
     }
     for (n, a) in specs.iter().enumerate() {
         for b in &specs[n + 1..] {

@@ -336,13 +336,19 @@ mod tests {
         let (_, arr) = build(4, &SpaceTimeTransform::hexagonal());
         // x = i - k, y = j - k: coordinates range over [-3, 3]^2 but only
         // feasible combinations appear; more PEs than a 4x4 grid.
-        assert!(arr.num_pes() > 16, "hexagonal array has {} PEs", arr.num_pes());
+        assert!(
+            arr.num_pes() > 16,
+            "hexagonal array has {} PEs",
+            arr.num_pes()
+        );
         assert!(arr.pes().iter().all(|pe| pe.coords.len() == 2));
     }
 
     #[test]
     fn pipelining_scales_registers() {
-        let t = SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap();
+        let t = SpaceTimeTransform::output_stationary()
+            .with_time_scale(2)
+            .unwrap();
         let (f, arr) = build(4, &t);
         let vars: Vec<VarId> = f.vars().collect();
         // Doubled time row → 2 registers per a/b hop (Figure 3).
@@ -373,8 +379,7 @@ mod tests {
         // verify the collision check by elaborating with duplicated points:
         // not constructible through the public API, so invertibility plus
         // distinct points guarantees no collision.
-        let arr =
-            SpatialArray::from_iterspace(&is, &f, &SpaceTimeTransform::output_stationary());
+        let arr = SpatialArray::from_iterspace(&is, &f, &SpaceTimeTransform::output_stationary());
         assert!(arr.is_ok());
     }
 

@@ -137,7 +137,11 @@ impl SkipSpec {
     /// Renders the clause in the paper's notation, given the functionality
     /// for names.
     pub fn describe(&self, func: &Functionality) -> String {
-        let keyword = if self.optimistic { "OptimisticSkip" } else { "Skip" };
+        let keyword = if self.optimistic {
+            "OptimisticSkip"
+        } else {
+            "Skip"
+        };
         let skipped: Vec<&str> = self.skipped.iter().map(|&s| func.index_name(s)).collect();
         let mut out = format!("{keyword} {}", skipped.join(" and "));
         if let Some(t) = self.tensor {
@@ -149,7 +153,11 @@ impl SkipSpec {
 
 impl fmt::Display for SkipSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let keyword = if self.optimistic { "OptimisticSkip" } else { "Skip" };
+        let keyword = if self.optimistic {
+            "OptimisticSkip"
+        } else {
+            "Skip"
+        };
         write!(f, "{keyword}({:?} | {:?})", self.skipped, self.governing)
     }
 }

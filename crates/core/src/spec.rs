@@ -73,8 +73,7 @@ impl AcceleratorSpec {
         let transform = if rank == 3 {
             SpaceTimeTransform::output_stationary()
         } else {
-            SpaceTimeTransform::new(stellar_linalg::IntMat::identity(rank))
-                .expect("identity transform is invertible")
+            SpaceTimeTransform::identity(rank)
         };
         AcceleratorSpec {
             name: name.into(),
@@ -273,8 +272,9 @@ pub fn compile(spec: &AcceleratorSpec) -> Result<AcceleratorDesign, CompileError
         };
         // The memory-buffer side order is provable only when hardcoded.
         let mem_spec = spec.memories.iter().find(|m| m.tensor() == t);
-        let mem_order: Option<AccessOrder> =
-            mem_spec.and_then(|m| m.hardcoded()).map(|h| h.emission_order());
+        let mem_order: Option<AccessOrder> = mem_spec
+            .and_then(|m| m.hardcoded())
+            .map(|h| h.emission_order());
         let kind = match (&mem_order, mem_is_producer) {
             (Some(mem), true) => choose_regfile(mem, array_order),
             (Some(mem), false) => choose_regfile(array_order, mem),
@@ -459,9 +459,8 @@ mod tests {
         let spec = AcceleratorSpec::new("hc", func)
             .with_transform(SpaceTimeTransform::output_stationary())
             .with_memory(
-                MemorySpec::new("SRAM_B", tb, vec![Dense, Dense]).with_hardcoded(
-                    HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront),
-                ),
+                MemorySpec::new("SRAM_B", tb, vec![Dense, Dense])
+                    .with_hardcoded(HardcodedParams::new(vec![4, 4], EmissionOrder::Wavefront)),
             );
         let d = compile(&spec).unwrap();
         let rf_b = d.regfiles.iter().find(|r| r.tensor == "B").unwrap();
@@ -480,8 +479,11 @@ mod tests {
     fn sparse_memory_spec_counts_stages() {
         let func = Functionality::matmul(4, 4, 4);
         let tb = func.tensors().nth(1).unwrap();
-        let spec = AcceleratorSpec::new("csr", func)
-            .with_memory(MemorySpec::new("SRAM_B", tb, vec![Dense, Compressed]));
+        let spec = AcceleratorSpec::new("csr", func).with_memory(MemorySpec::new(
+            "SRAM_B",
+            tb,
+            vec![Dense, Compressed],
+        ));
         let d = compile(&spec).unwrap();
         let buf = d.mem_buffers.iter().find(|b| b.tensor == "B").unwrap();
         assert_eq!(buf.indirect_stages, 1);
@@ -491,13 +493,12 @@ mod tests {
 
     #[test]
     fn shift_produces_balancer() {
-        let spec = AcceleratorSpec::new("lb", Functionality::matmul(4, 4, 4)).with_shift(
-            ShiftSpec::new(
+        let spec =
+            AcceleratorSpec::new("lb", Functionality::matmul(4, 4, 4)).with_shift(ShiftSpec::new(
                 crate::balance::Region::all(3).restrict(idx(0), 2, 4),
                 vec![-2, 0, 1],
                 Granularity::PerPe,
-            ),
-        );
+            ));
         let d = compile(&spec).unwrap();
         assert_eq!(d.load_balancers.len(), 1);
         assert!(d.load_balancers[0].per_pe);

@@ -65,6 +65,16 @@ impl SpaceTimeTransform {
         SpaceTimeTransform::new(IntMat::from_rows(rows)).expect("invalid space-time transform")
     }
 
+    /// The identity transform of the given rank (every iterator becomes a
+    /// time axis, nothing is spatial). The identity is its own inverse, so
+    /// unlike [`SpaceTimeTransform::new`] this cannot fail.
+    pub fn identity(rank: usize) -> SpaceTimeTransform {
+        SpaceTimeTransform {
+            mat: IntMat::identity(rank),
+            inv: RatMat::identity(rank),
+        }
+    }
+
     /// The output-stationary matmul dataflow of Figure 2b:
     /// `x = i`, `y = j`, `t = i + j + k`. Partial sums stay in place; `A`
     /// and `B` stream through the array.
@@ -102,7 +112,9 @@ impl SpaceTimeTransform {
     /// Returns [`CompileError::InvalidTransform`] if `factor` is zero.
     pub fn with_time_scale(&self, factor: i64) -> Result<SpaceTimeTransform, CompileError> {
         if factor == 0 {
-            return Err(CompileError::InvalidTransform("time scale must be non-zero".into()));
+            return Err(CompileError::InvalidTransform(
+                "time scale must be non-zero".into(),
+            ));
         }
         let mut m = self.mat.clone();
         let t = m.rows() - 1;
@@ -239,7 +251,11 @@ mod tests {
         // All three unit difference vectors move spatially: nothing is
         // stationary in the hexagonal array.
         for d in [[1, 0, 0], [0, 1, 0], [0, 0, 1]] {
-            assert_ne!(t.space_delta(&d), vec![0, 0], "{d:?} unexpectedly stationary");
+            assert_ne!(
+                t.space_delta(&d),
+                vec![0, 0],
+                "{d:?} unexpectedly stationary"
+            );
         }
     }
 
@@ -280,7 +296,9 @@ mod tests {
 
     #[test]
     fn invert_detects_fractional() {
-        let t = SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap();
+        let t = SpaceTimeTransform::output_stationary()
+            .with_time_scale(2)
+            .unwrap();
         // With time doubled, odd time steps have no integer preimage.
         let st = t.apply(&[1, 1, 1]); // t = 6
         assert!(t.invert(&st).is_some());

@@ -16,9 +16,15 @@ fn invertible_3x3() -> impl Strategy<Value = SpaceTimeTransform> {
         SpaceTimeTransform::output_stationary(),
         SpaceTimeTransform::input_stationary(),
         SpaceTimeTransform::hexagonal(),
-        SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
-        SpaceTimeTransform::output_stationary().with_time_row(&[2, 1, 1]).unwrap(),
-        SpaceTimeTransform::output_stationary().with_time_row(&[1, 2, 1]).unwrap(),
+        SpaceTimeTransform::output_stationary()
+            .with_time_scale(2)
+            .unwrap(),
+        SpaceTimeTransform::output_stationary()
+            .with_time_row(&[2, 1, 1])
+            .unwrap(),
+        SpaceTimeTransform::output_stationary()
+            .with_time_row(&[1, 2, 1])
+            .unwrap(),
     ])
 }
 
@@ -160,7 +166,9 @@ fn mat_from_seed(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut m = DenseMatrix::zeros(rows, cols);
     for r in 0..rows {
         for c in 0..cols {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let v = ((state >> 33) % 7) as f64 - 3.0;
             m.set(r, c, v);
         }

@@ -31,6 +31,13 @@ pub enum HostError {
     BadConfig(String),
     /// A DRAM read fell outside the stored region.
     DramOutOfBounds(u64),
+    /// The host DRAM bump allocator ran out of words.
+    DramExhausted {
+        /// Words the allocation would have needed in total.
+        needed: u64,
+        /// Words of DRAM the host has.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for HostError {
@@ -39,6 +46,12 @@ impl fmt::Display for HostError {
             HostError::NoRoute => write!(f, "issue without set_src_and_dst"),
             HostError::BadConfig(m) => write!(f, "bad transfer configuration: {m}"),
             HostError::DramOutOfBounds(a) => write!(f, "DRAM access out of bounds at {a:#x}"),
+            HostError::DramExhausted { needed, capacity } => {
+                write!(
+                    f,
+                    "host DRAM exhausted: need {needed} words, have {capacity}"
+                )
+            }
         }
     }
 }
@@ -95,60 +108,78 @@ impl Host {
     }
 
     /// Stores a dense matrix row-major in DRAM; returns its word address.
-    pub fn dram_store_dense(&mut self, m: &DenseMatrix) -> u64 {
-        let addr = self.alloc(m.rows() * m.cols());
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::DramExhausted`] when the matrix does not fit.
+    pub fn dram_store_dense(&mut self, m: &DenseMatrix) -> Result<u64, HostError> {
+        let addr = self.alloc(m.rows() * m.cols())?;
         for r in 0..m.rows() {
             for c in 0..m.cols() {
                 self.dram[addr as usize + r * m.cols() + c] = m.at(r, c).to_bits();
             }
         }
-        addr
+        Ok(addr)
     }
 
     /// Stores a CSR matrix's three arrays in DRAM; returns
     /// `(data, row_ids, coords)` addresses, as `matrix_B_data`,
     /// `matrix_B_row_ids`, `matrix_B_coords` in Listing 7.
-    pub fn dram_store_csr(&mut self, m: &CsrMatrix) -> (u64, u64, u64) {
-        let data = self.alloc(m.nnz());
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::DramExhausted`] when the arrays do not fit.
+    pub fn dram_store_csr(&mut self, m: &CsrMatrix) -> Result<(u64, u64, u64), HostError> {
+        let data = self.alloc(m.nnz())?;
         for (n, &v) in m.values().iter().enumerate() {
             self.dram[data as usize + n] = v.to_bits();
         }
-        let row_ids = self.alloc(m.rows() + 1);
+        let row_ids = self.alloc(m.rows() + 1)?;
         for (n, &p) in m.row_ptr().iter().enumerate() {
             self.dram[row_ids as usize + n] = p as u64;
         }
-        let coords = self.alloc(m.nnz());
+        let coords = self.alloc(m.nnz())?;
         for (n, &c) in m.col_idx().iter().enumerate() {
             self.dram[coords as usize + n] = c as u64;
         }
-        (data, row_ids, coords)
+        Ok((data, row_ids, coords))
     }
 
     /// Stores a CSC matrix's three arrays in DRAM; returns
     /// `(data, col_ptrs, row_coords)` addresses.
-    pub fn dram_store_csc(&mut self, m: &CscMatrix) -> (u64, u64, u64) {
+    ///
+    /// # Errors
+    ///
+    /// [`HostError::DramExhausted`] when the arrays do not fit.
+    pub fn dram_store_csc(&mut self, m: &CscMatrix) -> Result<(u64, u64, u64), HostError> {
         let csr_of_t = m.to_csr().transpose(); // rows of the transpose = columns of m
-        let data = self.alloc(m.nnz());
+        let data = self.alloc(m.nnz())?;
         for (n, &v) in csr_of_t.values().iter().enumerate() {
             self.dram[data as usize + n] = v.to_bits();
         }
-        let col_ptrs = self.alloc(m.cols() + 1);
+        let col_ptrs = self.alloc(m.cols() + 1)?;
         for (n, &p) in csr_of_t.row_ptr().iter().enumerate() {
             self.dram[col_ptrs as usize + n] = p as u64;
         }
-        let coords = self.alloc(m.nnz());
+        let coords = self.alloc(m.nnz())?;
         for (n, &c) in csr_of_t.col_idx().iter().enumerate() {
             self.dram[coords as usize + n] = c as u64;
         }
-        (data, col_ptrs, coords)
+        Ok((data, col_ptrs, coords))
     }
 
-    fn alloc(&mut self, words: usize) -> u64 {
+    fn alloc(&mut self, words: usize) -> Result<u64, HostError> {
         // A simple bump allocator starting past address 0.
         let addr = self.brk;
-        self.brk += words as u64;
-        assert!((self.brk as usize) < self.dram.len(), "host DRAM exhausted");
-        addr
+        let brk = addr.saturating_add(words as u64);
+        if brk as usize >= self.dram.len() {
+            return Err(HostError::DramExhausted {
+                needed: brk,
+                capacity: self.dram.len() as u64,
+            });
+        }
+        self.brk = brk;
+        Ok(addr)
     }
 
     /// The payload a buffer last received.
@@ -248,14 +279,18 @@ impl Host {
         let dst_name = match dst {
             MemUnit::Buffer(n) | MemUnit::Regfile(n) => n.clone(),
             MemUnit::Dram => {
-                return Err(HostError::BadConfig("DRAM destinations not modelled".into()))
+                return Err(HostError::BadConfig(
+                    "DRAM destinations not modelled".into(),
+                ))
             }
         };
         if *src != MemUnit::Dram {
             // Buffer-to-regfile moves: forward the payload.
             let name = match src {
                 MemUnit::Buffer(n) | MemUnit::Regfile(n) => n.clone(),
-                MemUnit::Dram => unreachable!(),
+                // Guarded by the enclosing `src != Dram` check; report
+                // rather than panic if that invariant ever breaks.
+                MemUnit::Dram => return Err(HostError::BadConfig("unexpected DRAM source".into())),
             };
             let payload = self
                 .buffers
@@ -293,7 +328,11 @@ impl Host {
                 let mut m = DenseMatrix::zeros(rows, cols);
                 for r in 0..rows {
                     for c in 0..cols {
-                        m.set(r, c, self.read_f64(cfg.data_addr_src + (r * cols + c) as u64)?);
+                        m.set(
+                            r,
+                            c,
+                            self.read_f64(cfg.data_addr_src + (r * cols + c) as u64)?,
+                        );
                     }
                 }
                 self.cycles += self.dma.contiguous_cycles((rows * cols) as u64);
@@ -319,7 +358,10 @@ impl Host {
                 for n in 0..=rows {
                     row_ptr.push(self.read_u64(row_id_addr + n as u64)? as usize);
                 }
-                let nnz = *row_ptr.last().unwrap();
+                let nnz = row_ptr
+                    .last()
+                    .copied()
+                    .ok_or_else(|| HostError::BadConfig("empty row-pointer array".into()))?;
                 let mut col_idx = Vec::with_capacity(nnz);
                 let mut values = Vec::with_capacity(nnz);
                 for n in 0..nnz {
@@ -359,7 +401,10 @@ impl Host {
                 for n in 0..=cols {
                     col_ptr.push(self.read_u64(col_ptr_addr + n as u64)? as usize);
                 }
-                let nnz = *col_ptr.last().unwrap();
+                let nnz = col_ptr
+                    .last()
+                    .copied()
+                    .ok_or_else(|| HostError::BadConfig("empty column-pointer array".into()))?;
                 let mut row_idx = Vec::with_capacity(nnz);
                 let mut values = Vec::with_capacity(nnz);
                 for n in 0..nnz {
@@ -395,10 +440,27 @@ mod tests {
     use stellar_tensor::gen;
 
     #[test]
+    fn dram_exhaustion_reported() {
+        let mut host = Host::new();
+        // 1100 x 1100 words > the 1 MiW DRAM.
+        let big = DenseMatrix::zeros(1100, 1100);
+        match host.dram_store_dense(&big) {
+            Err(HostError::DramExhausted { needed, capacity }) => {
+                assert!(needed > capacity);
+            }
+            other => panic!("expected DramExhausted, got {other:?}"),
+        }
+        // The failed allocation must not have moved the break: a small
+        // store still succeeds afterwards.
+        let small = DenseMatrix::zeros(4, 4);
+        host.dram_store_dense(&small).unwrap();
+    }
+
+    #[test]
     fn dense_transfer_round_trip() {
         let a = gen::dense(4, 6, 1);
         let mut host = Host::new();
-        let addr = host.dram_store_dense(&a);
+        let addr = host.dram_store_dense(&a).unwrap();
         let mut p = Program::new();
         p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));
         p.set_data_addr_src(addr);
@@ -416,7 +478,7 @@ mod tests {
     fn csr_transfer_round_trip() {
         let m = gen::uniform(8, 10, 0.3, 2);
         let mut host = Host::new();
-        let (data, row_ids, coords) = host.dram_store_csr(&m);
+        let (data, row_ids, coords) = host.dram_store_csr(&m).unwrap();
         let mut p = Program::new();
         p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_B"));
         p.set_data_addr_src(data);
@@ -438,7 +500,7 @@ mod tests {
     fn buffer_to_regfile_forwarding() {
         let a = gen::dense(2, 2, 3);
         let mut host = Host::new();
-        let addr = host.dram_store_dense(&a);
+        let addr = host.dram_store_dense(&a).unwrap();
         let mut p = Program::new();
         p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));
         p.set_data_addr_src(addr);
@@ -458,7 +520,7 @@ mod tests {
         let dense = gen::uniform(9, 7, 0.35, 11);
         let m = CscMatrix::from_csr(&dense);
         let mut host = Host::new();
-        let (data, col_ptrs, coords) = host.dram_store_csc(&m);
+        let (data, col_ptrs, coords) = host.dram_store_csc(&m).unwrap();
         let mut p = Program::new();
         p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));
         p.set_data_addr_src(data);
@@ -500,7 +562,7 @@ mod tests {
         let a = gen::dense(16, 16, 4);
         let run = |slots| {
             let mut host = Host::new().with_dma(DmaModel::with_slots(slots));
-            let addr = host.dram_store_dense(&a);
+            let addr = host.dram_store_dense(&a).unwrap();
             let mut p = Program::new();
             p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("X"));
             p.set_data_addr_src(addr);

@@ -31,7 +31,7 @@
 //!
 //! let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
 //! let mut host = Host::new();
-//! let addr = host.dram_store_dense(&a);
+//! let addr = host.dram_store_dense(&a).unwrap();
 //!
 //! let mut p = Program::new();
 //! p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("SRAM_A"));

@@ -55,7 +55,14 @@ impl Program {
         &self.routes
     }
 
-    fn push(&mut self, opcode: Opcode, target: Target, axis: u8, metadata: Option<MetadataType>, rs2: u64) {
+    fn push(
+        &mut self,
+        opcode: Opcode,
+        target: Target,
+        axis: u8,
+        metadata: Option<MetadataType>,
+        rs2: u64,
+    ) {
         self.instrs.push(Instruction {
             opcode,
             target,
@@ -99,7 +106,13 @@ impl Program {
 
     /// `set_metadata_stride(FOR_BOTH, axis, kind, stride)`.
     pub fn set_metadata_stride(&mut self, axis: u8, kind: MetadataType, stride: u64) {
-        self.push(Opcode::SetMetadataStride, Target::Both, axis, Some(kind), stride);
+        self.push(
+            Opcode::SetMetadataStride,
+            Target::Both,
+            axis,
+            Some(kind),
+            stride,
+        );
     }
 
     /// `set_axis(FOR_BOTH, axis, DENSE / COMPRESSED / ...)`.

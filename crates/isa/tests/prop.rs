@@ -23,20 +23,33 @@ fn target() -> impl Strategy<Value = Target> {
 }
 
 fn metadata() -> impl Strategy<Value = Option<MetadataType>> {
-    proptest::sample::select(vec![None, Some(MetadataType::RowId), Some(MetadataType::Coord)])
+    proptest::sample::select(vec![
+        None,
+        Some(MetadataType::RowId),
+        Some(MetadataType::Coord),
+    ])
 }
 
 fn instruction() -> impl Strategy<Value = Instruction> {
-    (opcode(), target(), 0u8..=255, metadata(), proptest::num::u64::ANY).prop_map(
-        |(opcode, target, axis, metadata, rs2)| Instruction {
+    (
+        opcode(),
+        target(),
+        0u8..=255,
+        metadata(),
+        proptest::num::u64::ANY,
+    )
+        .prop_map(|(opcode, target, axis, metadata, rs2)| Instruction {
             opcode,
             target,
             axis,
             metadata,
             // Axis types must carry a valid format code.
-            rs2: if opcode == Opcode::SetAxisType { rs2 % 4 } else { rs2 },
-        },
-    )
+            rs2: if opcode == Opcode::SetAxisType {
+                rs2 % 4
+            } else {
+                rs2
+            },
+        })
 }
 
 proptest! {
@@ -78,7 +91,7 @@ proptest! {
             d
         };
         let mut host = Host::new();
-        let addr = host.dram_store_dense(&m);
+        let addr = host.dram_store_dense(&m).unwrap();
         let mut p = Program::new();
         p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("X"));
         p.set_data_addr_src(addr);
@@ -96,7 +109,7 @@ proptest! {
     fn csr_transfer_faithful(rows in 1usize..=10, cols in 1usize..=10, density in 0.05f64..0.9, seed in 0u64..200) {
         let m = stellar_tensor::gen::uniform(rows, cols, density, seed);
         let mut host = Host::new();
-        let (data, row_ids, coords) = host.dram_store_csr(&m);
+        let (data, row_ids, coords) = host.dram_store_csr(&m).unwrap();
         let mut p = Program::new();
         p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("B"));
         p.set_data_addr_src(data);

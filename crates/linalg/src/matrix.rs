@@ -306,6 +306,19 @@ pub struct RatMat {
 }
 
 impl RatMat {
+    /// The rational identity matrix of size `n`.
+    pub fn identity(n: usize) -> RatMat {
+        let mut data = vec![Rational::ZERO; n * n];
+        for i in 0..n {
+            data[i * n + i] = Rational::from(1);
+        }
+        RatMat {
+            rows: n,
+            cols: n,
+            data,
+        }
+    }
+
     /// Number of rows.
     pub fn rows(&self) -> usize {
         self.rows
@@ -339,7 +352,10 @@ impl RatMat {
     /// Stellar PE performs: a space-time point that maps to a fractional
     /// iteration point corresponds to no tensor iteration at all.
     pub fn mul_int_vec(&self, v: &[i64]) -> Option<IntVec> {
-        self.mul_vec(v).into_iter().map(|r| r.to_integer()).collect()
+        self.mul_vec(v)
+            .into_iter()
+            .map(|r| r.to_integer())
+            .collect()
     }
 
     /// Entry access.

@@ -4,8 +4,7 @@ use proptest::prelude::*;
 use stellar_linalg::{IntMat, Rational};
 
 fn small_mat(n: usize) -> impl Strategy<Value = IntMat> {
-    proptest::collection::vec(-5i64..=5, n * n)
-        .prop_map(move |data| IntMat::from_vec(n, n, data))
+    proptest::collection::vec(-5i64..=5, n * n).prop_map(move |data| IntMat::from_vec(n, n, data))
 }
 
 proptest! {

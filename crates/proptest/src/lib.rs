@@ -1,0 +1,213 @@
+//! A small, dependency-free, fully offline stand-in for the `proptest`
+//! crate, implementing the subset of its API that this workspace uses.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the real `proptest` cannot be vendored. This shim keeps the property
+//! tests source-compatible: `proptest!` blocks, range/tuple/`Just`/
+//! `select`/`prop_oneof!`/`collection::vec` strategies, and the
+//! `prop_assert*` macros all work, driven by a deterministic SplitMix64
+//! generator so every run of every test is exactly reproducible.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Integer/boolean "any value" strategies (`proptest::num::u64::ANY`, ...).
+pub mod num {
+    /// `u64` strategies.
+    pub mod u64 {
+        /// Any `u64`, uniform over the full range.
+        pub const ANY: crate::strategy::AnyU64 = crate::strategy::AnyU64;
+    }
+    /// `u32` strategies.
+    pub mod u32 {
+        /// Any `u32`, uniform over the full range.
+        pub const ANY: crate::strategy::AnyU32 = crate::strategy::AnyU32;
+    }
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    /// Either boolean with equal probability.
+    pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of values from `element`, with a length
+    /// drawn from `size` (a fixed length or a range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Sampling strategies (`proptest::sample::select`).
+pub mod sample {
+    use crate::strategy::Select;
+
+    /// A strategy choosing uniformly from the given values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    pub fn select<T: Clone + std::fmt::Debug>(values: Vec<T>) -> Select<T> {
+        assert!(!values.is_empty(), "select() requires at least one value");
+        Select { values }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines a block of property tests.
+///
+/// Mirrors `proptest::proptest!`: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header, then test
+/// functions whose arguments are `pattern in strategy` pairs. Each test
+/// runs its body for every generated case and panics (failing the test) on
+/// the first case whose `prop_assert*` fails.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    (@impl ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("property '{}' failed at case {case}: {e}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with an optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, "assertion failed: both sides equal {:?}", a);
+    }};
+}
+
+/// A weighted or unweighted union of strategies producing a common value
+/// type (`prop_oneof![Just(a), Just(b)]` or `prop_oneof![3 => s1, 1 => s2]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&w));
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn select_and_oneof_cover_choices() {
+        let mut rng = TestRng::deterministic("select");
+        let s = crate::sample::select(vec![1u8, 2, 3]);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[s.generate(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+        let u = prop_oneof![4 => Just(0.0f64), 1 => (1i8..=2).prop_map(|v| v as f64)];
+        let vals: Vec<f64> = (0..200).map(|_| u.generate(&mut rng)).collect();
+        assert!(vals.contains(&0.0));
+        assert!(vals.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn determinism_per_test_name() {
+        let run = || {
+            let mut rng = TestRng::deterministic("fixed");
+            (0..10)
+                .map(|_| (0u64..1000).generate(&mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_smoke((a, b) in (0u32..10, 0u32..10), v in crate::collection::vec(0i8..4, 0..6)) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assert!(v.len() < 6);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

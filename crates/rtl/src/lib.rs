@@ -26,8 +26,8 @@
 
 pub mod lint;
 mod netlist;
-pub mod testbench;
 pub mod templates;
+pub mod testbench;
 mod verilog;
 
 pub use netlist::{Instance, Module, Net, NetKind, Netlist, Port, PortDir};

@@ -74,7 +74,10 @@ impl fmt::Display for LintError {
                 write!(f, "undeclared identifier '{ident}' in module '{module}'")
             }
             LintError::UnknownModule { module, target } => {
-                write!(f, "module '{module}' instantiates unknown module '{target}'")
+                write!(
+                    f,
+                    "module '{module}' instantiates unknown module '{target}'"
+                )
             }
             LintError::UnknownPort {
                 module,
@@ -85,7 +88,10 @@ impl fmt::Display for LintError {
                 "instance '{instance}' in '{module}' connects unknown port '{port}'"
             ),
             LintError::MultipleDrivers { module, signal } => {
-                write!(f, "signal '{signal}' in module '{module}' has multiple drivers")
+                write!(
+                    f,
+                    "signal '{signal}' in module '{module}' has multiple drivers"
+                )
             }
             LintError::BadIdentifier { module, ident } => {
                 write!(f, "bad identifier '{ident}' in module '{module}'")
@@ -97,14 +103,32 @@ impl fmt::Display for LintError {
 impl Error for LintError {}
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "begin", "end",
-    "if", "else", "posedge", "negedge", "case", "endcase", "default", "parameter",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "posedge",
+    "negedge",
+    "case",
+    "endcase",
+    "default",
+    "parameter",
 ];
 
 fn valid_ident(s: &str) -> bool {
     !s.is_empty()
         && !KEYWORDS.contains(&s)
-        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
         && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
@@ -281,9 +305,9 @@ mod tests {
         m.output("y", 8);
         m.assign("y", "ghost + 1");
         let errs = check(&netlist_of(vec![m])).unwrap_err();
-        assert!(errs
-            .iter()
-            .any(|e| matches!(e, LintError::UndeclaredIdentifier { ident, .. } if ident == "ghost")));
+        assert!(errs.iter().any(
+            |e| matches!(e, LintError::UndeclaredIdentifier { ident, .. } if ident == "ghost")
+        ));
     }
 
     #[test]
@@ -300,13 +324,17 @@ mod tests {
         m.input("x", 1);
         m.wire("x", 1);
         let errs = check(&netlist_of(vec![m])).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, LintError::DuplicateSignal { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::DuplicateSignal { .. })));
     }
 
     #[test]
     fn duplicate_module_detected() {
         let errs = check(&netlist_of(vec![Module::new("m"), Module::new("m")])).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, LintError::DuplicateModule(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::DuplicateModule(_))));
     }
 
     #[test]
@@ -318,8 +346,12 @@ mod tests {
         top.instance("leaf", "u0").connect("nope", "w");
         top.instance("ghost", "u1");
         let errs = check(&netlist_of(vec![leaf, top])).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, LintError::UnknownPort { .. })));
-        assert!(errs.iter().any(|e| matches!(e, LintError::UnknownModule { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::UnknownPort { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::UnknownModule { .. })));
     }
 
     #[test]
@@ -329,7 +361,9 @@ mod tests {
         m.assign("w", "1'b0");
         m.assign("w", "1'b1");
         let errs = check(&netlist_of(vec![m])).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, LintError::MultipleDrivers { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::MultipleDrivers { .. })));
     }
 
     #[test]
@@ -337,7 +371,9 @@ mod tests {
         let mut m = Module::new("kw");
         m.wire("module", 1);
         let errs = check(&netlist_of(vec![m])).unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, LintError::BadIdentifier { .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, LintError::BadIdentifier { .. })));
     }
 
     #[test]

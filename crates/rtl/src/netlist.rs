@@ -160,7 +160,11 @@ impl Module {
     }
 
     /// Adds an instance.
-    pub fn instance(&mut self, module: impl Into<String>, name: impl Into<String>) -> &mut Instance {
+    pub fn instance(
+        &mut self,
+        module: impl Into<String>,
+        name: impl Into<String>,
+    ) -> &mut Instance {
         self.instances.push(Instance {
             module: module.into(),
             name: name.into(),

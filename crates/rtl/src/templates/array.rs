@@ -54,12 +54,17 @@ pub fn emit_array(arr: &SpatialArrayDesign, pe_mod: &Module, data_bits: u32) -> 
         // The PE's own forwarding register provides one stage; extra stages
         // (registers > 1) are materialized here.
         for stage in 1..conn.registers.max(1) {
-            let d = m.reg(format!("pipe_{var}_{}_{}_{stage}", conn.src_pe, conn.dst_pe), w);
+            let d = m.reg(
+                format!("pipe_{var}_{}_{}_{stage}", conn.src_pe, conn.dst_pe),
+                w,
+            );
             let v = m.reg(
                 format!("pipe_{var}_{}_{}_{stage}_valid", conn.src_pe, conn.dst_pe),
                 1,
             );
-            m.seq(format!("if (en) begin {d} <= {src_data}; {v} <= {src_valid}; end"));
+            m.seq(format!(
+                "if (en) begin {d} <= {src_data}; {v} <= {src_valid}; end"
+            ));
             src_data = d;
             src_valid = v;
         }
@@ -124,7 +129,10 @@ pub fn emit_array(arr: &SpatialArrayDesign, pe_mod: &Module, data_bits: u32) -> 
             conns.push((format!("in_{var}"), format!("pe{pe}_in_{var}")));
             conns.push((format!("in_{var}_valid"), format!("pe{pe}_in_{var}_valid")));
             conns.push((format!("out_{var}"), format!("pe{pe}_out_{var}")));
-            conns.push((format!("out_{var}_valid"), format!("pe{pe}_out_{var}_valid")));
+            conns.push((
+                format!("out_{var}_valid"),
+                format!("pe{pe}_out_{var}_valid"),
+            ));
         }
         for &(t, is_write) in &pe_io {
             if is_write {
@@ -211,7 +219,9 @@ mod tests {
     #[test]
     fn pipelined_dataflow_adds_registers() {
         let spec = AcceleratorSpec::new("deep", Functionality::matmul(4, 4, 4)).with_transform(
-            SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+            SpaceTimeTransform::output_stationary()
+                .with_time_scale(2)
+                .unwrap(),
         );
         let design = compile(&spec).unwrap();
         let arr = &design.spatial_arrays[0];

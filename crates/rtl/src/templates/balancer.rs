@@ -74,7 +74,11 @@ mod tests {
         let m = emit_balancer(&lb(false));
         let mut n = crate::netlist::Netlist::new();
         n.add(m);
-        assert!(crate::lint::check(&n).is_ok(), "{:?}", crate::lint::check(&n));
+        assert!(
+            crate::lint::check(&n).is_ok(),
+            "{:?}",
+            crate::lint::check(&n)
+        );
     }
 
     #[test]

@@ -57,7 +57,8 @@ pub fn emit_dma(dma: &DmaDesign) -> Module {
     m.seq(issue);
 
     // Retire in order on responses.
-    let mut retire = String::from("if (rst) retire_ptr <= 32'd0;\nelse if (mem_resp_valid) begin\n");
+    let mut retire =
+        String::from("if (rst) retire_ptr <= 32'd0;\nelse if (mem_resp_valid) begin\n");
     for s in 0..slots {
         retire.push_str(&format!(
             "  if (retire_ptr == 32'd{s}) slot{s}_busy <= 1'b0;\n"

@@ -38,7 +38,11 @@ pub fn emit_membuf(buf: &MemBufferDesign, data_bits: u32) -> Module {
             AxisFormat::Dense => {
                 // Hardcoded parameters collapse the stride logic to a
                 // constant increment (Listing 6's simplification).
-                let stride = if buf.hardcoded { "32'd1".to_string() } else { "req_len".to_string() };
+                let stride = if buf.hardcoded {
+                    "32'd1".to_string()
+                } else {
+                    "req_len".to_string()
+                };
                 m.seq(format!(
                     "if (rst) {valid} <= 1'b0;\nelse if (en) begin {addr} <= {prev_addr} + {stride}; {valid} <= {prev_valid}; end"
                 ));
@@ -98,7 +102,11 @@ mod tests {
         let m = emit_membuf(&buf(vec![AxisFormat::Dense, AxisFormat::Dense], false), 32);
         let mut n = crate::netlist::Netlist::new();
         n.add(m);
-        assert!(crate::lint::check(&n).is_ok(), "{:?}", crate::lint::check(&n));
+        assert!(
+            crate::lint::check(&n).is_ok(),
+            "{:?}",
+            crate::lint::check(&n)
+        );
     }
 
     #[test]
@@ -111,10 +119,7 @@ mod tests {
         }
         // One metadata SRAM for the compressed axis.
         assert_eq!(
-            m.nets
-                .iter()
-                .filter(|n| n.name.starts_with("meta"))
-                .count(),
+            m.nets.iter().filter(|n| n.name.starts_with("meta")).count(),
             1
         );
         let mut n = crate::netlist::Netlist::new();

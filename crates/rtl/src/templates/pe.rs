@@ -112,7 +112,10 @@ pub fn emit_pe(arr: &SpatialArrayDesign, data_bits: u32) -> Module {
         }
         for &(tensor, is_write) in &io {
             if is_write {
-                m.assign(format!("wr_{tensor}_data"), format!("acc[{}:0]", data_bits - 1));
+                m.assign(
+                    format!("wr_{tensor}_data"),
+                    format!("acc[{}:0]", data_bits - 1),
+                );
                 m.assign(format!("wr_{tensor}_valid"), "en");
             }
         }
@@ -167,7 +170,10 @@ mod tests {
     fn pe_has_time_counter() {
         let m = emit_pe(&demo_array(), 8);
         assert!(m.nets.iter().any(|n| n.name == "time_counter"));
-        assert!(m.seq_stmts.iter().any(|s| s.contains("time_counter <= time_counter +")));
+        assert!(m
+            .seq_stmts
+            .iter()
+            .any(|s| s.contains("time_counter <= time_counter +")));
     }
 
     #[test]
@@ -199,6 +205,10 @@ mod tests {
         let pe = emit_pe(&demo_array(), 8);
         let mut n = crate::netlist::Netlist::new();
         n.add(pe);
-        assert!(crate::lint::check(&n).is_ok(), "{:?}", crate::lint::check(&n));
+        assert!(
+            crate::lint::check(&n).is_ok(),
+            "{:?}",
+            crate::lint::check(&n)
+        );
     }
 }

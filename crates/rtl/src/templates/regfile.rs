@@ -103,9 +103,7 @@ pub fn emit_regfile(rf: &RegfileDesign) -> Module {
                 expr_d = format!(
                     "(ent{e}_valid & (ent{e}_coord == out_coord)) ? ent{e}_data : ({expr_d})"
                 );
-                expr_v = format!(
-                    "(ent{e}_valid & (ent{e}_coord == out_coord)) | ({expr_v})"
-                );
+                expr_v = format!("(ent{e}_valid & (ent{e}_coord == out_coord)) | ({expr_v})");
             }
             m.assign("out_data", expr_d);
             m.assign("out_valid", expr_v);
@@ -142,7 +140,11 @@ mod tests {
             let m = emit_regfile(&rf(kind, 8));
             let mut n = crate::netlist::Netlist::new();
             n.add(m);
-            assert!(crate::lint::check(&n).is_ok(), "kind {kind:?}: {:?}", crate::lint::check(&n));
+            assert!(
+                crate::lint::check(&n).is_ok(),
+                "kind {kind:?}: {:?}",
+                crate::lint::check(&n)
+            );
         }
     }
 

@@ -36,6 +36,50 @@ impl Default for TestbenchOptions {
     }
 }
 
+impl TestbenchOptions {
+    /// Derives the watchdog budget from the workload's expected cycle
+    /// count instead of the fixed default: twice the expectation (safety
+    /// margin for handshake stalls) plus the reset, per-command, and drain
+    /// overhead the stimulus itself adds, floored at a small minimum so
+    /// near-empty programs still get a usable budget.
+    pub fn with_expected_cycles(mut self, expected: u64) -> TestbenchOptions {
+        let budget = expected
+            .saturating_mul(2)
+            .saturating_add(self.stimulus_overhead_cycles());
+        self.max_cycles = budget.clamp(64, u32::MAX as u64) as u32;
+        self
+    }
+
+    /// Cycles the stimulus sequence needs around the workload proper:
+    /// reset, one issue + handshake per command, and the final drain.
+    pub fn stimulus_overhead_cycles(&self) -> u64 {
+        self.reset_cycles as u64 + 2 * self.commands.len() as u64 + 8
+    }
+
+    /// A lower bound on the cycles the generated testbench must run to
+    /// reach `TB PASS`, assuming the device accepts every command
+    /// immediately.
+    pub fn min_cycles_to_pass(&self) -> u64 {
+        self.stimulus_overhead_cycles()
+    }
+
+    /// Lint check: returns a warning when the watchdog budget cannot even
+    /// cover the stimulus sequence — the generated testbench would always
+    /// time out.
+    pub fn watchdog_warning(&self) -> Option<String> {
+        let need = self.min_cycles_to_pass();
+        if (self.max_cycles as u64) < need {
+            Some(format!(
+                "watchdog budget {} cycles is below the stimulus lower bound {} — \
+                 the testbench will always TB TIMEOUT",
+                self.max_cycles, need
+            ))
+        } else {
+            None
+        }
+    }
+}
+
 /// Generates a testbench for the netlist's top module. Returns the
 /// testbench Verilog text (a `<top>_tb` module), which instantiates the
 /// top, drives clock/reset, applies the command stimulus, and finishes
@@ -76,6 +120,9 @@ pub fn generate_testbench(netlist: &Netlist, opts: &TestbenchOptions) -> String 
     }
 
     // Clock and watchdog.
+    if let Some(warning) = opts.watchdog_warning() {
+        let _ = writeln!(v, "\n  // WARNING: {warning}");
+    }
     let _ = writeln!(v, "\n  always #{} clk = ~clk;", opts.half_period);
     let _ = writeln!(
         v,
@@ -118,17 +165,22 @@ pub fn generate_testbench(netlist: &Netlist, opts: &TestbenchOptions) -> String 
 }
 
 /// Generates a testbench whose stimulus is an encoded instruction stream
-/// (the `(funct, rs1, rs2)` triples a `stellar-isa` program produces).
+/// (the `(funct, rs1, rs2)` triples a `stellar-isa` program produces),
+/// with the watchdog budget derived from the workload's expected cycle
+/// count (see [`TestbenchOptions::with_expected_cycles`]) rather than a
+/// fixed constant.
 pub fn testbench_for_program(
     netlist: &Netlist,
     instructions: &[(u8, u64, u64)],
+    expected_cycles: u64,
 ) -> String {
     generate_testbench(
         netlist,
         &TestbenchOptions {
             commands: instructions.to_vec(),
             ..TestbenchOptions::default()
-        },
+        }
+        .with_expected_cycles(expected_cycles),
     )
 }
 
@@ -178,7 +230,7 @@ mod tests {
     #[test]
     fn command_stimulus_emitted() {
         let n = demo_netlist();
-        let tb = testbench_for_program(&n, &[(1, 0x30004, 16), (6, 0x30000, 0)]);
+        let tb = testbench_for_program(&n, &[(1, 0x30004, 16), (6, 0x30000, 0)], 500);
         assert!(tb.contains("cmd_opcode = 7'd1;"));
         assert!(tb.contains("cmd_opcode = 7'd6;"));
         assert!(tb.contains("cmd_rs1 = 64'h30004;"));
@@ -197,5 +249,39 @@ mod tests {
             },
         );
         assert!(tb.contains("cycles > 123"));
+    }
+
+    #[test]
+    fn watchdog_budget_derived_from_expected_cycles() {
+        let opts = TestbenchOptions {
+            commands: vec![(6, 0, 0); 3],
+            ..TestbenchOptions::default()
+        };
+        let derived = opts.clone().with_expected_cycles(1000);
+        // 2x margin plus reset (4) + 2/command (6) + drain (8).
+        assert_eq!(derived.max_cycles, 2018);
+        assert!(derived.watchdog_warning().is_none());
+        // The budget tracks the workload, not a constant.
+        assert!(opts.clone().with_expected_cycles(100_000).max_cycles > derived.max_cycles);
+        // Tiny workloads still get the floor.
+        assert!(opts.with_expected_cycles(0).max_cycles >= 18);
+    }
+
+    #[test]
+    fn impossible_watchdog_budget_warns_in_lint_and_text() {
+        let n = demo_netlist();
+        let opts = TestbenchOptions {
+            commands: vec![(6, 0, 0); 40],
+            max_cycles: 10, // below reset + handshakes + drain
+            ..TestbenchOptions::default()
+        };
+        let warning = opts.watchdog_warning().expect("must warn");
+        assert!(warning.contains("TB TIMEOUT"));
+        let tb = generate_testbench(&n, &opts);
+        assert!(tb.contains("// WARNING:"));
+        // A derived budget never warns.
+        let fixed = opts.with_expected_cycles(50);
+        assert!(fixed.watchdog_warning().is_none());
+        assert!(!generate_testbench(&n, &fixed).contains("// WARNING:"));
     }
 }

@@ -41,7 +41,8 @@ fn injected_undeclared_identifier_caught() {
         });
         let errs = lint::check(&bad).unwrap_err();
         assert!(
-            errs.iter().any(|e| e.to_string().contains("ghost_signal_xyz")),
+            errs.iter()
+                .any(|e| e.to_string().contains("ghost_signal_xyz")),
             "module {idx}: undeclared identifier escaped lint"
         );
     }

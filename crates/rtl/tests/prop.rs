@@ -11,7 +11,9 @@ fn transform() -> impl Strategy<Value = SpaceTimeTransform> {
         SpaceTimeTransform::output_stationary(),
         SpaceTimeTransform::input_stationary(),
         SpaceTimeTransform::hexagonal(),
-        SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+        SpaceTimeTransform::output_stationary()
+            .with_time_scale(2)
+            .unwrap(),
     ])
 }
 
@@ -73,7 +75,7 @@ proptest! {
     fn testbenches_always_validate(spec in arbitrary_spec(),
                                    cmds in proptest::collection::vec((0u8..7, proptest::num::u64::ANY, proptest::num::u64::ANY), 0..5)) {
         let netlist = emit_accelerator(&compile(&spec).unwrap());
-        let tb = testbench::testbench_for_program(&netlist, &cmds);
+        let tb = testbench::testbench_for_program(&netlist, &cmds, 256);
         prop_assert!(testbench::validate_testbench(&tb, netlist.top().unwrap()).is_ok());
     }
 

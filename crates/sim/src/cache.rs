@@ -39,7 +39,10 @@ impl L2Cache {
     /// Panics if any parameter is zero or `capacity_words` is smaller than
     /// one way of lines.
     pub fn new(capacity_words: u64, ways: usize, line_words: u64, dram: DramParams) -> L2Cache {
-        assert!(capacity_words > 0 && ways > 0 && line_words > 0, "cache parameters must be non-zero");
+        assert!(
+            capacity_words > 0 && ways > 0 && line_words > 0,
+            "cache parameters must be non-zero"
+        );
         let lines = capacity_words / line_words;
         let num_sets = (lines / ways as u64).max(1);
         L2Cache {
@@ -150,7 +153,7 @@ mod tests {
     #[test]
     fn lru_eviction() {
         let mut c = small(); // 2 ways per set, 8 sets
-        // Three lines mapping to the same set (stride = sets * line = 32).
+                             // Three lines mapping to the same set (stride = sets * line = 32).
         c.access(0);
         c.access(32);
         c.access(0); // refresh line 0
@@ -167,7 +170,11 @@ mod tests {
         c.access_all(addrs.iter().copied());
         c.reset_stats();
         c.access_all(addrs.iter().copied());
-        assert!(c.hit_rate() < 0.1, "thrashing stream should not hit, rate {}", c.hit_rate());
+        assert!(
+            c.hit_rate() < 0.1,
+            "thrashing stream should not hit, rate {}",
+            c.hit_rate()
+        );
     }
 
     #[test]
@@ -177,7 +184,11 @@ mod tests {
         c.access_all(addrs.iter().copied());
         c.reset_stats();
         c.access_all(addrs.iter().copied());
-        assert!(c.hit_rate() > 0.99, "resident set must hit, rate {}", c.hit_rate());
+        assert!(
+            c.hit_rate() > 0.99,
+            "resident set must hit, rate {}",
+            c.hit_rate()
+        );
     }
 
     #[test]
@@ -188,6 +199,9 @@ mod tests {
         let ptrs: Vec<u64> = (0..1000u64).map(|n| n * 13 % 8000).collect();
         let first = cold.access_all(ptrs.iter().copied());
         let second = cold.access_all(ptrs.iter().copied());
-        assert!(second < first / 2, "warm pointer reads must be much cheaper");
+        assert!(
+            second < first / 2,
+            "warm pointer reads must be much cheaper"
+        );
     }
 }

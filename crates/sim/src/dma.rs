@@ -8,6 +8,30 @@
 //! full DRAM latency, and the control dependency (pointer → vector)
 //! serializes behind it. Raising the number of independent outstanding
 //! requests to 16 overlaps those latencies without adding bandwidth.
+//!
+//! The reliability layer ([`RetryPolicy`], [`DmaModel::reliable_contiguous_cycles`],
+//! [`DmaModel::reliable_scattered_cycles`]) models per-request response
+//! loss: a dropped response is noticed after a timeout, retried after an
+//! exponentially growing backoff, and charged to the cycle count; a
+//! duplicated response wastes one response-path beat. When a request
+//! exhausts its retries the transfer can never complete — the engine is
+//! wedged waiting on data that will not arrive — reported as
+//! [`SimError::Deadlock`].
+
+// The reliability layer must not itself panic: unwinding is denied in
+// non-test code here.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable
+    )
+)]
+
+use crate::error::{SimError, Watchdog};
+use crate::fault::{DmaFault, FaultInjector};
 
 /// DRAM timing parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -86,6 +110,7 @@ impl DmaModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
 
     #[test]
     fn contiguous_is_bandwidth_bound() {
@@ -134,10 +159,338 @@ mod tests {
     }
 
     #[test]
+    fn fault_free_reliable_matches_base_exactly() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dma = DmaModel::with_slots(4);
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let wd = Watchdog::default_budget();
+        let r = dma
+            .reliable_contiguous_cycles(8000, &RetryPolicy::exponential(), &mut inj, &wd)
+            .unwrap();
+        assert_eq!(r.cycles, dma.contiguous_cycles(8000));
+        assert_eq!((r.attempts, r.retries), (1, 0));
+        let r = dma
+            .reliable_scattered_cycles(100, 4, &RetryPolicy::exponential(), &mut inj, &wd)
+            .unwrap();
+        assert_eq!(r.cycles, dma.scattered_cycles(100, 4));
+        assert_eq!((r.attempts, r.retries), (100, 0));
+    }
+
+    #[test]
+    fn drops_cost_timeout_and_backoff() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dma = DmaModel::with_slots(1);
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.dma_drop_per_request = 0.3;
+        let mut inj = FaultInjector::new(plan);
+        let wd = Watchdog::default_budget();
+        let r = dma
+            .reliable_scattered_cycles(200, 1, &RetryPolicy::exponential(), &mut inj, &wd)
+            .unwrap();
+        assert!(r.retries > 0, "30% drop rate must retry");
+        assert!(
+            r.cycles > dma.scattered_cycles(200, 1),
+            "recovery must cost cycles"
+        );
+        assert_eq!(r.attempts, 200 + r.retries);
+        assert_eq!(inj.counts.dma_dropped, r.retries);
+    }
+
+    #[test]
+    fn retries_exhausted_is_a_deadlock() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dma = DmaModel::with_slots(1);
+        let mut plan = FaultPlan::none();
+        plan.seed = 1;
+        plan.dma_drop_per_request = 1.0; // every response lost
+        let mut inj = FaultInjector::new(plan);
+        let wd = Watchdog::default_budget();
+        let err = dma
+            .reliable_contiguous_cycles(64, &RetryPolicy::exponential(), &mut inj, &wd)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "got {err:?}");
+        // With no retries allowed, the very first drop wedges the transfer.
+        let err = dma
+            .reliable_scattered_cycles(10, 1, &RetryPolicy::none(), &mut inj, &wd)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+
+    #[test]
+    fn duplicates_waste_one_beat_each() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dma = DmaModel::with_slots(16);
+        let mut plan = FaultPlan::none();
+        plan.seed = 21;
+        plan.dma_duplicate_per_request = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let wd = Watchdog::default_budget();
+        let r = dma
+            .reliable_scattered_cycles(160, 1, &RetryPolicy::exponential(), &mut inj, &wd)
+            .unwrap();
+        assert_eq!(r.duplicate_beats, 160);
+        assert_eq!(r.cycles, dma.scattered_cycles(160, 1) + 160 / 16);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let p = RetryPolicy::exponential();
+        assert_eq!(p.backoff_cycles(1), 8);
+        assert_eq!(p.backoff_cycles(2), 16);
+        assert_eq!(p.backoff_cycles(3), 32);
+    }
+
+    #[test]
+    fn recovery_respects_watchdog() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        let dma = DmaModel::with_slots(1);
+        let mut plan = FaultPlan::none();
+        plan.seed = 2;
+        plan.dma_drop_per_request = 0.5;
+        let mut inj = FaultInjector::new(plan);
+        // Plenty of retries, so nothing wedges — but recovery cycles blow
+        // straight past a 100-cycle budget.
+        let policy = RetryPolicy {
+            max_retries: 1000,
+            base_backoff_cycles: 8,
+            timeout_cycles: 240,
+        };
+        let err = dma
+            .reliable_scattered_cycles(1000, 1, &policy, &mut inj, &Watchdog::with_budget(100))
+            .unwrap_err();
+        assert!(
+            matches!(err, SimError::WatchdogExpired { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
     fn zero_requests_zero_cycles() {
         let dma = DmaModel::with_slots(4);
         assert_eq!(dma.contiguous_cycles(0), 0);
         assert_eq!(dma.scattered_cycles(0, 8), 0);
         assert_eq!(dma.pointer_chase_cycles(0, 3), 0);
+    }
+
+    #[test]
+    fn zero_words_skip_the_reliable_machinery() {
+        // A zero-length transfer issues no request, so even a plan that
+        // drops every response costs nothing and draws no randomness.
+        let dma = DmaModel::with_slots(4);
+        let mut plan = FaultPlan::none();
+        plan.dma_drop_per_request = 1.0;
+        let mut inj = FaultInjector::new(plan);
+        let w = Watchdog::default_budget();
+        let rep = dma
+            .reliable_contiguous_cycles(0, &RetryPolicy::none(), &mut inj, &w)
+            .unwrap();
+        assert_eq!(rep, DmaTransferReport::default());
+        let rep = dma
+            .reliable_scattered_cycles(0, 8, &RetryPolicy::none(), &mut inj, &w)
+            .unwrap();
+        assert_eq!(rep, DmaTransferReport::default());
+        assert_eq!(inj.counts.dma_dropped, 0);
+    }
+
+    #[test]
+    fn more_slots_than_latency_cycles_is_well_behaved() {
+        // With more outstanding-request slots than latency cycles, the
+        // issue rate (one request per cycle) becomes the cap: extra slots
+        // stop helping but never hurt or underflow.
+        let narrow = DmaModel::with_slots(60); // slots == latency
+        let wide = DmaModel::with_slots(1024); // slots >> latency
+        for reqs in [1u64, 7, 100] {
+            let n = narrow.scattered_cycles(reqs, 1);
+            let w = wide.scattered_cycles(reqs, 1);
+            assert!(w <= n, "more slots must never slow down ({w} > {n})");
+            // Latency + at least one issue cycle per request.
+            assert!(w >= narrow.dram.latency_cycles + reqs.min(1));
+        }
+        // Pointer chases collapse to one serial chain's latency.
+        assert_eq!(
+            wide.pointer_chase_cycles(100, 3),
+            3 * wide.dram.latency_cycles
+        );
+    }
+
+    #[test]
+    fn recovery_penalty_monotone_in_retry_count() {
+        // With the same seed, a request that needs n retries costs
+        // strictly more cycles at every additional retry the policy
+        // grants (timeout + growing backoff per round).
+        let dma = DmaModel::with_slots(1);
+        let mut cycles_at = Vec::new();
+        for max_retries in 1u32..=4 {
+            let mut plan = FaultPlan::none();
+            plan.seed = 11;
+            plan.dma_drop_per_request = 0.9;
+            let mut inj = FaultInjector::new(plan);
+            let policy = RetryPolicy {
+                max_retries,
+                base_backoff_cycles: 8,
+                timeout_cycles: 240,
+            };
+            match dma.reliable_contiguous_cycles(64, &policy, &mut inj, &Watchdog::default_budget())
+            {
+                Ok(rep) => cycles_at.push(Some(rep.cycles)),
+                Err(_) => cycles_at.push(None),
+            }
+        }
+        // Every successful run with more retry rounds used at least as
+        // many cycles as the previous successful one.
+        let succeeded: Vec<u64> = cycles_at.iter().flatten().copied().collect();
+        for pair in succeeded.windows(2) {
+            assert!(pair[1] >= pair[0], "{cycles_at:?}");
+        }
+    }
+}
+
+/// Retry behaviour for lost DMA responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per request before declaring the transfer wedged.
+    pub max_retries: u32,
+    /// Backoff before the first retry, cycles; doubles every further retry.
+    pub base_backoff_cycles: u64,
+    /// Cycles waited before a missing response is declared lost.
+    pub timeout_cycles: u64,
+}
+
+impl RetryPolicy {
+    /// No retries: the first dropped response wedges the transfer.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff_cycles: 0,
+            timeout_cycles: 240,
+        }
+    }
+
+    /// The default resilient policy: 3 retries, exponential backoff from 8
+    /// cycles, 240-cycle (4× default DRAM latency) timeout.
+    pub fn exponential() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff_cycles: 8,
+            timeout_cycles: 240,
+        }
+    }
+
+    /// The backoff before retry number `retry` (1-based): `base << (retry-1)`.
+    pub fn backoff_cycles(&self, retry: u32) -> u64 {
+        self.base_backoff_cycles
+            .saturating_mul(1u64 << (retry.saturating_sub(1)).min(62))
+    }
+}
+
+/// The outcome of a reliable transfer: cycles including every recovery
+/// penalty, plus how much recovering cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DmaTransferReport {
+    /// Total cycles, fault-free base plus recovery penalties.
+    pub cycles: u64,
+    /// Request attempts issued (requests + retries).
+    pub attempts: u64,
+    /// Retries among those attempts.
+    pub retries: u64,
+    /// Extra response-path beats burned by duplicated responses.
+    pub duplicate_beats: u64,
+}
+
+impl DmaModel {
+    /// Drives one logical request through the injector and retry policy,
+    /// returning its recovery penalty in cycles (0 when delivered clean on
+    /// the first attempt).
+    fn drive_request(
+        &self,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        report: &mut DmaTransferReport,
+    ) -> Result<u64, SimError> {
+        let mut penalty = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            report.attempts += 1;
+            match injector.dma_response_fault() {
+                DmaFault::None => return Ok(penalty),
+                DmaFault::Duplicated => {
+                    report.duplicate_beats += 1;
+                    return Ok(penalty + 1);
+                }
+                DmaFault::Dropped => {
+                    if attempt > retry.max_retries {
+                        return Err(SimError::Deadlock {
+                            cycle: penalty + retry.timeout_cycles,
+                            detail: format!(
+                                "dma response lost, {} retries exhausted",
+                                retry.max_retries
+                            ),
+                        });
+                    }
+                    report.retries += 1;
+                    penalty += retry.timeout_cycles + retry.backoff_cycles(attempt);
+                }
+            }
+        }
+    }
+
+    /// [`DmaModel::contiguous_cycles`] under response loss: the single
+    /// burst is retried per the policy, with timeout and backoff cycles
+    /// charged on every loss. Fault-free plans reproduce the base cycle
+    /// count exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when retries are exhausted;
+    /// [`SimError::WatchdogExpired`] when recovery pushes the transfer past
+    /// the budget.
+    pub fn reliable_contiguous_cycles(
+        &self,
+        words: u64,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        watchdog: &Watchdog,
+    ) -> Result<DmaTransferReport, SimError> {
+        let mut report = DmaTransferReport::default();
+        if words == 0 {
+            return Ok(report);
+        }
+        let penalty = self.drive_request(retry, injector, &mut report)?;
+        report.cycles = self.contiguous_cycles(words) + penalty;
+        watchdog.check_total(report.cycles, "reliable contiguous dma")?;
+        Ok(report)
+    }
+
+    /// [`DmaModel::scattered_cycles`] under response loss: every request is
+    /// retried independently, and recovery penalties overlap across the
+    /// outstanding-request slots just like the base latencies do.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Deadlock`] when any request exhausts its retries;
+    /// [`SimError::WatchdogExpired`] past the budget.
+    pub fn reliable_scattered_cycles(
+        &self,
+        requests: u64,
+        words_each: u64,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        watchdog: &Watchdog,
+    ) -> Result<DmaTransferReport, SimError> {
+        let mut report = DmaTransferReport::default();
+        if requests == 0 {
+            return Ok(report);
+        }
+        let mut penalty_sum = 0u64;
+        for _ in 0..requests {
+            penalty_sum += self.drive_request(retry, injector, &mut report)?;
+        }
+        // Recovery penalties of independent requests overlap across slots.
+        let overlapped = (penalty_sum as f64 / self.slots.max(1) as f64).ceil() as u64;
+        report.cycles = self.scattered_cycles(requests, words_each) + overlapped;
+        watchdog.check_total(report.cycles, "reliable scattered dma")?;
+        Ok(report)
     }
 }

@@ -1,0 +1,512 @@
+//! Deterministic fault injection and the SECDED protection model.
+//!
+//! A generated accelerator deployed at scale sees transient upsets: bit
+//! flips in accumulators and regfiles, corrupted SRAM reads, dropped or
+//! duplicated DMA responses, and hard stuck-at PE failures. This module
+//! injects those faults into the cycle-level simulators under a
+//! seed-driven plan — the same [`FaultPlan`] always produces the same fault
+//! sequence — and models the SECDED (single-error-correct,
+//! double-error-detect) option on SRAM and regfile words, so a sweep can
+//! measure how much silent data corruption ECC buys back and what the
+//! area/energy overhead costs (see `stellar-area`'s ECC hooks).
+
+// The resilience layer must not itself panic: unwinding is denied in
+// non-test code here.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable
+    )
+)]
+
+use stellar_tensor::rng::Rng64;
+
+/// Whether memories and accumulators carry SECDED check bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EccMode {
+    /// Raw words: every injected flip lands in data.
+    None,
+    /// SECDED-protected words: single-bit events are corrected in place,
+    /// double-bit events are detected (the consumer sees a flagged word).
+    Secded,
+}
+
+/// A deterministic fault-injection plan. Equal plans (including the seed)
+/// inject identical fault sequences into identical simulations.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// PRNG seed; the sole source of randomness.
+    pub seed: u64,
+    /// Probability of a transient accumulator/regfile upset per MAC.
+    pub bit_flip_per_mac: f64,
+    /// Probability of corrupting each SRAM read.
+    pub sram_corrupt_per_read: f64,
+    /// Probability a DMA response is dropped (never arrives).
+    pub dma_drop_per_request: f64,
+    /// Probability a DMA response is duplicated (arrives twice, wasting a
+    /// response slot cycle).
+    pub dma_duplicate_per_request: f64,
+    /// Fraction of upset events that flip *two* bits of a word — the case
+    /// SECDED can only detect, not correct.
+    pub multi_bit_fraction: f64,
+    /// A hard stuck-at-faulty PE lane, if any (sparse-array lanes).
+    pub stuck_lane: Option<usize>,
+    /// ECC protection on SRAM/regfile words.
+    pub ecc: EccMode,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: probabilities zero, no stuck lane, no ECC.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            bit_flip_per_mac: 0.0,
+            sram_corrupt_per_read: 0.0,
+            dma_drop_per_request: 0.0,
+            dma_duplicate_per_request: 0.0,
+            multi_bit_fraction: 0.05,
+            stuck_lane: None,
+            ecc: EccMode::None,
+        }
+    }
+
+    /// A transient-upset plan at the given per-event rate.
+    pub fn transient(seed: u64, rate: f64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            bit_flip_per_mac: rate,
+            sram_corrupt_per_read: rate,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// The same plan with SECDED protection enabled.
+    pub fn with_ecc(mut self) -> FaultPlan {
+        self.ecc = EccMode::Secded;
+        self
+    }
+
+    /// True if the plan can never inject anything.
+    pub fn is_fault_free(&self) -> bool {
+        self.bit_flip_per_mac <= 0.0
+            && self.sram_corrupt_per_read <= 0.0
+            && self.dma_drop_per_request <= 0.0
+            && self.dma_duplicate_per_request <= 0.0
+            && self.stuck_lane.is_none()
+    }
+}
+
+/// What happened to one DMA response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DmaFault {
+    /// Delivered normally.
+    None,
+    /// Dropped: the requester times out and must retry.
+    Dropped,
+    /// Duplicated: delivered, but a spurious second beat occupies the
+    /// response path for one extra cycle.
+    Duplicated,
+}
+
+/// Counters of everything the injector did and how protection responded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Transient upset events injected (accumulator + SRAM).
+    pub upsets: u64,
+    /// Upsets corrected in place by SECDED.
+    pub corrected: u64,
+    /// Double-bit upsets detected (flagged) by SECDED.
+    pub detected: u64,
+    /// Upsets that reached data unprotected — silent-data-corruption
+    /// candidates.
+    pub sdc_candidates: u64,
+    /// DMA responses dropped.
+    pub dma_dropped: u64,
+    /// DMA responses duplicated.
+    pub dma_duplicated: u64,
+}
+
+impl FaultCounts {
+    /// Total events injected across all categories.
+    pub fn total_injected(&self) -> u64 {
+        self.upsets + self.dma_dropped + self.dma_duplicated
+    }
+}
+
+/// Classification of a completed (or failed) faulty run against its golden
+/// result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RunOutcome {
+    /// Output matches golden; nothing was injected or every event missed
+    /// architectural state.
+    Correct,
+    /// Output matches golden because ECC corrected every upset.
+    Corrected,
+    /// Output matches golden and at least one upset was detected (flagged)
+    /// — the error was contained, not silent.
+    Detected,
+    /// Output diverges from golden with no detection: silent data
+    /// corruption.
+    SilentDataCorruption,
+    /// The run aborted (deadlock, watchdog, retries exhausted).
+    Hung,
+}
+
+impl RunOutcome {
+    /// Classifies a run that *completed* with the given numerical verdict.
+    /// Aborted runs are [`RunOutcome::Hung`], decided by the caller.
+    pub fn classify(counts: &FaultCounts, output_matches_golden: bool) -> RunOutcome {
+        if !output_matches_golden {
+            RunOutcome::SilentDataCorruption
+        } else if counts.detected > 0 {
+            RunOutcome::Detected
+        } else if counts.corrected > 0 {
+            RunOutcome::Corrected
+        } else {
+            RunOutcome::Correct
+        }
+    }
+
+    /// A short stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunOutcome::Correct => "correct",
+            RunOutcome::Corrected => "corrected",
+            RunOutcome::Detected => "detected",
+            RunOutcome::SilentDataCorruption => "sdc",
+            RunOutcome::Hung => "hung",
+        }
+    }
+}
+
+/// The seed-driven fault injector threaded through the simulators.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: Rng64,
+    /// Event counters, updated as the simulation consults the injector.
+    pub counts: FaultCounts,
+}
+
+impl FaultInjector {
+    /// An injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector {
+            plan,
+            rng: Rng64::seed_from_u64(plan.seed),
+            counts: FaultCounts::default(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// True if `lane` is the hard-faulty lane of the plan.
+    pub fn lane_stuck(&self, lane: usize) -> bool {
+        self.plan.stuck_lane == Some(lane)
+    }
+
+    /// Possibly upsets an accumulator value after a MAC. Under SECDED the
+    /// upset is corrected (single-bit) or detected (double-bit) and the
+    /// value survives; unprotected, a mantissa bit flips and the corrupted
+    /// value propagates.
+    pub fn perturb_accumulator(&mut self, v: f64) -> f64 {
+        self.upset(v, self.plan.bit_flip_per_mac)
+    }
+
+    /// Possibly corrupts a value read from SRAM, under the same protection
+    /// rules as [`FaultInjector::perturb_accumulator`].
+    pub fn corrupt_sram_read(&mut self, v: f64) -> f64 {
+        self.upset(v, self.plan.sram_corrupt_per_read)
+    }
+
+    fn upset(&mut self, v: f64, p: f64) -> f64 {
+        if !self.rng.chance(p) {
+            return v;
+        }
+        self.counts.upsets += 1;
+        let double_bit = self.rng.chance(self.plan.multi_bit_fraction);
+        match self.plan.ecc {
+            EccMode::Secded => {
+                if double_bit {
+                    // Detected: the word is flagged and refetched/zeroed by
+                    // the consumer; the clean value survives but the event
+                    // is visible.
+                    self.counts.detected += 1;
+                } else {
+                    self.counts.corrected += 1;
+                }
+                v
+            }
+            EccMode::None => {
+                self.counts.sdc_candidates += 1;
+                // Flip one mantissa bit (0..52) so the corruption stays a
+                // finite number rather than exploding to inf/NaN.
+                let bit = self.rng.bit_index(52);
+                f64::from_bits(v.to_bits() ^ (1u64 << bit))
+            }
+        }
+    }
+
+    /// Draws the fate of one DMA response.
+    pub fn dma_response_fault(&mut self) -> DmaFault {
+        if self.rng.chance(self.plan.dma_drop_per_request) {
+            self.counts.dma_dropped += 1;
+            DmaFault::Dropped
+        } else if self.rng.chance(self.plan.dma_duplicate_per_request) {
+            self.counts.dma_duplicated += 1;
+            DmaFault::Duplicated
+        } else {
+            DmaFault::None
+        }
+    }
+}
+
+/// A functional (39,32) Hamming-SECDED code: 32 data bits, 6 Hamming check
+/// bits, and one overall parity bit. Used by the tests to validate the
+/// correct/detect semantics the injector assumes, and by `stellar-area` to
+/// size the storage overhead.
+pub mod secded {
+    /// The number of check bits SECDED needs for `data_bits` of payload:
+    /// the smallest `m` with `2^m >= data_bits + m + 1`, plus the overall
+    /// parity bit. For 32 data bits this is 7.
+    pub fn check_bits(data_bits: u32) -> u32 {
+        let mut m = 1u32;
+        while (1u64 << m) < data_bits as u64 + m as u64 + 1 {
+            m += 1;
+        }
+        m + 1
+    }
+
+    /// The total stored width of a SECDED-protected word.
+    pub fn code_width(data_bits: u32) -> u32 {
+        data_bits + check_bits(data_bits)
+    }
+
+    /// The outcome of decoding one codeword.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum Decode {
+        /// No error.
+        Clean(u32),
+        /// A single-bit error was corrected.
+        Corrected(u32),
+        /// A double-bit error was detected; the data is not trustworthy.
+        DoubleError,
+    }
+
+    // Codeword layout: bit positions 1..=38 hold Hamming positions (check
+    // bits at powers of two), bit 0 holds the overall parity.
+
+    fn data_positions() -> Vec<u32> {
+        (1u32..=38).filter(|p| !p.is_power_of_two()).collect()
+    }
+
+    /// Encodes 32 data bits into a 39-bit SECDED codeword.
+    pub fn encode(data: u32) -> u64 {
+        let mut code: u64 = 0;
+        for (i, p) in data_positions().into_iter().enumerate() {
+            if data >> i & 1 == 1 {
+                code |= 1u64 << p;
+            }
+        }
+        // Hamming check bits: parity over positions with that bit set.
+        for c in [1u32, 2, 4, 8, 16, 32] {
+            let mut parity = 0u64;
+            for p in 1u32..=38 {
+                if p & c != 0 {
+                    parity ^= code >> p & 1;
+                }
+            }
+            code |= parity << c;
+        }
+        // Overall parity over the whole word (position 0 included at 0).
+        let overall = (code.count_ones() & 1) as u64;
+        code | overall
+    }
+
+    /// Decodes a 39-bit codeword, correcting single-bit errors and
+    /// detecting double-bit errors.
+    pub fn decode(code: u64) -> Decode {
+        let mut syndrome = 0u32;
+        for c in [1u32, 2, 4, 8, 16, 32] {
+            let mut parity = 0u64;
+            for p in 1u32..=38 {
+                if p & c != 0 {
+                    parity ^= code >> p & 1;
+                }
+            }
+            if parity != 0 {
+                syndrome |= c;
+            }
+        }
+        let overall_ok = code.count_ones() & 1 == 0;
+
+        let extract = |code: u64| -> u32 {
+            let mut data = 0u32;
+            for (i, p) in data_positions().into_iter().enumerate() {
+                if code >> p & 1 == 1 {
+                    data |= 1 << i;
+                }
+            }
+            data
+        };
+
+        match (syndrome, overall_ok) {
+            (0, true) => Decode::Clean(extract(code)),
+            // Overall parity wrong: exactly one bit flipped. Syndrome 0
+            // means it was the parity bit itself.
+            (0, false) => Decode::Corrected(extract(code)),
+            (s, false) if s <= 38 => Decode::Corrected(extract(code ^ (1u64 << s))),
+            // Syndrome set but overall parity consistent: two bits flipped.
+            _ => Decode::DoubleError,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn check_bit_counts() {
+            assert_eq!(check_bits(8), 5);
+            assert_eq!(check_bits(16), 6);
+            assert_eq!(check_bits(32), 7);
+            assert_eq!(check_bits(64), 8);
+            assert_eq!(code_width(32), 39);
+        }
+
+        #[test]
+        fn clean_round_trip() {
+            for data in [0u32, 1, 0xdead_beef, u32::MAX, 0x5555_5555] {
+                assert_eq!(decode(encode(data)), Decode::Clean(data));
+            }
+        }
+
+        #[test]
+        fn corrects_every_single_bit_flip() {
+            let data = 0xcafe_f00d;
+            let code = encode(data);
+            for bit in 0..39u32 {
+                let got = decode(code ^ (1u64 << bit));
+                assert_eq!(got, Decode::Corrected(data), "flip bit {bit}");
+            }
+        }
+
+        #[test]
+        fn detects_every_double_bit_flip() {
+            let data = 0x1234_5678;
+            let code = encode(data);
+            for b1 in 0..39u32 {
+                for b2 in (b1 + 1)..39u32 {
+                    let got = decode(code ^ (1u64 << b1) ^ (1u64 << b2));
+                    assert_eq!(got, Decode::DoubleError, "flip bits {b1},{b2}");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_free_plan_injects_nothing() {
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        for i in 0..1000 {
+            assert_eq!(inj.perturb_accumulator(i as f64), i as f64);
+            assert_eq!(inj.corrupt_sram_read(i as f64), i as f64);
+            assert_eq!(inj.dma_response_fault(), DmaFault::None);
+        }
+        assert_eq!(inj.counts, FaultCounts::default());
+        assert!(FaultPlan::none().is_fault_free());
+        assert!(!FaultPlan::transient(1, 0.1).is_fault_free());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let plan = FaultPlan::transient(99, 0.05);
+        let run = |plan: FaultPlan| {
+            let mut inj = FaultInjector::new(plan);
+            let vals: Vec<f64> = (0..500)
+                .map(|i| inj.perturb_accumulator(i as f64))
+                .collect();
+            (vals, inj.counts)
+        };
+        let (v1, c1) = run(plan);
+        let (v2, c2) = run(plan);
+        assert_eq!(v1, v2);
+        assert_eq!(c1, c2);
+        let (v3, _) = run(FaultPlan::transient(100, 0.05));
+        assert_ne!(v1, v3, "different seeds must inject differently");
+    }
+
+    #[test]
+    fn unprotected_upsets_corrupt_values() {
+        let mut inj = FaultInjector::new(FaultPlan::transient(7, 1.0));
+        let v = inj.perturb_accumulator(1.5);
+        assert_ne!(v, 1.5);
+        assert!(v.is_finite(), "mantissa flips stay finite");
+        assert_eq!(inj.counts.upsets, 1);
+        assert_eq!(inj.counts.sdc_candidates, 1);
+        assert_eq!(inj.counts.corrected, 0);
+    }
+
+    #[test]
+    fn ecc_preserves_values_and_classifies_events() {
+        let mut inj = FaultInjector::new(FaultPlan::transient(7, 1.0).with_ecc());
+        for i in 0..200 {
+            assert_eq!(inj.perturb_accumulator(i as f64), i as f64);
+        }
+        assert_eq!(inj.counts.upsets, 200);
+        assert_eq!(inj.counts.sdc_candidates, 0);
+        assert_eq!(inj.counts.corrected + inj.counts.detected, 200);
+        assert!(
+            inj.counts.corrected > inj.counts.detected,
+            "most upsets are single-bit"
+        );
+        assert!(inj.counts.detected > 0, "some upsets are double-bit");
+    }
+
+    #[test]
+    fn dma_faults_follow_rates() {
+        let mut plan = FaultPlan::none();
+        plan.seed = 3;
+        plan.dma_drop_per_request = 0.5;
+        let mut inj = FaultInjector::new(plan);
+        let drops = (0..1000)
+            .filter(|_| inj.dma_response_fault() == DmaFault::Dropped)
+            .count();
+        assert!((400..600).contains(&drops), "got {drops}");
+        assert_eq!(inj.counts.dma_dropped as usize, drops);
+    }
+
+    #[test]
+    fn stuck_lane_identified() {
+        let mut plan = FaultPlan::none();
+        plan.stuck_lane = Some(2);
+        let inj = FaultInjector::new(plan);
+        assert!(inj.lane_stuck(2));
+        assert!(!inj.lane_stuck(0));
+    }
+
+    #[test]
+    fn outcome_classification() {
+        let mut c = FaultCounts::default();
+        assert_eq!(RunOutcome::classify(&c, true), RunOutcome::Correct);
+        c.corrected = 2;
+        assert_eq!(RunOutcome::classify(&c, true), RunOutcome::Corrected);
+        c.detected = 1;
+        assert_eq!(RunOutcome::classify(&c, true), RunOutcome::Detected);
+        assert_eq!(
+            RunOutcome::classify(&c, false),
+            RunOutcome::SilentDataCorruption
+        );
+        assert_eq!(RunOutcome::SilentDataCorruption.label(), "sdc");
+    }
+}

@@ -10,6 +10,7 @@
 
 use stellar_area::TrafficCounts;
 
+use crate::error::{SimError, Watchdog};
 use crate::stats::{SimStats, Utilization};
 
 /// Parameters of a weight-stationary GEMM engine.
@@ -78,7 +79,29 @@ impl GemmBreakdown {
 }
 
 /// Cycles for an `M×K×N` GEMM on the engine, tiled to the array shape.
-pub fn gemm_cycles(m: usize, k: usize, n: usize, p: &GemmParams) -> GemmBreakdown {
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for a degenerate engine (empty
+/// array, non-positive scratchpad bandwidth).
+pub fn gemm_cycles(
+    m: usize,
+    k: usize,
+    n: usize,
+    p: &GemmParams,
+) -> Result<GemmBreakdown, SimError> {
+    if p.array_rows == 0 || p.array_cols == 0 {
+        return Err(SimError::InvalidConfig(format!(
+            "empty array {}x{}",
+            p.array_rows, p.array_cols
+        )));
+    }
+    if p.mem_words_per_cycle <= 0.0 || p.mem_words_per_cycle.is_nan() {
+        return Err(SimError::InvalidConfig(format!(
+            "non-positive scratchpad bandwidth {}",
+            p.mem_words_per_cycle
+        )));
+    }
     let tiles_k = k.div_ceil(p.array_rows).max(1);
     let tiles_n = n.div_ceil(p.array_cols).max(1);
     let num_tiles = (tiles_k * tiles_n) as u64;
@@ -103,21 +126,45 @@ pub fn gemm_cycles(m: usize, k: usize, n: usize, p: &GemmParams) -> GemmBreakdow
     let mem_cycles = (words / p.mem_words_per_cycle).ceil() as u64;
     let mem_stall = mem_cycles.saturating_sub(stream); // only the exposed part
 
-    GemmBreakdown {
+    Ok(GemmBreakdown {
         stream,
         fill,
         overhead,
         mem_stall,
-    }
+    })
 }
 
-/// Simulates a GEMM and returns full stats (cycles, utilization, traffic).
-pub fn layer_utilization(m: usize, k: usize, n: usize, p: &GemmParams) -> SimStats {
-    let b = gemm_cycles(m, k, n, p);
+/// Simulates a GEMM and returns full stats (cycles, utilization, traffic),
+/// under the default watchdog budget.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for a degenerate engine and
+/// [`SimError::WatchdogExpired`] if the layer needs more cycles than the
+/// budget ([`layer_utilization_budgeted`] picks the budget).
+pub fn layer_utilization(
+    m: usize,
+    k: usize,
+    n: usize,
+    p: &GemmParams,
+) -> Result<SimStats, SimError> {
+    layer_utilization_budgeted(m, k, n, p, &Watchdog::default_budget())
+}
+
+/// [`layer_utilization`] with an explicit cycle budget.
+pub fn layer_utilization_budgeted(
+    m: usize,
+    k: usize,
+    n: usize,
+    p: &GemmParams,
+    watchdog: &Watchdog,
+) -> Result<SimStats, SimError> {
+    let b = gemm_cycles(m, k, n, p)?;
     let cycles = b.total();
+    watchdog.check_total(cycles, "gemm layer")?;
     let pes = (p.array_rows * p.array_cols) as u64;
     let macs = (m * k * n) as u64;
-    SimStats {
+    Ok(SimStats {
         cycles,
         utilization: Utilization {
             busy: macs, // one MAC per PE-cycle of useful work
@@ -130,7 +177,7 @@ pub fn layer_utilization(m: usize, k: usize, n: usize, p: &GemmParams) -> SimSta
             dram_words: (m * k + k * n + m * n) as u64,
             pe_cycles: cycles * pes,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -140,7 +187,7 @@ mod tests {
     #[test]
     fn big_square_gemm_high_utilization() {
         let p = GemmParams::handwritten_gemmini();
-        let s = layer_utilization(1024, 1024, 1024, &p);
+        let s = layer_utilization(1024, 1024, 1024, &p).unwrap();
         assert!(
             s.utilization.fraction() > 0.85,
             "handwritten utilization {:.3} too low",
@@ -152,8 +199,8 @@ mod tests {
     fn stellar_util_is_somewhat_lower() {
         // Figure 16a: the Stellar-generated Gemmini reaches ~90% of the
         // hand-written design's utilization.
-        let hand = layer_utilization(512, 512, 512, &GemmParams::handwritten_gemmini());
-        let stellar = layer_utilization(512, 512, 512, &GemmParams::stellar_gemmini());
+        let hand = layer_utilization(512, 512, 512, &GemmParams::handwritten_gemmini()).unwrap();
+        let stellar = layer_utilization(512, 512, 512, &GemmParams::stellar_gemmini()).unwrap();
         let ratio = stellar.utilization.fraction() / hand.utilization.fraction();
         assert!(
             (0.80..1.0).contains(&ratio),
@@ -164,14 +211,14 @@ mod tests {
     #[test]
     fn small_gemms_waste_the_array() {
         let p = GemmParams::handwritten_gemmini();
-        let small = layer_utilization(8, 8, 8, &p);
-        let big = layer_utilization(512, 512, 512, &p);
+        let small = layer_utilization(8, 8, 8, &p).unwrap();
+        let big = layer_utilization(512, 512, 512, &p).unwrap();
         assert!(small.utilization.fraction() < big.utilization.fraction());
     }
 
     #[test]
     fn breakdown_sums() {
-        let b = gemm_cycles(256, 64, 64, &GemmParams::stellar_gemmini());
+        let b = gemm_cycles(256, 64, 64, &GemmParams::stellar_gemmini()).unwrap();
         assert_eq!(b.total(), b.stream + b.fill + b.overhead + b.mem_stall);
         assert!(b.overhead > 0);
         assert!(b.fill > GemmParams::stellar_gemmini().array_rows as u64);
@@ -181,15 +228,40 @@ mod tests {
     fn bandwidth_starvation_stalls() {
         let mut p = GemmParams::handwritten_gemmini();
         p.mem_words_per_cycle = 0.25;
-        let starved = gemm_cycles(128, 128, 128, &p);
+        let starved = gemm_cycles(128, 128, 128, &p).unwrap();
         assert!(starved.mem_stall > 0, "expected memory stalls at 0.25 w/c");
-        let fast = gemm_cycles(128, 128, 128, &GemmParams::handwritten_gemmini());
+        let fast = gemm_cycles(128, 128, 128, &GemmParams::handwritten_gemmini()).unwrap();
         assert_eq!(fast.mem_stall, 0);
     }
 
     #[test]
+    fn degenerate_engines_are_invalid_config() {
+        let mut p = GemmParams::handwritten_gemmini();
+        p.array_rows = 0;
+        assert!(matches!(
+            gemm_cycles(8, 8, 8, &p),
+            Err(SimError::InvalidConfig(_))
+        ));
+        let mut p = GemmParams::handwritten_gemmini();
+        p.mem_words_per_cycle = 0.0;
+        assert!(matches!(
+            layer_utilization(8, 8, 8, &p),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn layer_respects_watchdog_budget() {
+        let p = GemmParams::handwritten_gemmini();
+        let need = layer_utilization(128, 128, 128, &p).unwrap().cycles;
+        let err = layer_utilization_budgeted(128, 128, 128, &p, &Watchdog::with_budget(need - 1))
+            .unwrap_err();
+        assert!(matches!(err, SimError::WatchdogExpired { .. }));
+    }
+
+    #[test]
     fn macs_counted_exactly() {
-        let s = layer_utilization(10, 20, 30, &GemmParams::handwritten_gemmini());
+        let s = layer_utilization(10, 20, 30, &GemmParams::handwritten_gemmini()).unwrap();
         assert_eq!(s.traffic.macs, 10 * 20 * 30);
     }
 }

@@ -17,12 +17,22 @@
 //! * [`merger`] — row-partitioned (GAMMA-like) and flattened (SpArch-like)
 //!   merger models (Figures 18 and 19).
 //! * [`dma`] — a DMA/DRAM model separating contiguous bursts from
-//!   latency-bound scattered requests (the §VI-C bottleneck study).
+//!   latency-bound scattered requests (the §VI-C bottleneck study), with an
+//!   optional reliability layer (per-request failure, timeout, and
+//!   retry-with-backoff).
 //! * [`cache`] — a shared L2 model (the §IV-F Chipyard mitigation).
 //! * [`stats`] — shared counters and utilization accounting.
+//! * [`fault`] — deterministic seed-driven fault injection (bit flips,
+//!   dropped/duplicated DMA responses, stuck-at PEs, SRAM corruption) and
+//!   the SECDED protection model.
+//! * [`error`] — [`SimError`] and the [`Watchdog`] cycle budget that bounds
+//!   every simulation loop: all `simulate_*` entry points return `Result`
+//!   and terminate on deadlock or budget exhaustion instead of hanging.
 
 pub mod cache;
 pub mod dma;
+pub mod error;
+pub mod fault;
 pub mod gemm;
 pub mod merger;
 pub mod sparse;
@@ -30,9 +40,17 @@ pub mod stats;
 pub mod systolic;
 
 pub use cache::L2Cache;
-pub use dma::{DmaModel, DramParams};
+pub use dma::{DmaModel, DmaTransferReport, DramParams, RetryPolicy};
+pub use error::{SimError, Watchdog, DEFAULT_WATCHDOG_BUDGET};
+pub use fault::{DmaFault, EccMode, FaultCounts, FaultInjector, FaultPlan, RunOutcome};
 pub use gemm::{gemm_cycles, layer_utilization, GemmBreakdown, GemmParams};
 pub use merger::{rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger};
-pub use sparse::{simulate_sparse_matmul, BalancePolicy, SparseArrayParams, SparseSimResult};
+pub use sparse::{
+    simulate_sparse_matmul, simulate_sparse_matmul_faulty, BalancePolicy, SparseArrayParams,
+    SparseSimResult,
+};
 pub use stats::{SimStats, Utilization};
-pub use systolic::{simulate_os_matmul, simulate_ws_matmul, WsResult};
+pub use systolic::{
+    simulate_os_matmul, simulate_os_matmul_faulty, simulate_ws_matmul, simulate_ws_matmul_faulty,
+    WsResult,
+};

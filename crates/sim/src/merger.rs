@@ -11,6 +11,7 @@
 
 use stellar_tensor::ops::{merge_fibers, Fiber, PartialMatrix};
 
+use crate::error::{SimError, Watchdog};
 use crate::stats::Utilization;
 
 /// Merger throughput statistics.
@@ -40,11 +41,25 @@ pub trait Merger {
     /// Maximum merged elements per cycle.
     fn max_throughput(&self) -> usize;
 
-    /// Simulates merging one batch of per-row fiber groups. `rows[r]` holds
-    /// the fibers (one per partial matrix) contributing to output row `r`.
-    /// Returns the stats; the merged values themselves are checked against
-    /// [`merge_fibers`] in tests.
-    fn simulate(&self, rows: &[Vec<Fiber>]) -> MergeStats;
+    /// Simulates merging one batch of per-row fiber groups under an
+    /// explicit cycle budget. `rows[r]` holds the fibers (one per partial
+    /// matrix) contributing to output row `r`. The merged values themselves
+    /// are checked against [`merge_fibers`] in tests.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::WatchdogExpired`] if the merge needs more cycles
+    /// than the watchdog allows.
+    fn simulate_budgeted(
+        &self,
+        rows: &[Vec<Fiber>],
+        watchdog: &Watchdog,
+    ) -> Result<MergeStats, SimError>;
+
+    /// [`Merger::simulate_budgeted`] under the default watchdog budget.
+    fn simulate(&self, rows: &[Vec<Fiber>]) -> Result<MergeStats, SimError> {
+        self.simulate_budgeted(rows, &Watchdog::default_budget())
+    }
 }
 
 /// A GAMMA-style row-partitioned merger: `lanes` PEs, each merging whole
@@ -72,7 +87,11 @@ impl Merger for RowPartitionedMerger {
         self.lanes
     }
 
-    fn simulate(&self, rows: &[Vec<Fiber>]) -> MergeStats {
+    fn simulate_budgeted(
+        &self,
+        rows: &[Vec<Fiber>],
+        watchdog: &Watchdog,
+    ) -> Result<MergeStats, SimError> {
         // Per-row output length (the lane busy time for that row).
         let row_cost: Vec<u64> = rows
             .iter()
@@ -90,15 +109,16 @@ impl Merger for RowPartitionedMerger {
             lane_time[lane] += cost + self.row_switch_cycles;
         }
         let cycles = lane_time.iter().copied().max().unwrap_or(0);
+        watchdog.check_total(cycles, "row-partitioned merge")?;
         let busy: u64 = lane_time.iter().sum();
-        MergeStats {
+        Ok(MergeStats {
             cycles,
             merged_elements,
             utilization: Utilization {
                 busy,
                 total: cycles * self.lanes as u64,
             },
-        }
+        })
     }
 }
 
@@ -128,21 +148,26 @@ impl Merger for FlattenedMerger {
         self.width
     }
 
-    fn simulate(&self, rows: &[Vec<Fiber>]) -> MergeStats {
+    fn simulate_budgeted(
+        &self,
+        rows: &[Vec<Fiber>],
+        watchdog: &Watchdog,
+    ) -> Result<MergeStats, SimError> {
         let merged_elements: u64 = rows
             .iter()
             .map(|fibers| merge_fibers(fibers).len() as u64)
             .sum();
         let width = self.width.max(1) as u64;
         let cycles = self.startup_cycles + merged_elements.div_ceil(width);
-        MergeStats {
+        watchdog.check_total(cycles, "flattened merge")?;
+        Ok(MergeStats {
             cycles,
             merged_elements,
             utilization: Utilization {
                 busy: merged_elements,
                 total: cycles * width,
             },
-        }
+        })
     }
 }
 
@@ -209,7 +234,7 @@ mod tests {
     fn flattened_hits_peak_on_long_rows() {
         let rows = partial_rows(1, 0.4);
         let m = FlattenedMerger::paper_config();
-        let stats = m.simulate(&rows);
+        let stats = m.simulate(&rows).unwrap();
         assert!(
             stats.elements_per_cycle() > 14.0,
             "flattened should run near 16 elem/cyc, got {:.1}",
@@ -223,8 +248,10 @@ mod tests {
         // wins — the §VI-D observation that 4 matrices ran *faster* on the
         // cheaper merger.
         let rows = partial_rows(2, 0.4);
-        let rp = RowPartitionedMerger::paper_config().simulate(&rows);
-        let fl = FlattenedMerger::paper_config().simulate(&rows);
+        let rp = RowPartitionedMerger::paper_config()
+            .simulate(&rows)
+            .unwrap();
+        let fl = FlattenedMerger::paper_config().simulate(&rows).unwrap();
         assert!(
             rp.elements_per_cycle() > fl.elements_per_cycle(),
             "row-partitioned {:.1} vs flattened {:.1}",
@@ -238,15 +265,14 @@ mod tests {
         // A single huge row with many tiny ones: lanes idle behind the big
         // row.
         let mut rows: Vec<Vec<Fiber>> = Vec::new();
-        rows.push(vec![Fiber::new(
-            (0..2000).collect(),
-            vec![1.0; 2000],
-        )]);
+        rows.push(vec![Fiber::new((0..2000).collect(), vec![1.0; 2000])]);
         for r in 0..63 {
             rows.push(vec![Fiber::new(vec![r], vec![1.0])]);
         }
-        let rp = RowPartitionedMerger::paper_config().simulate(&rows);
-        let fl = FlattenedMerger::paper_config().simulate(&rows);
+        let rp = RowPartitionedMerger::paper_config()
+            .simulate(&rows)
+            .unwrap();
+        let fl = FlattenedMerger::paper_config().simulate(&rows).unwrap();
         assert!(
             fl.elements_per_cycle() > rp.elements_per_cycle(),
             "flattened {:.1} must beat row-partitioned {:.1} under imbalance",
@@ -257,9 +283,26 @@ mod tests {
 
     #[test]
     fn empty_batch() {
-        let rp = RowPartitionedMerger::paper_config().simulate(&[]);
+        let rp = RowPartitionedMerger::paper_config().simulate(&[]).unwrap();
         assert_eq!(rp.cycles, 0);
         assert_eq!(rp.elements_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn merge_respects_watchdog_budget() {
+        let rows = partial_rows(3, 0.4);
+        let need = FlattenedMerger::paper_config()
+            .simulate(&rows)
+            .unwrap()
+            .cycles;
+        let err = FlattenedMerger::paper_config()
+            .simulate_budgeted(&rows, &Watchdog::with_budget(need - 1))
+            .unwrap_err();
+        assert!(matches!(err, SimError::WatchdogExpired { .. }));
+        let ok = FlattenedMerger::paper_config()
+            .simulate_budgeted(&rows, &Watchdog::with_budget(need))
+            .unwrap();
+        assert_eq!(ok.cycles, need);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use stellar_area::TrafficCounts;
 use stellar_tensor::CsrMatrix;
 
+use crate::error::{SimError, Watchdog};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{SimStats, Utilization};
 
 /// How idle lanes may take work from loaded ones.
@@ -66,7 +68,39 @@ struct RowWork {
 /// one lane-cycle, and idle lanes may steal *pending* (unstarted) rows
 /// according to the balancing policy — matching the paper's rule that only
 /// "future work that has not yet begun" is shifted.
-pub fn simulate_sparse_matmul(b: &CsrMatrix, params: &SparseArrayParams) -> SparseSimResult {
+///
+/// # Errors
+///
+/// Returns [`SimError::WatchdogExpired`] if the run exceeds the default
+/// cycle budget. See [`simulate_sparse_matmul_faulty`] for explicit budgets
+/// and fault injection (where a stuck lane can also yield
+/// [`SimError::Deadlock`]).
+pub fn simulate_sparse_matmul(
+    b: &CsrMatrix,
+    params: &SparseArrayParams,
+) -> Result<SparseSimResult, SimError> {
+    simulate_sparse_matmul_faulty(
+        b,
+        params,
+        &mut FaultInjector::new(FaultPlan::none()),
+        Watchdog::default_budget(),
+    )
+}
+
+/// [`simulate_sparse_matmul`] under a fault plan and explicit watchdog.
+///
+/// A `stuck_lane` in the plan models a hard PE failure: the lane never
+/// dispatches or advances. Whether the array survives depends on the
+/// balancing policy — `Global` balancing reroutes the dead lane's pending
+/// rows, while `None` (and `AdjacentRows`, which never steals a queue's
+/// head) deadlocks, which this function detects structurally and reports as
+/// [`SimError::Deadlock`] instead of spinning until the watchdog fires.
+pub fn simulate_sparse_matmul_faulty(
+    b: &CsrMatrix,
+    params: &SparseArrayParams,
+    injector: &mut FaultInjector,
+    mut watchdog: Watchdog,
+) -> Result<SparseSimResult, SimError> {
     let lanes = params.lanes.max(1);
     // Pending rows per lane, in row order.
     let mut pending: Vec<Vec<RowWork>> = vec![Vec::new(); lanes];
@@ -86,17 +120,18 @@ pub fn simulate_sparse_matmul(b: &CsrMatrix, params: &SparseArrayParams) -> Spar
     let mut cycles: u64 = 0;
     let total_nnz: u64 = (0..b.rows()).map(|r| b.row_len(r) as u64).sum();
     if total_nnz == 0 {
-        return SparseSimResult {
+        return Ok(SparseSimResult {
             stats: SimStats::default(),
             lane_busy,
             lane_rows,
-        };
+        });
     }
 
     loop {
         // Dispatch: fill idle lanes.
+        let mut dispatched = false;
         for l in 0..lanes {
-            if current[l].is_some() {
+            if current[l].is_some() || injector.lane_stuck(l) {
                 continue;
             }
             // Own queue first.
@@ -137,16 +172,32 @@ pub fn simulate_sparse_matmul(b: &CsrMatrix, params: &SparseArrayParams) -> Spar
             };
             if let Some(w) = work {
                 current[l] = Some((w, w.nnz + params.row_startup_cycles));
+                dispatched = true;
             }
         }
 
+        let pending_rows: usize = pending.iter().map(|q| q.len()).sum();
         // Terminate when no lane holds work and no rows are pending.
-        if current.iter().all(|c| c.is_none()) && pending.iter().all(|q| q.is_empty()) {
-            break;
+        if current.iter().all(|c| c.is_none()) {
+            if pending_rows == 0 {
+                break;
+            }
+            if !dispatched {
+                // Work remains but nothing can take it: a structural
+                // deadlock (e.g. a stuck lane owning rows no policy may
+                // steal).
+                return Err(SimError::Deadlock {
+                    cycle: cycles,
+                    detail: format!(
+                        "{pending_rows} rows pending, all lanes idle, no dispatch possible"
+                    ),
+                });
+            }
         }
 
         // Advance one cycle.
         cycles += 1;
+        watchdog.tick(1, "sparse lane loop")?;
         for l in 0..lanes {
             if let Some((w, remaining)) = current[l].as_mut() {
                 lane_busy[l] += 1;
@@ -161,7 +212,7 @@ pub fn simulate_sparse_matmul(b: &CsrMatrix, params: &SparseArrayParams) -> Spar
     }
 
     let busy: u64 = lane_busy.iter().sum();
-    SparseSimResult {
+    Ok(SparseSimResult {
         stats: SimStats {
             cycles,
             utilization: Utilization {
@@ -178,7 +229,7 @@ pub fn simulate_sparse_matmul(b: &CsrMatrix, params: &SparseArrayParams) -> Spar
         },
         lane_busy,
         lane_rows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -197,7 +248,7 @@ mod tests {
     #[test]
     fn balanced_matrix_is_fine_without_balancing() {
         let b = gen::uniform(64, 64, 0.2, 1);
-        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None)).unwrap();
         assert!(none.utilization() > 0.7, "got {:.3}", none.utilization());
     }
 
@@ -205,7 +256,7 @@ mod tests {
     fn imbalance_tanks_unbalanced_utilization() {
         // Figure 6: a B matrix whose heavy rows all land on a few lanes.
         let b = gen::imbalanced(8, 256, 2, 128, 2, 7);
-        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None)).unwrap();
         assert!(
             none.utilization() < 0.5,
             "imbalanced workload should idle lanes, got {:.3}",
@@ -216,9 +267,9 @@ mod tests {
     #[test]
     fn balancing_recovers_utilization() {
         let b = gen::imbalanced(32, 256, 4, 128, 2, 7);
-        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
-        let adj = simulate_sparse_matmul(&b, &params(BalancePolicy::AdjacentRows));
-        let global = simulate_sparse_matmul(&b, &params(BalancePolicy::Global));
+        let none = simulate_sparse_matmul(&b, &params(BalancePolicy::None)).unwrap();
+        let adj = simulate_sparse_matmul(&b, &params(BalancePolicy::AdjacentRows)).unwrap();
+        let global = simulate_sparse_matmul(&b, &params(BalancePolicy::Global)).unwrap();
         assert!(adj.stats.cycles <= none.stats.cycles);
         assert!(global.stats.cycles <= adj.stats.cycles);
         assert!(
@@ -233,8 +284,12 @@ mod tests {
     fn work_is_conserved() {
         let b = gen::power_law(100, 100, 6.0, 1.8, 3);
         let total_nnz: u64 = (0..100).map(|r| b.row_len(r) as u64).sum();
-        for policy in [BalancePolicy::None, BalancePolicy::AdjacentRows, BalancePolicy::Global] {
-            let r = simulate_sparse_matmul(&b, &params(policy));
+        for policy in [
+            BalancePolicy::None,
+            BalancePolicy::AdjacentRows,
+            BalancePolicy::Global,
+        ] {
+            let r = simulate_sparse_matmul(&b, &params(policy)).unwrap();
             assert_eq!(r.stats.traffic.macs, total_nnz);
             let rows_done: usize = r.lane_rows.iter().sum();
             let nonempty_rows = (0..100).filter(|&r| b.row_len(r) > 0).count();
@@ -245,15 +300,67 @@ mod tests {
     #[test]
     fn global_moves_rows_across_lanes() {
         let b = gen::imbalanced(8, 256, 1, 200, 1, 9);
-        let r = simulate_sparse_matmul(&b, &params(BalancePolicy::Global));
+        let r = simulate_sparse_matmul(&b, &params(BalancePolicy::Global)).unwrap();
         // Lane 0 owns the heavy row; other lanes must have taken some rows.
         assert!(r.lane_rows.iter().skip(1).any(|&n| n > 0));
     }
 
     #[test]
+    fn watchdog_bounds_the_lane_loop() {
+        let b = gen::uniform(64, 64, 0.3, 2);
+        let err = simulate_sparse_matmul_faulty(
+            &b,
+            &params(BalancePolicy::None),
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::with_budget(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::WatchdogExpired { budget: 3, .. }));
+    }
+
+    #[test]
+    fn stuck_lane_deadlocks_without_balancing() {
+        let b = gen::uniform(32, 64, 0.3, 4);
+        let mut plan = FaultPlan::none();
+        plan.stuck_lane = Some(0);
+        let err = simulate_sparse_matmul_faulty(
+            &b,
+            &params(BalancePolicy::None),
+            &mut FaultInjector::new(plan),
+            Watchdog::default_budget(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SimError::Deadlock { .. }),
+            "a dead lane's rows are unreachable without balancing: {err:?}"
+        );
+    }
+
+    #[test]
+    fn global_balancing_tolerates_a_stuck_lane() {
+        // Load balancing doubles as fault tolerance: with Global stealing,
+        // the dead lane's pending rows reroute to live lanes and the run
+        // completes with all work conserved.
+        let b = gen::uniform(32, 64, 0.3, 4);
+        let mut plan = FaultPlan::none();
+        plan.stuck_lane = Some(0);
+        let r = simulate_sparse_matmul_faulty(
+            &b,
+            &params(BalancePolicy::Global),
+            &mut FaultInjector::new(plan),
+            Watchdog::default_budget(),
+        )
+        .unwrap();
+        assert_eq!(r.lane_rows[0], 0, "the stuck lane must do nothing");
+        let rows_done: usize = r.lane_rows.iter().sum();
+        let nonempty = (0..32).filter(|&row| b.row_len(row) > 0).count();
+        assert_eq!(rows_done, nonempty);
+    }
+
+    #[test]
     fn empty_matrix() {
         let b = gen::uniform(8, 8, 0.0, 1);
-        let r = simulate_sparse_matmul(&b, &params(BalancePolicy::None));
+        let r = simulate_sparse_matmul(&b, &params(BalancePolicy::None)).unwrap();
         assert_eq!(r.stats.cycles, 0);
     }
 }

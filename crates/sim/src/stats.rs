@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn utilization_fraction() {
-        let u = Utilization { busy: 75, total: 100 };
+        let u = Utilization {
+            busy: 75,
+            total: 100,
+        };
         assert!((u.fraction() - 0.75).abs() < 1e-12);
         assert_eq!(Utilization::default().fraction(), 0.0);
     }

@@ -11,6 +11,8 @@
 use stellar_area::TrafficCounts;
 use stellar_tensor::DenseMatrix;
 
+use crate::error::{SimError, Watchdog};
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{SimStats, Utilization};
 
 /// The result of a cycle-stepped weight-stationary matmul.
@@ -29,13 +31,41 @@ pub struct WsResult {
 /// dimensions; `m` streams through. Latency is `m + k + n` cycles plus
 /// pipeline fill, matching the classic systolic schedule.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the shapes disagree.
-pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
+/// Returns [`SimError::InvalidConfig`] if the shapes disagree, or
+/// [`SimError::WatchdogExpired`] if the schedule exceeds the default cycle
+/// budget (use [`simulate_ws_matmul_faulty`] to pick the budget).
+pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> Result<WsResult, SimError> {
+    simulate_ws_matmul_faulty(
+        a,
+        b,
+        &mut FaultInjector::new(FaultPlan::none()),
+        Watchdog::default_budget(),
+    )
+}
+
+/// [`simulate_ws_matmul`] with fault injection and an explicit watchdog
+/// budget: activations read at the array edge pass through the injector's
+/// SRAM-corruption hook and every PE's partial-sum register through its
+/// accumulator-upset hook.
+pub fn simulate_ws_matmul_faulty(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    injector: &mut FaultInjector,
+    mut watchdog: Watchdog,
+) -> Result<WsResult, SimError> {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
-    assert_eq!(k, b.rows(), "inner dimensions must agree");
+    if k != b.rows() {
+        return Err(SimError::InvalidConfig(format!(
+            "inner dimensions disagree: A is {m}x{k}, B is {}x{n}",
+            b.rows()
+        )));
+    }
+    if k == 0 || n == 0 {
+        return Err(SimError::InvalidConfig("empty weight matrix".into()));
+    }
 
     // PE state: stationary weight, activation register, psum register.
     let mut act = vec![vec![0.0f64; n]; k]; // act[r][c]: activation entering PE (r, c)
@@ -50,7 +80,9 @@ pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
     // bottom of column c emits C[i][c] after the pipeline delay.
     // Total cycles: skew (k-1) + stream (m) + drain (k + 1).
     let total_steps = m + 2 * k + n;
+    watchdog.tick(preload_cycles, "ws weight preload")?;
     for t in 0..total_steps {
+        watchdog.tick(1, "ws stream loop")?;
         // Advance from the bottom row upward so values move one PE per
         // cycle.
         let mut next_act = vec![vec![0.0f64; n]; k];
@@ -62,7 +94,8 @@ pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
                     // Row r receives A[i][r] at time t = i + r (skewed).
                     let i = t as isize - r as isize;
                     if i >= 0 && (i as usize) < m {
-                        a.at(i as usize, r)
+                        // Edge injection is an SRAM read: corruptible.
+                        injector.corrupt_sram_read(a.at(i as usize, r))
                     } else {
                         0.0
                     }
@@ -72,7 +105,7 @@ pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
                 // Partial sum arrives from above.
                 let p_in = if r == 0 { 0.0 } else { psum[r - 1][c] };
                 let w = b.at(r, c);
-                let p_out = p_in + a_in * w;
+                let p_out = injector.perturb_accumulator(p_in + a_in * w);
                 if a_in != 0.0 || p_in != 0.0 {
                     busy += 1;
                 }
@@ -95,7 +128,7 @@ pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
 
     let cycles = preload_cycles + total_steps as u64;
     let macs = (m * n * k) as u64;
-    WsResult {
+    Ok(WsResult {
         product,
         stats: SimStats {
             cycles,
@@ -111,7 +144,7 @@ pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
                 pe_cycles: cycles * (k * n) as u64,
             },
         },
-    }
+    })
 }
 
 /// Simulates `A(m×k) · B(k×n)` on an `m × n` grid of *output-stationary*
@@ -122,13 +155,39 @@ pub fn simulate_ws_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
 /// enter from the top (skewed one cycle per column), and each PE
 /// accumulates its dot product in place; results drain at the end.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the shapes disagree.
-pub fn simulate_os_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
+/// Returns [`SimError::InvalidConfig`] if the shapes disagree, or
+/// [`SimError::WatchdogExpired`] past the default cycle budget.
+pub fn simulate_os_matmul(a: &DenseMatrix, b: &DenseMatrix) -> Result<WsResult, SimError> {
+    simulate_os_matmul_faulty(
+        a,
+        b,
+        &mut FaultInjector::new(FaultPlan::none()),
+        Watchdog::default_budget(),
+    )
+}
+
+/// [`simulate_os_matmul`] with fault injection and an explicit watchdog
+/// budget; the stationary accumulators pass through the injector's upset
+/// hook every cycle they update.
+pub fn simulate_os_matmul_faulty(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    injector: &mut FaultInjector,
+    mut watchdog: Watchdog,
+) -> Result<WsResult, SimError> {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
-    assert_eq!(k, b.rows(), "inner dimensions must agree");
+    if k != b.rows() {
+        return Err(SimError::InvalidConfig(format!(
+            "inner dimensions disagree: A is {m}x{k}, B is {}x{n}",
+            b.rows()
+        )));
+    }
+    if m == 0 || n == 0 {
+        return Err(SimError::InvalidConfig("empty output matrix".into()));
+    }
 
     let mut a_reg = vec![vec![0.0f64; n]; m]; // a value flowing right
     let mut b_reg = vec![vec![0.0f64; n]; m]; // b value flowing down
@@ -139,6 +198,7 @@ pub fn simulate_os_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
     // column j at t = j + kk; they meet at PE (i, j) at t = i + j + kk.
     let total_steps = k + m + n;
     for t in 0..total_steps {
+        watchdog.tick(1, "os stream loop")?;
         let mut next_a = vec![vec![0.0f64; n]; m];
         let mut next_b = vec![vec![0.0f64; n]; m];
         for i in 0..m {
@@ -168,8 +228,8 @@ pub fn simulate_os_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
                 // carries B[t - i - j][j] — the matching k index.
                 if a_in != 0.0 || b_in != 0.0 {
                     busy += 1;
+                    acc[i][j] = injector.perturb_accumulator(acc[i][j] + a_in * b_in);
                 }
-                acc[i][j] += a_in * b_in;
                 next_a[i][j] = a_in;
                 next_b[i][j] = b_in;
             }
@@ -186,8 +246,9 @@ pub fn simulate_os_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
     }
     // Drain: one cycle per output column through the edge ports.
     let cycles = (total_steps + n) as u64;
+    watchdog.tick(n as u64, "os drain")?;
     let macs = (m * n * k) as u64;
-    WsResult {
+    Ok(WsResult {
         product,
         stats: SimStats {
             cycles,
@@ -203,7 +264,7 @@ pub fn simulate_os_matmul(a: &DenseMatrix, b: &DenseMatrix) -> WsResult {
                 pe_cycles: cycles * (m * n) as u64,
             },
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -215,7 +276,7 @@ mod tests {
     fn computes_correct_product() {
         let a = gen::dense(5, 4, 1);
         let b = gen::dense(4, 3, 2);
-        let r = simulate_ws_matmul(&a, &b);
+        let r = simulate_ws_matmul(&a, &b).unwrap();
         assert!(
             r.product.approx_eq(&a.matmul(&b), 1e-9),
             "systolic result diverges from golden matmul"
@@ -226,7 +287,7 @@ mod tests {
     fn identity_weights() {
         let a = gen::dense(6, 3, 3);
         let id = DenseMatrix::identity(3);
-        let r = simulate_ws_matmul(&a, &id);
+        let r = simulate_ws_matmul(&a, &id).unwrap();
         assert!(r.product.approx_eq(&a, 1e-12));
     }
 
@@ -234,7 +295,7 @@ mod tests {
     fn cycle_count_has_fill_and_drain() {
         let a = gen::dense(8, 4, 4);
         let b = gen::dense(4, 4, 5);
-        let r = simulate_ws_matmul(&a, &b);
+        let r = simulate_ws_matmul(&a, &b).unwrap();
         // Preload k + stream m + skew/drain ~ 2k + n.
         assert_eq!(r.stats.cycles, 4 + (8 + 8 + 4) as u64);
         assert_eq!(r.stats.traffic.macs, 8 * 4 * 4);
@@ -243,8 +304,8 @@ mod tests {
     #[test]
     fn utilization_improves_with_longer_streams() {
         let b = gen::dense(4, 4, 7);
-        let short = simulate_ws_matmul(&gen::dense(2, 4, 8), &b);
-        let long = simulate_ws_matmul(&gen::dense(64, 4, 9), &b);
+        let short = simulate_ws_matmul(&gen::dense(2, 4, 8), &b).unwrap();
+        let long = simulate_ws_matmul(&gen::dense(64, 4, 9), &b).unwrap();
         assert!(
             long.stats.utilization.fraction() > short.stats.utilization.fraction(),
             "longer streams must amortize fill/drain"
@@ -255,7 +316,7 @@ mod tests {
     fn rectangular_shapes() {
         let a = gen::dense(3, 5, 10);
         let b = gen::dense(5, 2, 11);
-        let r = simulate_ws_matmul(&a, &b);
+        let r = simulate_ws_matmul(&a, &b).unwrap();
         assert!(r.product.approx_eq(&a.matmul(&b), 1e-9));
     }
 
@@ -263,7 +324,7 @@ mod tests {
     fn output_stationary_correct() {
         let a = gen::dense(5, 4, 20);
         let b = gen::dense(4, 3, 21);
-        let r = simulate_os_matmul(&a, &b);
+        let r = simulate_os_matmul(&a, &b).unwrap();
         assert!(
             r.product.approx_eq(&a.matmul(&b), 1e-9),
             "output-stationary result diverges from golden matmul"
@@ -276,11 +337,81 @@ mod tests {
         // transforms, identical results, different cycle profiles.
         let a = gen::dense(6, 6, 30);
         let b = gen::dense(6, 6, 31);
-        let ws = simulate_ws_matmul(&a, &b);
-        let os = simulate_os_matmul(&a, &b);
+        let ws = simulate_ws_matmul(&a, &b).unwrap();
+        let os = simulate_os_matmul(&a, &b).unwrap();
         assert!(ws.product.approx_eq(&os.product, 1e-9));
         assert_eq!(ws.stats.traffic.macs, os.stats.traffic.macs);
         assert_ne!(ws.stats.cycles, os.stats.cycles);
+    }
+
+    #[test]
+    fn mismatched_shapes_are_invalid_config() {
+        let a = gen::dense(3, 4, 1);
+        let b = gen::dense(5, 2, 2);
+        assert!(matches!(
+            simulate_ws_matmul(&a, &b),
+            Err(SimError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            simulate_os_matmul(&a, &b),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn watchdog_bounds_the_stream_loop() {
+        let a = gen::dense(64, 8, 1);
+        let b = gen::dense(8, 8, 2);
+        let err = simulate_ws_matmul_faulty(
+            &a,
+            &b,
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::with_budget(10),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::WatchdogExpired { budget: 10, .. }));
+        // A budget covering the full schedule succeeds and reports the same
+        // cycles as the default-budget entry point.
+        let ok = simulate_ws_matmul_faulty(
+            &a,
+            &b,
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::with_budget(1_000_000),
+        )
+        .unwrap();
+        assert_eq!(
+            ok.stats.cycles,
+            simulate_ws_matmul(&a, &b).unwrap().stats.cycles
+        );
+    }
+
+    #[test]
+    fn injected_upsets_corrupt_the_product() {
+        let a = gen::dense(16, 8, 50);
+        let b = gen::dense(8, 8, 51);
+        let golden = a.matmul(&b);
+        let mut inj = FaultInjector::new(FaultPlan::transient(5, 1e-2));
+        let r = simulate_ws_matmul_faulty(&a, &b, &mut inj, Watchdog::default_budget()).unwrap();
+        assert!(inj.counts.upsets > 0, "1e-2 per MAC must inject something");
+        assert!(
+            !r.product.approx_eq(&golden, 1e-9),
+            "unprotected upsets should corrupt the product"
+        );
+    }
+
+    #[test]
+    fn ecc_protects_the_product() {
+        let a = gen::dense(16, 8, 50);
+        let b = gen::dense(8, 8, 51);
+        let golden = a.matmul(&b);
+        let mut inj = FaultInjector::new(FaultPlan::transient(5, 1e-2).with_ecc());
+        let r = simulate_ws_matmul_faulty(&a, &b, &mut inj, Watchdog::default_budget()).unwrap();
+        assert!(inj.counts.upsets > 0);
+        assert_eq!(inj.counts.sdc_candidates, 0);
+        assert!(
+            r.product.approx_eq(&golden, 1e-9),
+            "SECDED-corrected upsets must not change the product"
+        );
     }
 
     #[test]
@@ -289,7 +420,7 @@ mod tests {
         // For long reductions the OS array holds fewer PEs busy longer.
         let a = gen::dense(2, 32, 40);
         let b = gen::dense(32, 2, 41);
-        let os = simulate_os_matmul(&a, &b);
+        let os = simulate_os_matmul(&a, &b).unwrap();
         assert!(os.product.approx_eq(&a.matmul(&b), 1e-9));
         assert!(os.stats.cycles >= 32);
     }

@@ -11,10 +11,14 @@ use stellar_tensor::{gen, DenseMatrix};
 
 fn small_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     let mut m = DenseMatrix::zeros(rows, cols);
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
     for r in 0..rows {
         for c in 0..cols {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             m.set(r, c, ((state >> 40) % 9) as f64 - 4.0);
         }
     }
@@ -30,7 +34,7 @@ proptest! {
     fn systolic_always_correct(m in 1usize..=6, k in 1usize..=6, n in 1usize..=6, seed in 0u64..300) {
         let a = small_matrix(m, k, seed);
         let b = small_matrix(k, n, seed + 7);
-        let r = simulate_ws_matmul(&a, &b);
+        let r = simulate_ws_matmul(&a, &b).unwrap();
         prop_assert!(r.product.approx_eq(&a.matmul(&b), 1e-9));
         prop_assert!(r.stats.cycles > 0);
         prop_assert_eq!(r.stats.traffic.macs, (m * n * k) as u64);
@@ -46,7 +50,7 @@ proptest! {
                 lanes: 8,
                 row_startup_cycles: 1,
                 balance: policy,
-            }).stats.cycles
+            }).unwrap().stats.cycles
         };
         let none = run(BalancePolicy::None);
         let adj = run(BalancePolicy::AdjacentRows);
@@ -63,8 +67,8 @@ proptest! {
         use stellar_tensor::CscMatrix;
         let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &a);
         let rows = stellar_sim::rows_of_partials(48, &partials);
-        let rp = RowPartitionedMerger::paper_config().simulate(&rows);
-        let fl = FlattenedMerger::paper_config().simulate(&rows);
+        let rp = RowPartitionedMerger::paper_config().simulate(&rows).unwrap();
+        let fl = FlattenedMerger::paper_config().simulate(&rows).unwrap();
         prop_assert_eq!(rp.merged_elements, fl.merged_elements);
         // Neither exceeds its peak throughput.
         prop_assert!(rp.elements_per_cycle() <= 32.0 + 1e-9);
@@ -78,7 +82,7 @@ proptest! {
         let rows: Vec<Vec<Fiber>> = (0..64)
             .map(|_| vec![Fiber::new((0..len).collect(), vec![1.0; len])])
             .collect();
-        let rp = RowPartitionedMerger { lanes: 32, row_switch_cycles: 0 }.simulate(&rows);
+        let rp = RowPartitionedMerger { lanes: 32, row_switch_cycles: 0 }.simulate(&rows).unwrap();
         prop_assert!(rp.utilization.fraction() > 0.95);
     }
 
@@ -86,10 +90,10 @@ proptest! {
     #[test]
     fn gemm_cycles_monotone(m in 8usize..=64, k in 8usize..=64, n in 8usize..=64) {
         let p = GemmParams::handwritten_gemmini();
-        let base = gemm_cycles(m, k, n, &p).total();
-        prop_assert!(gemm_cycles(m + 8, k, n, &p).total() >= base);
-        prop_assert!(gemm_cycles(m, k + 16, n, &p).total() >= base);
-        prop_assert!(gemm_cycles(m, k, n + 16, &p).total() >= base);
+        let base = gemm_cycles(m, k, n, &p).unwrap().total();
+        prop_assert!(gemm_cycles(m + 8, k, n, &p).unwrap().total() >= base);
+        prop_assert!(gemm_cycles(m, k + 16, n, &p).unwrap().total() >= base);
+        prop_assert!(gemm_cycles(m, k, n + 16, &p).unwrap().total() >= base);
     }
 
     /// More DMA slots never slow down scattered transfers, and contiguous
@@ -100,6 +104,54 @@ proptest! {
         let many = DmaModel::with_slots(slots);
         prop_assert!(many.scattered_cycles(reqs, 1) <= one.scattered_cycles(reqs, 1));
         prop_assert_eq!(many.contiguous_cycles(reqs), one.contiguous_cycles(reqs));
+    }
+
+    /// A fault-free reliable transfer costs exactly the base cycles, for
+    /// any retry policy — reliability hardware is free when nothing fails.
+    #[test]
+    fn fault_free_retries_are_free(
+        reqs in 1u64..500,
+        slots in 1usize..=32,
+        max_retries in 0u32..=8,
+        backoff in 0u64..64,
+    ) {
+        use stellar_sim::{FaultInjector, FaultPlan, RetryPolicy, Watchdog};
+        let dma = DmaModel::with_slots(slots);
+        let policy = RetryPolicy {
+            max_retries,
+            base_backoff_cycles: backoff,
+            timeout_cycles: 240,
+        };
+        let mut inj = FaultInjector::new(FaultPlan::none());
+        let wd = Watchdog::default_budget();
+        let r = dma.reliable_scattered_cycles(reqs, 1, &policy, &mut inj, &wd).unwrap();
+        prop_assert_eq!(r.cycles, dma.scattered_cycles(reqs, 1));
+        prop_assert_eq!(r.retries, 0);
+        let r = dma.reliable_contiguous_cycles(reqs, &policy, &mut inj, &wd).unwrap();
+        prop_assert_eq!(r.cycles, dma.contiguous_cycles(reqs));
+    }
+
+    /// Recovery cycles are monotone in the drop rate: a lossier link never
+    /// finishes faster (same seed, same shape).
+    #[test]
+    fn lossier_links_never_faster(reqs in 50u64..300, seed in 0u64..100) {
+        use stellar_sim::{FaultInjector, FaultPlan, RetryPolicy, Watchdog};
+        let dma = DmaModel::with_slots(4);
+        let wd = Watchdog::default_budget();
+        let run = |rate: f64| {
+            let mut plan = FaultPlan::none();
+            plan.seed = seed;
+            plan.dma_drop_per_request = rate;
+            let mut inj = FaultInjector::new(plan);
+            dma.reliable_scattered_cycles(reqs, 1, &RetryPolicy {
+                max_retries: 50,
+                base_backoff_cycles: 8,
+                timeout_cycles: 240,
+            }, &mut inj, &wd).unwrap().cycles
+        };
+        let clean = run(0.0);
+        let lossy = run(0.2);
+        prop_assert!(lossy >= clean, "lossy {lossy} < clean {clean}");
     }
 
     /// Cache hit accounting is consistent: hits + misses equals accesses,

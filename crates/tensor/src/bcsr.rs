@@ -48,7 +48,10 @@ impl BcsrMatrix {
     /// Panics if either block dimension is zero or does not divide the
     /// corresponding matrix dimension.
     pub fn from_dense(d: &DenseMatrix, block_h: usize, block_w: usize) -> BcsrMatrix {
-        assert!(block_h > 0 && block_w > 0, "block dimensions must be non-zero");
+        assert!(
+            block_h > 0 && block_w > 0,
+            "block dimensions must be non-zero"
+        );
         assert_eq!(d.rows() % block_h, 0, "block height must divide rows");
         assert_eq!(d.cols() % block_w, 0, "block width must divide cols");
         let brows = d.rows() / block_h;
@@ -163,7 +166,11 @@ impl fmt::Debug for BcsrMatrix {
         write!(
             f,
             "BcsrMatrix({}x{}, {}x{} blocks, {} stored)",
-            self.rows, self.cols, self.block_h, self.block_w, self.blocks.len()
+            self.rows,
+            self.cols,
+            self.block_h,
+            self.block_w,
+            self.blocks.len()
         )
     }
 }

@@ -78,8 +78,7 @@ impl CooMatrix {
 
     /// Sorts entries row-major, sums duplicates, and drops explicit zeros.
     pub fn compact(&mut self) {
-        self.entries
-            .sort_by_key(|a| (a.0, a.1));
+        self.entries.sort_by_key(|a| (a.0, a.1));
         let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
         for &(r, c, v) in &self.entries {
             match out.last_mut() {

@@ -130,7 +130,13 @@ impl CscMatrix {
 
 impl fmt::Debug for CscMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CscMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "CscMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 
@@ -139,11 +145,7 @@ mod tests {
     use super::*;
 
     fn sample() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 3.0, 0.0],
-            &[4.0, 0.0, 5.0],
-        ])
+        DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 3.0, 0.0], &[4.0, 0.0, 5.0]])
     }
 
     #[test]

@@ -49,8 +49,16 @@ impl CsrMatrix {
         values: Vec<f64>,
     ) -> CsrMatrix {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr must have rows+1 entries");
-        assert_eq!(col_idx.len(), values.len(), "col_idx/values length mismatch");
-        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr must end at nnz");
+        assert_eq!(
+            col_idx.len(),
+            values.len(),
+            "col_idx/values length mismatch"
+        );
+        assert_eq!(
+            *row_ptr.last().unwrap(),
+            col_idx.len(),
+            "row_ptr must end at nnz"
+        );
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         for r in 0..rows {
             assert!(row_ptr[r] <= row_ptr[r + 1], "row_ptr must be monotone");
@@ -243,7 +251,13 @@ impl CsrMatrix {
 
 impl fmt::Debug for CsrMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CsrMatrix({}x{}, nnz={})", self.rows, self.cols, self.nnz())
+        write!(
+            f,
+            "CsrMatrix({}x{}, nnz={})",
+            self.rows,
+            self.cols,
+            self.nnz()
+        )
     }
 }
 

@@ -15,7 +15,7 @@ use crate::dense::DenseTensor;
 /// private memory buffer and the read/write pipeline stage generated for the
 /// axis (Figure 12): `Dense` axes get plain address generators, the others
 /// need indirect metadata lookups.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum AxisFormat {
     /// Uncompressed: every coordinate is materialized; no metadata.
     Dense,
@@ -49,9 +49,15 @@ impl AxisFormat {
 #[derive(Clone, PartialEq, Debug)]
 enum Node {
     /// An interior fiber: explicit child coordinates plus children.
-    Inner { coords: Vec<usize>, children: Vec<Node> },
+    Inner {
+        coords: Vec<usize>,
+        children: Vec<Node>,
+    },
     /// A leaf fiber on the innermost axis: coordinates plus scalar values.
-    Leaf { coords: Vec<usize>, values: Vec<f64> },
+    Leaf {
+        coords: Vec<usize>,
+        values: Vec<f64>,
+    },
 }
 
 /// Storage accounting for a [`FiberTree`], in machine words.
@@ -130,7 +136,12 @@ impl FiberTree {
         }
     }
 
-    fn build(t: &DenseTensor, formats: &[AxisFormat], prefix: &mut Vec<usize>, axis: usize) -> Node {
+    fn build(
+        t: &DenseTensor,
+        formats: &[AxisFormat],
+        prefix: &mut Vec<usize>,
+        axis: usize,
+    ) -> Node {
         let n = t.shape()[axis];
         let last = axis + 1 == t.ndim();
         let keep_all = formats[axis] == AxisFormat::Dense;
@@ -301,7 +312,9 @@ impl fmt::Debug for FiberTree {
         write!(
             f,
             "FiberTree(shape={:?}, formats={:?}, nnz={})",
-            self.shape, self.formats, self.nnz()
+            self.shape,
+            self.formats,
+            self.nnz()
         )
     }
 }
@@ -332,7 +345,11 @@ mod tests {
         for outer in formats {
             for inner in formats {
                 let ft = FiberTree::from_dense(&t, &[outer, inner]);
-                assert_eq!(ft.to_dense(), t, "round trip failed for {outer:?}/{inner:?}");
+                assert_eq!(
+                    ft.to_dense(),
+                    t,
+                    "round trip failed for {outer:?}/{inner:?}"
+                );
                 assert_eq!(ft.nnz(), 4);
             }
         }
@@ -397,7 +414,11 @@ mod tests {
         t.set(&[1, 2, 3], 2.0);
         let ft = FiberTree::from_dense(
             &t,
-            &[AxisFormat::Compressed, AxisFormat::Compressed, AxisFormat::Compressed],
+            &[
+                AxisFormat::Compressed,
+                AxisFormat::Compressed,
+                AxisFormat::Compressed,
+            ],
         );
         assert_eq!(ft.to_dense(), t);
         assert_eq!(ft.nnz(), 2);
@@ -411,7 +432,11 @@ mod tests {
         t.set(&[1, 2, 0], 3.0);
         let ft = FiberTree::from_dense(
             &t,
-            &[AxisFormat::Compressed, AxisFormat::Compressed, AxisFormat::Compressed],
+            &[
+                AxisFormat::Compressed,
+                AxisFormat::Compressed,
+                AxisFormat::Compressed,
+            ],
         );
         let stats = ft.stats();
         // Root fiber: 2 coords + 1 ptr. Middle: 2 fibers, 1 coord each + 1
@@ -419,7 +444,10 @@ mod tests {
         assert_eq!(stats.coord_words, 2 + 2 + 3);
         assert_eq!(stats.ptr_words, 1 + 2 + 2);
         assert_eq!(stats.data_words, 3);
-        assert_eq!(stats.total_words(), stats.data_words + stats.metadata_words());
+        assert_eq!(
+            stats.total_words(),
+            stats.data_words + stats.metadata_words()
+        );
     }
 
     #[test]

@@ -7,24 +7,22 @@
 //! banded, power-law row lengths, diagonal) rather than exact matrix
 //! contents.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
 use crate::dense::DenseMatrix;
+use crate::rng::Rng64;
 
 /// Returns a deterministic RNG for a given seed. All generators in this
 /// module are deterministic given their seed, so experiments are exactly
 /// reproducible.
-fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+fn rng(seed: u64) -> Rng64 {
+    Rng64::seed_from_u64(seed)
 }
 
-fn nonzero_value(r: &mut StdRng) -> f64 {
+fn nonzero_value(r: &mut Rng64) -> f64 {
     // Uniform in [-1, 1] excluding exact zero.
     loop {
-        let v: f64 = r.gen_range(-1.0..1.0);
+        let v = r.range_f64(-1.0, 1.0);
         if v != 0.0 {
             return v;
         }
@@ -56,7 +54,7 @@ pub fn uniform(rows: usize, cols: usize, density: f64, seed: u64) -> CsrMatrix {
     let mut coo = CooMatrix::new(rows, cols);
     for i in 0..rows {
         for j in 0..cols {
-            if r.gen_bool(density) {
+            if r.chance(density) {
                 coo.push(i, j, nonzero_value(&mut r));
             }
         }
@@ -79,8 +77,8 @@ pub fn uniform_nnz(rows: usize, cols: usize, nnz: usize, seed: u64) -> CsrMatrix
     let mut coo = CooMatrix::new(rows, cols);
     let mut seen = std::collections::HashSet::with_capacity(nnz);
     while seen.len() < nnz {
-        let i = r.gen_range(0..rows);
-        let j = r.gen_range(0..cols);
+        let i = r.range_usize(0, rows);
+        let j = r.range_usize(0, cols);
         if seen.insert((i, j)) {
             coo.push(i, j, nonzero_value(&mut r));
         }
@@ -101,7 +99,7 @@ pub fn banded(n: usize, bandwidth: usize, avg_row_len: usize, seed: u64) -> CsrM
         for _ in 0..extras {
             let lo = i.saturating_sub(bandwidth);
             let hi = (i + bandwidth + 1).min(n);
-            let j = r.gen_range(lo..hi);
+            let j = r.range_usize(lo, hi);
             coo.push(i, j, nonzero_value(&mut r));
         }
     }
@@ -123,12 +121,12 @@ pub fn power_law(rows: usize, cols: usize, avg_row_len: f64, alpha: f64, seed: u
     let pareto_mean = alpha / (alpha - 1.0);
     let scale = avg_row_len / pareto_mean;
     for i in 0..rows {
-        let u: f64 = r.gen_range(f64::EPSILON..1.0);
+        let u: f64 = r.range_f64(f64::EPSILON, 1.0);
         let len = (scale * u.powf(-1.0 / alpha)).round() as usize;
         let len = len.min(cols);
         let mut cols_seen = std::collections::HashSet::new();
         while cols_seen.len() < len {
-            let j = r.gen_range(0..cols);
+            let j = r.range_usize(0, cols);
             if cols_seen.insert(j) {
                 coo.push(i, j, nonzero_value(&mut r));
             }
@@ -164,7 +162,7 @@ pub fn imbalanced(
         let len = if i < heavy_rows { heavy_len } else { light_len }.min(cols);
         let mut seen = std::collections::HashSet::new();
         while seen.len() < len {
-            let j = r.gen_range(0..cols);
+            let j = r.range_usize(0, cols);
             if seen.insert(j) {
                 coo.push(i, j, nonzero_value(&mut r));
             }
@@ -186,10 +184,10 @@ pub fn two_four(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
     for i in 0..rows {
         for g in 0..cols / 4 {
             // Choose 2 distinct positions of 4.
-            let a = r.gen_range(0..4usize);
-            let mut b = r.gen_range(0..4usize);
+            let a = r.range_usize(0, 4);
+            let mut b = r.range_usize(0, 4);
             while b == a {
-                b = r.gen_range(0..4usize);
+                b = r.range_usize(0, 4);
             }
             m.set(i, g * 4 + a, nonzero_value(&mut r));
             m.set(i, g * 4 + b, nonzero_value(&mut r));
@@ -239,7 +237,10 @@ mod tests {
     fn power_law_is_skewed() {
         let m = power_law(500, 500, 8.0, 1.8, 3);
         let (min, max, mean) = m.row_length_stats();
-        assert!(max >= 4 * mean as usize, "max {max} not skewed vs mean {mean}");
+        assert!(
+            max >= 4 * mean as usize,
+            "max {max} not skewed vs mean {mean}"
+        );
         assert!(min <= mean as usize);
     }
 

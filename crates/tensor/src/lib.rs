@@ -17,6 +17,8 @@
 //! * [`structured`] — NVIDIA A100-style 2:4 structured sparsity (Figure 5).
 //! * [`gen`] — random sparse matrix generators (uniform, banded, power-law,
 //!   diagonal) used to synthesize SuiteSparse-like workloads.
+//! * [`rng`] — the in-tree deterministic PRNG behind every random choice in
+//!   the workspace (workload generation, fault injection).
 //! * [`ops`] — reference dense/sparse kernels (Gustavson SpGEMM,
 //!   outer-product SpGEMM with partial-matrix merging) that serve as golden
 //!   models for the simulated accelerators.
@@ -40,6 +42,7 @@ mod dense;
 mod fibertree;
 pub mod gen;
 pub mod ops;
+pub mod rng;
 pub mod structured;
 
 pub use bcsr::BcsrMatrix;
@@ -48,3 +51,4 @@ pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use dense::{DenseMatrix, DenseTensor};
 pub use fibertree::{AxisFormat, FiberTree, FiberTreeStats};
+pub use rng::Rng64;

@@ -200,7 +200,12 @@ pub fn merge_fibers(fibers: &[Fiber]) -> Fiber {
 /// # Panics
 ///
 /// Panics on rank or channel mismatches, or if `stride` is zero.
-pub fn conv2d(input: &DenseTensor, weights: &DenseTensor, stride: usize, pad: usize) -> DenseTensor {
+pub fn conv2d(
+    input: &DenseTensor,
+    weights: &DenseTensor,
+    stride: usize,
+    pad: usize,
+) -> DenseTensor {
     assert_eq!(input.ndim(), 3, "input must be [C,H,W]");
     assert_eq!(weights.ndim(), 4, "weights must be [K,C,R,S]");
     assert!(stride > 0, "stride must be non-zero");
@@ -301,7 +306,8 @@ mod tests {
     #[test]
     fn partials_have_rank_one_structure() {
         let a = gen::uniform(10, 12, 0.3, 5);
-        let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &gen::uniform(12, 10, 0.3, 6));
+        let partials =
+            spgemm_outer_partials(&CscMatrix::from_csr(&a), &gen::uniform(12, 10, 0.3, 6));
         for p in &partials {
             // Every row of a rank-1 partial matrix has the same column set.
             let lens = p.row_lengths();

@@ -106,9 +106,15 @@ impl StructuredMatrix {
     /// Panics if out of bounds.
     pub fn group(&self, r: usize, g: usize) -> (&[f64], &[u8]) {
         let groups_per_row = self.cols / self.m;
-        assert!(r < self.rows && g < groups_per_row, "group index out of bounds");
+        assert!(
+            r < self.rows && g < groups_per_row,
+            "group index out of bounds"
+        );
         let base = (r * groups_per_row + g) * self.n;
-        (&self.values[base..base + self.n], &self.indices[base..base + self.n])
+        (
+            &self.values[base..base + self.n],
+            &self.indices[base..base + self.n],
+        )
     }
 
     /// Expands to a dense matrix.

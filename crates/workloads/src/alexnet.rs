@@ -49,11 +49,51 @@ impl ConvLayer {
 /// activations ~35%–100% from ReLU sparsity).
 pub fn alexnet_conv_layers() -> Vec<ConvLayer> {
     vec![
-        ConvLayer { name: "conv1", cin: 3, hw: 55, cout: 96, k: 11, weight_density: 0.84, act_density: 1.00 },
-        ConvLayer { name: "conv2", cin: 96, hw: 27, cout: 256, k: 5, weight_density: 0.38, act_density: 0.49 },
-        ConvLayer { name: "conv3", cin: 256, hw: 13, cout: 384, k: 3, weight_density: 0.35, act_density: 0.35 },
-        ConvLayer { name: "conv4", cin: 384, hw: 13, cout: 384, k: 3, weight_density: 0.37, act_density: 0.43 },
-        ConvLayer { name: "conv5", cin: 384, hw: 13, cout: 256, k: 3, weight_density: 0.37, act_density: 0.47 },
+        ConvLayer {
+            name: "conv1",
+            cin: 3,
+            hw: 55,
+            cout: 96,
+            k: 11,
+            weight_density: 0.84,
+            act_density: 1.00,
+        },
+        ConvLayer {
+            name: "conv2",
+            cin: 96,
+            hw: 27,
+            cout: 256,
+            k: 5,
+            weight_density: 0.38,
+            act_density: 0.49,
+        },
+        ConvLayer {
+            name: "conv3",
+            cin: 256,
+            hw: 13,
+            cout: 384,
+            k: 3,
+            weight_density: 0.35,
+            act_density: 0.35,
+        },
+        ConvLayer {
+            name: "conv4",
+            cin: 384,
+            hw: 13,
+            cout: 384,
+            k: 3,
+            weight_density: 0.37,
+            act_density: 0.43,
+        },
+        ConvLayer {
+            name: "conv5",
+            cin: 384,
+            hw: 13,
+            cout: 256,
+            k: 3,
+            weight_density: 0.37,
+            act_density: 0.47,
+        },
     ]
 }
 
@@ -91,10 +131,7 @@ mod tests {
     #[test]
     fn nnz_counts_consistent() {
         let l = &alexnet_conv_layers()[1];
-        assert_eq!(
-            l.nnz_weights(),
-            ((96 * 256 * 25) as f64 * 0.38) as u64
-        );
+        assert_eq!(l.nnz_weights(), ((96 * 256 * 25) as f64 * 0.38) as u64);
         assert!(l.nnz_acts() < (96 * 27 * 27) as u64);
     }
 }

@@ -65,23 +65,127 @@ impl Conv {
 /// repeat counts. Shapes follow He et al. (2015), Table 1.
 pub fn resnet50_layers() -> Vec<Conv> {
     vec![
-        Conv { name: "conv1", cin: 3, hw: 224, cout: 64, k: 7, stride: 2, repeats: 1 },
+        Conv {
+            name: "conv1",
+            cin: 3,
+            hw: 224,
+            cout: 64,
+            k: 7,
+            stride: 2,
+            repeats: 1,
+        },
         // conv2_x: 3 bottleneck blocks at 56x56.
-        Conv { name: "conv2.reduce", cin: 256, hw: 56, cout: 64, k: 1, stride: 1, repeats: 3 },
-        Conv { name: "conv2.3x3", cin: 64, hw: 56, cout: 64, k: 3, stride: 1, repeats: 3 },
-        Conv { name: "conv2.expand", cin: 64, hw: 56, cout: 256, k: 1, stride: 1, repeats: 3 },
+        Conv {
+            name: "conv2.reduce",
+            cin: 256,
+            hw: 56,
+            cout: 64,
+            k: 1,
+            stride: 1,
+            repeats: 3,
+        },
+        Conv {
+            name: "conv2.3x3",
+            cin: 64,
+            hw: 56,
+            cout: 64,
+            k: 3,
+            stride: 1,
+            repeats: 3,
+        },
+        Conv {
+            name: "conv2.expand",
+            cin: 64,
+            hw: 56,
+            cout: 256,
+            k: 1,
+            stride: 1,
+            repeats: 3,
+        },
         // conv3_x: 4 blocks at 28x28.
-        Conv { name: "conv3.reduce", cin: 512, hw: 28, cout: 128, k: 1, stride: 1, repeats: 4 },
-        Conv { name: "conv3.3x3", cin: 128, hw: 28, cout: 128, k: 3, stride: 1, repeats: 4 },
-        Conv { name: "conv3.expand", cin: 128, hw: 28, cout: 512, k: 1, stride: 1, repeats: 4 },
+        Conv {
+            name: "conv3.reduce",
+            cin: 512,
+            hw: 28,
+            cout: 128,
+            k: 1,
+            stride: 1,
+            repeats: 4,
+        },
+        Conv {
+            name: "conv3.3x3",
+            cin: 128,
+            hw: 28,
+            cout: 128,
+            k: 3,
+            stride: 1,
+            repeats: 4,
+        },
+        Conv {
+            name: "conv3.expand",
+            cin: 128,
+            hw: 28,
+            cout: 512,
+            k: 1,
+            stride: 1,
+            repeats: 4,
+        },
         // conv4_x: 6 blocks at 14x14.
-        Conv { name: "conv4.reduce", cin: 1024, hw: 14, cout: 256, k: 1, stride: 1, repeats: 6 },
-        Conv { name: "conv4.3x3", cin: 256, hw: 14, cout: 256, k: 3, stride: 1, repeats: 6 },
-        Conv { name: "conv4.expand", cin: 256, hw: 14, cout: 1024, k: 1, stride: 1, repeats: 6 },
+        Conv {
+            name: "conv4.reduce",
+            cin: 1024,
+            hw: 14,
+            cout: 256,
+            k: 1,
+            stride: 1,
+            repeats: 6,
+        },
+        Conv {
+            name: "conv4.3x3",
+            cin: 256,
+            hw: 14,
+            cout: 256,
+            k: 3,
+            stride: 1,
+            repeats: 6,
+        },
+        Conv {
+            name: "conv4.expand",
+            cin: 256,
+            hw: 14,
+            cout: 1024,
+            k: 1,
+            stride: 1,
+            repeats: 6,
+        },
         // conv5_x: 3 blocks at 7x7.
-        Conv { name: "conv5.reduce", cin: 2048, hw: 7, cout: 512, k: 1, stride: 1, repeats: 3 },
-        Conv { name: "conv5.3x3", cin: 512, hw: 7, cout: 512, k: 3, stride: 1, repeats: 3 },
-        Conv { name: "conv5.expand", cin: 512, hw: 7, cout: 2048, k: 1, stride: 1, repeats: 3 },
+        Conv {
+            name: "conv5.reduce",
+            cin: 2048,
+            hw: 7,
+            cout: 512,
+            k: 1,
+            stride: 1,
+            repeats: 3,
+        },
+        Conv {
+            name: "conv5.3x3",
+            cin: 512,
+            hw: 7,
+            cout: 512,
+            k: 3,
+            stride: 1,
+            repeats: 3,
+        },
+        Conv {
+            name: "conv5.expand",
+            cin: 512,
+            hw: 7,
+            cout: 2048,
+            k: 1,
+            stride: 1,
+            repeats: 3,
+        },
     ]
 }
 
@@ -119,7 +223,15 @@ mod tests {
 
     #[test]
     fn conv_lowering() {
-        let c = Conv { name: "t", cin: 64, hw: 56, cout: 64, k: 3, stride: 1, repeats: 1 };
+        let c = Conv {
+            name: "t",
+            cin: 64,
+            hw: 56,
+            cout: 64,
+            k: 3,
+            stride: 1,
+            repeats: 1,
+        };
         let g = c.to_gemm();
         assert_eq!(g.m, 56 * 56);
         assert_eq!(g.k, 64 * 9);
@@ -128,7 +240,15 @@ mod tests {
 
     #[test]
     fn strided_conv_halves_output() {
-        let c = Conv { name: "s", cin: 3, hw: 224, cout: 64, k: 7, stride: 2, repeats: 1 };
+        let c = Conv {
+            name: "s",
+            cin: 3,
+            hw: 224,
+            cout: 64,
+            k: 7,
+            stride: 2,
+            repeats: 1,
+        };
         assert_eq!(c.out_hw(), 112);
     }
 

@@ -66,7 +66,12 @@ impl SuiteMatrix {
             }
             SparsityClass::Circuit => {
                 // Banded bulk plus a handful of heavy rows.
-                let base = gen::banded(rows.min(cols), (avg * 6.0) as usize + 2, avg.round() as usize, seed);
+                let base = gen::banded(
+                    rows.min(cols),
+                    (avg * 6.0) as usize + 2,
+                    avg.round() as usize,
+                    seed,
+                );
                 let heavy = gen::imbalanced(
                     rows.min(cols),
                     cols.min(rows),
@@ -90,24 +95,132 @@ impl SuiteMatrix {
 pub fn suite() -> Vec<SuiteMatrix> {
     use SparsityClass::*;
     vec![
-        SuiteMatrix { name: "2cubes_sphere", rows: 101_492, cols: 101_492, nnz: 1_647_264, class: Fem },
-        SuiteMatrix { name: "amazon0312", rows: 400_727, cols: 400_727, nnz: 3_200_440, class: PowerLaw(2.1) },
-        SuiteMatrix { name: "ca-CondMat", rows: 23_133, cols: 23_133, nnz: 186_936, class: PowerLaw(2.0) },
-        SuiteMatrix { name: "cage12", rows: 130_228, cols: 130_228, nnz: 2_032_536, class: Fem },
-        SuiteMatrix { name: "cop20k_A", rows: 121_192, cols: 121_192, nnz: 2_624_331, class: Fem },
-        SuiteMatrix { name: "email-Enron", rows: 36_692, cols: 36_692, nnz: 367_662, class: PowerLaw(1.8) },
-        SuiteMatrix { name: "filter3D", rows: 106_437, cols: 106_437, nnz: 2_707_179, class: Fem },
-        SuiteMatrix { name: "m133-b3", rows: 200_200, cols: 200_200, nnz: 800_800, class: Regular },
-        SuiteMatrix { name: "mario002", rows: 389_874, cols: 389_874, nnz: 2_101_242, class: Regular },
-        SuiteMatrix { name: "offshore", rows: 259_789, cols: 259_789, nnz: 4_242_673, class: Fem },
-        SuiteMatrix { name: "p2p-Gnutella31", rows: 62_586, cols: 62_586, nnz: 147_892, class: PowerLaw(1.9) },
-        SuiteMatrix { name: "patents_main", rows: 240_547, cols: 240_547, nnz: 560_943, class: PowerLaw(2.2) },
-        SuiteMatrix { name: "poisson3Da", rows: 13_514, cols: 13_514, nnz: 352_762, class: Fem },
-        SuiteMatrix { name: "roadNet-CA", rows: 1_971_281, cols: 1_971_281, nnz: 5_533_214, class: Regular },
-        SuiteMatrix { name: "scircuit", rows: 170_998, cols: 170_998, nnz: 958_936, class: Circuit },
-        SuiteMatrix { name: "web-Google", rows: 916_428, cols: 916_428, nnz: 5_105_039, class: PowerLaw(2.0) },
-        SuiteMatrix { name: "webbase-1M", rows: 1_000_005, cols: 1_000_005, nnz: 3_105_536, class: PowerLaw(1.7) },
-        SuiteMatrix { name: "wiki-Vote", rows: 8_297, cols: 8_297, nnz: 103_689, class: PowerLaw(1.8) },
+        SuiteMatrix {
+            name: "2cubes_sphere",
+            rows: 101_492,
+            cols: 101_492,
+            nnz: 1_647_264,
+            class: Fem,
+        },
+        SuiteMatrix {
+            name: "amazon0312",
+            rows: 400_727,
+            cols: 400_727,
+            nnz: 3_200_440,
+            class: PowerLaw(2.1),
+        },
+        SuiteMatrix {
+            name: "ca-CondMat",
+            rows: 23_133,
+            cols: 23_133,
+            nnz: 186_936,
+            class: PowerLaw(2.0),
+        },
+        SuiteMatrix {
+            name: "cage12",
+            rows: 130_228,
+            cols: 130_228,
+            nnz: 2_032_536,
+            class: Fem,
+        },
+        SuiteMatrix {
+            name: "cop20k_A",
+            rows: 121_192,
+            cols: 121_192,
+            nnz: 2_624_331,
+            class: Fem,
+        },
+        SuiteMatrix {
+            name: "email-Enron",
+            rows: 36_692,
+            cols: 36_692,
+            nnz: 367_662,
+            class: PowerLaw(1.8),
+        },
+        SuiteMatrix {
+            name: "filter3D",
+            rows: 106_437,
+            cols: 106_437,
+            nnz: 2_707_179,
+            class: Fem,
+        },
+        SuiteMatrix {
+            name: "m133-b3",
+            rows: 200_200,
+            cols: 200_200,
+            nnz: 800_800,
+            class: Regular,
+        },
+        SuiteMatrix {
+            name: "mario002",
+            rows: 389_874,
+            cols: 389_874,
+            nnz: 2_101_242,
+            class: Regular,
+        },
+        SuiteMatrix {
+            name: "offshore",
+            rows: 259_789,
+            cols: 259_789,
+            nnz: 4_242_673,
+            class: Fem,
+        },
+        SuiteMatrix {
+            name: "p2p-Gnutella31",
+            rows: 62_586,
+            cols: 62_586,
+            nnz: 147_892,
+            class: PowerLaw(1.9),
+        },
+        SuiteMatrix {
+            name: "patents_main",
+            rows: 240_547,
+            cols: 240_547,
+            nnz: 560_943,
+            class: PowerLaw(2.2),
+        },
+        SuiteMatrix {
+            name: "poisson3Da",
+            rows: 13_514,
+            cols: 13_514,
+            nnz: 352_762,
+            class: Fem,
+        },
+        SuiteMatrix {
+            name: "roadNet-CA",
+            rows: 1_971_281,
+            cols: 1_971_281,
+            nnz: 5_533_214,
+            class: Regular,
+        },
+        SuiteMatrix {
+            name: "scircuit",
+            rows: 170_998,
+            cols: 170_998,
+            nnz: 958_936,
+            class: Circuit,
+        },
+        SuiteMatrix {
+            name: "web-Google",
+            rows: 916_428,
+            cols: 916_428,
+            nnz: 5_105_039,
+            class: PowerLaw(2.0),
+        },
+        SuiteMatrix {
+            name: "webbase-1M",
+            rows: 1_000_005,
+            cols: 1_000_005,
+            nnz: 3_105_536,
+            class: PowerLaw(1.7),
+        },
+        SuiteMatrix {
+            name: "wiki-Vote",
+            rows: 8_297,
+            cols: 8_297,
+            nnz: 103_689,
+            class: PowerLaw(1.8),
+        },
     ]
 }
 
@@ -148,8 +261,14 @@ mod tests {
 
     #[test]
     fn power_law_instances_are_imbalanced() {
-        let web = suite().into_iter().find(|m| m.name == "webbase-1M").unwrap();
-        let fem = suite().into_iter().find(|m| m.name == "poisson3Da").unwrap();
+        let web = suite()
+            .into_iter()
+            .find(|m| m.name == "webbase-1M")
+            .unwrap();
+        let fem = suite()
+            .into_iter()
+            .find(|m| m.name == "poisson3Da")
+            .unwrap();
         let w = web.instantiate(2000, 5);
         let f = fem.instantiate(2000, 5);
         let (_, wmax, wmean) = w.row_length_stats();

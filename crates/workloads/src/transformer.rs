@@ -17,12 +17,48 @@ pub fn bert_base_layer(seq_len: usize) -> Vec<GemmShape> {
     let heads = 12;
     let dh = h / heads;
     vec![
-        GemmShape { name: "qkv_proj", m: seq_len, k: h, n: 3 * h, repeats: 1 },
-        GemmShape { name: "attn_scores", m: seq_len, k: dh, n: seq_len, repeats: heads },
-        GemmShape { name: "attn_context", m: seq_len, k: seq_len, n: dh, repeats: heads },
-        GemmShape { name: "attn_out", m: seq_len, k: h, n: h, repeats: 1 },
-        GemmShape { name: "ffn_up", m: seq_len, k: h, n: ffn, repeats: 1 },
-        GemmShape { name: "ffn_down", m: seq_len, k: ffn, n: h, repeats: 1 },
+        GemmShape {
+            name: "qkv_proj",
+            m: seq_len,
+            k: h,
+            n: 3 * h,
+            repeats: 1,
+        },
+        GemmShape {
+            name: "attn_scores",
+            m: seq_len,
+            k: dh,
+            n: seq_len,
+            repeats: heads,
+        },
+        GemmShape {
+            name: "attn_context",
+            m: seq_len,
+            k: seq_len,
+            n: dh,
+            repeats: heads,
+        },
+        GemmShape {
+            name: "attn_out",
+            m: seq_len,
+            k: h,
+            n: h,
+            repeats: 1,
+        },
+        GemmShape {
+            name: "ffn_up",
+            m: seq_len,
+            k: h,
+            n: ffn,
+            repeats: 1,
+        },
+        GemmShape {
+            name: "ffn_down",
+            m: seq_len,
+            k: ffn,
+            n: h,
+            repeats: 1,
+        },
     ]
 }
 
@@ -55,7 +91,11 @@ mod tests {
     #[test]
     fn weight_vs_activation_gemms() {
         let l = bert_base_layer(128);
-        let weight: Vec<&str> = l.iter().filter(|g| is_weight_gemm(g)).map(|g| g.name).collect();
+        let weight: Vec<&str> = l
+            .iter()
+            .filter(|g| is_weight_gemm(g))
+            .map(|g| g.name)
+            .collect();
         assert_eq!(weight, vec!["qkv_proj", "attn_out", "ffn_up", "ffn_down"]);
     }
 

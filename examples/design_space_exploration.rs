@@ -21,7 +21,10 @@ fn main() -> Result<(), CompileError> {
     let sparsities: Vec<(&str, Option<SkipSpec>)> = vec![
         ("dense", None),
         ("csr-B", Some(SkipSpec::skip(&[j], &[k]))),
-        ("2:4-A", Some(SkipSpec::optimistic_skip(&[k], &[IndexId::nth(0)], 2))),
+        (
+            "2:4-A",
+            Some(SkipSpec::optimistic_skip(&[k], &[IndexId::nth(0)], 2)),
+        ),
     ];
     let pipelines: Vec<(&str, i64)> = vec![("x1", 1), ("x2", 2)];
 

@@ -16,11 +16,14 @@ fn main() {
         design.regfiles.len()
     );
 
-    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
-    let stellar_rows = run_resnet50(&GemmParams::stellar_gemmini());
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini()).expect("resnet50 run");
+    let stellar_rows = run_resnet50(&GemmParams::stellar_gemmini()).expect("resnet50 run");
     let energy = EnergyModel::new(&design, Technology::intel22());
 
-    println!("{:<16} {:>10} {:>10} {:>8} {:>12}", "layer", "hand util", "stlr util", "ratio", "stlr pJ/MAC");
+    println!(
+        "{:<16} {:>10} {:>10} {:>8} {:>12}",
+        "layer", "hand util", "stlr util", "ratio", "stlr pJ/MAC"
+    );
     let (mut hb, mut ht, mut sb, mut st) = (0u64, 0u64, 0u64, 0u64);
     for ((name, h), (_, s)) in hand.iter().zip(&stellar_rows) {
         let hu = h.utilization.fraction();

@@ -14,8 +14,8 @@ fn main() {
     // Tensors in DRAM: a dense A and a sparse (CSR) B.
     let a = gen::dense(8, 8, 1);
     let b = gen::uniform(8, 8, 0.4, 2);
-    let a_addr = host.dram_store_dense(&a);
-    let (b_data, b_row_ids, b_coords) = host.dram_store_csr(&b);
+    let a_addr = host.dram_store_dense(&a).expect("store A");
+    let (b_data, b_row_ids, b_coords) = host.dram_store_csr(&b).expect("store B");
 
     // Listing 7, first half: move the dense matrix into SRAM_A.
     let mut p = Program::new();
@@ -44,7 +44,11 @@ fn main() {
     p.issue();
 
     // Every instruction is a real encoded RISC-V custom instruction.
-    println!("program: {} instructions, {} issues", p.instructions().len(), p.num_issues());
+    println!(
+        "program: {} instructions, {} issues",
+        p.instructions().len(),
+        p.num_issues()
+    );
     for instr in p.instructions().iter().take(4) {
         let (funct, rs1, rs2) = instr.encode();
         println!("  funct={funct} rs1={rs1:#010x} rs2={rs2:#x}  ({instr})");
@@ -61,9 +65,12 @@ fn main() {
         TensorPayload::Csc(m) => m.to_dense(),
         TensorPayload::Dense(m) => m.clone(),
     };
-    let result = simulate_ws_matmul(&a_in, &b_in);
+    let result = simulate_ws_matmul(&a_in, &b_in).expect("systolic simulation");
     let golden = a.matmul(&b.to_dense());
-    assert!(result.product.approx_eq(&golden, 1e-9), "systolic result must match golden");
+    assert!(
+        result.product.approx_eq(&golden, 1e-9),
+        "systolic result must match golden"
+    );
     println!(
         "systolic matmul: {} cycles, {:.1}% PE utilization, result verified against golden model",
         result.stats.cycles,

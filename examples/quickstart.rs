@@ -32,13 +32,20 @@ fn main() -> Result<(), CompileError> {
     println!("regfile ports : {}", arr.num_io_ports());
     println!("time steps    : {}", arr.time_steps);
     for rf in &design.regfiles {
-        println!("regfile {:<4} : {} ({} entries)", rf.tensor, rf.kind, rf.entries);
+        println!(
+            "regfile {:<4} : {} ({} entries)",
+            rf.tensor, rf.kind, rf.entries
+        );
     }
 
     // Emit synthesizable Verilog.
     let netlist = emit_accelerator(&design);
     let verilog = netlist.to_verilog();
-    println!("verilog       : {} modules, {} lines", netlist.modules().len(), verilog.lines().count());
+    println!(
+        "verilog       : {} modules, {} lines",
+        netlist.modules().len(),
+        verilog.lines().count()
+    );
 
     // Area and frequency estimates.
     let tech = Technology::asap7();
@@ -49,6 +56,9 @@ fn main() -> Result<(), CompileError> {
             println!("  {name:<15} {um2:>10.0} um^2 ({pct:>4.1}%)");
         }
     }
-    println!("max frequency : {:.0} MHz", max_frequency_mhz(&design, false, &tech));
+    println!(
+        "max frequency : {:.0} MHz",
+        max_frequency_mhz(&design, false, &tech)
+    );
     Ok(())
 }

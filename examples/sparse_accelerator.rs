@@ -36,9 +36,21 @@ fn main() -> Result<(), CompileError> {
 
     let (da, sa) = (&dense.spatial_arrays[0], &sparse.spatial_arrays[0]);
     println!("                 dense   sparse");
-    println!("PE-to-PE wires : {:>5}   {:>5}", da.num_moving_conns(), sa.num_moving_conns());
-    println!("regfile ports  : {:>5}   {:>5}", da.num_io_ports(), sa.num_io_ports());
-    println!("load balancers : {:>5}   {:>5}", dense.load_balancers.len(), sparse.load_balancers.len());
+    println!(
+        "PE-to-PE wires : {:>5}   {:>5}",
+        da.num_moving_conns(),
+        sa.num_moving_conns()
+    );
+    println!(
+        "regfile ports  : {:>5}   {:>5}",
+        da.num_io_ports(),
+        sa.num_io_ports()
+    );
+    println!(
+        "load balancers : {:>5}   {:>5}",
+        dense.load_balancers.len(),
+        sparse.load_balancers.len()
+    );
 
     // Execute an imbalanced B matrix (Figure 6): the heavy rows pile onto
     // the first two lanes.
@@ -59,7 +71,8 @@ fn main() -> Result<(), CompileError> {
                 row_startup_cycles: 1,
                 balance: policy,
             },
-        );
+        )
+        .expect("sparse simulation");
         println!(
             "{name:<26}: {:>5} cycles, {:>5.1}% PE utilization",
             r.stats.cycles,

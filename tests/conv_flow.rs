@@ -50,8 +50,8 @@ fn conv_via_systolic_matches_direct() {
     let wmat = weight_matrix(&weights).transpose(); // [C*KH*KW, K]
 
     // Run the GEMM on both systolic dataflows.
-    let ws = simulate_ws_matmul(&patches, &wmat);
-    let os = simulate_os_matmul(&patches, &wmat);
+    let ws = simulate_ws_matmul(&patches, &wmat).unwrap();
+    let os = simulate_os_matmul(&patches, &wmat).unwrap();
     assert!(ws.product.approx_eq(&os.product, 1e-9));
 
     for k in 0..3 {
@@ -75,7 +75,7 @@ fn strided_padded_conv_matches() {
     let direct = conv2d(&input, &weights, 2, 1);
     let (patches, hout, wout) = im2col(&input, 3, 3, 2, 1);
     let wmat = weight_matrix(&weights).transpose();
-    let out = simulate_ws_matmul(&patches, &wmat).product;
+    let out = simulate_ws_matmul(&patches, &wmat).unwrap().product;
     assert_eq!(direct.shape(), &[2, hout, wout]);
     for k in 0..2 {
         for y in 0..hout {

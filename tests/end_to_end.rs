@@ -15,11 +15,15 @@ fn idx(n: usize) -> IndexId {
 fn spec_gallery() -> Vec<AcceleratorSpec> {
     let mm = |n: usize| Functionality::matmul(n, n, n);
     vec![
-        AcceleratorSpec::new("os_dense", mm(4)).with_transform(SpaceTimeTransform::output_stationary()),
-        AcceleratorSpec::new("is_dense", mm(4)).with_transform(SpaceTimeTransform::input_stationary()),
+        AcceleratorSpec::new("os_dense", mm(4))
+            .with_transform(SpaceTimeTransform::output_stationary()),
+        AcceleratorSpec::new("is_dense", mm(4))
+            .with_transform(SpaceTimeTransform::input_stationary()),
         AcceleratorSpec::new("hex_dense", mm(4)).with_transform(SpaceTimeTransform::hexagonal()),
         AcceleratorSpec::new("pipelined", mm(4)).with_transform(
-            SpaceTimeTransform::output_stationary().with_time_scale(2).unwrap(),
+            SpaceTimeTransform::output_stationary()
+                .with_time_scale(2)
+                .unwrap(),
         ),
         AcceleratorSpec::new("csr_b", mm(4))
             .with_transform(SpaceTimeTransform::input_stationary())
@@ -77,7 +81,11 @@ fn gallery_area_and_timing_are_positive_and_finite() {
     for spec in spec_gallery() {
         let design = compile(&spec).unwrap();
         let area = area_of(&design, &tech);
-        assert!(area.total_um2().is_finite() && area.total_um2() > 0.0, "{}", spec.name());
+        assert!(
+            area.total_um2().is_finite() && area.total_um2() > 0.0,
+            "{}",
+            spec.name()
+        );
         let f = max_frequency_mhz(&design, false, &tech);
         assert!((100.0..20_000.0).contains(&f), "{}: {f} MHz", spec.name());
     }
@@ -99,13 +107,10 @@ fn sparse_designs_trade_wires_for_ports() {
 }
 
 #[test]
-fn serde_design_round_trips_structurally() {
-    // The design IR is serializable data: cloning and comparing exercises
-    // the full structural equality; Serialize/Deserialize are bound at
-    // compile time.
-    fn assert_io<T: serde::Serialize + for<'a> serde::Deserialize<'a>>(_: &T) {}
+fn design_round_trips_structurally() {
+    // The design IR is plain data: cloning and comparing exercises the full
+    // structural equality of every nested component.
     let design = compile(&spec_gallery()[0]).unwrap();
-    assert_io(&design);
     assert_eq!(design, design.clone());
 }
 

@@ -29,11 +29,17 @@ fn interpreter_systolic_and_golden_agree() {
             .run(&inputs)
             .unwrap()[&tensors[2]]
             .to_matrix();
-        assert!(spec_out.approx_eq(&golden, 1e-9), "interpreter diverged (seed {seed})");
+        assert!(
+            spec_out.approx_eq(&golden, 1e-9),
+            "interpreter diverged (seed {seed})"
+        );
 
         // Cycle-stepped systolic array.
-        let sys_out = simulate_ws_matmul(&a, &b).product;
-        assert!(sys_out.approx_eq(&golden, 1e-9), "systolic diverged (seed {seed})");
+        let sys_out = simulate_ws_matmul(&a, &b).unwrap().product;
+        assert!(
+            sys_out.approx_eq(&golden, 1e-9),
+            "systolic diverged (seed {seed})"
+        );
     }
 }
 
@@ -45,8 +51,14 @@ fn sparse_kernels_agree_with_dense() {
         let golden = a.to_dense().matmul(&b.to_dense());
         let gust = spgemm_gustavson(&a, &b).to_dense();
         let outer = spgemm_outer(&CscMatrix::from_csr(&a), &b).to_dense();
-        assert!(gust.approx_eq(&golden, 1e-9), "gustavson diverged (seed {seed})");
-        assert!(outer.approx_eq(&golden, 1e-9), "outer-product diverged (seed {seed})");
+        assert!(
+            gust.approx_eq(&golden, 1e-9),
+            "gustavson diverged (seed {seed})"
+        );
+        assert!(
+            outer.approx_eq(&golden, 1e-9),
+            "outer-product diverged (seed {seed})"
+        );
     }
 }
 

@@ -44,8 +44,8 @@ fn listing7_end_to_end_matmul() {
     let a = gen::dense(6, 5, 21);
     let b = gen::uniform(5, 7, 0.5, 22);
     let mut host = Host::new();
-    let a_addr = host.dram_store_dense(&a);
-    let (b_data, b_rows, b_coords) = host.dram_store_csr(&b);
+    let a_addr = host.dram_store_dense(&a).unwrap();
+    let (b_data, b_rows, b_coords) = host.dram_store_csr(&b).unwrap();
 
     let mut p = Program::new();
     dense_move(&mut p, a_addr, 6, 5, "SRAM_A");
@@ -66,7 +66,7 @@ fn listing7_end_to_end_matmul() {
         TensorPayload::Csc(m) => m.to_dense(),
         TensorPayload::Dense(m) => m.clone(),
     };
-    let out = simulate_ws_matmul(&a_in, &b_in);
+    let out = simulate_ws_matmul(&a_in, &b_in).unwrap();
     assert!(out.product.approx_eq(&a.matmul(&b.to_dense()), 1e-9));
 }
 
@@ -76,7 +76,7 @@ fn dma_cycle_accounting_scales_with_tensor_size() {
     let large = gen::dense(64, 64, 2);
     let run = |m: &stellar::tensor::DenseMatrix| {
         let mut host = Host::new();
-        let addr = host.dram_store_dense(m);
+        let addr = host.dram_store_dense(m).unwrap();
         let mut p = Program::new();
         dense_move(&mut p, addr, m.rows() as u64, m.cols() as u64, "X");
         host.run(&p).unwrap();
@@ -91,7 +91,7 @@ fn sparse_transfer_moves_metadata_words() {
     // coordinates move too (Listing 7 configures three arrays).
     let b = gen::uniform(32, 32, 0.2, 5);
     let mut host = Host::new().with_dma(DmaModel::with_slots(1));
-    let (b_data, b_rows, b_coords) = host.dram_store_csr(&b);
+    let (b_data, b_rows, b_coords) = host.dram_store_csr(&b).unwrap();
     let mut p = Program::new();
     p.set_src_and_dst(MemUnit::Dram, MemUnit::buffer("B"));
     p.set_data_addr_src(b_data);
@@ -104,7 +104,10 @@ fn sparse_transfer_moves_metadata_words() {
     host.run(&p).unwrap();
     let dma = DmaModel::with_slots(1);
     let data_only = dma.contiguous_cycles(b.nnz() as u64);
-    assert!(host.cycles() > data_only, "metadata transfers must be accounted");
+    assert!(
+        host.cycles() > data_only,
+        "metadata transfers must be accounted"
+    );
     // The payload arrived intact.
     assert_eq!(host.buffer_dense("B").unwrap(), b.to_dense());
 }

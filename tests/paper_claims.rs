@@ -17,8 +17,8 @@ use stellar::workloads::suite;
 /// 90% of the utilization of the handwritten Gemmini accelerator".
 #[test]
 fn gemmini_utilization_ratio_near_90_percent() {
-    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
-    let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini()).unwrap();
+    let stellar = run_resnet50(&GemmParams::stellar_gemmini()).unwrap();
     let util = |rows: &[(&str, stellar::sim::SimStats)]| {
         let busy: u64 = rows.iter().map(|(_, s)| s.utilization.busy).sum();
         let total: u64 = rows.iter().map(|(_, s)| s.utilization.total).sum();
@@ -53,8 +53,14 @@ fn frequency_gap_from_address_generators() {
     let tech = Technology::asap7();
     let central = max_frequency_mhz(&d, true, &tech);
     let distributed = max_frequency_mhz(&d, false, &tech);
-    assert!((550.0..850.0).contains(&central), "centralized {central:.0} MHz");
-    assert!((900.0..1400.0).contains(&distributed), "distributed {distributed:.0} MHz");
+    assert!(
+        (550.0..850.0).contains(&central),
+        "centralized {central:.0} MHz"
+    );
+    assert!(
+        (900.0..1400.0).contains(&distributed),
+        "distributed {distributed:.0} MHz"
+    );
 }
 
 /// Figure 17: "Stellar's power overhead ranges from 7% at best to 30% at
@@ -67,22 +73,32 @@ fn energy_overhead_range_spans_layers() {
     }
     let hand_model = EnergyModel::new(&hand_design, Technology::intel22());
     let stellar_model = EnergyModel::new(&gemmini_design(), Technology::intel22());
-    let hand = run_resnet50(&GemmParams::handwritten_gemmini());
-    let stellar = run_resnet50(&GemmParams::stellar_gemmini());
+    let hand = run_resnet50(&GemmParams::handwritten_gemmini()).unwrap();
+    let stellar = run_resnet50(&GemmParams::stellar_gemmini()).unwrap();
     let overheads: Vec<f64> = hand
         .iter()
         .zip(&stellar)
         .map(|((_, h), (_, s))| {
-            energy_per_mac_pj(&stellar_model, &s.traffic) / energy_per_mac_pj(&hand_model, &h.traffic)
+            energy_per_mac_pj(&stellar_model, &s.traffic)
+                / energy_per_mac_pj(&hand_model, &h.traffic)
                 - 1.0
         })
         .collect();
     let min = overheads.iter().copied().fold(f64::INFINITY, f64::min);
     let max = overheads.iter().copied().fold(0.0, f64::max);
-    assert!(min > 0.03, "best-case overhead {min:.3} should be small but positive");
+    assert!(
+        min > 0.03,
+        "best-case overhead {min:.3} should be small but positive"
+    );
     assert!(max > 0.15, "worst-case overhead {max:.3} should be large");
-    assert!(max < 0.45, "worst-case overhead {max:.3} should stay bounded");
-    assert!(max / min.max(1e-9) > 2.0, "overhead must vary substantially by layer");
+    assert!(
+        max < 0.45,
+        "worst-case overhead {max:.3} should stay bounded"
+    );
+    assert!(
+        max / min.max(1e-9) > 2.0,
+        "overhead must vary substantially by layer"
+    );
 }
 
 /// Figure 15: "the Stellar-generated SCNN achieved 83%-94% of the
@@ -117,10 +133,19 @@ fn outerspace_dma_fix_shape() {
     let d = avg(&OuterSpaceConfig::stellar_default());
     let f = avg(&OuterSpaceConfig::stellar_fixed());
     let h = avg(&OuterSpaceConfig::handwritten());
-    assert!(d < f && f < h, "ordering: {d:.2} < {f:.2} < {h:.2} violated");
-    assert!((0.5..2.5).contains(&d), "default {d:.2} GFLOP/s (paper 1.42)");
+    assert!(
+        d < f && f < h,
+        "ordering: {d:.2} < {f:.2} < {h:.2} violated"
+    );
+    assert!(
+        (0.5..2.5).contains(&d),
+        "default {d:.2} GFLOP/s (paper 1.42)"
+    );
     assert!((1.5..3.5).contains(&f), "fixed {f:.2} GFLOP/s (paper 2.1)");
-    assert!((2.0..4.5).contains(&h), "handwritten {h:.2} GFLOP/s (paper 2.9)");
+    assert!(
+        (2.0..4.5).contains(&h),
+        "handwritten {h:.2} GFLOP/s (paper 2.9)"
+    );
 }
 
 /// Figure 18: "the row-partitioned mergers achieve at least 80% of the
@@ -132,7 +157,11 @@ fn merger_crossover_on_suite() {
     let comparisons: Vec<f64> = mats
         .iter()
         .enumerate()
-        .map(|(n, m)| compare_on_suite_matrix(m, 16, 70 + n as u64).relative())
+        .map(|(n, m)| {
+            compare_on_suite_matrix(m, 16, 70 + n as u64)
+                .unwrap()
+                .relative()
+        })
         .collect();
     let at_least_80 = comparisons.iter().filter(|&&r| r >= 0.8).count();
     let wins = comparisons.iter().filter(|&&r| r > 1.0).count();
@@ -141,10 +170,16 @@ fn merger_crossover_on_suite() {
         "only {at_least_80}/{} matrices reach 80% (paper: over a third)",
         mats.len()
     );
-    assert!(wins >= 2, "row-partitioned should win outright on some matrices, got {wins}");
+    assert!(
+        wins >= 2,
+        "row-partitioned should win outright on some matrices, got {wins}"
+    );
     // And it must lose badly somewhere (the imbalance-sensitive cases).
     let worst = comparisons.iter().copied().fold(f64::INFINITY, f64::min);
-    assert!(worst < 0.8, "worst case {worst:.2} should show imbalance sensitivity");
+    assert!(
+        worst < 0.8,
+        "worst case {worst:.2} should show imbalance sensitivity"
+    );
 }
 
 /// §IV-F / §VI-D: the flattened (SpArch-style) merger costs ~13× the
