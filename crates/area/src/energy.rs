@@ -24,11 +24,11 @@ impl TrafficCounts {
     /// Element-wise sum.
     pub fn merge(self, o: TrafficCounts) -> TrafficCounts {
         TrafficCounts {
-            macs: self.macs + o.macs,
-            sram_accesses: self.sram_accesses + o.sram_accesses,
-            regfile_accesses: self.regfile_accesses + o.regfile_accesses,
-            dram_words: self.dram_words + o.dram_words,
-            pe_cycles: self.pe_cycles + o.pe_cycles,
+            macs: self.macs.saturating_add(o.macs),
+            sram_accesses: self.sram_accesses.saturating_add(o.sram_accesses),
+            regfile_accesses: self.regfile_accesses.saturating_add(o.regfile_accesses),
+            dram_words: self.dram_words.saturating_add(o.dram_words),
+            pe_cycles: self.pe_cycles.saturating_add(o.pe_cycles),
         }
     }
 }

@@ -6,18 +6,18 @@
 //! (A100 2:4) keeps the wires but widens them into candidate bundles.
 
 use stellar_accels::a100_sparse_spec;
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::prelude::*;
 use stellar_core::IndexId;
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E3",
+    let mut report = Report::new(
+        "e03",
         "Figures 4/5 — Skip and OptimisticSkip restructure the array",
     );
     let (i, j, k) = (IndexId::nth(0), IndexId::nth(1), IndexId::nth(2));
 
-    let build = |name: &str, skips: Vec<SkipSpec>| -> Result<Vec<String>, CompileError> {
+    let mut build = |name: &str, skips: Vec<SkipSpec>| -> Result<Vec<String>, CompileError> {
         let mut spec = AcceleratorSpec::new(name, Functionality::matmul(4, 4, 4))
             .with_bounds(Bounds::from_extents(&[4, 4, 4]))
             .with_transform(SpaceTimeTransform::input_stationary());
@@ -27,6 +27,18 @@ fn main() -> Result<(), CompileError> {
         let d = compile(&spec)?;
         let arr = &d.spatial_arrays[0];
         let bundled = arr.conns.iter().filter(|c| c.bundle > 1).count();
+        let m = report.metrics();
+        m.counter_add(
+            "moving_conns",
+            &[("spec", name)],
+            arr.num_moving_conns() as u64,
+        );
+        m.counter_add("bundled_conns", &[("spec", name)], bundled as u64);
+        m.counter_add(
+            "regfile_ports",
+            &[("spec", name)],
+            arr.num_io_ports() as u64,
+        );
         Ok(vec![
             name.to_string(),
             arr.num_moving_conns().to_string(),
@@ -71,10 +83,15 @@ fn main() -> Result<(), CompileError> {
     // Figure 5: the A100 2:4 array keeps connections as 2-wide bundles.
     let d = compile(&a100_sparse_spec(4))?;
     let arr = &d.spatial_arrays[0];
+    let wide = arr.conns.iter().filter(|c| c.bundle == 2).count();
     println!(
         "\nA100 2:4 (OptimisticSkip, Fig 5): {} conns kept, {} widened to 2-wide bundles",
         arr.conns.len(),
-        arr.conns.iter().filter(|c| c.bundle == 2).count()
+        wide
     );
+    report
+        .metrics()
+        .counter_add("bundled_conns", &[("spec", "a100 2:4")], wide as u64);
+    report.finish("5 sparsity specs + the A100 2:4 array compiled");
     Ok(())
 }

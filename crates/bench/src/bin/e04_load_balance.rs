@@ -4,15 +4,18 @@
 //! matrices, and shows the Figure 10 hardware trade-off: per-PE balancing
 //! prunes more connections (more regfile ports) than row-group balancing.
 
-use stellar_bench::{header, pct, table};
+use stellar_bench::{pct, table, Report};
 use stellar_core::prelude::*;
 use stellar_core::IndexId;
-use stellar_sim::{simulate_sparse_matmul, BalancePolicy, SparseArrayParams};
+use stellar_sim::{
+    simulate_sparse_matmul_traced, BalancePolicy, FaultInjector, FaultPlan, SparseArrayParams,
+    Watchdog,
+};
 use stellar_tensor::gen;
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E4",
+    let mut report = Report::new(
+        "e04",
         "Figures 6/10 — load balancing: utilization and hardware cost",
     );
 
@@ -29,20 +32,35 @@ fn main() -> Result<(), CompileError> {
     let mut rows = Vec::new();
     for (name, b) in &workloads {
         let mut row = vec![name.to_string()];
-        for policy in [
-            BalancePolicy::None,
-            BalancePolicy::AdjacentRows,
-            BalancePolicy::Global,
+        for (pname, policy) in [
+            ("none", BalancePolicy::None),
+            ("adjacent", BalancePolicy::AdjacentRows),
+            ("global", BalancePolicy::Global),
         ] {
-            let r = simulate_sparse_matmul(
+            let r = simulate_sparse_matmul_traced(
                 b,
                 &SparseArrayParams {
                     lanes: 8,
                     row_startup_cycles: 1,
                     balance: policy,
                 },
+                &mut FaultInjector::new(FaultPlan::none()),
+                Watchdog::default_budget(),
+                report.tracer(),
             )
             .expect("sparse simulation");
+            report.breakdown(&format!("{name}/{pname}"), &r.stats.breakdown);
+            let m = report.metrics();
+            m.counter_add(
+                "cycles",
+                &[("workload", name), ("policy", pname)],
+                r.stats.cycles,
+            );
+            m.gauge_set(
+                "utilization",
+                &[("workload", name), ("policy", pname)],
+                r.utilization(),
+            );
             row.push(format!("{} ({})", r.stats.cycles, pct(r.utilization())));
         }
         rows.push(row);
@@ -78,5 +96,11 @@ fn main() -> Result<(), CompileError> {
     println!("\nhardware cost of flexibility (Figure 10):");
     println!("  row-group shift : {rc} moving wires, {rp} regfile ports (conns preserved)");
     println!("  per-PE shift    : {pc} moving wires, {pp} regfile ports (conns pruned)");
+    let m = report.metrics();
+    m.counter_add("moving_conns", &[("shift", "row-group")], rc as u64);
+    m.counter_add("regfile_ports", &[("shift", "row-group")], rp as u64);
+    m.counter_add("moving_conns", &[("shift", "per-pe")], pc as u64);
+    m.counter_add("regfile_ports", &[("shift", "per-pe")], pp as u64);
+    report.finish("4 workloads x 3 balancing policies simulated");
     Ok(())
 }

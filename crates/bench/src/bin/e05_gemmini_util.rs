@@ -2,12 +2,12 @@
 //! Stellar-generated Gemmini accelerators on end-to-end ResNet-50.
 
 use stellar_accels::run_resnet50;
-use stellar_bench::{header, pct, table};
-use stellar_sim::GemmParams;
+use stellar_bench::{pct, table, Report};
+use stellar_sim::{CycleBreakdown, GemmParams};
 
 fn main() {
-    header(
-        "E5",
+    let mut report = Report::new(
+        "e05",
         "Figure 16a — Gemmini utilization on ResNet-50 (16x16 WS @ 500 MHz)",
     );
 
@@ -16,7 +16,11 @@ fn main() {
 
     let mut rows = Vec::new();
     let (mut hb, mut ht, mut sb, mut st) = (0u64, 0u64, 0u64, 0u64);
+    let mut hand_breakdown = CycleBreakdown::new();
+    let mut stellar_breakdown = CycleBreakdown::new();
     for ((name, h), (_, s)) in hand.iter().zip(&stellar) {
+        hand_breakdown = hand_breakdown.merge(h.breakdown);
+        stellar_breakdown = stellar_breakdown.merge(s.breakdown);
         rows.push(vec![
             name.to_string(),
             pct(h.utilization.fraction()),
@@ -45,4 +49,12 @@ fn main() {
         pct(su / hu)
     );
     println!("(paper: \"90% of the utilization of the handwritten Gemmini\")");
+
+    report.breakdown("resnet50/handwritten", &hand_breakdown);
+    report.breakdown("resnet50/stellar", &stellar_breakdown);
+    let m = report.metrics();
+    m.gauge_set("utilization", &[("design", "handwritten")], hu);
+    m.gauge_set("utilization", &[("design", "stellar")], su);
+    m.gauge_set("utilization_ratio", &[], su / hu);
+    report.finish("ResNet-50 end-to-end utilization compared");
 }

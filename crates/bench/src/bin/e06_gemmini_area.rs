@@ -8,11 +8,11 @@
 
 use stellar_accels::{gemmini_design, handwritten_gemmini_area};
 use stellar_area::{area_of, max_frequency_mhz, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 
 fn main() {
-    header(
-        "E6",
+    let mut report = Report::new(
+        "e06",
         "Table III — area comparison between Gemmini accelerators (ASAP7, 500 MHz)",
     );
 
@@ -74,4 +74,12 @@ fn main() {
     println!(
         "  Stellar (distributed address generators): {distributed:.0} MHz  (paper: up to 1 GHz)"
     );
+
+    let m = report.metrics();
+    m.gauge_set("area_um2", &[("design", "handwritten")], hand_total);
+    m.gauge_set("area_um2", &[("design", "stellar")], stellar_total);
+    m.gauge_set("area_ratio", &[], stellar_total / hand_total);
+    m.gauge_set("max_mhz", &[("addrgen", "centralized")], central);
+    m.gauge_set("max_mhz", &[("addrgen", "distributed")], distributed);
+    report.finish("Gemmini area and frequency compared against Table III");
 }

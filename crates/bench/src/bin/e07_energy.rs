@@ -4,12 +4,12 @@
 
 use stellar_accels::{gemmini_design, run_resnet50};
 use stellar_area::{energy_per_mac_pj, EnergyModel, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_sim::GemmParams;
 
 fn main() {
-    header(
-        "E7",
+    let mut report = Report::new(
+        "e07",
         "Figure 17 — energy per MAC on ResNet-50 layers (Intel 22nm)",
     );
 
@@ -36,6 +36,7 @@ fn main() {
         let overhead = se / he - 1.0;
         worst = worst.max(overhead);
         best = best.min(overhead);
+        report.metrics().observe("energy_overhead", &[], overhead);
         rows.push(vec![
             name.to_string(),
             format!("{he:.3}"),
@@ -53,4 +54,9 @@ fn main() {
         100.0 * worst
     );
     println!("(paper: \"from 7% at best to 30% at worst\")");
+
+    let m = report.metrics();
+    m.gauge_set("energy_overhead_best", &[], best);
+    m.gauge_set("energy_overhead_worst", &[], worst);
+    report.finish("per-layer energy overheads computed");
 }

@@ -2,10 +2,10 @@
 //! vs Stellar-generated.
 
 use stellar_accels::{run_alexnet, ScnnConfig};
-use stellar_bench::{header, pct, table};
+use stellar_bench::{pct, table, Report};
 
 fn main() {
-    header("E8", "Figure 15 — SCNN PE utilization on pruned AlexNet");
+    let mut report = Report::new("e08", "Figure 15 — SCNN PE utilization on pruned AlexNet");
 
     let hand = run_alexnet(&ScnnConfig::handwritten());
     let stellar = run_alexnet(&ScnnConfig::stellar());
@@ -50,4 +50,17 @@ fn main() {
         pct(max)
     );
     println!("(paper: \"83%-94% of the hand-designed accelerator's reported performance\")");
+
+    let m = report.metrics();
+    for (h, s) in hand.iter().zip(&stellar) {
+        m.counter_add("cycles", &[("design", "hand"), ("layer", h.name)], h.cycles);
+        m.counter_add(
+            "cycles",
+            &[("design", "stellar"), ("layer", s.name)],
+            s.cycles,
+        );
+    }
+    m.gauge_set("perf_ratio_min", &[], min);
+    m.gauge_set("perf_ratio_max", &[], max);
+    report.finish("SCNN per-layer utilization compared");
 }

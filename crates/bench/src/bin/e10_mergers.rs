@@ -3,12 +3,12 @@
 //! merging partial matrices in SpArch's execution order.
 
 use stellar_accels::compare_on_suite_matrix;
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_workloads::suite;
 
 fn main() {
-    header(
-        "E10",
+    let mut report = Report::new(
+        "e10",
         "Figure 18 — merger throughput on SuiteSparse (SpArch execution order)",
     );
 
@@ -26,6 +26,17 @@ fn main() {
         if c.row_partitioned_epc > c.flattened_epc {
             wins += 1;
         }
+        let metrics = report.metrics();
+        metrics.gauge_set(
+            "epc",
+            &[("merger", "row-partitioned"), ("matrix", m.name)],
+            c.row_partitioned_epc,
+        );
+        metrics.gauge_set(
+            "epc",
+            &[("merger", "flattened"), ("matrix", m.name)],
+            c.flattened_epc,
+        );
         rows.push(vec![
             m.name.to_string(),
             format!("{:.2}", c.row_partitioned_epc),
@@ -50,4 +61,9 @@ fn main() {
     println!("row-partitioned outright wins on {wins} matrices");
     println!("(paper: >=80% on over a third of the matrices; wins on four of them —");
     println!(" e.g. poisson3Da and cop20k_A reward the cheaper merger, §VI-D)");
+
+    let m = report.metrics();
+    m.counter_add("matrices_at_80pct", &[], at_least_80 as u64);
+    m.counter_add("row_partitioned_wins", &[], wins as u64);
+    report.finish("merger throughput compared across the suite");
 }

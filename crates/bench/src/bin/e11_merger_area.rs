@@ -7,11 +7,11 @@
 use stellar_area::{
     flattened_merger_area_um2, merger_area_ratio, row_partitioned_merger_area_um2, Technology,
 };
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 
 fn main() {
-    header(
-        "E11",
+    let mut report = Report::new(
+        "e11",
         "§IV-F/§VI-D — merger area: flattened vs row-partitioned",
     );
 
@@ -29,6 +29,9 @@ fn main() {
             32,
         ),
     ] {
+        report
+            .metrics()
+            .gauge_set("area_um2", &[("merger", name)], area);
         rows.push(vec![
             name.to_string(),
             format!("{:.0}", area),
@@ -60,4 +63,9 @@ fn main() {
         ]);
     }
     table(&["width", "area um^2"], &sweep);
+
+    report
+        .metrics()
+        .gauge_set("area_ratio", &[], merger_area_ratio(&tech));
+    report.finish("merger area trade-off quantified");
 }

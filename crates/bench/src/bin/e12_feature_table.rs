@@ -1,10 +1,10 @@
 //! E12 — Table I: the framework feature comparison, with each Stellar
 //! column entry backed by the module of this reproduction implementing it.
 
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 
 fn main() {
-    header("E12", "Table I — design-framework feature comparison");
+    let mut report = Report::new("e12", "Table I — design-framework feature comparison");
 
     let frameworks = [
         "PolySA",
@@ -79,4 +79,13 @@ fn main() {
     cols.push("implemented by");
     table(&cols, &rows);
     println!("\n(y = supported, n = not, ~ = implicit; per the paper's Table I.)");
+
+    let stellar_yes = features
+        .iter()
+        .filter(|(_, marks, _)| marks[frameworks.len() - 1] == "y")
+        .count();
+    let m = report.metrics();
+    m.counter_add("features", &[], features.len() as u64);
+    m.counter_add("stellar_supported", &[], stellar_yes as u64);
+    report.finish("Table I feature matrix rendered");
 }

@@ -6,14 +6,14 @@
 //! implementations, down to a pure feed-forward shift register.
 
 use stellar_area::{regfile_area_um2, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::memory::EmissionOrder;
 use stellar_core::prelude::*;
 use stellar_core::{choose_regfile, AccessOrder, RegfileDesign};
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E13",
+    let mut report = Report::new(
+        "e13",
         "Figures 13/14 — regfile optimization passes and their area",
     );
 
@@ -68,10 +68,14 @@ fn main() -> Result<(), CompileError> {
             coord_bits: if kind.cost_rank() >= 2 { 16 } else { 0 },
             data_bits: 8,
         };
+        let area = regfile_area_um2(&rf, &tech);
+        report
+            .metrics()
+            .gauge_set("regfile_area_um2", &[("kind", &kind.to_string())], area);
         area_rows.push(vec![
             kind.to_string(),
             rf.num_comparators().to_string(),
-            format!("{:.0}", regfile_area_um2(&rf, &tech)),
+            format!("{area:.0}"),
         ]);
     }
     table(
@@ -102,5 +106,6 @@ fn main() -> Result<(), CompileError> {
         "  without hardcoding              : {}",
         kind_of(&without_hc)
     );
+    report.finish("regfile selections and areas tabulated");
     Ok(())
 }

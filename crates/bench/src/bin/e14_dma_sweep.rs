@@ -8,14 +8,14 @@
 
 use stellar_accels::{outerspace_throughput, OuterSpaceConfig};
 use stellar_area::{area::dma_area_um2, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::DmaDesign;
 use stellar_sim::DmaModel;
 use stellar_workloads::suite;
 
 fn main() {
-    header(
-        "E14",
+    let mut report = Report::new(
+        "e14",
         "DMA outstanding-request sweep (ablation of the §VI-C fix)",
     );
 
@@ -46,6 +46,9 @@ fn main() {
         } else {
             "-".into()
         };
+        let metrics = report.metrics();
+        metrics.gauge_set("avg_gflops", &[("slots", &slots.to_string())], avg);
+        metrics.gauge_set("dma_area_um2", &[("slots", &slots.to_string())], area);
         rows.push(vec![
             slots.to_string(),
             format!("{avg:.2}"),
@@ -66,4 +69,5 @@ fn main() {
     println!("\nThe throughput curve saturates once outstanding requests cover the");
     println!("pointer round-trip latency; the paper's choice of 16 sits at the knee,");
     println!("while DMA area keeps growing linearly with tracker count.");
+    report.finish("7-point outstanding-request sweep measured");
 }

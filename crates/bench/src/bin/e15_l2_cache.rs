@@ -6,12 +6,12 @@
 //! the scattered-pointer penalty (E9/E14) an L2 absorbs when the pointer
 //! working set fits, and how it thrashes when it does not.
 
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_sim::{DramParams, L2Cache};
 
 fn main() {
-    header(
-        "E15",
+    let mut report = Report::new(
+        "e15",
         "§IV-F — shared L2 absorbs scattered pointer reads when they fit",
     );
 
@@ -32,6 +32,10 @@ fn main() {
         cache.reset_stats();
         // Second pass: the merge phase re-reads them.
         let second = cache.access_all(addrs.iter().copied());
+        report.breakdown(label, &cache.breakdown());
+        report
+            .metrics()
+            .gauge_set("warm_hit_rate", &[("working_set", label)], cache.hit_rate());
         rows.push(vec![
             label.to_string(),
             format!("{:.1}", first as f64 / num_ptrs as f64),
@@ -52,4 +56,5 @@ fn main() {
     println!("re-reads cost ~hit-latency instead of a DRAM round trip — the same");
     println!("stall the 16-request DMA attacks (E9), absorbed at the memory side.");
     println!("Custom eviction/prefetch policies remain future work, as in §IV-F.");
+    report.finish("4 pointer working sets swept against the 512 KiW L2");
 }

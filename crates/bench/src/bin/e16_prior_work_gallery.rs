@@ -9,13 +9,13 @@ use stellar_accels::{
     a100_sparse_spec, gemmini_spec, outerspace_multiply_spec, row_merger_spec, scnn_pe_spec,
 };
 use stellar_area::{area_of, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::prelude::*;
 use stellar_rtl::{emit_accelerator, lint};
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E16",
+    let mut report = Report::new(
+        "e16",
         "prior-work spatial arrays, regenerated through one language",
     );
 
@@ -37,6 +37,18 @@ fn main() -> Result<(), CompileError> {
         let netlist = emit_accelerator(&design);
         let lint_ok = lint::check(&netlist).is_ok();
         let arr = &design.spatial_arrays[0];
+        let m = report.metrics();
+        m.counter_add(
+            "verilog_lines",
+            &[("accel", name)],
+            netlist.verilog_lines() as u64,
+        );
+        m.counter_add("lint_clean", &[("accel", name)], u64::from(lint_ok));
+        m.gauge_set(
+            "area_um2",
+            &[("accel", name)],
+            area_of(&design, &tech).total_um2(),
+        );
         rows.push(vec![
             name.to_string(),
             arr.num_pes().to_string(),
@@ -66,5 +78,6 @@ fn main() -> Result<(), CompileError> {
     println!("\nEvery design above was produced by the same compile() pipeline from");
     println!("independent functionality/dataflow/sparsity clauses — the separation");
     println!("of concerns Table I claims, demonstrated end to end.");
+    report.finish("5 prior-work arrays compiled, emitted, and linted");
     Ok(())
 }

@@ -3,14 +3,14 @@
 //! the DMA and memory system — compiled, emitted, and measured.
 
 use stellar_area::{area_of, Technology};
-use stellar_bench::header;
+use stellar_bench::Report;
 use stellar_core::prelude::*;
 use stellar_core::{compile_soc, DmaDesign, IndexId};
 use stellar_rtl::{emit_accelerator, lint};
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E17",
+    let mut report = Report::new(
+        "e17",
         "Figure 8 — sparse matmul + merger in one accelerator",
     );
 
@@ -47,6 +47,9 @@ fn main() -> Result<(), CompileError> {
         ),
         Err(errs) => println!("\nLINT FAILED: {errs:?}"),
     }
+    let m = report.metrics();
+    m.counter_add("verilog_modules", &[], netlist.modules().len() as u64);
+    m.counter_add("verilog_lines", &[], netlist.verilog_lines() as u64);
 
     let area = area_of(&soc, &Technology::asap7());
     println!("\narea breakdown (ASAP7):");
@@ -59,5 +62,9 @@ fn main() -> Result<(), CompileError> {
     println!("\nThe matmul array's scattered partial sums leave through its output");
     println!("regfiles and re-enter the merger's input regfiles — the Figure 8");
     println!("topology, with the 16-request DMA of §VI-C feeding both.");
+    report
+        .metrics()
+        .gauge_set("soc_area_um2", &[], area.total_um2());
+    report.finish("Figure 8 SoC compiled, emitted, and measured");
     Ok(())
 }

@@ -9,22 +9,24 @@
 
 use stellar_accels::a100_sparse_spec;
 use stellar_area::{area_of, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::prelude::*;
-use stellar_sim::{layer_utilization, GemmParams};
+use stellar_sim::{layer_utilization, CycleBreakdown, GemmParams};
 use stellar_workloads::transformer::{bert_base_layer, is_weight_gemm};
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E18",
+    let mut report = Report::new(
+        "e18",
         "A100 2:4 structured sparsity on BERT-base (extension of Fig 5)",
     );
 
     let params = GemmParams::stellar_gemmini();
     let mut rows = Vec::new();
     let (mut dense_cycles, mut sparse_cycles) = (0u64, 0u64);
+    let mut dense_breakdown = CycleBreakdown::new();
     for g in bert_base_layer(128) {
         let stats = layer_utilization(g.m, g.k, g.n, &params).expect("gemm model");
+        dense_breakdown = dense_breakdown.merge(stats.breakdown);
         let reps = g.repeats as u64;
         let d = stats.cycles * reps;
         // 2:4 halves the reduction work of weight GEMMs only.
@@ -80,5 +82,21 @@ fn main() -> Result<(), CompileError> {
     );
     println!("(OptimisticSkip keeps PE-to-PE connections, widening them to 2-value");
     println!("bundles — area grows modestly while weight GEMM throughput doubles.)");
+
+    report.breakdown("bert_layer/dense", &dense_breakdown);
+    let m = report.metrics();
+    m.counter_add("cycles", &[("array", "dense")], dense_cycles);
+    m.counter_add("cycles", &[("array", "2:4")], sparse_cycles);
+    m.gauge_set(
+        "end_to_end_speedup",
+        &[],
+        dense_cycles as f64 / sparse_cycles as f64,
+    );
+    m.gauge_set(
+        "bundle_area_overhead",
+        &[],
+        sa.arrays_um2 / da.arrays_um2 - 1.0,
+    );
+    report.finish("BERT-base layer 2:4 speedup and bundle cost measured");
     Ok(())
 }

@@ -8,7 +8,7 @@
 //! regfiles; with it, shift registers suffice.
 
 use stellar_area::{regfile_area_um2, Technology};
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::memory::EmissionOrder;
 use stellar_core::prelude::*;
 
@@ -36,8 +36,8 @@ fn build(hardcoded: bool) -> Result<stellar_core::AcceleratorDesign, CompileErro
 }
 
 fn main() -> Result<(), CompileError> {
-    header(
-        "E19",
+    let mut report = Report::new(
+        "e19",
         "ablation — what Listing 6's hardcoding buys the regfiles",
     );
 
@@ -78,5 +78,11 @@ fn main() -> Result<(), CompileError> {
     println!("Hardcoding the read pattern (Listing 6) lets the optimizer prove the");
     println!("producer order and select shift-register regfiles (Figure 14c) instead");
     println!("of coordinate-searching structures.");
+
+    let m = report.metrics();
+    m.gauge_set("regfile_area_um2", &[("variant", "hardcoded")], totals.0);
+    m.gauge_set("regfile_area_um2", &[("variant", "runtime-only")], totals.1);
+    m.gauge_set("area_ratio", &[], totals.1 / totals.0.max(1.0));
+    report.finish("hardcoded vs runtime-only regfile cost compared");
     Ok(())
 }

@@ -3,12 +3,12 @@
 //! the valid ones, and tabulate the distinct array structures — the
 //! classic dataflows fall out of the search rather than being hand-picked.
 
-use stellar_bench::{header, table};
+use stellar_bench::{table, Report};
 use stellar_core::prelude::*;
 use stellar_core::{explore_dataflows, ExploreOptions};
 
 fn main() -> Result<(), CompileError> {
-    header("E20", "automated dataflow search over {-1,0,1} transforms");
+    let mut report = Report::new("e20", "automated dataflow search over {-1,0,1} transforms");
 
     let func = Functionality::matmul(4, 4, 4);
     let bounds = Bounds::from_extents(&[4, 4, 4]);
@@ -49,8 +49,15 @@ fn main() -> Result<(), CompileError> {
         "\n{} distinct valid array structures found in the +-1 coefficient space.",
         found.len()
     );
+    let m = report.metrics();
+    m.counter_add("valid_dataflows", &[], found.len() as u64);
+    if let Some(best) = found.first() {
+        m.gauge_set("best_cost", &[], best.cost());
+        m.counter_add("best_pes", &[], best.num_pes as u64);
+    }
     println!("The 16-PE stationary-operand designs are the input/output-stationary");
     println!("family of Figure 2; the larger arrays include the hexagonal family.");
     println!("Changing one matrix is the entire dataflow design space (§III-B).");
+    report.finish("dataflow design space enumerated");
     Ok(())
 }

@@ -12,12 +12,12 @@
 use std::fmt::Write as _;
 
 use stellar_area::{ecc_area_overhead_fraction, secded_access_energy_ratio, Technology};
-use stellar_bench::header;
+use stellar_bench::Report;
 use stellar_core::prelude::*;
 use stellar_sim::{
     simulate_sparse_matmul_faulty, simulate_ws_matmul, simulate_ws_matmul_faulty, BalancePolicy,
-    DmaModel, FaultInjector, FaultPlan, RetryPolicy, RunOutcome, SimError, SparseArrayParams,
-    Watchdog,
+    CycleBreakdown, DmaModel, FaultInjector, FaultPlan, RetryPolicy, RunOutcome, SimError,
+    SparseArrayParams, StallClass, Watchdog,
 };
 use stellar_tensor::gen;
 
@@ -40,7 +40,7 @@ impl Cell {
     }
 }
 
-fn systolic_sweep(out: &mut String) -> (u64, u64) {
+fn systolic_sweep(out: &mut String) -> (u64, u64, CycleBreakdown) {
     let a = gen::dense(24, 12, 1);
     let b = gen::dense(12, 12, 2);
     let golden = simulate_ws_matmul(&a, &b).expect("fault-free ws sim");
@@ -111,7 +111,7 @@ fn systolic_sweep(out: &mut String) -> (u64, u64) {
             .unwrap();
         }
     }
-    (sdc_plain, sdc_ecc)
+    (sdc_plain, sdc_ecc, golden.stats.breakdown)
 }
 
 fn stuck_lane_sweep(out: &mut String) {
@@ -149,7 +149,7 @@ fn stuck_lane_sweep(out: &mut String) {
     }
 }
 
-fn dma_sweep(out: &mut String) {
+fn dma_sweep(out: &mut String) -> CycleBreakdown {
     let dma = DmaModel::with_slots(16);
     let policies = [
         ("none", RetryPolicy::none()),
@@ -170,14 +170,16 @@ fn dma_sweep(out: &mut String) {
     .unwrap();
     writeln!(
         out,
-        "{:>10} {:>8} | {:>10} {:>9} {:>6}",
-        "drop rate", "policy", "avg cycles", "overhead", "wedged"
+        "{:>10} {:>8} | {:>10} {:>12} {:>6}",
+        "drop rate", "policy", "avg cycles", "recovery cyc", "wedged"
     )
     .unwrap();
     let base = dma.scattered_cycles(200, 8);
+    let mut merged = CycleBreakdown::new();
     for drop in [0.0f64, 0.01, 0.05] {
         for (pname, policy) in policies {
             let mut done_cycles = 0u64;
+            let mut recovery_cycles = 0u64;
             let mut done = 0u64;
             let mut wedged = 0u64;
             for trial in 0..TRIALS {
@@ -195,6 +197,11 @@ fn dma_sweep(out: &mut String) {
                     Ok(rep) => {
                         done += 1;
                         done_cycles += rep.cycles;
+                        // The breakdown attributes retry/backoff cost
+                        // directly — no more inferring it from the delta
+                        // against the fault-free cycle count.
+                        recovery_cycles += rep.breakdown.get(StallClass::FaultRecovery);
+                        merged = merged.merge(rep.breakdown);
                     }
                     Err(_) => wedged += 1,
                 }
@@ -204,28 +211,32 @@ fn dma_sweep(out: &mut String) {
             } else {
                 f64::NAN
             };
+            let avg_recovery = if done > 0 {
+                recovery_cycles as f64 / done as f64
+            } else {
+                f64::NAN
+            };
             writeln!(
                 out,
-                "{:>10} {:>8} | {:>10.0} {:>8.1}% {:>5.0}%",
+                "{:>10} {:>8} | {:>10.0} {:>12.1} {:>5.0}%",
                 format!("{drop:.2}"),
                 pname,
                 avg,
-                if done > 0 {
-                    100.0 * (avg / base as f64 - 1.0)
-                } else {
-                    f64::NAN
-                },
+                avg_recovery,
                 100.0 * wedged as f64 / TRIALS as f64,
             )
             .unwrap();
             // Acceptance: fault-free transfers cost exactly the base
-            // cycles whatever retry capability is available.
+            // cycles, and the breakdown attributes zero recovery cycles,
+            // whatever retry capability is available.
             if drop == 0.0 {
                 assert_eq!(avg, base as f64, "fault-free run must match baseline");
+                assert_eq!(recovery_cycles, 0, "fault-free run charged recovery");
                 assert_eq!(wedged, 0);
             }
         }
     }
+    merged
 }
 
 fn ecc_cost(out: &mut String) {
@@ -246,9 +257,19 @@ fn ecc_cost(out: &mut String) {
     .unwrap();
 }
 
-fn build_report() -> String {
+/// Everything one pass of the sweep produces: the printed report plus the
+/// machine-readable numbers fed to the metrics pipeline.
+struct SweepData {
+    text: String,
+    sdc_plain: u64,
+    sdc_ecc: u64,
+    ws_baseline: CycleBreakdown,
+    dma_recovery: CycleBreakdown,
+}
+
+fn build_report() -> SweepData {
     let mut out = String::new();
-    let (sdc_plain, sdc_ecc) = systolic_sweep(&mut out);
+    let (sdc_plain, sdc_ecc, ws_baseline) = systolic_sweep(&mut out);
     // Acceptance: with ECC on, silent data corruption must be strictly
     // rarer than without, at equal rates and seeds.
     assert!(
@@ -256,30 +277,53 @@ fn build_report() -> String {
         "secded must reduce sdc ({sdc_ecc} !< {sdc_plain})"
     );
     stuck_lane_sweep(&mut out);
-    dma_sweep(&mut out);
+    let dma_recovery = dma_sweep(&mut out);
     ecc_cost(&mut out);
     writeln!(
         out,
         "\nSECDED turns silent corruptions into corrected/detected events\n\
          ({sdc_plain} sdc runs without ecc vs {sdc_ecc} with, same seeds), load\n\
-         balancing doubles as stuck-lane tolerance, and retry capability is\n\
-         free until a response is actually lost."
+         balancing doubles as stuck-lane tolerance, and retry cycles are\n\
+         charged to FaultRecovery only when a response is actually lost."
     )
     .unwrap();
-    out
+    SweepData {
+        text: out,
+        sdc_plain,
+        sdc_ecc,
+        ws_baseline,
+        dma_recovery,
+    }
 }
 
 fn main() {
-    header(
-        "E21",
+    let mut report = Report::new(
+        "e21",
         "fault-injection sweep: rate x ECC x DMA retry policy",
     );
-    let report = build_report();
-    // Acceptance: the same fault plans produce a byte-identical report.
+    let data = build_report();
+    let again = build_report();
+    // Acceptance: the same fault plans produce a byte-identical report and
+    // identical cycle attribution.
     assert_eq!(
-        report,
-        build_report(),
+        data.text, again.text,
         "resilience report must be deterministic"
     );
-    print!("{report}");
+    assert_eq!(
+        data.dma_recovery, again.dma_recovery,
+        "cycle attribution must be deterministic"
+    );
+    print!("{}", data.text);
+
+    report.breakdown("ws_baseline", &data.ws_baseline);
+    report.breakdown("dma_reliable_merged", &data.dma_recovery);
+    let m = report.metrics();
+    m.counter_add("sdc_runs", &[("ecc", "off")], data.sdc_plain);
+    m.counter_add("sdc_runs", &[("ecc", "secded")], data.sdc_ecc);
+    m.counter_add(
+        "dma_fault_recovery_cycles",
+        &[],
+        data.dma_recovery.get(StallClass::FaultRecovery),
+    );
+    report.finish("fault sweep deterministic; recovery cycles attributed");
 }

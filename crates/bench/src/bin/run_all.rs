@@ -1,7 +1,17 @@
-//! Runs every experiment (E1–E18) in sequence — the one-command
-//! regeneration of the paper's evaluation section.
+//! Runs every experiment (E1–E21) in sequence — the one-command
+//! regeneration of the paper's evaluation section — then consolidates the
+//! per-experiment `out/e*.json` reports into one schema-stable
+//! `out/metrics.json` with harness self-profiling.
+//!
+//! `run_all --trace` additionally sets `STELLAR_TRACE=1` for every child,
+//! so experiments with traced simulations (e.g. E4) dump Chrome
+//! `trace_event` JSON files loadable in Perfetto / `chrome://tracing`.
 
+use std::fs;
 use std::process::Command;
+use std::time::Instant;
+
+use stellar_bench::report::{out_dir, TRACE_ENV};
 
 const EXPERIMENTS: &[&str] = &[
     "e01_dataflows",
@@ -27,36 +37,57 @@ const EXPERIMENTS: &[&str] = &[
     "e21_fault_sweep",
 ];
 
+/// Schema identifier for the consolidated metrics file. Bump only with a
+/// corresponding update to the CI smoke-check and DESIGN.md.
+const SCHEMA: &str = "stellar-metrics-v1";
+
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace");
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("executable directory");
     let mut failures = Vec::new();
+    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let total = Instant::now();
     for name in EXPERIMENTS {
         let path = exe_dir.join(name);
-        let status = if path.exists() {
-            Command::new(&path).status()
+        let started = Instant::now();
+        let mut cmd = if path.exists() {
+            Command::new(&path)
         } else {
             // Fall back to cargo when siblings are not built.
-            Command::new("cargo")
-                .args([
-                    "run",
-                    "--release",
-                    "-q",
-                    "-p",
-                    "stellar-bench",
-                    "--bin",
-                    name,
-                ])
-                .status()
+            let mut c = Command::new("cargo");
+            c.args([
+                "run",
+                "--release",
+                "-q",
+                "-p",
+                "stellar-bench",
+                "--bin",
+                name,
+            ]);
+            c
         };
+        if trace {
+            cmd.env(TRACE_ENV, "1");
+        }
+        let status = cmd.status();
+        timings.push((name, started.elapsed().as_secs_f64() * 1e3));
         match status {
             Ok(s) if s.success() => {}
             Ok(s) => failures.push(format!("{name}: exit {s}")),
             Err(e) => failures.push(format!("{name}: {e}")),
         }
     }
+
+    consolidate(
+        trace,
+        &timings,
+        failures.len(),
+        total.elapsed().as_secs_f64() * 1e3,
+    );
+
     println!("\n=== run_all: {} experiments ===", EXPERIMENTS.len());
     if failures.is_empty() {
         println!("all experiments completed");
@@ -65,5 +96,54 @@ fn main() {
             eprintln!("FAILED {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Splices the per-experiment `out/<id>.json` files (each written by
+/// [`stellar_bench::Report::finish`]) into `out/metrics.json`. Experiments
+/// whose report file is missing (crashed, or not yet converted) are
+/// skipped; the harness block records how many were consolidated.
+fn consolidate(trace: bool, timings: &[(&str, f64)], failures: usize, total_ms: f64) {
+    let dir = out_dir();
+    let mut experiments = Vec::new();
+    for name in EXPERIMENTS {
+        let id = name.split('_').next().unwrap_or(name);
+        let path = dir.join(format!("{id}.json"));
+        match fs::read_to_string(&path) {
+            Ok(body) if body.starts_with('{') && body.ends_with('}') => experiments.push(body),
+            Ok(_) => eprintln!("warning: {} is not a JSON object, skipped", path.display()),
+            Err(_) => eprintln!("warning: no report from {name} ({})", path.display()),
+        }
+    }
+
+    let mut json = String::from("{");
+    json.push_str(&format!("\"schema\":\"{SCHEMA}\","));
+    json.push_str(&format!("\"trace\":{trace},"));
+    json.push_str("\"experiments\":[");
+    json.push_str(&experiments.join(","));
+    json.push_str("],");
+    json.push_str("\"harness\":{");
+    json.push_str(&format!(
+        "\"experiments\":{},\"consolidated\":{},\"failures\":{failures},\"total_wall_ms\":{total_ms:.3},",
+        EXPERIMENTS.len(),
+        experiments.len(),
+    ));
+    json.push_str("\"wall_ms\":{");
+    for (n, (name, ms)) in timings.iter().enumerate() {
+        if n > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{name}\":{ms:.3}"));
+    }
+    json.push_str("}}}");
+
+    let path = dir.join("metrics.json");
+    match fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &json)) {
+        Ok(()) => println!(
+            "\nconsolidated {} experiment reports -> {}",
+            experiments.len(),
+            path.display()
+        ),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }

@@ -3,7 +3,12 @@
 //! The actual experiments live in `src/bin/e*.rs` — one binary per table
 //! or figure of the paper (see `DESIGN.md` for the index) — and the
 //! Criterion benchmarks in `benches/`. This library holds the shared
-//! report-formatting helpers.
+//! report-formatting helpers and the [`report`] pipeline that emits
+//! machine-readable per-experiment JSON for `run_all` to consolidate.
+
+pub mod report;
+
+pub use report::Report;
 
 /// Prints a section header for an experiment report.
 pub fn header(id: &str, title: &str) {

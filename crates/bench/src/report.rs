@@ -1,0 +1,193 @@
+//! The shared experiment-report pipeline.
+//!
+//! Every `e*` binary used to format and print its own results ad hoc;
+//! this module gives them one lifecycle: open a [`Report`], record
+//! metrics and cycle breakdowns into its [`MetricsRegistry`], then
+//! [`Report::finish`] — which stamps the wall-clock self-profile, writes
+//! a schema-stable `out/<id>.json`, optionally dumps the Chrome trace
+//! collected during the run, and prints a one-line summary. `run_all`
+//! consolidates the per-experiment files into `out/metrics.json`.
+//!
+//! Tracing is opt-in via the `STELLAR_TRACE` environment variable (set
+//! by `run_all --trace`), so the default path stays allocation- and
+//! branch-cheap.
+
+use std::fs;
+use std::path::PathBuf;
+
+use stellar_sim::metrics::escape;
+use stellar_sim::{CycleBreakdown, MetricsRegistry, Stopwatch, Tracer, DEFAULT_TRACE_CAPACITY};
+
+/// Environment variable that enables span tracing in experiments.
+pub const TRACE_ENV: &str = "STELLAR_TRACE";
+
+/// Environment variable overriding the output directory (default `out`).
+pub const OUT_DIR_ENV: &str = "STELLAR_OUT_DIR";
+
+/// True when the harness was asked to collect traces.
+pub fn trace_enabled() -> bool {
+    std::env::var(TRACE_ENV).map(|v| v != "0" && !v.is_empty()) == Ok(true)
+}
+
+/// The directory experiment artifacts are written to.
+pub fn out_dir() -> PathBuf {
+    std::env::var(OUT_DIR_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("out"))
+}
+
+/// An in-flight experiment report.
+pub struct Report {
+    id: String,
+    title: String,
+    registry: MetricsRegistry,
+    breakdowns: Vec<(String, CycleBreakdown)>,
+    tracer: Tracer,
+    stopwatch: Stopwatch,
+}
+
+impl Report {
+    /// Opens a report: prints the section header and starts the
+    /// wall-clock self-profile. `id` names the output file
+    /// (`out/<id>.json`), conventionally the lowercase experiment id.
+    pub fn new(id: &str, title: &str) -> Report {
+        crate::header(&id.to_uppercase(), title);
+        Report {
+            id: id.to_lowercase(),
+            title: title.to_string(),
+            registry: MetricsRegistry::new(),
+            breakdowns: Vec::new(),
+            tracer: if trace_enabled() {
+                Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+            } else {
+                Tracer::disabled()
+            },
+            stopwatch: Stopwatch::start(),
+        }
+    }
+
+    /// The report's metrics registry, for counters/gauges/histograms.
+    pub fn metrics(&mut self) -> &mut MetricsRegistry {
+        &mut self.registry
+    }
+
+    /// The report's tracer — enabled only under `STELLAR_TRACE`. Pass to
+    /// `simulate_*_traced` entry points; spans land in
+    /// `out/<id>.trace.json` at [`Report::finish`].
+    pub fn tracer(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Records a named cycle breakdown: both as labelled counters in the
+    /// registry and as a top-level `breakdowns.<name>` object in the
+    /// emitted JSON.
+    pub fn breakdown(&mut self, name: &str, b: &CycleBreakdown) {
+        self.registry
+            .record_breakdown("breakdown", &[("of", name)], b);
+        self.breakdowns.push((name.to_string(), *b));
+    }
+
+    /// Closes the report: records `wall_ms`, writes `out/<id>.json` (and
+    /// the Chrome trace when spans were collected), and prints a summary
+    /// line. IO failures are reported on stderr, never fatal — a
+    /// read-only filesystem must not fail the experiment itself.
+    pub fn finish(mut self, summary: &str) {
+        let wall_ms = self.stopwatch.elapsed_ms();
+        self.registry
+            .gauge_set("wall_ms", &[("section", "total")], wall_ms);
+
+        let dir = out_dir();
+        let trace_file = if self.tracer.is_empty() {
+            None
+        } else {
+            Some(format!("{}.trace.json", self.id))
+        };
+
+        let mut json = String::from("{");
+        json.push_str(&format!(
+            "\"id\":\"{}\",\"title\":\"{}\",\"wall_ms\":{:.3},",
+            escape(&self.id),
+            escape(&self.title),
+            wall_ms
+        ));
+        json.push_str("\"breakdowns\":{");
+        for (n, (name, b)) in self.breakdowns.iter().enumerate() {
+            if n > 0 {
+                json.push(',');
+            }
+            json.push_str(&format!("\"{}\":{}", escape(name), b.to_json()));
+        }
+        json.push_str("},");
+        match &trace_file {
+            Some(f) => json.push_str(&format!("\"trace\":\"{}\",", escape(f))),
+            None => json.push_str("\"trace\":null,"),
+        }
+        json.push_str(&format!("\"metrics\":{}", self.registry.to_json()));
+        json.push('}');
+
+        let mut wrote = false;
+        if fs::create_dir_all(&dir).is_ok() {
+            let path = dir.join(format!("{}.json", self.id));
+            match fs::write(&path, &json) {
+                Ok(()) => wrote = true,
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+            if let Some(f) = &trace_file {
+                let tpath = dir.join(f);
+                if let Err(e) = fs::write(&tpath, self.tracer.to_chrome_json()) {
+                    eprintln!("warning: could not write {}: {e}", tpath.display());
+                }
+            }
+        } else {
+            eprintln!("warning: could not create {}", dir.display());
+        }
+
+        if wrote {
+            println!(
+                "\n[{}] {summary} ({wall_ms:.1} ms) -> {}",
+                self.id,
+                dir.join(format!("{}.json", self.id)).display()
+            );
+        } else {
+            println!("\n[{}] {summary} ({wall_ms:.1} ms)", self.id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stellar_sim::StallClass;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("stellar-report-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn report_writes_schema_stable_json() {
+        let dir = tmpdir("basic");
+        std::env::set_var(OUT_DIR_ENV, &dir);
+        let mut r = Report::new("e99", "schema test");
+        r.metrics().counter_add("cycles", &[("model", "ws")], 42);
+        r.breakdown("ws", &CycleBreakdown::new().with(StallClass::Compute, 42));
+        r.finish("done");
+        std::env::remove_var(OUT_DIR_ENV);
+
+        let body = fs::read_to_string(dir.join("e99.json")).unwrap();
+        assert!(body.starts_with("{\"id\":\"e99\",\"title\":\"schema test\",\"wall_ms\":"));
+        assert!(body.contains("\"breakdowns\":{\"ws\":{\"compute\":42,"));
+        assert!(body.contains("\"trace\":null"));
+        assert!(body.contains("\"metrics\":["));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracer_disabled_without_env() {
+        std::env::remove_var(TRACE_ENV);
+        let mut r = Report::new("e98", "trace gate");
+        assert!(!r.tracer().is_enabled());
+    }
+}

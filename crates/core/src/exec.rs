@@ -19,6 +19,38 @@ use crate::index::Bounds;
 /// `(time_steps, busy_point_count)`.
 pub type ScheduledRun = (HashMap<TensorId, DenseTensor>, (i64, u64));
 
+/// The observable timeline of a scheduled run: how many points did work
+/// at each time step of the space-time schedule.
+///
+/// This is the executor's contribution to cycle attribution: it knows
+/// *when* work happened but deliberately not the simulator's stall
+/// taxonomy (the dependency points the other way), so it exposes the raw
+/// per-step activity profile and lets `stellar-sim` classify it.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScheduleProfile {
+    /// Number of time steps spanned by the schedule (`tmax - tmin + 1`).
+    pub time_steps: i64,
+    /// Points that performed an assignment at each step, earliest first.
+    /// `busy_per_step.len() == time_steps` for non-empty schedules.
+    pub busy_per_step: Vec<u64>,
+}
+
+impl ScheduleProfile {
+    /// Total busy point count across all steps.
+    pub fn busy_points(&self) -> u64 {
+        self.busy_per_step.iter().sum()
+    }
+
+    /// The peak number of concurrently busy points (0 for empty runs).
+    pub fn peak_parallelism(&self) -> u64 {
+        self.busy_per_step.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// The result of a profiled scheduled run: output tensors plus the
+/// per-step activity profile.
+pub type ProfiledRun = (HashMap<TensorId, DenseTensor>, ScheduleProfile);
+
 /// Executes a [`Functionality`] over concrete bounds and input tensors.
 ///
 /// # Examples
@@ -195,6 +227,23 @@ impl<'f> Executor<'f> {
         transform: &crate::transform::SpaceTimeTransform,
         inputs: &HashMap<TensorId, DenseTensor>,
     ) -> Result<ScheduledRun, CompileError> {
+        let (outputs, profile) = self.run_scheduled_profiled(transform, inputs)?;
+        let busy = profile.busy_points();
+        Ok((outputs, (profile.time_steps, busy)))
+    }
+
+    /// [`Executor::run_scheduled`], additionally recording how many points
+    /// did work at each time step — the [`ScheduleProfile`] the simulator's
+    /// cycle-attribution layer classifies into fill/compute/drain phases.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Executor::run_scheduled`].
+    pub fn run_scheduled_profiled(
+        &self,
+        transform: &crate::transform::SpaceTimeTransform,
+        inputs: &HashMap<TensorId, DenseTensor>,
+    ) -> Result<ProfiledRun, CompileError> {
         self.func.validate()?;
         if transform.rank() != self.bounds.rank() {
             return Err(CompileError::InvalidTransform(format!(
@@ -227,9 +276,10 @@ impl<'f> Executor<'f> {
             .filter(|&t| self.func.tensor_role(t) == TensorRole::Output)
             .map(|t| (t, DenseTensor::zeros(&self.tensor_shape(t))))
             .collect();
-        let mut busy: u64 = 0;
+        let steps = (tmax - tmin + 1).max(0) as usize;
+        let mut busy_per_step = vec![0u64; if points.is_empty() { 0 } else { steps }];
 
-        for (_t, point) in &points {
+        for (t, point) in &points {
             let mut did_work = false;
             for a in self.func.assigns() {
                 let applies = a
@@ -263,7 +313,9 @@ impl<'f> Executor<'f> {
                 did_work = true;
             }
             if did_work {
-                busy += 1;
+                if let Some(slot) = busy_per_step.get_mut((t - tmin) as usize) {
+                    *slot += 1;
+                }
             }
             for o in self.func.outputs() {
                 let fires = o.rhs.var_reads().iter().all(|(_, coords)| {
@@ -286,7 +338,13 @@ impl<'f> Executor<'f> {
                 }
             }
         }
-        Ok((outputs, (tmax - tmin + 1, busy)))
+        Ok((
+            outputs,
+            ScheduleProfile {
+                time_steps: tmax - tmin + 1,
+                busy_per_step,
+            },
+        ))
     }
 
     fn eval(
@@ -434,6 +492,32 @@ mod tests {
             assert!(steps > 0);
             assert_eq!(busy, 3 * 4 * 2, "every point does work once");
         }
+    }
+
+    #[test]
+    fn profiled_run_timeline_is_consistent() {
+        use crate::transform::SpaceTimeTransform;
+        let f = Functionality::matmul(3, 4, 2);
+        let bounds = Bounds::from_extents(&[3, 4, 2]);
+        let tensors: Vec<TensorId> = f.tensors().collect();
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0, 2.0, 1.0], &[0.0, 3.0, 1.0, -2.0]]);
+        let mut inputs = HashMap::new();
+        inputs.insert(tensors[0], DenseTensor::from_matrix(&a));
+        inputs.insert(tensors[1], DenseTensor::from_matrix(&b));
+        let exec = Executor::new(&f, &bounds);
+        let t = SpaceTimeTransform::output_stationary();
+        let (outputs, profile) = exec.run_scheduled_profiled(&t, &inputs).unwrap();
+        let (plain_out, (steps, busy)) = exec.run_scheduled(&t, &inputs).unwrap();
+        assert_eq!(outputs[&tensors[2]], plain_out[&tensors[2]]);
+        assert_eq!(profile.time_steps, steps);
+        assert_eq!(profile.busy_points(), busy);
+        assert_eq!(profile.busy_per_step.len() as i64, profile.time_steps);
+        // Every step of this dense schedule runs some points, and the
+        // peak can never exceed the i×j plane of stationary PEs.
+        assert!(profile.busy_per_step.iter().all(|&n| n > 0));
+        assert!(profile.peak_parallelism() >= 1);
+        assert!(profile.peak_parallelism() <= 3 * 4);
     }
 
     #[test]

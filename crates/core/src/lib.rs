@@ -69,7 +69,7 @@ pub use design::{
     PortDir, RegfileDesign, SpatialArrayDesign,
 };
 pub use error::CompileError;
-pub use exec::Executor;
+pub use exec::{Executor, ProfiledRun, ScheduleProfile, ScheduledRun};
 pub use explore::{explore_dataflows, ExploreOptions, ExploredDataflow};
 pub use expr::Expr;
 pub use func::{Functionality, TensorId, TensorRole, VarId};

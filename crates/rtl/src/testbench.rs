@@ -7,6 +7,13 @@
 //! emitted netlist's top module: clock/reset generation, a command
 //! stimulus sequence (the Table II configure-then-issue pattern), and a
 //! bounded-time self-check.
+//!
+//! The stimulus prints `TB EVENT <name> ... cycle=<n>` markers at each
+//! phase boundary (reset done, every command issue/accept, drain start and
+//! end). These mirror the simulator's stall taxonomy — the issue/accept
+//! gap is `Fill`/command pressure, the drain window is `Drain` — so a
+//! waveform-free RTL run can be lined up against the cycle-attributed
+//! traces the `stellar-sim` tracer emits (see DESIGN.md, "Observability").
 
 use std::fmt::Write;
 
@@ -142,21 +149,42 @@ pub fn generate_testbench(netlist: &Netlist, opts: &TestbenchOptions) -> String 
     let _ = writeln!(v, "\n  initial begin");
     let _ = writeln!(v, "    repeat ({}) @(posedge clk);", opts.reset_cycles);
     let _ = writeln!(v, "    rst = 1'b0;");
+    let _ = writeln!(
+        v,
+        "    $display(\"TB EVENT reset_done cycle=%0d\", cycles);"
+    );
     let has_cmd_if = top.port("cmd_valid").is_some();
     if has_cmd_if {
-        for (op, rs1, rs2) in &opts.commands {
+        for (n, (op, rs1, rs2)) in opts.commands.iter().enumerate() {
             let _ = writeln!(v, "    @(posedge clk);");
             let _ = writeln!(v, "    cmd_valid = 1'b1;");
             let _ = writeln!(v, "    cmd_opcode = 7'd{op};");
             let _ = writeln!(v, "    cmd_rs1 = 64'h{rs1:x};");
             let _ = writeln!(v, "    cmd_rs2 = 64'h{rs2:x};");
+            let _ = writeln!(
+                v,
+                "    $display(\"TB EVENT cmd_issue idx={n} op={op} cycle=%0d\", cycles);"
+            );
             let _ = writeln!(v, "    wait (cmd_ready);");
+            let _ = writeln!(
+                v,
+                "    $display(\"TB EVENT cmd_accepted idx={n} cycle=%0d\", cycles);"
+            );
         }
         let _ = writeln!(v, "    @(posedge clk);");
         let _ = writeln!(v, "    cmd_valid = 1'b0;");
+        let _ = writeln!(
+            v,
+            "    $display(\"TB EVENT drain_start cycle=%0d\", cycles);"
+        );
         let _ = writeln!(v, "    wait (!busy);");
+        let _ = writeln!(
+            v,
+            "    $display(\"TB EVENT drain_done cycle=%0d\", cycles);"
+        );
     }
     let _ = writeln!(v, "    repeat (8) @(posedge clk);");
+    let _ = writeln!(v, "    $display(\"TB EVENT done cycle=%0d\", cycles);");
     let _ = writeln!(v, "    $display(\"TB PASS\");");
     let _ = writeln!(v, "    $finish;");
     let _ = writeln!(v, "  end");
@@ -236,6 +264,23 @@ mod tests {
         assert!(tb.contains("cmd_rs1 = 64'h30004;"));
         assert!(tb.contains("wait (cmd_ready);"));
         validate_testbench(&tb, n.top().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn event_markers_bracket_every_phase() {
+        let n = demo_netlist();
+        let tb = testbench_for_program(&n, &[(1, 0x30004, 16), (6, 0x30000, 0)], 500);
+        assert!(tb.contains("TB EVENT reset_done cycle=%0d"));
+        assert!(tb.contains("TB EVENT cmd_issue idx=0 op=1 cycle=%0d"));
+        assert!(tb.contains("TB EVENT cmd_accepted idx=1 cycle=%0d"));
+        assert!(tb.contains("TB EVENT drain_start cycle=%0d"));
+        assert!(tb.contains("TB EVENT drain_done cycle=%0d"));
+        assert!(tb.contains("TB EVENT done cycle=%0d"));
+        // Issue markers come in command order, accept follows its issue.
+        let issue0 = tb.find("cmd_issue idx=0").unwrap();
+        let accept0 = tb.find("cmd_accepted idx=0").unwrap();
+        let issue1 = tb.find("cmd_issue idx=1").unwrap();
+        assert!(issue0 < accept0 && accept0 < issue1);
     }
 
     #[test]

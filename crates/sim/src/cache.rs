@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use crate::dma::DramParams;
+use crate::trace::{CycleBreakdown, StallClass};
 
 /// A set-associative shared L2 cache with LRU replacement.
 ///
@@ -121,6 +122,23 @@ impl L2Cache {
         self.hits = 0;
         self.misses = 0;
     }
+
+    /// Cycle attribution of all accesses since the last
+    /// [`L2Cache::reset_stats`]: hit cycles are on-chip bandwidth
+    /// (`DmaBandwidth`), miss cycles pay the DRAM round trip
+    /// (`DmaLatency`). Sums to the total returned by the `access*` calls.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        CycleBreakdown::new()
+            .with(
+                StallClass::DmaBandwidth,
+                self.hits.saturating_mul(self.hit_latency),
+            )
+            .with(
+                StallClass::DmaLatency,
+                self.misses
+                    .saturating_mul(self.hit_latency + self.dram.latency_cycles),
+            )
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +207,18 @@ mod tests {
             "resident set must hit, rate {}",
             c.hit_rate()
         );
+    }
+
+    #[test]
+    fn breakdown_matches_access_cycles() {
+        use crate::trace::StallClass;
+        let mut c = small();
+        let total = c.access_all((0..256u64).map(|n| n * 2));
+        let b = c.breakdown();
+        assert_eq!(b.total(), total, "breakdown must account for every cycle");
+        assert!(b.get(StallClass::DmaLatency) > 0, "cold stream must miss");
+        c.reset_stats();
+        assert_eq!(c.breakdown().total(), 0);
     }
 
     #[test]

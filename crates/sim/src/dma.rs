@@ -32,6 +32,7 @@
 
 use crate::error::{SimError, Watchdog};
 use crate::fault::{DmaFault, FaultInjector};
+use crate::trace::{CycleBreakdown, StallClass};
 
 /// DRAM timing parameters.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -315,6 +316,36 @@ mod tests {
     }
 
     #[test]
+    fn report_breakdown_accounts_for_every_cycle() {
+        use crate::fault::{FaultInjector, FaultPlan};
+        use crate::trace::StallClass;
+        let dma = DmaModel::with_slots(1);
+        let mut plan = FaultPlan::none();
+        plan.seed = 11;
+        plan.dma_drop_per_request = 0.3;
+        let mut inj = FaultInjector::new(plan);
+        let wd = Watchdog::default_budget();
+        let r = dma
+            .reliable_scattered_cycles(200, 1, &RetryPolicy::exponential(), &mut inj, &wd)
+            .unwrap();
+        assert_eq!(r.breakdown.total(), r.cycles);
+        assert!(r.breakdown.get(StallClass::FaultRecovery) > 0);
+        // Single-word scattered requests on one slot are latency-bound.
+        assert!(
+            r.breakdown.get(StallClass::DmaLatency) > r.breakdown.get(StallClass::DmaBandwidth)
+        );
+        // A big contiguous burst is bandwidth-bound.
+        let mut clean = FaultInjector::new(FaultPlan::none());
+        let c = dma
+            .reliable_contiguous_cycles(8000, &RetryPolicy::exponential(), &mut clean, &wd)
+            .unwrap();
+        assert_eq!(c.breakdown.total(), c.cycles);
+        assert_eq!(c.breakdown.get(StallClass::DmaBandwidth), 1000);
+        assert_eq!(c.breakdown.get(StallClass::DmaLatency), 60);
+        assert_eq!(c.breakdown.get(StallClass::FaultRecovery), 0);
+    }
+
+    #[test]
     fn recovery_penalty_monotone_in_retry_count() {
         // With the same seed, a request that needs n retries costs
         // strictly more cycles at every additional retry the policy
@@ -396,6 +427,11 @@ pub struct DmaTransferReport {
     pub retries: u64,
     /// Extra response-path beats burned by duplicated responses.
     pub duplicate_beats: u64,
+    /// Where every cycle went: `DmaLatency` for round-trip waits,
+    /// `DmaBandwidth` for streaming beats, `FaultRecovery` for every
+    /// recovery penalty (timeouts, backoffs, duplicated-response beats).
+    /// Sums to `cycles`.
+    pub breakdown: CycleBreakdown,
 }
 
 impl DmaModel {
@@ -459,6 +495,16 @@ impl DmaModel {
         }
         let penalty = self.drive_request(retry, injector, &mut report)?;
         report.cycles = self.contiguous_cycles(words) + penalty;
+        report.breakdown = CycleBreakdown::new()
+            .with(StallClass::DmaLatency, self.dram.latency_cycles)
+            .with(
+                StallClass::DmaBandwidth,
+                self.contiguous_cycles(words) - self.dram.latency_cycles,
+            )
+            .with(StallClass::FaultRecovery, penalty);
+        report
+            .breakdown
+            .debug_assert_accounts_for(report.cycles, "reliable contiguous dma");
         watchdog.check_total(report.cycles, "reliable contiguous dma")?;
         Ok(report)
     }
@@ -490,6 +536,27 @@ impl DmaModel {
         // Recovery penalties of independent requests overlap across slots.
         let overlapped = (penalty_sum as f64 / self.slots.max(1) as f64).ceil() as u64;
         report.cycles = self.scattered_cycles(requests, words_each) + overlapped;
+        // Attribute the dominant bound of the base model: when the
+        // request rate limits the transfer the wait is latency, when the
+        // payload does it is bandwidth.
+        let per_req_latency = (self.dram.latency_cycles as f64 / self.slots as f64).max(1.0);
+        let latency_bound = (requests as f64 * per_req_latency).ceil() as u64;
+        let bw_bound =
+            ((requests * words_each.max(1)) as f64 / self.dram.words_per_cycle).ceil() as u64;
+        let bound_class = if latency_bound >= bw_bound {
+            StallClass::DmaLatency
+        } else {
+            StallClass::DmaBandwidth
+        };
+        report.breakdown = CycleBreakdown::new()
+            .with(StallClass::DmaLatency, self.dram.latency_cycles)
+            .with(StallClass::FaultRecovery, overlapped);
+        report
+            .breakdown
+            .add(bound_class, latency_bound.max(bw_bound));
+        report
+            .breakdown
+            .debug_assert_accounts_for(report.cycles, "reliable scattered dma");
         watchdog.check_total(report.cycles, "reliable scattered dma")?;
         Ok(report)
     }

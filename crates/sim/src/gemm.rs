@@ -12,6 +12,7 @@ use stellar_area::TrafficCounts;
 
 use crate::error::{SimError, Watchdog};
 use crate::stats::{SimStats, Utilization};
+use crate::trace::{CycleBreakdown, StallClass};
 
 /// Parameters of a weight-stationary GEMM engine.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,6 +76,18 @@ impl GemmBreakdown {
     /// Total cycles.
     pub fn total(&self) -> u64 {
         self.stream + self.fill + self.overhead + self.mem_stall
+    }
+
+    /// The same attribution in the shared stall taxonomy: streaming is
+    /// `Compute`, weight (re)loads are `Fill`, generated control overhead
+    /// is `Idle` (the array sits while control broadcasts), scratchpad
+    /// stalls are `BankConflict`.
+    pub fn stall_classes(&self) -> CycleBreakdown {
+        CycleBreakdown::new()
+            .with(StallClass::Compute, self.stream)
+            .with(StallClass::Fill, self.fill)
+            .with(StallClass::Idle, self.overhead)
+            .with(StallClass::BankConflict, self.mem_stall)
     }
 }
 
@@ -162,6 +175,8 @@ pub fn layer_utilization_budgeted(
     let b = gemm_cycles(m, k, n, p)?;
     let cycles = b.total();
     watchdog.check_total(cycles, "gemm layer")?;
+    let breakdown = b.stall_classes();
+    breakdown.debug_assert_accounts_for(cycles, "gemm layer");
     let pes = (p.array_rows * p.array_cols) as u64;
     let macs = (m * k * n) as u64;
     Ok(SimStats {
@@ -177,6 +192,7 @@ pub fn layer_utilization_budgeted(
             dram_words: (m * k + k * n + m * n) as u64,
             pe_cycles: cycles * pes,
         },
+        breakdown,
     })
 }
 
@@ -222,6 +238,14 @@ mod tests {
         assert_eq!(b.total(), b.stream + b.fill + b.overhead + b.mem_stall);
         assert!(b.overhead > 0);
         assert!(b.fill > GemmParams::stellar_gemmini().array_rows as u64);
+        // The shared-taxonomy view sums to the same total and carries the
+        // same attribution.
+        let shared = b.stall_classes();
+        assert_eq!(shared.total(), b.total());
+        assert_eq!(shared.get(StallClass::Compute), b.stream);
+        assert_eq!(shared.get(StallClass::Fill), b.fill);
+        let s = layer_utilization(256, 64, 64, &GemmParams::stellar_gemmini()).unwrap();
+        assert_eq!(s.breakdown.total(), s.cycles);
     }
 
     #[test]

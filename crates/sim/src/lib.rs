@@ -28,6 +28,13 @@
 //! * [`error`] — [`SimError`] and the [`Watchdog`] cycle budget that bounds
 //!   every simulation loop: all `simulate_*` entry points return `Result`
 //!   and terminate on deadlock or budget exhaustion instead of hanging.
+//! * [`trace`] — the cycle-attribution layer: a shared stall taxonomy
+//!   ([`trace::StallClass`]), per-run [`trace::CycleBreakdown`] whose
+//!   categories sum exactly to the reported cycles, and a bounded
+//!   ring-buffer [`trace::Tracer`] exporting Chrome `trace_event` JSON.
+//! * [`metrics`] — a typed [`metrics::MetricsRegistry`]
+//!   (counters/gauges/histograms with labels) with a stable JSON schema,
+//!   used by the bench harness to emit one consolidated `metrics.json`.
 
 pub mod cache;
 pub mod dma;
@@ -35,9 +42,11 @@ pub mod error;
 pub mod fault;
 pub mod gemm;
 pub mod merger;
+pub mod metrics;
 pub mod sparse;
 pub mod stats;
 pub mod systolic;
+pub mod trace;
 
 pub use cache::L2Cache;
 pub use dma::{DmaModel, DmaTransferReport, DramParams, RetryPolicy};
@@ -45,12 +54,16 @@ pub use error::{SimError, Watchdog, DEFAULT_WATCHDOG_BUDGET};
 pub use fault::{DmaFault, EccMode, FaultCounts, FaultInjector, FaultPlan, RunOutcome};
 pub use gemm::{gemm_cycles, layer_utilization, GemmBreakdown, GemmParams};
 pub use merger::{rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger};
+pub use metrics::{Histogram, MetricValue, MetricsRegistry, Stopwatch};
 pub use sparse::{
-    simulate_sparse_matmul, simulate_sparse_matmul_faulty, BalancePolicy, SparseArrayParams,
-    SparseSimResult,
+    simulate_sparse_matmul, simulate_sparse_matmul_faulty, simulate_sparse_matmul_traced,
+    BalancePolicy, SparseArrayParams, SparseSimResult,
 };
 pub use stats::{SimStats, Utilization};
 pub use systolic::{
-    simulate_os_matmul, simulate_os_matmul_faulty, simulate_ws_matmul, simulate_ws_matmul_faulty,
-    WsResult,
+    simulate_os_matmul, simulate_os_matmul_faulty, simulate_os_matmul_traced, simulate_ws_matmul,
+    simulate_ws_matmul_faulty, simulate_ws_matmul_traced, WsResult,
+};
+pub use trace::{
+    breakdown_of_schedule, CycleBreakdown, StallClass, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY,
 };

@@ -13,6 +13,7 @@ use stellar_tensor::ops::{merge_fibers, Fiber, PartialMatrix};
 
 use crate::error::{SimError, Watchdog};
 use crate::stats::Utilization;
+use crate::trace::{CycleBreakdown, StallClass};
 
 /// Merger throughput statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -23,6 +24,11 @@ pub struct MergeStats {
     pub merged_elements: u64,
     /// Comparator occupancy.
     pub utilization: Utilization,
+    /// Where the critical path's cycles went: `Compute` for ideally
+    /// distributed merge work, `LoadImbalance` for excess length of the
+    /// critical lane, `MergeStall` for row-switch restarts and
+    /// partial-width pops, `Fill` for pipeline startup. Sums to `cycles`.
+    pub breakdown: CycleBreakdown,
 }
 
 impl MergeStats {
@@ -100,16 +106,37 @@ impl Merger for RowPartitionedMerger {
         let merged_elements: u64 = row_cost.iter().sum();
         // Greedy longest-processing-time assignment would be the balanced
         // ideal; hardware assigns rows to lanes in arrival order.
-        let mut lane_time = vec![0u64; self.lanes.max(1)];
+        let lanes = self.lanes.max(1);
+        let mut lane_time = vec![0u64; lanes];
+        let mut lane_elems = vec![0u64; lanes];
+        let mut lane_switch = vec![0u64; lanes];
         for (r, &cost) in row_cost.iter().enumerate() {
             if cost == 0 {
                 continue;
             }
-            let lane = r % self.lanes.max(1);
+            let lane = r % lanes;
             lane_time[lane] += cost + self.row_switch_cycles;
+            lane_elems[lane] += cost;
+            lane_switch[lane] += self.row_switch_cycles;
         }
         let cycles = lane_time.iter().copied().max().unwrap_or(0);
         watchdog.check_total(cycles, "row-partitioned merge")?;
+        // The critical lane defines the cycle count; attribute its time:
+        // the share a perfectly balanced assignment would also pay is
+        // Compute, the excess is LoadImbalance, restarts are MergeStall.
+        let crit = lane_time
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &t)| t)
+            .map(|(l, _)| l)
+            .unwrap_or(0);
+        let ideal = merged_elements.div_ceil(lanes as u64);
+        let compute = lane_elems[crit].min(ideal);
+        let breakdown = CycleBreakdown::new()
+            .with(StallClass::Compute, compute)
+            .with(StallClass::LoadImbalance, lane_elems[crit] - compute)
+            .with(StallClass::MergeStall, lane_switch[crit]);
+        breakdown.debug_assert_accounts_for(cycles, "row-partitioned merge");
         let busy: u64 = lane_time.iter().sum();
         Ok(MergeStats {
             cycles,
@@ -118,6 +145,7 @@ impl Merger for RowPartitionedMerger {
                 busy,
                 total: cycles * self.lanes as u64,
             },
+            breakdown,
         })
     }
 }
@@ -158,8 +186,17 @@ impl Merger for FlattenedMerger {
             .map(|fibers| merge_fibers(fibers).len() as u64)
             .sum();
         let width = self.width.max(1) as u64;
-        let cycles = self.startup_cycles + merged_elements.div_ceil(width);
+        let full_steps = merged_elements / width;
+        let steps = merged_elements.div_ceil(width);
+        let cycles = self.startup_cycles + steps;
         watchdog.check_total(cycles, "flattened merge")?;
+        // Startup is pipeline fill; full-width pops are compute; the
+        // final partial-width pop is a merge stall (comparators idle).
+        let breakdown = CycleBreakdown::new()
+            .with(StallClass::Fill, self.startup_cycles)
+            .with(StallClass::Compute, full_steps)
+            .with(StallClass::MergeStall, steps - full_steps);
+        breakdown.debug_assert_accounts_for(cycles, "flattened merge");
         Ok(MergeStats {
             cycles,
             merged_elements,
@@ -167,6 +204,7 @@ impl Merger for FlattenedMerger {
                 busy: merged_elements,
                 total: cycles * width,
             },
+            breakdown,
         })
     }
 }
@@ -279,6 +317,28 @@ mod tests {
             fl.elements_per_cycle(),
             rp.elements_per_cycle()
         );
+    }
+
+    #[test]
+    fn breakdowns_sum_and_separate_the_designs() {
+        use crate::trace::StallClass;
+        // The imbalanced batch: row-partitioned blames LoadImbalance,
+        // flattened doesn't have the concept.
+        let mut rows: Vec<Vec<Fiber>> = Vec::new();
+        rows.push(vec![Fiber::new((0..2000).collect(), vec![1.0; 2000])]);
+        for r in 0..63 {
+            rows.push(vec![Fiber::new(vec![r], vec![1.0])]);
+        }
+        let rp = RowPartitionedMerger::paper_config()
+            .simulate(&rows)
+            .unwrap();
+        assert_eq!(rp.breakdown.total(), rp.cycles);
+        assert_eq!(rp.breakdown.dominant(), Some(StallClass::LoadImbalance));
+        let fl = FlattenedMerger::paper_config().simulate(&rows).unwrap();
+        assert_eq!(fl.breakdown.total(), fl.cycles);
+        assert_eq!(fl.breakdown.get(StallClass::LoadImbalance), 0);
+        assert_eq!(fl.breakdown.dominant(), Some(StallClass::Compute));
+        assert_eq!(fl.breakdown.get(StallClass::Fill), 4);
     }
 
     #[test]

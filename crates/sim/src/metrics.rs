@@ -1,0 +1,445 @@
+//! A typed metrics registry with a stable JSON schema.
+//!
+//! The experiment harness used to hand-roll per-experiment result structs;
+//! this registry replaces them with one vocabulary — counters (monotonic
+//! `u64`), gauges (point-in-time `f64`), and histograms (count/sum/min/
+//! max summaries) — each optionally labelled. Serialization order is
+//! deterministic (sorted by name, then labels), so `out/metrics.json`
+//! diffs cleanly between runs and machines, and downstream schema checks
+//! (`jq -e`) can rely on the key layout.
+
+// The observability layer must not itself panic in release builds.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::unreachable
+    )
+)]
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::trace::{CycleBreakdown, StallClass};
+
+/// A histogram summary: count, sum, min, max (no buckets — the harness
+/// needs distribution summaries, not quantile sketches).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Histogram {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// The mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, o: &Histogram) {
+        if o.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *o;
+            return;
+        }
+        self.count += o.count;
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// One metric's value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic counter.
+    Counter(u64),
+    /// A point-in-time value.
+    Gauge(f64),
+    /// A distribution summary.
+    Histogram(Histogram),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// The identity of a metric: name plus sorted labels.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (snake_case by convention).
+    pub name: String,
+    /// Label pairs, kept sorted for deterministic serialization.
+    pub labels: BTreeMap<String, String>,
+}
+
+impl MetricKey {
+    /// Builds a key from a name and `(label, value)` pairs.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> MetricKey {
+        MetricKey {
+            name: name.to_string(),
+            labels: labels
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        }
+    }
+}
+
+/// A registry of labelled counters, gauges, and histograms.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<MetricKey, MetricValue>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `v` to the counter `name{labels}` (created at 0), saturating.
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        let key = MetricKey::new(name, labels);
+        match self.metrics.entry(key).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c = c.saturating_add(v),
+            other => *other = MetricValue::Counter(v),
+        }
+    }
+
+    /// Sets the gauge `name{labels}` to `v`.
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.metrics
+            .insert(MetricKey::new(name, labels), MetricValue::Gauge(v));
+    }
+
+    /// Records `v` into the histogram `name{labels}` (created empty).
+    pub fn observe(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = MetricKey::new(name, labels);
+        match self
+            .metrics
+            .entry(key)
+            .or_insert(MetricValue::Histogram(Histogram::default()))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => {
+                let mut h = Histogram::default();
+                h.observe(v);
+                *other = MetricValue::Histogram(h);
+            }
+        }
+    }
+
+    /// Records every class of a [`CycleBreakdown`] as counters
+    /// `<prefix>_cycles{class=..., labels...}` — the standard way an
+    /// experiment publishes its cycle attribution.
+    pub fn record_breakdown(
+        &mut self,
+        prefix: &str,
+        labels: &[(&str, &str)],
+        breakdown: &CycleBreakdown,
+    ) {
+        let name = format!("{prefix}_cycles");
+        for class in StallClass::ALL {
+            let mut all: Vec<(&str, &str)> = labels.to_vec();
+            all.push(("class", class.name()));
+            self.counter_add(&name, &all, breakdown.get(class));
+        }
+    }
+
+    /// Looks up a metric.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricValue> {
+        self.metrics.get(&MetricKey::new(name, labels))
+    }
+
+    /// The counter's value (0 when absent or not a counter).
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        match self.get(name, labels) {
+            Some(MetricValue::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Merges another registry: counters add, gauges take the other's
+    /// value, histograms merge.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (key, value) in &other.metrics {
+            match (self.metrics.get_mut(key), value) {
+                (Some(MetricValue::Counter(a)), MetricValue::Counter(b)) => {
+                    *a = a.saturating_add(*b)
+                }
+                (Some(MetricValue::Histogram(a)), MetricValue::Histogram(b)) => a.merge(b),
+                (Some(slot), v) => *slot = v.clone(),
+                (None, v) => {
+                    self.metrics.insert(key.clone(), v.clone());
+                }
+            }
+        }
+    }
+
+    /// Serializes the registry as a JSON array of metric objects, sorted
+    /// by `(name, labels)`:
+    ///
+    /// ```json
+    /// [{"name":"cycles","labels":{"class":"compute"},"type":"counter","value":42}, ...]
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("[");
+        for (n, (key, value)) in self.metrics.iter().enumerate() {
+            if n > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":{{",
+                escape(&key.name)
+            ));
+            for (m, (k, v)) in key.labels.iter().enumerate() {
+                if m > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\":\"{}\"", escape(k), escape(v)));
+            }
+            s.push_str(&format!("}},\"type\":\"{}\",", value.type_name()));
+            match value {
+                MetricValue::Counter(c) => s.push_str(&format!("\"value\":{c}")),
+                MetricValue::Gauge(g) => s.push_str(&format!("\"value\":{}", json_f64(*g))),
+                MetricValue::Histogram(h) => s.push_str(&format!(
+                    "\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                    h.count,
+                    json_f64(h.sum),
+                    json_f64(h.min),
+                    json_f64(h.max)
+                )),
+            }
+            s.push('}');
+        }
+        s.push(']');
+        s
+    }
+}
+
+/// Formats an `f64` as valid JSON (JSON has no NaN/Infinity: mapped to
+/// null / ±1e308 sentinels so the document always parses).
+pub fn json_f64(v: f64) -> String {
+    if v.is_nan() {
+        "null".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "1e308" } else { "-1e308" }.to_string()
+    } else {
+        // `{}` on f64 is shortest-round-trip: deterministic and parseable.
+        let s = format!("{v}");
+        s
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Wall-clock self-profiling: measures real time spent in named sections
+/// of the harness (the simulator profiling itself, not the simulated
+/// device) and publishes `wall_ms{section=...}` gauges.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Milliseconds elapsed since start.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+
+    /// Stops and records `wall_ms{section=<section>}` into the registry.
+    pub fn record(self, registry: &mut MetricsRegistry, section: &str) -> f64 {
+        let ms = self.elapsed_ms();
+        registry.gauge_set("wall_ms", &[("section", section)], ms);
+        ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("cycles", &[("model", "ws")], 10);
+        r.counter_add("cycles", &[("model", "ws")], 5);
+        r.counter_add("cycles", &[("model", "os")], 1);
+        assert_eq!(r.counter("cycles", &[("model", "ws")]), 15);
+        assert_eq!(r.counter("cycles", &[("model", "os")]), 1);
+        assert_eq!(r.counter("cycles", &[]), 0);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("x", &[("a", "1"), ("b", "2")], 3);
+        r.counter_add("x", &[("b", "2"), ("a", "1")], 4);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.counter("x", &[("a", "1"), ("b", "2")]), 7);
+    }
+
+    #[test]
+    fn histogram_summary() {
+        let mut h = Histogram::default();
+        for v in [3.0, 1.0, 2.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        let mut other = Histogram::default();
+        other.observe(10.0);
+        h.merge(&other);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, 10.0);
+    }
+
+    #[test]
+    fn json_is_sorted_and_stable() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set("util", &[("model", "ws")], 0.75);
+        r.counter_add("cycles", &[("model", "ws")], 42);
+        r.observe("lat", &[], 2.5);
+        let a = r.to_json();
+        let b = r.clone().to_json();
+        assert_eq!(a, b, "serialization must be deterministic");
+        // Sorted by name: cycles < lat < util.
+        let ic = a.find("\"name\":\"cycles\"").unwrap();
+        let il = a.find("\"name\":\"lat\"").unwrap();
+        let iu = a.find("\"name\":\"util\"").unwrap();
+        assert!(ic < il && il < iu);
+        assert!(a.contains("\"type\":\"counter\",\"value\":42"));
+        assert!(a.contains("\"type\":\"gauge\",\"value\":0.75"));
+        assert!(a.contains("\"type\":\"histogram\",\"count\":1"));
+    }
+
+    #[test]
+    fn breakdown_recording() {
+        let mut r = MetricsRegistry::new();
+        let b = CycleBreakdown::new()
+            .with(StallClass::Compute, 8)
+            .with(StallClass::Fill, 2);
+        r.record_breakdown("sim", &[("model", "ws")], &b);
+        assert_eq!(
+            r.counter("sim_cycles", &[("model", "ws"), ("class", "compute")]),
+            8
+        );
+        assert_eq!(
+            r.counter("sim_cycles", &[("model", "ws"), ("class", "idle")]),
+            0
+        );
+        // All 10 classes registered (schema stability).
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", &[], 1);
+        a.gauge_set("g", &[], 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", &[], 2);
+        b.gauge_set("g", &[], 5.0);
+        b.observe("h", &[], 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c", &[]), 3);
+        assert_eq!(a.get("g", &[]), Some(&MetricValue::Gauge(5.0)));
+        assert!(matches!(a.get("h", &[]), Some(MetricValue::Histogram(_))));
+    }
+
+    #[test]
+    fn json_f64_edge_cases() {
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "1e308");
+        assert_eq!(json_f64(f64::NEG_INFINITY), "-1e308");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn stopwatch_records_gauge() {
+        let mut r = MetricsRegistry::new();
+        let sw = Stopwatch::start();
+        let ms = sw.record(&mut r, "test");
+        assert!(ms >= 0.0);
+        assert!(matches!(
+            r.get("wall_ms", &[("section", "test")]),
+            Some(MetricValue::Gauge(_))
+        ));
+    }
+}

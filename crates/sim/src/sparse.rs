@@ -13,6 +13,7 @@ use stellar_tensor::CsrMatrix;
 use crate::error::{SimError, Watchdog};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{SimStats, Utilization};
+use crate::trace::{CycleBreakdown, StallClass, Tracer};
 
 /// How idle lanes may take work from loaded ones.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,7 +100,22 @@ pub fn simulate_sparse_matmul_faulty(
     b: &CsrMatrix,
     params: &SparseArrayParams,
     injector: &mut FaultInjector,
+    watchdog: Watchdog,
+) -> Result<SparseSimResult, SimError> {
+    simulate_sparse_matmul_traced(b, params, injector, watchdog, &mut Tracer::disabled())
+}
+
+/// [`simulate_sparse_matmul_faulty`] plus observability: each advanced
+/// cycle is `Compute` when every lane is busy, `LoadImbalance` when only
+/// some are (the Figure 6 pathology this model exists to expose), and
+/// `Idle` when none are; when enabled, the tracer records one span per
+/// executed row (track = lane index).
+pub fn simulate_sparse_matmul_traced(
+    b: &CsrMatrix,
+    params: &SparseArrayParams,
+    injector: &mut FaultInjector,
     mut watchdog: Watchdog,
+    tracer: &mut Tracer,
 ) -> Result<SparseSimResult, SimError> {
     let lanes = params.lanes.max(1);
     // Pending rows per lane, in row order.
@@ -118,6 +134,7 @@ pub fn simulate_sparse_matmul_faulty(
     let mut lane_busy = vec![0u64; lanes];
     let mut lane_rows = vec![0usize; lanes];
     let mut cycles: u64 = 0;
+    let mut breakdown = CycleBreakdown::new();
     let total_nnz: u64 = (0..b.rows()).map(|r| b.row_len(r) as u64).sum();
     if total_nnz == 0 {
         return Ok(SparseSimResult {
@@ -171,7 +188,9 @@ pub fn simulate_sparse_matmul_faulty(
                 }
             };
             if let Some(w) = work {
-                current[l] = Some((w, w.nnz + params.row_startup_cycles));
+                let dur = w.nnz + params.row_startup_cycles;
+                tracer.span(l as u32, "sparse_row", cycles, dur, StallClass::Compute);
+                current[l] = Some((w, dur));
                 dispatched = true;
             }
         }
@@ -198,9 +217,11 @@ pub fn simulate_sparse_matmul_faulty(
         // Advance one cycle.
         cycles += 1;
         watchdog.tick(1, "sparse lane loop")?;
+        let mut busy_lanes = 0usize;
         for l in 0..lanes {
             if let Some((w, remaining)) = current[l].as_mut() {
                 lane_busy[l] += 1;
+                busy_lanes += 1;
                 *remaining -= 1;
                 if *remaining == 0 {
                     lane_rows[l] += 1;
@@ -209,8 +230,22 @@ pub fn simulate_sparse_matmul_faulty(
                 }
             }
         }
+        // Cycle attribution: the array is only "computing" when every
+        // lane is occupied; partially-occupied cycles are the load
+        // imbalance this model exists to expose.
+        breakdown.add(
+            if busy_lanes == lanes {
+                StallClass::Compute
+            } else if busy_lanes > 0 {
+                StallClass::LoadImbalance
+            } else {
+                StallClass::Idle
+            },
+            1,
+        );
     }
 
+    breakdown.debug_assert_accounts_for(cycles, "sparse array");
     let busy: u64 = lane_busy.iter().sum();
     Ok(SparseSimResult {
         stats: SimStats {
@@ -226,6 +261,7 @@ pub fn simulate_sparse_matmul_faulty(
                 dram_words: 0,
                 pe_cycles: cycles * lanes as u64,
             },
+            breakdown,
         },
         lane_busy,
         lane_rows,
@@ -355,6 +391,30 @@ mod tests {
         let rows_done: usize = r.lane_rows.iter().sum();
         let nonempty = (0..32).filter(|&row| b.row_len(row) > 0).count();
         assert_eq!(rows_done, nonempty);
+    }
+
+    #[test]
+    fn imbalance_shows_up_in_the_breakdown() {
+        let b = gen::imbalanced(8, 256, 2, 128, 2, 7);
+        let mut tracer = Tracer::enabled();
+        let r = simulate_sparse_matmul_traced(
+            &b,
+            &params(BalancePolicy::None),
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::default_budget(),
+            &mut tracer,
+        )
+        .unwrap();
+        assert_eq!(r.stats.breakdown.total(), r.stats.cycles);
+        assert!(
+            r.stats.breakdown.get(StallClass::LoadImbalance)
+                > r.stats.breakdown.get(StallClass::Compute),
+            "an imbalanced matrix must spend most cycles imbalanced: {:?}",
+            r.stats.breakdown
+        );
+        // One span per executed non-empty row.
+        let rows_done: usize = r.lane_rows.iter().sum();
+        assert_eq!(tracer.len(), rows_done);
     }
 
     #[test]

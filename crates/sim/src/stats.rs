@@ -2,6 +2,8 @@
 
 use stellar_area::TrafficCounts;
 
+use crate::trace::CycleBreakdown;
+
 /// PE occupancy accounting: busy PE-cycles over total PE-cycles.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct Utilization {
@@ -21,17 +23,19 @@ impl Utilization {
         }
     }
 
-    /// Merges two measurements.
+    /// Merges two measurements, saturating instead of wrapping on
+    /// overflow (long compositions of huge layers must degrade, not
+    /// wrap around into nonsense utilizations).
     pub fn merge(self, o: Utilization) -> Utilization {
         Utilization {
-            busy: self.busy + o.busy,
-            total: self.total + o.total,
+            busy: self.busy.saturating_add(o.busy),
+            total: self.total.saturating_add(o.total),
         }
     }
 }
 
-/// The result of one simulation: cycles, utilization, and traffic for the
-/// energy model.
+/// The result of one simulation: cycles, utilization, traffic for the
+/// energy model, and a per-class cycle attribution.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct SimStats {
     /// Cycles elapsed.
@@ -40,15 +44,20 @@ pub struct SimStats {
     pub utilization: Utilization,
     /// Counted events, consumable by [`stellar_area::energy_per_mac_pj`].
     pub traffic: TrafficCounts,
+    /// Where every cycle went — categories sum to `cycles` for all
+    /// `simulate_*` entry points (debug-asserted at construction).
+    pub breakdown: CycleBreakdown,
 }
 
 impl SimStats {
-    /// Sequential composition: cycles add, occupancy and traffic merge.
+    /// Sequential composition: cycles add (saturating), occupancy,
+    /// traffic, and breakdown merge.
     pub fn then(self, o: SimStats) -> SimStats {
         SimStats {
-            cycles: self.cycles + o.cycles,
+            cycles: self.cycles.saturating_add(o.cycles),
             utilization: self.utilization.merge(o.utilization),
             traffic: self.traffic.merge(o.traffic),
+            breakdown: self.breakdown.merge(o.breakdown),
         }
     }
 
@@ -60,11 +69,19 @@ impl SimStats {
             ops as f64 / self.cycles as f64
         }
     }
+
+    /// PE utilization in `[0, 1]` — the symmetric companion of
+    /// [`SimStats::ops_per_cycle`], so callers stop reaching through
+    /// `stats.utilization.fraction()`.
+    pub fn utilization_fraction(&self) -> f64 {
+        self.utilization.fraction()
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::StallClass;
 
     #[test]
     fn utilization_fraction() {
@@ -85,12 +102,32 @@ mod tests {
                 macs: 100,
                 ..TrafficCounts::default()
             },
+            breakdown: CycleBreakdown::new().with(StallClass::Compute, 10),
         };
         let b = a;
         let c = a.then(b);
         assert_eq!(c.cycles, 20);
         assert_eq!(c.utilization.busy, 10);
         assert_eq!(c.traffic.macs, 200);
+        assert_eq!(c.breakdown.get(StallClass::Compute), 20);
+        assert_eq!(c.breakdown.total(), c.cycles);
         assert!((c.ops_per_cycle(200) - 10.0).abs() < 1e-12);
+        assert!((c.utilization_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn then_saturates_instead_of_wrapping() {
+        let big = SimStats {
+            cycles: u64::MAX - 1,
+            utilization: Utilization {
+                busy: u64::MAX - 1,
+                total: u64::MAX - 1,
+            },
+            ..SimStats::default()
+        };
+        let c = big.then(big);
+        assert_eq!(c.cycles, u64::MAX);
+        assert_eq!(c.utilization.busy, u64::MAX);
+        assert_eq!(c.utilization.total, u64::MAX);
     }
 }

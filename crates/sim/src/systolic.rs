@@ -14,6 +14,7 @@ use stellar_tensor::DenseMatrix;
 use crate::error::{SimError, Watchdog};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{SimStats, Utilization};
+use crate::trace::{CycleBreakdown, StallClass, Tracer};
 
 /// The result of a cycle-stepped weight-stationary matmul.
 #[derive(Clone, Debug, PartialEq)]
@@ -53,7 +54,22 @@ pub fn simulate_ws_matmul_faulty(
     a: &DenseMatrix,
     b: &DenseMatrix,
     injector: &mut FaultInjector,
+    watchdog: Watchdog,
+) -> Result<WsResult, SimError> {
+    simulate_ws_matmul_traced(a, b, injector, watchdog, &mut Tracer::disabled())
+}
+
+/// [`simulate_ws_matmul_faulty`] plus observability: every elapsed cycle
+/// is attributed to a [`StallClass`] (preload and pre-activity skew are
+/// `Fill`, any-PE-active steps are `Compute`, the tail is `Drain`) and,
+/// when the tracer is enabled, per-row stream spans plus preload/drain
+/// spans are recorded (track = A row index).
+pub fn simulate_ws_matmul_traced(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    injector: &mut FaultInjector,
     mut watchdog: Watchdog,
+    tracer: &mut Tracer,
 ) -> Result<WsResult, SimError> {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
@@ -80,9 +96,24 @@ pub fn simulate_ws_matmul_faulty(
     // bottom of column c emits C[i][c] after the pipeline delay.
     // Total cycles: skew (k-1) + stream (m) + drain (k + 1).
     let total_steps = m + 2 * k + n;
+    let mut breakdown = CycleBreakdown::new().with(StallClass::Fill, preload_cycles);
+    tracer.span(0, "ws_preload", 0, preload_cycles, StallClass::Fill);
+    for i in 0..m {
+        // Row i of A is in flight from its skewed entry until it has
+        // traversed the k array rows and n columns.
+        tracer.span(
+            i as u32,
+            "ws_stream_row",
+            preload_cycles + i as u64,
+            (k + n) as u64,
+            StallClass::Compute,
+        );
+    }
+    let mut seen_activity = false;
     watchdog.tick(preload_cycles, "ws weight preload")?;
     for t in 0..total_steps {
         watchdog.tick(1, "ws stream loop")?;
+        let mut step_busy = false;
         // Advance from the bottom row upward so values move one PE per
         // cycle.
         let mut next_act = vec![vec![0.0f64; n]; k];
@@ -108,6 +139,7 @@ pub fn simulate_ws_matmul_faulty(
                 let p_out = injector.perturb_accumulator(p_in + a_in * w);
                 if a_in != 0.0 || p_in != 0.0 {
                     busy += 1;
+                    step_busy = true;
                 }
                 next_act[r][c] = a_in;
                 next_psum[r][c] = p_out;
@@ -124,9 +156,21 @@ pub fn simulate_ws_matmul_faulty(
         }
         act = next_act;
         psum = next_psum;
+        // Cycle attribution: while any PE holds live data the array is
+        // computing; a quiet step before first activity is pipeline fill
+        // (skew), after last activity it is drain.
+        if step_busy {
+            seen_activity = true;
+            breakdown.add(StallClass::Compute, 1);
+        } else if seen_activity {
+            breakdown.add(StallClass::Drain, 1);
+        } else {
+            breakdown.add(StallClass::Fill, 1);
+        }
     }
 
     let cycles = preload_cycles + total_steps as u64;
+    breakdown.debug_assert_accounts_for(cycles, "ws systolic");
     let macs = (m * n * k) as u64;
     Ok(WsResult {
         product,
@@ -143,6 +187,7 @@ pub fn simulate_ws_matmul_faulty(
                 dram_words: 0,
                 pe_cycles: cycles * (k * n) as u64,
             },
+            breakdown,
         },
     })
 }
@@ -175,7 +220,21 @@ pub fn simulate_os_matmul_faulty(
     a: &DenseMatrix,
     b: &DenseMatrix,
     injector: &mut FaultInjector,
+    watchdog: Watchdog,
+) -> Result<WsResult, SimError> {
+    simulate_os_matmul_traced(a, b, injector, watchdog, &mut Tracer::disabled())
+}
+
+/// [`simulate_os_matmul_faulty`] plus observability: any-PE-active steps
+/// are `Compute`, quiet steps before first activity are `Fill`, the tail
+/// and the end-of-run result drain are `Drain`; when enabled, the tracer
+/// records one accumulate span per output row (track = C row index).
+pub fn simulate_os_matmul_traced(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    injector: &mut FaultInjector,
     mut watchdog: Watchdog,
+    tracer: &mut Tracer,
 ) -> Result<WsResult, SimError> {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
@@ -197,8 +256,22 @@ pub fn simulate_os_matmul_faulty(
     // Element A[i][kk] enters row i at t = i + kk; element B[kk][j] enters
     // column j at t = j + kk; they meet at PE (i, j) at t = i + j + kk.
     let total_steps = k + m + n;
+    let mut breakdown = CycleBreakdown::new();
+    let mut seen_activity = false;
+    for i in 0..m {
+        // Row i's accumulators are live from the first A arrival (t = i)
+        // until the last k index has flowed across all n columns.
+        tracer.span(
+            i as u32,
+            "os_accumulate_row",
+            i as u64,
+            (k + n) as u64,
+            StallClass::Compute,
+        );
+    }
     for t in 0..total_steps {
         watchdog.tick(1, "os stream loop")?;
+        let mut step_busy = false;
         let mut next_a = vec![vec![0.0f64; n]; m];
         let mut next_b = vec![vec![0.0f64; n]; m];
         for i in 0..m {
@@ -228,6 +301,7 @@ pub fn simulate_os_matmul_faulty(
                 // carries B[t - i - j][j] — the matching k index.
                 if a_in != 0.0 || b_in != 0.0 {
                     busy += 1;
+                    step_busy = true;
                     acc[i][j] = injector.perturb_accumulator(acc[i][j] + a_in * b_in);
                 }
                 next_a[i][j] = a_in;
@@ -236,6 +310,14 @@ pub fn simulate_os_matmul_faulty(
         }
         a_reg = next_a;
         b_reg = next_b;
+        if step_busy {
+            seen_activity = true;
+            breakdown.add(StallClass::Compute, 1);
+        } else if seen_activity {
+            breakdown.add(StallClass::Drain, 1);
+        } else {
+            breakdown.add(StallClass::Fill, 1);
+        }
     }
 
     let mut product = DenseMatrix::zeros(m, n);
@@ -246,6 +328,15 @@ pub fn simulate_os_matmul_faulty(
     }
     // Drain: one cycle per output column through the edge ports.
     let cycles = (total_steps + n) as u64;
+    breakdown.add(StallClass::Drain, n as u64);
+    tracer.span(
+        0,
+        "os_drain",
+        total_steps as u64,
+        n as u64,
+        StallClass::Drain,
+    );
+    breakdown.debug_assert_accounts_for(cycles, "os systolic");
     watchdog.tick(n as u64, "os drain")?;
     let macs = (m * n * k) as u64;
     Ok(WsResult {
@@ -263,6 +354,7 @@ pub fn simulate_os_matmul_faulty(
                 dram_words: 0,
                 pe_cycles: cycles * (m * n) as u64,
             },
+            breakdown,
         },
     })
 }
@@ -412,6 +504,30 @@ mod tests {
             r.product.approx_eq(&golden, 1e-9),
             "SECDED-corrected upsets must not change the product"
         );
+    }
+
+    #[test]
+    fn breakdown_sums_to_cycles_and_traces() {
+        let a = gen::dense(8, 4, 4);
+        let b = gen::dense(4, 4, 5);
+        let mut tracer = Tracer::enabled();
+        let r = simulate_ws_matmul_traced(
+            &a,
+            &b,
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::default_budget(),
+            &mut tracer,
+        )
+        .unwrap();
+        assert_eq!(r.stats.breakdown.total(), r.stats.cycles);
+        assert!(r.stats.breakdown.get(StallClass::Compute) > 0);
+        // Weight preload is always attributed to Fill.
+        assert!(r.stats.breakdown.get(StallClass::Fill) >= 4);
+        assert!(!tracer.is_empty(), "enabled tracer must record spans");
+        let os = simulate_os_matmul(&a, &b).unwrap();
+        assert_eq!(os.stats.breakdown.total(), os.stats.cycles);
+        // Result drain through edge ports is attributed to Drain.
+        assert!(os.stats.breakdown.get(StallClass::Drain) >= 4);
     }
 
     #[test]
