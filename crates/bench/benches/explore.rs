@@ -1,0 +1,35 @@
+//! Criterion benchmarks for the automated dataflow search: the serial
+//! scan against the sharded parallel scan, at both coefficient bounds.
+//! The parallel/serial pair at `max_coeff = 2` is the speedup evidence
+//! for the work-stealing execution layer (byte-identical output is
+//! covered by `crates/core/tests/explore_parallel.rs` and
+//! `explore_smoke`; this measures only the wall-clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_core::{explore_dataflows, Bounds, ExploreOptions, Functionality};
+
+fn bench_explore(c: &mut Criterion) {
+    let func = Functionality::matmul(3, 3, 3);
+    let bounds = Bounds::from_extents(&[3, 3, 3]);
+    let mut g = c.benchmark_group("explore_dataflows");
+    for max_coeff in [1i64, 2] {
+        for (mode, parallelism) in [("serial", 1usize), ("parallel", 0)] {
+            let opts = ExploreOptions {
+                max_coeff,
+                parallelism,
+                ..ExploreOptions::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(mode, format!("max_coeff_{max_coeff}")),
+                &opts,
+                |b, opts| {
+                    b.iter(|| explore_dataflows(&func, &bounds, opts).unwrap());
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

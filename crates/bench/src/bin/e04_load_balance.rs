@@ -4,12 +4,13 @@
 //! matrices, and shows the Figure 10 hardware trade-off: per-PE balancing
 //! prunes more connections (more regfile ports) than row-group balancing.
 
+use rayon::prelude::*;
 use stellar_bench::{pct, table, Report};
 use stellar_core::prelude::*;
 use stellar_core::IndexId;
 use stellar_sim::{
     simulate_sparse_matmul_traced, BalancePolicy, FaultInjector, FaultPlan, SparseArrayParams,
-    Watchdog,
+    Tracer, Watchdog, DEFAULT_TRACE_CAPACITY,
 };
 use stellar_tensor::gen;
 
@@ -19,7 +20,10 @@ fn main() -> Result<(), CompileError> {
         "Figures 6/10 — load balancing: utilization and hardware cost",
     );
 
-    // Performance side (Figure 6): three workloads, three policies.
+    // Performance side (Figure 6): three workloads, three policies. Every
+    // (workload, policy) point is an independent simulation, so the grid
+    // runs in parallel; results and traces merge back in grid order, so
+    // the report (and the Chrome trace) is identical to a serial sweep.
     let workloads = [
         ("balanced", gen::uniform(64, 256, 0.1, 1)),
         ("mildly imbalanced", gen::imbalanced(64, 512, 4, 96, 8, 2)),
@@ -29,26 +33,42 @@ fn main() -> Result<(), CompileError> {
         ),
         ("power-law", gen::power_law(64, 512, 16.0, 1.7, 4)),
     ];
-    let mut rows = Vec::new();
-    for (name, b) in &workloads {
-        let mut row = vec![name.to_string()];
-        for (pname, policy) in [
-            ("none", BalancePolicy::None),
-            ("adjacent", BalancePolicy::AdjacentRows),
-            ("global", BalancePolicy::Global),
-        ] {
+    let policies = [
+        ("none", BalancePolicy::None),
+        ("adjacent", BalancePolicy::AdjacentRows),
+        ("global", BalancePolicy::Global),
+    ];
+    let tracing = report.tracer().is_enabled();
+    let grid: Vec<_> = (0..workloads.len() * policies.len())
+        .into_par_iter()
+        .map(|point| {
+            let (w, p) = (point / policies.len(), point % policies.len());
+            let mut tracer = if tracing {
+                Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
+            } else {
+                Tracer::disabled()
+            };
             let r = simulate_sparse_matmul_traced(
-                b,
+                &workloads[w].1,
                 &SparseArrayParams {
                     lanes: 8,
                     row_startup_cycles: 1,
-                    balance: policy,
+                    balance: policies[p].1,
                 },
                 &mut FaultInjector::new(FaultPlan::none()),
                 Watchdog::default_budget(),
-                report.tracer(),
+                &mut tracer,
             )
             .expect("sparse simulation");
+            (r, tracer)
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for (w, (name, _)) in workloads.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (p, (pname, _)) in policies.iter().enumerate() {
+            let (r, tracer) = &grid[w * policies.len() + p];
+            report.tracer().absorb(tracer);
             report.breakdown(&format!("{name}/{pname}"), &r.stats.breakdown);
             let m = report.metrics();
             m.counter_add(

@@ -6,12 +6,15 @@
 //! trade-off curve (throughput saturates once pointer latency is covered,
 //! while area keeps growing).
 
+use rayon::prelude::*;
 use stellar_accels::{outerspace_throughput, OuterSpaceConfig};
 use stellar_area::{area::dma_area_um2, Technology};
 use stellar_bench::{table, Report};
 use stellar_core::DmaDesign;
 use stellar_sim::DmaModel;
 use stellar_workloads::suite;
+
+const SLOTS: [usize; 7] = [1, 2, 4, 8, 16, 32, 64];
 
 fn main() {
     let mut report = Report::new(
@@ -21,17 +24,28 @@ fn main() {
 
     let mats: Vec<_> = suite().into_iter().take(10).collect();
     let tech = Technology::asap7();
+
+    // Every (slot count, matrix) point is an independent seeded model
+    // evaluation: sweep the whole grid in parallel, then average per slot
+    // count in matrix order so the floating-point reduction (and thus the
+    // report) matches the serial sweep bit for bit.
+    let grid: Vec<f64> = (0..SLOTS.len() * mats.len())
+        .into_par_iter()
+        .map(|point| {
+            let (s, n) = (point / mats.len(), point % mats.len());
+            let cfg = OuterSpaceConfig {
+                dma: DmaModel::with_slots(SLOTS[s]),
+                ..OuterSpaceConfig::stellar_default()
+            };
+            outerspace_throughput(&mats[n], &cfg, 300 + n as u64).gflops
+        })
+        .collect();
+
     let mut rows = Vec::new();
     let mut prev_gflops = 0.0;
-    for slots in [1usize, 2, 4, 8, 16, 32, 64] {
-        let cfg = OuterSpaceConfig {
-            dma: DmaModel::with_slots(slots),
-            ..OuterSpaceConfig::stellar_default()
-        };
-        let avg: f64 = mats
+    for (s, &slots) in SLOTS.iter().enumerate() {
+        let avg: f64 = grid[s * mats.len()..(s + 1) * mats.len()]
             .iter()
-            .enumerate()
-            .map(|(n, m)| outerspace_throughput(m, &cfg, 300 + n as u64).gflops)
             .sum::<f64>()
             / mats.len() as f64;
         let area = dma_area_um2(

@@ -3,6 +3,8 @@
 //! the valid ones, and tabulate the distinct array structures — the
 //! classic dataflows fall out of the search rather than being hand-picked.
 
+use std::time::Instant;
+
 use stellar_bench::{table, Report};
 use stellar_core::prelude::*;
 use stellar_core::{explore_dataflows, ExploreOptions};
@@ -12,7 +14,28 @@ fn main() -> Result<(), CompileError> {
 
     let func = Functionality::matmul(4, 4, 4);
     let bounds = Bounds::from_extents(&[4, 4, 4]);
+
+    // Run the search both single-threaded and sharded across all cores:
+    // the parallel ranking is asserted byte-identical (the determinism
+    // contract of the sharded scan), and the wall-clock for both paths
+    // lands in the metrics so the speedup is tracked run over run.
+    let serial_t = Instant::now();
+    let serial = explore_dataflows(
+        &func,
+        &bounds,
+        &ExploreOptions {
+            parallelism: 1,
+            ..ExploreOptions::default()
+        },
+    )?;
+    let serial_ms = serial_t.elapsed().as_secs_f64() * 1e3;
+    let parallel_t = Instant::now();
     let found = explore_dataflows(&func, &bounds, &ExploreOptions::default())?;
+    let parallel_ms = parallel_t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        found, serial,
+        "parallel dataflow ranking diverged from the serial scan"
+    );
 
     let mut rows = Vec::new();
     for (n, e) in found.iter().enumerate() {
@@ -49,8 +72,16 @@ fn main() -> Result<(), CompileError> {
         "\n{} distinct valid array structures found in the +-1 coefficient space.",
         found.len()
     );
+    println!(
+        "search wall-clock: serial {serial_ms:.1} ms, parallel {parallel_ms:.1} ms \
+         ({} worker(s) available), identical rankings",
+        rayon::current_num_threads()
+    );
     let m = report.metrics();
     m.counter_add("valid_dataflows", &[], found.len() as u64);
+    m.gauge_set("explore_wall_ms", &[("mode", "serial")], serial_ms);
+    m.gauge_set("explore_wall_ms", &[("mode", "parallel")], parallel_ms);
+    m.gauge_set("explore_workers", &[], rayon::current_num_threads() as f64);
     if let Some(best) = found.first() {
         m.gauge_set("best_cost", &[], best.cost());
         m.counter_add("best_pes", &[], best.num_pes as u64);

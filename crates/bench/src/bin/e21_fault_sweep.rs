@@ -11,6 +11,7 @@
 
 use std::fmt::Write as _;
 
+use rayon::prelude::*;
 use stellar_area::{ecc_area_overhead_fraction, secded_access_energy_ratio, Technology};
 use stellar_bench::Report;
 use stellar_core::prelude::*;
@@ -73,24 +74,29 @@ fn systolic_sweep(out: &mut String) -> (u64, u64, CycleBreakdown) {
     for rate in [1e-4f64, 1e-3, 5e-3] {
         for ecc in [false, true] {
             let mut cell = Cell::default();
-            for trial in 0..TRIALS {
-                let mut plan = FaultPlan::transient(1000 * trial + 17, rate);
-                if ecc {
-                    plan = plan.with_ecc();
-                }
-                let mut inj = FaultInjector::new(plan);
-                match simulate_ws_matmul_faulty(&a, &b, &mut inj, Watchdog::default_budget()) {
-                    Ok(r) => {
-                        let matches = r.product == golden.product;
-                        match RunOutcome::classify(&inj.counts, matches) {
-                            RunOutcome::Correct => cell.correct += 1,
-                            RunOutcome::Corrected => cell.corrected += 1,
-                            RunOutcome::Detected => cell.detected += 1,
-                            RunOutcome::SilentDataCorruption => cell.sdc += 1,
-                            RunOutcome::Hung => cell.hung += 1,
-                        }
+            // Each trial owns its seeded FaultPlan and injector, so the
+            // trials run in parallel; outcomes fold back in trial order.
+            let outcomes: Vec<RunOutcome> = (0..TRIALS)
+                .into_par_iter()
+                .map(|trial| {
+                    let mut plan = FaultPlan::transient(1000 * trial + 17, rate);
+                    if ecc {
+                        plan = plan.with_ecc();
                     }
-                    Err(_) => cell.hung += 1,
+                    let mut inj = FaultInjector::new(plan);
+                    match simulate_ws_matmul_faulty(&a, &b, &mut inj, Watchdog::default_budget()) {
+                        Ok(r) => RunOutcome::classify(&inj.counts, r.product == golden.product),
+                        Err(_) => RunOutcome::Hung,
+                    }
+                })
+                .collect();
+            for outcome in outcomes {
+                match outcome {
+                    RunOutcome::Correct => cell.correct += 1,
+                    RunOutcome::Corrected => cell.corrected += 1,
+                    RunOutcome::Detected => cell.detected += 1,
+                    RunOutcome::SilentDataCorruption => cell.sdc += 1,
+                    RunOutcome::Hung => cell.hung += 1,
                 }
             }
             if ecc {
@@ -182,19 +188,28 @@ fn dma_sweep(out: &mut String) -> CycleBreakdown {
             let mut recovery_cycles = 0u64;
             let mut done = 0u64;
             let mut wedged = 0u64;
-            for trial in 0..TRIALS {
-                let mut plan = FaultPlan::none();
-                plan.seed = 7000 + trial;
-                plan.dma_drop_per_request = drop;
-                let mut inj = FaultInjector::new(plan);
-                match dma.reliable_scattered_cycles(
-                    200,
-                    8,
-                    &policy,
-                    &mut inj,
-                    &Watchdog::default_budget(),
-                ) {
-                    Ok(rep) => {
+            // Independent seeded trials: run in parallel, merge in trial
+            // order so the cycle attribution stays deterministic.
+            let reports: Vec<_> = (0..TRIALS)
+                .into_par_iter()
+                .map(|trial| {
+                    let mut plan = FaultPlan::none();
+                    plan.seed = 7000 + trial;
+                    plan.dma_drop_per_request = drop;
+                    let mut inj = FaultInjector::new(plan);
+                    dma.reliable_scattered_cycles(
+                        200,
+                        8,
+                        &policy,
+                        &mut inj,
+                        &Watchdog::default_budget(),
+                    )
+                    .ok()
+                })
+                .collect();
+            for rep in reports {
+                match rep {
+                    Some(rep) => {
                         done += 1;
                         done_cycles += rep.cycles;
                         // The breakdown attributes retry/backoff cost
@@ -203,7 +218,7 @@ fn dma_sweep(out: &mut String) -> CycleBreakdown {
                         recovery_cycles += rep.breakdown.get(StallClass::FaultRecovery);
                         merged = merged.merge(rep.breakdown);
                     }
-                    Err(_) => wedged += 1,
+                    None => wedged += 1,
                 }
             }
             let avg = if done > 0 {

@@ -1,0 +1,73 @@
+//! Speedup/determinism smoke check for the sharded dataflow search — the
+//! acceptance harness for `ExploreOptions::parallelism`, run by CI.
+//!
+//! Sweeps the matmul rank-3 space at `max_coeff = 2` (~1.95M candidate
+//! transforms) once serially and once sharded across all cores, then
+//! asserts:
+//!
+//! 1. the two rankings are **byte-identical** (rendered through `Debug`,
+//!    so any field drift fails, not just reordering), and
+//! 2. on a multi-core machine, the parallel path is no slower than the
+//!    serial path (with 10% slack for scheduling noise); with ≥ 4 cores a
+//!    ≥ 3× speedup is additionally reported (informational — CI runners
+//!    make hard real-time bounds flaky).
+//!
+//! Exits non-zero on any violation, so it doubles as a CI gate.
+
+use std::time::Instant;
+
+use stellar_core::{explore_dataflows, Bounds, ExploreOptions, ExploredDataflow, Functionality};
+
+fn sweep(parallelism: usize) -> (Vec<ExploredDataflow>, f64) {
+    let func = Functionality::matmul(3, 3, 3);
+    let opts = ExploreOptions {
+        max_coeff: 2,
+        keep: 64,
+        parallelism,
+        ..ExploreOptions::default()
+    };
+    let started = Instant::now();
+    let found = explore_dataflows(&func, &Bounds::from_extents(&[3, 3, 3]), &opts)
+        .expect("matmul functionality is valid");
+    (found, started.elapsed().as_secs_f64() * 1e3)
+}
+
+fn byte_image(results: &[ExploredDataflow]) -> String {
+    results
+        .iter()
+        .map(|e| format!("{e:?}\n"))
+        .collect::<String>()
+}
+
+fn main() {
+    let workers = rayon::current_num_threads();
+    println!("explore_smoke: rank-3 max_coeff=2 sweep, {workers} worker(s)");
+
+    let (serial, serial_ms) = sweep(1);
+    let (parallel, parallel_ms) = sweep(0);
+    let speedup = serial_ms / parallel_ms.max(1e-9);
+    println!(
+        "serial {serial_ms:.0} ms, parallel {parallel_ms:.0} ms -> {speedup:.2}x \
+         ({} structures)",
+        parallel.len()
+    );
+
+    if byte_image(&parallel) != byte_image(&serial) {
+        eprintln!("FAIL: parallel ranking is not byte-identical to the serial ranking");
+        std::process::exit(1);
+    }
+    println!("rankings byte-identical");
+
+    if workers >= 2 && parallel_ms > serial_ms * 1.10 {
+        eprintln!(
+            "FAIL: parallel sweep slower than serial on {workers} cores \
+             ({parallel_ms:.0} ms > {serial_ms:.0} ms)"
+        );
+        std::process::exit(1);
+    }
+    if workers >= 4 {
+        let verdict = if speedup >= 3.0 { "meets" } else { "MISSES" };
+        println!("{workers} cores: {speedup:.2}x {verdict} the 3x acceptance target");
+    }
+    println!("ok");
+}

@@ -1,94 +1,102 @@
-//! Runs every experiment (E1–E21) in sequence — the one-command
-//! regeneration of the paper's evaluation section — then consolidates the
-//! per-experiment `out/e*.json` reports into one schema-stable
-//! `out/metrics.json` with harness self-profiling.
+//! Runs every experiment (E1–E21) — the one-command regeneration of the
+//! paper's evaluation section — then consolidates the per-experiment
+//! `out/e*.json` reports into one schema-stable `out/metrics.json` with
+//! harness self-profiling.
 //!
-//! `run_all --trace` additionally sets `STELLAR_TRACE=1` for every child,
-//! so experiments with traced simulations (e.g. E4) dump Chrome
-//! `trace_event` JSON files loadable in Perfetto / `chrome://tracing`.
+//! `run_all -j N` schedules up to `N` experiment processes concurrently
+//! (they are independent); each child's output is captured and replayed
+//! as one contiguous block, and the consolidated metrics are identical in
+//! shape to a serial run. `run_all --trace` additionally sets
+//! `STELLAR_TRACE=1` for every child, so experiments with traced
+//! simulations (e.g. E4) dump Chrome `trace_event` JSON files loadable in
+//! Perfetto / `chrome://tracing`.
+//!
+//! Every run carries a fresh nonce that children stamp into their
+//! reports; consolidation rejects reports from earlier runs, so a crashed
+//! experiment shows up as missing, never as stale-but-healthy.
 
 use std::fs;
-use std::process::Command;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use stellar_bench::report::{out_dir, TRACE_ENV};
+use stellar_bench::harness::{self, ScheduleOptions, EXPERIMENTS};
+use stellar_bench::report::out_dir;
 
-const EXPERIMENTS: &[&str] = &[
-    "e01_dataflows",
-    "e02_pipelining",
-    "e03_sparsity",
-    "e04_load_balance",
-    "e05_gemmini_util",
-    "e06_gemmini_area",
-    "e07_energy",
-    "e08_scnn_util",
-    "e09_outerspace",
-    "e10_mergers",
-    "e11_merger_area",
-    "e12_feature_table",
-    "e13_regfiles",
-    "e14_dma_sweep",
-    "e15_l2_cache",
-    "e16_prior_work_gallery",
-    "e17_figure8_soc",
-    "e18_transformer_24",
-    "e19_regfile_ablation",
-    "e20_dataflow_search",
-    "e21_fault_sweep",
-];
+/// Parses `-j N`, `-jN`, `--jobs N`, and `--jobs=N`; defaults to 1.
+fn parse_jobs(args: &[String]) -> Result<usize, String> {
+    let mut jobs = 1usize;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let value = if a == "-j" || a == "--jobs" {
+            Some(
+                it.next()
+                    .ok_or_else(|| format!("{a} expects a worker count"))?
+                    .clone(),
+            )
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            a.strip_prefix("-j").map(|v| v.to_string())
+        };
+        if let Some(v) = value {
+            jobs = v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("invalid worker count {v:?}"))?;
+        }
+    }
+    Ok(jobs)
+}
 
-/// Schema identifier for the consolidated metrics file. Bump only with a
-/// corresponding update to the CI smoke-check and DESIGN.md.
-const SCHEMA: &str = "stellar-metrics-v1";
+/// A nonce unique to this run: wall-clock nanoseconds plus the pid, so
+/// two harness runs (even back to back, even concurrent) never share one.
+fn fresh_nonce() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("{nanos:x}-{:x}", std::process::id())
+}
 
 fn main() {
-    let trace = std::env::args().any(|a| a == "--trace");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trace = args.iter().any(|a| a == "--trace");
+    let jobs = match parse_jobs(&args) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            std::process::exit(2);
+        }
+    };
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()))
         .expect("executable directory");
-    let mut failures = Vec::new();
-    let mut timings: Vec<(&str, f64)> = Vec::new();
+    let dir = out_dir();
+    let opts = ScheduleOptions {
+        jobs,
+        trace,
+        nonce: fresh_nonce(),
+        out_dir: dir.clone(),
+        exe_dir,
+    };
+
     let total = Instant::now();
-    for name in EXPERIMENTS {
-        let path = exe_dir.join(name);
-        let started = Instant::now();
-        let mut cmd = if path.exists() {
-            Command::new(&path)
-        } else {
-            // Fall back to cargo when siblings are not built.
-            let mut c = Command::new("cargo");
-            c.args([
-                "run",
-                "--release",
-                "-q",
-                "-p",
-                "stellar-bench",
-                "--bin",
-                name,
-            ]);
-            c
-        };
-        if trace {
-            cmd.env(TRACE_ENV, "1");
-        }
-        let status = cmd.status();
-        timings.push((name, started.elapsed().as_secs_f64() * 1e3));
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => failures.push(format!("{name}: exit {s}")),
-            Err(e) => failures.push(format!("{name}: {e}")),
-        }
+    let outcomes = harness::run_experiments(&opts);
+    let total_ms = total.elapsed().as_secs_f64() * 1e3;
+
+    let json = harness::consolidate(&dir, trace, jobs, &outcomes, total_ms, Some(&opts.nonce));
+    let path = dir.join("metrics.json");
+    match fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &json)) {
+        Ok(()) => println!("\nconsolidated metrics -> {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 
-    consolidate(
-        trace,
-        &timings,
-        failures.len(),
-        total.elapsed().as_secs_f64() * 1e3,
+    let failures: Vec<&str> = outcomes.iter().filter_map(|o| o.error.as_deref()).collect();
+    println!(
+        "\n=== run_all: {} experiments, {jobs} worker(s), {total_ms:.0} ms ===",
+        EXPERIMENTS.len()
     );
-
-    println!("\n=== run_all: {} experiments ===", EXPERIMENTS.len());
     if failures.is_empty() {
         println!("all experiments completed");
     } else {
@@ -96,54 +104,5 @@ fn main() {
             eprintln!("FAILED {f}");
         }
         std::process::exit(1);
-    }
-}
-
-/// Splices the per-experiment `out/<id>.json` files (each written by
-/// [`stellar_bench::Report::finish`]) into `out/metrics.json`. Experiments
-/// whose report file is missing (crashed, or not yet converted) are
-/// skipped; the harness block records how many were consolidated.
-fn consolidate(trace: bool, timings: &[(&str, f64)], failures: usize, total_ms: f64) {
-    let dir = out_dir();
-    let mut experiments = Vec::new();
-    for name in EXPERIMENTS {
-        let id = name.split('_').next().unwrap_or(name);
-        let path = dir.join(format!("{id}.json"));
-        match fs::read_to_string(&path) {
-            Ok(body) if body.starts_with('{') && body.ends_with('}') => experiments.push(body),
-            Ok(_) => eprintln!("warning: {} is not a JSON object, skipped", path.display()),
-            Err(_) => eprintln!("warning: no report from {name} ({})", path.display()),
-        }
-    }
-
-    let mut json = String::from("{");
-    json.push_str(&format!("\"schema\":\"{SCHEMA}\","));
-    json.push_str(&format!("\"trace\":{trace},"));
-    json.push_str("\"experiments\":[");
-    json.push_str(&experiments.join(","));
-    json.push_str("],");
-    json.push_str("\"harness\":{");
-    json.push_str(&format!(
-        "\"experiments\":{},\"consolidated\":{},\"failures\":{failures},\"total_wall_ms\":{total_ms:.3},",
-        EXPERIMENTS.len(),
-        experiments.len(),
-    ));
-    json.push_str("\"wall_ms\":{");
-    for (n, (name, ms)) in timings.iter().enumerate() {
-        if n > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!("\"{name}\":{ms:.3}"));
-    }
-    json.push_str("}}}");
-
-    let path = dir.join("metrics.json");
-    match fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &json)) {
-        Ok(()) => println!(
-            "\nconsolidated {} experiment reports -> {}",
-            experiments.len(),
-            path.display()
-        ),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }

@@ -1,0 +1,370 @@
+//! The `run_all` experiment scheduler and metrics consolidator.
+//!
+//! Experiments are independent processes, so the harness can run them
+//! concurrently (`run_all -j N`): worker threads claim the next pending
+//! experiment from a shared cursor, launch it with its output captured,
+//! and replay that output as one contiguous block when the experiment
+//! finishes — interleaving happens at experiment granularity, never
+//! mid-line. Results are keyed by experiment index, so the consolidated
+//! `out/metrics.json` is identical in shape for every `-j`.
+//!
+//! Consolidation is defensive about staleness: every scheduled experiment
+//! gets the run's nonce via `STELLAR_RUN_NONCE` and stamps it into its
+//! report, the scheduler deletes each experiment's previous report file
+//! before launching it, and [`consolidate`] skips (loudly) any report
+//! whose stamp does not match — so a crashed experiment can no longer
+//! surface a stale report from an earlier run as healthy.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::report::{RUN_NONCE_ENV, TRACE_ENV};
+
+/// Every experiment binary, in the paper's evaluation order.
+pub const EXPERIMENTS: &[&str] = &[
+    "e01_dataflows",
+    "e02_pipelining",
+    "e03_sparsity",
+    "e04_load_balance",
+    "e05_gemmini_util",
+    "e06_gemmini_area",
+    "e07_energy",
+    "e08_scnn_util",
+    "e09_outerspace",
+    "e10_mergers",
+    "e11_merger_area",
+    "e12_feature_table",
+    "e13_regfiles",
+    "e14_dma_sweep",
+    "e15_l2_cache",
+    "e16_prior_work_gallery",
+    "e17_figure8_soc",
+    "e18_transformer_24",
+    "e19_regfile_ablation",
+    "e20_dataflow_search",
+    "e21_fault_sweep",
+];
+
+/// Schema identifier for the consolidated metrics file. Bump only with a
+/// corresponding update to the CI smoke-check and DESIGN.md.
+pub const SCHEMA: &str = "stellar-metrics-v1";
+
+/// The report-file id of an experiment binary (`e04_load_balance` → `e04`).
+pub fn experiment_id(name: &str) -> &str {
+    name.split('_').next().unwrap_or(name)
+}
+
+/// What one scheduled experiment produced.
+#[derive(Clone, Debug)]
+pub struct ExperimentOutcome {
+    /// The experiment binary name.
+    pub name: &'static str,
+    /// Wall-clock of the child process, in milliseconds.
+    pub wall_ms: f64,
+    /// `None` on success, a one-line description on failure.
+    pub error: Option<String>,
+}
+
+/// How the scheduler runs the suite.
+#[derive(Clone, Debug)]
+pub struct ScheduleOptions {
+    /// Concurrent experiment processes (clamped to `1..=EXPERIMENTS`).
+    pub jobs: usize,
+    /// Set `STELLAR_TRACE=1` for every child.
+    pub trace: bool,
+    /// The per-run nonce passed as `STELLAR_RUN_NONCE`.
+    pub nonce: String,
+    /// Where the children write their reports (stale files are cleared
+    /// here before launch).
+    pub out_dir: PathBuf,
+    /// Directory holding the sibling experiment binaries; children fall
+    /// back to `cargo run` when a sibling is missing.
+    pub exe_dir: PathBuf,
+}
+
+/// Launches one experiment with captured output.
+fn launch(name: &str, opts: &ScheduleOptions) -> (f64, Option<String>, Vec<u8>, Vec<u8>) {
+    let path = opts.exe_dir.join(name);
+    let mut cmd = if path.exists() {
+        Command::new(&path)
+    } else {
+        // Fall back to cargo when siblings are not built. Concurrent
+        // fallbacks serialize on cargo's target-dir lock, which is safe —
+        // just slower than pre-built siblings.
+        let mut c = Command::new("cargo");
+        c.args([
+            "run",
+            "--release",
+            "-q",
+            "-p",
+            "stellar-bench",
+            "--bin",
+            name,
+        ]);
+        c
+    };
+    if opts.trace {
+        cmd.env(TRACE_ENV, "1");
+    }
+    cmd.env(RUN_NONCE_ENV, &opts.nonce);
+    let started = Instant::now();
+    let out = cmd.output();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    match out {
+        Ok(o) => {
+            let err = if o.status.success() {
+                None
+            } else {
+                Some(format!("{name}: exit {}", o.status))
+            };
+            (wall_ms, err, o.stdout, o.stderr)
+        }
+        Err(e) => (
+            wall_ms,
+            Some(format!("{name}: {e}")),
+            Vec::new(),
+            Vec::new(),
+        ),
+    }
+}
+
+/// Runs the whole suite with `opts.jobs` concurrent processes, returning
+/// one outcome per experiment **in suite order** regardless of completion
+/// order. Each child's captured stdout/stderr is replayed as one block as
+/// it finishes.
+pub fn run_experiments(opts: &ScheduleOptions) -> Vec<ExperimentOutcome> {
+    // Clear every experiment's previous report up front: a crash must
+    // leave a *missing* file, not last run's.
+    let _ = fs::create_dir_all(&opts.out_dir);
+    for name in EXPERIMENTS {
+        let _ = fs::remove_file(opts.out_dir.join(format!("{}.json", experiment_id(name))));
+    }
+
+    let jobs = opts.jobs.clamp(1, EXPERIMENTS.len());
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ExperimentOutcome>>> =
+        EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+    let replay = Mutex::new(());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(name) = EXPERIMENTS.get(idx) else {
+                    break;
+                };
+                let (wall_ms, error, stdout, stderr) = launch(name, opts);
+                {
+                    // One experiment's output lands as one contiguous block.
+                    let _guard = replay.lock();
+                    let mut so = std::io::stdout();
+                    let _ = so.write_all(&stdout);
+                    let _ = so.flush();
+                    let _ = std::io::stderr().write_all(&stderr);
+                }
+                if let Ok(mut slot) = slots[idx].lock() {
+                    *slot = Some(ExperimentOutcome {
+                        name,
+                        wall_ms,
+                        error,
+                    });
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .zip(EXPERIMENTS)
+        .map(|(slot, name)| {
+            slot.into_inner()
+                .ok()
+                .flatten()
+                .unwrap_or_else(|| ExperimentOutcome {
+                    name,
+                    wall_ms: 0.0,
+                    error: Some(format!("{name}: worker panicked before recording")),
+                })
+        })
+        .collect()
+}
+
+/// Reads one per-experiment report body, validating shape and nonce.
+/// Returns `Ok(Some(body))` to splice, `Ok(None)` for "skip with a warning
+/// already printed", `Err` for "file missing".
+fn read_report(path: &Path, nonce: Option<&str>) -> Result<Option<String>, ()> {
+    let body = fs::read_to_string(path).map_err(|_| ())?;
+    // Reports hand-edited or rewritten by tools often gain a trailing
+    // newline; trim before sniffing so they are not dropped.
+    let trimmed = body.trim();
+    if !(trimmed.starts_with('{') && trimmed.ends_with('}')) {
+        eprintln!("warning: {} is not a JSON object, skipped", path.display());
+        return Ok(None);
+    }
+    if let Some(n) = nonce {
+        if !trimmed.contains(&format!("\"nonce\":\"{n}\"")) {
+            eprintln!(
+                "warning: STALE report {} (nonce does not match this run) — the experiment \
+                 likely crashed before writing; skipped",
+                path.display()
+            );
+            return Ok(None);
+        }
+    }
+    Ok(Some(trimmed.to_string()))
+}
+
+/// Splices the per-experiment `<out_dir>/<id>.json` files (each written by
+/// [`crate::Report::finish`]) into the consolidated metrics document and
+/// returns it. Experiments whose report file is missing (crashed, or not
+/// yet converted) or stale (nonce mismatch) are skipped with a warning;
+/// the harness block records how many were consolidated and how many were
+/// stale. The document depends only on the outcomes and report files —
+/// never on scheduling order — so `-j N` and `-j 1` consolidate
+/// identically.
+pub fn consolidate(
+    out_dir: &Path,
+    trace: bool,
+    jobs: usize,
+    outcomes: &[ExperimentOutcome],
+    total_ms: f64,
+    nonce: Option<&str>,
+) -> String {
+    let mut experiments = Vec::new();
+    let mut stale = 0usize;
+    for name in EXPERIMENTS {
+        let path = out_dir.join(format!("{}.json", experiment_id(name)));
+        match read_report(&path, nonce) {
+            Ok(Some(body)) => experiments.push(body),
+            Ok(None) => stale += 1,
+            Err(()) => eprintln!("warning: no report from {name} ({})", path.display()),
+        }
+    }
+
+    let failures = outcomes.iter().filter(|o| o.error.is_some()).count();
+    let mut json = String::from("{");
+    json.push_str(&format!("\"schema\":\"{SCHEMA}\","));
+    json.push_str(&format!("\"trace\":{trace},"));
+    json.push_str("\"experiments\":[");
+    json.push_str(&experiments.join(","));
+    json.push_str("],");
+    json.push_str("\"harness\":{");
+    json.push_str(&format!(
+        "\"experiments\":{},\"consolidated\":{},\"stale\":{stale},\"failures\":{failures},\
+         \"jobs\":{jobs},\"total_wall_ms\":{total_ms:.3},",
+        EXPERIMENTS.len(),
+        experiments.len(),
+    ));
+    json.push_str("\"wall_ms\":{");
+    for (n, o) in outcomes.iter().enumerate() {
+        if n > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\":{:.3}", o.name, o.wall_ms));
+    }
+    json.push_str("}}}");
+    json
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("stellar-harness-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn fake_outcomes() -> Vec<ExperimentOutcome> {
+        EXPERIMENTS
+            .iter()
+            .map(|name| ExperimentOutcome {
+                name,
+                wall_ms: 1.5,
+                error: None,
+            })
+            .collect()
+    }
+
+    fn experiments_block(json: &str) -> &str {
+        let start = json.find("\"experiments\":[").unwrap();
+        let end = json[start..].find(']').unwrap();
+        &json[start..start + end + 1]
+    }
+
+    #[test]
+    fn trailing_newline_reports_are_accepted() {
+        let dir = tmpdir("newline");
+        fs::write(dir.join("e01.json"), "{\"id\":\"e01\"}\n").unwrap();
+        let json = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, None);
+        assert!(json.contains("\"experiments\":[{\"id\":\"e01\"}]"));
+        assert!(json.contains("\"consolidated\":1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_nonce_reports_are_skipped() {
+        let dir = tmpdir("stale");
+        fs::write(
+            dir.join("e01.json"),
+            "{\"id\":\"e01\",\"nonce\":\"old-run\"}",
+        )
+        .unwrap();
+        fs::write(
+            dir.join("e02.json"),
+            "{\"id\":\"e02\",\"nonce\":\"this-run\"}",
+        )
+        .unwrap();
+        let json = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, Some("this-run"));
+        assert!(!json.contains("old-run"), "stale report was spliced in");
+        assert!(json.contains("\"id\":\"e02\""));
+        assert!(json.contains("\"consolidated\":1"));
+        assert!(json.contains("\"stale\":1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn consolidation_is_job_count_independent() {
+        // `-j 4` and `-j 1` must produce the same experiment set and
+        // schema; only the recorded jobs knob may differ.
+        let dir = tmpdir("jobs");
+        for id in ["e01", "e02", "e03"] {
+            fs::write(
+                dir.join(format!("{id}.json")),
+                format!("{{\"id\":\"{id}\",\"nonce\":\"n\"}}\n"),
+            )
+            .unwrap();
+        }
+        let serial = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, Some("n"));
+        let parallel = consolidate(&dir, false, 4, &fake_outcomes(), 10.0, Some("n"));
+        assert_eq!(experiments_block(&serial), experiments_block(&parallel));
+        assert!(serial.contains(&format!("\"schema\":\"{SCHEMA}\"")));
+        assert!(parallel.contains(&format!("\"schema\":\"{SCHEMA}\"")));
+        assert!(serial.contains("\"jobs\":1"));
+        assert!(parallel.contains("\"jobs\":4"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_object_reports_are_skipped() {
+        let dir = tmpdir("garbage");
+        fs::write(dir.join("e01.json"), "not json at all").unwrap();
+        let json = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, None);
+        assert!(json.contains("\"experiments\":[]"));
+        assert!(json.contains("\"consolidated\":0"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn experiment_ids() {
+        assert_eq!(experiment_id("e04_load_balance"), "e04");
+        assert_eq!(experiment_id("e21_fault_sweep"), "e21");
+        assert_eq!(experiment_id("weird"), "weird");
+    }
+}

@@ -6,9 +6,10 @@
 //! report-formatting helpers and the [`report`] pipeline that emits
 //! machine-readable per-experiment JSON for `run_all` to consolidate.
 
+pub mod harness;
 pub mod report;
 
-pub use report::Report;
+pub use report::{Report, ReportOptions};
 
 /// Prints a section header for an experiment report.
 pub fn header(id: &str, title: &str) {

@@ -8,9 +8,19 @@
 //! collected during the run, and prints a one-line summary. `run_all`
 //! consolidates the per-experiment files into `out/metrics.json`.
 //!
+//! Configuration is explicit: a [`Report`] is built from
+//! [`ReportOptions`], and only [`ReportOptions::from_env`] (the path the
+//! `e*` binaries take) reads the `STELLAR_*` environment variables that
+//! `run_all` sets for its children. Tests and embedders construct options
+//! directly — nothing in this module ever *mutates* the process
+//! environment, which would race across threads.
+//!
 //! Tracing is opt-in via the `STELLAR_TRACE` environment variable (set
 //! by `run_all --trace`), so the default path stays allocation- and
-//! branch-cheap.
+//! branch-cheap. When `run_all` schedules the experiment it also passes a
+//! per-run nonce (`STELLAR_RUN_NONCE`) that is stamped into the emitted
+//! JSON, letting the consolidator reject stale reports left over from
+//! earlier runs.
 
 use std::fs;
 use std::path::PathBuf;
@@ -24,6 +34,11 @@ pub const TRACE_ENV: &str = "STELLAR_TRACE";
 /// Environment variable overriding the output directory (default `out`).
 pub const OUT_DIR_ENV: &str = "STELLAR_OUT_DIR";
 
+/// Environment variable carrying `run_all`'s per-run nonce. Reports stamp
+/// it into their JSON; the consolidator skips files whose stamp does not
+/// match the current run.
+pub const RUN_NONCE_ENV: &str = "STELLAR_RUN_NONCE";
+
 /// True when the harness was asked to collect traces.
 pub fn trace_enabled() -> bool {
     std::env::var(TRACE_ENV).map(|v| v != "0" && !v.is_empty()) == Ok(true)
@@ -36,10 +51,63 @@ pub fn out_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("out"))
 }
 
+/// The per-run nonce `run_all` passed down, if any.
+pub fn run_nonce() -> Option<String> {
+    std::env::var(RUN_NONCE_ENV).ok().filter(|s| !s.is_empty())
+}
+
+/// Explicit report configuration — where artifacts go, whether spans are
+/// traced, and the run nonce stamped into the JSON.
+#[derive(Clone, Debug)]
+pub struct ReportOptions {
+    /// Directory `<id>.json` (and traces) are written to.
+    pub out_dir: PathBuf,
+    /// Collect spans into the report's [`Tracer`].
+    pub trace: bool,
+    /// Stamped as `"nonce"` in the emitted JSON (`null` when absent).
+    pub nonce: Option<String>,
+}
+
+impl ReportOptions {
+    /// The configuration the `e*` binaries run under: derived from the
+    /// `STELLAR_OUT_DIR` / `STELLAR_TRACE` / `STELLAR_RUN_NONCE`
+    /// environment variables `run_all` sets for its children.
+    pub fn from_env() -> ReportOptions {
+        ReportOptions {
+            out_dir: out_dir(),
+            trace: trace_enabled(),
+            nonce: run_nonce(),
+        }
+    }
+
+    /// An explicit test/embedder configuration: write under `out_dir`,
+    /// no tracing, no nonce.
+    pub fn in_dir(out_dir: impl Into<PathBuf>) -> ReportOptions {
+        ReportOptions {
+            out_dir: out_dir.into(),
+            trace: false,
+            nonce: None,
+        }
+    }
+
+    /// Builder: enable or disable span tracing.
+    pub fn with_trace(mut self, trace: bool) -> ReportOptions {
+        self.trace = trace;
+        self
+    }
+
+    /// Builder: stamp a run nonce.
+    pub fn with_nonce(mut self, nonce: impl Into<String>) -> ReportOptions {
+        self.nonce = Some(nonce.into());
+        self
+    }
+}
+
 /// An in-flight experiment report.
 pub struct Report {
     id: String,
     title: String,
+    opts: ReportOptions,
     registry: MetricsRegistry,
     breakdowns: Vec<(String, CycleBreakdown)>,
     tracer: Tracer,
@@ -47,22 +115,29 @@ pub struct Report {
 }
 
 impl Report {
-    /// Opens a report: prints the section header and starts the
-    /// wall-clock self-profile. `id` names the output file
-    /// (`out/<id>.json`), conventionally the lowercase experiment id.
+    /// Opens a report configured from the environment (the `e*`-binary
+    /// path). See [`Report::with_options`].
     pub fn new(id: &str, title: &str) -> Report {
+        Report::with_options(id, title, ReportOptions::from_env())
+    }
+
+    /// Opens a report with explicit options: prints the section header and
+    /// starts the wall-clock self-profile. `id` names the output file
+    /// (`<out_dir>/<id>.json`), conventionally the lowercase experiment id.
+    pub fn with_options(id: &str, title: &str, opts: ReportOptions) -> Report {
         crate::header(&id.to_uppercase(), title);
         Report {
             id: id.to_lowercase(),
             title: title.to_string(),
             registry: MetricsRegistry::new(),
             breakdowns: Vec::new(),
-            tracer: if trace_enabled() {
+            tracer: if opts.trace {
                 Tracer::with_capacity(DEFAULT_TRACE_CAPACITY)
             } else {
                 Tracer::disabled()
             },
             stopwatch: Stopwatch::start(),
+            opts,
         }
     }
 
@@ -71,8 +146,8 @@ impl Report {
         &mut self.registry
     }
 
-    /// The report's tracer — enabled only under `STELLAR_TRACE`. Pass to
-    /// `simulate_*_traced` entry points; spans land in
+    /// The report's tracer — enabled only when the options ask for
+    /// tracing. Pass to `simulate_*_traced` entry points; spans land in
     /// `out/<id>.trace.json` at [`Report::finish`].
     pub fn tracer(&mut self) -> &mut Tracer {
         &mut self.tracer
@@ -96,7 +171,7 @@ impl Report {
         self.registry
             .gauge_set("wall_ms", &[("section", "total")], wall_ms);
 
-        let dir = out_dir();
+        let dir = self.opts.out_dir.clone();
         let trace_file = if self.tracer.is_empty() {
             None
         } else {
@@ -110,6 +185,10 @@ impl Report {
             escape(&self.title),
             wall_ms
         ));
+        match &self.opts.nonce {
+            Some(n) => json.push_str(&format!("\"nonce\":\"{}\",", escape(n))),
+            None => json.push_str("\"nonce\":null,"),
+        }
         json.push_str("\"breakdowns\":{");
         for (n, (name, b)) in self.breakdowns.iter().enumerate() {
             if n > 0 {
@@ -168,16 +247,17 @@ mod tests {
 
     #[test]
     fn report_writes_schema_stable_json() {
+        // Explicit options — no process-global env mutation, so this test
+        // cannot race sibling tests on the multithreaded runner.
         let dir = tmpdir("basic");
-        std::env::set_var(OUT_DIR_ENV, &dir);
-        let mut r = Report::new("e99", "schema test");
+        let mut r = Report::with_options("e99", "schema test", ReportOptions::in_dir(&dir));
         r.metrics().counter_add("cycles", &[("model", "ws")], 42);
         r.breakdown("ws", &CycleBreakdown::new().with(StallClass::Compute, 42));
         r.finish("done");
-        std::env::remove_var(OUT_DIR_ENV);
 
         let body = fs::read_to_string(dir.join("e99.json")).unwrap();
         assert!(body.starts_with("{\"id\":\"e99\",\"title\":\"schema test\",\"wall_ms\":"));
+        assert!(body.contains("\"nonce\":null"));
         assert!(body.contains("\"breakdowns\":{\"ws\":{\"compute\":42,"));
         assert!(body.contains("\"trace\":null"));
         assert!(body.contains("\"metrics\":["));
@@ -185,9 +265,30 @@ mod tests {
     }
 
     #[test]
-    fn tracer_disabled_without_env() {
-        std::env::remove_var(TRACE_ENV);
-        let mut r = Report::new("e98", "trace gate");
-        assert!(!r.tracer().is_enabled());
+    fn report_stamps_the_run_nonce() {
+        let dir = tmpdir("nonce");
+        let r = Report::with_options(
+            "e97",
+            "nonce stamp",
+            ReportOptions::in_dir(&dir).with_nonce("run-abc123"),
+        );
+        r.finish("done");
+        let body = fs::read_to_string(dir.join("e97.json")).unwrap();
+        assert!(body.contains("\"nonce\":\"run-abc123\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracer_follows_explicit_options() {
+        let dir = tmpdir("tracegate");
+        let mut off = Report::with_options("e98", "trace gate", ReportOptions::in_dir(&dir));
+        assert!(!off.tracer().is_enabled());
+        let mut on = Report::with_options(
+            "e96",
+            "trace gate",
+            ReportOptions::in_dir(&dir).with_trace(true),
+        );
+        assert!(on.tracer().is_enabled());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

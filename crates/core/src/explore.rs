@@ -7,9 +7,20 @@
 //! keeps the ones that are valid for a functionality (invertible, causal
 //! for every recurrence, collision-free over the bounds), and scores them
 //! by the structure of the array they produce.
+//!
+//! The `(2c+1)^(rank²)` candidate space is embarrassingly parallel: every
+//! candidate is evaluated from read-only inputs, so the enumeration is
+//! sharded into contiguous code ranges scanned by rayon workers
+//! ([`ExploreOptions::parallelism`]). Each shard deduplicates locally;
+//! shards are then merged **in code order** under a global dedup set, so
+//! the survivor for every duplicated structure is the lowest-code
+//! candidate — exactly the one the serial scan keeps — and the final
+//! stable sort produces a ranking byte-identical to the serial path.
 
-use std::collections::HashMap;
+use std::collections::HashSet;
+use std::ops::Range;
 
+use rayon::prelude::*;
 use stellar_linalg::IntMat;
 
 use crate::error::CompileError;
@@ -20,7 +31,7 @@ use crate::spacetime::SpatialArray;
 use crate::transform::SpaceTimeTransform;
 
 /// One explored dataflow and the structure it yields.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct ExploredDataflow {
     /// The transform.
     pub transform: SpaceTimeTransform,
@@ -59,6 +70,12 @@ pub struct ExploreOptions {
     pub max_pes: usize,
     /// Keep at most this many results (best first).
     pub keep: usize,
+    /// Worker parallelism: `0` shards across all available cores, `1`
+    /// keeps the original single-threaded scan, and `n ≥ 2` shards the
+    /// enumeration as if `n` workers were available (the actual worker
+    /// count is rayon's, capped by `RAYON_NUM_THREADS`). Every setting
+    /// produces a byte-identical ranking.
+    pub parallelism: usize,
 }
 
 impl Default for ExploreOptions {
@@ -67,8 +84,82 @@ impl Default for ExploreOptions {
             max_coeff: 1,
             max_pes: 4096,
             keep: 16,
+            parallelism: 0,
         }
     }
+}
+
+/// The structural fingerprint used to deduplicate equivalent dataflows.
+type StructureKey = (usize, usize, usize, usize, i64);
+
+/// Read-only context shared by every scan shard.
+struct ScanCtx<'a> {
+    func: &'a Functionality,
+    is: IterationSpace,
+    diffs: Vec<Vec<i64>>,
+    coeffs: Vec<i64>,
+    rank: usize,
+    max_pes: usize,
+}
+
+/// Scans one contiguous range of mixed-radix codes, returning the valid
+/// dataflows in code order, locally deduplicated by structure (first
+/// occurrence wins, as in the serial scan).
+fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, ExploredDataflow)> {
+    let n_entries = ctx.rank * ctx.rank;
+    let n_choices = ctx.coeffs.len();
+    let mut out = Vec::new();
+    let mut seen: HashSet<StructureKey> = HashSet::new();
+    for code in codes {
+        // Decode the matrix entries from the mixed-radix code.
+        let mut rem = code;
+        let mut data = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            data.push(ctx.coeffs[rem % n_choices]);
+            rem /= n_choices;
+        }
+        let mat = IntMat::from_vec(ctx.rank, ctx.rank, data);
+        if mat.det() == 0 {
+            continue;
+        }
+        let t = match SpaceTimeTransform::new(mat) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        // Fast causality filter: every recurrence must move strictly
+        // forward in time.
+        if ctx.diffs.iter().any(|d| t.time_delta(d) <= 0) {
+            continue;
+        }
+        let arr = match SpatialArray::from_iterspace(&ctx.is, ctx.func, &t) {
+            Ok(a) => a,
+            Err(_) => continue, // collision
+        };
+        if arr.num_pes() > ctx.max_pes {
+            continue;
+        }
+        let moving = arr.conns().iter().filter(|c| !c.is_stationary()).count();
+        let stationary = arr.conns().len() - moving;
+        let e = ExploredDataflow {
+            transform: t,
+            num_pes: arr.num_pes(),
+            moving_conns: moving,
+            stationary_conns: stationary,
+            io_ports: arr.io_ports().len(),
+            time_steps: arr.total_time_steps(),
+        };
+        let key = (
+            e.num_pes,
+            e.moving_conns,
+            e.io_ports,
+            stationary,
+            e.time_steps,
+        );
+        if seen.insert(key) {
+            out.push((key, e));
+        }
+    }
+    out
 }
 
 /// Enumerates valid dataflows for a functionality over the given bounds,
@@ -78,6 +169,10 @@ impl Default for ExploreOptions {
 /// with spatial movement is rejected to keep arrays fully pipelined),
 /// and no space-time collisions over the bounds. Transforms yielding an
 /// array structure identical to an already-kept transform are deduplicated.
+///
+/// The scan is sharded across worker threads per
+/// [`ExploreOptions::parallelism`]; the ranking is byte-identical to the
+/// serial scan for every setting (see the module docs for the argument).
 ///
 /// # Errors
 ///
@@ -101,63 +196,49 @@ pub fn explore_dataflows(
 
     let coeffs: Vec<i64> = (-opts.max_coeff..=opts.max_coeff).collect();
     let n_entries = rank * rank;
-    let n_choices = coeffs.len();
-    let total = n_choices.pow(n_entries as u32);
+    let total = coeffs.len().pow(n_entries as u32);
+    let ctx = ScanCtx {
+        func,
+        is,
+        diffs,
+        coeffs,
+        rank,
+        max_pes: opts.max_pes,
+    };
 
+    let workers = match opts.parallelism {
+        0 => rayon::current_num_threads(),
+        n => n,
+    };
+    // Shards below this size cost more to fan out than to just scan.
+    const MIN_SHARD: usize = 4096;
+    let shards: Vec<Vec<(StructureKey, ExploredDataflow)>> = if workers <= 1 || total <= MIN_SHARD {
+        vec![scan_codes(&ctx, 0..total)]
+    } else {
+        // Several shards per worker so an expensive shard load-balances.
+        let shard = total.div_ceil(workers * 8).max(MIN_SHARD);
+        let n_shards = total.div_ceil(shard);
+        (0..n_shards)
+            .into_par_iter()
+            .map(|s| scan_codes(&ctx, s * shard..((s + 1) * shard).min(total)))
+            .collect()
+    };
+
+    // Merge shards in code order under a global dedup set: the survivor of
+    // every structure is its lowest-code candidate, matching the serial
+    // scan exactly.
+    let mut seen: HashSet<StructureKey> = HashSet::new();
     let mut results: Vec<ExploredDataflow> = Vec::new();
-    let mut seen: HashMap<(usize, usize, usize, usize, i64), ()> = HashMap::new();
-
-    for code in 0..total {
-        // Decode the matrix entries from the mixed-radix code.
-        let mut rem = code;
-        let mut data = Vec::with_capacity(n_entries);
-        for _ in 0..n_entries {
-            data.push(coeffs[rem % n_choices]);
-            rem /= n_choices;
+    for shard in shards {
+        for (key, e) in shard {
+            if seen.insert(key) {
+                results.push(e);
+            }
         }
-        let mat = IntMat::from_vec(rank, rank, data);
-        if mat.det() == 0 {
-            continue;
-        }
-        let t = match SpaceTimeTransform::new(mat) {
-            Ok(t) => t,
-            Err(_) => continue,
-        };
-        // Fast causality filter: every recurrence must move strictly
-        // forward in time.
-        if diffs.iter().any(|d| t.time_delta(d) <= 0) {
-            continue;
-        }
-        let arr = match SpatialArray::from_iterspace(&is, func, &t) {
-            Ok(a) => a,
-            Err(_) => continue, // collision
-        };
-        if arr.num_pes() > opts.max_pes {
-            continue;
-        }
-        let moving = arr.conns().iter().filter(|c| !c.is_stationary()).count();
-        let stationary = arr.conns().len() - moving;
-        let e = ExploredDataflow {
-            transform: t,
-            num_pes: arr.num_pes(),
-            moving_conns: moving,
-            stationary_conns: stationary,
-            io_ports: arr.io_ports().len(),
-            time_steps: arr.total_time_steps(),
-        };
-        let key = (
-            e.num_pes,
-            e.moving_conns,
-            e.io_ports,
-            stationary,
-            e.time_steps,
-        );
-        if seen.insert(key, ()).is_some() {
-            continue;
-        }
-        results.push(e);
     }
 
+    // Stable sort: cost ties keep code order, so the parallel and serial
+    // rankings agree byte for byte.
     results.sort_by(|a, b| a.cost().partial_cmp(&b.cost()).expect("finite costs"));
     results.truncate(opts.keep);
     Ok(results)
@@ -230,5 +311,22 @@ mod tests {
             ..ExploreOptions::default()
         });
         assert!(found.len() <= 3);
+    }
+
+    #[test]
+    fn parallel_ranking_matches_serial() {
+        // The determinism contract at unit scope; the cross-crate tests in
+        // `crates/core/tests/explore_parallel.rs` cover larger sweeps.
+        let serial = run(ExploreOptions {
+            parallelism: 1,
+            ..ExploreOptions::default()
+        });
+        for parallelism in [0, 2, 3, 8] {
+            let parallel = run(ExploreOptions {
+                parallelism,
+                ..ExploreOptions::default()
+            });
+            assert_eq!(parallel, serial, "parallelism={parallelism} diverged");
+        }
     }
 }

@@ -1,7 +1,7 @@
 //! Applying the space-time transform: from `IterationSpace` to a physical
 //! spatial array (§IV-B, Figure 9c).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Per-tensor, per-direction access orders keyed for the regfile optimizer.
@@ -118,14 +118,14 @@ impl SpatialArray {
         let mut pes: Vec<Pe> = Vec::new();
         let mut point_pe: Vec<usize> = Vec::with_capacity(is.num_points());
         let mut point_time: Vec<i64> = Vec::with_capacity(is.num_points());
-        let mut seen_st: HashMap<Vec<i64>, ()> = HashMap::with_capacity(is.num_points());
+        let mut seen_st: HashSet<Vec<i64>> = HashSet::with_capacity(is.num_points());
         let mut tmin = i64::MAX;
         let mut tmax = i64::MIN;
 
         for pid in 0..is.num_points() {
             let point = is.point(crate::iterspace::PointId(pid));
             let st = transform.apply(point.coords());
-            if seen_st.insert(st.clone(), ()).is_some() {
+            if !seen_st.insert(st.clone()) {
                 return Err(CompileError::SpaceTimeCollision { coord: st });
             }
             let (space, time) = (st[..st.len() - 1].to_vec(), st[st.len() - 1]);
@@ -393,6 +393,19 @@ mod tests {
             .unwrap();
         let err = SpatialArray::from_iterspace(&is, &f, &t);
         assert!(matches!(err, Err(CompileError::CausalityViolation { .. })));
+    }
+
+    #[test]
+    fn fold_inputs_and_outputs_are_send_sync() {
+        // The dataflow search folds candidate transforms from parallel
+        // worker threads: everything the fold reads or produces must cross
+        // thread boundaries, and all scratch state must stay call-local.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpatialArray>();
+        assert_send_sync::<Functionality>();
+        assert_send_sync::<IterationSpace>();
+        assert_send_sync::<SpaceTimeTransform>();
+        assert_send_sync::<CompileError>();
     }
 
     #[test]

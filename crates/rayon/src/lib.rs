@@ -1,0 +1,345 @@
+//! A small, dependency-free, fully offline stand-in for the `rayon`
+//! data-parallelism crate, implementing the subset of its API this
+//! workspace uses: `par_iter()` on slices, `into_par_iter()` on integer
+//! ranges, `map`/`collect`/`sum`/`for_each`, `with_min_len`, `join`, and
+//! `current_num_threads`.
+//!
+//! Scheduling is dynamic: the index space is cut into chunks and worker
+//! threads repeatedly claim the next unclaimed chunk from a shared atomic
+//! cursor, so an expensive chunk on one worker does not serialize the
+//! rest (the same load-balancing property rayon's work-stealing deques
+//! provide, with a shared queue instead of per-worker deques). Results
+//! are materialized per chunk and merged back in index order, so
+//! `collect` is **order-preserving and deterministic** regardless of
+//! thread count or completion order — the property the deterministic
+//! dataflow-search and sweep pipelines rely on.
+//!
+//! Workers are plain `std::thread::scope` threads spawned per call; for
+//! the coarse-grained parallelism in this workspace (thousands of
+//! candidate transforms or simulations per call) the spawn cost is noise.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! The traits that put `par_iter`/`into_par_iter` in scope.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+/// The number of worker threads parallel iterators use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+/// An index-addressable source of items — the internal driver behind
+/// every parallel iterator. `get` takes `&self` so workers can pull items
+/// concurrently.
+pub trait ParSource: Sync {
+    /// The item produced per index.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// The item at `i` (`i < len()`).
+    fn get(&self, i: usize) -> Self::Item;
+    /// True when the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A contiguous integer range as a source.
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+            fn len(&self) -> usize {
+                self.len
+            }
+            fn get(&self, i: usize) -> $t {
+                self.start + i as $t
+            }
+        }
+
+        impl IntoParallelIterator for Range<$t> {
+            type Iter = ParIter<RangeSource<$t>>;
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter::new(RangeSource {
+                    start: self.start,
+                    len: usize::try_from(self.end.saturating_sub(self.start)).unwrap_or(0),
+                })
+            }
+        }
+    )*};
+}
+
+impl_range_source!(usize, u64, u32);
+
+/// A borrowed slice as a source of `&T`.
+pub struct SliceSource<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.items[i]
+    }
+}
+
+/// Conversion into a parallel iterator by value (ranges).
+pub trait IntoParallelIterator {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a parallel iterator over references (slices, `Vec`s).
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator produced.
+    type Iter;
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter::new(SliceSource { items: self })
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter::new(SliceSource { items: self })
+    }
+}
+
+/// A parallel iterator over a [`ParSource`].
+pub struct ParIter<S> {
+    source: S,
+    min_len: usize,
+}
+
+impl<S: ParSource> ParIter<S> {
+    fn new(source: S) -> ParIter<S> {
+        ParIter { source, min_len: 1 }
+    }
+
+    /// Lower-bounds the chunk size workers claim at a time (a splitting
+    /// hint, exactly like rayon's).
+    pub fn with_min_len(mut self, min_len: usize) -> Self {
+        self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Maps every item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParMap<S, F>
+    where
+        R: Send,
+        F: Fn(S::Item) -> R + Sync,
+    {
+        ParMap {
+            source: self.source,
+            f,
+            min_len: self.min_len,
+        }
+    }
+
+    /// Runs `f` on every item (no results kept).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(S::Item) + Sync,
+    {
+        self.map(f).run();
+    }
+}
+
+/// The result of [`ParIter::map`]: a mapped parallel iterator ready to be
+/// reduced or collected.
+pub struct ParMap<S, F> {
+    source: S,
+    f: F,
+    min_len: usize,
+}
+
+impl<S, F, R> ParMap<S, F>
+where
+    S: ParSource,
+    R: Send,
+    F: Fn(S::Item) -> R + Sync,
+{
+    /// Executes the map, returning results in index order.
+    fn run(self) -> Vec<R> {
+        let len = self.source.len();
+        let threads = current_num_threads().min(len.max(1));
+        if threads <= 1 || len <= 1 {
+            return (0..len).map(|i| (self.f)(self.source.get(i))).collect();
+        }
+
+        // Aim for several chunks per worker so a slow chunk load-balances,
+        // bounded below by the caller's splitting hint.
+        let chunk = (len.div_ceil(threads * 8)).max(self.min_len);
+        let cursor = AtomicUsize::new(0);
+        let chunks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        let f = &self.f;
+        let source = &self.source;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= len {
+                            break;
+                        }
+                        let end = (start + chunk).min(len);
+                        let mut out = Vec::with_capacity(end - start);
+                        for i in start..end {
+                            out.push(f(source.get(i)));
+                        }
+                        local.push((start, out));
+                    }
+                    if let Ok(mut all) = chunks.lock() {
+                        all.extend(local);
+                    }
+                });
+            }
+        });
+
+        // Merge chunks back in index order: deterministic regardless of
+        // which worker ran which chunk.
+        let mut all = chunks.into_inner().unwrap_or_default();
+        all.sort_unstable_by_key(|&(start, _)| start);
+        let mut out = Vec::with_capacity(len);
+        for (_, mut part) in all {
+            out.append(&mut part);
+        }
+        out
+    }
+
+    /// Collects results in index order (only `Vec` targets are supported).
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    /// Sums results, folding in index order so floating-point sums stay
+    /// deterministic.
+    pub fn sum<T: std::iter::Sum<R>>(self) -> T {
+        self.run().into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * i).collect();
+        let expected: Vec<usize> = (0..1000usize).map(|i| i * i).collect();
+        assert_eq!(squares, expected);
+    }
+
+    #[test]
+    fn slice_par_iter_yields_refs_in_order() {
+        let words = vec!["a", "bb", "ccc", "dddd"];
+        let lens: Vec<usize> = words.par_iter().map(|w| w.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_singleton_sources() {
+        let none: Vec<u64> = (0..0u64).into_par_iter().map(|i| i).collect();
+        assert!(none.is_empty());
+        let one: Vec<u64> = (7..8u64).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(one, vec![14]);
+    }
+
+    #[test]
+    fn sum_is_index_ordered() {
+        // A float sum whose value depends on fold order: identical to the
+        // serial left fold by construction.
+        let vals: Vec<f64> = (0..10_000usize).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let serial: f64 = vals.iter().copied().sum();
+        let parallel: f64 = vals.par_iter().map(|&v| v).sum();
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn with_min_len_does_not_change_results() {
+        let a: Vec<usize> = (0..537usize).into_par_iter().map(|i| i + 1).collect();
+        let b: Vec<usize> = (0..537usize)
+            .into_par_iter()
+            .with_min_len(100)
+            .map(|i| i + 1)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = AtomicUsize::new(0);
+        (0..321usize)
+            .into_par_iter()
+            .for_each(|_| _ = hits.fetch_add(1, Ordering::Relaxed));
+        assert_eq!(hits.load(Ordering::Relaxed), 321);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

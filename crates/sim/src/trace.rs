@@ -317,6 +317,21 @@ impl Tracer {
         self.span(track, name, cycle, 0, class);
     }
 
+    /// Appends every span of `other`, oldest first — the deterministic
+    /// merge used when independent simulations trace into private
+    /// per-run tracers that are then folded into one report in a fixed
+    /// order (spans are cycle-stamped, so recording order is the only
+    /// thing the merge has to preserve). No-op when `self` is disabled.
+    pub fn absorb(&mut self, other: &Tracer) {
+        if !self.enabled {
+            return;
+        }
+        for ev in other.events() {
+            let ev = *ev;
+            self.span(ev.track, ev.name, ev.start, ev.dur, ev.class);
+        }
+    }
+
     /// Spans currently held (≤ capacity).
     pub fn len(&self) -> usize {
         self.events.len()
@@ -502,6 +517,22 @@ mod tests {
         // Oldest-first iteration yields the last 4 spans.
         let starts: Vec<u64> = t.events().map(|e| e.start).collect();
         assert_eq!(starts, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn absorb_appends_in_recording_order() {
+        let mut a = Tracer::with_capacity(8);
+        a.span(0, "x", 0, 2, StallClass::Compute);
+        let mut b = Tracer::with_capacity(8);
+        b.span(1, "y", 1, 3, StallClass::Fill);
+        b.span(2, "z", 4, 1, StallClass::Drain);
+        a.absorb(&b);
+        let starts: Vec<u64> = a.events().map(|e| e.start).collect();
+        assert_eq!(starts, vec![0, 1, 4]);
+        // A disabled target stays empty (and allocation-free).
+        let mut off = Tracer::disabled();
+        off.absorb(&b);
+        assert!(off.is_empty());
     }
 
     #[test]
