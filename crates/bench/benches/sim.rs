@@ -1,0 +1,187 @@
+//! Pre/post benchmarks for the event-driven simulation kernel: every
+//! model's engine-backed path against its retained per-cycle / closed-form
+//! `reference` implementation, at a small and a large shape each.
+//!
+//! The recorded medians live in `BENCH_sim.json` at the repo root
+//! (regenerate with `cargo run --release --bin sim_perf_smoke --
+//! --record-baseline`); this harness is the interactive counterpart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stellar_sim::{
+    cache, dma, merger, simulate_sparse_matmul_traced, simulate_ws_matmul_traced, systolic,
+    BalancePolicy, DmaModel, FaultInjector, FaultPlan, L2Cache, Merger, RetryPolicy,
+    RowPartitionedMerger, SparseArrayParams, Tracer, Watchdog,
+};
+use stellar_tensor::gen;
+
+fn bench_systolic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_systolic_ws");
+    for n in [8usize, 24] {
+        let a = gen::dense(4 * n, n, 1);
+        let b = gen::dense(n, n, 2);
+        g.bench_with_input(BenchmarkId::new("flat", n), &n, |bch, _| {
+            bch.iter(|| {
+                simulate_ws_matmul_traced(
+                    &a,
+                    &b,
+                    &mut FaultInjector::new(FaultPlan::none()),
+                    Watchdog::default_budget(),
+                    &mut Tracer::disabled(),
+                )
+                .expect("ws sim")
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("reference", n), &n, |bch, _| {
+            bch.iter(|| {
+                systolic::reference::simulate_ws_matmul_traced(
+                    &a,
+                    &b,
+                    &mut FaultInjector::new(FaultPlan::none()),
+                    Watchdog::default_budget(),
+                    &mut Tracer::disabled(),
+                )
+                .expect("ws sim")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_sparse");
+    for (name, b) in [
+        ("small", gen::uniform(16, 64, 0.15, 1)),
+        ("e04_power_law", gen::power_law(64, 512, 16.0, 1.7, 4)),
+    ] {
+        for (pname, policy) in [
+            ("none", BalancePolicy::None),
+            ("adjacent", BalancePolicy::AdjacentRows),
+            ("global", BalancePolicy::Global),
+        ] {
+            let params = SparseArrayParams {
+                lanes: 8,
+                row_startup_cycles: 1,
+                balance: policy,
+            };
+            g.bench_function(format!("event/{name}/{pname}"), |bch| {
+                bch.iter(|| {
+                    simulate_sparse_matmul_traced(
+                        &b,
+                        &params,
+                        &mut FaultInjector::new(FaultPlan::none()),
+                        Watchdog::default_budget(),
+                        &mut Tracer::disabled(),
+                    )
+                    .expect("sparse sim")
+                });
+            });
+            g.bench_function(format!("reference/{name}/{pname}"), |bch| {
+                bch.iter(|| {
+                    sparse_reference(&b, &params);
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn sparse_reference(b: &stellar_tensor::CsrMatrix, params: &SparseArrayParams) {
+    stellar_sim::sparse::reference::simulate_sparse_matmul_traced(
+        b,
+        params,
+        &mut FaultInjector::new(FaultPlan::none()),
+        Watchdog::default_budget(),
+        &mut Tracer::disabled(),
+    )
+    .expect("sparse sim");
+}
+
+fn bench_dma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_dma");
+    for (name, reqs) in [("small", 100u64), ("large", 4000u64)] {
+        let model = DmaModel::with_slots(16);
+        let mut plan = FaultPlan::none();
+        plan.seed = 7;
+        plan.dma_drop_per_request = 0.02;
+        g.bench_function(format!("engine/{name}"), |bch| {
+            bch.iter(|| {
+                model
+                    .reliable_scattered_cycles(
+                        reqs,
+                        4,
+                        &RetryPolicy::exponential(),
+                        &mut FaultInjector::new(plan),
+                        &Watchdog::default_budget(),
+                    )
+                    .expect("dma sim")
+            });
+        });
+        g.bench_function(format!("reference/{name}"), |bch| {
+            bch.iter(|| {
+                dma::reference::reliable_scattered_cycles(
+                    &model,
+                    reqs,
+                    4,
+                    &RetryPolicy::exponential(),
+                    &mut FaultInjector::new(plan),
+                    &Watchdog::default_budget(),
+                )
+                .expect("dma sim")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_mergers(c: &mut Criterion) {
+    use stellar_sim::rows_of_partials;
+    use stellar_tensor::ops::spgemm_outer_partials;
+    use stellar_tensor::CscMatrix;
+    let mut g = c.benchmark_group("sim_merger");
+    for (name, size, density) in [("small", 32usize, 0.1), ("large", 128usize, 0.2)] {
+        let a = gen::uniform(size, size, density, 5);
+        let partials = spgemm_outer_partials(&CscMatrix::from_csr(&a), &a);
+        let rows = rows_of_partials(size, &partials);
+        let m = RowPartitionedMerger::paper_config();
+        g.bench_function(format!("engine/{name}"), |bch| {
+            bch.iter(|| m.simulate(&rows).expect("merge sim"));
+        });
+        g.bench_function(format!("reference/{name}"), |bch| {
+            bch.iter(|| {
+                merger::reference::simulate_row_partitioned(&m, &rows, &Watchdog::default_budget())
+                    .expect("merge sim")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_cache");
+    for (name, n) in [("small", 4_096u64), ("large", 65_536u64)] {
+        let addrs: Vec<u64> = (0..n).map(|i| i.wrapping_mul(13) % (n / 2)).collect();
+        g.bench_function(format!("flat/{name}"), |bch| {
+            bch.iter(|| {
+                let mut cache = L2Cache::chipyard_default();
+                cache.access_all(addrs.iter().copied())
+            });
+        });
+        g.bench_function(format!("reference/{name}"), |bch| {
+            bch.iter(|| {
+                let mut cache = cache::reference::L2Cache::chipyard_default();
+                cache.access_all(addrs.iter().copied())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_systolic,
+    bench_sparse,
+    bench_dma,
+    bench_mergers,
+    bench_cache
+);
+criterion_main!(benches);

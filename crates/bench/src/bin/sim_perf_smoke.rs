@@ -1,0 +1,350 @@
+//! Equivalence/speedup smoke check for the event-driven simulation kernel —
+//! the acceptance harness for the skip-ahead engine, run by CI.
+//!
+//! Runs the e04-scale load-balance sweep (4 workloads × 3 policies, 8
+//! lanes) through the event-driven production path and the retained
+//! per-cycle `reference` path, then asserts:
+//!
+//! 1. the two sweeps consolidate **byte-identical** observables — the
+//!    metrics JSON (cycles + utilization per grid point), every per-point
+//!    `CycleBreakdown`, and the merged Chrome trace — and
+//! 2. the skip-ahead sweep is at least 3× faster than the ticked sweep
+//!    (median of 5 runs each, untraced).
+//!
+//! It also times the other engine-backed models against their references
+//! and writes the whole table to `out/sim_perf_smoke.json` (jq-checked by
+//! CI); with `--record-baseline` the same table is additionally written to
+//! `BENCH_sim.json` at the repo root, which is the committed baseline the
+//! README performance table is derived from.
+//!
+//! Exits non-zero on any violation, so it doubles as a CI gate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stellar_sim::{
+    cache, dma, merger, simulate_sparse_matmul_traced, simulate_ws_matmul_traced, sparse, systolic,
+    BalancePolicy, DmaModel, FaultInjector, FaultPlan, L2Cache, Merger, MetricsRegistry,
+    RetryPolicy, RowPartitionedMerger, SparseArrayParams, Tracer, Watchdog, DEFAULT_TRACE_CAPACITY,
+};
+use stellar_tensor::gen;
+use stellar_tensor::ops::spgemm_outer_partials;
+use stellar_tensor::{CscMatrix, CsrMatrix};
+
+/// The exact e04 grid: workloads × balancing policies at 8 lanes.
+fn e04_workloads() -> Vec<(&'static str, CsrMatrix)> {
+    vec![
+        ("balanced", gen::uniform(64, 256, 0.1, 1)),
+        ("mildly imbalanced", gen::imbalanced(64, 512, 4, 96, 8, 2)),
+        (
+            "severely imbalanced",
+            gen::imbalanced(64, 512, 2, 256, 4, 3),
+        ),
+        ("power-law", gen::power_law(64, 512, 16.0, 1.7, 4)),
+    ]
+}
+
+const POLICIES: [(&str, BalancePolicy); 3] = [
+    ("none", BalancePolicy::None),
+    ("adjacent", BalancePolicy::AdjacentRows),
+    ("global", BalancePolicy::Global),
+];
+
+/// One grid point through either path.
+fn run_point(
+    event_driven: bool,
+    b: &CsrMatrix,
+    policy: BalancePolicy,
+    tracer: &mut Tracer,
+) -> sparse::SparseSimResult {
+    let params = SparseArrayParams {
+        lanes: 8,
+        row_startup_cycles: 1,
+        balance: policy,
+    };
+    let mut injector = FaultInjector::new(FaultPlan::none());
+    let r = if event_driven {
+        simulate_sparse_matmul_traced(
+            b,
+            &params,
+            &mut injector,
+            Watchdog::default_budget(),
+            tracer,
+        )
+    } else {
+        sparse::reference::simulate_sparse_matmul_traced(
+            b,
+            &params,
+            &mut injector,
+            Watchdog::default_budget(),
+            tracer,
+        )
+    };
+    r.expect("sparse simulation")
+}
+
+/// One full traced sweep through either path. Returns the consolidated
+/// observable image: metrics JSON, every breakdown's `Debug` form, and the
+/// merged Chrome trace — everything the e04 experiment would put in `out/`.
+fn sweep_observables(event_driven: bool, workloads: &[(&str, CsrMatrix)]) -> String {
+    let mut metrics = MetricsRegistry::new();
+    let mut master = Tracer::with_capacity(DEFAULT_TRACE_CAPACITY);
+    let mut breakdowns = String::new();
+    for (name, b) in workloads {
+        for (pname, policy) in POLICIES {
+            let mut tracer = Tracer::with_capacity(DEFAULT_TRACE_CAPACITY);
+            let r = run_point(event_driven, b, policy, &mut tracer);
+            master.absorb(&tracer);
+            let _ = writeln!(breakdowns, "{name}/{pname}: {:?}", r.stats.breakdown);
+            metrics.counter_add(
+                "cycles",
+                &[("workload", name), ("policy", pname)],
+                r.stats.cycles,
+            );
+            metrics.gauge_set(
+                "utilization",
+                &[("workload", name), ("policy", pname)],
+                r.utilization(),
+            );
+        }
+    }
+    format!(
+        "{}\n{}\n{}",
+        metrics.to_json(),
+        breakdowns,
+        master.to_chrome_json()
+    )
+}
+
+/// The timed hot region: just the 12 untraced simulate calls, repeated
+/// enough times that one sample rises clearly above timer noise.
+const TIMED_REPS: usize = 50;
+
+fn sweep_timed(event_driven: bool, workloads: &[(&str, CsrMatrix)]) -> u64 {
+    let mut checksum = 0u64;
+    for _ in 0..TIMED_REPS {
+        for (_, b) in workloads {
+            for (_, policy) in POLICIES {
+                let r = run_point(event_driven, b, policy, &mut Tracer::disabled());
+                checksum = checksum.wrapping_add(r.stats.cycles);
+            }
+        }
+    }
+    checksum
+}
+
+/// Median wall-clock milliseconds of `runs` calls to `f`.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+struct BenchRow {
+    name: &'static str,
+    pre_ms: f64,
+    post_ms: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.pre_ms / self.post_ms.max(1e-9)
+    }
+}
+
+/// Times the remaining engine-backed models against their references.
+fn model_rows() -> Vec<BenchRow> {
+    const RUNS: usize = 5;
+    let mut rows = Vec::new();
+
+    let a = gen::dense(96, 24, 1);
+    let b = gen::dense(24, 24, 2);
+    rows.push(BenchRow {
+        name: "systolic_ws_96x24x24",
+        pre_ms: median_ms(RUNS, || {
+            systolic::reference::simulate_ws_matmul_traced(
+                &a,
+                &b,
+                &mut FaultInjector::new(FaultPlan::none()),
+                Watchdog::default_budget(),
+                &mut Tracer::disabled(),
+            )
+            .map(drop)
+            .expect("ws sim");
+        }),
+        post_ms: median_ms(RUNS, || {
+            simulate_ws_matmul_traced(
+                &a,
+                &b,
+                &mut FaultInjector::new(FaultPlan::none()),
+                Watchdog::default_budget(),
+                &mut Tracer::disabled(),
+            )
+            .map(drop)
+            .expect("ws sim");
+        }),
+    });
+
+    let model = DmaModel::with_slots(16);
+    let mut plan = FaultPlan::none();
+    plan.seed = 7;
+    plan.dma_drop_per_request = 0.02;
+    rows.push(BenchRow {
+        name: "dma_scattered_4000x4",
+        pre_ms: median_ms(RUNS, || {
+            dma::reference::reliable_scattered_cycles(
+                &model,
+                4000,
+                4,
+                &RetryPolicy::exponential(),
+                &mut FaultInjector::new(plan),
+                &Watchdog::default_budget(),
+            )
+            .map(drop)
+            .expect("dma sim");
+        }),
+        post_ms: median_ms(RUNS, || {
+            model
+                .reliable_scattered_cycles(
+                    4000,
+                    4,
+                    &RetryPolicy::exponential(),
+                    &mut FaultInjector::new(plan),
+                    &Watchdog::default_budget(),
+                )
+                .map(drop)
+                .expect("dma sim");
+        }),
+    });
+
+    let m128 = gen::uniform(128, 128, 0.2, 5);
+    let partials = spgemm_outer_partials(&CscMatrix::from_csr(&m128), &m128);
+    let rows_fibers = stellar_sim::rows_of_partials(128, &partials);
+    let rp = RowPartitionedMerger::paper_config();
+    rows.push(BenchRow {
+        name: "merger_row_partitioned_128",
+        pre_ms: median_ms(RUNS, || {
+            merger::reference::simulate_row_partitioned(
+                &rp,
+                &rows_fibers,
+                &Watchdog::default_budget(),
+            )
+            .map(drop)
+            .expect("merge sim");
+        }),
+        post_ms: median_ms(RUNS, || {
+            rp.simulate(&rows_fibers).map(drop).expect("merge sim");
+        }),
+    });
+
+    let addrs: Vec<u64> = (0..65_536u64)
+        .map(|i| i.wrapping_mul(13) % 32_768)
+        .collect();
+    rows.push(BenchRow {
+        name: "cache_l2_65536_accesses",
+        pre_ms: median_ms(RUNS, || {
+            let mut c = cache::reference::L2Cache::chipyard_default();
+            let _ = c.access_all(addrs.iter().copied());
+        }),
+        post_ms: median_ms(RUNS, || {
+            let mut c = L2Cache::chipyard_default();
+            let _ = c.access_all(addrs.iter().copied());
+        }),
+    });
+
+    rows
+}
+
+fn render_json(equivalent: bool, rows: &[BenchRow]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"stellar-sim-perf-v1\",\n");
+    let _ = writeln!(s, "  \"equivalent\": {equivalent},");
+    let sparse = rows
+        .iter()
+        .find(|r| r.name == "sparse_e04_sweep")
+        .expect("sparse row is always present");
+    let _ = writeln!(s, "  \"sparse_speedup\": {:.2},", sparse.speedup());
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"pre_ms\": {:.3}, \"post_ms\": {:.3}, \"speedup\": {:.2}}}",
+            r.name,
+            r.pre_ms,
+            r.post_ms,
+            r.speedup()
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    println!("sim_perf_smoke: e04-scale sweep, event-driven vs per-cycle");
+    let workloads = e04_workloads();
+
+    // 1. Observational equivalence on the full traced sweep.
+    let ticked = sweep_observables(false, &workloads);
+    let skipped = sweep_observables(true, &workloads);
+    if ticked != skipped {
+        eprintln!(
+            "FAIL: skip-ahead sweep observables are not byte-identical to the \
+             per-cycle sweep ({} vs {} bytes)",
+            skipped.len(),
+            ticked.len()
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "metrics + breakdowns + traces byte-identical ({} bytes)",
+        ticked.len()
+    );
+
+    // 2. Speedup, untraced, median of 5 samples of 50 sweeps each.
+    let pre_ms = median_ms(5, || {
+        let _ = sweep_timed(false, &workloads);
+    }) / TIMED_REPS as f64;
+    let post_ms = median_ms(5, || {
+        let _ = sweep_timed(true, &workloads);
+    }) / TIMED_REPS as f64;
+    let mut rows = vec![BenchRow {
+        name: "sparse_e04_sweep",
+        pre_ms,
+        post_ms,
+    }];
+    let sparse_speedup = rows[0].speedup();
+    println!("sparse e04 sweep: per-cycle {pre_ms:.3} ms, skip-ahead {post_ms:.3} ms -> {sparse_speedup:.2}x");
+
+    rows.extend(model_rows());
+    for r in &rows[1..] {
+        println!(
+            "{}: pre {:.3} ms, post {:.3} ms -> {:.2}x",
+            r.name,
+            r.pre_ms,
+            r.post_ms,
+            r.speedup()
+        );
+    }
+
+    if sparse_speedup < 3.0 {
+        eprintln!("FAIL: sparse e04 sweep speedup {sparse_speedup:.2}x is below the 3x floor");
+        std::process::exit(1);
+    }
+
+    let json = render_json(true, &rows);
+    let _ = std::fs::create_dir_all("out");
+    std::fs::write("out/sim_perf_smoke.json", &json).expect("write out/sim_perf_smoke.json");
+    println!("wrote out/sim_perf_smoke.json");
+    if record_baseline {
+        std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
+        println!("wrote BENCH_sim.json");
+    }
+    println!("sim_perf_smoke OK");
+}

@@ -13,7 +13,69 @@ use stellar_tensor::DenseTensor;
 use crate::error::CompileError;
 use crate::expr::Expr;
 use crate::func::{Functionality, TensorId, TensorRole};
-use crate::index::Bounds;
+use crate::index::{Bounds, IndexId};
+
+/// Dense per-variable value storage over a rectangular iteration space:
+/// one flat `f64` plane plus a written-flag plane per variable, indexed by
+/// the row-major linearization of `(point - lo)`. This replaces the
+/// original `Vec<HashMap<Vec<i64>, f64>>` keyed by cloned points — the
+/// interpreter's hot loop performs no hashing and no allocation per point.
+#[derive(Debug)]
+struct DenseStore {
+    lo: Vec<i64>,
+    strides: Vec<usize>,
+    points: usize,
+    vals: Vec<f64>,
+    written: Vec<bool>,
+}
+
+impl DenseStore {
+    /// Allocates storage for `num_vars` variables over `bounds`.
+    fn new(bounds: &Bounds, num_vars: usize) -> DenseStore {
+        let rank = bounds.rank();
+        let mut lo = Vec::with_capacity(rank);
+        let mut strides = vec![0usize; rank];
+        let mut points = 1usize;
+        // Row-major: the last iterator varies fastest.
+        for d in (0..rank).rev() {
+            strides[d] = points;
+            points = points.saturating_mul(bounds.extent(IndexId(d)).max(0) as usize);
+        }
+        for d in 0..rank {
+            lo.push(bounds.lo(IndexId(d)));
+        }
+        DenseStore {
+            lo,
+            strides,
+            points,
+            vals: vec![0.0; points.saturating_mul(num_vars)],
+            written: vec![false; points.saturating_mul(num_vars)],
+        }
+    }
+
+    /// Linear slot of `point` for variable `var` (point must be in bounds).
+    fn slot(&self, var: usize, point: &[i64]) -> usize {
+        let mut n = 0usize;
+        for (d, (&p, &l)) in point.iter().zip(&self.lo).enumerate() {
+            n += (p - l) as usize * self.strides[d];
+        }
+        var * self.points + n
+    }
+
+    fn get(&self, var: usize, point: &[i64]) -> f64 {
+        self.vals[self.slot(var, point)]
+    }
+
+    fn is_written(&self, var: usize, point: &[i64]) -> bool {
+        self.written[self.slot(var, point)]
+    }
+
+    fn set(&mut self, var: usize, point: &[i64], v: f64) {
+        let s = self.slot(var, point);
+        self.vals[s] = v;
+        self.written[s] = true;
+    }
+}
 
 /// The result of a scheduled run: the output tensors plus
 /// `(time_steps, busy_point_count)`.
@@ -149,8 +211,14 @@ impl<'f> Executor<'f> {
             }
         }
 
-        // Variable storage: values keyed by (var, point coords).
-        let mut vals: Vec<HashMap<Vec<i64>, f64>> = vec![HashMap::new(); self.func.num_vars()];
+        // The space size is known up front; budget-check it before the
+        // dense storage is allocated (one flat plane per variable).
+        if self.bounds.num_points() as u64 > self.point_budget {
+            return Err(CompileError::BudgetExhausted {
+                budget: self.point_budget,
+            });
+        }
+        let mut vals = DenseStore::new(&self.bounds, self.func.num_vars());
         let mut outputs: HashMap<TensorId, DenseTensor> = self
             .func
             .tensors()
@@ -158,14 +226,7 @@ impl<'f> Executor<'f> {
             .map(|t| (t, DenseTensor::zeros(&self.tensor_shape(t))))
             .collect();
 
-        let mut points_run: u64 = 0;
         for point in self.bounds.iter_points() {
-            points_run += 1;
-            if points_run > self.point_budget {
-                return Err(CompileError::BudgetExhausted {
-                    budget: self.point_budget,
-                });
-            }
             for a in self.func.assigns() {
                 let applies = a
                     .lhs
@@ -176,7 +237,7 @@ impl<'f> Executor<'f> {
                     continue;
                 }
                 let v = self.eval(&a.rhs, &point, a.var, &vals, inputs)?;
-                vals[a.var.0].insert(point.clone(), v);
+                vals.set(a.var.0, &point, v);
             }
             for o in self.func.outputs() {
                 // An output fires at points where its pinned variable reads
@@ -269,7 +330,7 @@ impl<'f> Executor<'f> {
             _ => (0, 0),
         };
 
-        let mut vals: Vec<HashMap<Vec<i64>, f64>> = vec![HashMap::new(); self.func.num_vars()];
+        let mut vals = DenseStore::new(&self.bounds, self.func.num_vars());
         let mut outputs: HashMap<TensorId, DenseTensor> = self
             .func
             .tensors()
@@ -295,8 +356,7 @@ impl<'f> Executor<'f> {
                 for (v, coords) in a.rhs.var_reads() {
                     let src: Vec<i64> =
                         coords.iter().map(|c| c.eval(point, &self.bounds)).collect();
-                    if self.bounds.contains(&src) && src != *point && !vals[v.0].contains_key(&src)
-                    {
+                    if self.bounds.contains(&src) && src != *point && !vals.is_written(v.0, &src) {
                         let mut delta = transform.apply(&src);
                         let here = transform.apply(point);
                         for (d, h) in delta.iter_mut().zip(&here) {
@@ -309,7 +369,7 @@ impl<'f> Executor<'f> {
                     }
                 }
                 let v = self.eval(&a.rhs, point, a.var, &vals, inputs)?;
-                vals[a.var.0].insert(point.clone(), v);
+                vals.set(a.var.0, point, v);
                 did_work = true;
             }
             if did_work {
@@ -352,7 +412,7 @@ impl<'f> Executor<'f> {
         e: &Expr,
         point: &[i64],
         current_var: crate::func::VarId,
-        vals: &[HashMap<Vec<i64>, f64>],
+        vals: &DenseStore,
         inputs: &HashMap<TensorId, DenseTensor>,
     ) -> Result<f64, CompileError> {
         Ok(match e {
@@ -373,13 +433,14 @@ impl<'f> Executor<'f> {
             Expr::Var(v, coords) => {
                 let src: Vec<i64> = coords.iter().map(|c| c.eval(point, &self.bounds)).collect();
                 if self.bounds.contains(&src) {
-                    vals[v.0].get(&src).copied().unwrap_or(0.0)
+                    // Unwritten slots read as 0.0, matching the map's miss.
+                    vals.get(v.0, &src)
                 } else {
                     // Out-of-bounds read: fall back to the variable's
                     // current value at this point (boundary inputs loaded by
                     // an earlier assignment in program order), else 0.
                     let _ = current_var;
-                    vals[v.0].get(point).copied().unwrap_or(0.0)
+                    vals.get(v.0, point)
                 }
             }
             Expr::Add(a, b) => {

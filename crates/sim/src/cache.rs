@@ -8,8 +8,15 @@
 //! interpose such a cache between the DMA and DRAM: scattered accesses
 //! with reuse (e.g. OuterSPACE's partial-sum pointers) hit in L2 and skip
 //! the DRAM round trip.
-
-use std::collections::HashMap;
+//!
+//! The tag store is two flat preallocated arrays (struct-of-arrays: one
+//! slot per way of every set, tags and last-use stamps side by side), so
+//! the per-access hot path is a bounded linear probe with zero heap
+//! allocation — where the retained [`reference`] model keeps a
+//! `HashMap<set, Vec<(tag, stamp)>>` and reallocates as sets fill.
+//! Stamps are unique and monotone, so LRU choice — and therefore every
+//! hit/miss outcome — is identical between the two layouts even though
+//! the reference's `Vec` reorders on eviction.
 
 use crate::dma::DramParams;
 use crate::trace::{CycleBreakdown, StallClass};
@@ -25,8 +32,10 @@ pub struct L2Cache {
     ways: usize,
     hit_latency: u64,
     dram: DramParams,
-    /// set index → list of (tag, last-use stamp).
-    sets: HashMap<u64, Vec<(u64, u64)>>,
+    /// Tag of slot `set * ways + way`; valid iff its stamp is non-zero.
+    tags: Vec<u64>,
+    /// Last-use stamp per slot; 0 marks an empty slot (stamps start at 1).
+    stamps: Vec<u64>,
     stamp: u64,
     hits: u64,
     misses: u64,
@@ -46,13 +55,15 @@ impl L2Cache {
         );
         let lines = capacity_words / line_words;
         let num_sets = (lines / ways as u64).max(1);
+        let slots = (num_sets as usize).saturating_mul(ways);
         L2Cache {
             line_words,
             num_sets,
             ways,
             hit_latency: 12,
             dram,
-            sets: HashMap::new(),
+            tags: vec![0; slots],
+            stamps: vec![0; slots],
             stamp: 0,
             hits: 0,
             misses: 0,
@@ -71,24 +82,26 @@ impl L2Cache {
         let line = addr / self.line_words;
         let set = line % self.num_sets;
         let tag = line / self.num_sets;
-        let entries = self.sets.entry(set).or_default();
-        if let Some(e) = entries.iter_mut().find(|(t, _)| *t == tag) {
-            e.1 = self.stamp;
-            self.hits += 1;
-            return (self.hit_latency, true);
+        let base = set as usize * self.ways;
+        let ways = base..base + self.ways;
+        // Bounded probe over this set's slots: a valid slot (stamp != 0)
+        // with a matching tag is a hit.
+        for w in ways.clone() {
+            if self.stamps[w] != 0 && self.tags[w] == tag {
+                self.stamps[w] = self.stamp;
+                self.hits += 1;
+                return (self.hit_latency, true);
+            }
         }
         self.misses += 1;
-        if entries.len() >= self.ways {
-            // Evict LRU.
-            let lru = entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, s))| *s)
-                .map(|(n, _)| n)
-                .expect("non-empty set");
-            entries.remove(lru);
-        }
-        entries.push((tag, self.stamp));
+        // Fill the first empty slot, else evict the LRU way. Stamps are
+        // unique, so the minimum is unambiguous (empty slots, stamp 0,
+        // sort first and are filled before anything is evicted).
+        let victim = ways
+            .min_by_key(|&w| self.stamps[w])
+            .expect("ways is non-zero");
+        self.tags[victim] = tag;
+        self.stamps[victim] = self.stamp;
         (self.hit_latency + self.dram.latency_cycles, false)
     }
 
@@ -138,6 +151,138 @@ impl L2Cache {
                 self.misses
                     .saturating_mul(self.hit_latency + self.dram.latency_cycles),
             )
+    }
+}
+
+/// The retained `HashMap`-backed model — the observational-equivalence
+/// oracle for the flat tag store above and the "pre" side of the `sim`
+/// benchmark suite.
+pub mod reference {
+    use std::collections::HashMap;
+
+    use super::*;
+
+    /// `HashMap`-of-`Vec` counterpart of [`super::L2Cache`] (identical
+    /// hit/miss/latency behaviour).
+    #[derive(Clone, Debug)]
+    pub struct L2Cache {
+        line_words: u64,
+        num_sets: u64,
+        ways: usize,
+        hit_latency: u64,
+        dram: DramParams,
+        /// set index → list of (tag, last-use stamp).
+        sets: HashMap<u64, Vec<(u64, u64)>>,
+        stamp: u64,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl L2Cache {
+        /// Creates a cache of `capacity_words` with the given associativity.
+        ///
+        /// # Panics
+        ///
+        /// Panics if any parameter is zero or `capacity_words` is smaller
+        /// than one way of lines.
+        pub fn new(capacity_words: u64, ways: usize, line_words: u64, dram: DramParams) -> L2Cache {
+            assert!(
+                capacity_words > 0 && ways > 0 && line_words > 0,
+                "cache parameters must be non-zero"
+            );
+            let lines = capacity_words / line_words;
+            let num_sets = (lines / ways as u64).max(1);
+            L2Cache {
+                line_words,
+                num_sets,
+                ways,
+                hit_latency: 12,
+                dram,
+                sets: HashMap::new(),
+                stamp: 0,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        /// A 512 KiW cache in the Chipyard style: 8-way, 8-word lines.
+        pub fn chipyard_default() -> L2Cache {
+            L2Cache::new(512 * 1024, 8, 8, DramParams::default())
+        }
+
+        /// Accesses one word; returns the access latency in cycles and
+        /// whether it hit.
+        pub fn access(&mut self, addr: u64) -> (u64, bool) {
+            self.stamp += 1;
+            let line = addr / self.line_words;
+            let set = line % self.num_sets;
+            let tag = line / self.num_sets;
+            let entries = self.sets.entry(set).or_default();
+            if let Some(e) = entries.iter_mut().find(|(t, _)| *t == tag) {
+                e.1 = self.stamp;
+                self.hits += 1;
+                return (self.hit_latency, true);
+            }
+            self.misses += 1;
+            if entries.len() >= self.ways {
+                // Evict LRU.
+                let lru = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, (_, s))| *s)
+                    .map(|(n, _)| n)
+                    .expect("non-empty set");
+                entries.remove(lru);
+            }
+            entries.push((tag, self.stamp));
+            (self.hit_latency + self.dram.latency_cycles, false)
+        }
+
+        /// Total cycles for a sequence of word accesses.
+        pub fn access_all(&mut self, addrs: impl IntoIterator<Item = u64>) -> u64 {
+            addrs.into_iter().map(|a| self.access(a).0).sum()
+        }
+
+        /// Hits so far.
+        pub fn hits(&self) -> u64 {
+            self.hits
+        }
+
+        /// Misses so far.
+        pub fn misses(&self) -> u64 {
+            self.misses
+        }
+
+        /// Hit rate in `[0, 1]`.
+        pub fn hit_rate(&self) -> f64 {
+            let total = self.hits + self.misses;
+            if total == 0 {
+                0.0
+            } else {
+                self.hits as f64 / total as f64
+            }
+        }
+
+        /// Resets the statistics (not the contents).
+        pub fn reset_stats(&mut self) {
+            self.hits = 0;
+            self.misses = 0;
+        }
+
+        /// Cycle attribution of all accesses since the last
+        /// [`L2Cache::reset_stats`] (see [`super::L2Cache::breakdown`]).
+        pub fn breakdown(&self) -> CycleBreakdown {
+            CycleBreakdown::new()
+                .with(
+                    StallClass::DmaBandwidth,
+                    self.hits.saturating_mul(self.hit_latency),
+                )
+                .with(
+                    StallClass::DmaLatency,
+                    self.misses
+                        .saturating_mul(self.hit_latency + self.dram.latency_cycles),
+                )
+        }
     }
 }
 
@@ -233,5 +378,26 @@ mod tests {
             second < first / 2,
             "warm pointer reads must be much cheaper"
         );
+    }
+
+    #[test]
+    fn flat_store_matches_reference_per_access() {
+        // Every access outcome — latency and hit/miss — must match the
+        // retained HashMap model, across conflict misses, evictions, and
+        // re-references (unique stamps make LRU deterministic in both).
+        let mut flat = small();
+        let mut hash = reference::L2Cache::new(64, 2, 4, DramParams::default());
+        let mut x = 0x2545F4914F6CDD1Du64;
+        for n in 0..4096u64 {
+            // A mix of a strided sweep and xorshift-scattered pointers.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = if n % 3 == 0 { n * 4 % 512 } else { x % 700 };
+            assert_eq!(flat.access(addr), hash.access(addr), "access #{n}");
+        }
+        assert_eq!(flat.hits(), hash.hits());
+        assert_eq!(flat.misses(), hash.misses());
+        assert_eq!(flat.breakdown(), hash.breakdown());
     }
 }

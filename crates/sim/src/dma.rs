@@ -30,6 +30,7 @@
     )
 )]
 
+use crate::engine::Engine;
 use crate::error::{SimError, Watchdog};
 use crate::fault::{DmaFault, FaultInjector};
 use crate::trace::{CycleBreakdown, StallClass};
@@ -346,6 +347,57 @@ mod tests {
     }
 
     #[test]
+    fn engine_path_matches_reference_closed_form() {
+        // Same seed, same plan: the engine-backed paths must reproduce the
+        // retained closed-form reports byte-for-byte, with identical
+        // injector RNG draw order (checked via the fault counters).
+        use crate::fault::FaultInjector;
+        let wd = Watchdog::default_budget();
+        for (drop, dup) in [(0.0, 0.0), (0.3, 0.0), (0.0, 0.5), (0.2, 0.2)] {
+            let mut plan = FaultPlan::none();
+            plan.seed = 17;
+            plan.dma_drop_per_request = drop;
+            plan.dma_duplicate_per_request = dup;
+            for slots in [1usize, 4, 16] {
+                let dma = DmaModel::with_slots(slots);
+                let mut inj_a = FaultInjector::new(plan);
+                let mut inj_b = FaultInjector::new(plan);
+                let got = dma.reliable_contiguous_cycles(
+                    8000,
+                    &RetryPolicy::exponential(),
+                    &mut inj_a,
+                    &wd,
+                );
+                let want = reference::reliable_contiguous_cycles(
+                    &dma,
+                    8000,
+                    &RetryPolicy::exponential(),
+                    &mut inj_b,
+                    &wd,
+                );
+                assert_eq!(got, want);
+                let got = dma.reliable_scattered_cycles(
+                    200,
+                    3,
+                    &RetryPolicy::exponential(),
+                    &mut inj_a,
+                    &wd,
+                );
+                let want = reference::reliable_scattered_cycles(
+                    &dma,
+                    200,
+                    3,
+                    &RetryPolicy::exponential(),
+                    &mut inj_b,
+                    &wd,
+                );
+                assert_eq!(got, want);
+                assert_eq!(inj_a.counts, inj_b.counts);
+            }
+        }
+    }
+
+    #[test]
     fn recovery_penalty_monotone_in_retry_count() {
         // With the same seed, a request that needs n retries costs
         // strictly more cycles at every additional retry the policy
@@ -494,18 +546,31 @@ impl DmaModel {
             return Ok(report);
         }
         let penalty = self.drive_request(retry, injector, &mut report)?;
-        report.cycles = self.contiguous_cycles(words) + penalty;
-        report.breakdown = CycleBreakdown::new()
-            .with(StallClass::DmaLatency, self.dram.latency_cycles)
-            .with(
-                StallClass::DmaBandwidth,
-                self.contiguous_cycles(words) - self.dram.latency_cycles,
-            )
-            .with(StallClass::FaultRecovery, penalty);
+        let base = self.contiguous_cycles(words);
+        report.cycles = base + penalty;
+        watchdog.check_total(report.cycles, "reliable contiguous dma")?;
+        // Skip-ahead in three leaps: the round-trip wait, the streaming
+        // beats, and whatever recovery cost the injector charged.
+        let mut engine = Engine::new(*watchdog);
+        engine.advance(
+            self.dram.latency_cycles,
+            StallClass::DmaLatency,
+            "reliable contiguous dma",
+        )?;
+        engine.advance(
+            base - self.dram.latency_cycles,
+            StallClass::DmaBandwidth,
+            "reliable contiguous dma",
+        )?;
+        engine.advance(
+            penalty,
+            StallClass::FaultRecovery,
+            "reliable contiguous dma",
+        )?;
+        report.breakdown = engine.into_breakdown();
         report
             .breakdown
             .debug_assert_accounts_for(report.cycles, "reliable contiguous dma");
-        watchdog.check_total(report.cycles, "reliable contiguous dma")?;
         Ok(report)
     }
 
@@ -536,6 +601,7 @@ impl DmaModel {
         // Recovery penalties of independent requests overlap across slots.
         let overlapped = (penalty_sum as f64 / self.slots.max(1) as f64).ceil() as u64;
         report.cycles = self.scattered_cycles(requests, words_each) + overlapped;
+        watchdog.check_total(report.cycles, "reliable scattered dma")?;
         // Attribute the dominant bound of the base model: when the
         // request rate limits the transfer the wait is latency, when the
         // payload does it is bandwidth.
@@ -548,8 +614,110 @@ impl DmaModel {
         } else {
             StallClass::DmaBandwidth
         };
+        // Skip-ahead in three leaps: first-response wait, the overlapped
+        // recovery penalty, then the dominant steady-state bound.
+        let mut engine = Engine::new(*watchdog);
+        engine.advance(
+            self.dram.latency_cycles,
+            StallClass::DmaLatency,
+            "reliable scattered dma",
+        )?;
+        engine.advance(
+            overlapped,
+            StallClass::FaultRecovery,
+            "reliable scattered dma",
+        )?;
+        engine.advance(
+            latency_bound.max(bw_bound),
+            bound_class,
+            "reliable scattered dma",
+        )?;
+        report.breakdown = engine.into_breakdown();
+        report
+            .breakdown
+            .debug_assert_accounts_for(report.cycles, "reliable scattered dma");
+        Ok(report)
+    }
+}
+
+/// The retained closed-form accountings — the observational-equivalence
+/// oracle for the engine-backed reliable transfer paths above and the
+/// "pre" side of the `sim` benchmark suite.
+pub mod reference {
+    use super::*;
+
+    /// Closed-form counterpart of [`DmaModel::reliable_contiguous_cycles`]
+    /// (identical observable behaviour, including injector draw order).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`DmaModel::reliable_contiguous_cycles`].
+    pub fn reliable_contiguous_cycles(
+        dma: &DmaModel,
+        words: u64,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        watchdog: &Watchdog,
+    ) -> Result<DmaTransferReport, SimError> {
+        let mut report = DmaTransferReport::default();
+        if words == 0 {
+            return Ok(report);
+        }
+        let penalty = dma.drive_request(retry, injector, &mut report)?;
+        report.cycles = dma.contiguous_cycles(words) + penalty;
         report.breakdown = CycleBreakdown::new()
-            .with(StallClass::DmaLatency, self.dram.latency_cycles)
+            .with(StallClass::DmaLatency, dma.dram.latency_cycles)
+            .with(
+                StallClass::DmaBandwidth,
+                dma.contiguous_cycles(words) - dma.dram.latency_cycles,
+            )
+            .with(StallClass::FaultRecovery, penalty);
+        report
+            .breakdown
+            .debug_assert_accounts_for(report.cycles, "reliable contiguous dma");
+        watchdog.check_total(report.cycles, "reliable contiguous dma")?;
+        Ok(report)
+    }
+
+    /// Closed-form counterpart of [`DmaModel::reliable_scattered_cycles`]
+    /// (identical observable behaviour, including injector draw order).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`DmaModel::reliable_scattered_cycles`].
+    pub fn reliable_scattered_cycles(
+        dma: &DmaModel,
+        requests: u64,
+        words_each: u64,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        watchdog: &Watchdog,
+    ) -> Result<DmaTransferReport, SimError> {
+        let mut report = DmaTransferReport::default();
+        if requests == 0 {
+            return Ok(report);
+        }
+        let mut penalty_sum = 0u64;
+        for _ in 0..requests {
+            penalty_sum += dma.drive_request(retry, injector, &mut report)?;
+        }
+        // Recovery penalties of independent requests overlap across slots.
+        let overlapped = (penalty_sum as f64 / dma.slots.max(1) as f64).ceil() as u64;
+        report.cycles = dma.scattered_cycles(requests, words_each) + overlapped;
+        // Attribute the dominant bound of the base model: when the
+        // request rate limits the transfer the wait is latency, when the
+        // payload does it is bandwidth.
+        let per_req_latency = (dma.dram.latency_cycles as f64 / dma.slots as f64).max(1.0);
+        let latency_bound = (requests as f64 * per_req_latency).ceil() as u64;
+        let bw_bound =
+            ((requests * words_each.max(1)) as f64 / dma.dram.words_per_cycle).ceil() as u64;
+        let bound_class = if latency_bound >= bw_bound {
+            StallClass::DmaLatency
+        } else {
+            StallClass::DmaBandwidth
+        };
+        report.breakdown = CycleBreakdown::new()
+            .with(StallClass::DmaLatency, dma.dram.latency_cycles)
             .with(StallClass::FaultRecovery, overlapped);
         report
             .breakdown

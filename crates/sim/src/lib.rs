@@ -21,6 +21,12 @@
 //!   optional reliability layer (per-request failure, timeout, and
 //!   retry-with-backoff).
 //! * [`cache`] — a shared L2 model (the §IV-F Chipyard mitigation).
+//! * [`engine`] — the shared event-driven skip-ahead kernel under the
+//!   models above: a monotonic [`engine::EventQueue`] plus an
+//!   [`engine::Engine`] clock that jumps straight to the next completion
+//!   event, attributing and watchdog-charging the skipped cycles in one
+//!   arithmetic step. Each model keeps its original per-cycle loop in a
+//!   `reference` submodule as the observational-equivalence oracle.
 //! * [`stats`] — shared counters and utilization accounting.
 //! * [`fault`] — deterministic seed-driven fault injection (bit flips,
 //!   dropped/duplicated DMA responses, stuck-at PEs, SRAM corruption) and
@@ -38,6 +44,7 @@
 
 pub mod cache;
 pub mod dma;
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod gemm;
@@ -50,6 +57,7 @@ pub mod trace;
 
 pub use cache::L2Cache;
 pub use dma::{DmaModel, DmaTransferReport, DramParams, RetryPolicy};
+pub use engine::{Engine, Event, EventQueue};
 pub use error::{SimError, Watchdog, DEFAULT_WATCHDOG_BUDGET};
 pub use fault::{DmaFault, EccMode, FaultCounts, FaultInjector, FaultPlan, RunOutcome};
 pub use gemm::{gemm_cycles, layer_utilization, GemmBreakdown, GemmParams};

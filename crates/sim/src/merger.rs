@@ -8,9 +8,18 @@
 //! flatten all rows into one fiber and pop up to `width` elements per cycle
 //! regardless of row boundaries — imbalance-immune, but area-hungry
 //! (§VI-D: 60% of SpArch's area, 13× a row-partitioned merger).
+//!
+//! Both models run on the shared skip-ahead [`Engine`]: lane completions
+//! are scheduled as events (the last event to pop *is* the critical lane,
+//! because the queue's FIFO tie-break matches the reference's last-max
+//! rule) and the elapsed cycles are attributed through engine advances, so
+//! the `sum(breakdown) == cycles` invariant is structural. The original
+//! closed-form implementations are retained in [`reference`] as the
+//! equivalence oracle.
 
 use stellar_tensor::ops::{merge_fibers, Fiber, PartialMatrix};
 
+use crate::engine::{Engine, EventQueue};
 use crate::error::{SimError, Watchdog};
 use crate::stats::Utilization;
 use crate::trace::{CycleBreakdown, StallClass};
@@ -119,23 +128,43 @@ impl Merger for RowPartitionedMerger {
             lane_elems[lane] += cost;
             lane_switch[lane] += self.row_switch_cycles;
         }
-        let cycles = lane_time.iter().copied().max().unwrap_or(0);
+        // Each lane drains its queue independently; its completion is one
+        // event. The queue pops in (time, schedule-order) — so the last
+        // event out is the highest-indexed lane among those tied for the
+        // longest time, matching the reference's `max_by_key` (last max).
+        let mut queue = EventQueue::with_capacity(lanes);
+        for (l, &t) in lane_time.iter().enumerate() {
+            if t > 0 {
+                queue.schedule(t, l as u32);
+            }
+        }
+        let mut cycles = 0u64;
+        let mut crit = 0usize;
+        while let Some(ev) = queue.pop() {
+            // Skip straight from completion to completion; intermediate
+            // cycles carry no state change by construction.
+            cycles = ev.time;
+            crit = ev.key as usize;
+        }
         watchdog.check_total(cycles, "row-partitioned merge")?;
         // The critical lane defines the cycle count; attribute its time:
         // the share a perfectly balanced assignment would also pay is
         // Compute, the excess is LoadImbalance, restarts are MergeStall.
-        let crit = lane_time
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &t)| t)
-            .map(|(l, _)| l)
-            .unwrap_or(0);
         let ideal = merged_elements.div_ceil(lanes as u64);
         let compute = lane_elems[crit].min(ideal);
-        let breakdown = CycleBreakdown::new()
-            .with(StallClass::Compute, compute)
-            .with(StallClass::LoadImbalance, lane_elems[crit] - compute)
-            .with(StallClass::MergeStall, lane_switch[crit]);
+        let mut engine = Engine::new(*watchdog);
+        engine.advance(compute, StallClass::Compute, "row-partitioned merge")?;
+        engine.advance(
+            lane_elems[crit] - compute,
+            StallClass::LoadImbalance,
+            "row-partitioned merge",
+        )?;
+        engine.advance(
+            lane_switch[crit],
+            StallClass::MergeStall,
+            "row-partitioned merge",
+        )?;
+        let breakdown = engine.into_breakdown();
         breakdown.debug_assert_accounts_for(cycles, "row-partitioned merge");
         let busy: u64 = lane_time.iter().sum();
         Ok(MergeStats {
@@ -190,12 +219,18 @@ impl Merger for FlattenedMerger {
         let steps = merged_elements.div_ceil(width);
         let cycles = self.startup_cycles + steps;
         watchdog.check_total(cycles, "flattened merge")?;
-        // Startup is pipeline fill; full-width pops are compute; the
-        // final partial-width pop is a merge stall (comparators idle).
-        let breakdown = CycleBreakdown::new()
-            .with(StallClass::Fill, self.startup_cycles)
-            .with(StallClass::Compute, full_steps)
-            .with(StallClass::MergeStall, steps - full_steps);
+        // Skip-ahead in three leaps: startup is pipeline fill; full-width
+        // pops are compute; the final partial-width pop is a merge stall
+        // (comparators idle).
+        let mut engine = Engine::new(*watchdog);
+        engine.advance(self.startup_cycles, StallClass::Fill, "flattened merge")?;
+        engine.advance(full_steps, StallClass::Compute, "flattened merge")?;
+        engine.advance(
+            steps - full_steps,
+            StallClass::MergeStall,
+            "flattened merge",
+        )?;
+        let breakdown = engine.into_breakdown();
         breakdown.debug_assert_accounts_for(cycles, "flattened merge");
         Ok(MergeStats {
             cycles,
@@ -236,6 +271,115 @@ pub fn rows_of_partials(num_rows: usize, partials: &[PartialMatrix]) -> Vec<Vec<
         }
     }
     rows
+}
+
+/// The retained closed-form per-cycle accountings — the observational
+/// equivalence oracle for the engine-backed `Merger` impls above and the
+/// "pre" side of the `sim` benchmark suite.
+pub mod reference {
+    use super::*;
+
+    /// Closed-form counterpart of the engine-backed
+    /// [`RowPartitionedMerger::simulate_budgeted`](super::Merger::simulate_budgeted)
+    /// (identical observable behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WatchdogExpired`] past the budget.
+    pub fn simulate_row_partitioned(
+        m: &RowPartitionedMerger,
+        rows: &[Vec<Fiber>],
+        watchdog: &Watchdog,
+    ) -> Result<MergeStats, SimError> {
+        // Per-row output length (the lane busy time for that row).
+        let row_cost: Vec<u64> = rows
+            .iter()
+            .map(|fibers| merge_fibers(fibers).len() as u64)
+            .collect();
+        let merged_elements: u64 = row_cost.iter().sum();
+        // Greedy longest-processing-time assignment would be the balanced
+        // ideal; hardware assigns rows to lanes in arrival order.
+        let lanes = m.lanes.max(1);
+        let mut lane_time = vec![0u64; lanes];
+        let mut lane_elems = vec![0u64; lanes];
+        let mut lane_switch = vec![0u64; lanes];
+        for (r, &cost) in row_cost.iter().enumerate() {
+            if cost == 0 {
+                continue;
+            }
+            let lane = r % lanes;
+            lane_time[lane] += cost + m.row_switch_cycles;
+            lane_elems[lane] += cost;
+            lane_switch[lane] += m.row_switch_cycles;
+        }
+        let cycles = lane_time.iter().copied().max().unwrap_or(0);
+        watchdog.check_total(cycles, "row-partitioned merge")?;
+        // The critical lane defines the cycle count; attribute its time:
+        // the share a perfectly balanced assignment would also pay is
+        // Compute, the excess is LoadImbalance, restarts are MergeStall.
+        let crit = lane_time
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &t)| t)
+            .map(|(l, _)| l)
+            .unwrap_or(0);
+        let ideal = merged_elements.div_ceil(lanes as u64);
+        let compute = lane_elems[crit].min(ideal);
+        let breakdown = CycleBreakdown::new()
+            .with(StallClass::Compute, compute)
+            .with(StallClass::LoadImbalance, lane_elems[crit] - compute)
+            .with(StallClass::MergeStall, lane_switch[crit]);
+        breakdown.debug_assert_accounts_for(cycles, "row-partitioned merge");
+        let busy: u64 = lane_time.iter().sum();
+        Ok(MergeStats {
+            cycles,
+            merged_elements,
+            utilization: Utilization {
+                busy,
+                total: cycles * m.lanes as u64,
+            },
+            breakdown,
+        })
+    }
+
+    /// Closed-form counterpart of the engine-backed
+    /// [`FlattenedMerger::simulate_budgeted`](super::Merger::simulate_budgeted)
+    /// (identical observable behaviour).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::WatchdogExpired`] past the budget.
+    pub fn simulate_flattened(
+        m: &FlattenedMerger,
+        rows: &[Vec<Fiber>],
+        watchdog: &Watchdog,
+    ) -> Result<MergeStats, SimError> {
+        let merged_elements: u64 = rows
+            .iter()
+            .map(|fibers| merge_fibers(fibers).len() as u64)
+            .sum();
+        let width = m.width.max(1) as u64;
+        let full_steps = merged_elements / width;
+        let steps = merged_elements.div_ceil(width);
+        let cycles = m.startup_cycles + steps;
+        watchdog.check_total(cycles, "flattened merge")?;
+        // Startup is pipeline fill; full-width pops are compute; the
+        // final partial-width pop is a merge stall (comparators idle).
+        let breakdown = CycleBreakdown::new()
+            .with(StallClass::Fill, m.startup_cycles)
+            .with(StallClass::Compute, full_steps)
+            .with(StallClass::MergeStall, steps - full_steps);
+        breakdown.debug_assert_accounts_for(cycles, "flattened merge");
+        Ok(MergeStats {
+            cycles,
+            merged_elements,
+            utilization: Utilization {
+                busy: merged_elements,
+                total: cycles * width,
+            },
+            breakdown,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -369,5 +513,38 @@ mod tests {
     fn max_throughputs() {
         assert_eq!(RowPartitionedMerger::paper_config().max_throughput(), 32);
         assert_eq!(FlattenedMerger::paper_config().max_throughput(), 16);
+    }
+
+    #[test]
+    fn engine_path_matches_reference_closed_form() {
+        // The engine-backed impls must reproduce the retained closed-form
+        // accounting byte-for-byte, including tie-breaks on the critical
+        // lane (equal-length lanes) and the zero-work batch.
+        let wd = Watchdog::default_budget();
+        let batches: Vec<Vec<Vec<Fiber>>> = vec![
+            partial_rows(7, 0.3),
+            partial_rows(8, 0.05),
+            Vec::new(),
+            // Two lanes tied for critical (rows 0 and 1, same length).
+            vec![
+                vec![Fiber::new(vec![0, 1, 2], vec![1.0; 3])],
+                vec![Fiber::new(vec![0, 1, 2], vec![2.0; 3])],
+            ],
+        ];
+        for rows in &batches {
+            let rp = RowPartitionedMerger {
+                lanes: 2,
+                row_switch_cycles: 1,
+            };
+            assert_eq!(
+                rp.simulate_budgeted(rows, &wd),
+                reference::simulate_row_partitioned(&rp, rows, &wd)
+            );
+            let fl = FlattenedMerger::paper_config();
+            assert_eq!(
+                fl.simulate_budgeted(rows, &wd),
+                reference::simulate_flattened(&fl, rows, &wd)
+            );
+        }
     }
 }

@@ -7,6 +7,14 @@
 //! advances register state cycle by cycle, so fill and drain latency appear
 //! exactly as in hardware, and the computed product is checked against the
 //! dense golden model in the tests.
+//!
+//! Unlike the lane models, a systolic step cannot be skipped — every PE's
+//! registers move every cycle, and under fault injection every PE consults
+//! the injector's RNG every step, so the draw order *is* the observable.
+//! The performance win here is allocation-free stepping: the register
+//! planes are flat row-major `Vec<f64>` buffers allocated once and
+//! double-buffered with `mem::swap`, where the retained [`reference`]
+//! implementation allocates two fresh `Vec<Vec<f64>>` grids per cycle.
 
 use stellar_area::TrafficCounts;
 use stellar_tensor::DenseMatrix;
@@ -83,9 +91,13 @@ pub fn simulate_ws_matmul_traced(
         return Err(SimError::InvalidConfig("empty weight matrix".into()));
     }
 
-    // PE state: stationary weight, activation register, psum register.
-    let mut act = vec![vec![0.0f64; n]; k]; // act[r][c]: activation entering PE (r, c)
-    let mut psum = vec![vec![0.0f64; n]; k]; // psum leaving PE (r, c) downward
+    // PE state, flat row-major planes indexed [r * n + c], allocated once
+    // and double-buffered: every slot is rewritten each step, so the swap
+    // needs no clearing.
+    let mut act = vec![0.0f64; k * n]; // activation entering PE (r, c)
+    let mut psum = vec![0.0f64; k * n]; // psum leaving PE (r, c) downward
+    let mut next_act = vec![0.0f64; k * n];
+    let mut next_psum = vec![0.0f64; k * n];
     let mut product = DenseMatrix::zeros(m, n);
 
     let mut busy: u64 = 0;
@@ -115,9 +127,8 @@ pub fn simulate_ws_matmul_traced(
         watchdog.tick(1, "ws stream loop")?;
         let mut step_busy = false;
         // Advance from the bottom row upward so values move one PE per
-        // cycle.
-        let mut next_act = vec![vec![0.0f64; n]; k];
-        let mut next_psum = vec![vec![0.0f64; n]; k];
+        // cycle. Iteration order (r descending, c ascending) is the RNG
+        // draw order under fault injection and must not change.
         for r in (0..k).rev() {
             for c in 0..n {
                 // Activation arrives from the left (c == 0 edge injects).
@@ -131,18 +142,18 @@ pub fn simulate_ws_matmul_traced(
                         0.0
                     }
                 } else {
-                    act[r][c - 1]
+                    act[r * n + c - 1]
                 };
                 // Partial sum arrives from above.
-                let p_in = if r == 0 { 0.0 } else { psum[r - 1][c] };
+                let p_in = if r == 0 { 0.0 } else { psum[(r - 1) * n + c] };
                 let w = b.at(r, c);
                 let p_out = injector.perturb_accumulator(p_in + a_in * w);
                 if a_in != 0.0 || p_in != 0.0 {
                     busy += 1;
                     step_busy = true;
                 }
-                next_act[r][c] = a_in;
-                next_psum[r][c] = p_out;
+                next_act[r * n + c] = a_in;
+                next_psum[r * n + c] = p_out;
                 // The bottom row's output is C[i][c] for the activation row
                 // that entered k + c cycles ago... handled below by
                 // collecting when r == k-1.
@@ -154,8 +165,8 @@ pub fn simulate_ws_matmul_traced(
                 }
             }
         }
-        act = next_act;
-        psum = next_psum;
+        std::mem::swap(&mut act, &mut next_act);
+        std::mem::swap(&mut psum, &mut next_psum);
         // Cycle attribution: while any PE holds live data the array is
         // computing; a quiet step before first activity is pipeline fill
         // (skew), after last activity it is drain.
@@ -248,9 +259,13 @@ pub fn simulate_os_matmul_traced(
         return Err(SimError::InvalidConfig("empty output matrix".into()));
     }
 
-    let mut a_reg = vec![vec![0.0f64; n]; m]; // a value flowing right
-    let mut b_reg = vec![vec![0.0f64; n]; m]; // b value flowing down
-    let mut acc = vec![vec![0.0f64; n]; m]; // stationary accumulators
+    // Flat row-major planes indexed [i * n + j], allocated once; the
+    // moving registers double-buffer, the accumulators update in place.
+    let mut a_reg = vec![0.0f64; m * n]; // a value flowing right
+    let mut b_reg = vec![0.0f64; m * n]; // b value flowing down
+    let mut next_a = vec![0.0f64; m * n];
+    let mut next_b = vec![0.0f64; m * n];
+    let mut acc = vec![0.0f64; m * n]; // stationary accumulators
     let mut busy = 0u64;
 
     // Element A[i][kk] enters row i at t = i + kk; element B[kk][j] enters
@@ -272,8 +287,8 @@ pub fn simulate_os_matmul_traced(
     for t in 0..total_steps {
         watchdog.tick(1, "os stream loop")?;
         let mut step_busy = false;
-        let mut next_a = vec![vec![0.0f64; n]; m];
-        let mut next_b = vec![vec![0.0f64; n]; m];
+        // Iteration order (i, j ascending) is the RNG draw order under
+        // fault injection and must not change.
         for i in 0..m {
             for j in 0..n {
                 let a_in = if j == 0 {
@@ -284,7 +299,7 @@ pub fn simulate_os_matmul_traced(
                         0.0
                     }
                 } else {
-                    a_reg[i][j - 1]
+                    a_reg[i * n + j - 1]
                 };
                 let b_in = if i == 0 {
                     let kk = t as isize - j as isize;
@@ -294,7 +309,7 @@ pub fn simulate_os_matmul_traced(
                         0.0
                     }
                 } else {
-                    b_reg[i - 1][j]
+                    b_reg[(i - 1) * n + j]
                 };
                 // Alignment: at PE (i, j), a_in arrived after j hops and
                 // b_in after i hops; a_in carries A[i][t - i - j] and b_in
@@ -302,14 +317,14 @@ pub fn simulate_os_matmul_traced(
                 if a_in != 0.0 || b_in != 0.0 {
                     busy += 1;
                     step_busy = true;
-                    acc[i][j] = injector.perturb_accumulator(acc[i][j] + a_in * b_in);
+                    acc[i * n + j] = injector.perturb_accumulator(acc[i * n + j] + a_in * b_in);
                 }
-                next_a[i][j] = a_in;
-                next_b[i][j] = b_in;
+                next_a[i * n + j] = a_in;
+                next_b[i * n + j] = b_in;
             }
         }
-        a_reg = next_a;
-        b_reg = next_b;
+        std::mem::swap(&mut a_reg, &mut next_a);
+        std::mem::swap(&mut b_reg, &mut next_b);
         if step_busy {
             seen_activity = true;
             breakdown.add(StallClass::Compute, 1);
@@ -321,9 +336,9 @@ pub fn simulate_os_matmul_traced(
     }
 
     let mut product = DenseMatrix::zeros(m, n);
-    for (i, row) in acc.iter().enumerate() {
-        for (j, &v) in row.iter().enumerate() {
-            product.set(i, j, v);
+    for i in 0..m {
+        for j in 0..n {
+            product.set(i, j, acc[i * n + j]);
         }
     }
     // Drain: one cycle per output column through the edge ports.
@@ -357,6 +372,285 @@ pub fn simulate_os_matmul_traced(
             breakdown,
         },
     })
+}
+
+/// The retained per-cycle implementations with nested-`Vec` PE grids and
+/// two fresh grid allocations per step — the observational-equivalence
+/// oracle for the flat-buffer paths above and the "pre" side of the `sim`
+/// benchmark suite.
+pub mod reference {
+    use super::*;
+
+    /// Allocation-per-step counterpart of [`simulate_ws_matmul_traced`]
+    /// (identical observable behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`simulate_ws_matmul_traced`].
+    pub fn simulate_ws_matmul_traced(
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        injector: &mut FaultInjector,
+        mut watchdog: Watchdog,
+        tracer: &mut Tracer,
+    ) -> Result<WsResult, SimError> {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        if k != b.rows() {
+            return Err(SimError::InvalidConfig(format!(
+                "inner dimensions disagree: A is {m}x{k}, B is {}x{n}",
+                b.rows()
+            )));
+        }
+        if k == 0 || n == 0 {
+            return Err(SimError::InvalidConfig("empty weight matrix".into()));
+        }
+
+        // PE state: stationary weight, activation register, psum register.
+        let mut act = vec![vec![0.0f64; n]; k]; // act[r][c]: activation entering PE (r, c)
+        let mut psum = vec![vec![0.0f64; n]; k]; // psum leaving PE (r, c) downward
+        let mut product = DenseMatrix::zeros(m, n);
+
+        let mut busy: u64 = 0;
+        // Weight preload: one column of rows per cycle (k cycles).
+        let preload_cycles = k as u64;
+
+        // Stream phase: row i of A enters row 0..k of the array skewed; the
+        // bottom of column c emits C[i][c] after the pipeline delay.
+        // Total cycles: skew (k-1) + stream (m) + drain (k + 1).
+        let total_steps = m + 2 * k + n;
+        let mut breakdown = CycleBreakdown::new().with(StallClass::Fill, preload_cycles);
+        tracer.span(0, "ws_preload", 0, preload_cycles, StallClass::Fill);
+        for i in 0..m {
+            // Row i of A is in flight from its skewed entry until it has
+            // traversed the k array rows and n columns.
+            tracer.span(
+                i as u32,
+                "ws_stream_row",
+                preload_cycles + i as u64,
+                (k + n) as u64,
+                StallClass::Compute,
+            );
+        }
+        let mut seen_activity = false;
+        watchdog.tick(preload_cycles, "ws weight preload")?;
+        for t in 0..total_steps {
+            watchdog.tick(1, "ws stream loop")?;
+            let mut step_busy = false;
+            // Advance from the bottom row upward so values move one PE per
+            // cycle.
+            let mut next_act = vec![vec![0.0f64; n]; k];
+            let mut next_psum = vec![vec![0.0f64; n]; k];
+            for r in (0..k).rev() {
+                for c in 0..n {
+                    // Activation arrives from the left (c == 0 edge injects).
+                    let a_in = if c == 0 {
+                        // Row r receives A[i][r] at time t = i + r (skewed).
+                        let i = t as isize - r as isize;
+                        if i >= 0 && (i as usize) < m {
+                            // Edge injection is an SRAM read: corruptible.
+                            injector.corrupt_sram_read(a.at(i as usize, r))
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        act[r][c - 1]
+                    };
+                    // Partial sum arrives from above.
+                    let p_in = if r == 0 { 0.0 } else { psum[r - 1][c] };
+                    let w = b.at(r, c);
+                    let p_out = injector.perturb_accumulator(p_in + a_in * w);
+                    if a_in != 0.0 || p_in != 0.0 {
+                        busy += 1;
+                        step_busy = true;
+                    }
+                    next_act[r][c] = a_in;
+                    next_psum[r][c] = p_out;
+                    // The bottom row's output is C[i][c] for the activation
+                    // row that entered k + c cycles ago... handled below by
+                    // collecting when r == k-1.
+                    if r == k - 1 {
+                        let i = t as isize - (k - 1) as isize - c as isize;
+                        if i >= 0 && (i as usize) < m {
+                            product.set(i as usize, c, p_out);
+                        }
+                    }
+                }
+            }
+            act = next_act;
+            psum = next_psum;
+            // Cycle attribution: while any PE holds live data the array is
+            // computing; a quiet step before first activity is pipeline fill
+            // (skew), after last activity it is drain.
+            if step_busy {
+                seen_activity = true;
+                breakdown.add(StallClass::Compute, 1);
+            } else if seen_activity {
+                breakdown.add(StallClass::Drain, 1);
+            } else {
+                breakdown.add(StallClass::Fill, 1);
+            }
+        }
+
+        let cycles = preload_cycles + total_steps as u64;
+        breakdown.debug_assert_accounts_for(cycles, "ws systolic");
+        let macs = (m * n * k) as u64;
+        Ok(WsResult {
+            product,
+            stats: SimStats {
+                cycles,
+                utilization: Utilization {
+                    busy,
+                    total: cycles * (k * n) as u64,
+                },
+                traffic: TrafficCounts {
+                    macs,
+                    sram_accesses: (m * k + k * n + m * n) as u64,
+                    regfile_accesses: 2 * macs,
+                    dram_words: 0,
+                    pe_cycles: cycles * (k * n) as u64,
+                },
+                breakdown,
+            },
+        })
+    }
+
+    /// Allocation-per-step counterpart of [`simulate_os_matmul_traced`]
+    /// (identical observable behaviour).
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`simulate_os_matmul_traced`].
+    pub fn simulate_os_matmul_traced(
+        a: &DenseMatrix,
+        b: &DenseMatrix,
+        injector: &mut FaultInjector,
+        mut watchdog: Watchdog,
+        tracer: &mut Tracer,
+    ) -> Result<WsResult, SimError> {
+        let (m, k) = (a.rows(), a.cols());
+        let n = b.cols();
+        if k != b.rows() {
+            return Err(SimError::InvalidConfig(format!(
+                "inner dimensions disagree: A is {m}x{k}, B is {}x{n}",
+                b.rows()
+            )));
+        }
+        if m == 0 || n == 0 {
+            return Err(SimError::InvalidConfig("empty output matrix".into()));
+        }
+
+        let mut a_reg = vec![vec![0.0f64; n]; m]; // a value flowing right
+        let mut b_reg = vec![vec![0.0f64; n]; m]; // b value flowing down
+        let mut acc = vec![vec![0.0f64; n]; m]; // stationary accumulators
+        let mut busy = 0u64;
+
+        // Element A[i][kk] enters row i at t = i + kk; element B[kk][j]
+        // enters column j at t = j + kk; they meet at PE (i, j) at
+        // t = i + j + kk.
+        let total_steps = k + m + n;
+        let mut breakdown = CycleBreakdown::new();
+        let mut seen_activity = false;
+        for i in 0..m {
+            // Row i's accumulators are live from the first A arrival (t = i)
+            // until the last k index has flowed across all n columns.
+            tracer.span(
+                i as u32,
+                "os_accumulate_row",
+                i as u64,
+                (k + n) as u64,
+                StallClass::Compute,
+            );
+        }
+        for t in 0..total_steps {
+            watchdog.tick(1, "os stream loop")?;
+            let mut step_busy = false;
+            let mut next_a = vec![vec![0.0f64; n]; m];
+            let mut next_b = vec![vec![0.0f64; n]; m];
+            for i in 0..m {
+                for j in 0..n {
+                    let a_in = if j == 0 {
+                        let kk = t as isize - i as isize;
+                        if kk >= 0 && (kk as usize) < k {
+                            a.at(i, kk as usize)
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        a_reg[i][j - 1]
+                    };
+                    let b_in = if i == 0 {
+                        let kk = t as isize - j as isize;
+                        if kk >= 0 && (kk as usize) < k {
+                            b.at(kk as usize, j)
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        b_reg[i - 1][j]
+                    };
+                    // Alignment: at PE (i, j), a_in arrived after j hops and
+                    // b_in after i hops; a_in carries A[i][t - i - j] and
+                    // b_in carries B[t - i - j][j] — the matching k index.
+                    if a_in != 0.0 || b_in != 0.0 {
+                        busy += 1;
+                        step_busy = true;
+                        acc[i][j] = injector.perturb_accumulator(acc[i][j] + a_in * b_in);
+                    }
+                    next_a[i][j] = a_in;
+                    next_b[i][j] = b_in;
+                }
+            }
+            a_reg = next_a;
+            b_reg = next_b;
+            if step_busy {
+                seen_activity = true;
+                breakdown.add(StallClass::Compute, 1);
+            } else if seen_activity {
+                breakdown.add(StallClass::Drain, 1);
+            } else {
+                breakdown.add(StallClass::Fill, 1);
+            }
+        }
+
+        let mut product = DenseMatrix::zeros(m, n);
+        for (i, row) in acc.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                product.set(i, j, v);
+            }
+        }
+        // Drain: one cycle per output column through the edge ports.
+        let cycles = (total_steps + n) as u64;
+        breakdown.add(StallClass::Drain, n as u64);
+        tracer.span(
+            0,
+            "os_drain",
+            total_steps as u64,
+            n as u64,
+            StallClass::Drain,
+        );
+        breakdown.debug_assert_accounts_for(cycles, "os systolic");
+        watchdog.tick(n as u64, "os drain")?;
+        let macs = (m * n * k) as u64;
+        Ok(WsResult {
+            product,
+            stats: SimStats {
+                cycles,
+                utilization: Utilization {
+                    busy,
+                    total: cycles * (m * n) as u64,
+                },
+                traffic: TrafficCounts {
+                    macs,
+                    sram_accesses: (m * k + k * n + m * n) as u64,
+                    regfile_accesses: 2 * macs,
+                    dram_words: 0,
+                    pe_cycles: cycles * (m * n) as u64,
+                },
+                breakdown,
+            },
+        })
+    }
 }
 
 #[cfg(test)]
