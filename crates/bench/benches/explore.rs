@@ -1,18 +1,34 @@
-//! Criterion benchmarks for the automated dataflow search: the serial
-//! scan against the sharded parallel scan, at both coefficient bounds.
-//! The parallel/serial pair at `max_coeff = 2` is the speedup evidence
-//! for the work-stealing execution layer (byte-identical output is
-//! covered by `crates/core/tests/explore_parallel.rs` and
-//! `explore_smoke`; this measures only the wall-clock).
+//! Criterion benchmarks for the automated dataflow search: the retained
+//! reference scan (full fold per candidate) against the scorer fast path,
+//! serial and sharded, at both coefficient bounds. The reference/serial
+//! pair at `max_coeff = 2` is the speedup evidence for the allocation-free
+//! scoring layer, and serial/parallel for the work-stealing execution
+//! layer (byte-identical output is covered by
+//! `crates/core/tests/explore_parallel.rs`, `fold_equivalence.rs`, and
+//! `explore_perf_smoke`; this measures only the wall-clock).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stellar_core::{explore_dataflows, Bounds, ExploreOptions, Functionality};
+use stellar_core::{
+    explore_dataflows, explore_dataflows_reference, Bounds, ExploreOptions, Functionality,
+};
 
 fn bench_explore(c: &mut Criterion) {
     let func = Functionality::matmul(3, 3, 3);
     let bounds = Bounds::from_extents(&[3, 3, 3]);
     let mut g = c.benchmark_group("explore_dataflows");
     for max_coeff in [1i64, 2] {
+        let serial = ExploreOptions {
+            max_coeff,
+            parallelism: 1,
+            ..ExploreOptions::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("reference", format!("max_coeff_{max_coeff}")),
+            &serial,
+            |b, opts| {
+                b.iter(|| explore_dataflows_reference(&func, &bounds, opts).unwrap());
+            },
+        );
         for (mode, parallelism) in [("serial", 1usize), ("parallel", 0)] {
             let opts = ExploreOptions {
                 max_coeff,

@@ -1,0 +1,177 @@
+//! Equivalence/speedup smoke check for the dataflow-search fast path —
+//! the acceptance harness for the allocation-free candidate scorer, run
+//! by CI.
+//!
+//! Asserts:
+//!
+//! 1. the fast-path search ([`explore_dataflows`], serial and sharded)
+//!    returns a ranking **byte-identical** to the retained full-fold
+//!    oracle scan ([`explore_dataflows_reference`]) on the e20-scale
+//!    `matmul(4,4,4)` sweep, and
+//! 2. the serial fast path beats the oracle scan by at least 3× on the
+//!    `max_coeff = 2` acceptance sweep over `matmul(3,3,3)` — ~1.95M
+//!    candidate transforms (5⁹), the workload the scorer exists for.
+//!
+//! It also times the sharded fast path against the oracle and writes the
+//! whole table to `out/explore_perf_smoke.json` (jq-checked by CI); with
+//! `--record-baseline` the same table is additionally written to
+//! `BENCH_explore.json` at the repo root, which is the committed baseline
+//! the README performance table is derived from.
+//!
+//! Exits non-zero on any violation, so it doubles as a CI gate.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use stellar_core::{
+    explore_dataflows, explore_dataflows_reference, Bounds, ExploreOptions, ExploredDataflow,
+    Functionality,
+};
+
+fn byte_image(results: &[ExploredDataflow]) -> String {
+    results
+        .iter()
+        .map(|e| format!("{e:?}\n"))
+        .collect::<String>()
+}
+
+/// Median wall-clock milliseconds of `runs` calls to `f`.
+fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let started = Instant::now();
+            f();
+            started.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    samples[samples.len() / 2]
+}
+
+struct BenchRow {
+    name: &'static str,
+    pre_ms: f64,
+    post_ms: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        self.pre_ms / self.post_ms.max(1e-9)
+    }
+}
+
+fn render_json(equivalent: bool, scan_speedup: f64, rows: &[BenchRow]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"stellar-explore-perf-v1\",\n");
+    let _ = writeln!(s, "  \"equivalent\": {equivalent},");
+    let _ = writeln!(s, "  \"scan_speedup\": {scan_speedup:.2},");
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"name\": \"{}\", \"pre_ms\": {:.3}, \"post_ms\": {:.3}, \"speedup\": {:.2}}}",
+            r.name,
+            r.pre_ms,
+            r.post_ms,
+            r.speedup()
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+    println!("explore_perf_smoke: scorer fast path vs reference-fold scan");
+
+    // 1. Byte-identical rankings on the e20-scale sweep, serial and sharded.
+    let func4 = Functionality::matmul(4, 4, 4);
+    let bounds4 = Bounds::from_extents(&[4, 4, 4]);
+    let opts4 = ExploreOptions::default();
+    let oracle =
+        byte_image(&explore_dataflows_reference(&func4, &bounds4, &opts4).expect("reference scan"));
+    for (mode, parallelism) in [("serial", 1usize), ("parallel", 0)] {
+        let opts = ExploreOptions {
+            parallelism,
+            ..opts4
+        };
+        let fast = byte_image(&explore_dataflows(&func4, &bounds4, &opts).expect("fast scan"));
+        if fast != oracle {
+            eprintln!(
+                "FAIL: {mode} fast-path ranking is not byte-identical to the \
+                 reference-fold scan ({} vs {} bytes)",
+                fast.len(),
+                oracle.len()
+            );
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "e20 rankings byte-identical to the reference fold ({} bytes)",
+        oracle.len()
+    );
+
+    // 2. Speedup on the max_coeff = 2 acceptance sweep (~1.95M candidates),
+    // serial vs serial so only the scoring layer is measured.
+    let func3 = Functionality::matmul(3, 3, 3);
+    let bounds3 = Bounds::from_extents(&[3, 3, 3]);
+    let sweep = |parallelism: usize| ExploreOptions {
+        max_coeff: 2,
+        keep: 64,
+        parallelism,
+        ..ExploreOptions::default()
+    };
+    let reference_ms = median_ms(3, || {
+        explore_dataflows_reference(&func3, &bounds3, &sweep(1))
+            .map(drop)
+            .expect("reference sweep");
+    });
+    let serial_ms = median_ms(5, || {
+        explore_dataflows(&func3, &bounds3, &sweep(1))
+            .map(drop)
+            .expect("serial sweep");
+    });
+    let parallel_ms = median_ms(5, || {
+        explore_dataflows(&func3, &bounds3, &sweep(0))
+            .map(drop)
+            .expect("parallel sweep");
+    });
+    let rows = [
+        BenchRow {
+            name: "explore_mc2_serial",
+            pre_ms: reference_ms,
+            post_ms: serial_ms,
+        },
+        BenchRow {
+            name: "explore_mc2_parallel",
+            pre_ms: reference_ms,
+            post_ms: parallel_ms,
+        },
+    ];
+    let scan_speedup = rows[0].speedup();
+    for r in &rows {
+        println!(
+            "{}: reference {:.1} ms, fast {:.1} ms -> {:.2}x",
+            r.name,
+            r.pre_ms,
+            r.post_ms,
+            r.speedup()
+        );
+    }
+
+    if scan_speedup < 3.0 {
+        eprintln!("FAIL: serial scan speedup {scan_speedup:.2}x is below the 3x floor");
+        std::process::exit(1);
+    }
+
+    let json = render_json(true, scan_speedup, &rows);
+    let _ = std::fs::create_dir_all("out");
+    std::fs::write("out/explore_perf_smoke.json", &json)
+        .expect("write out/explore_perf_smoke.json");
+    println!("wrote out/explore_perf_smoke.json");
+    if record_baseline {
+        std::fs::write("BENCH_explore.json", &json).expect("write BENCH_explore.json");
+        println!("wrote BENCH_explore.json");
+    }
+    println!("explore_perf_smoke OK");
+}

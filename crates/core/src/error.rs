@@ -40,6 +40,15 @@ pub enum CompileError {
         /// The point budget that was exhausted.
         budget: u64,
     },
+    /// The dataflow search's candidate space `choices^entries` does not
+    /// fit in `usize` — the enumeration cannot even be indexed, let alone
+    /// scanned.
+    SearchSpaceTooLarge {
+        /// Coefficient choices per matrix entry (`2·max_coeff + 1`).
+        choices: usize,
+        /// Matrix entries to enumerate (`rank²`).
+        entries: u32,
+    },
 }
 
 impl fmt::Display for CompileError {
@@ -71,6 +80,14 @@ impl fmt::Display for CompileError {
                     "interpreter exceeded its budget of {budget} iteration points"
                 )
             }
+            CompileError::SearchSpaceTooLarge { choices, entries } => {
+                write!(
+                    f,
+                    "dataflow search space {choices}^{entries} exceeds the enumerable \
+                     limit of usize::MAX ({}); reduce max_coeff or the iteration rank",
+                    usize::MAX
+                )
+            }
         }
     }
 }
@@ -96,6 +113,12 @@ mod tests {
         assert!(e.to_string().contains("same space-time"));
         let e = CompileError::BudgetExhausted { budget: 17 };
         assert!(e.to_string().contains("budget of 17"));
+        let e = CompileError::SearchSpaceTooLarge {
+            choices: 7,
+            entries: 25,
+        };
+        assert!(e.to_string().contains("7^25"));
+        assert!(e.to_string().contains(&usize::MAX.to_string()));
     }
 
     #[test]

@@ -357,8 +357,10 @@ impl<'f> Executor<'f> {
                     let src: Vec<i64> =
                         coords.iter().map(|c| c.eval(point, &self.bounds)).collect();
                     if self.bounds.contains(&src) && src != *point && !vals.is_written(v.0, &src) {
-                        let mut delta = transform.apply(&src);
-                        let here = transform.apply(point);
+                        let mut delta = Vec::with_capacity(src.len());
+                        let mut here = Vec::with_capacity(src.len());
+                        transform.apply_into(&src, &mut delta);
+                        transform.apply_into(point, &mut here);
                         for (d, h) in delta.iter_mut().zip(&here) {
                             *d -= h;
                         }

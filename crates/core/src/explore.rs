@@ -16,6 +16,17 @@
 //! the survivor for every duplicated structure is the lowest-code
 //! candidate — exactly the one the serial scan keeps — and the final
 //! stable sort produces a ranking byte-identical to the serial path.
+//!
+//! Candidates are scored by the allocation-free [`FoldScorer`] fast path
+//! (see [`crate::fold`]): each shard decodes matrices into a reused flat
+//! buffer, rejects acausal and singular candidates with raw dot products
+//! and a buffer-reusing Bareiss determinant, and folds survivors through
+//! packed-`u64` scratch tables — no [`SpatialArray`], no `Vec<i64>`
+//! hashing, and no rational matrix inverse until a candidate actually
+//! survives structural deduplication. Full arrays are materialized lazily,
+//! only for ranked survivors, via [`ExploredDataflow::materialize`]. The
+//! pre-fast-path scan is retained as [`explore_dataflows_reference`], the
+//! in-tree oracle that CI holds the fast path byte-identical to.
 
 use std::collections::HashSet;
 use std::ops::Range;
@@ -24,10 +35,11 @@ use rayon::prelude::*;
 use stellar_linalg::IntMat;
 
 use crate::error::CompileError;
+use crate::fold::{det_flat, summarize_array, FoldScorer, FoldScratch};
 use crate::func::Functionality;
 use crate::index::Bounds;
 use crate::iterspace::IterationSpace;
-use crate::spacetime::SpatialArray;
+use crate::spacetime::{reference, SpatialArray};
 use crate::transform::SpaceTimeTransform;
 
 /// One explored dataflow and the structure it yields.
@@ -56,6 +68,24 @@ impl ExploredDataflow {
             + self.io_ports as f64 * 2.0
             + self.moving_conns as f64
             + self.time_steps as f64 * 0.1
+    }
+
+    /// Materializes the full [`SpatialArray`] this dataflow folds to. The
+    /// search itself never builds arrays (it ranks on the scorer's
+    /// structure keys); call this on the survivors you intend to compile
+    /// or inspect further.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fold errors — impossible for dataflows returned by
+    /// [`explore_dataflows`] over the same space, since the search already
+    /// proved the fold valid.
+    pub fn materialize(
+        &self,
+        is: &IterationSpace,
+        func: &Functionality,
+    ) -> Result<SpatialArray, CompileError> {
+        SpatialArray::from_iterspace(is, func, &self.transform)
     }
 }
 
@@ -96,70 +126,141 @@ type StructureKey = (usize, usize, usize, usize, i64);
 struct ScanCtx<'a> {
     func: &'a Functionality,
     is: IterationSpace,
+    scorer: FoldScorer,
     diffs: Vec<Vec<i64>>,
     coeffs: Vec<i64>,
     rank: usize,
     max_pes: usize,
 }
 
+/// Decodes one mixed-radix candidate code into the flat row-major matrix
+/// buffer (entry 0 is the least-significant digit, as in the original
+/// scan).
+#[inline]
+fn decode_candidate(code: usize, coeffs: &[i64], rows: &mut [i64]) {
+    let n_choices = coeffs.len();
+    let mut rem = code;
+    for slot in rows.iter_mut() {
+        *slot = coeffs[rem % n_choices];
+        rem /= n_choices;
+    }
+}
+
 /// Scans one contiguous range of mixed-radix codes, returning the valid
 /// dataflows in code order, locally deduplicated by structure (first
-/// occurrence wins, as in the serial scan).
+/// occurrence wins, as in the serial scan). All steady-state work runs in
+/// the per-shard scratch buffers; a `SpaceTimeTransform` (and its exact
+/// rational inverse) is built only for candidates that survive
+/// deduplication.
 fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, ExploredDataflow)> {
     let n_entries = ctx.rank * ctx.rank;
-    let n_choices = ctx.coeffs.len();
     let mut out = Vec::new();
     let mut seen: HashSet<StructureKey> = HashSet::new();
+    let mut scratch = FoldScratch::for_scorer(&ctx.scorer);
+    let mut rows = vec![0i64; n_entries];
+    let mut det_buf = vec![0i128; n_entries];
     for code in codes {
-        // Decode the matrix entries from the mixed-radix code.
-        let mut rem = code;
-        let mut data = Vec::with_capacity(n_entries);
-        for _ in 0..n_entries {
-            data.push(ctx.coeffs[rem % n_choices]);
-            rem /= n_choices;
-        }
-        let mat = IntMat::from_vec(ctx.rank, ctx.rank, data);
-        if mat.det() == 0 {
-            continue;
-        }
-        let t = match SpaceTimeTransform::new(mat) {
-            Ok(t) => t,
-            Err(_) => continue,
-        };
+        decode_candidate(code, &ctx.coeffs, &mut rows);
         // Fast causality filter: every recurrence must move strictly
-        // forward in time.
-        if ctx.diffs.iter().any(|d| t.time_delta(d) <= 0) {
+        // forward in time. One dot product with the time row per diff —
+        // rejects the bulk of the space before the determinant runs.
+        let trow = &rows[(ctx.rank - 1) * ctx.rank..];
+        if ctx
+            .diffs
+            .iter()
+            .any(|d| trow.iter().zip(d).map(|(a, b)| a * b).sum::<i64>() <= 0)
+        {
             continue;
         }
-        let arr = match SpatialArray::from_iterspace(&ctx.is, ctx.func, &t) {
-            Ok(a) => a,
-            Err(_) => continue, // collision
-        };
-        if arr.num_pes() > ctx.max_pes {
+        if det_flat(&rows, ctx.rank, &mut det_buf) == 0 {
             continue;
         }
-        let moving = arr.conns().iter().filter(|c| !c.is_stationary()).count();
-        let stationary = arr.conns().len() - moving;
-        let e = ExploredDataflow {
-            transform: t,
-            num_pes: arr.num_pes(),
-            moving_conns: moving,
-            stationary_conns: stationary,
-            io_ports: arr.io_ports().len(),
-            time_steps: arr.total_time_steps(),
+        let summary = match ctx.scorer.score_rows(&rows, &mut scratch) {
+            Some(Ok(s)) => s,
+            Some(Err(_)) => continue, // collision
+            None => {
+                // Coordinates too wide for packed keys: take the full fold.
+                let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
+                let t = match SpaceTimeTransform::new(mat) {
+                    Ok(t) => t,
+                    Err(_) => continue,
+                };
+                match SpatialArray::from_iterspace(&ctx.is, ctx.func, &t) {
+                    Ok(a) => summarize_array(&a),
+                    Err(_) => continue, // collision
+                }
+            }
         };
+        if summary.num_pes > ctx.max_pes {
+            continue;
+        }
         let key = (
-            e.num_pes,
-            e.moving_conns,
-            e.io_ports,
-            stationary,
-            e.time_steps,
+            summary.num_pes,
+            summary.moving_conns,
+            summary.io_ports,
+            summary.stationary_conns,
+            summary.time_steps,
         );
         if seen.insert(key) {
-            out.push((key, e));
+            let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
+            let t =
+                SpaceTimeTransform::new(mat).expect("candidate passed the exact determinant check");
+            out.push((
+                key,
+                ExploredDataflow {
+                    transform: t,
+                    num_pes: summary.num_pes,
+                    moving_conns: summary.moving_conns,
+                    stationary_conns: summary.stationary_conns,
+                    io_ports: summary.io_ports,
+                    time_steps: summary.time_steps,
+                },
+            ));
         }
     }
     out
+}
+
+/// Shared search preamble: validates the functionality, elaborates the
+/// iteration space, collects the recurrence difference vectors, and sizes
+/// the candidate space with overflow checking.
+#[allow(clippy::type_complexity)]
+fn search_inputs(
+    func: &Functionality,
+    bounds: &Bounds,
+    max_coeff: i64,
+) -> Result<(IterationSpace, Vec<Vec<i64>>, Vec<i64>, usize), CompileError> {
+    func.validate()?;
+    let rank = func.rank();
+    let is = IterationSpace::elaborate(func, bounds)?;
+
+    // The recurrences' difference vectors, for quick causality filtering.
+    let mut diffs = Vec::new();
+    for v in func.vars() {
+        if let Some(d) = func.difference_vector(v)? {
+            diffs.push(d);
+        }
+    }
+
+    let coeffs: Vec<i64> = (-max_coeff..=max_coeff).collect();
+    let n_entries = (rank * rank) as u32;
+    let total = coeffs
+        .len()
+        .checked_pow(n_entries)
+        .ok_or(CompileError::SearchSpaceTooLarge {
+            choices: coeffs.len(),
+            entries: n_entries,
+        })?;
+    Ok((is, diffs, coeffs, total))
+}
+
+/// Ranks deduplicated results: stable sort on cost (ties keep code order,
+/// so the parallel and serial rankings agree byte for byte) with
+/// `total_cmp`, so a degenerate NaN cost cannot abort a sweep.
+fn rank_results(mut results: Vec<ExploredDataflow>, keep: usize) -> Vec<ExploredDataflow> {
+    results.sort_by(|a, b| a.cost().total_cmp(&b.cost()));
+    results.truncate(keep);
+    results
 }
 
 /// Enumerates valid dataflows for a functionality over the given bounds,
@@ -173,33 +274,27 @@ fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, Expl
 /// The scan is sharded across worker threads per
 /// [`ExploreOptions::parallelism`]; the ranking is byte-identical to the
 /// serial scan for every setting (see the module docs for the argument).
+/// Candidates are scored by the allocation-free [`FoldScorer`] fast path;
+/// the ranking is additionally byte-identical to
+/// [`explore_dataflows_reference`], the retained full-fold oracle.
 ///
 /// # Errors
 ///
-/// Returns an error only if the functionality itself is invalid.
+/// Returns an error if the functionality itself is invalid, or
+/// [`CompileError::SearchSpaceTooLarge`] if `(2·max_coeff+1)^(rank²)`
+/// overflows `usize`.
 pub fn explore_dataflows(
     func: &Functionality,
     bounds: &Bounds,
     opts: &ExploreOptions,
 ) -> Result<Vec<ExploredDataflow>, CompileError> {
-    func.validate()?;
+    let (is, diffs, coeffs, total) = search_inputs(func, bounds, opts.max_coeff)?;
+    let scorer = FoldScorer::new(&is, func);
     let rank = func.rank();
-    let is = IterationSpace::elaborate(func, bounds)?;
-
-    // The recurrences' difference vectors, for quick causality filtering.
-    let mut diffs = Vec::new();
-    for v in func.vars() {
-        if let Some(d) = func.difference_vector(v)? {
-            diffs.push(d);
-        }
-    }
-
-    let coeffs: Vec<i64> = (-opts.max_coeff..=opts.max_coeff).collect();
-    let n_entries = rank * rank;
-    let total = coeffs.len().pow(n_entries as u32);
     let ctx = ScanCtx {
         func,
         is,
+        scorer,
         diffs,
         coeffs,
         rank,
@@ -237,11 +332,76 @@ pub fn explore_dataflows(
         }
     }
 
-    // Stable sort: cost ties keep code order, so the parallel and serial
-    // rankings agree byte for byte.
-    results.sort_by(|a, b| a.cost().partial_cmp(&b.cost()).expect("finite costs"));
-    results.truncate(opts.keep);
-    Ok(results)
+    Ok(rank_results(results, opts.keep))
+}
+
+/// The pre-fast-path search, retained verbatim as the in-tree oracle: a
+/// serial scan that materializes a full [`SpatialArray`] per candidate via
+/// the hash-based [`reference`] fold. `explore_perf_smoke` and the
+/// equivalence tests hold [`explore_dataflows`] byte-identical to this;
+/// it is also what the fast path's speedup is measured against.
+///
+/// # Errors
+///
+/// Same contract as [`explore_dataflows`].
+pub fn explore_dataflows_reference(
+    func: &Functionality,
+    bounds: &Bounds,
+    opts: &ExploreOptions,
+) -> Result<Vec<ExploredDataflow>, CompileError> {
+    let (is, diffs, coeffs, total) = search_inputs(func, bounds, opts.max_coeff)?;
+    let n_entries = func.rank() * func.rank();
+    let n_choices = coeffs.len();
+    let mut results: Vec<ExploredDataflow> = Vec::new();
+    let mut seen: HashSet<StructureKey> = HashSet::new();
+    for code in 0..total {
+        // Decode the matrix entries from the mixed-radix code.
+        let mut rem = code;
+        let mut data = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            data.push(coeffs[rem % n_choices]);
+            rem /= n_choices;
+        }
+        let mat = IntMat::from_vec(func.rank(), func.rank(), data);
+        if mat.det() == 0 {
+            continue;
+        }
+        let t = match SpaceTimeTransform::new(mat) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        if diffs.iter().any(|d| t.time_delta(d) <= 0) {
+            continue;
+        }
+        let arr = match reference::from_iterspace(&is, func, &t) {
+            Ok(a) => a,
+            Err(_) => continue, // collision
+        };
+        if arr.num_pes() > opts.max_pes {
+            continue;
+        }
+        let moving = arr.conns().iter().filter(|c| !c.is_stationary()).count();
+        let stationary = arr.conns().len() - moving;
+        let e = ExploredDataflow {
+            transform: t,
+            num_pes: arr.num_pes(),
+            moving_conns: moving,
+            stationary_conns: stationary,
+            io_ports: arr.io_ports().len(),
+            time_steps: arr.total_time_steps(),
+        };
+        let key = (
+            e.num_pes,
+            e.moving_conns,
+            e.io_ports,
+            stationary,
+            e.time_steps,
+        );
+        if seen.insert(key) {
+            results.push(e);
+        }
+    }
+    Ok(rank_results(results, opts.keep))
 }
 
 #[cfg(test)]
@@ -287,9 +447,9 @@ mod tests {
         let found = explore_dataflows(&f, &bounds, &ExploreOptions::default()).unwrap();
         let is = IterationSpace::elaborate(&f, &bounds).unwrap();
         for e in &found {
-            // Re-folding must succeed (no collision) — the search already
-            // guarantees it, this asserts the invariant independently.
-            let arr = SpatialArray::from_iterspace(&is, &f, &e.transform).unwrap();
+            // Lazily materializing a survivor must succeed (no collision)
+            // and reproduce the scorer's structure key exactly.
+            let arr = e.materialize(&is, &f).unwrap();
             assert_eq!(arr.num_pes(), e.num_pes);
             assert!(arr.conns().iter().all(|c| c.registers >= 1));
         }
@@ -328,5 +488,48 @@ mod tests {
             });
             assert_eq!(parallel, serial, "parallelism={parallelism} diverged");
         }
+    }
+
+    #[test]
+    fn scorer_ranking_matches_reference_fold() {
+        // The fast path vs the retained full-fold oracle, at unit scope;
+        // the max_coeff=2 sweeps live in `explore_parallel.rs`.
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        let opts = ExploreOptions {
+            parallelism: 1,
+            ..ExploreOptions::default()
+        };
+        let fast = explore_dataflows(&f, &bounds, &opts).unwrap();
+        let oracle = explore_dataflows_reference(&f, &bounds, &opts).unwrap();
+        assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn oversized_search_space_is_rejected_not_wrapped() {
+        // rank 5 at max_coeff 3: 7^25 > usize::MAX — must be a clean error.
+        let mut f = Functionality::new("rank5");
+        let idxs: Vec<_> = (0..5).map(|i| f.index(format!("i{i}"))).collect();
+        let t_in = f.input_tensor("x", &idxs);
+        let t_out = f.output_tensor("y", &idxs);
+        let v = f.var("v");
+        let lhs: Vec<_> = idxs.iter().map(|&i| crate::index::at(i)).collect();
+        f.assign(v, lhs.clone(), crate::expr::Expr::Input(t_in, lhs.clone()));
+        f.output(t_out, lhs.clone(), crate::expr::Expr::Var(v, lhs.clone()));
+        let err = explore_dataflows(
+            &f,
+            &Bounds::from_extents(&[2; 5]),
+            &ExploreOptions {
+                max_coeff: 3,
+                ..ExploreOptions::default()
+            },
+        );
+        assert_eq!(
+            err,
+            Err(CompileError::SearchSpaceTooLarge {
+                choices: 7,
+                entries: 25,
+            })
+        );
     }
 }

@@ -145,6 +145,13 @@ impl Bounds {
         self.hi[idx.0] - self.lo[idx.0]
     }
 
+    /// The largest `|coordinate|` an in-bounds point can take on axis `d`
+    /// — the per-axis magnitude bound the fold scorer sizes its packed
+    /// space-time keys from.
+    pub fn abs_coord_bound(&self, d: usize) -> i64 {
+        self.lo[d].abs().max((self.hi[d] - 1).abs())
+    }
+
     /// Total number of points in the iteration space.
     pub fn num_points(&self) -> usize {
         self.lo
@@ -244,6 +251,8 @@ mod tests {
         assert!(b.contains(&[2, 3]));
         assert!(!b.contains(&[3, 0]));
         assert!(!b.contains(&[0]));
+        assert_eq!(b.abs_coord_bound(0), 2);
+        assert_eq!(b.abs_coord_bound(1), 3);
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod error;
 pub mod exec;
 pub mod explore;
 pub mod expr;
+pub mod fold;
 pub mod func;
 pub mod index;
 pub mod iterspace;
@@ -70,8 +71,11 @@ pub use design::{
 };
 pub use error::CompileError;
 pub use exec::{Executor, ProfiledRun, ScheduleProfile, ScheduledRun};
-pub use explore::{explore_dataflows, ExploreOptions, ExploredDataflow};
+pub use explore::{
+    explore_dataflows, explore_dataflows_reference, ExploreOptions, ExploredDataflow,
+};
 pub use expr::Expr;
+pub use fold::{summarize_array, FoldScorer, FoldScratch, StructureSummary};
 pub use func::{Functionality, TensorId, TensorRole, VarId};
 pub use index::{Bounds, IdxExpr, IndexId};
 pub use iterspace::{Assignment, IOConn, IterationSpace, Point, Point2PointConn, PointId};

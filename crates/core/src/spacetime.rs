@@ -1,11 +1,15 @@
 //! Applying the space-time transform: from `IterationSpace` to a physical
 //! spatial array (§IV-B, Figure 9c).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Per-tensor, per-direction access orders keyed for the regfile optimizer.
 type IoOrderMap = HashMap<(TensorId, IoDir), AccessOrder>;
+
+/// Time-stamped tensor coordinates, accumulated per `(tensor, dir)` while
+/// folding IO connections.
+type TimedCoords = Vec<(i64, Vec<i64>)>;
 
 use crate::error::CompileError;
 use crate::func::{Functionality, TensorId, VarId};
@@ -94,6 +98,14 @@ pub struct SpatialArray {
 impl SpatialArray {
     /// Folds an iteration space onto physical space and time.
     ///
+    /// Runs on flat SoA buffers: each point's space-time image is computed
+    /// with [`SpaceTimeTransform::apply_into`] into one reused buffer and
+    /// packed into a `u64` key for collision detection and PE identity —
+    /// no per-point `Vec` hashing. When the coordinates are too wide to
+    /// pack (see [`crate::fold`]) the fold falls back to the retained
+    /// [`reference`] implementation, which is always correct; the two are
+    /// proven byte-identical by `crates/core/tests/fold_equivalence.rs`.
+    ///
     /// # Errors
     ///
     /// * [`CompileError::SpaceTimeCollision`] if two points map to the same
@@ -113,32 +125,58 @@ impl SpatialArray {
             )));
         }
 
-        // Map points to PEs, checking space-time collisions.
-        let mut pe_ids: HashMap<Vec<i64>, usize> = HashMap::new();
+        let rank = transform.rank();
+        let mut rows = Vec::with_capacity(rank * rank);
+        for r in 0..rank {
+            rows.extend_from_slice(transform.matrix().row(r));
+        }
+        let axis_abs: Vec<i64> = (0..rank).map(|d| is.bounds().abs_coord_bound(d)).collect();
+        let mut offsets = vec![0i64; rank];
+        let mut widths = vec![0u32; rank];
+        if crate::fold::packing_layout(&rows, rank, &axis_abs, &mut offsets, &mut widths).is_none()
+        {
+            return reference::from_iterspace(is, func, transform);
+        }
+
+        // Map points to PEs, checking space-time collisions via packed
+        // keys in open-addressing tables.
         let mut pes: Vec<Pe> = Vec::new();
         let mut point_pe: Vec<usize> = Vec::with_capacity(is.num_points());
         let mut point_time: Vec<i64> = Vec::with_capacity(is.num_points());
-        let mut seen_st: HashSet<Vec<i64>> = HashSet::with_capacity(is.num_points());
+        let mut st_table = crate::fold::ScratchTable::with_capacity(is.num_points());
+        let mut pe_table = crate::fold::ScratchTable::with_capacity(is.num_points());
+        st_table.begin();
+        pe_table.begin();
+        let mut st: Vec<i64> = Vec::with_capacity(rank);
+        let time_width = widths[rank - 1];
         let mut tmin = i64::MAX;
         let mut tmax = i64::MIN;
 
         for pid in 0..is.num_points() {
             let point = is.point(crate::iterspace::PointId(pid));
-            let st = transform.apply(point.coords());
-            if !seen_st.insert(st.clone()) {
+            transform.apply_into(point.coords(), &mut st);
+            let mut key = 0u64;
+            for (i, &v) in st.iter().enumerate() {
+                key = (key << widths[i]) | (v + offsets[i]) as u64;
+            }
+            if st_table.insert(key, 0).is_some() {
                 return Err(CompileError::SpaceTimeCollision { coord: st });
             }
-            let (space, time) = (st[..st.len() - 1].to_vec(), st[st.len() - 1]);
+            let time = st[rank - 1];
             tmin = tmin.min(time);
             tmax = tmax.max(time);
-            let pe_id = *pe_ids.entry(space.clone()).or_insert_with(|| {
-                pes.push(Pe {
-                    coords: space,
-                    num_points: 0,
-                    macs: 0,
-                });
-                pes.len() - 1
-            });
+            let next = pes.len() as u32;
+            let pe_id = match pe_table.insert(key >> time_width, next) {
+                Some(existing) => existing as usize,
+                None => {
+                    pes.push(Pe {
+                        coords: st[..rank - 1].to_vec(),
+                        num_points: 0,
+                        macs: 0,
+                    });
+                    pes.len() - 1
+                }
+            };
             pes[pe_id].num_points += 1;
             let macs: usize = is
                 .assignments(crate::iterspace::PointId(pid))
@@ -187,7 +225,6 @@ impl SpatialArray {
         // Fold IO connections into per-PE ports and per-tensor access
         // orders (for the regfile optimizer).
         let mut port_map: HashMap<(TensorId, IoDir, usize), usize> = HashMap::new();
-        type TimedCoords = Vec<(i64, Vec<i64>)>;
         let mut order_map: HashMap<(TensorId, IoDir), TimedCoords> = HashMap::new();
         for io in is.io_conns() {
             let pe = point_pe[io.point.0];
@@ -287,6 +324,152 @@ impl fmt::Display for SpatialArray {
             self.io_ports.len(),
             self.total_time_steps()
         )
+    }
+}
+
+/// The original hash-based fold, retained verbatim as the in-tree
+/// equivalence oracle for the flat-buffer [`SpatialArray::from_iterspace`]
+/// and the [`crate::fold::FoldScorer`] fast path (the house pattern of the
+/// simulation engine's per-cycle references). Also the fallback when a
+/// fold's coordinates cannot be packed into 64-bit keys.
+pub mod reference {
+    use std::collections::{HashMap, HashSet};
+
+    use super::{IoOrderMap, Pe, PhysConn, PhysIoPort, SpatialArray, TimedCoords};
+    use crate::error::CompileError;
+    use crate::func::{Functionality, TensorId, VarId};
+    use crate::iterspace::{AssignKind, IoDir, IterationSpace};
+    use crate::regfile::AccessOrder;
+    use crate::transform::SpaceTimeTransform;
+
+    /// Folds an iteration space onto physical space and time, hashing
+    /// `Vec<i64>` coordinates (the pre-fast-path implementation).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SpatialArray::from_iterspace`].
+    pub fn from_iterspace(
+        is: &IterationSpace,
+        func: &Functionality,
+        transform: &SpaceTimeTransform,
+    ) -> Result<SpatialArray, CompileError> {
+        if transform.rank() != is.bounds().rank() {
+            return Err(CompileError::InvalidTransform(format!(
+                "transform rank {} does not match iteration rank {}",
+                transform.rank(),
+                is.bounds().rank()
+            )));
+        }
+
+        // Map points to PEs, checking space-time collisions.
+        let mut pe_ids: HashMap<Vec<i64>, usize> = HashMap::new();
+        let mut pes: Vec<Pe> = Vec::new();
+        let mut point_pe: Vec<usize> = Vec::with_capacity(is.num_points());
+        let mut point_time: Vec<i64> = Vec::with_capacity(is.num_points());
+        let mut seen_st: HashSet<Vec<i64>> = HashSet::with_capacity(is.num_points());
+        let mut tmin = i64::MAX;
+        let mut tmax = i64::MIN;
+
+        for pid in 0..is.num_points() {
+            let point = is.point(crate::iterspace::PointId(pid));
+            let st = transform.apply(point.coords());
+            if !seen_st.insert(st.clone()) {
+                return Err(CompileError::SpaceTimeCollision { coord: st });
+            }
+            let (space, time) = (st[..st.len() - 1].to_vec(), st[st.len() - 1]);
+            tmin = tmin.min(time);
+            tmax = tmax.max(time);
+            let pe_id = *pe_ids.entry(space.clone()).or_insert_with(|| {
+                pes.push(Pe {
+                    coords: space,
+                    num_points: 0,
+                    macs: 0,
+                });
+                pes.len() - 1
+            });
+            pes[pe_id].num_points += 1;
+            let macs: usize = is
+                .assignments(crate::iterspace::PointId(pid))
+                .iter()
+                .filter(|a| a.kind == AssignKind::Compute)
+                .map(|a| func.assigns()[a.source].rhs.num_muls())
+                .sum();
+            pes[pe_id].macs += macs;
+            point_pe.push(pe_id);
+            point_time.push(time);
+        }
+
+        // Fold connections, checking causality and deduplicating wires.
+        let mut conn_map: HashMap<(VarId, usize, usize), PhysConn> = HashMap::new();
+        for conn in is.conns() {
+            let dt = transform.time_delta(&conn.diff);
+            if dt < 0 {
+                return Err(CompileError::CausalityViolation {
+                    var: func.var_name(conn.var).to_string(),
+                    delta: {
+                        let mut d = transform.space_delta(&conn.diff);
+                        d.push(dt);
+                        d
+                    },
+                });
+            }
+            let src_pe = point_pe[conn.src.0];
+            let dst_pe = point_pe[conn.dst.0];
+            let entry = conn_map
+                .entry((conn.var, src_pe, dst_pe))
+                .or_insert_with(|| PhysConn {
+                    var: conn.var,
+                    src_pe,
+                    dst_pe,
+                    dspace: transform.space_delta(&conn.diff),
+                    registers: dt,
+                    bundle: conn.bundle,
+                    multiplicity: 0,
+                });
+            entry.multiplicity += 1;
+            entry.bundle = entry.bundle.max(conn.bundle);
+        }
+        let mut conns: Vec<PhysConn> = conn_map.into_values().collect();
+        conns.sort_by_key(|a| (a.var.0, a.src_pe, a.dst_pe));
+
+        // Fold IO connections into per-PE ports and per-tensor access
+        // orders (for the regfile optimizer).
+        let mut port_map: HashMap<(TensorId, IoDir, usize), usize> = HashMap::new();
+        let mut order_map: HashMap<(TensorId, IoDir), TimedCoords> = HashMap::new();
+        for io in is.io_conns() {
+            let pe = point_pe[io.point.0];
+            *port_map.entry((io.tensor, io.dir, pe)).or_insert(0) += 1;
+            order_map
+                .entry((io.tensor, io.dir))
+                .or_default()
+                .push((point_time[io.point.0], io.coords.clone()));
+        }
+        let mut io_ports: Vec<PhysIoPort> = port_map
+            .into_iter()
+            .map(|((tensor, dir, pe), accesses)| PhysIoPort {
+                tensor,
+                dir,
+                pe,
+                accesses,
+            })
+            .collect();
+        io_ports.sort_by_key(|a| (a.tensor.0, a.pe, a.dir == IoDir::Write));
+        let io_orders: IoOrderMap = order_map
+            .into_iter()
+            .map(|(k, mut seq)| {
+                seq.sort();
+                (k, AccessOrder::new(seq))
+            })
+            .collect();
+
+        Ok(SpatialArray {
+            transform: transform.clone(),
+            pes,
+            conns,
+            io_ports,
+            io_orders,
+            time_range: if tmin <= tmax { (tmin, tmax) } else { (0, 0) },
+        })
     }
 }
 

@@ -174,6 +174,16 @@ impl SpaceTimeTransform {
         self.mat.mul_vec(point)
     }
 
+    /// Maps an iteration point to `(space..., time)` into a reused buffer,
+    /// allocating nothing — the per-point workhorse of the fold and the
+    /// scheduled executor.
+    pub fn apply_into(&self, point: &[i64], out: &mut Vec<i64>) {
+        out.clear();
+        for r in 0..self.mat.rows() {
+            out.push(self.mat.row(r).iter().zip(point).map(|(a, b)| a * b).sum());
+        }
+    }
+
     /// The spatial part of the image of `point`.
     pub fn space_of(&self, point: &[i64]) -> Vec<i64> {
         let mut st = self.apply(point);
@@ -181,9 +191,11 @@ impl SpaceTimeTransform {
         st
     }
 
-    /// The time step of `point`.
+    /// The time step of `point` — a single dot product with the time row,
+    /// allocating nothing.
     pub fn time_of(&self, point: &[i64]) -> i64 {
-        *self.apply(point).last().expect("transform has rank >= 1")
+        let t = self.mat.rows() - 1;
+        self.mat.row(t).iter().zip(point).map(|(a, b)| a * b).sum()
     }
 
     /// Recovers the iteration point from a space-time coordinate, or `None`
@@ -278,6 +290,25 @@ mod tests {
         assert!(t.with_time_row(&[1, 1]).is_err());
         // A time row making T singular is rejected.
         assert!(t.with_time_row(&[1, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn apply_into_matches_apply() {
+        let mut out = Vec::new();
+        for t in [
+            SpaceTimeTransform::output_stationary(),
+            SpaceTimeTransform::hexagonal(),
+            SpaceTimeTransform::output_stationary()
+                .with_time_scale(3)
+                .unwrap(),
+        ] {
+            for p in [[0, 0, 0], [1, 2, 3], [-2, 5, 1]] {
+                t.apply_into(&p, &mut out);
+                assert_eq!(out, t.apply(&p));
+                assert_eq!(t.time_of(&p), *out.last().unwrap());
+                assert_eq!(t.space_of(&p), out[..2]);
+            }
+        }
     }
 
     #[test]

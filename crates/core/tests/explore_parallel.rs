@@ -4,17 +4,30 @@
 //! parallelism setting. The comparison renders both lists through `Debug`
 //! so any field drift (not just ordering) fails loudly.
 
-use stellar_core::{explore_dataflows, Bounds, ExploreOptions, ExploredDataflow, Functionality};
+use stellar_core::{
+    explore_dataflows, explore_dataflows_reference, Bounds, ExploreOptions, ExploredDataflow,
+    Functionality,
+};
 
-fn sweep(max_coeff: i64, parallelism: usize) -> Vec<ExploredDataflow> {
-    let f = Functionality::matmul(3, 3, 3);
-    let opts = ExploreOptions {
+fn sweep_opts(max_coeff: i64, parallelism: usize) -> ExploreOptions {
+    ExploreOptions {
         max_coeff,
         parallelism,
         keep: 64,
         ..ExploreOptions::default()
-    };
+    }
+}
+
+fn sweep(max_coeff: i64, parallelism: usize) -> Vec<ExploredDataflow> {
+    let f = Functionality::matmul(3, 3, 3);
+    let opts = sweep_opts(max_coeff, parallelism);
     explore_dataflows(&f, &Bounds::from_extents(&[3, 3, 3]), &opts).unwrap()
+}
+
+fn reference_sweep(max_coeff: i64) -> Vec<ExploredDataflow> {
+    let f = Functionality::matmul(3, 3, 3);
+    let opts = sweep_opts(max_coeff, 1);
+    explore_dataflows_reference(&f, &Bounds::from_extents(&[3, 3, 3]), &opts).unwrap()
 }
 
 fn byte_image(results: &[ExploredDataflow]) -> String {
@@ -48,6 +61,33 @@ fn parallel_is_byte_equal_to_serial_at_max_coeff_2() {
         byte_image(&parallel),
         byte_image(&serial),
         "auto-parallel ranking diverged from the serial ranking"
+    );
+}
+
+#[test]
+fn fast_path_is_byte_equal_to_reference_fold_at_max_coeff_1() {
+    // The scorer fast path vs the retained full-fold oracle scan: same
+    // candidates, same ranking, same fields, at every parallelism.
+    let oracle = reference_sweep(1);
+    assert!(!oracle.is_empty());
+    for parallelism in [0, 1, 2, 5] {
+        assert_eq!(
+            byte_image(&sweep(1, parallelism)),
+            byte_image(&oracle),
+            "parallelism={parallelism} diverged from the reference-fold ranking"
+        );
+    }
+}
+
+#[test]
+fn fast_path_is_byte_equal_to_reference_fold_at_max_coeff_2() {
+    // The acceptance-criteria sweep (~1.95M candidates) against the oracle.
+    let oracle = reference_sweep(2);
+    assert!(!oracle.is_empty());
+    assert_eq!(
+        byte_image(&sweep(2, 0)),
+        byte_image(&oracle),
+        "fast-path ranking diverged from the reference-fold ranking"
     );
 }
 

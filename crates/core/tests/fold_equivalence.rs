@@ -1,0 +1,139 @@
+//! Equivalence proofs for the dataflow-search fast path.
+//!
+//! The search scores candidates with [`FoldScorer`] (packed-`u64` keys, no
+//! materialization) and materializes survivors with the flat-buffer
+//! [`SpatialArray::from_iterspace`]. Both must be observationally identical
+//! to the retained hash-based oracle, `spacetime::reference::from_iterspace`:
+//! same summaries, same arrays, and the *same errors* for collision and
+//! causality rejects. These properties drive random functionalities, bounds,
+//! and transform matrices through all three implementations.
+
+use proptest::prelude::*;
+use stellar_core::iterspace::IoDir;
+use stellar_core::prelude::*;
+use stellar_core::spacetime::reference;
+use stellar_core::{
+    explore_dataflows, explore_dataflows_reference, summarize_array, ExploreOptions, FoldScorer,
+    FoldScratch, IterationSpace, SpatialArray, StructureSummary,
+};
+use stellar_linalg::IntMat;
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=4, 1usize..=4, 1usize..=4)
+}
+
+/// A random 3x3 candidate matrix exactly as the `max_coeff = 2` scan would
+/// enumerate it (entries in -2..=2, singular ones included so rejects are
+/// exercised too).
+fn candidate_matrix() -> impl Strategy<Value = Vec<i64>> {
+    proptest::collection::vec(-2i64..=2, 9)
+}
+
+/// Renders every public observable of an array into one comparable string:
+/// the transform matrix, PEs, connections, IO ports, the time range, and
+/// each tensor's per-direction access order. (The internal io-order map is
+/// a `HashMap`, so the derived `Debug` of the array itself is not stable;
+/// this canonical image is.)
+fn canonical_image(arr: &SpatialArray, func: &Functionality) -> String {
+    let mut img = String::new();
+    img.push_str(&format!("transform: {:?}\n", arr.transform().matrix()));
+    img.push_str(&format!("pes: {:?}\n", arr.pes()));
+    img.push_str(&format!("conns: {:?}\n", arr.conns()));
+    img.push_str(&format!("io_ports: {:?}\n", arr.io_ports()));
+    img.push_str(&format!("time_range: {:?}\n", arr.time_range()));
+    for tensor in func.tensors() {
+        for dir in [IoDir::Read, IoDir::Write] {
+            img.push_str(&format!(
+                "order[{tensor:?}, {dir:?}]: {:?}\n",
+                arr.access_order(tensor, dir)
+            ));
+        }
+    }
+    img
+}
+
+fn summary_of(e: &stellar_core::ExploredDataflow) -> StructureSummary {
+    StructureSummary {
+        num_pes: e.num_pes,
+        moving_conns: e.moving_conns,
+        stationary_conns: e.stationary_conns,
+        io_ports: e.io_ports,
+        time_steps: e.time_steps,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For every invertible candidate the scorer returns exactly what the
+    /// reference fold computes: key-equal summaries on success, and the
+    /// byte-identical `CompileError` on collision or causality rejects.
+    /// The flat-buffer fold agrees with the reference fold on the full
+    /// array image, not just the summary.
+    #[test]
+    fn scorer_and_flat_fold_match_reference(
+        (m, n, k) in small_dims(),
+        entries in candidate_matrix(),
+    ) {
+        let f = Functionality::matmul(m, n, k);
+        let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[m, n, k])).unwrap();
+        let mat = IntMat::from_vec(3, 3, entries);
+        if mat.det() == 0 {
+            return Ok(()); // the search rejects singular matrices before scoring
+        }
+        let t = SpaceTimeTransform::new(mat).unwrap();
+
+        let scorer = FoldScorer::new(&is, &f);
+        let mut scratch = FoldScratch::for_scorer(&scorer);
+        let scored = scorer.score(&t, &mut scratch);
+        prop_assert!(scored.is_some(), "matmul folds must be packable");
+
+        let oracle = reference::from_iterspace(&is, &f, &t);
+        let flat = SpatialArray::from_iterspace(&is, &f, &t);
+        match (scored.unwrap(), oracle) {
+            (Ok(summary), Ok(ref_arr)) => {
+                prop_assert_eq!(summary, summarize_array(&ref_arr));
+                let flat_arr = flat.unwrap();
+                prop_assert_eq!(summary, summarize_array(&flat_arr));
+                prop_assert_eq!(
+                    canonical_image(&flat_arr, &f),
+                    canonical_image(&ref_arr, &f)
+                );
+            }
+            (Err(scorer_err), Err(ref_err)) => {
+                prop_assert_eq!(&scorer_err, &ref_err);
+                prop_assert_eq!(flat.unwrap_err(), ref_err);
+            }
+            (scored, oracle) => {
+                return Err(TestCaseError::fail(format!(
+                    "scorer and reference disagree: {scored:?} vs {oracle:?}"
+                )));
+            }
+        }
+    }
+
+    /// The fast-path search returns byte-identical rankings to the retained
+    /// oracle scan, and materializing each survivor reproduces the exact
+    /// structure fields the scorer ranked it on.
+    #[test]
+    fn explore_matches_reference_and_materializes_faithfully(
+        (m, n, k) in small_dims(),
+        parallelism in 0usize..=3,
+    ) {
+        let f = Functionality::matmul(m, n, k);
+        let bounds = Bounds::from_extents(&[m, n, k]);
+        let opts = ExploreOptions {
+            parallelism,
+            ..ExploreOptions::default()
+        };
+        let fast = explore_dataflows(&f, &bounds, &opts).unwrap();
+        let oracle = explore_dataflows_reference(&f, &bounds, &opts).unwrap();
+        prop_assert_eq!(&fast, &oracle);
+
+        let is = IterationSpace::elaborate(&f, &bounds).unwrap();
+        for e in &fast {
+            let arr = e.materialize(&is, &f).unwrap();
+            prop_assert_eq!(summary_of(e), summarize_array(&arr));
+        }
+    }
+}
