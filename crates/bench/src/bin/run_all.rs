@@ -11,92 +11,274 @@
 //! simulations (e.g. E4) dump Chrome `trace_event` JSON files loadable in
 //! Perfetto / `chrome://tracing`.
 //!
-//! Every run carries a fresh nonce that children stamp into their
-//! reports; consolidation rejects reports from earlier runs, so a crashed
-//! experiment shows up as missing, never as stale-but-healthy.
+//! The scheduler is crash-safe and self-healing (see
+//! [`stellar_bench::harness`]):
+//!
+//! * every report travels in a checksummed, schema-versioned envelope
+//!   written atomically, so a reader never sees a torn file;
+//! * `--timeout SECS` kills a wedged experiment, `--retries N` retries a
+//!   failed one with deterministic backoff, and an experiment that still
+//!   fails is quarantined (recorded as `failed`/`timed_out`) instead of
+//!   aborting the suite;
+//! * Ctrl-C drains gracefully: in-flight children finish, a partial
+//!   `metrics.json` marked `interrupted` is still flushed, exit code 130;
+//! * `--resume` skips experiments whose report validates against the run
+//!   nonce stamped in `out/run_state.json`, so `kill -9` mid-suite plus
+//!   `run_all --resume` reproduces the uninterrupted run's output;
+//! * `--chaos seed=…,kill=…,hang=…,corrupt=…` injects deterministic
+//!   child faults so the recovery paths above are testable on demand;
+//! * `--validate` checks every envelope under the out dir and exits
+//!   nonzero on corruption — the CI integrity gate.
 
-use std::fs;
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 
-use stellar_bench::harness::{self, ScheduleOptions, EXPERIMENTS};
+use stellar_bench::chaos::ChaosPlan;
+use stellar_bench::durable;
+use stellar_bench::harness::{
+    self, interrupt, ConsolidateCtx, ExperimentStatus, ScheduleOptions, EXPERIMENTS, MANIFEST_FILE,
+    SUMMARY_FILE,
+};
 use stellar_bench::report::out_dir;
 
-/// Parses `-j N`, `-jN`, `--jobs N`, and `--jobs=N`; defaults to 1.
-fn parse_jobs(args: &[String]) -> Result<usize, String> {
-    let mut jobs = 1usize;
-    let mut it = args.iter().peekable();
-    while let Some(a) = it.next() {
-        let value = if a == "-j" || a == "--jobs" {
-            Some(
-                it.next()
-                    .ok_or_else(|| format!("{a} expects a worker count"))?
-                    .clone(),
-            )
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            Some(v.to_string())
-        } else {
-            a.strip_prefix("-j").map(|v| v.to_string())
-        };
-        if let Some(v) = value {
-            jobs = v
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| format!("invalid worker count {v:?}"))?;
-        }
-    }
-    Ok(jobs)
+const USAGE: &str = "\
+usage: run_all [options]
+  -j, --jobs N       concurrent experiment processes (default 1)
+      --trace        set STELLAR_TRACE=1 for every child
+      --resume       skip experiments whose report validates against
+                     the nonce in out/run_state.json
+      --timeout S    per-experiment wall-clock budget in seconds
+                     (default 900; 0 disables the watchdog)
+      --retries N    retries per experiment before quarantine (default 1)
+      --nonce S      use this run nonce instead of a fresh one
+      --only LIST    comma-separated subset of experiments to run
+      --exe-dir DIR  directory holding the experiment binaries
+      --chaos SPEC   deterministic fault injection, e.g.
+                     seed=7,kill=0.3,hang=0.1,corrupt=0.2,first=1
+      --fixed-wall-ms MS  pin every wall-clock field (byte-stable output)
+      --validate     verify every envelope under the out dir and exit";
+
+/// Everything the CLI decided.
+struct Cli {
+    opts: ScheduleOptions,
+    resume: bool,
+    requested_nonce: Option<String>,
+    validate: bool,
 }
 
-/// A nonce unique to this run: wall-clock nanoseconds plus the pid, so
-/// two harness runs (even back to back, even concurrent) never share one.
-fn fresh_nonce() -> String {
-    let nanos = SystemTime::now()
-        .duration_since(UNIX_EPOCH)
-        .map(|d| d.as_nanos())
-        .unwrap_or(0);
-    format!("{nanos:x}-{:x}", std::process::id())
+/// Parses the argument list into a [`Cli`].
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .ok_or("cannot locate the executable directory")?;
+    let mut opts = ScheduleOptions::suite(String::new(), out_dir(), exe_dir);
+    let mut resume = false;
+    let mut requested_nonce = None;
+    let mut validate = false;
+
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match a.as_str() {
+            "--trace" => opts.trace = true,
+            "--resume" => resume = true,
+            "--validate" => validate = true,
+            "-j" | "--jobs" => {
+                let v = take(a)?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("invalid worker count {v:?}"))?;
+            }
+            "--timeout" => {
+                let v = take(a)?;
+                let secs: u64 = v.parse().map_err(|_| format!("invalid timeout {v:?}"))?;
+                opts.timeout_ms = secs.saturating_mul(1_000);
+            }
+            "--retries" => {
+                let v = take(a)?;
+                opts.retries = v
+                    .parse()
+                    .map_err(|_| format!("invalid retry count {v:?}"))?;
+            }
+            "--nonce" => requested_nonce = Some(take(a)?),
+            "--chaos" => opts.chaos = Some(ChaosPlan::parse(&take(a)?)?),
+            "--exe-dir" => opts.exe_dir = take(a)?.into(),
+            "--fixed-wall-ms" => {
+                let v = take(a)?;
+                opts.fixed_wall_ms =
+                    Some(v.parse().map_err(|_| format!("invalid wall-clock {v:?}"))?);
+            }
+            "--only" => {
+                let list = take(a)?;
+                let mut picked = Vec::new();
+                for want in list.split(',').filter(|s| !s.trim().is_empty()) {
+                    let want = want.trim();
+                    let found = EXPERIMENTS
+                        .iter()
+                        .find(|e| **e == want || harness::experiment_id(e) == want)
+                        .ok_or_else(|| format!("unknown experiment {want:?}"))?;
+                    picked.push(*found);
+                }
+                if picked.is_empty() {
+                    return Err("--only selected no experiments".into());
+                }
+                opts.experiments = picked;
+            }
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    opts.jobs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("invalid worker count {v:?}"))?;
+                } else if let Some(v) = other.strip_prefix("-j") {
+                    opts.jobs = v
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("invalid worker count {v:?}"))?;
+                } else {
+                    return Err(format!("unknown argument {other:?}\n{USAGE}"));
+                }
+            }
+        }
+    }
+    Ok(Cli {
+        opts,
+        resume,
+        requested_nonce,
+        validate,
+    })
+}
+
+/// `--validate`: every `*.json` under the out dir that claims to be an
+/// envelope must unseal cleanly. Returns the number of invalid files.
+fn validate_out_dir(dir: &std::path::Path) -> usize {
+    let mut checked = 0usize;
+    let mut invalid = 0usize;
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("run_all: cannot read {}: {e}", dir.display());
+            return 1;
+        }
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let Ok(body) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        if !durable::is_envelope(&body) {
+            continue; // traces and legacy files are bare JSON by design
+        }
+        checked += 1;
+        match durable::unseal(&body) {
+            Ok(_) => println!("valid    {}", path.display()),
+            Err(e) => {
+                invalid += 1;
+                eprintln!("INVALID  {}: {e}", path.display());
+            }
+        }
+    }
+    println!("validated {checked} envelope(s), {invalid} invalid");
+    invalid
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let trace = args.iter().any(|a| a == "--trace");
-    let jobs = match parse_jobs(&args) {
-        Ok(j) => j,
+    let cli = match parse_args(&args) {
+        Ok(c) => c,
         Err(e) => {
             eprintln!("run_all: {e}");
             std::process::exit(2);
         }
     };
-    let exe_dir = std::env::current_exe()
-        .ok()
-        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
-        .expect("executable directory");
-    let dir = out_dir();
-    let opts = ScheduleOptions {
-        jobs,
-        trace,
-        nonce: fresh_nonce(),
-        out_dir: dir.clone(),
-        exe_dir,
+    let mut opts = cli.opts;
+    let dir = opts.out_dir.clone();
+
+    if cli.validate {
+        std::process::exit(if validate_out_dir(&dir) == 0 { 0 } else { 1 });
+    }
+
+    interrupt::install_sigint_handler();
+
+    let prepared = match harness::prepare_run(
+        &dir,
+        &opts.experiments,
+        opts.trace,
+        cli.resume,
+        cli.requested_nonce,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("run_all: cannot stamp the run manifest: {e}");
+            std::process::exit(1);
+        }
     };
+    opts.nonce = prepared.nonce.clone();
+    if prepared.resumed_count() > 0 {
+        println!(
+            "resuming run {}: {} of {} experiment(s) already have validated reports",
+            prepared.nonce,
+            prepared.resumed_count(),
+            opts.experiments.len()
+        );
+    }
 
     let total = Instant::now();
-    let outcomes = harness::run_experiments(&opts);
+    let outcomes = harness::run_experiments(&opts, &prepared);
     let total_ms = total.elapsed().as_secs_f64() * 1e3;
+    let interrupted = interrupt::interrupted();
 
-    let json = harness::consolidate(&dir, trace, jobs, &outcomes, total_ms, Some(&opts.nonce));
+    let ctx = ConsolidateCtx {
+        out_dir: &dir,
+        trace: opts.trace,
+        jobs: opts.jobs,
+        total_ms,
+        nonce: Some(&opts.nonce),
+        interrupted,
+        fixed_wall_ms: opts.fixed_wall_ms,
+    };
+    let json = harness::consolidate(&ctx, &outcomes);
     let path = dir.join("metrics.json");
-    match fs::create_dir_all(&dir).and_then(|()| fs::write(&path, &json)) {
+    match durable::write_envelope(&path, &json) {
         Ok(()) => println!("\nconsolidated metrics -> {}", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        Err(e) => eprintln!("warning: could not write consolidated metrics: {e}"),
+    }
+    let summary = harness::render_run_summary(&opts.nonce, &outcomes, interrupted);
+    if let Err(e) = durable::write_envelope(&dir.join(SUMMARY_FILE), &summary) {
+        eprintln!("warning: could not write run summary: {e}");
+    }
+    if !interrupted && outcomes.iter().all(|o| o.status == ExperimentStatus::Ok) {
+        // The run is complete; a later `--resume` must not splice these
+        // reports into a new run, so retire the manifest.
+        let _ = std::fs::remove_file(dir.join(MANIFEST_FILE));
     }
 
     let failures: Vec<&str> = outcomes.iter().filter_map(|o| o.error.as_deref()).collect();
     println!(
-        "\n=== run_all: {} experiments, {jobs} worker(s), {total_ms:.0} ms ===",
-        EXPERIMENTS.len()
+        "\n=== run_all: {} experiments, {} worker(s), {total_ms:.0} ms ===",
+        opts.experiments.len(),
+        opts.jobs
     );
+    if interrupted {
+        for f in &failures {
+            eprintln!("INCOMPLETE {f}");
+        }
+        eprintln!("run interrupted; partial metrics flushed — re-run with --resume to finish");
+        std::process::exit(130);
+    }
     if failures.is_empty() {
         println!("all experiments completed");
     } else {

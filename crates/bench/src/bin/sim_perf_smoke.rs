@@ -339,12 +339,19 @@ fn main() {
     }
 
     let json = render_json(true, &rows);
-    let _ = std::fs::create_dir_all("out");
-    std::fs::write("out/sim_perf_smoke.json", &json).expect("write out/sim_perf_smoke.json");
-    println!("wrote out/sim_perf_smoke.json");
+    // Durable, checksummed results: a crash mid-write must never leave a
+    // torn JSON for CI to half-parse, and an unwritable disk is a real
+    // failure (exit 1), not a panic with a backtrace.
+    let mut targets = vec![std::path::PathBuf::from("out/sim_perf_smoke.json")];
     if record_baseline {
-        std::fs::write("BENCH_sim.json", &json).expect("write BENCH_sim.json");
-        println!("wrote BENCH_sim.json");
+        targets.push(std::path::PathBuf::from("BENCH_sim.json"));
+    }
+    for path in &targets {
+        if let Err(e) = stellar_bench::durable::write_envelope(path, &json) {
+            eprintln!("FAIL: could not record results: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {}", path.display());
     }
     println!("sim_perf_smoke OK");
 }

@@ -28,26 +28,36 @@ fn spec_by_name(name: &str) -> Option<AcceleratorSpec> {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("stellar_gen: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let mut args = std::env::args().skip(1);
     let name = args.next().unwrap_or_else(|| "dense4".to_string());
     let outdir = PathBuf::from(args.next().unwrap_or_else(|| "out".to_string()));
 
     let Some(spec) = spec_by_name(&name) else {
-        eprintln!("unknown design '{name}'; use gemmini|scnn|outerspace|merger|a100|dense4");
-        std::process::exit(1);
+        return Err(format!(
+            "unknown design '{name}'; use gemmini|scnn|outerspace|merger|a100|dense4"
+        ));
     };
 
-    let design = compile(&spec).expect("built-in specs compile");
+    let design = compile(&spec)
+        .map_err(|e| format!("internal error: built-in spec failed to compile: {e}"))?;
     let netlist = emit_accelerator(&design);
     if let Err(errs) = lint::check(&netlist) {
-        eprintln!("internal error: emitted netlist failed lint: {errs:?}");
-        std::process::exit(1);
+        return Err(format!(
+            "internal error: emitted netlist failed lint: {errs:?}"
+        ));
     }
 
-    std::fs::create_dir_all(&outdir).expect("create output directory");
     let v_path = outdir.join(format!("{name}.v"));
     let tb_path = outdir.join(format!("{name}_tb.v"));
-    std::fs::write(&v_path, netlist.to_verilog()).expect("write verilog");
+    stellar_bench::durable::atomic_write(&v_path, netlist.to_verilog().as_bytes())
+        .map_err(|e| e.to_string())?;
     // A minimal configure-and-issue stimulus (Table II shape): a 16-word
     // dense transfer, so the watchdog budget is derived from what the
     // design's own DMA needs for it rather than a fixed constant.
@@ -61,10 +71,13 @@ fn main() {
         ],
         expected_cycles,
     );
-    if let Err(e) = testbench::validate_testbench(&tb, netlist.top().expect("top module")) {
+    let top = netlist
+        .top()
+        .ok_or("internal error: emitted netlist has no top module")?;
+    if let Err(e) = testbench::validate_testbench(&tb, top) {
         eprintln!("warning: testbench failed structural validation: {e}");
     }
-    std::fs::write(&tb_path, &tb).expect("write testbench");
+    stellar_bench::durable::atomic_write(&tb_path, tb.as_bytes()).map_err(|e| e.to_string())?;
 
     println!("{}", design.summary());
     println!(
@@ -74,4 +87,5 @@ fn main() {
         tb_path.display(),
         tb.lines().count()
     );
+    Ok(())
 }

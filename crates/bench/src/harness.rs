@@ -8,22 +8,37 @@
 //! mid-line. Results are keyed by experiment index, so the consolidated
 //! `out/metrics.json` is identical in shape for every `-j`.
 //!
-//! Consolidation is defensive about staleness: every scheduled experiment
-//! gets the run's nonce via `STELLAR_RUN_NONCE` and stamps it into its
-//! report, the scheduler deletes each experiment's previous report file
-//! before launching it, and [`consolidate`] skips (loudly) any report
-//! whose stamp does not match — so a crashed experiment can no longer
-//! surface a stale report from an earlier run as healthy.
+//! The scheduler is self-healing: every launch runs under a wall-clock
+//! watchdog ([`ScheduleOptions::timeout_ms`]), a failed or timed-out or
+//! invalid-report attempt is retried with deterministic exponential
+//! backoff up to [`ScheduleOptions::retries`] times, and an experiment
+//! that exhausts its retries is *quarantined* — recorded as `failed` /
+//! `timed_out` in the consolidated report — instead of aborting the
+//! suite. SIGINT drains gracefully: in-flight children finish, pending
+//! experiments are marked `interrupted`, and a partial consolidated
+//! report is still flushed.
+//!
+//! Every run stamps a nonce into a durable `run_state.json` manifest
+//! before the first launch, and every child stamps that nonce into its
+//! report. [`prepare_run`] with `resume = true` reuses the manifest's
+//! nonce and skips experiments whose report envelope validates against
+//! it — so a `kill -9` mid-suite followed by `run_all --resume`
+//! reconstructs the exact consolidated document an uninterrupted run
+//! would have produced. Reports travel in checksummed envelopes (see
+//! [`crate::durable`]): a torn, bit-flipped, wrong-version, or
+//! stale-nonce report is detected, deleted, and re-run, never consumed.
 
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::process::Command;
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
-use crate::report::{RUN_NONCE_ENV, TRACE_ENV};
+use crate::chaos::{ChaosInjector, ChaosPlan, Fate};
+use crate::durable;
+use crate::report::{FIXED_WALL_ENV, OUT_DIR_ENV, RUN_NONCE_ENV, TRACE_ENV};
 
 /// Every experiment binary, in the paper's evaluation order.
 pub const EXPERIMENTS: &[&str] = &[
@@ -50,13 +65,117 @@ pub const EXPERIMENTS: &[&str] = &[
     "e21_fault_sweep",
 ];
 
-/// Schema identifier for the consolidated metrics file. Bump only with a
-/// corresponding update to the CI smoke-check and DESIGN.md.
-pub const SCHEMA: &str = "stellar-metrics-v1";
+/// Schema identifier for the consolidated metrics payload. Bump only with
+/// a corresponding update to the CI smoke-check and DESIGN.md.
+pub const SCHEMA: &str = "stellar-metrics-v2";
+
+/// The resume manifest's file name (under the out dir) and payload schema.
+pub const MANIFEST_FILE: &str = "run_state.json";
+/// Schema identifier for the resume manifest payload.
+pub const MANIFEST_SCHEMA: &str = "stellar-run-state-v1";
+
+/// The per-run scheduler summary's file name and payload schema. Kept
+/// *outside* `metrics.json` so that resumed and uninterrupted runs can
+/// produce byte-identical metrics while the summary still records what
+/// the scheduler actually did (resumes, retries, quarantines).
+pub const SUMMARY_FILE: &str = "run_summary.json";
+/// Schema identifier for the run-summary payload.
+pub const SUMMARY_SCHEMA: &str = "stellar-run-summary-v1";
 
 /// The report-file id of an experiment binary (`e04_load_balance` → `e04`).
 pub fn experiment_id(name: &str) -> &str {
     name.split('_').next().unwrap_or(name)
+}
+
+/// The report path of an experiment under `out_dir`.
+pub fn report_path(out_dir: &Path, name: &str) -> PathBuf {
+    out_dir.join(format!("{}.json", experiment_id(name)))
+}
+
+/// A nonce unique to this run: wall-clock nanoseconds plus the pid, so
+/// two harness runs (even back to back, even concurrent) never share one.
+pub fn fresh_nonce() -> String {
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    format!("{nanos:x}-{:x}", std::process::id())
+}
+
+pub mod interrupt {
+    //! Cooperative SIGINT handling for the scheduler: the handler only
+    //! sets a flag; workers drain in-flight children, stop claiming new
+    //! work, and the partial consolidated report is still flushed.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    /// True once an interrupt was requested (SIGINT or [`request`]).
+    pub fn interrupted() -> bool {
+        INTERRUPTED.load(Ordering::SeqCst)
+    }
+
+    /// Requests a graceful drain, exactly as SIGINT would.
+    pub fn request() {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Clears the flag (test isolation).
+    pub fn reset() {
+        INTERRUPTED.store(false, Ordering::SeqCst);
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        // Async-signal-safe: one relaxed-ordering-free atomic store.
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+
+    /// Installs the SIGINT handler (no-op off Unix).
+    #[cfg(unix)]
+    pub fn install_sigint_handler() {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGINT: i32 = 2;
+        #[allow(clippy::fn_to_numeric_cast_any)]
+        let handler = on_sigint as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// Installs the SIGINT handler (no-op off Unix).
+    #[cfg(not(unix))]
+    pub fn install_sigint_handler() {
+        let _ = on_sigint; // keep the handler referenced
+    }
+}
+
+/// How one scheduled experiment ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExperimentStatus {
+    /// Completed with a validated report (possibly after retries, or
+    /// skipped because a resumed report already validated).
+    Ok,
+    /// Exhausted its retries on nonzero exits / invalid reports.
+    Failed,
+    /// Exhausted its retries on watchdog kills.
+    TimedOut,
+    /// Never ran (or was cut short) because the run was interrupted.
+    Interrupted,
+}
+
+impl ExperimentStatus {
+    /// The stable string recorded in the consolidated JSON.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExperimentStatus::Ok => "ok",
+            ExperimentStatus::Failed => "failed",
+            ExperimentStatus::TimedOut => "timed_out",
+            ExperimentStatus::Interrupted => "interrupted",
+        }
+    }
 }
 
 /// What one scheduled experiment produced.
@@ -64,31 +183,283 @@ pub fn experiment_id(name: &str) -> &str {
 pub struct ExperimentOutcome {
     /// The experiment binary name.
     pub name: &'static str,
-    /// Wall-clock of the child process, in milliseconds.
+    /// Wall-clock of the last attempt's child process, in milliseconds.
     pub wall_ms: f64,
     /// `None` on success, a one-line description on failure.
     pub error: Option<String>,
+    /// How the experiment ended.
+    pub status: ExperimentStatus,
+    /// Child launches performed (0 when resumed or never launched).
+    pub attempts: u32,
+    /// True when the experiment was skipped because its report from a
+    /// previous run validated against the resume manifest.
+    pub resumed: bool,
+}
+
+impl ExperimentOutcome {
+    fn resumed(name: &'static str) -> ExperimentOutcome {
+        ExperimentOutcome {
+            name,
+            wall_ms: 0.0,
+            error: None,
+            status: ExperimentStatus::Ok,
+            attempts: 0,
+            resumed: true,
+        }
+    }
+
+    fn interrupted(name: &'static str) -> ExperimentOutcome {
+        ExperimentOutcome {
+            name,
+            wall_ms: 0.0,
+            error: Some(format!("{name}: interrupted before completion")),
+            status: ExperimentStatus::Interrupted,
+            attempts: 0,
+            resumed: false,
+        }
+    }
 }
 
 /// How the scheduler runs the suite.
 #[derive(Clone, Debug)]
 pub struct ScheduleOptions {
-    /// Concurrent experiment processes (clamped to `1..=EXPERIMENTS`).
+    /// Concurrent experiment processes (clamped to `1..=experiments`).
     pub jobs: usize,
     /// Set `STELLAR_TRACE=1` for every child.
     pub trace: bool,
-    /// The per-run nonce passed as `STELLAR_RUN_NONCE`.
+    /// The per-run nonce passed as `STELLAR_RUN_NONCE` (normally the one
+    /// [`prepare_run`] stamped into the manifest).
     pub nonce: String,
-    /// Where the children write their reports (stale files are cleared
-    /// here before launch).
+    /// Where the children write their reports.
     pub out_dir: PathBuf,
     /// Directory holding the sibling experiment binaries; children fall
     /// back to `cargo run` when a sibling is missing.
     pub exe_dir: PathBuf,
+    /// The suite to run, in consolidation order.
+    pub experiments: Vec<&'static str>,
+    /// Per-experiment wall-clock budget in milliseconds; a child that
+    /// exceeds it is killed and the attempt counts as timed out. `0`
+    /// disables the watchdog.
+    pub timeout_ms: u64,
+    /// Retries after the first failed attempt before quarantining.
+    pub retries: u32,
+    /// Base backoff before the first retry, in milliseconds; doubles per
+    /// retry (deterministic, capped at 8 s).
+    pub retry_backoff_ms: u64,
+    /// Deterministic fault injection for the recovery paths, if any.
+    pub chaos: Option<ChaosPlan>,
+    /// Pin every wall-clock field in the consolidated output to this
+    /// value (forwarded to children as `STELLAR_FIXED_WALL_MS`), so tests
+    /// can compare consolidated documents byte-for-byte.
+    pub fixed_wall_ms: Option<f64>,
 }
 
-/// Launches one experiment with captured output.
-fn launch(name: &str, opts: &ScheduleOptions) -> (f64, Option<String>, Vec<u8>, Vec<u8>) {
+impl ScheduleOptions {
+    /// The full-suite defaults: serial, untraced, 15-minute watchdog, one
+    /// retry, quarter-second backoff, no chaos.
+    pub fn suite(nonce: String, out_dir: PathBuf, exe_dir: PathBuf) -> ScheduleOptions {
+        ScheduleOptions {
+            jobs: 1,
+            trace: false,
+            nonce,
+            out_dir,
+            exe_dir,
+            experiments: EXPERIMENTS.to_vec(),
+            timeout_ms: 900_000,
+            retries: 1,
+            retry_backoff_ms: 250,
+            chaos: None,
+            fixed_wall_ms: None,
+        }
+    }
+}
+
+/// What [`prepare_run`] decided: the nonce the run uses and, per
+/// experiment, whether a validated report from a previous run lets the
+/// scheduler skip it.
+#[derive(Clone, Debug)]
+pub struct PreparedRun {
+    /// The run nonce (fresh, requested, or recovered from the manifest).
+    pub nonce: String,
+    /// Parallel to the suite: `true` means skip, the report validates.
+    pub resumed: Vec<bool>,
+}
+
+impl PreparedRun {
+    /// A fresh run of `n` experiments, nothing resumed — for driving
+    /// [`run_experiments`] directly in tests.
+    pub fn fresh(nonce: String, n: usize) -> PreparedRun {
+        PreparedRun {
+            nonce,
+            resumed: vec![false; n],
+        }
+    }
+
+    /// How many experiments were validated for skipping.
+    pub fn resumed_count(&self) -> usize {
+        self.resumed.iter().filter(|&&r| r).count()
+    }
+}
+
+/// Renders the manifest payload for a run configuration. Byte-stable, so
+/// resume compatibility is an equality check.
+fn render_manifest(nonce: &str, trace: bool, experiments: &[&str]) -> String {
+    let mut json = format!(
+        "{{\"schema\":\"{MANIFEST_SCHEMA}\",\"nonce\":\"{}\",\"trace\":{trace},\"experiments\":[",
+        stellar_sim::metrics::escape(nonce)
+    );
+    for (n, name) in experiments.iter().enumerate() {
+        if n > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\"", stellar_sim::metrics::escape(name)));
+    }
+    json.push_str("]}");
+    json
+}
+
+/// Extracts `"nonce":"…"` from a manifest payload.
+fn manifest_nonce(payload: &str) -> Option<String> {
+    let start = payload.find("\"nonce\":\"")? + "\"nonce\":\"".len();
+    let end = payload[start..].find('"')?;
+    Some(payload[start..start + end].to_string())
+}
+
+/// Validates one experiment report against the run nonce: the file must
+/// be a checksum-valid envelope whose payload stamps exactly this nonce.
+///
+/// # Errors
+///
+/// A one-line description of why the report is unusable.
+pub fn validate_report(out_dir: &Path, name: &str, nonce: &str) -> Result<(), String> {
+    let path = report_path(out_dir, name);
+    let payload = durable::read_envelope(&path).map_err(|e| e.to_string())?;
+    if !payload.contains(&format!("\"nonce\":\"{nonce}\"")) {
+        return Err(format!(
+            "{}: stale report (nonce does not match this run)",
+            path.display()
+        ));
+    }
+    Ok(())
+}
+
+/// Decides how a (possibly resumed) run starts. With `resume = false`,
+/// or when the manifest is missing/invalid/incompatible: pick a fresh
+/// nonce (or `requested_nonce`), delete every report in the suite, and
+/// stamp a new manifest durably **before** anything launches — a crash
+/// between the stamp and the first report flush therefore leaves
+/// old-nonce reports that a later resume detects as stale and re-runs.
+/// With `resume = true` and a matching manifest: reuse its nonce and
+/// validate each report (envelope checksum + nonce); validated reports
+/// are skipped, invalid ones are deleted and re-run.
+///
+/// # Errors
+///
+/// [`durable::DurableError`] if the manifest cannot be stamped — without
+/// a durable nonce the run would not be resumable, so this is fatal.
+pub fn prepare_run(
+    out_dir: &Path,
+    experiments: &[&'static str],
+    trace: bool,
+    resume: bool,
+    requested_nonce: Option<String>,
+) -> Result<PreparedRun, durable::DurableError> {
+    let manifest_path = out_dir.join(MANIFEST_FILE);
+    if resume {
+        match durable::read_envelope(&manifest_path) {
+            Ok(payload) => match manifest_nonce(&payload) {
+                Some(nonce) if payload == render_manifest(&nonce, trace, experiments) => {
+                    let resumed = experiments
+                        .iter()
+                        .map(|name| match validate_report(out_dir, name, &nonce) {
+                            Ok(()) => true,
+                            Err(why) => {
+                                eprintln!("resume: re-running {name}: {why}");
+                                let _ = fs::remove_file(report_path(out_dir, name));
+                                false
+                            }
+                        })
+                        .collect();
+                    return Ok(PreparedRun { nonce, resumed });
+                }
+                _ => eprintln!(
+                    "resume: manifest {} does not match this invocation \
+                     (flags or suite changed); starting fresh",
+                    manifest_path.display()
+                ),
+            },
+            Err(e) => eprintln!("resume: cannot resume ({e}); starting fresh"),
+        }
+    }
+    // Fresh run: stale reports must be *missing*, not last run's.
+    durable::ensure_dir(out_dir)?;
+    for name in experiments {
+        let _ = fs::remove_file(report_path(out_dir, name));
+    }
+    let nonce = requested_nonce.unwrap_or_else(fresh_nonce);
+    durable::write_envelope(&manifest_path, &render_manifest(&nonce, trace, experiments))?;
+    Ok(PreparedRun::fresh(nonce, experiments.len()))
+}
+
+/// Everything one child launch produced.
+struct Attempt {
+    wall_ms: f64,
+    /// `Ok` iff the child exited cleanly *and* its report validates.
+    verdict: Result<(), (ExperimentStatus, String)>,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+}
+
+/// Drains one child pipe on a thread (so a chatty child can't deadlock
+/// against a full pipe while we wait on the other one).
+fn drain_pipe<R: std::io::Read + Send + 'static>(
+    pipe: Option<R>,
+) -> std::thread::JoinHandle<Vec<u8>> {
+    std::thread::spawn(move || {
+        let mut buf = Vec::new();
+        if let Some(mut pipe) = pipe {
+            let _ = pipe.read_to_end(&mut buf);
+        }
+        buf
+    })
+}
+
+/// Waits for `child` until `deadline` (if any), polling so the watchdog
+/// can fire. Returns `Ok(success)` on exit, `Err(())` on timeout (the
+/// child has been killed and reaped).
+fn wait_with_deadline(child: &mut Child, deadline: Option<Instant>) -> Result<bool, ()> {
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Ok(status.success()),
+            Ok(None) => {}
+            Err(_) => {
+                // The wait itself failed; treat as a failed exit.
+                return Ok(false);
+            }
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(());
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Launches one attempt of `name` with captured output, under the
+/// watchdog and the chaos injector's fate, and validates the report the
+/// child leaves behind.
+fn launch_once(
+    name: &'static str,
+    opts: &ScheduleOptions,
+    injector: Option<&ChaosInjector>,
+    attempt: u32,
+) -> Attempt {
+    // Each attempt starts from a missing report, so post-flight
+    // validation can only ever see what *this* child wrote.
+    let _ = fs::remove_file(report_path(&opts.out_dir, name));
+    let fate = injector.map_or(Fate::Healthy, |i| i.fate(name, attempt));
+
     let path = opts.exe_dir.join(name);
     let mut cmd = if path.exists() {
         Command::new(&path)
@@ -112,73 +483,199 @@ fn launch(name: &str, opts: &ScheduleOptions) -> (f64, Option<String>, Vec<u8>, 
         cmd.env(TRACE_ENV, "1");
     }
     cmd.env(RUN_NONCE_ENV, &opts.nonce);
+    cmd.env(OUT_DIR_ENV, &opts.out_dir);
+    if let Some(ms) = opts.fixed_wall_ms {
+        cmd.env(FIXED_WALL_ENV, format!("{ms}"));
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+
     let started = Instant::now();
-    let out = cmd.output();
-    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    match out {
-        Ok(o) => {
-            let err = if o.status.success() {
-                None
-            } else {
-                Some(format!("{name}: exit {}", o.status))
-            };
-            (wall_ms, err, o.stdout, o.stderr)
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => {
+            return Attempt {
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                verdict: Err((
+                    ExperimentStatus::Failed,
+                    format!("{name}: spawn {}: {e}", path.display()),
+                )),
+                stdout: Vec::new(),
+                stderr: Vec::new(),
+            }
         }
-        Err(e) => (
-            wall_ms,
-            Some(format!("{name}: {e}")),
-            Vec::new(),
-            Vec::new(),
-        ),
+    };
+    let out_reader = drain_pipe(child.stdout.take());
+    let err_reader = drain_pipe(child.stderr.take());
+
+    if fate == Fate::Kill {
+        // Chaos: the child dies as if the OOM killer got it.
+        let _ = child.kill();
+    }
+    let deadline = match (fate, opts.timeout_ms) {
+        // Chaos: pretend the child is already wedged so the watchdog
+        // path runs (only meaningful when the watchdog is enabled).
+        (Fate::Hang, ms) if ms > 0 => Some(Instant::now()),
+        (_, 0) => None,
+        (_, ms) => Some(started + Duration::from_millis(ms)),
+    };
+    let waited = wait_with_deadline(&mut child, deadline);
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let stdout = out_reader.join().unwrap_or_default();
+    let stderr = err_reader.join().unwrap_or_default();
+
+    let verdict = match waited {
+        Err(()) => Err((
+            ExperimentStatus::TimedOut,
+            format!(
+                "{name}: timed out after {:.0} ms (budget {} ms), killed",
+                wall_ms, opts.timeout_ms
+            ),
+        )),
+        Ok(false) => Err((ExperimentStatus::Failed, format!("{name}: exited nonzero"))),
+        Ok(true) => {
+            if fate == Fate::Corrupt {
+                // Chaos: the report survives the child but not the disk.
+                if let Some(i) = injector {
+                    let _ = i.corrupt_file(&report_path(&opts.out_dir, name));
+                }
+            }
+            // Post-flight validation: a clean exit without a valid
+            // report is still a failure — a missing or corrupt report
+            // would otherwise surface only at consolidation.
+            validate_report(&opts.out_dir, name, &opts.nonce).map_err(|why| {
+                (
+                    ExperimentStatus::Failed,
+                    format!("{name}: report invalid after clean exit: {why}"),
+                )
+            })
+        }
+    };
+    Attempt {
+        wall_ms,
+        verdict,
+        stdout,
+        stderr,
+    }
+}
+
+/// Deterministic backoff before retry `attempt` (1-based): base doubled
+/// per retry, capped at 8 s.
+fn backoff_ms(base: u64, attempt: u32) -> u64 {
+    base.saturating_mul(1u64 << attempt.min(5)).min(8_000)
+}
+
+/// Runs one experiment to its final outcome: attempt, retry with
+/// backoff, quarantine. Replays each attempt's captured output as one
+/// contiguous block under `replay`.
+fn run_one(
+    name: &'static str,
+    opts: &ScheduleOptions,
+    injector: Option<&ChaosInjector>,
+    replay: &Mutex<()>,
+) -> ExperimentOutcome {
+    let max_attempts = opts.retries.saturating_add(1);
+    let mut attempt = 0u32;
+    loop {
+        let a = launch_once(name, opts, injector, attempt);
+        {
+            // One experiment's output lands as one contiguous block.
+            let guard = replay.lock();
+            let mut so = std::io::stdout();
+            let _ = so.write_all(&a.stdout);
+            let _ = so.flush();
+            let _ = std::io::stderr().write_all(&a.stderr);
+            drop(guard);
+        }
+        match a.verdict {
+            Ok(()) => {
+                return ExperimentOutcome {
+                    name,
+                    wall_ms: a.wall_ms,
+                    error: None,
+                    status: ExperimentStatus::Ok,
+                    attempts: attempt + 1,
+                    resumed: false,
+                }
+            }
+            Err((status, why)) => {
+                if interrupt::interrupted() {
+                    // Drain mode: never retry into an interrupted run.
+                    return ExperimentOutcome {
+                        name,
+                        wall_ms: a.wall_ms,
+                        error: Some(format!("{why} (run interrupted, not retried)")),
+                        status: ExperimentStatus::Interrupted,
+                        attempts: attempt + 1,
+                        resumed: false,
+                    };
+                }
+                if attempt + 1 >= max_attempts {
+                    eprintln!("QUARANTINED {name} after {} attempt(s): {why}", attempt + 1);
+                    return ExperimentOutcome {
+                        name,
+                        wall_ms: a.wall_ms,
+                        error: Some(why),
+                        status,
+                        attempts: attempt + 1,
+                        resumed: false,
+                    };
+                }
+                let pause = backoff_ms(opts.retry_backoff_ms, attempt);
+                eprintln!(
+                    "RETRY {name} (attempt {}/{max_attempts} failed: {why}); backing off {pause} ms",
+                    attempt + 1
+                );
+                std::thread::sleep(Duration::from_millis(pause));
+                attempt += 1;
+            }
+        }
     }
 }
 
 /// Runs the whole suite with `opts.jobs` concurrent processes, returning
 /// one outcome per experiment **in suite order** regardless of completion
-/// order. Each child's captured stdout/stderr is replayed as one block as
-/// it finishes.
-pub fn run_experiments(opts: &ScheduleOptions) -> Vec<ExperimentOutcome> {
-    // Clear every experiment's previous report up front: a crash must
-    // leave a *missing* file, not last run's.
-    let _ = fs::create_dir_all(&opts.out_dir);
-    for name in EXPERIMENTS {
-        let _ = fs::remove_file(opts.out_dir.join(format!("{}.json", experiment_id(name))));
-    }
-
-    let jobs = opts.jobs.clamp(1, EXPERIMENTS.len());
+/// order. Experiments `prepared` as resumed are skipped (their validated
+/// reports stand in); after SIGINT, in-flight experiments drain and
+/// pending ones are recorded as interrupted.
+pub fn run_experiments(opts: &ScheduleOptions, prepared: &PreparedRun) -> Vec<ExperimentOutcome> {
+    let experiments = &opts.experiments;
+    let jobs = opts.jobs.clamp(1, experiments.len().max(1));
+    let injector = opts.chaos.map(ChaosInjector::new);
     let cursor = AtomicUsize::new(0);
     let slots: Vec<Mutex<Option<ExperimentOutcome>>> =
-        EXPERIMENTS.iter().map(|_| Mutex::new(None)).collect();
+        experiments.iter().map(|_| Mutex::new(None)).collect();
     let replay = Mutex::new(());
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(name) = EXPERIMENTS.get(idx) else {
+                let Some(name) = experiments.get(idx).copied() else {
                     break;
                 };
-                let (wall_ms, error, stdout, stderr) = launch(name, opts);
-                {
-                    // One experiment's output lands as one contiguous block.
-                    let _guard = replay.lock();
-                    let mut so = std::io::stdout();
-                    let _ = so.write_all(&stdout);
-                    let _ = so.flush();
-                    let _ = std::io::stderr().write_all(&stderr);
-                }
+                let outcome = if prepared.resumed.get(idx).copied().unwrap_or(false) {
+                    let guard = replay.lock();
+                    println!(
+                        "[{}] resumed: validated report from interrupted run",
+                        experiment_id(name)
+                    );
+                    drop(guard);
+                    ExperimentOutcome::resumed(name)
+                } else if interrupt::interrupted() {
+                    ExperimentOutcome::interrupted(name)
+                } else {
+                    run_one(name, opts, injector.as_ref(), &replay)
+                };
                 if let Ok(mut slot) = slots[idx].lock() {
-                    *slot = Some(ExperimentOutcome {
-                        name,
-                        wall_ms,
-                        error,
-                    });
+                    *slot = Some(outcome);
                 }
             });
         }
     });
     slots
         .into_iter()
-        .zip(EXPERIMENTS)
+        .zip(experiments)
         .map(|(slot, name)| {
             slot.into_inner()
                 .ok()
@@ -187,23 +684,48 @@ pub fn run_experiments(opts: &ScheduleOptions) -> Vec<ExperimentOutcome> {
                     name,
                     wall_ms: 0.0,
                     error: Some(format!("{name}: worker panicked before recording")),
+                    status: ExperimentStatus::Failed,
+                    attempts: 0,
+                    resumed: false,
                 })
         })
         .collect()
 }
 
-/// Reads one per-experiment report body, validating shape and nonce.
-/// Returns `Ok(Some(body))` to splice, `Ok(None)` for "skip with a warning
-/// already printed", `Err` for "file missing".
-fn read_report(path: &Path, nonce: Option<&str>) -> Result<Option<String>, ()> {
-    let body = fs::read_to_string(path).map_err(|_| ())?;
-    // Reports hand-edited or rewritten by tools often gain a trailing
-    // newline; trim before sniffing so they are not dropped.
-    let trimmed = body.trim();
-    if !(trimmed.starts_with('{') && trimmed.ends_with('}')) {
-        eprintln!("warning: {} is not a JSON object, skipped", path.display());
-        return Ok(None);
-    }
+/// How one report file read went during consolidation.
+enum ReportRead {
+    Body(String),
+    Stale,
+    Corrupt,
+    Missing,
+}
+
+/// Reads one per-experiment report body, validating envelope and nonce.
+/// Legacy bare-JSON reports (no envelope) are still spliced, so
+/// hand-written fixtures keep working; anything claiming to be an
+/// envelope must validate.
+fn read_report(path: &Path, nonce: Option<&str>) -> ReportRead {
+    let Ok(body) = fs::read_to_string(path) else {
+        return ReportRead::Missing;
+    };
+    let trimmed = if durable::is_envelope(&body) {
+        match durable::unseal(&body) {
+            Ok(payload) => payload.to_string(),
+            Err(e) => {
+                eprintln!("warning: CORRUPT report {} ({e}), skipped", path.display());
+                return ReportRead::Corrupt;
+            }
+        }
+    } else {
+        // Reports hand-edited or rewritten by tools often gain a trailing
+        // newline; trim before sniffing so they are not dropped.
+        let t = body.trim();
+        if !(t.starts_with('{') && t.ends_with('}')) {
+            eprintln!("warning: {} is not a JSON object, skipped", path.display());
+            return ReportRead::Corrupt;
+        }
+        t.to_string()
+    };
     if let Some(n) = nonce {
         if !trimmed.contains(&format!("\"nonce\":\"{n}\"")) {
             eprintln!(
@@ -211,61 +733,144 @@ fn read_report(path: &Path, nonce: Option<&str>) -> Result<Option<String>, ()> {
                  likely crashed before writing; skipped",
                 path.display()
             );
-            return Ok(None);
+            return ReportRead::Stale;
         }
     }
-    Ok(Some(trimmed.to_string()))
+    ReportRead::Body(trimmed)
 }
 
-/// Splices the per-experiment `<out_dir>/<id>.json` files (each written by
-/// [`crate::Report::finish`]) into the consolidated metrics document and
-/// returns it. Experiments whose report file is missing (crashed, or not
-/// yet converted) or stale (nonce mismatch) are skipped with a warning;
-/// the harness block records how many were consolidated and how many were
-/// stale. The document depends only on the outcomes and report files —
-/// never on scheduling order — so `-j N` and `-j 1` consolidate
+/// Context for [`consolidate`] — everything about the run that is not a
+/// per-experiment outcome.
+#[derive(Clone, Debug)]
+pub struct ConsolidateCtx<'a> {
+    /// Where the per-experiment reports live.
+    pub out_dir: &'a Path,
+    /// Whether the run traced.
+    pub trace: bool,
+    /// The `-j` the suite ran with.
+    pub jobs: usize,
+    /// Total harness wall-clock, in milliseconds.
+    pub total_ms: f64,
+    /// The run nonce reports must stamp (skip the check when `None`).
+    pub nonce: Option<&'a str>,
+    /// True when the run was cut short by SIGINT.
+    pub interrupted: bool,
+    /// Pin every wall-clock field to this value (byte-stable output).
+    pub fixed_wall_ms: Option<f64>,
+}
+
+/// Splices the per-experiment `<out_dir>/<id>.json` envelopes (each
+/// written by [`crate::Report::finish`]) into the consolidated metrics
+/// payload and returns it (unsealed — the caller seals it for disk).
+/// Reports that are missing, stale (nonce mismatch), or corrupt (torn /
+/// bit-flipped / wrong envelope version) are skipped with a warning and
+/// counted in the harness block. The document depends only on the
+/// outcomes and report files — never on scheduling order — so `-j N` and
+/// `-j 1` (and a resumed run vs an uninterrupted one) consolidate
 /// identically.
-pub fn consolidate(
-    out_dir: &Path,
-    trace: bool,
-    jobs: usize,
-    outcomes: &[ExperimentOutcome],
-    total_ms: f64,
-    nonce: Option<&str>,
-) -> String {
+pub fn consolidate(ctx: &ConsolidateCtx<'_>, outcomes: &[ExperimentOutcome]) -> String {
     let mut experiments = Vec::new();
     let mut stale = 0usize;
-    for name in EXPERIMENTS {
-        let path = out_dir.join(format!("{}.json", experiment_id(name)));
-        match read_report(&path, nonce) {
-            Ok(Some(body)) => experiments.push(body),
-            Ok(None) => stale += 1,
-            Err(()) => eprintln!("warning: no report from {name} ({})", path.display()),
+    let mut corrupt = 0usize;
+    for o in outcomes {
+        let path = report_path(ctx.out_dir, o.name);
+        match read_report(&path, ctx.nonce) {
+            ReportRead::Body(body) => experiments.push(body),
+            ReportRead::Stale => stale += 1,
+            ReportRead::Corrupt => corrupt += 1,
+            ReportRead::Missing => {
+                eprintln!("warning: no report from {} ({})", o.name, path.display())
+            }
         }
     }
 
-    let failures = outcomes.iter().filter(|o| o.error.is_some()).count();
+    let failures = outcomes
+        .iter()
+        .filter(|o| o.status == ExperimentStatus::Failed)
+        .count();
+    let timed_out = outcomes
+        .iter()
+        .filter(|o| o.status == ExperimentStatus::TimedOut)
+        .count();
+    let wall = |ms: f64| ctx.fixed_wall_ms.unwrap_or(ms);
     let mut json = String::from("{");
     json.push_str(&format!("\"schema\":\"{SCHEMA}\","));
-    json.push_str(&format!("\"trace\":{trace},"));
+    json.push_str(&format!("\"trace\":{},", ctx.trace));
+    json.push_str(&format!("\"interrupted\":{},", ctx.interrupted));
     json.push_str("\"experiments\":[");
     json.push_str(&experiments.join(","));
     json.push_str("],");
     json.push_str("\"harness\":{");
     json.push_str(&format!(
-        "\"experiments\":{},\"consolidated\":{},\"stale\":{stale},\"failures\":{failures},\
-         \"jobs\":{jobs},\"total_wall_ms\":{total_ms:.3},",
-        EXPERIMENTS.len(),
+        "\"experiments\":{},\"consolidated\":{},\"stale\":{stale},\"corrupt\":{corrupt},\
+         \"failures\":{failures},\"timed_out\":{timed_out},\"jobs\":{},\
+         \"total_wall_ms\":{:.3},",
+        outcomes.len(),
         experiments.len(),
+        ctx.jobs,
+        wall(ctx.total_ms),
     ));
+    json.push_str("\"statuses\":{");
+    for (n, o) in outcomes.iter().enumerate() {
+        if n > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\":\"{}\"", o.name, o.status.as_str()));
+    }
+    json.push_str("},");
     json.push_str("\"wall_ms\":{");
     for (n, o) in outcomes.iter().enumerate() {
         if n > 0 {
             json.push(',');
         }
-        json.push_str(&format!("\"{}\":{:.3}", o.name, o.wall_ms));
+        json.push_str(&format!("\"{}\":{:.3}", o.name, wall(o.wall_ms)));
     }
     json.push_str("}}}");
+    json
+}
+
+/// Renders the scheduler's run summary payload: what `--resume` skipped,
+/// what was retried, what ended quarantined. Lives in its own file
+/// (`run_summary.json`) so `metrics.json` stays byte-identical between a
+/// resumed and an uninterrupted run.
+pub fn render_run_summary(
+    nonce: &str,
+    outcomes: &[ExperimentOutcome],
+    interrupted: bool,
+) -> String {
+    let resumed = outcomes.iter().filter(|o| o.resumed).count();
+    let launched = outcomes.iter().filter(|o| o.attempts > 0).count();
+    let retried = outcomes.iter().filter(|o| o.attempts > 1).count();
+    let quarantined: Vec<&str> = outcomes
+        .iter()
+        .filter(|o| {
+            matches!(
+                o.status,
+                ExperimentStatus::Failed | ExperimentStatus::TimedOut
+            )
+        })
+        .map(|o| o.name)
+        .collect();
+    let mut json = format!(
+        "{{\"schema\":\"{SUMMARY_SCHEMA}\",\"nonce\":\"{}\",\"resumed\":{resumed},\
+         \"launched\":{launched},\"retried\":{retried},\"interrupted\":{interrupted},\
+         \"quarantined\":[",
+        stellar_sim::metrics::escape(nonce)
+    );
+    for (n, name) in quarantined.iter().enumerate() {
+        if n > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{name}\""));
+    }
+    json.push_str("],\"attempts\":{");
+    for (n, o) in outcomes.iter().enumerate() {
+        if n > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!("\"{}\":{}", o.name, o.attempts));
+    }
+    json.push_str("}}");
     json
 }
 
@@ -288,8 +893,23 @@ mod tests {
                 name,
                 wall_ms: 1.5,
                 error: None,
+                status: ExperimentStatus::Ok,
+                attempts: 1,
+                resumed: false,
             })
             .collect()
+    }
+
+    fn ctx<'a>(dir: &'a Path, jobs: usize, nonce: Option<&'a str>) -> ConsolidateCtx<'a> {
+        ConsolidateCtx {
+            out_dir: dir,
+            trace: false,
+            jobs,
+            total_ms: 10.0,
+            nonce,
+            interrupted: false,
+            fixed_wall_ms: None,
+        }
     }
 
     fn experiments_block(json: &str) -> &str {
@@ -299,33 +919,59 @@ mod tests {
     }
 
     #[test]
-    fn trailing_newline_reports_are_accepted() {
-        let dir = tmpdir("newline");
-        fs::write(dir.join("e01.json"), "{\"id\":\"e01\"}\n").unwrap();
-        let json = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, None);
+    fn sealed_reports_are_spliced_unsealed() {
+        let dir = tmpdir("sealed");
+        durable::write_envelope(&dir.join("e01.json"), "{\"id\":\"e01\"}").unwrap();
+        let json = consolidate(&ctx(&dir, 1, None), &fake_outcomes());
         assert!(json.contains("\"experiments\":[{\"id\":\"e01\"}]"));
         assert!(json.contains("\"consolidated\":1"));
+        assert!(json.contains("\"corrupt\":0"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_bare_reports_with_trailing_newline_are_accepted() {
+        let dir = tmpdir("newline");
+        fs::write(dir.join("e01.json"), "{\"id\":\"e01\"}\n").unwrap();
+        let json = consolidate(&ctx(&dir, 1, None), &fake_outcomes());
+        assert!(json.contains("\"experiments\":[{\"id\":\"e01\"}]"));
         let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn stale_nonce_reports_are_skipped() {
         let dir = tmpdir("stale");
-        fs::write(
-            dir.join("e01.json"),
+        durable::write_envelope(
+            &dir.join("e01.json"),
             "{\"id\":\"e01\",\"nonce\":\"old-run\"}",
         )
         .unwrap();
-        fs::write(
-            dir.join("e02.json"),
+        durable::write_envelope(
+            &dir.join("e02.json"),
             "{\"id\":\"e02\",\"nonce\":\"this-run\"}",
         )
         .unwrap();
-        let json = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, Some("this-run"));
+        let json = consolidate(&ctx(&dir, 1, Some("this-run")), &fake_outcomes());
         assert!(!json.contains("old-run"), "stale report was spliced in");
         assert!(json.contains("\"id\":\"e02\""));
         assert!(json.contains("\"consolidated\":1"));
         assert!(json.contains("\"stale\":1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_and_flipped_envelopes_count_as_corrupt() {
+        let dir = tmpdir("corrupt");
+        let sealed = durable::seal("{\"id\":\"e01\",\"nonce\":\"n\"}");
+        fs::write(dir.join("e01.json"), &sealed[..sealed.len() - 6]).unwrap();
+        let mut flipped = durable::seal("{\"id\":\"e02\",\"nonce\":\"n\"}").into_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x04;
+        fs::write(dir.join("e02.json"), &flipped).unwrap();
+        let json = consolidate(&ctx(&dir, 1, Some("n")), &fake_outcomes());
+        assert!(json.contains("\"experiments\":[]"));
+        assert!(json.contains("\"corrupt\":2"));
+        assert!(json.contains("\"stale\":0"));
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -335,14 +981,14 @@ mod tests {
         // schema; only the recorded jobs knob may differ.
         let dir = tmpdir("jobs");
         for id in ["e01", "e02", "e03"] {
-            fs::write(
-                dir.join(format!("{id}.json")),
-                format!("{{\"id\":\"{id}\",\"nonce\":\"n\"}}\n"),
+            durable::write_envelope(
+                &dir.join(format!("{id}.json")),
+                &format!("{{\"id\":\"{id}\",\"nonce\":\"n\"}}"),
             )
             .unwrap();
         }
-        let serial = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, Some("n"));
-        let parallel = consolidate(&dir, false, 4, &fake_outcomes(), 10.0, Some("n"));
+        let serial = consolidate(&ctx(&dir, 1, Some("n")), &fake_outcomes());
+        let parallel = consolidate(&ctx(&dir, 4, Some("n")), &fake_outcomes());
         assert_eq!(experiments_block(&serial), experiments_block(&parallel));
         assert!(serial.contains(&format!("\"schema\":\"{SCHEMA}\"")));
         assert!(parallel.contains(&format!("\"schema\":\"{SCHEMA}\"")));
@@ -355,10 +1001,133 @@ mod tests {
     fn non_object_reports_are_skipped() {
         let dir = tmpdir("garbage");
         fs::write(dir.join("e01.json"), "not json at all").unwrap();
-        let json = consolidate(&dir, false, 1, &fake_outcomes(), 10.0, None);
+        let json = consolidate(&ctx(&dir, 1, None), &fake_outcomes());
         assert!(json.contains("\"experiments\":[]"));
         assert!(json.contains("\"consolidated\":0"));
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixed_wall_pins_every_wall_clock_field() {
+        let dir = tmpdir("fixedwall");
+        let mut c = ctx(&dir, 2, None);
+        c.fixed_wall_ms = Some(0.0);
+        c.total_ms = 987.654;
+        let json = consolidate(&c, &fake_outcomes());
+        assert!(json.contains("\"total_wall_ms\":0.000"));
+        assert!(json.contains("\"e01_dataflows\":0.000"));
+        assert!(!json.contains("987.654"));
+        assert!(!json.contains("1.500"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn statuses_and_interrupted_are_recorded() {
+        let dir = tmpdir("statuses");
+        let mut outcomes = fake_outcomes();
+        outcomes[2].status = ExperimentStatus::TimedOut;
+        outcomes[2].error = Some("e03_sparsity: timed out".into());
+        outcomes[4].status = ExperimentStatus::Interrupted;
+        let mut c = ctx(&dir, 1, None);
+        c.interrupted = true;
+        let json = consolidate(&c, &outcomes);
+        assert!(json.contains("\"interrupted\":true"));
+        assert!(json.contains("\"e03_sparsity\":\"timed_out\""));
+        assert!(json.contains("\"e05_gemmini_util\":\"interrupted\""));
+        assert!(json.contains("\"timed_out\":1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_summary_counts_resumes_retries_quarantines() {
+        let mut outcomes = fake_outcomes();
+        outcomes[0].resumed = true;
+        outcomes[0].attempts = 0;
+        outcomes[1].attempts = 3;
+        outcomes[2].status = ExperimentStatus::Failed;
+        outcomes[2].error = Some("boom".into());
+        let json = render_run_summary("n", &outcomes, false);
+        assert!(json.contains(&format!("\"schema\":\"{SUMMARY_SCHEMA}\"")));
+        assert!(json.contains("\"resumed\":1"));
+        assert!(json.contains("\"retried\":1"));
+        assert!(json.contains("\"quarantined\":[\"e03_sparsity\"]"));
+        assert!(json.contains("\"e02_pipelining\":3"));
+        let _ = json;
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_nonce_extraction() {
+        let payload = render_manifest("abc-123", true, &["e01_dataflows", "e02_pipelining"]);
+        assert_eq!(manifest_nonce(&payload).as_deref(), Some("abc-123"));
+        assert!(payload.contains("\"trace\":true"));
+        assert!(payload.contains("\"e02_pipelining\""));
+    }
+
+    #[test]
+    fn prepare_fresh_run_stamps_manifest_and_clears_reports() {
+        let dir = tmpdir("fresh");
+        fs::write(dir.join("e01.json"), "stale junk").unwrap();
+        let prepared = prepare_run(
+            &dir,
+            &["e01_dataflows", "e02_pipelining"],
+            false,
+            false,
+            Some("forced-nonce".into()),
+        )
+        .unwrap();
+        assert_eq!(prepared.nonce, "forced-nonce");
+        assert_eq!(prepared.resumed, vec![false, false]);
+        assert!(!dir.join("e01.json").exists(), "stale report not cleared");
+        let manifest = durable::read_envelope(&dir.join(MANIFEST_FILE)).unwrap();
+        assert!(manifest.contains("\"nonce\":\"forced-nonce\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_validates_reports_against_manifest_nonce() {
+        let dir = tmpdir("resume");
+        let suite: &[&'static str] = &["e01_dataflows", "e02_pipelining", "e03_sparsity"];
+        let first = prepare_run(&dir, suite, false, false, Some("n1".into())).unwrap();
+        assert_eq!(first.resumed_count(), 0);
+        // e01 completed with the right nonce; e02 is a *stale* report
+        // (valid envelope, previous run's nonce — the crash-between-
+        // nonce-stamp-and-flush case); e03 never wrote.
+        durable::write_envelope(&dir.join("e01.json"), "{\"id\":\"e01\",\"nonce\":\"n1\"}")
+            .unwrap();
+        durable::write_envelope(&dir.join("e02.json"), "{\"id\":\"e02\",\"nonce\":\"n0\"}")
+            .unwrap();
+        let resumed = prepare_run(&dir, suite, false, true, None).unwrap();
+        assert_eq!(resumed.nonce, "n1", "manifest nonce must be reused");
+        assert_eq!(resumed.resumed, vec![true, false, false]);
+        assert!(
+            !dir.join("e02.json").exists(),
+            "stale report must be deleted for re-run, not consumed"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_changed_flags_starts_fresh() {
+        let dir = tmpdir("resume-flags");
+        let suite: &[&'static str] = &["e01_dataflows"];
+        prepare_run(&dir, suite, false, false, Some("n1".into())).unwrap();
+        durable::write_envelope(&dir.join("e01.json"), "{\"id\":\"e01\",\"nonce\":\"n1\"}")
+            .unwrap();
+        // Trace flag differs from the manifest: the old reports are not
+        // comparable, so everything re-runs under a fresh nonce.
+        let resumed = prepare_run(&dir, suite, true, true, None).unwrap();
+        assert_ne!(resumed.nonce, "n1");
+        assert_eq!(resumed.resumed, vec![false]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_capped() {
+        assert_eq!(backoff_ms(250, 0), 250);
+        assert_eq!(backoff_ms(250, 1), 500);
+        assert_eq!(backoff_ms(250, 2), 1000);
+        assert_eq!(backoff_ms(250, 30), 8_000);
+        assert_eq!(backoff_ms(0, 3), 0);
     }
 
     #[test]
@@ -366,5 +1135,13 @@ mod tests {
         assert_eq!(experiment_id("e04_load_balance"), "e04");
         assert_eq!(experiment_id("e21_fault_sweep"), "e21");
         assert_eq!(experiment_id("weird"), "weird");
+    }
+
+    #[test]
+    fn status_strings_are_stable() {
+        assert_eq!(ExperimentStatus::Ok.as_str(), "ok");
+        assert_eq!(ExperimentStatus::Failed.as_str(), "failed");
+        assert_eq!(ExperimentStatus::TimedOut.as_str(), "timed_out");
+        assert_eq!(ExperimentStatus::Interrupted.as_str(), "interrupted");
     }
 }

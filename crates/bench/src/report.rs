@@ -22,7 +22,6 @@
 //! JSON, letting the consolidator reject stale reports left over from
 //! earlier runs.
 
-use std::fs;
 use std::path::PathBuf;
 
 use stellar_sim::metrics::escape;
@@ -38,6 +37,12 @@ pub const OUT_DIR_ENV: &str = "STELLAR_OUT_DIR";
 /// it into their JSON; the consolidator skips files whose stamp does not
 /// match the current run.
 pub const RUN_NONCE_ENV: &str = "STELLAR_RUN_NONCE";
+
+/// Environment variable pinning the report's `wall_ms` to a fixed value
+/// instead of the measured elapsed time. Set by `run_all` when byte-stable
+/// output is required (the kill-9 + `--resume` byte-identity tests); never
+/// set on normal runs.
+pub const FIXED_WALL_ENV: &str = "STELLAR_FIXED_WALL_MS";
 
 /// True when the harness was asked to collect traces.
 pub fn trace_enabled() -> bool {
@@ -56,6 +61,13 @@ pub fn run_nonce() -> Option<String> {
     std::env::var(RUN_NONCE_ENV).ok().filter(|s| !s.is_empty())
 }
 
+/// The pinned wall-clock `run_all` passed down, if any.
+pub fn fixed_wall_ms() -> Option<f64> {
+    std::env::var(FIXED_WALL_ENV)
+        .ok()
+        .and_then(|s| s.parse().ok())
+}
+
 /// Explicit report configuration — where artifacts go, whether spans are
 /// traced, and the run nonce stamped into the JSON.
 #[derive(Clone, Debug)]
@@ -66,6 +78,9 @@ pub struct ReportOptions {
     pub trace: bool,
     /// Stamped as `"nonce"` in the emitted JSON (`null` when absent).
     pub nonce: Option<String>,
+    /// Pin the emitted `wall_ms` to this value instead of the measured
+    /// elapsed time (byte-stable output for resume byte-identity tests).
+    pub fixed_wall_ms: Option<f64>,
 }
 
 impl ReportOptions {
@@ -77,6 +92,7 @@ impl ReportOptions {
             out_dir: out_dir(),
             trace: trace_enabled(),
             nonce: run_nonce(),
+            fixed_wall_ms: fixed_wall_ms(),
         }
     }
 
@@ -87,6 +103,7 @@ impl ReportOptions {
             out_dir: out_dir.into(),
             trace: false,
             nonce: None,
+            fixed_wall_ms: None,
         }
     }
 
@@ -99,6 +116,12 @@ impl ReportOptions {
     /// Builder: stamp a run nonce.
     pub fn with_nonce(mut self, nonce: impl Into<String>) -> ReportOptions {
         self.nonce = Some(nonce.into());
+        self
+    }
+
+    /// Builder: pin the emitted `wall_ms` (byte-stable test output).
+    pub fn with_fixed_wall_ms(mut self, ms: f64) -> ReportOptions {
+        self.fixed_wall_ms = Some(ms);
         self
     }
 }
@@ -162,12 +185,19 @@ impl Report {
         self.breakdowns.push((name.to_string(), *b));
     }
 
-    /// Closes the report: records `wall_ms`, writes `out/<id>.json` (and
-    /// the Chrome trace when spans were collected), and prints a summary
-    /// line. IO failures are reported on stderr, never fatal — a
-    /// read-only filesystem must not fail the experiment itself.
+    /// Closes the report: records `wall_ms`, writes `out/<id>.json` as a
+    /// checksummed [`crate::durable`] envelope via an atomic
+    /// temp-file-and-rename (and the Chrome trace when spans were
+    /// collected — the trace stays bare JSON for Perfetto, but is still
+    /// written atomically), and prints a summary line. A reader therefore
+    /// never observes a torn report: it sees the old file, the new file,
+    /// or a checksum mismatch. IO failures are reported on stderr, never
+    /// fatal — a read-only filesystem must not fail the experiment itself.
     pub fn finish(mut self, summary: &str) {
-        let wall_ms = self.stopwatch.elapsed_ms();
+        let wall_ms = self
+            .opts
+            .fixed_wall_ms
+            .unwrap_or(self.stopwatch.elapsed_ms());
         self.registry
             .gauge_set("wall_ms", &[("section", "total")], wall_ms);
 
@@ -205,20 +235,24 @@ impl Report {
         json.push('}');
 
         let mut wrote = false;
-        if fs::create_dir_all(&dir).is_ok() {
-            let path = dir.join(format!("{}.json", self.id));
-            match fs::write(&path, &json) {
-                Ok(()) => wrote = true,
-                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-            }
-            if let Some(f) = &trace_file {
-                let tpath = dir.join(f);
-                if let Err(e) = fs::write(&tpath, self.tracer.to_chrome_json()) {
-                    eprintln!("warning: could not write {}: {e}", tpath.display());
+        match crate::durable::ensure_dir(&dir) {
+            Ok(()) => {
+                let path = dir.join(format!("{}.json", self.id));
+                match crate::durable::write_envelope(&path, &json) {
+                    Ok(()) => wrote = true,
+                    Err(e) => eprintln!("warning: could not write report: {e}"),
+                }
+                if let Some(f) = &trace_file {
+                    let tpath = dir.join(f);
+                    if let Err(e) = crate::durable::atomic_write(
+                        &tpath,
+                        self.tracer.to_chrome_json().as_bytes(),
+                    ) {
+                        eprintln!("warning: could not write trace: {e}");
+                    }
                 }
             }
-        } else {
-            eprintln!("warning: could not create {}", dir.display());
+            Err(e) => eprintln!("warning: {e}"),
         }
 
         if wrote {
@@ -236,6 +270,7 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use stellar_sim::StallClass;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -255,7 +290,8 @@ mod tests {
         r.breakdown("ws", &CycleBreakdown::new().with(StallClass::Compute, 42));
         r.finish("done");
 
-        let body = fs::read_to_string(dir.join("e99.json")).unwrap();
+        let sealed = fs::read_to_string(dir.join("e99.json")).unwrap();
+        let body = crate::durable::unseal(&sealed).expect("report must be a valid envelope");
         assert!(body.starts_with("{\"id\":\"e99\",\"title\":\"schema test\",\"wall_ms\":"));
         assert!(body.contains("\"nonce\":null"));
         assert!(body.contains("\"breakdowns\":{\"ws\":{\"compute\":42,"));
@@ -273,8 +309,27 @@ mod tests {
             ReportOptions::in_dir(&dir).with_nonce("run-abc123"),
         );
         r.finish("done");
-        let body = fs::read_to_string(dir.join("e97.json")).unwrap();
+        let sealed = fs::read_to_string(dir.join("e97.json")).unwrap();
+        let body = crate::durable::unseal(&sealed).expect("report must be a valid envelope");
         assert!(body.contains("\"nonce\":\"run-abc123\""));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fixed_wall_pins_the_emitted_wall_ms() {
+        let dir = tmpdir("fixedwall");
+        let r = Report::with_options(
+            "e95",
+            "fixed wall",
+            ReportOptions::in_dir(&dir).with_fixed_wall_ms(0.0),
+        );
+        r.finish("done");
+        let sealed = fs::read_to_string(dir.join("e95.json")).unwrap();
+        let body = crate::durable::unseal(&sealed).unwrap();
+        assert!(
+            body.contains("\"wall_ms\":0.000,"),
+            "wall_ms not pinned: {body}"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -40,6 +40,13 @@ pub enum CompileError {
         /// The point budget that was exhausted.
         budget: u64,
     },
+    /// A dataflow-search worker panicked while scanning its shard. The
+    /// panic is caught at the shard boundary and surfaced here so one bad
+    /// candidate cannot tear down the whole search process.
+    WorkerPanicked {
+        /// The panic message extracted from the worker's payload.
+        message: String,
+    },
     /// The dataflow search's candidate space `choices^entries` does not
     /// fit in `usize` — the enumeration cannot even be indexed, let alone
     /// scanned.
@@ -80,6 +87,9 @@ impl fmt::Display for CompileError {
                     "interpreter exceeded its budget of {budget} iteration points"
                 )
             }
+            CompileError::WorkerPanicked { message } => {
+                write!(f, "dataflow search worker panicked: {message}")
+            }
             CompileError::SearchSpaceTooLarge { choices, entries } => {
                 write!(
                     f,
@@ -119,6 +129,11 @@ mod tests {
         };
         assert!(e.to_string().contains("7^25"));
         assert!(e.to_string().contains(&usize::MAX.to_string()));
+        let e = CompileError::WorkerPanicked {
+            message: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("worker panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]

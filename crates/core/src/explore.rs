@@ -106,6 +106,11 @@ pub struct ExploreOptions {
     /// count is rayon's, capped by `RAYON_NUM_THREADS`). Every setting
     /// produces a byte-identical ranking.
     pub parallelism: usize,
+    /// Test hook: panic while scanning this candidate code, exercising
+    /// the shard panic-isolation path ([`CompileError::WorkerPanicked`]).
+    /// Never set outside tests.
+    #[doc(hidden)]
+    pub panic_on_code: Option<usize>,
 }
 
 impl Default for ExploreOptions {
@@ -115,6 +120,7 @@ impl Default for ExploreOptions {
             max_pes: 4096,
             keep: 16,
             parallelism: 0,
+            panic_on_code: None,
         }
     }
 }
@@ -131,6 +137,7 @@ struct ScanCtx<'a> {
     coeffs: Vec<i64>,
     rank: usize,
     max_pes: usize,
+    panic_on_code: Option<usize>,
 }
 
 /// Decodes one mixed-radix candidate code into the flat row-major matrix
@@ -160,6 +167,11 @@ fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, Expl
     let mut rows = vec![0i64; n_entries];
     let mut det_buf = vec![0i128; n_entries];
     for code in codes {
+        if ctx.panic_on_code == Some(code) {
+            // Test hook: a deliberately bad candidate, standing in for a
+            // scoring bug that only one input out of millions triggers.
+            panic!("injected panic at candidate code {code}");
+        }
         decode_candidate(code, &ctx.coeffs, &mut rows);
         // Fast causality filter: every recurrence must move strictly
         // forward in time. One dot product with the time row per diff —
@@ -299,6 +311,7 @@ pub fn explore_dataflows(
         coeffs,
         rank,
         max_pes: opts.max_pes,
+        panic_on_code: opts.panic_on_code,
     };
 
     let workers = match opts.parallelism {
@@ -307,8 +320,22 @@ pub fn explore_dataflows(
     };
     // Shards below this size cost more to fan out than to just scan.
     const MIN_SHARD: usize = 4096;
+    // Both scan paths run under panic isolation: one bad candidate (a
+    // scoring bug, an overflow) becomes `Err(WorkerPanicked)` instead of
+    // tearing down the process hosting the search.
+    let panicked = |message: String| CompileError::WorkerPanicked { message };
     let shards: Vec<Vec<(StructureKey, ExploredDataflow)>> = if workers <= 1 || total <= MIN_SHARD {
-        vec![scan_codes(&ctx, 0..total)]
+        let shard =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scan_codes(&ctx, 0..total)))
+                .map_err(|payload| {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                panicked(message)
+            })?;
+        vec![shard]
     } else {
         // Several shards per worker so an expensive shard load-balances.
         let shard = total.div_ceil(workers * 8).max(MIN_SHARD);
@@ -316,7 +343,8 @@ pub fn explore_dataflows(
         (0..n_shards)
             .into_par_iter()
             .map(|s| scan_codes(&ctx, s * shard..((s + 1) * shard).min(total)))
-            .collect()
+            .try_collect_vec()
+            .map_err(|p| panicked(p.message))?
     };
 
     // Merge shards in code order under a global dedup set: the survivor of
@@ -503,6 +531,55 @@ mod tests {
         let fast = explore_dataflows(&f, &bounds, &opts).unwrap();
         let oracle = explore_dataflows_reference(&f, &bounds, &opts).unwrap();
         assert_eq!(fast, oracle);
+    }
+
+    #[test]
+    fn panicking_shard_surfaces_as_worker_panicked() {
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        for parallelism in [1usize, 0, 4] {
+            let err = explore_dataflows(
+                &f,
+                &bounds,
+                &ExploreOptions {
+                    parallelism,
+                    panic_on_code: Some(1234),
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap_err();
+            match err {
+                CompileError::WorkerPanicked { message } => {
+                    assert!(
+                        message.contains("candidate code 1234"),
+                        "parallelism={parallelism}: unexpected message {message:?}"
+                    );
+                }
+                other => {
+                    panic!("parallelism={parallelism}: expected WorkerPanicked, got {other:?}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_survives_a_panic_and_runs_clean_afterwards() {
+        // The process (and the search machinery) must be fully usable
+        // after an isolated panic: same ranking as a never-panicked run.
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        let clean_before = explore_dataflows(&f, &bounds, &ExploreOptions::default()).unwrap();
+        let _ = explore_dataflows(
+            &f,
+            &bounds,
+            &ExploreOptions {
+                panic_on_code: Some(77),
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap_err();
+        let clean_after = explore_dataflows(&f, &bounds, &ExploreOptions::default()).unwrap();
+        assert_eq!(clean_before, clean_after);
     }
 
     #[test]

@@ -97,3 +97,36 @@ fn parallelism_one_is_the_serial_path() {
     // explicitly odd worker count on the small sweep.
     assert_eq!(byte_image(&sweep(1, 1)), byte_image(&sweep(1, 7)));
 }
+
+#[test]
+fn panicking_shard_is_isolated_and_ranking_unperturbed() {
+    // A deliberately panicking candidate must surface as
+    // Err(WorkerPanicked) — the process survives — and a clean sweep run
+    // afterwards in the same process must still be byte-equal to the
+    // serial ranking (the catch_unwind wrapper leaves no residue).
+    let f = Functionality::matmul(3, 3, 3);
+    let bounds = Bounds::from_extents(&[3, 3, 3]);
+    let before = byte_image(&sweep(1, 0));
+    for parallelism in [0usize, 1, 4] {
+        let opts = ExploreOptions {
+            panic_on_code: Some(4242),
+            ..sweep_opts(1, parallelism)
+        };
+        let err = explore_dataflows(&f, &bounds, &opts).unwrap_err();
+        match err {
+            stellar_core::CompileError::WorkerPanicked { ref message } => {
+                assert!(
+                    message.contains("4242"),
+                    "parallelism={parallelism}: {message}"
+                );
+            }
+            other => panic!("parallelism={parallelism}: expected WorkerPanicked, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        byte_image(&sweep(1, 0)),
+        before,
+        "a caught panic perturbed a later clean sweep"
+    );
+    assert_eq!(byte_image(&sweep(1, 0)), byte_image(&sweep(1, 1)));
+}

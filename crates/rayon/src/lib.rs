@@ -18,9 +18,41 @@
 //! the coarse-grained parallelism in this workspace (thousands of
 //! candidate transforms or simulations per call) the spawn cost is noise.
 
+use std::fmt;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A worker closure panicked during a parallel map. Returned by the
+/// `try_*` entry points instead of re-raising the panic, so a single bad
+/// item (one candidate out of millions in a dataflow search) surfaces as
+/// an error the caller can handle rather than tearing down the process.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Panicked {
+    /// The panic message, when it was a `&str` or `String` payload;
+    /// otherwise a generic description.
+    pub message: String,
+}
+
+impl fmt::Display for Panicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parallel worker panicked: {}", self.message)
+    }
+}
+
+impl std::error::Error for Panicked {}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 pub mod prelude {
     //! The traits that put `par_iter`/`into_par_iter` in scope.
@@ -213,19 +245,29 @@ where
     R: Send,
     F: Fn(S::Item) -> R + Sync,
 {
-    /// Executes the map, returning results in index order.
-    fn run(self) -> Vec<R> {
+    /// Executes the map with every chunk isolated by `catch_unwind`.
+    /// `Err` carries the panic payload of the **lowest-indexed** panicking
+    /// chunk — deterministic regardless of thread count or completion
+    /// order, so a panicking input reports the same failure every run.
+    /// Once any chunk panics, workers stop claiming new chunks (in-flight
+    /// chunks finish).
+    fn try_run_inner(self) -> Result<Vec<R>, Box<dyn std::any::Any + Send>> {
         let len = self.source.len();
         let threads = current_num_threads().min(len.max(1));
         if threads <= 1 || len <= 1 {
-            return (0..len).map(|i| (self.f)(self.source.get(i))).collect();
+            return catch_unwind(AssertUnwindSafe(|| {
+                (0..len).map(|i| (self.f)(self.source.get(i))).collect()
+            }));
         }
 
         // Aim for several chunks per worker so a slow chunk load-balances,
         // bounded below by the caller's splitting hint.
         let chunk = (len.div_ceil(threads * 8)).max(self.min_len);
         let cursor = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
         let chunks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        type Payload = Box<dyn std::any::Any + Send>;
+        let panics: Mutex<Vec<(usize, Payload)>> = Mutex::new(Vec::new());
         let f = &self.f;
         let source = &self.source;
         std::thread::scope(|scope| {
@@ -233,16 +275,30 @@ where
                 scope.spawn(|| {
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                         if start >= len {
                             break;
                         }
                         let end = (start + chunk).min(len);
-                        let mut out = Vec::with_capacity(end - start);
-                        for i in start..end {
-                            out.push(f(source.get(i)));
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            let mut out = Vec::with_capacity(end - start);
+                            for i in start..end {
+                                out.push(f(source.get(i)));
+                            }
+                            out
+                        })) {
+                            Ok(out) => local.push((start, out)),
+                            Err(payload) => {
+                                abort.store(true, Ordering::Relaxed);
+                                if let Ok(mut p) = panics.lock() {
+                                    p.push((start, payload));
+                                }
+                                break;
+                            }
                         }
-                        local.push((start, out));
                     }
                     if let Ok(mut all) = chunks.lock() {
                         all.extend(local);
@@ -250,6 +306,13 @@ where
                 });
             }
         });
+
+        let mut panics = panics.into_inner().unwrap_or_default();
+        if !panics.is_empty() {
+            // First panic by index order, not by wall-clock order.
+            panics.sort_unstable_by_key(|&(start, _)| start);
+            return Err(panics.remove(0).1);
+        }
 
         // Merge chunks back in index order: deterministic regardless of
         // which worker ran which chunk.
@@ -259,7 +322,32 @@ where
         for (_, mut part) in all {
             out.append(&mut part);
         }
-        out
+        Ok(out)
+    }
+
+    /// Executes the map, returning results in index order. A panic in any
+    /// worker is re-raised here with its original payload (rayon's
+    /// behavior) — use [`ParMap::try_collect_vec`] to get a `Result`
+    /// instead.
+    fn run(self) -> Vec<R> {
+        match self.try_run_inner() {
+            Ok(out) => out,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// Executes the map, returning results in index order, or
+    /// [`Panicked`] if any worker closure panicked — without tearing down
+    /// the calling thread. On the error path the message comes from the
+    /// lowest-indexed panicking chunk, so it is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// [`Panicked`] carrying the first panic's message.
+    pub fn try_collect_vec(self) -> Result<Vec<R>, Panicked> {
+        self.try_run_inner().map_err(|payload| Panicked {
+            message: panic_message(payload.as_ref()),
+        })
     }
 
     /// Collects results in index order (only `Vec` targets are supported).
@@ -341,5 +429,86 @@ mod tests {
     #[test]
     fn current_num_threads_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn try_collect_vec_succeeds_like_collect() {
+        let ok: Result<Vec<usize>, Panicked> = (0..1000usize)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .try_collect_vec();
+        let expected: Vec<usize> = (0..1000usize).map(|i| i * 3).collect();
+        assert_eq!(ok.unwrap(), expected);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_err_not_abort() {
+        let res = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| {
+                if i == 7777 {
+                    panic!("bad candidate {i}");
+                }
+                i
+            })
+            .try_collect_vec();
+        let err = res.unwrap_err();
+        assert_eq!(err.message, "bad candidate 7777");
+        assert!(err.to_string().contains("worker panicked"));
+    }
+
+    #[test]
+    fn first_panic_by_index_wins_deterministically() {
+        // Two panicking items in different chunks: the reported message
+        // must always come from the lower index, on every thread count.
+        for _ in 0..8 {
+            let res = (0..50_000usize)
+                .into_par_iter()
+                .with_min_len(64)
+                .map(|i| {
+                    if i == 1_000 || i == 49_000 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .try_collect_vec();
+            assert_eq!(res.unwrap_err().message, "boom at 1000");
+        }
+    }
+
+    #[test]
+    fn serial_path_panic_is_also_caught() {
+        // len <= 1 takes the serial path; the panic must still become Err.
+        let res = (0..1usize)
+            .into_par_iter()
+            .map(|_| -> usize { panic!("serial boom") })
+            .try_collect_vec();
+        assert_eq!(res.unwrap_err().message, "serial boom");
+    }
+
+    #[test]
+    fn run_reraises_with_original_payload() {
+        // collect() keeps rayon semantics: the panic propagates.
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<usize> = (0..100usize)
+                .into_par_iter()
+                .map(|i| if i == 50 { panic!("kept payload") } else { i })
+                .collect();
+        });
+        let payload = caught.unwrap_err();
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"kept payload"));
+    }
+
+    #[test]
+    fn non_panicking_results_unchanged_by_isolation() {
+        // The catch_unwind wrapper must not perturb ordering or values —
+        // the determinism property the search pipelines rely on.
+        let a: Vec<u64> = (0..12_345u64).into_par_iter().map(|i| i ^ 0xabcd).collect();
+        let b: Vec<u64> = (0..12_345u64)
+            .into_par_iter()
+            .map(|i| i ^ 0xabcd)
+            .try_collect_vec()
+            .unwrap();
+        assert_eq!(a, b);
     }
 }
