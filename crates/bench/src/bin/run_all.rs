@@ -38,6 +38,7 @@ use stellar_bench::harness::{
     self, interrupt, ConsolidateCtx, ExperimentStatus, ScheduleOptions, EXPERIMENTS, MANIFEST_FILE,
     SUMMARY_FILE,
 };
+use stellar_bench::profile;
 use stellar_bench::report::out_dir;
 
 const USAGE: &str = "\
@@ -55,6 +56,11 @@ usage: run_all [options]
       --chaos SPEC   deterministic fault injection, e.g.
                      seed=7,kill=0.3,hang=0.1,corrupt=0.2,first=1
       --fixed-wall-ms MS  pin every wall-clock field (byte-stable output)
+      --profile      after the suite, run the telemetry/profiling pass
+                     (search funnel, worker stats, engine gauges, perf
+                     sentinel) and write envelope-sealed out/profile.json
+      --tolerance F  sentinel tolerance as a fraction below the committed
+                     baseline that still passes (default 0.5)
       --validate     verify every envelope under the out dir and exit";
 
 /// Everything the CLI decided.
@@ -63,6 +69,8 @@ struct Cli {
     resume: bool,
     requested_nonce: Option<String>,
     validate: bool,
+    profile: bool,
+    tolerance: f64,
 }
 
 /// Parses the argument list into a [`Cli`].
@@ -75,6 +83,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut resume = false;
     let mut requested_nonce = None;
     let mut validate = false;
+    let mut profile = false;
+    let mut tolerance = stellar_bench::profile::DEFAULT_TOLERANCE;
 
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
@@ -87,6 +97,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace" => opts.trace = true,
             "--resume" => resume = true,
             "--validate" => validate = true,
+            "--profile" => profile = true,
+            "--tolerance" => {
+                let v = take(a)?;
+                tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && (0.0..=1.0).contains(t))
+                    .ok_or_else(|| format!("invalid tolerance {v:?} (expected 0..=1)"))?;
+            }
             "-j" | "--jobs" => {
                 let v = take(a)?;
                 opts.jobs = v
@@ -155,6 +174,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         resume,
         requested_nonce,
         validate,
+        profile,
+        tolerance,
     })
 }
 
@@ -264,6 +285,26 @@ fn main() {
         // The run is complete; a later `--resume` must not splice these
         // reports into a new run, so retire the manifest.
         let _ = std::fs::remove_file(dir.join(MANIFEST_FILE));
+    }
+
+    if cli.profile && !interrupted {
+        // The profiling pass: search funnel + worker telemetry, engine
+        // introspection, stage timings, and the perf-regression sentinel
+        // against the committed BENCH_*.json baselines. The sentinel
+        // verdict lands in profile.json (CI gates on it with jq); the
+        // exit code stays the suite's.
+        let popts = profile::ProfileOptions {
+            jobs: opts.jobs,
+            tolerance: cli.tolerance,
+            ..profile::ProfileOptions::default()
+        };
+        let report = profile::run_profile(&popts);
+        profile::print_profile(&report);
+        let path = dir.join("profile.json");
+        match durable::write_envelope(&path, &profile::render_profile_json(&report)) {
+            Ok(()) => println!("profile -> {}", path.display()),
+            Err(e) => eprintln!("warning: could not write profile: {e}"),
+        }
     }
 
     let failures: Vec<&str> = outcomes.iter().filter_map(|o| o.error.as_deref()).collect();

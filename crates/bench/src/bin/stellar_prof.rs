@@ -1,0 +1,96 @@
+//! Standalone profiling & perf-sentinel run — `run_all --profile`
+//! without the experiment suite in front of it.
+//!
+//! Runs the telemetry pass of [`stellar_bench::profile`]: the profiled
+//! dataflow search (funnel + worker stats), the engine-introspected
+//! sparse sweep, per-stage timings, and the regression sentinel against
+//! the committed `BENCH_explore.json` / `BENCH_sim.json` baselines. The
+//! report prints as tables and is written envelope-sealed to
+//! `out/profile.json` (schema `stellar-profile-v1`).
+//!
+//! Unlike `run_all --profile` (whose exit code belongs to the experiment
+//! suite), this binary exits `1` when the sentinel flags a regression —
+//! so it can gate a local pre-commit check directly.
+
+use stellar_bench::durable;
+use stellar_bench::profile::{
+    print_profile, render_profile_json, run_profile, ProfileOptions, SentinelStatus,
+};
+use stellar_bench::report::out_dir;
+
+const USAGE: &str = "\
+usage: stellar_prof [options]
+  -j, --jobs N        worker parallelism for the profiled search
+                      (default: all cores; profile.json reports the
+                      actual worker count)
+      --tolerance F   sentinel tolerance as a fraction below the
+                      committed baseline that still passes (default 0.5)
+      --max-coeff C   coefficient bound for the explore sweep
+                      (default 2, the 5^9 acceptance space; 1 is a
+                      fast smoke)
+      --baseline-dir DIR  directory holding BENCH_*.json (default .)";
+
+fn parse_args(args: &[String]) -> Result<ProfileOptions, String> {
+    let mut opts = ProfileOptions::default();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        let mut take = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} expects a value"))
+        };
+        match a.as_str() {
+            "-j" | "--jobs" => {
+                let v = take(a)?;
+                opts.jobs = v
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid worker count {v:?}"))?;
+            }
+            "--tolerance" => {
+                let v = take(a)?;
+                opts.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && (0.0..=1.0).contains(t))
+                    .ok_or_else(|| format!("invalid tolerance {v:?} (expected 0..=1)"))?;
+            }
+            "--max-coeff" => {
+                let v = take(a)?;
+                opts.max_coeff = v
+                    .parse::<i64>()
+                    .ok()
+                    .filter(|&c| c >= 1)
+                    .ok_or_else(|| format!("invalid coefficient bound {v:?}"))?;
+            }
+            "--baseline-dir" => opts.baseline_dir = take(a)?.into(),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stellar_prof: {e}");
+            std::process::exit(2);
+        }
+    };
+    let report = run_profile(&opts);
+    print_profile(&report);
+    let path = out_dir().join("profile.json");
+    match durable::write_envelope(&path, &render_profile_json(&report)) {
+        Ok(()) => println!("profile -> {}", path.display()),
+        Err(e) => {
+            eprintln!("stellar_prof: could not write profile: {e}");
+            std::process::exit(1);
+        }
+    }
+    if report.status() == SentinelStatus::Regressed {
+        eprintln!("stellar_prof: performance regression flagged by the sentinel");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@
 pub mod chaos;
 pub mod durable;
 pub mod harness;
+pub mod profile;
 pub mod report;
 
 pub use report::{Report, ReportOptions};

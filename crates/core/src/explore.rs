@@ -30,12 +30,14 @@
 
 use std::collections::HashSet;
 use std::ops::Range;
+use std::time::Instant;
 
 use rayon::prelude::*;
+use rayon::PoolStats;
 use stellar_linalg::IntMat;
 
 use crate::error::CompileError;
-use crate::fold::{det_flat, summarize_array, FoldScorer, FoldScratch};
+use crate::fold::{det_flat, summarize_array, ExploreFunnel, FoldScorer, FoldScratch};
 use crate::func::Functionality;
 use crate::index::Bounds;
 use crate::iterspace::IterationSpace;
@@ -101,10 +103,12 @@ pub struct ExploreOptions {
     /// Keep at most this many results (best first).
     pub keep: usize,
     /// Worker parallelism: `0` shards across all available cores, `1`
-    /// keeps the original single-threaded scan, and `n ≥ 2` shards the
-    /// enumeration as if `n` workers were available (the actual worker
-    /// count is rayon's, capped by `RAYON_NUM_THREADS`). Every setting
-    /// produces a byte-identical ranking.
+    /// keeps the original single-threaded scan, and `n ≥ 2` both shards
+    /// the enumeration for `n` workers and caps the pool at `n` threads
+    /// (so profiled runs report exactly the requested worker count).
+    /// Every setting produces a byte-identical ranking — and, through
+    /// [`explore_dataflows_profiled`], a byte-identical
+    /// [`ExploreFunnel`].
     pub parallelism: usize,
     /// Test hook: panic while scanning this candidate code, exercising
     /// the shard panic-isolation path ([`CompileError::WorkerPanicked`]).
@@ -155,13 +159,19 @@ fn decode_candidate(code: usize, coeffs: &[i64], rows: &mut [i64]) {
 
 /// Scans one contiguous range of mixed-radix codes, returning the valid
 /// dataflows in code order, locally deduplicated by structure (first
-/// occurrence wins, as in the serial scan). All steady-state work runs in
-/// the per-shard scratch buffers; a `SpaceTimeTransform` (and its exact
-/// rational inverse) is built only for candidates that survive
-/// deduplication.
-fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, ExploredDataflow)> {
+/// occurrence wins, as in the serial scan), plus the shard's stage-count
+/// [`ExploreFunnel`]. All steady-state work runs in the per-shard scratch
+/// buffers; a `SpaceTimeTransform` (and its exact rational inverse) is
+/// built only for candidates that survive deduplication. The funnel
+/// counters are plain integer adds on branches the scan already takes, so
+/// the hot loop stays allocation-free.
+fn scan_codes(
+    ctx: &ScanCtx<'_>,
+    codes: Range<usize>,
+) -> (Vec<(StructureKey, ExploredDataflow)>, ExploreFunnel) {
     let n_entries = ctx.rank * ctx.rank;
     let mut out = Vec::new();
+    let mut funnel = ExploreFunnel::default();
     let mut seen: HashSet<StructureKey> = HashSet::new();
     let mut scratch = FoldScratch::for_scorer(&ctx.scorer);
     let mut rows = vec![0i64; n_entries];
@@ -173,6 +183,7 @@ fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, Expl
             panic!("injected panic at candidate code {code}");
         }
         decode_candidate(code, &ctx.coeffs, &mut rows);
+        funnel.decoded += 1;
         // Fast causality filter: every recurrence must move strictly
         // forward in time. One dot product with the time row per diff —
         // rejects the bulk of the space before the determinant runs.
@@ -182,28 +193,44 @@ fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, Expl
             .iter()
             .any(|d| trow.iter().zip(d).map(|(a, b)| a * b).sum::<i64>() <= 0)
         {
+            funnel.causality_rejected += 1;
             continue;
         }
         if det_flat(&rows, ctx.rank, &mut det_buf) == 0 {
+            funnel.singular += 1;
             continue;
         }
         let summary = match ctx.scorer.score_rows(&rows, &mut scratch) {
             Some(Ok(s)) => s,
-            Some(Err(_)) => continue, // collision
+            Some(Err(_)) => {
+                funnel.collision_rejected += 1;
+                continue;
+            }
             None => {
                 // Coordinates too wide for packed keys: take the full fold.
+                funnel.pack_fallback += 1;
                 let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
                 let t = match SpaceTimeTransform::new(mat) {
                     Ok(t) => t,
-                    Err(_) => continue,
+                    Err(_) => {
+                        // Unreachable after the exact determinant check,
+                        // but keep the funnel a partition regardless.
+                        funnel.singular += 1;
+                        continue;
+                    }
                 };
                 match SpatialArray::from_iterspace(&ctx.is, ctx.func, &t) {
                     Ok(a) => summarize_array(&a),
-                    Err(_) => continue, // collision
+                    Err(_) => {
+                        funnel.collision_rejected += 1;
+                        continue;
+                    }
                 }
             }
         };
+        funnel.scored += 1;
         if summary.num_pes > ctx.max_pes {
+            funnel.over_max_pes += 1;
             continue;
         }
         let key = (
@@ -213,24 +240,26 @@ fn scan_codes(ctx: &ScanCtx<'_>, codes: Range<usize>) -> Vec<(StructureKey, Expl
             summary.stationary_conns,
             summary.time_steps,
         );
-        if seen.insert(key) {
-            let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
-            let t =
-                SpaceTimeTransform::new(mat).expect("candidate passed the exact determinant check");
-            out.push((
-                key,
-                ExploredDataflow {
-                    transform: t,
-                    num_pes: summary.num_pes,
-                    moving_conns: summary.moving_conns,
-                    stationary_conns: summary.stationary_conns,
-                    io_ports: summary.io_ports,
-                    time_steps: summary.time_steps,
-                },
-            ));
+        if !seen.insert(key) {
+            funnel.dedup_collisions += 1;
+            continue;
         }
+        funnel.survivors += 1;
+        let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
+        let t = SpaceTimeTransform::new(mat).expect("candidate passed the exact determinant check");
+        out.push((
+            key,
+            ExploredDataflow {
+                transform: t,
+                num_pes: summary.num_pes,
+                moving_conns: summary.moving_conns,
+                stationary_conns: summary.stationary_conns,
+                io_ports: summary.io_ports,
+                time_steps: summary.time_steps,
+            },
+        ));
     }
-    out
+    (out, funnel)
 }
 
 /// Shared search preamble: validates the functionality, elaborates the
@@ -275,6 +304,23 @@ fn rank_results(mut results: Vec<ExploredDataflow>, keep: usize) -> Vec<Explored
     results
 }
 
+/// One profiled dataflow search: the ranking plus the telemetry the
+/// search gathered while producing it.
+#[derive(Clone, Debug)]
+pub struct ExploreRun {
+    /// The ranked survivors, exactly as [`explore_dataflows`] returns.
+    pub results: Vec<ExploredDataflow>,
+    /// Per-stage candidate accounting. `funnel.decoded` equals the full
+    /// `(2·max_coeff+1)^(rank²)` space and the partition invariants of
+    /// [`ExploreFunnel::check`] hold; the funnel is byte-identical across
+    /// serial and parallel runs of the same search.
+    pub funnel: ExploreFunnel,
+    /// Worker telemetry for the scan. Items are scheduled work units
+    /// (enumeration shards; the serial path reports one unit), not
+    /// individual candidates.
+    pub workers: PoolStats,
+}
+
 /// Enumerates valid dataflows for a functionality over the given bounds,
 /// returning distinct array structures sorted by [`ExploredDataflow::cost`].
 ///
@@ -300,6 +346,26 @@ pub fn explore_dataflows(
     bounds: &Bounds,
     opts: &ExploreOptions,
 ) -> Result<Vec<ExploredDataflow>, CompileError> {
+    explore_dataflows_profiled(func, bounds, opts).map(|run| run.results)
+}
+
+/// [`explore_dataflows`] with telemetry: the same ranking, plus the
+/// stage-count [`ExploreFunnel`] and per-worker [`PoolStats`]. The
+/// counters ride on branches the scan already takes — the hot loop stays
+/// allocation-free — and the funnel is deterministic: byte-identical for
+/// every [`ExploreOptions::parallelism`] setting, because shard funnels
+/// merge in code order and shard-local survivors that lose the global
+/// deduplication are demoted to `dedup_collisions`, exactly as the serial
+/// scan would have counted them.
+///
+/// # Errors
+///
+/// Same contract as [`explore_dataflows`].
+pub fn explore_dataflows_profiled(
+    func: &Functionality,
+    bounds: &Bounds,
+    opts: &ExploreOptions,
+) -> Result<ExploreRun, CompileError> {
     let (is, diffs, coeffs, total) = search_inputs(func, bounds, opts.max_coeff)?;
     let scorer = FoldScorer::new(&is, func);
     let rank = func.rank();
@@ -324,7 +390,9 @@ pub fn explore_dataflows(
     // scoring bug, an overflow) becomes `Err(WorkerPanicked)` instead of
     // tearing down the process hosting the search.
     let panicked = |message: String| CompileError::WorkerPanicked { message };
-    let shards: Vec<Vec<(StructureKey, ExploredDataflow)>> = if workers <= 1 || total <= MIN_SHARD {
+    type Shard = (Vec<(StructureKey, ExploredDataflow)>, ExploreFunnel);
+    let (shards, pool): (Vec<Shard>, PoolStats) = if workers <= 1 || total <= MIN_SHARD {
+        let started = Instant::now();
         let shard =
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scan_codes(&ctx, 0..total)))
                 .map_err(|payload| {
@@ -335,32 +403,49 @@ pub fn explore_dataflows(
                     .unwrap_or_else(|| "non-string panic payload".to_string());
                 panicked(message)
             })?;
-        vec![shard]
+        let busy_ms = started.elapsed().as_secs_f64() * 1e3;
+        (vec![shard], PoolStats::serial(1, busy_ms))
     } else {
         // Several shards per worker so an expensive shard load-balances.
         let shard = total.div_ceil(workers * 8).max(MIN_SHARD);
         let n_shards = total.div_ceil(shard);
         (0..n_shards)
             .into_par_iter()
+            .with_max_threads(workers)
             .map(|s| scan_codes(&ctx, s * shard..((s + 1) * shard).min(total)))
-            .try_collect_vec()
+            .try_collect_vec_profiled()
             .map_err(|p| panicked(p.message))?
     };
 
     // Merge shards in code order under a global dedup set: the survivor of
     // every structure is its lowest-code candidate, matching the serial
-    // scan exactly.
+    // scan exactly. Funnels merge the same way; a shard-local survivor
+    // that loses the global dedup is demoted to a dedup collision, which
+    // is what the serial scan would have counted it as.
+    let mut funnel = ExploreFunnel::default();
     let mut seen: HashSet<StructureKey> = HashSet::new();
     let mut results: Vec<ExploredDataflow> = Vec::new();
-    for shard in shards {
+    for (shard, shard_funnel) in shards {
+        funnel.merge(&shard_funnel);
         for (key, e) in shard {
             if seen.insert(key) {
                 results.push(e);
+            } else {
+                funnel.survivors -= 1;
+                funnel.dedup_collisions += 1;
             }
         }
     }
 
-    Ok(rank_results(results, opts.keep))
+    let results = rank_results(results, opts.keep);
+    funnel.materialized = results.len() as u64;
+    debug_assert_eq!(funnel.decoded, total as u64);
+    debug_assert_eq!(funnel.check(), Ok(()));
+    Ok(ExploreRun {
+        results,
+        workers: pool,
+        funnel,
+    })
 }
 
 /// The pre-fast-path search, retained verbatim as the in-tree oracle: a
@@ -430,6 +515,113 @@ pub fn explore_dataflows_reference(
         }
     }
     Ok(rank_results(results, opts.keep))
+}
+
+/// [`explore_dataflows_reference`] with the same stage-count telemetry as
+/// [`explore_dataflows_profiled`], so the funnel-determinism tests can
+/// hold the fast path's accounting equal to the oracle's.
+///
+/// The oracle's filters commute as a *set* (a candidate rejected by both
+/// causality and singularity is rejected either way), but funnel buckets
+/// need one canonical attribution order. This variant classifies in the
+/// fast path's order — causality first (the same raw time-row dot product
+/// as [`SpaceTimeTransform::time_delta`], taken before the matrix is
+/// built), then singularity, then the full fold — so the buckets match
+/// the fast path exactly while the ranking stays byte-identical to
+/// [`explore_dataflows_reference`]. `pack_fallback` is always zero here:
+/// the oracle has no packed fast path to fall back *from*.
+///
+/// # Errors
+///
+/// Same contract as [`explore_dataflows`].
+pub fn explore_dataflows_reference_profiled(
+    func: &Functionality,
+    bounds: &Bounds,
+    opts: &ExploreOptions,
+) -> Result<ExploreRun, CompileError> {
+    let (is, diffs, coeffs, total) = search_inputs(func, bounds, opts.max_coeff)?;
+    let rank = func.rank();
+    let n_entries = rank * rank;
+    let n_choices = coeffs.len();
+    let started = Instant::now();
+    let mut funnel = ExploreFunnel::default();
+    let mut results: Vec<ExploredDataflow> = Vec::new();
+    let mut seen: HashSet<StructureKey> = HashSet::new();
+    for code in 0..total {
+        // Decode the matrix entries from the mixed-radix code.
+        let mut rem = code;
+        let mut data = Vec::with_capacity(n_entries);
+        for _ in 0..n_entries {
+            data.push(coeffs[rem % n_choices]);
+            rem /= n_choices;
+        }
+        funnel.decoded += 1;
+        let trow = &data[(rank - 1) * rank..];
+        if diffs
+            .iter()
+            .any(|d| trow.iter().zip(d).map(|(a, b)| a * b).sum::<i64>() <= 0)
+        {
+            funnel.causality_rejected += 1;
+            continue;
+        }
+        let mat = IntMat::from_vec(rank, rank, data);
+        if mat.det() == 0 {
+            funnel.singular += 1;
+            continue;
+        }
+        let t = match SpaceTimeTransform::new(mat) {
+            Ok(t) => t,
+            Err(_) => {
+                funnel.singular += 1;
+                continue;
+            }
+        };
+        let arr = match reference::from_iterspace(&is, func, &t) {
+            Ok(a) => a,
+            Err(_) => {
+                funnel.collision_rejected += 1;
+                continue;
+            }
+        };
+        funnel.scored += 1;
+        if arr.num_pes() > opts.max_pes {
+            funnel.over_max_pes += 1;
+            continue;
+        }
+        let moving = arr.conns().iter().filter(|c| !c.is_stationary()).count();
+        let stationary = arr.conns().len() - moving;
+        let e = ExploredDataflow {
+            transform: t,
+            num_pes: arr.num_pes(),
+            moving_conns: moving,
+            stationary_conns: stationary,
+            io_ports: arr.io_ports().len(),
+            time_steps: arr.total_time_steps(),
+        };
+        let key = (
+            e.num_pes,
+            e.moving_conns,
+            e.io_ports,
+            stationary,
+            e.time_steps,
+        );
+        if !seen.insert(key) {
+            funnel.dedup_collisions += 1;
+            continue;
+        }
+        funnel.survivors += 1;
+        results.push(e);
+    }
+    let busy_ms = started.elapsed().as_secs_f64() * 1e3;
+    let results = rank_results(results, opts.keep);
+    funnel.materialized = results.len() as u64;
+    debug_assert_eq!(funnel.decoded, total as u64);
+    debug_assert_eq!(funnel.check(), Ok(()));
+    Ok(ExploreRun {
+        results,
+        funnel,
+        workers: PoolStats::serial(1, busy_ms),
+    })
 }
 
 #[cfg(test)]
@@ -580,6 +772,89 @@ mod tests {
         .unwrap_err();
         let clean_after = explore_dataflows(&f, &bounds, &ExploreOptions::default()).unwrap();
         assert_eq!(clean_before, clean_after);
+    }
+
+    #[test]
+    fn funnel_accounts_for_every_candidate() {
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        let opts = ExploreOptions {
+            parallelism: 1,
+            ..ExploreOptions::default()
+        };
+        let run = explore_dataflows_profiled(&f, &bounds, &opts).unwrap();
+        // The funnel covers the whole (2c+1)^(rank²) space and partitions.
+        assert_eq!(run.funnel.decoded, 3u64.pow(9));
+        run.funnel.check().unwrap();
+        assert!(run.funnel.survivors > 0);
+        assert_eq!(run.funnel.materialized, run.results.len() as u64);
+        // The profiled entry returns the exact same ranking.
+        assert_eq!(run.results, explore_dataflows(&f, &bounds, &opts).unwrap());
+        // Serial scan: one fully-busy worker.
+        assert_eq!(run.workers.worker_count(), 1);
+        assert_eq!(run.workers.total_items(), 1);
+    }
+
+    #[test]
+    fn funnel_is_identical_across_parallelism() {
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        let serial = explore_dataflows_profiled(
+            &f,
+            &bounds,
+            &ExploreOptions {
+                parallelism: 1,
+                ..ExploreOptions::default()
+            },
+        )
+        .unwrap();
+        for parallelism in [0usize, 2, 3, 8] {
+            let run = explore_dataflows_profiled(
+                &f,
+                &bounds,
+                &ExploreOptions {
+                    parallelism,
+                    ..ExploreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                run.funnel, serial.funnel,
+                "parallelism={parallelism} funnel diverged"
+            );
+            assert_eq!(run.results, serial.results);
+            if parallelism >= 2 {
+                // parallelism n caps the pool at n threads.
+                assert!(
+                    run.workers.worker_count() <= parallelism,
+                    "parallelism={parallelism} ran {} workers",
+                    run.workers.worker_count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reference_funnel_matches_fast_path() {
+        let f = Functionality::matmul(4, 4, 4);
+        let bounds = Bounds::from_extents(&[4, 4, 4]);
+        let opts = ExploreOptions {
+            parallelism: 1,
+            ..ExploreOptions::default()
+        };
+        let fast = explore_dataflows_profiled(&f, &bounds, &opts).unwrap();
+        let oracle = explore_dataflows_reference_profiled(&f, &bounds, &opts).unwrap();
+        // The oracle has no packed fast path, so its fallback count is 0
+        // by construction; every partitioned bucket must agree.
+        let mut fast_funnel = fast.funnel;
+        fast_funnel.pack_fallback = 0;
+        assert_eq!(fast_funnel, oracle.funnel);
+        // Reordering the oracle's filters for canonical attribution must
+        // not change its ranking.
+        assert_eq!(
+            oracle.results,
+            explore_dataflows_reference(&f, &bounds, &opts).unwrap()
+        );
     }
 
     #[test]

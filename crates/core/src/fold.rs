@@ -59,6 +59,107 @@ pub fn summarize_array(arr: &SpatialArray) -> StructureSummary {
     }
 }
 
+/// Per-stage candidate accounting for one dataflow search: how many of
+/// the `(2·max_coeff+1)^(rank²)` enumerated codes each filter stage
+/// consumed. Counters are plain `u64` adds on paths that already branch,
+/// so the search's zero-steady-state-allocation property is untouched.
+///
+/// The stages form a partition, checked by [`ExploreFunnel::check`]:
+///
+/// * every decoded candidate lands in exactly one **terminal** bucket —
+///   `causality_rejected + singular + collision_rejected + scored
+///   == decoded`;
+/// * every scored candidate lands in exactly one **outcome** bucket —
+///   `over_max_pes + dedup_collisions + survivors == scored`.
+///
+/// `pack_fallback` is informational (a subset of the non-causality,
+/// non-singular candidates that took the full fold instead of the packed
+/// fast path) and participates in neither sum. Shard funnels merge by
+/// field-wise addition; the parallel merge then demotes shard-local
+/// survivors that lose global deduplication from `survivors` to
+/// `dedup_collisions`, so the funnel of a parallel search is
+/// byte-identical to the serial one.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ExploreFunnel {
+    /// Candidate codes decoded from the mixed-radix enumeration. Equals
+    /// the full search-space size `(2·max_coeff+1)^(rank²)` after a
+    /// complete sweep.
+    pub decoded: u64,
+    /// Rejected by the causality prefilter: some recurrence fails to move
+    /// strictly forward in time (`Δt ≤ 0`).
+    pub causality_rejected: u64,
+    /// Rejected because the transform matrix is singular.
+    pub singular: u64,
+    /// Scored via the full `SpatialArray` fold because the packed-`u64`
+    /// fast path could not represent the coordinates. Informational —
+    /// these candidates still land in `collision_rejected`, `singular`,
+    /// or `scored`.
+    pub pack_fallback: u64,
+    /// Rejected because two iteration points collide in space-time.
+    pub collision_rejected: u64,
+    /// Valid candidates that produced a structure summary.
+    pub scored: u64,
+    /// Scored candidates rejected by the [`ExploreOptions::max_pes`]
+    /// bound.
+    ///
+    /// [`ExploreOptions::max_pes`]: crate::explore::ExploreOptions::max_pes
+    pub over_max_pes: u64,
+    /// Scored candidates whose structure key was already claimed by a
+    /// lower-code candidate (local dedup plus parallel-merge demotions).
+    pub dedup_collisions: u64,
+    /// Distinct structures that survived deduplication.
+    pub survivors: u64,
+    /// Survivors actually kept after ranking and truncation to
+    /// [`ExploreOptions::keep`] — the ones a caller would materialize.
+    ///
+    /// [`ExploreOptions::keep`]: crate::explore::ExploreOptions::keep
+    pub materialized: u64,
+}
+
+impl ExploreFunnel {
+    /// Field-wise accumulation (shard → global), saturating on overflow.
+    pub fn merge(&mut self, o: &ExploreFunnel) {
+        self.decoded = self.decoded.saturating_add(o.decoded);
+        self.causality_rejected = self.causality_rejected.saturating_add(o.causality_rejected);
+        self.singular = self.singular.saturating_add(o.singular);
+        self.pack_fallback = self.pack_fallback.saturating_add(o.pack_fallback);
+        self.collision_rejected = self.collision_rejected.saturating_add(o.collision_rejected);
+        self.scored = self.scored.saturating_add(o.scored);
+        self.over_max_pes = self.over_max_pes.saturating_add(o.over_max_pes);
+        self.dedup_collisions = self.dedup_collisions.saturating_add(o.dedup_collisions);
+        self.survivors = self.survivors.saturating_add(o.survivors);
+        self.materialized = self.materialized.saturating_add(o.materialized);
+    }
+
+    /// Verifies the partition invariants, returning the first violated
+    /// equation as `Err` (for test assertions and the profile sentinel).
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated invariant.
+    pub fn check(&self) -> Result<(), &'static str> {
+        let terminal = self
+            .causality_rejected
+            .saturating_add(self.singular)
+            .saturating_add(self.collision_rejected)
+            .saturating_add(self.scored);
+        if terminal != self.decoded {
+            return Err("terminal buckets do not sum to decoded");
+        }
+        let outcomes = self
+            .over_max_pes
+            .saturating_add(self.dedup_collisions)
+            .saturating_add(self.survivors);
+        if outcomes != self.scored {
+            return Err("outcome buckets do not sum to scored");
+        }
+        if self.materialized > self.survivors {
+            return Err("materialized exceeds survivors");
+        }
+        Ok(())
+    }
+}
+
 /// A generation-stamped open-addressing `u64` set/map used as per-candidate
 /// scratch: `begin` logically clears it in O(1) by bumping the generation,
 /// so scoring millions of candidates never re-zeros memory.

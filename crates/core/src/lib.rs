@@ -72,10 +72,11 @@ pub use design::{
 pub use error::CompileError;
 pub use exec::{Executor, ProfiledRun, ScheduleProfile, ScheduledRun};
 pub use explore::{
-    explore_dataflows, explore_dataflows_reference, ExploreOptions, ExploredDataflow,
+    explore_dataflows, explore_dataflows_profiled, explore_dataflows_reference,
+    explore_dataflows_reference_profiled, ExploreOptions, ExploreRun, ExploredDataflow,
 };
 pub use expr::Expr;
-pub use fold::{summarize_array, FoldScorer, FoldScratch, StructureSummary};
+pub use fold::{summarize_array, ExploreFunnel, FoldScorer, FoldScratch, StructureSummary};
 pub use func::{Functionality, TensorId, TensorRole, VarId};
 pub use index::{Bounds, IdxExpr, IndexId};
 pub use iterspace::{Assignment, IOConn, IterationSpace, Point, Point2PointConn, PointId};

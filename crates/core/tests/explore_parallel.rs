@@ -5,8 +5,8 @@
 //! so any field drift (not just ordering) fails loudly.
 
 use stellar_core::{
-    explore_dataflows, explore_dataflows_reference, Bounds, ExploreOptions, ExploredDataflow,
-    Functionality,
+    explore_dataflows, explore_dataflows_profiled, explore_dataflows_reference,
+    explore_dataflows_reference_profiled, Bounds, ExploreOptions, ExploredDataflow, Functionality,
 };
 
 fn sweep_opts(max_coeff: i64, parallelism: usize) -> ExploreOptions {
@@ -96,6 +96,56 @@ fn parallelism_one_is_the_serial_path() {
     // `parallelism: 1` must not even shard — spot-check it agrees with an
     // explicitly odd worker count on the small sweep.
     assert_eq!(byte_image(&sweep(1, 1)), byte_image(&sweep(1, 7)));
+}
+
+#[test]
+fn funnel_is_deterministic_and_matches_the_oracle() {
+    // The telemetry funnel is part of the determinism contract: the
+    // per-stage counts must be byte-identical across parallelism 1/2/4,
+    // must sum to the full (2c+1)^(rank²) candidate space, and must equal
+    // the reference oracle's funnel (which classifies in the same
+    // canonical order but has no packed fast path, hence pack_fallback
+    // is compared separately).
+    let f = Functionality::matmul(3, 3, 3);
+    let bounds = Bounds::from_extents(&[3, 3, 3]);
+    let serial = explore_dataflows_profiled(&f, &bounds, &sweep_opts(1, 1)).unwrap();
+    serial.funnel.check().unwrap();
+    assert_eq!(serial.funnel.decoded, 3u64.pow(9));
+    let funnel_image = format!("{:?}", serial.funnel);
+    for parallelism in [2usize, 4] {
+        let run = explore_dataflows_profiled(&f, &bounds, &sweep_opts(1, parallelism)).unwrap();
+        assert_eq!(
+            format!("{:?}", run.funnel),
+            funnel_image,
+            "parallelism={parallelism} funnel diverged from serial"
+        );
+        assert_eq!(byte_image(&run.results), byte_image(&serial.results));
+    }
+    let oracle = explore_dataflows_reference_profiled(&f, &bounds, &sweep_opts(1, 1)).unwrap();
+    oracle.funnel.check().unwrap();
+    assert_eq!(oracle.funnel.pack_fallback, 0);
+    let mut fast = serial.funnel;
+    fast.pack_fallback = 0;
+    assert_eq!(fast, oracle.funnel, "fast-path funnel diverged from oracle");
+    assert_eq!(byte_image(&oracle.results), byte_image(&serial.results));
+}
+
+#[test]
+fn funnel_is_deterministic_on_the_acceptance_sweep() {
+    // The ~1.95M-candidate max_coeff=2 sweep: serial vs auto-parallel
+    // funnels must agree bucket for bucket.
+    let f = Functionality::matmul(3, 3, 3);
+    let bounds = Bounds::from_extents(&[3, 3, 3]);
+    let serial = explore_dataflows_profiled(&f, &bounds, &sweep_opts(2, 1)).unwrap();
+    serial.funnel.check().unwrap();
+    assert_eq!(serial.funnel.decoded, 5u64.pow(9));
+    let parallel = explore_dataflows_profiled(&f, &bounds, &sweep_opts(2, 0)).unwrap();
+    assert_eq!(
+        format!("{:?}", parallel.funnel),
+        format!("{:?}", serial.funnel),
+        "auto-parallel funnel diverged from serial"
+    );
+    assert_eq!(byte_image(&parallel.results), byte_image(&serial.results));
 }
 
 #[test]

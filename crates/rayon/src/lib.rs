@@ -23,6 +23,85 @@ use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Wall-clock telemetry for one worker thread of a parallel map: how long
+/// the thread existed (`wall_ms`), how much of that it spent executing
+/// chunks (`busy_ms`), and how much work it claimed. The gap
+/// ([`WorkerStats::idle_ms`]) is the tail-stall/imbalance signal the
+/// profiling layer exists to expose. Timings are real wall-clock and
+/// therefore **not** deterministic — only the item/chunk counts are —
+/// so they are telemetry, never part of a computed result.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Milliseconds spent executing claimed chunks.
+    pub busy_ms: f64,
+    /// Milliseconds from worker start to worker exit.
+    pub wall_ms: f64,
+    /// Chunks this worker claimed and completed.
+    pub chunks: u64,
+    /// Items this worker processed.
+    pub items: u64,
+}
+
+impl WorkerStats {
+    /// Milliseconds the worker spent waiting rather than computing
+    /// (clamped at zero against timer skew).
+    pub fn idle_ms(&self) -> f64 {
+        (self.wall_ms - self.busy_ms).max(0.0)
+    }
+}
+
+/// Per-worker telemetry for one parallel-map execution, in worker-index
+/// order. The serial path reports itself as a single fully-busy worker.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// One entry per worker thread, indexed by spawn order.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Number of worker threads that ran.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Total items processed across workers.
+    pub fn total_items(&self) -> u64 {
+        self.workers.iter().map(|w| w.items).sum()
+    }
+
+    /// Total chunks executed across workers.
+    pub fn total_chunks(&self) -> u64 {
+        self.workers.iter().map(|w| w.chunks).sum()
+    }
+
+    /// Busy time as a fraction of total worker wall time (0 when no
+    /// worker accumulated any wall time, never NaN).
+    pub fn utilization(&self) -> f64 {
+        let wall: f64 = self.workers.iter().map(|w| w.wall_ms).sum();
+        if wall <= 0.0 {
+            return 0.0;
+        }
+        let busy: f64 = self.workers.iter().map(|w| w.busy_ms).sum();
+        (busy / wall).clamp(0.0, 1.0)
+    }
+
+    /// The stats of a serial execution: one worker, busy the whole time.
+    /// Public so callers with their own single-threaded fast paths (e.g.
+    /// the small-sweep branch of the dataflow search) can report the same
+    /// telemetry shape as a parallel run.
+    pub fn serial(items: u64, busy_ms: f64) -> PoolStats {
+        PoolStats {
+            workers: vec![WorkerStats {
+                busy_ms,
+                wall_ms: busy_ms,
+                chunks: u64::from(items > 0),
+                items,
+            }],
+        }
+    }
+}
 
 /// A worker closure panicked during a parallel map. Returned by the
 /// `try_*` entry points instead of re-raising the panic, so a single bad
@@ -195,17 +274,30 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
 pub struct ParIter<S> {
     source: S,
     min_len: usize,
+    max_threads: usize,
 }
 
 impl<S: ParSource> ParIter<S> {
     fn new(source: S) -> ParIter<S> {
-        ParIter { source, min_len: 1 }
+        ParIter {
+            source,
+            min_len: 1,
+            max_threads: 0,
+        }
     }
 
     /// Lower-bounds the chunk size workers claim at a time (a splitting
     /// hint, exactly like rayon's).
     pub fn with_min_len(mut self, min_len: usize) -> Self {
         self.min_len = min_len.max(1);
+        self
+    }
+
+    /// Caps the worker-thread count for this execution (`0` keeps the
+    /// pool default from [`current_num_threads`]). Results are identical
+    /// for every setting; only scheduling and telemetry change.
+    pub fn with_max_threads(mut self, max_threads: usize) -> Self {
+        self.max_threads = max_threads;
         self
     }
 
@@ -219,6 +311,7 @@ impl<S: ParSource> ParIter<S> {
             source: self.source,
             f,
             min_len: self.min_len,
+            max_threads: self.max_threads,
         }
     }
 
@@ -237,6 +330,7 @@ pub struct ParMap<S, F> {
     source: S,
     f: F,
     min_len: usize,
+    max_threads: usize,
 }
 
 impl<S, F, R> ParMap<S, F>
@@ -250,14 +344,24 @@ where
     /// chunk — deterministic regardless of thread count or completion
     /// order, so a panicking input reports the same failure every run.
     /// Once any chunk panics, workers stop claiming new chunks (in-flight
-    /// chunks finish).
-    fn try_run_inner(self) -> Result<Vec<R>, Box<dyn std::any::Any + Send>> {
+    /// chunks finish). Alongside the results it returns per-worker
+    /// telemetry ([`PoolStats`]); the counters cost two `Instant` reads
+    /// per *chunk*, noise next to the thousands of items a chunk holds.
+    fn try_run_profiled_inner(self) -> Result<(Vec<R>, PoolStats), Box<dyn std::any::Any + Send>> {
         let len = self.source.len();
-        let threads = current_num_threads().min(len.max(1));
+        let mut threads = current_num_threads().min(len.max(1));
+        if self.max_threads > 0 {
+            threads = threads.min(self.max_threads);
+        }
         if threads <= 1 || len <= 1 {
-            return catch_unwind(AssertUnwindSafe(|| {
-                (0..len).map(|i| (self.f)(self.source.get(i))).collect()
-            }));
+            let started = Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| {
+                (0..len)
+                    .map(|i| (self.f)(self.source.get(i)))
+                    .collect::<Vec<R>>()
+            }))?;
+            let busy_ms = started.elapsed().as_secs_f64() * 1e3;
+            return Ok((out, PoolStats::serial(len as u64, busy_ms)));
         }
 
         // Aim for several chunks per worker so a slow chunk load-balances,
@@ -266,13 +370,21 @@ where
         let cursor = AtomicUsize::new(0);
         let abort = AtomicBool::new(false);
         let chunks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+        let worker_stats: Mutex<Vec<(usize, WorkerStats)>> = Mutex::new(Vec::new());
         type Payload = Box<dyn std::any::Any + Send>;
         let panics: Mutex<Vec<(usize, Payload)>> = Mutex::new(Vec::new());
         let f = &self.f;
         let source = &self.source;
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
+            for w in 0..threads {
+                let chunks = &chunks;
+                let worker_stats = &worker_stats;
+                let panics = &panics;
+                let cursor = &cursor;
+                let abort = &abort;
+                scope.spawn(move || {
+                    let worker_started = Instant::now();
+                    let mut stats = WorkerStats::default();
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
                         if abort.load(Ordering::Relaxed) {
@@ -283,6 +395,7 @@ where
                             break;
                         }
                         let end = (start + chunk).min(len);
+                        let chunk_started = Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| {
                             let mut out = Vec::with_capacity(end - start);
                             for i in start..end {
@@ -290,7 +403,12 @@ where
                             }
                             out
                         })) {
-                            Ok(out) => local.push((start, out)),
+                            Ok(out) => {
+                                stats.busy_ms += chunk_started.elapsed().as_secs_f64() * 1e3;
+                                stats.chunks += 1;
+                                stats.items += (end - start) as u64;
+                                local.push((start, out));
+                            }
                             Err(payload) => {
                                 abort.store(true, Ordering::Relaxed);
                                 if let Ok(mut p) = panics.lock() {
@@ -300,8 +418,12 @@ where
                             }
                         }
                     }
+                    stats.wall_ms = worker_started.elapsed().as_secs_f64() * 1e3;
                     if let Ok(mut all) = chunks.lock() {
                         all.extend(local);
+                    }
+                    if let Ok(mut all) = worker_stats.lock() {
+                        all.push((w, stats));
                     }
                 });
             }
@@ -322,7 +444,19 @@ where
         for (_, mut part) in all {
             out.append(&mut part);
         }
-        Ok(out)
+        let mut per_worker = worker_stats.into_inner().unwrap_or_default();
+        per_worker.sort_unstable_by_key(|&(w, _)| w);
+        Ok((
+            out,
+            PoolStats {
+                workers: per_worker.into_iter().map(|(_, s)| s).collect(),
+            },
+        ))
+    }
+
+    /// [`ParMap::try_run_profiled_inner`] with the telemetry discarded.
+    fn try_run_inner(self) -> Result<Vec<R>, Box<dyn std::any::Any + Send>> {
+        self.try_run_profiled_inner().map(|(out, _)| out)
     }
 
     /// Executes the map, returning results in index order. A panic in any
@@ -346,6 +480,21 @@ where
     /// [`Panicked`] carrying the first panic's message.
     pub fn try_collect_vec(self) -> Result<Vec<R>, Panicked> {
         self.try_run_inner().map_err(|payload| Panicked {
+            message: panic_message(payload.as_ref()),
+        })
+    }
+
+    /// [`ParMap::try_collect_vec`] plus per-worker telemetry: results in
+    /// index order together with the [`PoolStats`] of the execution. The
+    /// result vector is byte-identical to the unprofiled path; only the
+    /// telemetry (wall-clock, inherently nondeterministic) differs run
+    /// to run.
+    ///
+    /// # Errors
+    ///
+    /// [`Panicked`] carrying the first panic's message.
+    pub fn try_collect_vec_profiled(self) -> Result<(Vec<R>, PoolStats), Panicked> {
+        self.try_run_profiled_inner().map_err(|payload| Panicked {
             message: panic_message(payload.as_ref()),
         })
     }
@@ -497,6 +646,69 @@ mod tests {
         });
         let payload = caught.unwrap_err();
         assert_eq!(payload.downcast_ref::<&str>(), Some(&"kept payload"));
+    }
+
+    #[test]
+    fn profiled_collect_matches_plain_collect() {
+        let plain: Vec<u64> = (0..10_000u64).into_par_iter().map(|i| i * 7).collect();
+        let (profiled, stats) = (0..10_000u64)
+            .into_par_iter()
+            .map(|i| i * 7)
+            .try_collect_vec_profiled()
+            .unwrap();
+        assert_eq!(plain, profiled);
+        assert!(stats.worker_count() >= 1);
+        assert_eq!(stats.total_items(), 10_000);
+        assert!(stats.total_chunks() >= 1);
+        for w in &stats.workers {
+            assert!(w.wall_ms >= 0.0 && w.busy_ms >= 0.0 && w.idle_ms() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn max_threads_caps_the_worker_count() {
+        for cap in [1usize, 2, 3] {
+            let (out, stats) = (0..50_000usize)
+                .into_par_iter()
+                .with_max_threads(cap)
+                .map(|i| i + 1)
+                .try_collect_vec_profiled()
+                .unwrap();
+            assert_eq!(out.len(), 50_000);
+            assert!(
+                stats.worker_count() <= cap,
+                "cap {cap} produced {} workers",
+                stats.worker_count()
+            );
+            assert_eq!(stats.total_items(), 50_000);
+        }
+    }
+
+    #[test]
+    fn serial_profile_reports_one_fully_busy_worker() {
+        let (_, stats) = (0..100usize)
+            .into_par_iter()
+            .with_max_threads(1)
+            .map(|i| i)
+            .try_collect_vec_profiled()
+            .unwrap();
+        assert_eq!(stats.worker_count(), 1);
+        assert_eq!(stats.workers[0].items, 100);
+        assert_eq!(stats.workers[0].busy_ms, stats.workers[0].wall_ms);
+        assert_eq!(stats.workers[0].idle_ms(), 0.0);
+    }
+
+    #[test]
+    fn pool_utilization_is_bounded_and_nan_free() {
+        assert_eq!(PoolStats::default().utilization(), 0.0);
+        let (_, stats) = (0..10_000usize)
+            .into_par_iter()
+            .map(|i| i)
+            .try_collect_vec_profiled()
+            .unwrap();
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        assert!(!u.is_nan());
     }
 
     #[test]

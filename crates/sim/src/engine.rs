@@ -42,7 +42,51 @@
 )]
 
 use crate::error::{SimError, Watchdog};
+use crate::metrics::{Histogram, MetricsRegistry};
 use crate::trace::{CycleBreakdown, StallClass};
+
+/// Introspection counters for one engine run, tracked allocation-free
+/// alongside the hot loop (plain integer adds per schedule/pop, a
+/// fixed-array histogram bucket increment per skip): how the event queue
+/// behaved (depth, compactions) and how far each skip-ahead jumped. All
+/// values derive from *simulated* time and queue activity, so they are
+/// deterministic for a fixed workload — safe to publish next to
+/// byte-compared metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EngineStats {
+    /// Events ever scheduled.
+    pub events_scheduled: u64,
+    /// Events popped (consumed by the model).
+    pub events_popped: u64,
+    /// High-water mark of pending events.
+    pub max_pending: u64,
+    /// Times the queue compacted its consumed prefix.
+    pub compactions: u64,
+    /// Distribution of skip-ahead jump lengths in cycles (one observation
+    /// per [`Engine::advance_to_next_event`] that moved time or not).
+    pub jump_cycles: Histogram,
+}
+
+impl EngineStats {
+    /// Publishes the stats into a [`MetricsRegistry`] under
+    /// `engine_*{labels}` metrics: `engine_events{kind=scheduled|popped}`
+    /// and `engine_compactions` counters, an `engine_max_pending` gauge,
+    /// and the `engine_jump_cycles` histogram (with p50/p95/p99 in the
+    /// JSON export).
+    pub fn record(&self, registry: &mut MetricsRegistry, labels: &[(&str, &str)]) {
+        let mut scheduled = labels.to_vec();
+        scheduled.push(("kind", "scheduled"));
+        registry.counter_add("engine_events", &scheduled, self.events_scheduled);
+        let mut popped = labels.to_vec();
+        popped.push(("kind", "popped"));
+        registry.counter_add("engine_events", &popped, self.events_popped);
+        registry.counter_add("engine_compactions", labels, self.compactions);
+        registry.gauge_set("engine_max_pending", labels, self.max_pending as f64);
+        // Bucket-exact merge of the whole jump histogram (not a replay
+        // of observations, which would lose the original buckets).
+        registry.observe_histogram("engine_jump_cycles", labels, &self.jump_cycles);
+    }
+}
 
 /// One scheduled completion/arrival, as seen by a model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -80,6 +124,12 @@ pub struct EventQueue {
     sorted: Vec<QueueEntry>,
     start: usize,
     seq: u64,
+    /// Introspection counters (plain adds on the hot path): events
+    /// popped, the pending-depth high-water mark, and compaction count.
+    /// `seq` doubles as the scheduled count.
+    popped: u64,
+    max_pending: u64,
+    compactions: u64,
 }
 
 impl EventQueue {
@@ -90,6 +140,9 @@ impl EventQueue {
             sorted: Vec::with_capacity(capacity),
             start: 0,
             seq: 0,
+            popped: 0,
+            max_pending: 0,
+            compactions: 0,
         }
     }
 
@@ -114,6 +167,9 @@ impl EventQueue {
             }
         }
         self.sorted.insert(pos, entry);
+        self.max_pending = self
+            .max_pending
+            .max((self.sorted.len() - self.start) as u64);
     }
 
     /// The firing time of the earliest pending event.
@@ -127,6 +183,7 @@ impl EventQueue {
     pub fn pop(&mut self) -> Option<Event> {
         let e = *self.sorted.get(self.start)?;
         self.start += 1;
+        self.popped += 1;
         if self.start >= self.sorted.len() {
             self.sorted.clear();
             self.start = 0;
@@ -135,6 +192,7 @@ impl EventQueue {
             // tail without shifting on every pop.
             self.sorted.drain(..self.start);
             self.start = 0;
+            self.compactions += 1;
         }
         Some(Event {
             time: e.time,
@@ -163,6 +221,26 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.start >= self.sorted.len()
     }
+
+    /// Events ever scheduled into this queue.
+    pub fn scheduled(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events popped from this queue.
+    pub fn popped(&self) -> u64 {
+        self.popped
+    }
+
+    /// High-water mark of pending events.
+    pub fn max_pending(&self) -> u64 {
+        self.max_pending
+    }
+
+    /// Times the consumed prefix was compacted away.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
 }
 
 /// The skip-ahead simulation clock: current time, the event queue, the
@@ -175,6 +253,8 @@ pub struct Engine {
     watchdog: Watchdog,
     breakdown: CycleBreakdown,
     queue: EventQueue,
+    /// Skip-ahead jump lengths (cycles per fused pop-and-advance).
+    jump_cycles: Histogram,
 }
 
 impl Engine {
@@ -192,6 +272,7 @@ impl Engine {
             watchdog,
             breakdown: CycleBreakdown::new(),
             queue: EventQueue::with_capacity(capacity),
+            jump_cycles: Histogram::default(),
         }
     }
 
@@ -247,6 +328,19 @@ impl Engine {
         self.queue.len()
     }
 
+    /// A snapshot of the engine's introspection counters: queue activity
+    /// plus the skip-ahead jump-length distribution. Deterministic for a
+    /// fixed workload (simulated time only, no wall clock).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            events_scheduled: self.queue.scheduled(),
+            events_popped: self.queue.popped(),
+            max_pending: self.queue.max_pending(),
+            compactions: self.queue.compactions(),
+            jump_cycles: self.jump_cycles,
+        }
+    }
+
     /// Skips the clock forward by `delta` cycles, attributing every one
     /// of them to `class` and charging the watchdog — one arithmetic step
     /// standing in for `delta` iterations of a ticked loop.
@@ -300,7 +394,8 @@ impl Engine {
         match self.queue.pop() {
             None => Ok(None),
             Some(ev) => {
-                self.advance_to(ev.time, class, what)?;
+                let skipped = self.advance_to(ev.time, class, what)?;
+                self.jump_cycles.observe(skipped as f64);
                 Ok(Some(ev))
             }
         }
@@ -382,6 +477,84 @@ mod tests {
             .advance(12, StallClass::Compute, "loop")
             .unwrap_err();
         assert_eq!(tick_err, Some(skip_err));
+    }
+
+    #[test]
+    fn stats_count_queue_activity_and_jumps() {
+        let mut e = Engine::with_capacity(Watchdog::with_budget(10_000), 4);
+        e.schedule_in(10, 0);
+        e.schedule_in(25, 1);
+        let first = e
+            .advance_to_next_event(StallClass::Compute, "test")
+            .unwrap()
+            .unwrap();
+        assert_eq!(first.time, 10);
+        let second = e
+            .advance_to_next_event(StallClass::Compute, "test")
+            .unwrap()
+            .unwrap();
+        assert_eq!(second.time, 25);
+        let s = e.stats();
+        assert_eq!(s.events_scheduled, 2);
+        assert_eq!(s.events_popped, 2);
+        assert_eq!(s.max_pending, 2);
+        assert_eq!(s.jump_cycles.count, 2);
+        // Jumps of 10 then 15 cycles.
+        assert_eq!(s.jump_cycles.min, 10.0);
+        assert_eq!(s.jump_cycles.max, 15.0);
+        assert_eq!(s.jump_cycles.sum, 25.0);
+    }
+
+    #[test]
+    fn stats_are_deterministic_across_identical_runs() {
+        let run = || {
+            let mut e = Engine::with_capacity(Watchdog::with_budget(100_000), 8);
+            for i in 0..200u32 {
+                e.schedule_in(u64::from(i % 17) + 1, i);
+                if i % 3 == 0 {
+                    let _ = e.advance_to_next_event(StallClass::Compute, "test");
+                }
+            }
+            while let Ok(Some(_)) = e.advance_to_next_event(StallClass::Idle, "test") {}
+            e.stats()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn queue_compaction_is_counted() {
+        let mut q = EventQueue::with_capacity(4);
+        // Interleave schedules and pops so a long consumed prefix builds
+        // up in front of a live tail, forcing the drain branch.
+        for i in 0..200u32 {
+            q.schedule(u64::from(i), i);
+            q.schedule(u64::from(i) + 1000, i);
+            let _ = q.pop();
+        }
+        assert!(q.compactions() > 0, "compaction never triggered");
+        assert_eq!(q.scheduled(), 400);
+        assert_eq!(q.popped(), 200);
+        assert!(q.max_pending() >= q.len() as u64);
+    }
+
+    #[test]
+    fn stats_record_into_a_registry_without_nulls() {
+        let mut e = Engine::with_capacity(Watchdog::with_budget(1000), 2);
+        e.schedule_in(5, 0);
+        let _ = e.advance_to_next_event(StallClass::Compute, "test");
+        let mut r = MetricsRegistry::new();
+        e.stats().record(&mut r, &[("model", "test")]);
+        assert_eq!(
+            r.counter("engine_events", &[("model", "test"), ("kind", "scheduled")]),
+            1
+        );
+        assert_eq!(
+            r.counter("engine_events", &[("model", "test"), ("kind", "popped")]),
+            1
+        );
+        let json = r.to_json();
+        assert!(json.contains("engine_jump_cycles"));
+        assert!(!json.contains("null"), "engine metrics leaked null: {json}");
     }
 
     #[test]

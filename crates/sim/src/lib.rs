@@ -57,15 +57,15 @@ pub mod trace;
 
 pub use cache::L2Cache;
 pub use dma::{DmaModel, DmaTransferReport, DramParams, RetryPolicy};
-pub use engine::{Engine, Event, EventQueue};
+pub use engine::{Engine, EngineStats, Event, EventQueue};
 pub use error::{SimError, Watchdog, DEFAULT_WATCHDOG_BUDGET};
 pub use fault::{DmaFault, EccMode, FaultCounts, FaultInjector, FaultPlan, RunOutcome};
 pub use gemm::{gemm_cycles, layer_utilization, GemmBreakdown, GemmParams};
 pub use merger::{rows_of_partials, FlattenedMerger, MergeStats, Merger, RowPartitionedMerger};
 pub use metrics::{Histogram, MetricValue, MetricsRegistry, Stopwatch};
 pub use sparse::{
-    simulate_sparse_matmul, simulate_sparse_matmul_faulty, simulate_sparse_matmul_traced,
-    BalancePolicy, SparseArrayParams, SparseSimResult,
+    simulate_sparse_matmul, simulate_sparse_matmul_faulty, simulate_sparse_matmul_profiled,
+    simulate_sparse_matmul_traced, BalancePolicy, SparseArrayParams, SparseSimResult,
 };
 pub use stats::{SimStats, Utilization};
 pub use systolic::{

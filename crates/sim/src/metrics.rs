@@ -20,12 +20,23 @@
 )]
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::time::Instant;
 
 use crate::trace::{CycleBreakdown, StallClass};
 
-/// A histogram summary: count, sum, min, max (no buckets — the harness
-/// needs distribution summaries, not quantile sketches).
+/// Number of log₂ magnitude buckets a [`Histogram`] tracks for its
+/// percentile estimates.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// A histogram summary: count, sum, min, max, plus a fixed array of
+/// power-of-two magnitude buckets from which p50/p95/p99 are estimated.
+/// Bucket `b` covers `[2^(b-1), 2^b)` (bucket 0 is everything below 1,
+/// the last bucket everything from `2^30` up), so the struct stays
+/// `Copy`, allocation-free, and mergeable by plain element-wise adds —
+/// a coarse quantile sketch, not an exact one: an estimate is a bucket
+/// upper edge clamped into `[min, max]`, so it is always a value-shaped
+/// number and exact whenever all observations share a bucket.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Histogram {
     /// Observations recorded.
@@ -36,6 +47,21 @@ pub struct Histogram {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Observations per log₂ magnitude bucket.
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+/// The bucket an observation falls into: the bit length of its integer
+/// part, capped to the last bucket. Negative and sub-1 values land in
+/// bucket 0.
+#[inline]
+fn bucket_of(v: f64) -> usize {
+    if v < 1.0 {
+        return 0;
+    }
+    // Saturating for v beyond u64::MAX: `as` clamps, leading_zeros -> 0.
+    let bits = 64 - (v as u64).leading_zeros() as usize;
+    bits.min(HISTOGRAM_BUCKETS - 1)
 }
 
 impl Histogram {
@@ -50,6 +76,7 @@ impl Histogram {
         }
         self.count += 1;
         self.sum += v;
+        self.buckets[bucket_of(v)] += 1;
     }
 
     /// The mean observation (0 when empty).
@@ -61,7 +88,52 @@ impl Histogram {
         }
     }
 
-    /// Merges another histogram into this one.
+    /// Estimates the `q`-quantile (`q` in `[0, 1]`) from the magnitude
+    /// buckets: the upper edge of the bucket holding the ⌈q·count⌉-th
+    /// smallest observation, clamped into `[min, max]`. Returns 0 when
+    /// empty — never NaN, so exported metrics stay valid JSON numbers.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (b, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                let upper = if b == 0 {
+                    1.0
+                } else if b == HISTOGRAM_BUCKETS - 1 {
+                    self.max
+                } else {
+                    (1u64 << b) as f64
+                };
+                return upper.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The estimated median (see [`Histogram::percentile`]).
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// The estimated 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// The estimated 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
+    /// Merges another histogram into this one. Merging an empty
+    /// histogram is a no-op, and merging *into* an empty one copies the
+    /// other side verbatim — so min/max never mix with the empty
+    /// histogram's 0 sentinels and no NaN can be produced.
     pub fn merge(&mut self, o: &Histogram) {
         if o.count == 0 {
             return;
@@ -74,6 +146,27 @@ impl Histogram {
         self.sum += o.sum;
         self.min = self.min.min(o.min);
         self.max = self.max.max(o.max);
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += *b;
+        }
+    }
+}
+
+impl fmt::Display for Histogram {
+    /// The text rendering used by profile reports:
+    /// `n=12 mean=3.2 min=1 max=40 p50=4 p95=32 p99=40`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={} max={} p50={} p95={} p99={}",
+            self.count,
+            self.mean(),
+            self.min,
+            self.max,
+            self.p50(),
+            self.p95(),
+            self.p99()
+        )
     }
 }
 
@@ -84,8 +177,9 @@ pub enum MetricValue {
     Counter(u64),
     /// A point-in-time value.
     Gauge(f64),
-    /// A distribution summary.
-    Histogram(Histogram),
+    /// A distribution summary (boxed: the bucket array would otherwise
+    /// inflate every registry entry to ~300 bytes).
+    Histogram(Box<Histogram>),
 }
 
 impl MetricValue {
@@ -153,14 +247,31 @@ impl MetricsRegistry {
         match self
             .metrics
             .entry(key)
-            .or_insert(MetricValue::Histogram(Histogram::default()))
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
         {
             MetricValue::Histogram(h) => h.observe(v),
             other => {
                 let mut h = Histogram::default();
                 h.observe(v);
-                *other = MetricValue::Histogram(h);
+                *other = MetricValue::Histogram(Box::new(h));
             }
+        }
+    }
+
+    /// Merges a whole pre-aggregated [`Histogram`] into
+    /// `name{labels}` — bucket-exact, unlike replaying observations
+    /// through [`MetricsRegistry::observe`]. A non-histogram value under
+    /// the key is replaced (the kind-mismatch rule of
+    /// [`MetricsRegistry::merge`]).
+    pub fn observe_histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let key = MetricKey::new(name, labels);
+        match self
+            .metrics
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Box::default()))
+        {
+            MetricValue::Histogram(existing) => existing.merge(h),
+            other => *other = MetricValue::Histogram(Box::new(*h)),
         }
     }
 
@@ -204,8 +315,20 @@ impl MetricsRegistry {
         self.metrics.is_empty()
     }
 
-    /// Merges another registry: counters add, gauges take the other's
-    /// value, histograms merge.
+    /// Merges another registry: counters add (saturating), gauges take
+    /// the other's value, histograms merge bucket-wise.
+    ///
+    /// **Kind-mismatch resolution rule** (pinned by tests): when the same
+    /// key holds different metric kinds on the two sides — a counter
+    /// merged into a histogram, a gauge into a counter, and so on — the
+    /// *incoming* value replaces the existing one wholesale, exactly as a
+    /// gauge would. Last writer wins; nothing is coerced or summed across
+    /// kinds. A kind mismatch means two producers disagree about what the
+    /// metric *is*, and silently combining a cycle count with a
+    /// distribution would fabricate a number no one recorded — taking the
+    /// newest registration keeps the registry self-consistent and the
+    /// resolution order-dependent but deterministic for a fixed merge
+    /// order (which every caller in this workspace has).
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (key, value) in &other.metrics {
             match (self.metrics.get_mut(key), value) {
@@ -248,11 +371,14 @@ impl MetricsRegistry {
                 MetricValue::Counter(c) => s.push_str(&format!("\"value\":{c}")),
                 MetricValue::Gauge(g) => s.push_str(&format!("\"value\":{}", json_f64(*g))),
                 MetricValue::Histogram(h) => s.push_str(&format!(
-                    "\"count\":{},\"sum\":{},\"min\":{},\"max\":{}",
+                    "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}",
                     h.count,
                     json_f64(h.sum),
                     json_f64(h.min),
-                    json_f64(h.max)
+                    json_f64(h.max),
+                    json_f64(h.p50()),
+                    json_f64(h.p95()),
+                    json_f64(h.p99())
                 )),
             }
             s.push('}');
@@ -415,6 +541,130 @@ mod tests {
         assert_eq!(a.counter("c", &[]), 3);
         assert_eq!(a.get("g", &[]), Some(&MetricValue::Gauge(5.0)));
         assert!(matches!(a.get("h", &[]), Some(MetricValue::Histogram(_))));
+    }
+
+    #[test]
+    fn percentiles_track_the_distribution() {
+        let mut h = Histogram::default();
+        for v in 1..=100u32 {
+            h.observe(v as f64);
+        }
+        // Bucket estimates: within a power of two of the exact quantile,
+        // clamped to the observed range.
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
+        assert!((32.0..=64.0).contains(&p50), "p50={p50}");
+        assert!((64.0..=100.0).contains(&p95), "p95={p95}");
+        assert!((64.0..=100.0).contains(&p99), "p99={p99}");
+        assert!(p50 <= p95 && p95 <= p99, "quantiles must be monotone");
+        // A single-valued distribution is estimated exactly.
+        let mut single = Histogram::default();
+        for _ in 0..10 {
+            single.observe(7.0);
+        }
+        assert_eq!(single.p50(), 7.0);
+        assert_eq!(single.p99(), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_percentiles_are_zero_not_nan() {
+        let h = Histogram::default();
+        for v in [h.p50(), h.p95(), h.p99(), h.mean()] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+        // And the JSON export of an empty histogram has no null leaves.
+        let mut r = MetricsRegistry::new();
+        r.metrics.insert(
+            MetricKey::new("empty", &[]),
+            MetricValue::Histogram(Box::new(h)),
+        );
+        let json = r.to_json();
+        assert!(
+            !json.contains("null"),
+            "empty histogram leaked null: {json}"
+        );
+        assert!(json.contains("\"p50\":0"));
+    }
+
+    #[test]
+    fn percentile_rendering_in_text_and_json() {
+        let mut h = Histogram::default();
+        h.observe(4.0);
+        let text = h.to_string();
+        assert!(text.contains("p50=4") && text.contains("p99=4"), "{text}");
+        let mut r = MetricsRegistry::new();
+        r.observe("lat", &[], 4.0);
+        let json = r.to_json();
+        assert!(
+            json.contains("\"p50\":4") && json.contains("\"p95\":4") && json.contains("\"p99\":4"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_sides_is_pinned() {
+        // Empty into non-empty: no-op (min/max must not mix with the
+        // empty histogram's 0 sentinels).
+        let mut h = Histogram::default();
+        h.observe(5.0);
+        h.observe(9.0);
+        let before = h;
+        h.merge(&Histogram::default());
+        assert_eq!(h, before);
+        assert_eq!(h.min, 5.0);
+        // Non-empty into empty: verbatim copy.
+        let mut empty = Histogram::default();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        // Empty into empty: still the all-zero summary.
+        let mut e2 = Histogram::default();
+        e2.merge(&Histogram::default());
+        assert_eq!(e2, Histogram::default());
+        assert!(!e2.mean().is_nan());
+    }
+
+    #[test]
+    fn merge_accumulates_buckets_for_percentiles() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for _ in 0..95 {
+            a.observe(2.0);
+        }
+        for _ in 0..5 {
+            b.observe(1000.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 100);
+        assert!(a.p50() <= 4.0, "p50={} should stay near 2", a.p50());
+        assert!(a.p99() >= 512.0, "p99={} should see the tail", a.p99());
+    }
+
+    #[test]
+    fn merge_mismatched_kinds_takes_the_incoming_value() {
+        // Counter merged into histogram.
+        let mut a = MetricsRegistry::new();
+        a.observe("x", &[], 2.5);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("x", &[], 7);
+        a.merge(&b);
+        assert_eq!(a.get("x", &[]), Some(&MetricValue::Counter(7)));
+        // Gauge merged into counter.
+        let mut c = MetricsRegistry::new();
+        c.counter_add("y", &[], 3);
+        let mut d = MetricsRegistry::new();
+        d.gauge_set("y", &[], 1.25);
+        c.merge(&d);
+        assert_eq!(c.get("y", &[]), Some(&MetricValue::Gauge(1.25)));
+        // Histogram merged into gauge.
+        let mut e = MetricsRegistry::new();
+        e.gauge_set("z", &[], 9.0);
+        let mut f = MetricsRegistry::new();
+        f.observe("z", &[], 4.0);
+        e.merge(&f);
+        match e.get("z", &[]) {
+            Some(MetricValue::Histogram(h)) => assert_eq!((h.count, h.max), (1, 4.0)),
+            other => panic!("expected histogram after mismatch merge, got {other:?}"),
+        }
     }
 
     #[test]

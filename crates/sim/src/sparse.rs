@@ -18,7 +18,7 @@
 use stellar_area::TrafficCounts;
 use stellar_tensor::CsrMatrix;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineStats};
 use crate::error::{SimError, Watchdog};
 use crate::fault::{FaultInjector, FaultPlan};
 use crate::stats::{SimStats, Utilization};
@@ -246,6 +246,38 @@ pub fn simulate_sparse_matmul_traced(
     watchdog: Watchdog,
     tracer: &mut Tracer,
 ) -> Result<SparseSimResult, SimError> {
+    simulate_sparse_matmul_core(b, params, injector, watchdog, tracer, None)
+}
+
+/// [`simulate_sparse_matmul_traced`] plus engine introspection: returns
+/// the simulation result together with the [`EngineStats`] of the run
+/// (event-queue depth/compaction counters and the skip-ahead jump-length
+/// histogram). The result itself is byte-identical to the unprofiled
+/// path — the stats ride alongside, they never feed back.
+///
+/// # Errors
+///
+/// Identical to [`simulate_sparse_matmul_traced`].
+pub fn simulate_sparse_matmul_profiled(
+    b: &CsrMatrix,
+    params: &SparseArrayParams,
+    injector: &mut FaultInjector,
+    watchdog: Watchdog,
+    tracer: &mut Tracer,
+) -> Result<(SparseSimResult, EngineStats), SimError> {
+    let mut stats = EngineStats::default();
+    let r = simulate_sparse_matmul_core(b, params, injector, watchdog, tracer, Some(&mut stats))?;
+    Ok((r, stats))
+}
+
+fn simulate_sparse_matmul_core(
+    b: &CsrMatrix,
+    params: &SparseArrayParams,
+    injector: &mut FaultInjector,
+    watchdog: Watchdog,
+    tracer: &mut Tracer,
+    stats_out: Option<&mut EngineStats>,
+) -> Result<SparseSimResult, SimError> {
     let lanes = params.lanes.max(1);
     // Pending rows per lane, in row order: owners pop the front, thieves
     // the back.
@@ -344,6 +376,9 @@ pub fn simulate_sparse_matmul_traced(
     }
 
     let cycles = engine.now();
+    if let Some(out) = stats_out {
+        *out = engine.stats();
+    }
     let breakdown = engine.into_breakdown();
     breakdown.debug_assert_accounts_for(cycles, "sparse array");
     let busy: u64 = lane_busy.iter().sum();
@@ -552,6 +587,41 @@ mod tests {
             row_startup_cycles: 1,
             balance,
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_traced_and_reports_engine_stats() {
+        let b = gen::imbalanced(32, 256, 4, 128, 2, 7);
+        let p = params(BalancePolicy::Global);
+        let plain = simulate_sparse_matmul(&b, &p).unwrap();
+        let (profiled, stats) = simulate_sparse_matmul_profiled(
+            &b,
+            &p,
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::default_budget(),
+            &mut Tracer::disabled(),
+        )
+        .unwrap();
+        // Profiling must not perturb the simulation in any observable way.
+        assert_eq!(profiled, plain);
+        // Every row completion is one scheduled + one popped event; jumps
+        // are observed once per completion *batch* (same-cycle followers
+        // drain through `pop_due`), so the jump count is bounded by rows.
+        let total_rows: u64 = profiled.lane_rows.iter().map(|&r| r as u64).sum();
+        assert_eq!(stats.events_scheduled, total_rows);
+        assert_eq!(stats.events_popped, total_rows);
+        assert!(stats.jump_cycles.count >= 1 && stats.jump_cycles.count <= total_rows);
+        assert!(stats.max_pending >= 1 && stats.max_pending <= 8);
+        // Deterministic: a second profiled run reports identical stats.
+        let (_, again) = simulate_sparse_matmul_profiled(
+            &b,
+            &p,
+            &mut FaultInjector::new(FaultPlan::none()),
+            Watchdog::default_budget(),
+            &mut Tracer::disabled(),
+        )
+        .unwrap();
+        assert_eq!(stats, again);
     }
 
     #[test]

@@ -116,6 +116,27 @@ mod tests {
     }
 
     #[test]
+    fn zero_cycle_stats_pin_finite_fractions() {
+        // A simulation that never advanced (empty workload) must report
+        // 0.0 everywhere — never NaN or Inf — so exported metrics stay
+        // valid JSON numbers without special-casing downstream.
+        let s = SimStats::default();
+        for v in [
+            s.utilization_fraction(),
+            s.utilization.fraction(),
+            s.ops_per_cycle(0),
+            s.ops_per_cycle(100),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
+        // busy > 0 with total == 0 cannot happen in a real run, but the
+        // guard must still hold (total is the divisor).
+        let degenerate = Utilization { busy: 5, total: 0 };
+        assert_eq!(degenerate.fraction(), 0.0);
+    }
+
+    #[test]
     fn then_saturates_instead_of_wrapping() {
         let big = SimStats {
             cycles: u64::MAX - 1,
