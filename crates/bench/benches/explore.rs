@@ -43,6 +43,21 @@ fn bench_explore(c: &mut Criterion) {
                 },
             );
         }
+        // The serial scan with the analytical tier disabled: isolates
+        // what the closed forms buy over fold-only scoring.
+        let fold_only = ExploreOptions {
+            max_coeff,
+            parallelism: 1,
+            analytic_tier: false,
+            ..ExploreOptions::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::new("fold_only", format!("max_coeff_{max_coeff}")),
+            &fold_only,
+            |b, opts| {
+                b.iter(|| explore_dataflows(&func, &bounds, opts).unwrap());
+            },
+        );
     }
     g.finish();
 }

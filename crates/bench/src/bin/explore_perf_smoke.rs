@@ -10,7 +10,11 @@
 //!    `matmul(4,4,4)` sweep, and
 //! 2. the serial fast path beats the oracle scan by at least 3× on the
 //!    `max_coeff = 2` acceptance sweep over `matmul(3,3,3)` — ~1.95M
-//!    candidate transforms (5⁹), the workload the scorer exists for.
+//!    candidate transforms (5⁹), the workload the scorer exists for, and
+//! 3. the analytical scoring tier beats the fold-only scan by at least 2×
+//!    on the `max_coeff = 3` sweep (~40.4M candidates, 7⁹) with a
+//!    byte-identical ranking, every scored candidate routed through the
+//!    closed forms, and the telemetry funnel's partition invariants intact.
 //!
 //! It also times the sharded fast path against the oracle and writes the
 //! whole table to `out/explore_perf_smoke.json` (jq-checked by CI); with
@@ -48,6 +52,7 @@ fn median_ms(runs: usize, mut f: impl FnMut()) -> f64 {
     samples[samples.len() / 2]
 }
 
+#[derive(Clone, Copy)]
 struct BenchRow {
     name: &'static str,
     pre_ms: f64,
@@ -60,10 +65,16 @@ impl BenchRow {
     }
 }
 
-fn render_json(equivalent: bool, scan_speedup: f64, rows: &[BenchRow]) -> String {
+fn render_json(
+    equivalent: bool,
+    scan_speedup: f64,
+    analytic_speedup: f64,
+    rows: &[BenchRow],
+) -> String {
     let mut s = String::from("{\n  \"schema\": \"stellar-explore-perf-v1\",\n");
     let _ = writeln!(s, "  \"equivalent\": {equivalent},");
     let _ = writeln!(s, "  \"scan_speedup\": {scan_speedup:.2},");
+    let _ = writeln!(s, "  \"analytic_speedup\": {analytic_speedup:.2},");
     s.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -164,7 +175,75 @@ fn main() {
         std::process::exit(1);
     }
 
-    let json = render_json(true, scan_speedup, &rows);
+    // 3. The analytical tier on the max_coeff = 3 sweep (~40.4M
+    // candidates, 7^9): byte-identical ranking with the tier on or off,
+    // every scored candidate routed through the closed forms, partition
+    // invariants intact, and at least a 2x speedup over fold-only scoring.
+    let mc3 = |analytic_tier: bool| ExploreOptions {
+        max_coeff: 3,
+        keep: 64,
+        parallelism: 1,
+        analytic_tier,
+        ..ExploreOptions::default()
+    };
+    let on = stellar_core::explore_dataflows_profiled(&func3, &bounds3, &mc3(true))
+        .expect("analytic mc3 sweep");
+    let off = stellar_core::explore_dataflows_profiled(&func3, &bounds3, &mc3(false))
+        .expect("fold mc3 sweep");
+    if byte_image(&on.results) != byte_image(&off.results) {
+        eprintln!("FAIL: analytical-tier mc3 ranking differs from the fold-only ranking");
+        std::process::exit(1);
+    }
+    if let Err(e) = on.funnel.check() {
+        eprintln!("FAIL: mc3 funnel invariant violated: {e}");
+        std::process::exit(1);
+    }
+    if on.funnel.decoded != 7u64.pow(9) {
+        eprintln!(
+            "FAIL: mc3 sweep decoded {} candidates, expected 7^9 = {}",
+            on.funnel.decoded,
+            7u64.pow(9)
+        );
+        std::process::exit(1);
+    }
+    if on.funnel.analytic_scored == 0 || on.funnel.analytic_scored != on.funnel.scored {
+        eprintln!(
+            "FAIL: analytical tier scored {} of {} candidates (expected all)",
+            on.funnel.analytic_scored, on.funnel.scored
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "mc3 rankings byte-identical; analytical tier scored all {} survivors",
+        on.funnel.scored
+    );
+    let analytic_on_ms = median_ms(3, || {
+        stellar_core::explore_dataflows_profiled(&func3, &bounds3, &mc3(true))
+            .map(drop)
+            .expect("analytic mc3 sweep");
+    });
+    let analytic_off_ms = median_ms(3, || {
+        stellar_core::explore_dataflows_profiled(&func3, &bounds3, &mc3(false))
+            .map(drop)
+            .expect("fold mc3 sweep");
+    });
+    let analytic_row = BenchRow {
+        name: "explore_mc3_analytic",
+        pre_ms: analytic_off_ms,
+        post_ms: analytic_on_ms,
+    };
+    let analytic_speedup = analytic_row.speedup();
+    println!(
+        "{}: fold-only {:.1} ms, analytic {:.1} ms -> {:.2}x",
+        analytic_row.name, analytic_row.pre_ms, analytic_row.post_ms, analytic_speedup
+    );
+    if analytic_speedup < 2.0 {
+        eprintln!("FAIL: analytical-tier speedup {analytic_speedup:.2}x is below the 2x floor");
+        std::process::exit(1);
+    }
+    let rows = [rows[0], rows[1], analytic_row];
+
+    let json = render_json(true, scan_speedup, analytic_speedup, &rows);
     // Durable, checksummed results: a crash mid-write must never leave a
     // torn JSON for CI to half-parse, and an unwritable disk is a real
     // failure (exit 1), not a panic with a backtrace.

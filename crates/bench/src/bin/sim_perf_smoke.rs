@@ -9,7 +9,10 @@
 //!    metrics JSON (cycles + utilization per grid point), every per-point
 //!    `CycleBreakdown`, and the merged Chrome trace — and
 //! 2. the skip-ahead sweep is at least 3× faster than the ticked sweep
-//!    (median of 5 runs each, untraced).
+//!    (median of 5 runs each, untraced), and
+//! 3. the row-partitioned merger's flat row-length counter is at least 2×
+//!    faster than the materializing reference merge on the 128×128 SpGEMM
+//!    batch.
 //!
 //! It also times the other engine-backed models against their references
 //! and writes the whole table to `out/sim_perf_smoke.json` (jq-checked by
@@ -269,6 +272,11 @@ fn render_json(equivalent: bool, rows: &[BenchRow]) -> String {
         .find(|r| r.name == "sparse_e04_sweep")
         .expect("sparse row is always present");
     let _ = writeln!(s, "  \"sparse_speedup\": {:.2},", sparse.speedup());
+    let merger = rows
+        .iter()
+        .find(|r| r.name == "merger_row_partitioned_128")
+        .expect("merger row is always present");
+    let _ = writeln!(s, "  \"merger_speedup\": {:.2},", merger.speedup());
     s.push_str("  \"benches\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
@@ -335,6 +343,15 @@ fn main() {
 
     if sparse_speedup < 3.0 {
         eprintln!("FAIL: sparse e04 sweep speedup {sparse_speedup:.2}x is below the 3x floor");
+        std::process::exit(1);
+    }
+    let merger_speedup = rows
+        .iter()
+        .find(|r| r.name == "merger_row_partitioned_128")
+        .expect("merger row is always present")
+        .speedup();
+    if merger_speedup < 2.0 {
+        eprintln!("FAIL: merger flat-path speedup {merger_speedup:.2}x is below the 2x floor");
         std::process::exit(1);
     }
 

@@ -396,13 +396,16 @@ pub fn render_profile_json(r: &ProfileReport) -> String {
     let _ = writeln!(
         s,
         "    \"funnel\": {{\"decoded\": {}, \"causality_rejected\": {}, \"singular\": {}, \
-         \"pack_fallback\": {}, \"collision_rejected\": {}, \"scored\": {}, \
+         \"pack_fallback\": {}, \"analytic_scored\": {}, \"analytic_rejected\": {}, \
+         \"collision_rejected\": {}, \"scored\": {}, \
          \"over_max_pes\": {}, \"dedup_collisions\": {}, \"survivors\": {}, \
          \"materialized\": {}}},",
         f.decoded,
         f.causality_rejected,
         f.singular,
         f.pack_fallback,
+        f.analytic_scored,
+        f.analytic_rejected,
         f.collision_rejected,
         f.scored,
         f.over_max_pes,
@@ -520,8 +523,8 @@ pub fn print_profile(r: &ProfileReport) {
         ],
     );
     println!(
-        "funnel check: {} (pack fallbacks: {})",
-        r.funnel_check, f.pack_fallback
+        "funnel check: {} (pack fallbacks: {}, analytic scored: {}, analytic rejected: {})",
+        r.funnel_check, f.pack_fallback, f.analytic_scored, f.analytic_rejected
     );
     println!(
         "scan workers: {} at {} utilization",
@@ -667,6 +670,9 @@ mod tests {
         // The funnel covers the whole 3^9 smoke space and partitions.
         assert_eq!(r.funnel.decoded, 3u64.pow(9));
         assert_eq!(r.funnel_check, "ok");
+        // The analytical tier handles the whole matmul smoke sweep.
+        assert_eq!(r.funnel.analytic_scored, r.funnel.scored);
+        assert!(r.funnel.analytic_scored > 0);
         assert!(r.workers.worker_count() >= 1 && r.workers.worker_count() <= 2);
         assert_eq!(r.sim_points, 12);
         assert!(r.engine.events_scheduled > 0);
@@ -675,6 +681,8 @@ mod tests {
         let json = render_profile_json(&r);
         // Schema, and no NaN/Inf leaves anywhere.
         assert!(json.contains("\"schema\": \"stellar-profile-v1\""));
+        assert!(json.contains("\"analytic_scored\""));
+        assert!(json.contains("\"analytic_rejected\""));
         assert!(!json.contains("NaN") && !json.contains("inf"));
         // Sealing round-trips.
         let sealed = durable::seal(&json);

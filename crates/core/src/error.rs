@@ -47,6 +47,13 @@ pub enum CompileError {
         /// The panic message extracted from the worker's payload.
         message: String,
     },
+    /// The dataflow search's analytical scoring tier and the exact fold
+    /// oracle disagreed about a ranked survivor's structure — a bug in
+    /// one of the tiers, surfaced instead of silently mis-ranking.
+    AnalyticDivergence {
+        /// What diverged: the transform plus both structure summaries.
+        detail: String,
+    },
     /// The dataflow search's candidate space `choices^entries` does not
     /// fit in `usize` — the enumeration cannot even be indexed, let alone
     /// scanned.
@@ -89,6 +96,12 @@ impl fmt::Display for CompileError {
             }
             CompileError::WorkerPanicked { message } => {
                 write!(f, "dataflow search worker panicked: {message}")
+            }
+            CompileError::AnalyticDivergence { detail } => {
+                write!(
+                    f,
+                    "analytical scoring tier diverged from the fold oracle: {detail}"
+                )
             }
             CompileError::SearchSpaceTooLarge { choices, entries } => {
                 write!(
@@ -134,6 +147,11 @@ mod tests {
         };
         assert!(e.to_string().contains("worker panicked"));
         assert!(e.to_string().contains("index out of bounds"));
+        let e = CompileError::AnalyticDivergence {
+            detail: "[1 0 0] pes 4 vs 5".into(),
+        };
+        assert!(e.to_string().contains("diverged from the fold oracle"));
+        assert!(e.to_string().contains("pes 4 vs 5"));
     }
 
     #[test]

@@ -17,16 +17,32 @@
 //! candidate — exactly the one the serial scan keeps — and the final
 //! stable sort produces a ranking byte-identical to the serial path.
 //!
-//! Candidates are scored by the allocation-free [`FoldScorer`] fast path
-//! (see [`crate::fold`]): each shard decodes matrices into a reused flat
-//! buffer, rejects acausal and singular candidates with raw dot products
-//! and a buffer-reusing Bareiss determinant, and folds survivors through
-//! packed-`u64` scratch tables — no [`SpatialArray`], no `Vec<i64>`
-//! hashing, and no rational matrix inverse until a candidate actually
-//! survives structural deduplication. Full arrays are materialized lazily,
-//! only for ranked survivors, via [`ExploredDataflow::materialize`]. The
-//! pre-fast-path scan is retained as [`explore_dataflows_reference`], the
-//! in-tree oracle that CI holds the fast path byte-identical to.
+//! Candidates are scored through a fidelity ladder (cheapest exact tier
+//! first, every tier producing bit-identical summaries):
+//!
+//! 1. **Block causality skip** — the time row occupies the top `rank`
+//!    digits of the mixed-radix code, so `n_choices^(rank·(rank−1))`
+//!    consecutive codes share it; a failing time row rejects the whole
+//!    block without decoding a single candidate.
+//! 2. **Closed-form analytical tier** ([`crate::analytic`]) — when the
+//!    iteration space has the box geometry elaboration produces, PE
+//!    count, wire classes, IO ports, and latency are computed from the
+//!    transform matrix alone in O(rank³), no lattice fold at all. Every
+//!    ranked survivor is re-folded afterwards as an oracle backstop
+//!    ([`CompileError::AnalyticDivergence`] if the tiers ever disagree).
+//! 3. **Allocation-free fold** ([`FoldScorer`], see [`crate::fold`]) —
+//!    candidates the analytical tier declines (overflow, causality error
+//!    attribution, non-box geometry) fold through packed-`u64` scratch
+//!    tables — no [`SpatialArray`], no `Vec<i64>` hashing, and no
+//!    rational matrix inverse until a candidate actually survives
+//!    structural deduplication.
+//! 4. **Full fold** — coordinates too wide even for packed keys take
+//!    [`SpatialArray::from_iterspace`] per candidate, always correct.
+//!
+//! Full arrays are materialized lazily, only for ranked survivors, via
+//! [`ExploredDataflow::materialize`]. The pre-fast-path scan is retained
+//! as [`explore_dataflows_reference`], the in-tree oracle that CI holds
+//! the fast path byte-identical to.
 
 use std::collections::HashSet;
 use std::ops::Range;
@@ -36,8 +52,11 @@ use rayon::prelude::*;
 use rayon::PoolStats;
 use stellar_linalg::IntMat;
 
+use crate::analytic::{AnalyticScorer, AnalyticScratch};
 use crate::error::CompileError;
-use crate::fold::{det_flat, summarize_array, ExploreFunnel, FoldScorer, FoldScratch};
+use crate::fold::{
+    det_flat, summarize_array, ExploreFunnel, FoldScorer, FoldScratch, StructureSummary,
+};
 use crate::func::Functionality;
 use crate::index::Bounds;
 use crate::iterspace::IterationSpace;
@@ -110,6 +129,14 @@ pub struct ExploreOptions {
     /// [`explore_dataflows_profiled`], a byte-identical
     /// [`ExploreFunnel`].
     pub parallelism: usize,
+    /// Score candidates through the closed-form analytical tier
+    /// ([`crate::analytic`]) when the iteration space's geometry allows
+    /// it, folding only the candidates the tier declines plus the ranked
+    /// survivors (the fold-oracle backstop). The ranking and funnel
+    /// partitions are byte-identical either way — only the informational
+    /// `analytic_*` funnel fields (and the wall-clock) change. Default
+    /// `true`; disable to force every candidate through the fold.
+    pub analytic_tier: bool,
     /// Test hook: panic while scanning this candidate code, exercising
     /// the shard panic-isolation path ([`CompileError::WorkerPanicked`]).
     /// Never set outside tests.
@@ -124,6 +151,7 @@ impl Default for ExploreOptions {
             max_pes: 4096,
             keep: 16,
             parallelism: 0,
+            analytic_tier: true,
             panic_on_code: None,
         }
     }
@@ -137,6 +165,7 @@ struct ScanCtx<'a> {
     func: &'a Functionality,
     is: IterationSpace,
     scorer: FoldScorer,
+    analytic: Option<AnalyticScorer>,
     diffs: Vec<Vec<i64>>,
     coeffs: Vec<i64>,
     rank: usize,
@@ -170,96 +199,183 @@ fn scan_codes(
     codes: Range<usize>,
 ) -> (Vec<(StructureKey, ExploredDataflow)>, ExploreFunnel) {
     let n_entries = ctx.rank * ctx.rank;
+    let n_choices = ctx.coeffs.len();
     let mut out = Vec::new();
     let mut funnel = ExploreFunnel::default();
     let mut seen: HashSet<StructureKey> = HashSet::new();
     let mut scratch = FoldScratch::for_scorer(&ctx.scorer);
+    let mut ascratch = ctx.analytic.as_ref().map(AnalyticScratch::for_scorer);
     let mut rows = vec![0i64; n_entries];
+    let mut trow_buf = vec![0i64; ctx.rank];
     let mut det_buf = vec![0i128; n_entries];
-    for code in codes {
-        if ctx.panic_on_code == Some(code) {
-            // Test hook: a deliberately bad candidate, standing in for a
-            // scoring bug that only one input out of millions triggers.
-            panic!("injected panic at candidate code {code}");
+    // The time row occupies the most-significant `rank` digits of the
+    // mixed-radix code, so `n_choices^(rank·(rank−1))` consecutive codes
+    // share one time row: the causality prefilter (every recurrence must
+    // move strictly forward in time) runs once per block, and a failing
+    // block is rejected wholesale — the funnel counts stay exactly those
+    // of the per-candidate scan. (The pow cannot overflow: the caller
+    // already verified `n_choices^(rank²)` fits in `usize`.)
+    let block = n_choices
+        .checked_pow((ctx.rank * (ctx.rank - 1)) as u32)
+        .unwrap_or(1)
+        .max(1);
+    let mut code = codes.start;
+    while code < codes.end {
+        let run_end = ((code / block + 1) * block).min(codes.end);
+        let mut rem = code / block;
+        for slot in trow_buf.iter_mut() {
+            *slot = ctx.coeffs[rem % n_choices];
+            rem /= n_choices;
         }
-        decode_candidate(code, &ctx.coeffs, &mut rows);
-        funnel.decoded += 1;
-        // Fast causality filter: every recurrence must move strictly
-        // forward in time. One dot product with the time row per diff —
-        // rejects the bulk of the space before the determinant runs.
-        let trow = &rows[(ctx.rank - 1) * ctx.rank..];
         if ctx
             .diffs
             .iter()
-            .any(|d| trow.iter().zip(d).map(|(a, b)| a * b).sum::<i64>() <= 0)
+            .any(|d| trow_buf.iter().zip(d).map(|(a, b)| a * b).sum::<i64>() <= 0)
         {
-            funnel.causality_rejected += 1;
+            if let Some(pc) = ctx.panic_on_code {
+                if pc >= code && pc < run_end {
+                    // Test hook: a deliberately bad candidate, standing in
+                    // for a scoring bug one input out of millions triggers.
+                    panic!("injected panic at candidate code {pc}");
+                }
+            }
+            let n = (run_end - code) as u64;
+            funnel.decoded += n;
+            funnel.causality_rejected += n;
+            code = run_end;
             continue;
         }
-        if det_flat(&rows, ctx.rank, &mut det_buf) == 0 {
-            funnel.singular += 1;
-            continue;
-        }
-        let summary = match ctx.scorer.score_rows(&rows, &mut scratch) {
-            Some(Ok(s)) => s,
-            Some(Err(_)) => {
-                funnel.collision_rejected += 1;
+        for code in code..run_end {
+            if ctx.panic_on_code == Some(code) {
+                panic!("injected panic at candidate code {code}");
+            }
+            decode_candidate(code, &ctx.coeffs, &mut rows);
+            funnel.decoded += 1;
+            if det_flat(&rows, ctx.rank, &mut det_buf) == 0 {
+                funnel.singular += 1;
                 continue;
             }
-            None => {
-                // Coordinates too wide for packed keys: take the full fold.
-                funnel.pack_fallback += 1;
-                let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
-                let t = match SpaceTimeTransform::new(mat) {
-                    Ok(t) => t,
-                    Err(_) => {
-                        // Unreachable after the exact determinant check,
-                        // but keep the funnel a partition regardless.
-                        funnel.singular += 1;
-                        continue;
-                    }
-                };
-                match SpatialArray::from_iterspace(&ctx.is, ctx.func, &t) {
-                    Ok(a) => summarize_array(&a),
-                    Err(_) => {
+            let analytic_summary = match (&ctx.analytic, &mut ascratch) {
+                (Some(a), Some(s)) => a.score_rows(&rows, s),
+                _ => None,
+            };
+            let summary = match analytic_summary {
+                Some(s) => {
+                    funnel.analytic_scored += 1;
+                    s
+                }
+                None => match ctx.scorer.score_rows(&rows, &mut scratch) {
+                    Some(Ok(s)) => s,
+                    Some(Err(_)) => {
                         funnel.collision_rejected += 1;
                         continue;
                     }
+                    None => {
+                        // Coordinates too wide for packed keys: full fold.
+                        funnel.pack_fallback += 1;
+                        let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
+                        let t = match SpaceTimeTransform::new(mat) {
+                            Ok(t) => t,
+                            Err(_) => {
+                                // Unreachable after the exact determinant
+                                // check, but keep the funnel a partition
+                                // regardless.
+                                funnel.singular += 1;
+                                continue;
+                            }
+                        };
+                        match SpatialArray::from_iterspace(&ctx.is, ctx.func, &t) {
+                            Ok(a) => summarize_array(&a),
+                            Err(_) => {
+                                funnel.collision_rejected += 1;
+                                continue;
+                            }
+                        }
+                    }
+                },
+            };
+            funnel.scored += 1;
+            if summary.num_pes > ctx.max_pes {
+                funnel.over_max_pes += 1;
+                if analytic_summary.is_some() {
+                    funnel.analytic_rejected += 1;
                 }
+                continue;
             }
-        };
-        funnel.scored += 1;
-        if summary.num_pes > ctx.max_pes {
-            funnel.over_max_pes += 1;
-            continue;
+            let key = (
+                summary.num_pes,
+                summary.moving_conns,
+                summary.io_ports,
+                summary.stationary_conns,
+                summary.time_steps,
+            );
+            if !seen.insert(key) {
+                funnel.dedup_collisions += 1;
+                continue;
+            }
+            funnel.survivors += 1;
+            let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
+            let t =
+                SpaceTimeTransform::new(mat).expect("candidate passed the exact determinant check");
+            out.push((
+                key,
+                ExploredDataflow {
+                    transform: t,
+                    num_pes: summary.num_pes,
+                    moving_conns: summary.moving_conns,
+                    stationary_conns: summary.stationary_conns,
+                    io_ports: summary.io_ports,
+                    time_steps: summary.time_steps,
+                },
+            ));
         }
-        let key = (
-            summary.num_pes,
-            summary.moving_conns,
-            summary.io_ports,
-            summary.stationary_conns,
-            summary.time_steps,
-        );
-        if !seen.insert(key) {
-            funnel.dedup_collisions += 1;
-            continue;
-        }
-        funnel.survivors += 1;
-        let mat = IntMat::from_vec(ctx.rank, ctx.rank, rows.clone());
-        let t = SpaceTimeTransform::new(mat).expect("candidate passed the exact determinant check");
-        out.push((
-            key,
-            ExploredDataflow {
-                transform: t,
-                num_pes: summary.num_pes,
-                moving_conns: summary.moving_conns,
-                stationary_conns: summary.stationary_conns,
-                io_ports: summary.io_ports,
-                time_steps: summary.time_steps,
-            },
-        ));
+        code = run_end;
     }
     (out, funnel)
+}
+
+/// The fold-oracle backstop for the analytical tier: every ranked
+/// survivor is re-scored through the exact fold, which must reproduce
+/// the ranked structure bit for bit. Costs at most `keep` folds.
+fn confirm_survivors(ctx: &ScanCtx<'_>, results: &[ExploredDataflow]) -> Result<(), CompileError> {
+    let mut scratch = FoldScratch::for_scorer(&ctx.scorer);
+    for e in results {
+        let diverged = |detail: String| CompileError::AnalyticDivergence { detail };
+        let folded = match ctx.scorer.score(&e.transform, &mut scratch) {
+            Some(Ok(s)) => s,
+            Some(Err(err)) => {
+                return Err(diverged(format!(
+                    "{}: fold rejected a ranked survivor: {err}",
+                    e.transform
+                )))
+            }
+            None => {
+                let arr = SpatialArray::from_iterspace(&ctx.is, ctx.func, &e.transform).map_err(
+                    |err| {
+                        diverged(format!(
+                            "{}: fold rejected a ranked survivor: {err}",
+                            e.transform
+                        ))
+                    },
+                )?;
+                summarize_array(&arr)
+            }
+        };
+        let ranked = StructureSummary {
+            num_pes: e.num_pes,
+            moving_conns: e.moving_conns,
+            stationary_conns: e.stationary_conns,
+            io_ports: e.io_ports,
+            time_steps: e.time_steps,
+        };
+        if folded != ranked {
+            return Err(diverged(format!(
+                "{}: ranked {ranked:?} vs fold {folded:?}",
+                e.transform
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// Shared search preamble: validates the functionality, elaborates the
@@ -368,11 +484,17 @@ pub fn explore_dataflows_profiled(
 ) -> Result<ExploreRun, CompileError> {
     let (is, diffs, coeffs, total) = search_inputs(func, bounds, opts.max_coeff)?;
     let scorer = FoldScorer::new(&is, func);
+    let analytic = if opts.analytic_tier {
+        AnalyticScorer::try_new(&is, func)
+    } else {
+        None
+    };
     let rank = func.rank();
     let ctx = ScanCtx {
         func,
         is,
         scorer,
+        analytic,
         diffs,
         coeffs,
         rank,
@@ -438,6 +560,9 @@ pub fn explore_dataflows_profiled(
     }
 
     let results = rank_results(results, opts.keep);
+    if ctx.analytic.is_some() {
+        confirm_survivors(&ctx, &results)?;
+    }
     funnel.materialized = results.len() as u64;
     debug_assert_eq!(funnel.decoded, total as u64);
     debug_assert_eq!(funnel.check(), Ok(()));
@@ -844,10 +969,13 @@ mod tests {
         };
         let fast = explore_dataflows_profiled(&f, &bounds, &opts).unwrap();
         let oracle = explore_dataflows_reference_profiled(&f, &bounds, &opts).unwrap();
-        // The oracle has no packed fast path, so its fallback count is 0
-        // by construction; every partitioned bucket must agree.
+        // The oracle has neither a packed fast path nor an analytical
+        // tier, so its informational tier-attribution counters are 0 by
+        // construction; every partitioned bucket must agree.
         let mut fast_funnel = fast.funnel;
         fast_funnel.pack_fallback = 0;
+        fast_funnel.analytic_scored = 0;
+        fast_funnel.analytic_rejected = 0;
         assert_eq!(fast_funnel, oracle.funnel);
         // Reordering the oracle's filters for canonical attribution must
         // not change its ranking.

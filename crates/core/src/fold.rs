@@ -72,9 +72,11 @@ pub fn summarize_array(arr: &SpatialArray) -> StructureSummary {
 /// * every scored candidate lands in exactly one **outcome** bucket —
 ///   `over_max_pes + dedup_collisions + survivors == scored`.
 ///
-/// `pack_fallback` is informational (a subset of the non-causality,
-/// non-singular candidates that took the full fold instead of the packed
-/// fast path) and participates in neither sum. Shard funnels merge by
+/// `pack_fallback`, `analytic_scored`, and `analytic_rejected` are
+/// informational (subsets of the partitioned buckets recording *which
+/// tier* did the work — the full fold, the packed fast path, or the
+/// closed-form analytical tier) and participate in neither sum; `check`
+/// holds them to their subset relations instead. Shard funnels merge by
 /// field-wise addition; the parallel merge then demotes shard-local
 /// survivors that lose global deduplication from `survivors` to
 /// `dedup_collisions`, so the funnel of a parallel search is
@@ -95,6 +97,15 @@ pub struct ExploreFunnel {
     /// these candidates still land in `collision_rejected`, `singular`,
     /// or `scored`.
     pub pack_fallback: u64,
+    /// Candidates whose [`StructureSummary`] came from the closed-form
+    /// analytical tier ([`crate::analytic::AnalyticScorer`]) instead of a
+    /// lattice fold. Informational — a subset of `scored`.
+    pub analytic_scored: u64,
+    /// Analytically scored candidates rejected by the PE bound, i.e. the
+    /// candidates the search disposed of without ever folding a lattice
+    /// point. Informational — a subset of both `analytic_scored` and
+    /// `over_max_pes`.
+    pub analytic_rejected: u64,
     /// Rejected because two iteration points collide in space-time.
     pub collision_rejected: u64,
     /// Valid candidates that produced a structure summary.
@@ -123,6 +134,8 @@ impl ExploreFunnel {
         self.causality_rejected = self.causality_rejected.saturating_add(o.causality_rejected);
         self.singular = self.singular.saturating_add(o.singular);
         self.pack_fallback = self.pack_fallback.saturating_add(o.pack_fallback);
+        self.analytic_scored = self.analytic_scored.saturating_add(o.analytic_scored);
+        self.analytic_rejected = self.analytic_rejected.saturating_add(o.analytic_rejected);
         self.collision_rejected = self.collision_rejected.saturating_add(o.collision_rejected);
         self.scored = self.scored.saturating_add(o.scored);
         self.over_max_pes = self.over_max_pes.saturating_add(o.over_max_pes);
@@ -155,6 +168,15 @@ impl ExploreFunnel {
         }
         if self.materialized > self.survivors {
             return Err("materialized exceeds survivors");
+        }
+        if self.analytic_scored > self.scored {
+            return Err("analytic_scored exceeds scored");
+        }
+        if self.analytic_rejected > self.analytic_scored {
+            return Err("analytic_rejected exceeds analytic_scored");
+        }
+        if self.analytic_rejected > self.over_max_pes {
+            return Err("analytic_rejected exceeds over_max_pes");
         }
         Ok(())
     }

@@ -125,6 +125,25 @@ impl Bounds {
         }
     }
 
+    /// Bounds `lo..hi` (half-open) per iterator, for iteration spaces
+    /// that do not start at the origin — e.g. a far-offset tile of a
+    /// larger problem, whose wide coordinates exercise the search's
+    /// packed-key fallback.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is empty (`hi <= lo`).
+    pub fn from_ranges(ranges: &[(i64, i64)]) -> Bounds {
+        assert!(
+            ranges.iter().all(|&(lo, hi)| hi > lo),
+            "ranges must be non-empty"
+        );
+        Bounds {
+            lo: ranges.iter().map(|&(lo, _)| lo).collect(),
+            hi: ranges.iter().map(|&(_, hi)| hi).collect(),
+        }
+    }
+
     /// Number of iterators.
     pub fn rank(&self) -> usize {
         self.lo.len()
@@ -270,6 +289,28 @@ mod tests {
                 vec![1, 2],
             ]
         );
+    }
+
+    #[test]
+    fn from_ranges_offsets_the_box() {
+        let b = Bounds::from_ranges(&[(10, 13), (-2, 0)]);
+        assert_eq!(b.rank(), 2);
+        assert_eq!(b.lo(idx(0)), 10);
+        assert_eq!(b.hi(idx(0)), 13);
+        assert_eq!(b.extent(idx(1)), 2);
+        assert_eq!(b.num_points(), 6);
+        assert!(b.contains(&[12, -1]));
+        assert!(!b.contains(&[13, -1]));
+        assert_eq!(b.abs_coord_bound(0), 12);
+        assert_eq!(b.abs_coord_bound(1), 2);
+        assert_eq!(b.iter_points().count(), 6);
+        assert_eq!(b.iter_points().next().unwrap(), vec![10, -2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ranges must be non-empty")]
+    fn from_ranges_rejects_empty_range() {
+        let _ = Bounds::from_ranges(&[(3, 3)]);
     }
 
     #[test]

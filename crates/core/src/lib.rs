@@ -43,6 +43,7 @@
 //! # Ok::<(), stellar_core::CompileError>(())
 //! ```
 
+pub mod analytic;
 pub mod balance;
 pub mod design;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod sparsity;
 pub mod spec;
 pub mod transform;
 
+pub use analytic::{AnalyticScorer, AnalyticScratch};
 pub use balance::{Granularity, Region, ShiftSpec};
 pub use design::{
     AcceleratorDesign, ConnDesign, DmaDesign, IoPortDesign, LoadBalancerDesign, MemBufferDesign,

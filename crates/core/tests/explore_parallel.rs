@@ -124,10 +124,84 @@ fn funnel_is_deterministic_and_matches_the_oracle() {
     let oracle = explore_dataflows_reference_profiled(&f, &bounds, &sweep_opts(1, 1)).unwrap();
     oracle.funnel.check().unwrap();
     assert_eq!(oracle.funnel.pack_fallback, 0);
+    assert_eq!(oracle.funnel.analytic_scored, 0);
+    // The fast path must have routed work through the analytical tier;
+    // those counters are informational (outside the partition sums), so
+    // they are zeroed before the bucket-for-bucket oracle comparison.
     let mut fast = serial.funnel;
+    assert!(fast.analytic_scored > 0);
     fast.pack_fallback = 0;
+    fast.analytic_scored = 0;
+    fast.analytic_rejected = 0;
     assert_eq!(fast, oracle.funnel, "fast-path funnel diverged from oracle");
     assert_eq!(byte_image(&oracle.results), byte_image(&serial.results));
+}
+
+#[test]
+fn analytic_tier_toggle_is_byte_invisible() {
+    // Disabling the analytical tier must not change a single byte of the
+    // ranking or of the partitioned funnel buckets — only the
+    // informational tier-attribution counters may differ.
+    let f = Functionality::matmul(3, 3, 3);
+    let bounds = Bounds::from_extents(&[3, 3, 3]);
+    for max_coeff in [1i64, 2] {
+        let on = explore_dataflows_profiled(&f, &bounds, &sweep_opts(max_coeff, 1)).unwrap();
+        let opts_off = ExploreOptions {
+            analytic_tier: false,
+            ..sweep_opts(max_coeff, 1)
+        };
+        let off = explore_dataflows_profiled(&f, &bounds, &opts_off).unwrap();
+        assert_eq!(
+            byte_image(&on.results),
+            byte_image(&off.results),
+            "max_coeff={max_coeff}: analytic tier changed the ranking"
+        );
+        assert!(on.funnel.analytic_scored > 0, "max_coeff={max_coeff}");
+        assert_eq!(off.funnel.analytic_scored, 0);
+        assert_eq!(off.funnel.analytic_rejected, 0);
+        let mut on_funnel = on.funnel;
+        on_funnel.analytic_scored = 0;
+        on_funnel.analytic_rejected = 0;
+        assert_eq!(
+            on_funnel, off.funnel,
+            "max_coeff={max_coeff}: analytic tier changed a partitioned bucket"
+        );
+    }
+}
+
+#[test]
+fn wide_offset_bounds_exercise_pack_fallback_and_stay_exact() {
+    // A far-offset tile whose coordinates overflow the packed-u64
+    // space-time key layout: the fold must take its per-point fallback
+    // and still match the reference oracle byte for byte. The analytical
+    // tier is forced off so every candidate actually reaches the fold.
+    let f = Functionality::matmul(3, 3, 3);
+    let wide = 1i64 << 20;
+    let bounds = Bounds::from_ranges(&[(wide, wide + 3), (wide, wide + 3), (wide, wide + 3)]);
+    let opts = ExploreOptions {
+        analytic_tier: false,
+        ..sweep_opts(1, 1)
+    };
+    let fold = explore_dataflows_profiled(&f, &bounds, &opts).unwrap();
+    fold.funnel.check().unwrap();
+    assert!(
+        fold.funnel.pack_fallback > 0,
+        "wide bounds did not trigger the packed-key fallback: {:?}",
+        fold.funnel
+    );
+    assert!(!fold.results.is_empty());
+    let oracle = explore_dataflows_reference_profiled(&f, &bounds, &opts).unwrap();
+    assert_eq!(
+        byte_image(&fold.results),
+        byte_image(&oracle.results),
+        "pack-fallback ranking diverged from the reference fold"
+    );
+    // And with the analytical tier on, the same sweep must agree again —
+    // the closed forms are offset-invariant, so the fold (and its
+    // fallback) is only consulted for survivor confirmation.
+    let on = explore_dataflows_profiled(&f, &bounds, &sweep_opts(1, 1)).unwrap();
+    assert!(on.funnel.analytic_scored > 0);
+    assert_eq!(byte_image(&on.results), byte_image(&oracle.results));
 }
 
 #[test]

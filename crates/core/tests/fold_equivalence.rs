@@ -13,8 +13,9 @@ use stellar_core::iterspace::IoDir;
 use stellar_core::prelude::*;
 use stellar_core::spacetime::reference;
 use stellar_core::{
-    explore_dataflows, explore_dataflows_reference, summarize_array, ExploreOptions, FoldScorer,
-    FoldScratch, IterationSpace, SpatialArray, StructureSummary,
+    explore_dataflows, explore_dataflows_reference, summarize_array, AnalyticScorer,
+    AnalyticScratch, ExploreOptions, FoldScorer, FoldScratch, IterationSpace, SpatialArray,
+    StructureSummary,
 };
 use stellar_linalg::IntMat;
 
@@ -109,6 +110,56 @@ proptest! {
                     "scorer and reference disagree: {scored:?} vs {oracle:?}"
                 )));
             }
+        }
+    }
+
+    /// The analytical scoring tier agrees with the exact integer fold on
+    /// every candidate it claims: wherever the closed forms apply
+    /// (`score_rows` returns `Some`), the summary is key-equal to the
+    /// fold's; wherever the fold rejects (causality under the transform),
+    /// the analytical tier must have deferred (`None`) rather than
+    /// invented a structure. With entries in `-2..=2` and small dims, no
+    /// overflow certificate can fire, so the correspondence is exact:
+    /// fold `Ok(s)` ⇔ analytic `Some(s)`.
+    #[test]
+    fn analytic_tier_matches_the_fold(
+        (m, n, k) in small_dims(),
+        entries in candidate_matrix(),
+    ) {
+        let f = Functionality::matmul(m, n, k);
+        let is = IterationSpace::elaborate(&f, &Bounds::from_extents(&[m, n, k])).unwrap();
+        let mat = IntMat::from_vec(3, 3, entries.clone());
+        if mat.det() == 0 {
+            return Ok(()); // the search rejects singular matrices before scoring
+        }
+        let t = SpaceTimeTransform::new(mat).unwrap();
+
+        let analytic = AnalyticScorer::try_new(&is, &f);
+        prop_assert!(analytic.is_some(), "matmul spaces must admit the analytical tier");
+        let analytic = analytic.unwrap();
+        let mut ascratch = AnalyticScratch::for_scorer(&analytic);
+        let rows: Vec<i64> = {
+            let m = t.matrix();
+            (0..m.rows()).flat_map(|r| m.row(r).to_vec()).collect()
+        };
+        let summary = analytic.score_rows(&rows, &mut ascratch);
+
+        let scorer = FoldScorer::new(&is, &f);
+        let mut scratch = FoldScratch::for_scorer(&scorer);
+        let folded = scorer.score(&t, &mut scratch).expect("matmul folds must be packable");
+
+        match (summary, folded) {
+            (Some(s), Ok(fold_s)) => prop_assert_eq!(s, fold_s),
+            (None, Err(_)) => {}
+            (summary, folded) => {
+                return Err(TestCaseError::fail(format!(
+                    "analytic and fold disagree on {entries:?}: {summary:?} vs {folded:?}"
+                )));
+            }
+        }
+        if let Some(s) = summary {
+            let u = analytic.utilization_bound(&s);
+            prop_assert!((0.0..=1.0).contains(&u), "utilization bound {u} out of range");
         }
     }
 

@@ -77,6 +77,64 @@ pub trait Merger {
     }
 }
 
+/// Flat-SoA counter for merged output-row lengths.
+///
+/// The merger models only need `merge_fibers(fibers).len()` per row — the
+/// number of coordinates whose summed value is nonzero — yet the k-way
+/// merge materializes the full coord/value vectors (two allocations per
+/// row) and re-scans every fiber head once per output element. This
+/// counter instead accumulates each row into a dense value array indexed
+/// by coordinate, reused across rows via a generation stamp so no
+/// clearing pass is needed.
+///
+/// Per coordinate, values are added in fiber order starting from `0.0` —
+/// exactly the float-add order of [`merge_fibers`]'s inner loop (fiber
+/// coords are strictly increasing, so the merge visits each fiber's entry
+/// for a coordinate exactly once, in fiber order). The sums are therefore
+/// bit-identical, the `!= 0.0` cancellation test agrees, and the counted
+/// length matches the materializing merge exactly. The [`reference`]
+/// module keeps calling [`merge_fibers`] itself, so the engine-vs-oracle
+/// equivalence tests cross-check this counter on every batch.
+#[derive(Default)]
+struct MergeCounter {
+    sums: Vec<f64>,
+    stamp: Vec<u64>,
+    generation: u64,
+    touched: Vec<usize>,
+}
+
+impl MergeCounter {
+    /// `merge_fibers(fibers).len() as u64`, without materializing the
+    /// merged fiber.
+    fn merged_len(&mut self, fibers: &[Fiber]) -> u64 {
+        let Some(max) = fibers.iter().filter_map(|f| f.coords.last()).max() else {
+            return 0;
+        };
+        if self.sums.len() <= *max {
+            self.sums.resize(max + 1, 0.0);
+            self.stamp.resize(max + 1, 0);
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        for f in fibers {
+            debug_assert!(
+                f.coords.windows(2).all(|w| w[0] < w[1]),
+                "fiber coords must be strictly increasing"
+            );
+            for (&c, &v) in f.coords.iter().zip(&f.values) {
+                if self.stamp[c] != generation {
+                    self.stamp[c] = generation;
+                    self.sums[c] = 0.0;
+                    self.touched.push(c);
+                }
+                self.sums[c] += v;
+            }
+        }
+        let sums = &self.sums;
+        self.touched.drain(..).filter(|&c| sums[c] != 0.0).count() as u64
+    }
+}
+
 /// A GAMMA-style row-partitioned merger: `lanes` PEs, each merging whole
 /// rows, one element per cycle per lane (Figure 19a).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -107,10 +165,12 @@ impl Merger for RowPartitionedMerger {
         rows: &[Vec<Fiber>],
         watchdog: &Watchdog,
     ) -> Result<MergeStats, SimError> {
-        // Per-row output length (the lane busy time for that row).
+        // Per-row output length (the lane busy time for that row),
+        // counted flat instead of materializing each merged fiber.
+        let mut counter = MergeCounter::default();
         let row_cost: Vec<u64> = rows
             .iter()
-            .map(|fibers| merge_fibers(fibers).len() as u64)
+            .map(|fibers| counter.merged_len(fibers))
             .collect();
         let merged_elements: u64 = row_cost.iter().sum();
         // Greedy longest-processing-time assignment would be the balanced
@@ -210,10 +270,8 @@ impl Merger for FlattenedMerger {
         rows: &[Vec<Fiber>],
         watchdog: &Watchdog,
     ) -> Result<MergeStats, SimError> {
-        let merged_elements: u64 = rows
-            .iter()
-            .map(|fibers| merge_fibers(fibers).len() as u64)
-            .sum();
+        let mut counter = MergeCounter::default();
+        let merged_elements: u64 = rows.iter().map(|fibers| counter.merged_len(fibers)).sum();
         let width = self.width.max(1) as u64;
         let full_steps = merged_elements / width;
         let steps = merged_elements.div_ceil(width);
@@ -513,6 +571,49 @@ mod tests {
     fn max_throughputs() {
         assert_eq!(RowPartitionedMerger::paper_config().max_throughput(), 32);
         assert_eq!(FlattenedMerger::paper_config().max_throughput(), 16);
+    }
+
+    #[test]
+    fn merge_counter_matches_merge_fibers_on_cancellation() {
+        // The flat counter must reproduce merge_fibers' exact `!= 0.0`
+        // cancellation semantics: +x/−x at the same coordinate vanishes
+        // from the count, sums that pass through zero mid-accumulation
+        // but end nonzero stay, and disjoint fibers simply union. The
+        // counter is also reused across rows to exercise the stamp.
+        let batches: Vec<Vec<Fiber>> = vec![
+            // exact cancellation at coord 3; coord 5 survives
+            vec![
+                Fiber::new(vec![3, 5], vec![1.5, 2.0]),
+                Fiber::new(vec![3], vec![-1.5]),
+            ],
+            // through-zero partial sum (1 - 1 + 4) must still count
+            vec![
+                Fiber::new(vec![7], vec![1.0]),
+                Fiber::new(vec![7], vec![-1.0]),
+                Fiber::new(vec![7], vec![4.0]),
+            ],
+            // disjoint coords across three fibers
+            vec![
+                Fiber::new(vec![0, 9], vec![1.0, 1.0]),
+                Fiber::new(vec![4], vec![1.0]),
+                Fiber::new(vec![2, 11], vec![1.0, 1.0]),
+            ],
+            // empty row
+            vec![],
+            // everything cancels
+            vec![
+                Fiber::new(vec![1, 2], vec![2.0, -3.0]),
+                Fiber::new(vec![1, 2], vec![-2.0, 3.0]),
+            ],
+        ];
+        let mut counter = MergeCounter::default();
+        for fibers in &batches {
+            assert_eq!(
+                counter.merged_len(fibers),
+                merge_fibers(fibers).len() as u64,
+                "counter diverged from merge_fibers on {fibers:?}"
+            );
+        }
     }
 
     #[test]

@@ -15,11 +15,16 @@ pub struct Utilization {
 
 impl Utilization {
     /// The utilization fraction in `[0, 1]` (0 when nothing elapsed).
+    ///
+    /// The ratio is clamped to 1.0: `busy > total` can only arise from a
+    /// model accounting bug or saturated [`merge`](Utilization::merge)
+    /// counters, and a >100% occupancy must never leak into reports or
+    /// JSON exports that document the `[0, 1]` contract.
     pub fn fraction(&self) -> f64 {
         if self.total == 0 {
             0.0
         } else {
-            self.busy as f64 / self.total as f64
+            (self.busy as f64 / self.total as f64).min(1.0)
         }
     }
 
@@ -91,6 +96,28 @@ mod tests {
         };
         assert!((u.fraction() - 0.75).abs() < 1e-12);
         assert_eq!(Utilization::default().fraction(), 0.0);
+    }
+
+    #[test]
+    fn fraction_is_clamped_to_one() {
+        // busy > total (an accounting bug or saturated merge counters)
+        // must clamp to exactly 1.0, honouring the documented [0, 1]
+        // contract, not report a >100% occupancy.
+        let over = Utilization {
+            busy: 150,
+            total: 100,
+        };
+        assert_eq!(over.fraction(), 1.0);
+        let saturated = Utilization {
+            busy: u64::MAX,
+            total: u64::MAX - 1,
+        };
+        assert_eq!(saturated.fraction(), 1.0);
+        let exact = Utilization {
+            busy: 100,
+            total: 100,
+        };
+        assert_eq!(exact.fraction(), 1.0);
     }
 
     #[test]

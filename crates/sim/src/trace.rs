@@ -167,6 +167,13 @@ impl CycleBreakdown {
     }
 
     /// The fraction of `self.total()` attributed to `class` (0 when empty).
+    ///
+    /// Structurally bounded to `[0, 1]` with no clamp needed: the
+    /// denominator is the saturating sum over all classes, which can
+    /// never fall below any single class's count — unlike
+    /// [`Utilization::fraction`](crate::stats::Utilization::fraction),
+    /// whose `busy`/`total` come from independent counters and must be
+    /// clamped.
     pub fn fraction(&self, class: StallClass) -> f64 {
         let total = self.total();
         if total == 0 {
@@ -492,6 +499,21 @@ mod tests {
             .with(StallClass::Idle, 1);
         assert!((b.fraction(StallClass::Compute) - 0.75).abs() < 1e-12);
         assert_eq!(CycleBreakdown::new().fraction(StallClass::Compute), 0.0);
+    }
+
+    #[test]
+    fn fraction_is_structurally_bounded() {
+        // Even at saturating extremes, no class's share can exceed 1.0 —
+        // the denominator includes every class's own count.
+        let b = CycleBreakdown::new()
+            .with(StallClass::Compute, u64::MAX)
+            .with(StallClass::Idle, u64::MAX);
+        for class in StallClass::ALL {
+            let f = b.fraction(class);
+            assert!((0.0..=1.0).contains(&f), "{class:?}: {f}");
+        }
+        let solo = CycleBreakdown::new().with(StallClass::Fill, 42);
+        assert_eq!(solo.fraction(StallClass::Fill), 1.0);
     }
 
     #[test]

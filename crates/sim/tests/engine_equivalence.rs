@@ -194,17 +194,41 @@ proptest! {
         startup in 0u64..=8,
         seed in 0u64..200,
     ) {
-        // Deterministic row lengths with deliberate repeats (tie fodder).
+        // Deterministic multi-fiber rows with deliberate repeats (tie
+        // fodder), overlapping coordinates (real k-way merges, not just
+        // concatenation), and sign-alternating values so some sums cancel
+        // to exactly 0.0 — the engine path's flat row-length counter must
+        // agree with the reference's materializing merge on all of it.
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
         let rows: Vec<Vec<Fiber>> = (0..num_rows)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                let len = ((state >> 33) % 24) as usize;
-                if len == 0 {
-                    Vec::new()
-                } else {
-                    vec![Fiber::new((0..len).collect(), vec![1.0; len])]
-                }
+                let num_fibers = ((next() >> 33) % 4) as usize;
+                (0..num_fibers)
+                    .map(|fi| {
+                        let mask = (next() >> 30) & 0xFF_FFFF;
+                        let coords: Vec<usize> =
+                            (0..24).filter(|c| (mask >> c) & 1 == 1).collect();
+                        let values: Vec<f64> = coords
+                            .iter()
+                            .map(|&c| {
+                                let v = (c % 3 + 1) as f64 * 0.5;
+                                if fi % 2 == 1 {
+                                    -v
+                                } else {
+                                    v
+                                }
+                            })
+                            .collect();
+                        Fiber::new(coords, values)
+                    })
+                    .filter(|f| !f.is_empty())
+                    .collect()
             })
             .collect();
         let wd = Watchdog::default_budget();
