@@ -419,17 +419,19 @@ pub fn render_profile_json(r: &ProfileReport) -> String {
         "    \"worker_utilization\": {},",
         json_f64(r.workers.utilization())
     );
+    let _ = writeln!(s, "    \"total_steals\": {},", r.workers.total_steals());
     s.push_str("    \"workers\": [\n");
     for (n, w) in r.workers.workers.iter().enumerate() {
         let _ = write!(
             s,
             "      {{\"busy_ms\": {}, \"idle_ms\": {}, \"wall_ms\": {}, \"chunks\": {}, \
-             \"items\": {}}}",
+             \"items\": {}, \"steals\": {}}}",
             json_f64(w.busy_ms),
             json_f64(w.idle_ms()),
             json_f64(w.wall_ms),
             w.chunks,
             w.items,
+            w.steals,
         );
         s.push_str(if n + 1 < r.workers.workers.len() {
             ",\n"

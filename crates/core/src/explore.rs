@@ -123,8 +123,10 @@ pub struct ExploreOptions {
     pub keep: usize,
     /// Worker parallelism: `0` shards across all available cores, `1`
     /// keeps the original single-threaded scan, and `n ≥ 2` both shards
-    /// the enumeration for `n` workers and caps the pool at `n` threads
-    /// (so profiled runs report exactly the requested worker count).
+    /// the enumeration for `n` workers and spawns exactly `n` pool
+    /// threads — oversubscribing the machine if it has fewer cores — so
+    /// profiled runs report exactly the requested worker count and the
+    /// work-stealing deques are exercised everywhere.
     /// Every setting produces a byte-identical ranking — and, through
     /// [`explore_dataflows_profiled`], a byte-identical
     /// [`ExploreFunnel`].

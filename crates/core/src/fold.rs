@@ -503,13 +503,49 @@ impl FoldScorer {
         for p in 0..self.n_points {
             let pc = &self.coords[p * rank..(p + 1) * rank];
             let mut key = 0u64;
-            for i in 0..rank {
-                let mut acc = 0i64;
-                for (c, &coef) in rows[i * rank..(i + 1) * rank].iter().enumerate() {
-                    acc += coef * pc[c];
+            match rank {
+                // Fully unrolled dot-product lanes for the common ranks.
+                // The arithmetic is integer — exact and associative — so
+                // unrolling is trivially result-identical to the generic
+                // loop below; the match arm is loop-invariant, so LLVM
+                // unswitches it out of the point loop.
+                3 => {
+                    let (x, y, z) = (pc[0], pc[1], pc[2]);
+                    let s0 = rows[0] * x + rows[1] * y + rows[2] * z;
+                    let s1 = rows[3] * x + rows[4] * y + rows[5] * z;
+                    let s2 = rows[6] * x + rows[7] * y + rows[8] * z;
+                    scratch.st[0] = s0;
+                    scratch.st[1] = s1;
+                    scratch.st[2] = s2;
+                    key = (s0 + scratch.offsets[0]) as u64;
+                    key = (key << scratch.widths[1]) | (s1 + scratch.offsets[1]) as u64;
+                    key = (key << scratch.widths[2]) | (s2 + scratch.offsets[2]) as u64;
                 }
-                scratch.st[i] = acc;
-                key = (key << scratch.widths[i]) | (acc + scratch.offsets[i]) as u64;
+                4 => {
+                    let (x, y, z, w) = (pc[0], pc[1], pc[2], pc[3]);
+                    let s0 = rows[0] * x + rows[1] * y + rows[2] * z + rows[3] * w;
+                    let s1 = rows[4] * x + rows[5] * y + rows[6] * z + rows[7] * w;
+                    let s2 = rows[8] * x + rows[9] * y + rows[10] * z + rows[11] * w;
+                    let s3 = rows[12] * x + rows[13] * y + rows[14] * z + rows[15] * w;
+                    scratch.st[0] = s0;
+                    scratch.st[1] = s1;
+                    scratch.st[2] = s2;
+                    scratch.st[3] = s3;
+                    key = (s0 + scratch.offsets[0]) as u64;
+                    key = (key << scratch.widths[1]) | (s1 + scratch.offsets[1]) as u64;
+                    key = (key << scratch.widths[2]) | (s2 + scratch.offsets[2]) as u64;
+                    key = (key << scratch.widths[3]) | (s3 + scratch.offsets[3]) as u64;
+                }
+                _ => {
+                    for i in 0..rank {
+                        let mut acc = 0i64;
+                        for (c, &coef) in rows[i * rank..(i + 1) * rank].iter().enumerate() {
+                            acc += coef * pc[c];
+                        }
+                        scratch.st[i] = acc;
+                        key = (key << scratch.widths[i]) | (acc + scratch.offsets[i]) as u64;
+                    }
+                }
             }
             if scratch.st_table.insert(key, 0).is_some() {
                 return Some(Err(CompileError::SpaceTimeCollision {

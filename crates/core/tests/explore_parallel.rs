@@ -223,6 +223,52 @@ fn funnel_is_deterministic_on_the_acceptance_sweep() {
 }
 
 #[test]
+fn steal_heavy_skewed_sweep_is_byte_identical_across_worker_counts() {
+    // Adversarial scheduling workload: with the analytical tier off,
+    // surviving candidates pay the full space-time fold while rejects are
+    // nearly free, so per-shard cost is pathologically skewed and idle
+    // workers must steal from their loaded peers to finish. Explicit
+    // `parallelism` spawns exactly that many pool workers — over-
+    // subscribing the machine when it has fewer cores — so the deques and
+    // the steal path are genuinely exercised even on a single-core
+    // runner. Rankings and funnels must stay byte-identical to the
+    // serial scan regardless of the resulting steal schedule.
+    let f = Functionality::matmul(3, 3, 3);
+    let bounds = Bounds::from_extents(&[3, 3, 3]);
+    let opts = |parallelism: usize| ExploreOptions {
+        analytic_tier: false,
+        ..sweep_opts(2, parallelism)
+    };
+    let serial = explore_dataflows_profiled(&f, &bounds, &opts(1)).unwrap();
+    serial.funnel.check().unwrap();
+    assert!(!serial.results.is_empty());
+    let ranking = byte_image(&serial.results);
+    let funnel = format!("{:?}", serial.funnel);
+    for parallelism in [2usize, 4, 8] {
+        let run = explore_dataflows_profiled(&f, &bounds, &opts(parallelism)).unwrap();
+        assert_eq!(
+            run.workers.worker_count(),
+            parallelism,
+            "parallelism={parallelism} did not spawn the requested workers"
+        );
+        assert!(
+            run.workers.total_steals() <= run.workers.total_chunks(),
+            "parallelism={parallelism} reported more steals than chunks"
+        );
+        assert_eq!(
+            byte_image(&run.results),
+            ranking,
+            "parallelism={parallelism} ranking diverged under stealing"
+        );
+        assert_eq!(
+            format!("{:?}", run.funnel),
+            funnel,
+            "parallelism={parallelism} funnel diverged under stealing"
+        );
+    }
+}
+
+#[test]
 fn panicking_shard_is_isolated_and_ranking_unperturbed() {
     // A deliberately panicking candidate must surface as
     // Err(WorkerPanicked) — the process survives — and a clean sweep run

@@ -4,26 +4,50 @@
 //! ranges, `map`/`collect`/`sum`/`for_each`, `with_min_len`, `join`, and
 //! `current_num_threads`.
 //!
-//! Scheduling is dynamic: the index space is cut into chunks and worker
-//! threads repeatedly claim the next unclaimed chunk from a shared atomic
-//! cursor, so an expensive chunk on one worker does not serialize the
-//! rest (the same load-balancing property rayon's work-stealing deques
-//! provide, with a shared queue instead of per-worker deques). Results
-//! are materialized per chunk and merged back in index order, so
-//! `collect` is **order-preserving and deterministic** regardless of
-//! thread count or completion order — the property the deterministic
+//! Scheduling is **work-stealing**: the index space is cut into chunks
+//! that are dealt out across per-worker deques up front. Each owner pops
+//! LIFO from the *bottom* of its own deque (the chunk it would have run
+//! next anyway, cache-warm and in index order); a worker whose deque runs
+//! dry becomes a thief and steals a FIFO batch of [`STEAL_BATCH`] chunks
+//! from the *top* of a victim's deque — the work farthest from what the
+//! victim is touching. An expensive chunk therefore never tail-stalls the
+//! pool: the moment any worker idles it relieves the most loaded peer.
+//! Results are materialized per chunk, tagged with the chunk's start
+//! index, and merged back in index order, so `collect` is
+//! **order-preserving and deterministic** regardless of thread count,
+//! steal schedule, or completion order — the property the deterministic
 //! dataflow-search and sweep pipelines rely on.
+//!
+//! When the pool resolves to a single worker (`RAYON_NUM_THREADS=1`, a
+//! `with_max_threads(1)` cap, or a single-item source) the deque
+//! machinery is bypassed entirely: the serial fast path runs the plain
+//! loop under one `catch_unwind` and reports itself as one fully-busy
+//! worker.
 //!
 //! Workers are plain `std::thread::scope` threads spawned per call; for
 //! the coarse-grained parallelism in this workspace (thousands of
 //! candidate transforms or simulations per call) the spawn cost is noise.
 
+use std::collections::VecDeque;
 use std::fmt;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
+
+/// Chunks a thief takes from the top of a victim's deque per steal.
+///
+/// One steal must amortize the victim's lock plus the scan that found it,
+/// so thieves take a small FIFO *batch* rather than a single chunk; but a
+/// large batch re-creates the imbalance stealing exists to fix (the thief
+/// hoards work the next idle worker then has to steal back). Four chunks
+/// — half a worker's initial deal under the default eight-chunks-per-
+/// worker split — balances the two. The setting is *scheduling only*:
+/// chunks stay tagged with their start index and the collected output is
+/// merged in index order, so any batch size yields byte-identical results
+/// (`steal_batch_size_never_changes_output_order` pins this).
+pub const STEAL_BATCH: usize = 4;
 
 /// Wall-clock telemetry for one worker thread of a parallel map: how long
 /// the thread existed (`wall_ms`), how much of that it spent executing
@@ -42,6 +66,12 @@ pub struct WorkerStats {
     pub chunks: u64,
     /// Items this worker processed.
     pub items: u64,
+    /// Chunks this worker executed that were originally dealt to another
+    /// worker's deque — the balance counter for the work-stealing
+    /// scheduler. Every stolen chunk is also counted under `chunks` by
+    /// its executor, so `steals <= chunks` holds per worker, and
+    /// `total_steals() <= total_chunks()` holds for the pool.
+    pub steals: u64,
 }
 
 impl WorkerStats {
@@ -76,6 +106,12 @@ impl PoolStats {
         self.workers.iter().map(|w| w.chunks).sum()
     }
 
+    /// Total chunks that moved between workers via stealing. Zero on the
+    /// serial path and on perfectly balanced parallel runs.
+    pub fn total_steals(&self) -> u64 {
+        self.workers.iter().map(|w| w.steals).sum()
+    }
+
     /// Busy time as a fraction of total worker wall time (0 when no
     /// worker accumulated any wall time, never NaN).
     pub fn utilization(&self) -> f64 {
@@ -98,6 +134,7 @@ impl PoolStats {
                 wall_ms: busy_ms,
                 chunks: u64::from(items > 0),
                 items,
+                steals: 0,
             }],
         }
     }
@@ -140,16 +177,23 @@ pub mod prelude {
 
 /// The number of worker threads parallel iterators use: the
 /// `RAYON_NUM_THREADS` environment variable when set to a positive
-/// integer, otherwise the machine's available parallelism.
+/// integer, otherwise the machine's available parallelism. A setting of
+/// `1` routes every parallel iterator through the serial fast path — no
+/// deques, no worker threads, no stealing.
 pub fn current_num_threads() -> usize {
-    match std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-    {
-        Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism()
+    threads_from_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1),
+            .unwrap_or(1)
+    })
+}
+
+/// Parses a `RAYON_NUM_THREADS` value: `Some(n)` for a positive integer,
+/// `None` (fall back to the machine parallelism) otherwise.
+fn threads_from_env(var: Option<&str>) -> Option<usize> {
+    match var?.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
     }
 }
 
@@ -275,6 +319,7 @@ pub struct ParIter<S> {
     source: S,
     min_len: usize,
     max_threads: usize,
+    steal_batch: usize,
 }
 
 impl<S: ParSource> ParIter<S> {
@@ -283,6 +328,7 @@ impl<S: ParSource> ParIter<S> {
             source,
             min_len: 1,
             max_threads: 0,
+            steal_batch: STEAL_BATCH,
         }
     }
 
@@ -293,11 +339,25 @@ impl<S: ParSource> ParIter<S> {
         self
     }
 
-    /// Caps the worker-thread count for this execution (`0` keeps the
-    /// pool default from [`current_num_threads`]). Results are identical
-    /// for every setting; only scheduling and telemetry change.
+    /// Sets the worker-thread count for this execution (`0` keeps the
+    /// pool default from [`current_num_threads`]). An explicit request is
+    /// honored even past the machine parallelism — oversubscription is
+    /// how a single-core box still exercises (and tests) the
+    /// work-stealing deques — though never past one worker per chunk.
+    /// Results are identical for every setting; only scheduling and
+    /// telemetry change.
     pub fn with_max_threads(mut self, max_threads: usize) -> Self {
         self.max_threads = max_threads;
+        self
+    }
+
+    /// Overrides the [`STEAL_BATCH`] steal-batch size for this execution
+    /// (clamped to at least 1). Results are byte-identical for every
+    /// setting — only the steal schedule changes — which is exactly what
+    /// the determinism suite uses this hook to prove.
+    #[doc(hidden)]
+    pub fn with_steal_batch(mut self, steal_batch: usize) -> Self {
+        self.steal_batch = steal_batch.max(1);
         self
     }
 
@@ -312,6 +372,7 @@ impl<S: ParSource> ParIter<S> {
             f,
             min_len: self.min_len,
             max_threads: self.max_threads,
+            steal_batch: self.steal_batch,
         }
     }
 
@@ -331,6 +392,7 @@ pub struct ParMap<S, F> {
     f: F,
     min_len: usize,
     max_threads: usize,
+    steal_batch: usize,
 }
 
 impl<S, F, R> ParMap<S, F>
@@ -341,19 +403,48 @@ where
 {
     /// Executes the map with every chunk isolated by `catch_unwind`.
     /// `Err` carries the panic payload of the **lowest-indexed** panicking
-    /// chunk — deterministic regardless of thread count or completion
-    /// order, so a panicking input reports the same failure every run.
-    /// Once any chunk panics, workers stop claiming new chunks (in-flight
-    /// chunks finish). Alongside the results it returns per-worker
-    /// telemetry ([`PoolStats`]); the counters cost two `Instant` reads
-    /// per *chunk*, noise next to the thousands of items a chunk holds.
+    /// chunk — deterministic regardless of thread count, steal schedule,
+    /// or completion order, so a panicking input reports the same failure
+    /// every run. Once any chunk panics, workers stop claiming new chunks
+    /// (in-flight chunks finish). Alongside the results it returns
+    /// per-worker telemetry ([`PoolStats`]); the counters cost two
+    /// `Instant` reads per *chunk*, noise next to the thousands of items
+    /// a chunk holds.
+    ///
+    /// Scheduling is the work-stealing protocol from the module docs:
+    /// chunks are dealt contiguously across per-worker deques (each deque
+    /// ordered so the owner's bottom pop walks its range in ascending
+    /// index order), owners pop LIFO from the bottom, and idle workers
+    /// steal FIFO batches of [`STEAL_BATCH`] chunks from the top of the
+    /// first non-empty victim deque. A worker that finds every deque
+    /// empty while chunks are still in flight yields and rescans (an
+    /// executing chunk never spawns new chunks, so this wait is bounded
+    /// by the longest single chunk).
     fn try_run_profiled_inner(self) -> Result<(Vec<R>, PoolStats), Box<dyn std::any::Any + Send>> {
         let len = self.source.len();
-        let mut threads = current_num_threads().min(len.max(1));
-        if self.max_threads > 0 {
-            threads = threads.min(self.max_threads);
-        }
+        // An explicit thread request is taken as-is (oversubscription
+        // included); `0` means the machine default.
+        let mut threads = if self.max_threads > 0 {
+            self.max_threads
+        } else {
+            current_num_threads()
+        };
+        threads = threads.min(len.max(1));
+        // Aim for several chunks per worker so a slow chunk load-balances,
+        // bounded below by the caller's splitting hint.
+        let chunk = if threads > 1 {
+            (len.div_ceil(threads * 8)).max(self.min_len)
+        } else {
+            len.max(1)
+        };
+        let n_chunks = len.div_ceil(chunk.max(1)).max(1);
+        // Never park workers that can't possibly get a chunk.
+        threads = threads.min(n_chunks);
         if threads <= 1 || len <= 1 {
+            // Serial fast path: `RAYON_NUM_THREADS=1`, an explicit
+            // single-thread cap, or a source too small to split. No
+            // deques, no scope, no stealing — one catch_unwind around
+            // the plain loop.
             let started = Instant::now();
             let out = catch_unwind(AssertUnwindSafe(|| {
                 (0..len)
@@ -364,10 +455,29 @@ where
             return Ok((out, PoolStats::serial(len as u64, busy_ms)));
         }
 
-        // Aim for several chunks per worker so a slow chunk load-balances,
-        // bounded below by the caller's splitting hint.
-        let chunk = (len.div_ceil(threads * 8)).max(self.min_len);
-        let cursor = AtomicUsize::new(0);
+        // Deal chunks contiguously across the per-worker deques, each
+        // deque descending by start index from front to back, so the
+        // owner's bottom (back) pop walks its range in ascending index
+        // order while thieves take the top (front) — the work farthest
+        // from the owner's current locality.
+        let steal_batch = self.steal_batch.max(1);
+        let mut boundary = 0usize;
+        // Each entry carries its original owner so the executor can tell
+        // a stolen chunk from a home chunk when it books `steals`.
+        let deques: Vec<Mutex<VecDeque<(usize, usize, usize)>>> = (0..threads)
+            .map(|w| {
+                let share = n_chunks / threads + usize::from(w < n_chunks % threads);
+                let mut dq = VecDeque::with_capacity(share);
+                for c in (boundary..boundary + share).rev() {
+                    let start = c * chunk;
+                    dq.push_back((start, (start + chunk).min(len), w));
+                }
+                boundary += share;
+                Mutex::new(dq)
+            })
+            .collect();
+        debug_assert_eq!(boundary, n_chunks);
+        let remaining = AtomicUsize::new(n_chunks);
         let abort = AtomicBool::new(false);
         let chunks: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
         let worker_stats: Mutex<Vec<(usize, WorkerStats)>> = Mutex::new(Vec::new());
@@ -380,21 +490,54 @@ where
                 let chunks = &chunks;
                 let worker_stats = &worker_stats;
                 let panics = &panics;
-                let cursor = &cursor;
+                let deques = &deques;
+                let remaining = &remaining;
                 let abort = &abort;
                 scope.spawn(move || {
                     let worker_started = Instant::now();
                     let mut stats = WorkerStats::default();
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
-                    loop {
+                    'work: loop {
                         if abort.load(Ordering::Relaxed) {
                             break;
                         }
-                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                        if start >= len {
-                            break;
+                        // Owner path: LIFO pop from the bottom of our own
+                        // deque.
+                        let mut job = deques[w].lock().ok().and_then(|mut dq| dq.pop_back());
+                        if job.is_none() {
+                            // Thief path: FIFO-steal a batch from the top
+                            // of the first non-empty victim, append it to
+                            // our own deque (preserving the descending
+                            // front-to-back order), and run its
+                            // lowest-indexed chunk now.
+                            for v in (w + 1..threads).chain(0..w) {
+                                let stolen: Vec<(usize, usize, usize)> = match deques[v].lock() {
+                                    Ok(mut dq) => {
+                                        (0..steal_batch).map_while(|_| dq.pop_front()).collect()
+                                    }
+                                    Err(_) => Vec::new(),
+                                };
+                                if stolen.is_empty() {
+                                    continue;
+                                }
+                                if let Ok(mut dq) = deques[w].lock() {
+                                    dq.extend(stolen);
+                                    job = dq.pop_back();
+                                }
+                                break;
+                            }
                         }
-                        let end = (start + chunk).min(len);
+                        let Some((start, end, owner)) = job else {
+                            if remaining.load(Ordering::Acquire) == 0 {
+                                break 'work;
+                            }
+                            // Chunks are in flight on other workers but
+                            // none are stealable; an executing chunk
+                            // never spawns new chunks, so just yield and
+                            // rescan until the stragglers finish.
+                            std::thread::yield_now();
+                            continue;
+                        };
                         let chunk_started = Instant::now();
                         match catch_unwind(AssertUnwindSafe(|| {
                             let mut out = Vec::with_capacity(end - start);
@@ -407,7 +550,9 @@ where
                                 stats.busy_ms += chunk_started.elapsed().as_secs_f64() * 1e3;
                                 stats.chunks += 1;
                                 stats.items += (end - start) as u64;
+                                stats.steals += u64::from(owner != w);
                                 local.push((start, out));
+                                remaining.fetch_sub(1, Ordering::Release);
                             }
                             Err(payload) => {
                                 abort.store(true, Ordering::Relaxed);
@@ -709,6 +854,144 @@ mod tests {
         let u = stats.utilization();
         assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
         assert!(!u.is_nan());
+    }
+
+    #[test]
+    fn rayon_num_threads_env_values_resolve_as_documented() {
+        // The pure resolution behind current_num_threads: a positive
+        // integer is honored (1 selects the serial bypass), anything
+        // else falls back to the machine parallelism.
+        assert_eq!(threads_from_env(Some("1")), Some(1));
+        assert_eq!(threads_from_env(Some("4")), Some(4));
+        assert_eq!(threads_from_env(Some("0")), None);
+        assert_eq!(threads_from_env(Some("-2")), None);
+        assert_eq!(threads_from_env(Some("lots")), None);
+        assert_eq!(threads_from_env(Some("")), None);
+        assert_eq!(threads_from_env(None), None);
+    }
+
+    #[test]
+    fn steal_batch_size_never_changes_output_order() {
+        // The STEAL_BATCH constant is scheduling-only: any batch size
+        // must collect byte-identical output, even on a pathologically
+        // skewed workload where the first chunks dominate and everything
+        // else has to be stolen.
+        let skewed = |i: usize| {
+            let spins = if i < 64 { 20_000 } else { 1 };
+            let mut acc = i as u64;
+            for s in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s);
+            }
+            (i as u64) << 32 | (acc & 0xffff_ffff)
+        };
+        let expected: Vec<u64> = (0..4096usize).map(skewed).collect();
+        for batch in [1usize, 2, STEAL_BATCH, 7, 64, usize::MAX] {
+            let (got, stats) = (0..4096usize)
+                .into_par_iter()
+                .with_min_len(32)
+                .with_max_threads(4)
+                .with_steal_batch(batch)
+                .map(skewed)
+                .try_collect_vec_profiled()
+                .unwrap();
+            assert_eq!(got, expected, "steal batch {batch} changed the output");
+            assert_eq!(stats.total_items(), 4096);
+        }
+    }
+
+    #[test]
+    fn steal_counters_are_conserved() {
+        // Every chunk is executed exactly once no matter how often it
+        // moves between deques: items and chunks are conserved, and
+        // steals are bounded by the chunk count (a steal always precedes
+        // the execution of the stolen chunk).
+        let (out, stats) = (0..10_000usize)
+            .into_par_iter()
+            .with_min_len(16)
+            .with_max_threads(4)
+            .map(|i| i * 11)
+            .try_collect_vec_profiled()
+            .unwrap();
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(stats.total_items(), 10_000);
+        assert!(stats.total_chunks() >= 1);
+        assert!(
+            stats.total_steals() <= stats.total_chunks(),
+            "stole {} of {} chunks",
+            stats.total_steals(),
+            stats.total_chunks()
+        );
+        for w in &stats.workers {
+            assert!(w.steals <= w.chunks, "worker stole more than it ran");
+        }
+    }
+
+    #[test]
+    fn serial_bypass_reports_no_steals() {
+        // parallelism == 1 must bypass the deque machinery: one fully
+        // busy worker, zero steals.
+        let (_, stats) = (0..5_000usize)
+            .into_par_iter()
+            .with_max_threads(1)
+            .map(|i| i)
+            .try_collect_vec_profiled()
+            .unwrap();
+        assert_eq!(stats.worker_count(), 1);
+        assert_eq!(stats.total_steals(), 0);
+        assert_eq!(stats.workers[0].busy_ms, stats.workers[0].wall_ms);
+    }
+
+    #[test]
+    fn skewed_workload_is_stolen_not_tail_stalled() {
+        // With the whole expensive range dealt to worker 0's deque and
+        // plenty of cheap chunks elsewhere, a multi-thread run on a
+        // multi-core box should record steals; everywhere, the output
+        // must stay identical to the serial map.
+        let cost = |i: usize| {
+            let mut acc = 1u64;
+            let spins = if i < 256 { 50_000u64 } else { 10 };
+            for s in 0..spins {
+                acc = acc.wrapping_mul(0x9e3779b97f4a7c15) ^ s;
+            }
+            acc ^ i as u64
+        };
+        let expected: Vec<u64> = (0..2048usize).map(cost).collect();
+        let (got, stats) = (0..2048usize)
+            .into_par_iter()
+            .with_min_len(8)
+            .with_max_threads(4)
+            .map(cost)
+            .try_collect_vec_profiled()
+            .unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(stats.total_items(), 2048);
+        assert_eq!(stats.worker_count(), 4);
+        // Steals are opportunistic (scheduling decides how many), but
+        // whatever happened must be internally consistent.
+        assert!(stats.total_steals() <= stats.total_chunks());
+    }
+
+    #[test]
+    fn panic_under_stealing_still_reports_lowest_index() {
+        // Panic isolation composes with stealing: whichever worker ends
+        // up running the panicking chunks, the reported panic is the
+        // lowest-indexed one, and counters on the surviving workers stay
+        // conserved (every counted chunk really ran).
+        for batch in [1usize, STEAL_BATCH, 1024] {
+            let res = (0..20_000usize)
+                .into_par_iter()
+                .with_min_len(16)
+                .with_max_threads(4)
+                .with_steal_batch(batch)
+                .map(|i| {
+                    if i == 500 || i == 19_500 {
+                        panic!("boom at {i}");
+                    }
+                    i
+                })
+                .try_collect_vec();
+            assert_eq!(res.unwrap_err().message, "boom at 500", "batch {batch}");
+        }
     }
 
     #[test]

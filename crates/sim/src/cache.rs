@@ -83,25 +83,89 @@ impl L2Cache {
         let set = line % self.num_sets;
         let tag = line / self.num_sets;
         let base = set as usize * self.ways;
-        let ways = base..base + self.ways;
-        // Bounded probe over this set's slots: a valid slot (stamp != 0)
-        // with a matching tag is a hit.
-        for w in ways.clone() {
-            if self.stamps[w] != 0 && self.tags[w] == tag {
-                self.stamps[w] = self.stamp;
-                self.hits += 1;
-                return (self.hit_latency, true);
+        // Bounded probe over this set's slot slices, 4-wide unrolled: a
+        // valid slot (stamp != 0) with a matching tag is a hit. Valid
+        // tags are unique within a set (an insert only happens after a
+        // whole-set probe missed), so at most one lane matches and the
+        // hit choice is identical to the scalar first-match probe the
+        // [`reference`] model retains. The victim scan stays a separate
+        // pass so the common hit case never pays for it.
+        let tags = &self.tags[base..base + self.ways];
+        let stamps = &self.stamps[base..base + self.ways];
+        let mut hit = usize::MAX;
+        let mut w = 0usize;
+        while w + 4 <= self.ways {
+            let (s0, s1, s2, s3) = (stamps[w], stamps[w + 1], stamps[w + 2], stamps[w + 3]);
+            let (t0, t1, t2, t3) = (tags[w], tags[w + 1], tags[w + 2], tags[w + 3]);
+            if s0 != 0 && t0 == tag {
+                hit = w;
+            }
+            if s1 != 0 && t1 == tag {
+                hit = w + 1;
+            }
+            if s2 != 0 && t2 == tag {
+                hit = w + 2;
+            }
+            if s3 != 0 && t3 == tag {
+                hit = w + 3;
+            }
+            if hit != usize::MAX {
+                break;
+            }
+            w += 4;
+        }
+        if hit == usize::MAX {
+            while w < self.ways {
+                if stamps[w] != 0 && tags[w] == tag {
+                    hit = w;
+                    break;
+                }
+                w += 1;
             }
         }
+        if hit != usize::MAX {
+            self.stamps[base + hit] = self.stamp;
+            self.hits += 1;
+            return (self.hit_latency, true);
+        }
         self.misses += 1;
-        // Fill the first empty slot, else evict the LRU way. Stamps are
-        // unique, so the minimum is unambiguous (empty slots, stamp 0,
-        // sort first and are filled before anything is evicted).
-        let victim = ways
-            .min_by_key(|&w| self.stamps[w])
-            .expect("ways is non-zero");
-        self.tags[victim] = tag;
-        self.stamps[victim] = self.stamp;
+        // Miss path: fill the first empty slot, else evict the LRU way,
+        // with a 4-wide unrolled minimum scan. Stamps are unique with
+        // empty slots at 0, so the strict `<` keeps the first minimum —
+        // the same victim `min_by_key` chose (empty slots sort first and
+        // are filled before anything is evicted).
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        let mut w = 0usize;
+        while w + 4 <= self.ways {
+            let (s0, s1, s2, s3) = (stamps[w], stamps[w + 1], stamps[w + 2], stamps[w + 3]);
+            if s0 < victim_stamp {
+                victim_stamp = s0;
+                victim = w;
+            }
+            if s1 < victim_stamp {
+                victim_stamp = s1;
+                victim = w + 1;
+            }
+            if s2 < victim_stamp {
+                victim_stamp = s2;
+                victim = w + 2;
+            }
+            if s3 < victim_stamp {
+                victim_stamp = s3;
+                victim = w + 3;
+            }
+            w += 4;
+        }
+        while w < self.ways {
+            if stamps[w] < victim_stamp {
+                victim_stamp = stamps[w];
+                victim = w;
+            }
+            w += 1;
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.stamp;
         (self.hit_latency + self.dram.latency_cycles, false)
     }
 

@@ -524,6 +524,39 @@ impl DmaModel {
         }
     }
 
+    /// Finishes a request whose first attempt was already counted in
+    /// `report.attempts` and came back dropped — the slow tail of the
+    /// bulk duplicate-free request loop. Replicates the retry semantics
+    /// of [`DmaModel::drive_request`] from its `Dropped` arm onward
+    /// (attempt numbering, retry/attempt counters, penalty and deadlock
+    /// accounting, one RNG draw per attempt), for plans that cannot
+    /// duplicate responses.
+    #[cold]
+    fn recover_after_drop(
+        &self,
+        retry: &RetryPolicy,
+        injector: &mut FaultInjector,
+        report: &mut DmaTransferReport,
+    ) -> Result<u64, SimError> {
+        let mut penalty = 0u64;
+        let mut attempt = 1u32;
+        loop {
+            if attempt > retry.max_retries {
+                return Err(SimError::Deadlock {
+                    cycle: penalty + retry.timeout_cycles,
+                    detail: format!("dma response lost, {} retries exhausted", retry.max_retries),
+                });
+            }
+            report.retries += 1;
+            penalty += retry.timeout_cycles + retry.backoff_cycles(attempt);
+            attempt += 1;
+            report.attempts += 1;
+            if !injector.dma_response_dropped() {
+                return Ok(penalty);
+            }
+        }
+    }
+
     /// [`DmaModel::contiguous_cycles`] under response loss: the single
     /// burst is retried per the policy, with timeout and backoff cycles
     /// charged on every loss. Fault-free plans reproduce the base cycle
@@ -595,8 +628,22 @@ impl DmaModel {
             return Ok(report);
         }
         let mut penalty_sum = 0u64;
-        for _ in 0..requests {
-            penalty_sum += self.drive_request(retry, injector, &mut report)?;
+        if injector.plan().dma_duplicate_per_request <= 0.0 {
+            // Bulk fast path for duplicate-free plans: every request's
+            // first attempt is booked up front, each request costs one
+            // drop draw (identical RNG sequence — the duplicate check
+            // draws nothing at probability zero), and only the rare
+            // dropped request takes the out-of-line recovery tail.
+            report.attempts += requests;
+            for _ in 0..requests {
+                if injector.dma_response_dropped() {
+                    penalty_sum += self.recover_after_drop(retry, injector, &mut report)?;
+                }
+            }
+        } else {
+            for _ in 0..requests {
+                penalty_sum += self.drive_request(retry, injector, &mut report)?;
+            }
         }
         // Recovery penalties of independent requests overlap across slots.
         let overlapped = (penalty_sum as f64 / self.slots.max(1) as f64).ceil() as u64;

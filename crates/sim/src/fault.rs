@@ -253,6 +253,26 @@ impl FaultInjector {
         }
     }
 
+    /// Draws only the drop fate of one DMA response. Valid — and
+    /// observationally identical to [`FaultInjector::dma_response_fault`],
+    /// RNG sequence included — only when the plan's duplicate probability
+    /// is zero: `Rng64::chance(0.0)` draws nothing, so skipping the
+    /// duplicate branch skips no RNG state. The bulk DMA request loop
+    /// uses this to avoid the enum match and second probability check on
+    /// every request.
+    pub fn dma_response_dropped(&mut self) -> bool {
+        debug_assert!(
+            self.plan.dma_duplicate_per_request <= 0.0,
+            "drop-only draw requires a duplicate-free plan"
+        );
+        if self.rng.chance(self.plan.dma_drop_per_request) {
+            self.counts.dma_dropped += 1;
+            true
+        } else {
+            false
+        }
+    }
+
     /// Draws the fate of one DMA response.
     pub fn dma_response_fault(&mut self) -> DmaFault {
         if self.rng.chance(self.plan.dma_drop_per_request) {

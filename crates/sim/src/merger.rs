@@ -116,18 +116,93 @@ impl MergeCounter {
         }
         self.generation += 1;
         let generation = self.generation;
+        /// One stamped accumulation: first touch in this generation
+        /// clears the slot and records it, then the value is added.
+        #[inline(always)]
+        fn tally(
+            stamp: &mut [u64],
+            sums: &mut [f64],
+            touched: &mut Vec<usize>,
+            generation: u64,
+            c: usize,
+            v: f64,
+        ) {
+            if stamp[c] != generation {
+                stamp[c] = generation;
+                sums[c] = 0.0;
+                touched.push(c);
+            }
+            sums[c] += v;
+        }
         for f in fibers {
             debug_assert!(
                 f.coords.windows(2).all(|w| w[0] < w[1]),
                 "fiber coords must be strictly increasing"
             );
-            for (&c, &v) in f.coords.iter().zip(&f.values) {
-                if self.stamp[c] != generation {
-                    self.stamp[c] = generation;
-                    self.sums[c] = 0.0;
-                    self.touched.push(c);
-                }
-                self.sums[c] += v;
+            // 4-wide unrolled stamp scan. Coords are strictly increasing
+            // within a fiber, so the four lanes of a quad touch four
+            // distinct slots — no intra-quad aliasing — and each
+            // coordinate still receives its adds in fiber order, keeping
+            // the float sums bit-identical to the scalar scan.
+            let len = f.coords.len().min(f.values.len());
+            let mut x = 0usize;
+            while x + 4 <= len {
+                let (c0, c1, c2, c3) = (
+                    f.coords[x],
+                    f.coords[x + 1],
+                    f.coords[x + 2],
+                    f.coords[x + 3],
+                );
+                let (v0, v1, v2, v3) = (
+                    f.values[x],
+                    f.values[x + 1],
+                    f.values[x + 2],
+                    f.values[x + 3],
+                );
+                tally(
+                    &mut self.stamp,
+                    &mut self.sums,
+                    &mut self.touched,
+                    generation,
+                    c0,
+                    v0,
+                );
+                tally(
+                    &mut self.stamp,
+                    &mut self.sums,
+                    &mut self.touched,
+                    generation,
+                    c1,
+                    v1,
+                );
+                tally(
+                    &mut self.stamp,
+                    &mut self.sums,
+                    &mut self.touched,
+                    generation,
+                    c2,
+                    v2,
+                );
+                tally(
+                    &mut self.stamp,
+                    &mut self.sums,
+                    &mut self.touched,
+                    generation,
+                    c3,
+                    v3,
+                );
+                x += 4;
+            }
+            while x < len {
+                tally(
+                    &mut self.stamp,
+                    &mut self.sums,
+                    &mut self.touched,
+                    generation,
+                    f.coords[x],
+                    f.values[x],
+                );
+                x += 1;
             }
         }
         let sums = &self.sums;

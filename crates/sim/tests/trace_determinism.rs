@@ -41,6 +41,59 @@ fn traced_ws_run(seed: u64) -> (String, String, CycleBreakdown) {
 }
 
 #[test]
+fn steal_heavy_traced_sweep_is_byte_identical_across_worker_counts() {
+    // A pathologically skewed traced sweep through the work-stealing
+    // pool: the first grid point is a large simulation and the tail is
+    // sixteen tiny ones, each item a full traced run with its own fault
+    // seed. The worker that draws the big point stays pinned on it while
+    // the others finish instantly and steal the rest of its deque — and
+    // the merged trace exports must still be byte-identical to the
+    // sequential sweep at every worker count, because collection is
+    // order-preserving and each point's tracer/injector state is local.
+    // `with_max_threads` spawns the requested workers even past the
+    // machine parallelism, so this holds on single-core runners too.
+    use rayon::prelude::*;
+
+    let points: Vec<(u64, (usize, usize, usize))> = std::iter::once((7u64, (24, 12, 16)))
+        .chain((0..16u64).map(|i| (100 + i, (5, 3, 4))))
+        .collect();
+    let run_point = |&(seed, (m, k, n)): &(u64, (usize, usize, usize))| {
+        let a = gen::dense(m, k, seed);
+        let b = gen::dense(k, n, seed + 1);
+        let mut tracer = Tracer::with_capacity(DEFAULT_TRACE_CAPACITY);
+        let r = simulate_ws_matmul_traced(
+            &a,
+            &b,
+            &mut FaultInjector::new(FaultPlan::transient(seed, 1e-3)),
+            Watchdog::default_budget(),
+            &mut tracer,
+        )
+        .expect("traced sweep point");
+        format!(
+            "{}\n{}\n{:?}\n",
+            tracer.to_chrome_json(),
+            tracer.to_csv(),
+            r.stats.breakdown
+        )
+    };
+    let sequential: String = points.iter().map(run_point).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let merged = points
+            .par_iter()
+            .with_min_len(1)
+            .with_max_threads(threads)
+            .map(run_point)
+            .try_collect_vec()
+            .expect("traced sweep must not panic")
+            .concat();
+        assert_eq!(
+            merged, sequential,
+            "threads={threads}: traced sweep diverged from the sequential order"
+        );
+    }
+}
+
+#[test]
 fn same_seed_and_plan_give_byte_identical_traces() {
     let (json1, csv1, b1) = traced_ws_run(42);
     let (json2, csv2, b2) = traced_ws_run(42);
