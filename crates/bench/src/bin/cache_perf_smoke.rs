@@ -1,0 +1,238 @@
+//! Warm-vs-cold smoke for the content-addressed design cache — the CI
+//! gate (and committed baseline) behind the PR's perf claim.
+//!
+//! Runs the e20-scale search (`matmul` 4×4×4, `max_coeff = 1`) through
+//! [`DesignCache`] three ways and proves, before timing anything, that
+//! the cached answers are **byte-identical** to the uncached oracle:
+//!
+//! * **cold** — a fresh generation every iteration, so each query
+//!   computes the search and persists the entry (compute + seal +
+//!   `atomic_write` + fsync);
+//! * **warm (memory)** — repeat queries against the resident cache: a
+//!   lock, an LRU touch, and a clone;
+//! * **warm (disk)** — a fresh process-equivalent (`DesignCache::open`
+//!   on the same directory) per iteration, so the first query decodes
+//!   and re-validates the durable envelope.
+//!
+//! Gates: `equivalent == true`, the memory-tier `warm_speedup` at or
+//! above the 50× acceptance floor, and the disk tier at parity or
+//! better. `--record-baseline` additionally lands the results as the
+//! committed `BENCH_cache.json` (CI re-checks a ≥ 20× floor from the
+//! committed copy, tolerating slower shared runners).
+
+use std::time::Instant;
+
+use stellar_bench::cache::DesignCache;
+use stellar_bench::durable;
+use stellar_core::prelude::*;
+use stellar_core::{explore_dataflows_profiled, ExploreFunnel, ExploreOptions, ExploredDataflow};
+use stellar_sim::metrics::json_f64;
+
+const COLD_RUNS: usize = 7;
+const WARM_RUNS: usize = 25;
+/// Acceptance floor for the memory-tier warm hit.
+const WARM_FLOOR: f64 = 50.0;
+
+fn median_ms(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// One comparable image of a ranking: the derived `Debug` of every
+/// result, newline-joined (the same canonicalization the explore smokes
+/// use for byte-identity proofs).
+fn byte_image(results: &[ExploredDataflow]) -> String {
+    results
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The funnel with the call-local cache counters cleared — what must be
+/// byte-identical between a computed and a served answer.
+fn partitions(mut f: ExploreFunnel) -> ExploreFunnel {
+    f.cache_hits = 0;
+    f.cache_misses = 0;
+    f.coalesced = 0;
+    f
+}
+
+struct BenchRow {
+    name: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+}
+
+impl BenchRow {
+    fn speedup(&self) -> f64 {
+        if self.warm_ms <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.cold_ms / self.warm_ms
+        }
+    }
+}
+
+fn render_json(equivalent: bool, warm: f64, disk: f64, rows: &[BenchRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"stellar-cache-perf-v1\",\n");
+    s.push_str(&format!("  \"equivalent\": {equivalent},\n"));
+    s.push_str(&format!("  \"warm_speedup\": {},\n", json_f64(warm)));
+    s.push_str(&format!("  \"disk_speedup\": {},\n", json_f64(disk)));
+    s.push_str("  \"benches\": [\n");
+    for (n, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cold_ms\": {}, \"warm_ms\": {}, \"speedup\": {}}}{}\n",
+            r.name,
+            json_f64(r.cold_ms),
+            json_f64(r.warm_ms),
+            json_f64(r.speedup()),
+            if n + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}");
+    s
+}
+
+fn main() {
+    let record_baseline = std::env::args().any(|a| a == "--record-baseline");
+
+    let func = Functionality::matmul(4, 4, 4);
+    let bounds = Bounds::from_extents(&[4, 4, 4]);
+    let opts = ExploreOptions::default();
+
+    let dir = std::path::PathBuf::from("out/cache_perf_smoke.cache");
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = match DesignCache::open(&dir) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("FAIL: cannot open the scratch cache: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // The uncached search is the oracle; every cached answer must match
+    // it byte for byte before any timing matters.
+    let oracle = explore_dataflows_profiled(&func, &bounds, &opts).expect("oracle search failed");
+    let first = cache
+        .explore(&func, &bounds, &opts)
+        .expect("cold query failed");
+    let warm_run = cache
+        .explore(&func, &bounds, &opts)
+        .expect("warm query failed");
+    let reopened = DesignCache::open(&dir).expect("reopen failed");
+    let disk_run = reopened
+        .explore(&func, &bounds, &opts)
+        .expect("disk query failed");
+    let mut equivalent = true;
+    for (label, run) in [
+        ("cold (computed)", &first),
+        ("warm (memory)", &warm_run),
+        ("warm (disk)", &disk_run),
+    ] {
+        if byte_image(&run.results) != byte_image(&oracle.results) {
+            eprintln!("FAIL: {label} ranking diverged from the uncached oracle");
+            equivalent = false;
+        }
+        if partitions(run.funnel) != partitions(oracle.funnel) {
+            eprintln!("FAIL: {label} funnel partitions diverged from the uncached oracle");
+            equivalent = false;
+        }
+    }
+    if first.funnel.cache_misses != 1 || warm_run.funnel.cache_hits != 1 {
+        eprintln!("FAIL: cache counters did not classify cold/warm as expected");
+        equivalent = false;
+    }
+
+    // Cold: a fresh generation per iteration forces compute + persist.
+    let mut cold = Vec::with_capacity(COLD_RUNS);
+    for _ in 0..COLD_RUNS {
+        cache.invalidate().expect("invalidate failed");
+        let t = Instant::now();
+        let run = cache
+            .explore(&func, &bounds, &opts)
+            .expect("cold query failed");
+        cold.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(
+            run.funnel.cache_misses, 1,
+            "invalidation did not force a miss"
+        );
+    }
+    let cold_ms = median_ms(cold);
+
+    // Warm, memory tier: the resident-service steady state.
+    let mut warm_mem = Vec::with_capacity(WARM_RUNS);
+    for _ in 0..WARM_RUNS {
+        let t = Instant::now();
+        let run = cache
+            .explore(&func, &bounds, &opts)
+            .expect("warm query failed");
+        warm_mem.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(run.funnel.cache_hits, 1, "warm query missed");
+    }
+    let warm_ms = median_ms(warm_mem);
+
+    // Warm, disk tier: a restarted service re-reading durable entries.
+    let mut warm_disk = Vec::with_capacity(WARM_RUNS);
+    for _ in 0..WARM_RUNS {
+        let fresh = DesignCache::open(&dir).expect("reopen failed");
+        let t = Instant::now();
+        let run = fresh
+            .explore(&func, &bounds, &opts)
+            .expect("disk query failed");
+        warm_disk.push(t.elapsed().as_secs_f64() * 1e3);
+        assert_eq!(run.funnel.cache_hits, 1, "disk query missed");
+        assert_eq!(
+            fresh.stats().disk_hits,
+            1,
+            "hit did not come from the durable tier"
+        );
+    }
+    let disk_ms = median_ms(warm_disk);
+
+    let rows = [
+        BenchRow {
+            name: "e20_warm_memory",
+            cold_ms,
+            warm_ms,
+        },
+        BenchRow {
+            name: "e20_warm_disk",
+            cold_ms,
+            warm_ms: disk_ms,
+        },
+    ];
+    let warm_speedup = rows[0].speedup();
+    let disk_speedup = rows[1].speedup();
+    println!(
+        "e20 query: cold {cold_ms:.3} ms, warm(memory) {warm_ms:.4} ms ({warm_speedup:.0}x), \
+         warm(disk) {disk_ms:.4} ms ({disk_speedup:.0}x)"
+    );
+
+    if !equivalent {
+        std::process::exit(1);
+    }
+    if warm_speedup < WARM_FLOOR {
+        eprintln!(
+            "FAIL: memory-tier warm speedup {warm_speedup:.1}x is below the {WARM_FLOOR}x floor"
+        );
+        std::process::exit(1);
+    }
+    if disk_speedup < 1.0 {
+        eprintln!("FAIL: disk-tier warm speedup {disk_speedup:.2}x is below the 1.0x parity floor");
+        std::process::exit(1);
+    }
+
+    let json = render_json(equivalent, warm_speedup, disk_speedup, &rows);
+    let mut targets = vec![std::path::PathBuf::from("out/cache_perf_smoke.json")];
+    if record_baseline {
+        targets.push(std::path::PathBuf::from("BENCH_cache.json"));
+    }
+    if let Err(e) = durable::seal_to_path(&targets, &json) {
+        eprintln!("FAIL: could not record results: {e}");
+        std::process::exit(1);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("cache_perf_smoke OK");
+}

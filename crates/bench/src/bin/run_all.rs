@@ -35,8 +35,7 @@ use std::time::Instant;
 use stellar_bench::chaos::ChaosPlan;
 use stellar_bench::durable;
 use stellar_bench::harness::{
-    self, interrupt, ConsolidateCtx, ExperimentStatus, ScheduleOptions, EXPERIMENTS, MANIFEST_FILE,
-    SUMMARY_FILE,
+    self, interrupt, ConsolidateCtx, ExperimentStatus, ScheduleOptions, MANIFEST_FILE, SUMMARY_FILE,
 };
 use stellar_bench::profile;
 use stellar_bench::report::out_dir;
@@ -51,7 +50,13 @@ usage: run_all [options]
                      (default 900; 0 disables the watchdog)
       --retries N    retries per experiment before quarantine (default 1)
       --nonce S      use this run nonce instead of a fresh one
-      --only LIST    comma-separated subset of experiments to run
+      --only LIST    comma-separated subset of experiments to run, by id
+                     or full name (e.g. --only e01,e04_load_balance,e20)
+      --cache        serve dataflow searches from the content-addressed
+                     design cache under out/cache (STELLAR_CACHE_DIR for
+                     every child); identical queries hit instead of
+                     recomputing
+      --no-cache     force every search to compute (the default)
       --exe-dir DIR  directory holding the experiment binaries
       --chaos SPEC   deterministic fault injection, e.g.
                      seed=7,kill=0.3,hang=0.1,corrupt=0.2,first=1
@@ -84,6 +89,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut requested_nonce = None;
     let mut validate = false;
     let mut profile = false;
+    let mut cache = false;
     let mut tolerance = stellar_bench::profile::DEFAULT_TOLERANCE;
 
     let mut it = args.iter().peekable();
@@ -133,22 +139,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 opts.fixed_wall_ms =
                     Some(v.parse().map_err(|_| format!("invalid wall-clock {v:?}"))?);
             }
-            "--only" => {
-                let list = take(a)?;
-                let mut picked = Vec::new();
-                for want in list.split(',').filter(|s| !s.trim().is_empty()) {
-                    let want = want.trim();
-                    let found = EXPERIMENTS
-                        .iter()
-                        .find(|e| **e == want || harness::experiment_id(e) == want)
-                        .ok_or_else(|| format!("unknown experiment {want:?}"))?;
-                    picked.push(*found);
-                }
-                if picked.is_empty() {
-                    return Err("--only selected no experiments".into());
-                }
-                opts.experiments = picked;
-            }
+            "--only" => opts.experiments = harness::select_experiments(&take(a)?)?,
+            "--cache" => cache = true,
+            "--no-cache" => cache = false,
             "--help" | "-h" => return Err(USAGE.into()),
             other => {
                 if let Some(v) = other.strip_prefix("--jobs=") {
@@ -168,6 +161,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
             }
         }
+    }
+    if cache {
+        // The durable design cache lives beside the reports and survives
+        // runs; children pick it up via STELLAR_CACHE_DIR.
+        opts.cache_dir = Some(opts.out_dir.join("cache"));
     }
     Ok(Cli {
         opts,
@@ -300,10 +298,8 @@ fn main() {
         };
         let report = profile::run_profile(&popts);
         profile::print_profile(&report);
-        let path = dir.join("profile.json");
-        match durable::write_envelope(&path, &profile::render_profile_json(&report)) {
-            Ok(()) => println!("profile -> {}", path.display()),
-            Err(e) => eprintln!("warning: could not write profile: {e}"),
+        if let Err(e) = profile::write_profile(&dir.join("profile.json"), &report) {
+            eprintln!("warning: could not write profile: {e}");
         }
     }
 

@@ -389,12 +389,9 @@ fn main() {
     if record_baseline {
         targets.push(std::path::PathBuf::from("BENCH_sim.json"));
     }
-    for path in &targets {
-        if let Err(e) = stellar_bench::durable::write_envelope(path, &json) {
-            eprintln!("FAIL: could not record results: {e}");
-            std::process::exit(1);
-        }
-        println!("wrote {}", path.display());
+    if let Err(e) = stellar_bench::durable::seal_to_path(&targets, &json) {
+        eprintln!("FAIL: could not record results: {e}");
+        std::process::exit(1);
     }
     println!("sim_perf_smoke OK");
 }

@@ -12,9 +12,8 @@
 //! suite), this binary exits `1` when the sentinel flags a regression —
 //! so it can gate a local pre-commit check directly.
 
-use stellar_bench::durable;
 use stellar_bench::profile::{
-    print_profile, render_profile_json, run_profile, ProfileOptions, SentinelStatus,
+    print_profile, run_profile, write_profile, ProfileOptions, SentinelStatus,
 };
 use stellar_bench::report::out_dir;
 
@@ -81,13 +80,9 @@ fn main() {
     };
     let report = run_profile(&opts);
     print_profile(&report);
-    let path = out_dir().join("profile.json");
-    match durable::write_envelope(&path, &render_profile_json(&report)) {
-        Ok(()) => println!("profile -> {}", path.display()),
-        Err(e) => {
-            eprintln!("stellar_prof: could not write profile: {e}");
-            std::process::exit(1);
-        }
+    if let Err(e) = write_profile(&out_dir().join("profile.json"), &report) {
+        eprintln!("stellar_prof: could not write profile: {e}");
+        std::process::exit(1);
     }
     if report.status() == SentinelStatus::Regressed {
         eprintln!("stellar_prof: performance regression flagged by the sentinel");

@@ -1,0 +1,803 @@
+//! The two-tier, content-addressed design cache behind the resident
+//! exploration service.
+//!
+//! Layering: [`stellar_core::cache`] defines *what* identifies a query
+//! (the [`QueryKey`]) and *how* a search result serializes (the
+//! `stellar-design-cache-v1` payload). This module owns the runtime
+//! behavior around it:
+//!
+//! * **Memory tier** — an LRU map from key hash to the decoded value,
+//!   so a warm repeat query costs a lock, a lookup, and a clone.
+//! * **Durable tier** — `<dir>/<key>.json`, the sealed payload in a PR 6
+//!   checksummed envelope written with `atomic_write`. Corruption of any
+//!   kind (torn file, flipped bit, foreign schema, hash collision) is
+//!   detected on load and handled as a *miss* — the cache recomputes;
+//!   it never serves a doubtful entry.
+//! * **Single-flight coalescing** — N concurrent identical queries
+//!   compute once: the first becomes the leader, the rest block on a
+//!   condvar and receive the leader's result, counted as `coalesced`.
+//! * **Nonce invalidation** — the cache generation nonce lives in
+//!   `<dir>/cache_state.json` (the PR 3 stale-report rule applied to
+//!   designs: an entry stamped with a foreign generation is stale and
+//!   ignored). [`DesignCache::invalidate`] bumps the generation, which
+//!   orphans every existing entry at once.
+//!
+//! The served [`ExploreRun`] is byte-identical to a computed one in its
+//! ranking and funnel partitions; only the informational
+//! `cache_hits`/`cache_misses`/`coalesced` funnel counters (and the
+//! worker telemetry, which a served query did not generate) reflect how
+//! the answer was obtained.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+use rayon::prelude::*;
+use rayon::PoolStats;
+use stellar_core::cache::{parse_cache_entry, render_cache_entry, QueryKey};
+use stellar_core::{
+    explore_dataflows_profiled, Bounds, CompileError, ExploreFunnel, ExploreOptions, ExploreRun,
+    ExploredDataflow, Functionality,
+};
+use stellar_sim::metrics::escape;
+
+use crate::durable::{self, DurableError};
+use crate::harness;
+
+/// File inside the cache directory holding the generation nonce.
+pub const STATE_FILE: &str = "cache_state.json";
+/// Schema of the generation-state payload.
+pub const STATE_SCHEMA: &str = "stellar-cache-state-v1";
+/// Memory-tier capacity when none is given.
+pub const DEFAULT_CAPACITY: usize = 256;
+
+/// Cumulative cache accounting, readable at any time via
+/// [`DesignCache::stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CacheStats {
+    /// Queries answered without computing (memory, disk, or coalesced).
+    pub hits: u64,
+    /// Queries that ran the search (including failed computations).
+    pub misses: u64,
+    /// Hits that piggybacked on an in-flight identical computation.
+    pub coalesced: u64,
+    /// Hits served by decoding a durable entry (subset of `hits`).
+    pub disk_hits: u64,
+    /// Memory-tier entries discarded by the LRU bound.
+    pub evictions: u64,
+    /// Generation bumps ([`DesignCache::invalidate`] calls).
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Renders the stats as the `stellar-cache-stats-v1` payload the
+    /// sidecar files and `stellar_serve` publish.
+    pub fn render_json(&self, nonce: &str) -> String {
+        format!(
+            "{{\"schema\":\"stellar-cache-stats-v1\",\"nonce\":\"{}\",\"hits\":{},\
+             \"misses\":{},\"coalesced\":{},\"disk_hits\":{},\"evictions\":{},\
+             \"invalidations\":{}}}",
+            escape(nonce),
+            self.hits,
+            self.misses,
+            self.coalesced,
+            self.disk_hits,
+            self.evictions,
+            self.invalidations
+        )
+    }
+}
+
+/// The immutable cached answer for one key.
+struct CacheValue {
+    canon: String,
+    results: Vec<ExploredDataflow>,
+    funnel: ExploreFunnel,
+}
+
+/// One in-flight computation other threads can wait on.
+struct Flight {
+    slot: Mutex<Option<Result<Arc<CacheValue>, CompileError>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn publish(&self, r: Result<Arc<CacheValue>, CompileError>) {
+        let mut slot = self.slot.lock().expect("flight lock");
+        *slot = Some(r);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Arc<CacheValue>, CompileError> {
+        let mut slot = self.slot.lock().expect("flight lock");
+        loop {
+            if let Some(r) = slot.as_ref() {
+                return r.clone();
+            }
+            slot = self.cv.wait(slot).expect("flight lock");
+        }
+    }
+}
+
+struct Inner {
+    nonce: String,
+    map: HashMap<String, Arc<CacheValue>>,
+    lru: VecDeque<String>,
+    inflight: HashMap<String, Arc<Flight>>,
+    stats: CacheStats,
+}
+
+/// What the first lookup phase decided for a query.
+enum Role {
+    Hit(Arc<CacheValue>),
+    Follow(Arc<Flight>),
+    Lead(Arc<Flight>, String),
+    /// 128-bit hash collision against a resident entry with a different
+    /// canonical query: compute without caching (never evict the
+    /// incumbent, never serve the wrong ranking).
+    Bypass,
+}
+
+/// The two-tier design cache. Cheap to share by reference across the
+/// worker pool; all interior state is behind one mutex (lookups are
+/// microseconds, computations run outside the lock).
+pub struct DesignCache {
+    dir: Option<PathBuf>,
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl DesignCache {
+    /// Opens (or creates) a durable cache rooted at `dir`, adopting the
+    /// generation nonce from `cache_state.json` — or stamping a fresh
+    /// one when the state file is missing or corrupt (which orphans any
+    /// existing entries, exactly as a corrupt manifest orphans reports).
+    ///
+    /// # Errors
+    ///
+    /// A [`DurableError`] if the directory or a fresh state file cannot
+    /// be created.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<DesignCache, DurableError> {
+        DesignCache::open_with_capacity(dir, DEFAULT_CAPACITY)
+    }
+
+    /// [`DesignCache::open`] with an explicit memory-tier capacity.
+    ///
+    /// # Errors
+    ///
+    /// A [`DurableError`] if the directory or a fresh state file cannot
+    /// be created.
+    pub fn open_with_capacity(
+        dir: impl Into<PathBuf>,
+        capacity: usize,
+    ) -> Result<DesignCache, DurableError> {
+        let dir = dir.into();
+        durable::ensure_dir(&dir)?;
+        let state = dir.join(STATE_FILE);
+        let nonce = match durable::read_envelope(&state).ok().and_then(|p| {
+            if p.starts_with(&format!("{{\"schema\":\"{STATE_SCHEMA}\"")) {
+                state_nonce(&p)
+            } else {
+                None
+            }
+        }) {
+            Some(n) => n,
+            None => {
+                let fresh = harness::fresh_nonce();
+                durable::write_envelope(&state, &render_state(&fresh))?;
+                fresh
+            }
+        };
+        Ok(DesignCache {
+            dir: Some(dir),
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                nonce,
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                inflight: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+        })
+    }
+
+    /// A memory-only cache (no durable tier) — what `run_all` children
+    /// fall back to in tests and what batch embedders use when nothing
+    /// should persist.
+    pub fn in_memory(capacity: usize) -> DesignCache {
+        DesignCache {
+            dir: None,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                nonce: harness::fresh_nonce(),
+                map: HashMap::new(),
+                lru: VecDeque::new(),
+                inflight: HashMap::new(),
+                stats: CacheStats::default(),
+            }),
+        }
+    }
+
+    /// The durable tier's directory, if one is attached.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// The current generation nonce.
+    pub fn nonce(&self) -> String {
+        self.inner.lock().expect("cache lock").nonce.clone()
+    }
+
+    /// A snapshot of the cumulative accounting.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+
+    /// The durable path an entry for `key` would live at.
+    pub fn entry_path(&self, key: &QueryKey) -> Option<PathBuf> {
+        self.dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", key.hex())))
+    }
+
+    /// Bumps the generation nonce, clearing the memory tier and orphaning
+    /// every durable entry (they remain on disk but fail the nonce check
+    /// and are overwritten on the next miss). Returns the new nonce.
+    ///
+    /// # Errors
+    ///
+    /// A [`DurableError`] if the new state file cannot be written; the
+    /// in-memory generation is left unchanged in that case.
+    pub fn invalidate(&self) -> Result<String, DurableError> {
+        let fresh = harness::fresh_nonce();
+        if let Some(dir) = &self.dir {
+            durable::write_envelope(&dir.join(STATE_FILE), &render_state(&fresh))?;
+        }
+        let mut g = self.inner.lock().expect("cache lock");
+        g.nonce = fresh.clone();
+        g.map.clear();
+        g.lru.clear();
+        g.stats.invalidations += 1;
+        Ok(fresh)
+    }
+
+    /// The cached equivalent of [`explore_dataflows_profiled`]: identical
+    /// ranking and funnel partitions whether the answer was computed,
+    /// read from disk, or coalesced onto an in-flight computation — only
+    /// the informational cache counters and worker telemetry differ.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the [`CompileError`]s of the uncached search (cache
+    /// machinery failures degrade to recomputation, never to an error).
+    pub fn explore(
+        &self,
+        func: &Functionality,
+        bounds: &Bounds,
+        opts: &ExploreOptions,
+    ) -> Result<ExploreRun, CompileError> {
+        let key = QueryKey::of(func, bounds, opts);
+        self.explore_keyed(&key, func, bounds, opts)
+    }
+
+    fn explore_keyed(
+        &self,
+        key: &QueryKey,
+        func: &Functionality,
+        bounds: &Bounds,
+        opts: &ExploreOptions,
+    ) -> Result<ExploreRun, CompileError> {
+        let role = {
+            let mut g = self.inner.lock().expect("cache lock");
+            if let Some(v) = g.map.get(key.hex()) {
+                if v.canon == key.canon() {
+                    let v = Arc::clone(v);
+                    touch(&mut g.lru, key.hex());
+                    g.stats.hits += 1;
+                    Role::Hit(v)
+                } else {
+                    Role::Bypass
+                }
+            } else if let Some(f) = g.inflight.get(key.hex()) {
+                Role::Follow(Arc::clone(f))
+            } else {
+                let f = Arc::new(Flight::new());
+                g.inflight.insert(key.hex().to_string(), Arc::clone(&f));
+                Role::Lead(f, g.nonce.clone())
+            }
+        };
+        match role {
+            Role::Hit(v) => Ok(hit_run(&v, false)),
+            Role::Follow(f) => {
+                let v = f.wait()?;
+                let mut g = self.inner.lock().expect("cache lock");
+                g.stats.hits += 1;
+                g.stats.coalesced += 1;
+                drop(g);
+                Ok(hit_run(&v, true))
+            }
+            Role::Lead(f, nonce) => self.lead(key, func, bounds, opts, &f, &nonce),
+            Role::Bypass => {
+                let mut run = explore_dataflows_profiled(func, bounds, opts)?;
+                run.funnel.cache_misses = 1;
+                let mut g = self.inner.lock().expect("cache lock");
+                g.stats.misses += 1;
+                drop(g);
+                Ok(run)
+            }
+        }
+    }
+
+    /// The leader path: probe the durable tier, compute on a true miss,
+    /// persist, publish to any followers, and retire the flight.
+    fn lead(
+        &self,
+        key: &QueryKey,
+        func: &Functionality,
+        bounds: &Bounds,
+        opts: &ExploreOptions,
+        flight: &Arc<Flight>,
+        nonce: &str,
+    ) -> Result<ExploreRun, CompileError> {
+        if let Some(v) = self.load_disk(key, nonce) {
+            let mut g = self.inner.lock().expect("cache lock");
+            insert_locked(&mut g, self.capacity, key.hex(), Arc::clone(&v));
+            g.stats.hits += 1;
+            g.stats.disk_hits += 1;
+            g.inflight.remove(key.hex());
+            drop(g);
+            flight.publish(Ok(Arc::clone(&v)));
+            return Ok(hit_run(&v, false));
+        }
+        match explore_dataflows_profiled(func, bounds, opts) {
+            Ok(mut run) => {
+                let mut stored = run.funnel;
+                stored.cache_hits = 0;
+                stored.cache_misses = 0;
+                stored.coalesced = 0;
+                let v = Arc::new(CacheValue {
+                    canon: key.canon().to_string(),
+                    results: run.results.clone(),
+                    funnel: stored,
+                });
+                if let Some(path) = self.entry_path(key) {
+                    let payload = render_cache_entry(key, nonce, &v.results, &v.funnel);
+                    if let Err(e) = durable::write_envelope(&path, &payload) {
+                        // A full or read-only disk degrades the durable
+                        // tier, not the query.
+                        eprintln!("design-cache: could not persist {}: {e}", path.display());
+                    }
+                }
+                let mut g = self.inner.lock().expect("cache lock");
+                insert_locked(&mut g, self.capacity, key.hex(), Arc::clone(&v));
+                g.stats.misses += 1;
+                g.inflight.remove(key.hex());
+                drop(g);
+                flight.publish(Ok(v));
+                run.funnel.cache_misses = 1;
+                Ok(run)
+            }
+            Err(e) => {
+                let mut g = self.inner.lock().expect("cache lock");
+                g.stats.misses += 1;
+                g.inflight.remove(key.hex());
+                drop(g);
+                flight.publish(Err(e.clone()));
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes and fully validates a durable entry. Every failure mode —
+    /// unreadable file, bad checksum, foreign schema, malformed grammar,
+    /// stale generation, canonical-string mismatch — is `None`: a miss.
+    fn load_disk(&self, key: &QueryKey, nonce: &str) -> Option<Arc<CacheValue>> {
+        let path = self.entry_path(key)?;
+        let payload = durable::read_envelope(&path).ok()?;
+        let entry = parse_cache_entry(&payload).ok()?;
+        if !entry.matches(key) || entry.nonce != nonce {
+            return None;
+        }
+        Some(Arc::new(CacheValue {
+            canon: entry.canon,
+            results: entry.results,
+            funnel: entry.funnel,
+        }))
+    }
+
+    /// Runs a batch of queries, deduplicated and sharded across the
+    /// work-stealing pool: one leader per *distinct* key computes (or
+    /// loads) in parallel, and duplicate requests are served from the
+    /// leader's answer as coalesced hits. Result order matches `queries`.
+    pub fn run_batch(&self, queries: &[DesignQuery]) -> Vec<Result<ExploreRun, CompileError>> {
+        let keys: Vec<QueryKey> = queries
+            .iter()
+            .map(|q| QueryKey::of(&q.func, &q.bounds, &q.opts))
+            .collect();
+        // Leaders: the first request holding each distinct canonical
+        // query. Explicit dedup keeps the stats deterministic regardless
+        // of pool timing (single-flight would dedup racily anyway).
+        let mut leader_of: HashMap<&str, usize> = HashMap::new();
+        let mut leaders: Vec<usize> = Vec::new();
+        for (n, k) in keys.iter().enumerate() {
+            leader_of.entry(k.canon()).or_insert_with(|| {
+                leaders.push(n);
+                n
+            });
+        }
+        let led: Vec<Result<ExploreRun, CompileError>> = leaders
+            .par_iter()
+            .map(|&n| {
+                self.explore_keyed(
+                    &keys[n],
+                    &queries[n].func,
+                    &queries[n].bounds,
+                    &queries[n].opts,
+                )
+            })
+            .try_collect_vec()
+            .unwrap_or_else(|p| panic!("design-cache batch worker panicked: {}", p.message));
+        let slot_of: HashMap<usize, usize> =
+            leaders.iter().enumerate().map(|(s, &n)| (n, s)).collect();
+        let mut out = Vec::with_capacity(queries.len());
+        for (n, k) in keys.iter().enumerate() {
+            let leader = leader_of[k.canon()];
+            let r = &led[slot_of[&leader]];
+            if n == leader {
+                out.push(r.clone());
+            } else {
+                // A duplicate of an already-answered request: a
+                // coalesced hit on the leader's result.
+                out.push(r.clone().map(|mut run| {
+                    run.funnel.cache_hits = 1;
+                    run.funnel.cache_misses = 0;
+                    run.funnel.coalesced = 1;
+                    run.workers = PoolStats::serial(0, 0.0);
+                    run
+                }));
+                if r.is_ok() {
+                    let mut g = self.inner.lock().expect("cache lock");
+                    g.stats.hits += 1;
+                    g.stats.coalesced += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One request of a batched exploration (what one `stellar_serve` line
+/// decodes to).
+#[derive(Clone, Debug)]
+pub struct DesignQuery {
+    /// The functional specification.
+    pub func: Functionality,
+    /// Iteration bounds.
+    pub bounds: Bounds,
+    /// Search options (only the ranking-relevant fields key the cache).
+    pub opts: ExploreOptions,
+}
+
+/// Builds the served [`ExploreRun`] for a cached value.
+fn hit_run(v: &CacheValue, coalesced: bool) -> ExploreRun {
+    let mut funnel = v.funnel;
+    funnel.cache_hits = 1;
+    if coalesced {
+        funnel.coalesced = 1;
+    }
+    ExploreRun {
+        results: v.results.clone(),
+        funnel,
+        workers: PoolStats::serial(0, 0.0),
+    }
+}
+
+/// Moves `hex` to the most-recently-used end.
+fn touch(lru: &mut VecDeque<String>, hex: &str) {
+    if let Some(pos) = lru.iter().position(|h| h == hex) {
+        if let Some(h) = lru.remove(pos) {
+            lru.push_back(h);
+        }
+    }
+}
+
+/// Inserts (or refreshes) a memory-tier entry and enforces the LRU bound.
+fn insert_locked(g: &mut Inner, capacity: usize, hex: &str, v: Arc<CacheValue>) {
+    if g.map.insert(hex.to_string(), v).is_none() {
+        g.lru.push_back(hex.to_string());
+    } else {
+        touch(&mut g.lru, hex);
+    }
+    while g.map.len() > capacity {
+        let Some(old) = g.lru.pop_front() else { break };
+        g.map.remove(&old);
+        g.stats.evictions += 1;
+    }
+}
+
+fn render_state(nonce: &str) -> String {
+    format!(
+        "{{\"schema\":\"{STATE_SCHEMA}\",\"nonce\":\"{}\"}}",
+        escape(nonce)
+    )
+}
+
+/// Extracts `"nonce":"…"` from a state payload (the same targeted
+/// extraction the run manifest uses).
+fn state_nonce(payload: &str) -> Option<String> {
+    let start = payload.find("\"nonce\":\"")? + "\"nonce\":\"".len();
+    let rest = &payload[start..];
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+// ---------------------------------------------------------------------
+// The line-oriented serve protocol (`stellar_serve`).
+// ---------------------------------------------------------------------
+
+/// Schema of every `stellar_serve` response payload.
+pub const SERVE_SCHEMA: &str = "stellar-serve-v1";
+
+/// One decoded `stellar_serve` input line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeCommand {
+    /// A design query: run (or serve) the search and respond with the
+    /// sealed ranking + funnel.
+    Query(ServeRequest),
+    /// Bump the cache generation (orphans every entry).
+    Invalidate,
+    /// Report the cumulative [`CacheStats`].
+    Stats,
+    /// Close the session (EOF behaves identically).
+    Shutdown,
+}
+
+/// A parsed design query: spec name, per-dimension extents, and the
+/// ranking-relevant search options.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRequest {
+    /// Echoed verbatim in the response so clients can pipeline.
+    pub id: Option<String>,
+    /// Registry name: `matmul`, `matmul_relu`, `max_pool`, or
+    /// `merge_select`.
+    pub spec: String,
+    /// Iteration-space extents, one per index (`Bounds::from_extents`).
+    pub bounds: Vec<usize>,
+    /// Coefficient bound for the transform scan.
+    pub max_coeff: i64,
+    /// PE bound (default 4096).
+    pub max_pes: usize,
+    /// Ranking truncation (default 16).
+    pub keep: usize,
+}
+
+/// Parses one protocol line.
+///
+/// # Errors
+///
+/// A human-readable description of the malformed field (the server
+/// echoes it back in an error response).
+pub fn parse_serve_line(line: &str) -> Result<ServeCommand, String> {
+    let line = line.trim();
+    if !line.starts_with('{') || !line.ends_with('}') {
+        return Err("request must be a single-line JSON object".into());
+    }
+    if let Some(cmd) = str_field(line, "cmd") {
+        return match cmd.as_str() {
+            "invalidate" => Ok(ServeCommand::Invalidate),
+            "stats" => Ok(ServeCommand::Stats),
+            "shutdown" => Ok(ServeCommand::Shutdown),
+            other => Err(format!("unknown cmd {other:?}")),
+        };
+    }
+    let defaults = ExploreOptions::default();
+    let spec = str_field(line, "spec").ok_or("missing \"spec\"")?;
+    let bounds = uint_array_field(line, "bounds").ok_or("missing or malformed \"bounds\"")?;
+    if bounds.is_empty() || bounds.contains(&0) {
+        return Err("\"bounds\" extents must be positive".into());
+    }
+    let max_coeff = match int_field(line, "max_coeff") {
+        Some(c) if c >= 1 => c,
+        Some(_) => return Err("\"max_coeff\" must be >= 1".into()),
+        None => defaults.max_coeff,
+    };
+    Ok(ServeCommand::Query(ServeRequest {
+        id: str_field(line, "id"),
+        spec,
+        bounds,
+        max_coeff,
+        max_pes: int_field(line, "max_pes")
+            .and_then(|v| usize::try_from(v).ok())
+            .unwrap_or(defaults.max_pes),
+        keep: int_field(line, "keep")
+            .and_then(|v| usize::try_from(v).ok())
+            .unwrap_or(defaults.keep),
+    }))
+}
+
+impl ServeRequest {
+    /// Resolves the request into a cacheable [`DesignQuery`].
+    ///
+    /// # Errors
+    ///
+    /// A description of the unknown spec or a rank mismatch.
+    pub fn to_query(&self) -> Result<DesignQuery, String> {
+        let func = spec_by_name(&self.spec, &self.bounds)?;
+        if func.rank() != self.bounds.len() {
+            return Err(format!(
+                "spec {:?} has rank {}, got {} bounds",
+                self.spec,
+                func.rank(),
+                self.bounds.len()
+            ));
+        }
+        Ok(DesignQuery {
+            func,
+            bounds: Bounds::from_extents(&self.bounds),
+            opts: ExploreOptions {
+                max_coeff: self.max_coeff,
+                max_pes: self.max_pes,
+                keep: self.keep,
+                ..ExploreOptions::default()
+            },
+        })
+    }
+}
+
+/// The built-in spec registry. Extents parameterize the constructors'
+/// recorded names only — the key derivation normalizes names away, so
+/// equal-structure queries share cache entries regardless.
+fn spec_by_name(name: &str, extents: &[usize]) -> Result<Functionality, String> {
+    let dim = |n: usize| extents.get(n).copied().unwrap_or(1);
+    match name {
+        "matmul" => Ok(Functionality::matmul(dim(0), dim(1), dim(2))),
+        "matmul_relu" => Ok(Functionality::matmul_relu(dim(0), dim(1), dim(2))),
+        "max_pool" => Ok(Functionality::max_pool(dim(0), dim(1))),
+        "merge_select" => Ok(Functionality::merge_select(dim(0), dim(1))),
+        other => Err(format!(
+            "unknown spec {other:?} (expected matmul, matmul_relu, max_pool, or merge_select)"
+        )),
+    }
+}
+
+/// Renders a successful query response: the ranking + funnel as the
+/// embedded cache-entry object, plus the echoed id and a served/computed
+/// flag. The caller seals it into the response envelope.
+pub fn render_serve_response(
+    req: &ServeRequest,
+    key: &QueryKey,
+    nonce: &str,
+    run: &ExploreRun,
+) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"cached\":{},\"entry\":{}}}",
+        match &req.id {
+            Some(id) => format!("\"{}\"", escape(id)),
+            None => "null".into(),
+        },
+        run.funnel.cache_hits > 0,
+        render_cache_entry(key, nonce, &run.results, &run.funnel)
+    )
+}
+
+/// Renders an error response (the id echoed when the line carried one).
+pub fn render_serve_error(id: Option<&str>, msg: &str) -> String {
+    format!(
+        "{{\"schema\":\"{SERVE_SCHEMA}\",\"id\":{},\"error\":\"{}\"}}",
+        match id {
+            Some(id) => format!("\"{}\"", escape(id)),
+            None => "null".into(),
+        },
+        escape(msg)
+    )
+}
+
+fn find_field<'a>(line: &'a str, name: &str) -> Option<&'a str> {
+    let tag = format!("\"{name}\":");
+    let start = line.find(&tag)? + tag.len();
+    Some(line[start..].trim_start())
+}
+
+fn str_field(line: &str, name: &str) -> Option<String> {
+    let rest = find_field(line, name)?.strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn int_field(line: &str, name: &str) -> Option<i64> {
+    let rest = find_field(line, name)?;
+    let len = rest
+        .char_indices()
+        .take_while(|&(n, c)| c.is_ascii_digit() || (n == 0 && c == '-'))
+        .count();
+    rest[..len].parse().ok()
+}
+
+fn uint_array_field(line: &str, name: &str) -> Option<Vec<usize>> {
+    let rest = find_field(line, name)?.strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let body = rest[..end].trim();
+    if body.is_empty() {
+        return Some(Vec::new());
+    }
+    body.split(',')
+        .map(|s| s.trim().parse::<usize>().ok())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(
+            parse_serve_line("{\"cmd\":\"invalidate\"}").unwrap(),
+            ServeCommand::Invalidate
+        );
+        assert_eq!(
+            parse_serve_line(" {\"cmd\":\"stats\"} ").unwrap(),
+            ServeCommand::Stats
+        );
+        assert_eq!(
+            parse_serve_line("{\"cmd\":\"shutdown\"}").unwrap(),
+            ServeCommand::Shutdown
+        );
+        assert!(parse_serve_line("{\"cmd\":\"nope\"}").is_err());
+        assert!(parse_serve_line("not json").is_err());
+    }
+
+    #[test]
+    fn parse_query_with_defaults_and_overrides() {
+        let q = match parse_serve_line("{\"spec\":\"matmul\",\"bounds\":[4,4,4]}").unwrap() {
+            ServeCommand::Query(q) => q,
+            other => panic!("expected a query, got {other:?}"),
+        };
+        assert_eq!(q.spec, "matmul");
+        assert_eq!(q.bounds, vec![4, 4, 4]);
+        assert_eq!(q.max_coeff, 1);
+        assert_eq!(q.keep, 16);
+        assert_eq!(q.id, None);
+
+        let q = match parse_serve_line(
+            "{\"id\":\"r1\",\"spec\":\"max_pool\",\"bounds\":[8,3],\"max_coeff\":2,\"keep\":4}",
+        )
+        .unwrap()
+        {
+            ServeCommand::Query(q) => q,
+            other => panic!("expected a query, got {other:?}"),
+        };
+        assert_eq!(q.id.as_deref(), Some("r1"));
+        assert_eq!(q.max_coeff, 2);
+        assert_eq!(q.keep, 4);
+        let dq = q.to_query().unwrap();
+        assert_eq!(dq.func.rank(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_bad_queries() {
+        assert!(parse_serve_line("{\"spec\":\"matmul\"}").is_err());
+        assert!(parse_serve_line("{\"spec\":\"matmul\",\"bounds\":[0,4,4]}").is_err());
+        assert!(
+            parse_serve_line("{\"spec\":\"matmul\",\"bounds\":[4,4,4],\"max_coeff\":0}").is_err()
+        );
+        let req = match parse_serve_line("{\"spec\":\"gemv\",\"bounds\":[4,4]}").unwrap() {
+            ServeCommand::Query(q) => q,
+            other => panic!("expected a query, got {other:?}"),
+        };
+        assert!(req.to_query().is_err(), "unknown specs resolve to errors");
+        // Rank mismatch: matmul is rank 3.
+        let req = match parse_serve_line("{\"spec\":\"matmul\",\"bounds\":[4,4]}").unwrap() {
+            ServeCommand::Query(q) => q,
+            other => panic!("expected a query, got {other:?}"),
+        };
+        assert!(req.to_query().is_err());
+    }
+}

@@ -38,7 +38,7 @@ use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::chaos::{ChaosInjector, ChaosPlan, Fate};
 use crate::durable;
-use crate::report::{FIXED_WALL_ENV, OUT_DIR_ENV, RUN_NONCE_ENV, TRACE_ENV};
+use crate::report::{CACHE_DIR_ENV, FIXED_WALL_ENV, OUT_DIR_ENV, RUN_NONCE_ENV, TRACE_ENV};
 
 /// Every experiment binary, in the paper's evaluation order.
 pub const EXPERIMENTS: &[&str] = &[
@@ -90,6 +90,30 @@ pub fn experiment_id(name: &str) -> &str {
 /// The report path of an experiment under `out_dir`.
 pub fn report_path(out_dir: &Path, name: &str) -> PathBuf {
     out_dir.join(format!("{}.json", experiment_id(name)))
+}
+
+/// Resolves a `--only` selection: a comma-separated list of experiment
+/// ids (`e04`) and/or full binary names (`e04_load_balance`), in the
+/// order given, duplicates preserved as written. Whitespace around
+/// separators is ignored; empty items are skipped.
+///
+/// # Errors
+///
+/// A message naming the first unknown experiment, or an error when the
+/// list selects nothing.
+pub fn select_experiments(list: &str) -> Result<Vec<&'static str>, String> {
+    let mut picked = Vec::new();
+    for want in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let found = EXPERIMENTS
+            .iter()
+            .find(|e| **e == want || experiment_id(e) == want)
+            .ok_or_else(|| format!("unknown experiment {want:?}"))?;
+        picked.push(*found);
+    }
+    if picked.is_empty() {
+        return Err("--only selected no experiments".into());
+    }
+    Ok(picked)
 }
 
 /// A nonce unique to this run: wall-clock nanoseconds plus the pid, so
@@ -252,6 +276,10 @@ pub struct ScheduleOptions {
     /// value (forwarded to children as `STELLAR_FIXED_WALL_MS`), so tests
     /// can compare consolidated documents byte-for-byte.
     pub fixed_wall_ms: Option<f64>,
+    /// Design-cache directory forwarded to children as
+    /// `STELLAR_CACHE_DIR` (`run_all --cache`); `None` leaves the cache
+    /// off and every search computes.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl ScheduleOptions {
@@ -270,6 +298,7 @@ impl ScheduleOptions {
             retry_backoff_ms: 250,
             chaos: None,
             fixed_wall_ms: None,
+            cache_dir: None,
         }
     }
 }
@@ -486,6 +515,9 @@ fn launch_once(
     cmd.env(OUT_DIR_ENV, &opts.out_dir);
     if let Some(ms) = opts.fixed_wall_ms {
         cmd.env(FIXED_WALL_ENV, format!("{ms}"));
+    }
+    if let Some(dir) = &opts.cache_dir {
+        cmd.env(CACHE_DIR_ENV, dir);
     }
     cmd.stdin(Stdio::null())
         .stdout(Stdio::piped())
@@ -1135,6 +1167,28 @@ mod tests {
         assert_eq!(experiment_id("e04_load_balance"), "e04");
         assert_eq!(experiment_id("e21_fault_sweep"), "e21");
         assert_eq!(experiment_id("weird"), "weird");
+    }
+
+    #[test]
+    fn only_selection_accepts_lists_of_ids_and_names() {
+        assert_eq!(
+            select_experiments("e01,e04,e20").unwrap(),
+            vec!["e01_dataflows", "e04_load_balance", "e20_dataflow_search"]
+        );
+        assert_eq!(
+            select_experiments(" e04_load_balance , e01 ").unwrap(),
+            vec!["e04_load_balance", "e01_dataflows"]
+        );
+        // Duplicates are preserved as written — a caller asking to run
+        // an experiment twice gets it twice.
+        assert_eq!(
+            select_experiments("e01,e01").unwrap(),
+            vec!["e01_dataflows", "e01_dataflows"]
+        );
+        assert!(select_experiments("e99").is_err());
+        assert!(select_experiments("e01,bogus").is_err());
+        assert!(select_experiments("").is_err());
+        assert!(select_experiments(" , ,").is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! report-formatting helpers and the [`report`] pipeline that emits
 //! machine-readable per-experiment JSON for `run_all` to consolidate.
 
+pub mod cache;
 pub mod chaos;
 pub mod durable;
 pub mod harness;

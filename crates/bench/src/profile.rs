@@ -399,7 +399,8 @@ pub fn render_profile_json(r: &ProfileReport) -> String {
          \"pack_fallback\": {}, \"analytic_scored\": {}, \"analytic_rejected\": {}, \
          \"collision_rejected\": {}, \"scored\": {}, \
          \"over_max_pes\": {}, \"dedup_collisions\": {}, \"survivors\": {}, \
-         \"materialized\": {}}},",
+         \"materialized\": {}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"coalesced\": {}}},",
         f.decoded,
         f.causality_rejected,
         f.singular,
@@ -412,6 +413,9 @@ pub fn render_profile_json(r: &ProfileReport) -> String {
         f.dedup_collisions,
         f.survivors,
         f.materialized,
+        f.cache_hits,
+        f.cache_misses,
+        f.coalesced,
     );
     let _ = writeln!(s, "    \"funnel_check\": \"{}\",", r.funnel_check);
     let _ = writeln!(
@@ -497,6 +501,21 @@ pub fn render_profile_json(r: &ProfileReport) -> String {
     }
     s.push_str("  ]\n}");
     s
+}
+
+/// Renders and lands the profile report as an envelope at `path` — the
+/// single publishing path shared by `run_all --profile` and
+/// `stellar_prof` (via [`durable::seal_to_path`], which also announces
+/// the written file).
+///
+/// # Errors
+///
+/// A [`durable::DurableError`] naming the failing path and stage.
+pub fn write_profile(
+    path: &std::path::Path,
+    r: &ProfileReport,
+) -> Result<(), durable::DurableError> {
+    durable::seal_to_path(&[path], &render_profile_json(r))
 }
 
 /// Prints the human-readable profile: the funnel table, worker

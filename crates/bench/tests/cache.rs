@@ -1,0 +1,307 @@
+//! Integration tests for the content-addressed design cache: durable
+//! corruption never serves stale data, nonce bumps orphan every existing
+//! entry, concurrent identical queries single-flight into one search,
+//! and batches dedup before sharding — all against the real
+//! [`DesignCache`] with a scratch durable tier.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use stellar_bench::cache::{DesignCache, DesignQuery};
+use stellar_bench::durable;
+use stellar_core::cache::QueryKey;
+use stellar_core::prelude::*;
+use stellar_core::{explore_dataflows_profiled, ExploreOptions, ExploreRun};
+
+/// A fresh scratch cache directory, removed and recreated per test.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stellar-cache-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn query(m: usize, n: usize, k: usize) -> (Functionality, Bounds, ExploreOptions) {
+    (
+        Functionality::matmul(m, n, k),
+        Bounds::from_extents(&[m, n, k]),
+        ExploreOptions::default(),
+    )
+}
+
+/// The comparable image of a run: ranked results only (the funnel's cache
+/// counters legitimately differ between a hit and a miss).
+fn image(run: &ExploreRun) -> String {
+    run.results
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Every corruption of the durable entry file must fall back to a clean
+/// recompute whose ranking equals the uncached oracle — never a stale or
+/// garbled serve, never an error surfaced to the caller.
+#[test]
+fn corrupted_durable_entries_recompute_never_serve_stale() {
+    let dir = scratch("corrupt");
+    let (func, bounds, opts) = query(3, 3, 3);
+    let oracle = explore_dataflows_profiled(&func, &bounds, &opts).unwrap();
+    let key = QueryKey::of(&func, &bounds, &opts);
+
+    // Prime the durable tier once, remember the healthy bytes.
+    let entry_path = {
+        let cache = DesignCache::open(&dir).unwrap();
+        cache.explore(&func, &bounds, &opts).unwrap();
+        cache.entry_path(&key).unwrap()
+    };
+    let healthy = fs::read(&entry_path).unwrap();
+    assert!(!healthy.is_empty(), "priming wrote no durable entry");
+
+    // The corruption matrix: truncations at several depths, a bit flip in
+    // every region of the file (seal header, payload prefix/middle/CRC
+    // tail), and full replacement with a valid envelope holding garbage.
+    let mut corruptions: Vec<(String, Vec<u8>)> = Vec::new();
+    for frac in [0usize, 1, 2, 3] {
+        let len = healthy.len() * frac / 4;
+        corruptions.push((format!("truncated to {len} bytes"), healthy[..len].to_vec()));
+    }
+    for pos in [
+        8usize,
+        healthy.len() / 4,
+        healthy.len() / 2,
+        healthy.len() - 2,
+    ] {
+        let mut flipped = healthy.clone();
+        flipped[pos] ^= 0x40;
+        corruptions.push((format!("bit flip at byte {pos}"), flipped));
+    }
+    corruptions.push((
+        "valid envelope, garbage payload".into(),
+        durable::seal("{\"schema\":\"not-a-cache-entry\"}").into_bytes(),
+    ));
+
+    for (label, bytes) in corruptions {
+        fs::write(&entry_path, &bytes).unwrap();
+        // A fresh open = a restarted service that must consult the
+        // (corrupt) durable tier.
+        let cache = DesignCache::open(&dir).unwrap();
+        let run = cache
+            .explore(&func, &bounds, &opts)
+            .unwrap_or_else(|e| panic!("{label}: corruption surfaced as an error: {e}"));
+        assert_eq!(
+            image(&run),
+            image(&oracle),
+            "{label}: served a ranking that diverged from the oracle"
+        );
+        assert_eq!(
+            run.funnel.cache_misses, 1,
+            "{label}: corrupt entry was not classified as a miss"
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            stats.disk_hits, 0,
+            "{label}: corrupt entry counted as a disk hit"
+        );
+        // The recompute must also have healed the durable entry.
+        let healed = DesignCache::open(&dir).unwrap();
+        let again = healed.explore(&func, &bounds, &opts).unwrap();
+        assert_eq!(
+            again.funnel.cache_hits, 1,
+            "{label}: recompute did not re-persist"
+        );
+        assert_eq!(
+            healed.stats().disk_hits,
+            1,
+            "{label}: healed entry not durable"
+        );
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `invalidate()` bumps the generation nonce: the next identical query
+/// misses (and recomputes), both against the resident cache and against
+/// entries left on disk by the previous generation.
+#[test]
+fn nonce_bump_invalidates_resident_and_durable_entries() {
+    let dir = scratch("nonce");
+    let (func, bounds, opts) = query(3, 3, 3);
+
+    let cache = DesignCache::open(&dir).unwrap();
+    cache.explore(&func, &bounds, &opts).unwrap();
+    let warm = cache.explore(&func, &bounds, &opts).unwrap();
+    assert_eq!(warm.funnel.cache_hits, 1);
+
+    let before = cache.nonce();
+    let after = cache.invalidate().unwrap();
+    assert_ne!(
+        before, after,
+        "invalidate did not change the generation nonce"
+    );
+
+    // Resident tier: the very same handle must now miss.
+    let run = cache.explore(&func, &bounds, &opts).unwrap();
+    assert_eq!(
+        run.funnel.cache_misses, 1,
+        "resident entry survived invalidation"
+    );
+    assert_eq!(cache.stats().invalidations, 1);
+
+    // Durable tier: stamp the old generation back onto disk by writing a
+    // stale-nonce entry, then reopen — the load must reject it.
+    let key = QueryKey::of(&func, &bounds, &opts);
+    let entry_path = cache.entry_path(&key).unwrap();
+    let stale = stellar_core::cache::render_cache_entry(&key, &before, &run.results, &run.funnel);
+    durable::write_envelope(&entry_path, &stale).unwrap();
+    let reopened = DesignCache::open(&dir).unwrap();
+    assert_eq!(reopened.nonce(), after, "state file lost the bumped nonce");
+    let served = reopened.explore(&func, &bounds, &opts).unwrap();
+    assert_eq!(
+        served.funnel.cache_misses, 1,
+        "a stale-generation durable entry was served"
+    );
+    assert_eq!(reopened.stats().disk_hits, 0);
+
+    // External invalidation: a second handle on the same directory (a
+    // restarted service) picks up a nonce bumped elsewhere only via the
+    // state file — entries written after the bump hit again.
+    let final_run = reopened.explore(&func, &bounds, &opts).unwrap();
+    assert_eq!(
+        final_run.funnel.cache_hits, 1,
+        "post-bump entry did not serve"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// N threads issuing the identical query concurrently: exactly one search
+/// runs (one miss), everyone else either coalesces onto the in-flight
+/// computation or hits the published entry, and all answers are
+/// byte-identical.
+#[test]
+fn identical_concurrent_queries_single_flight() {
+    const THREADS: usize = 8;
+    let (func, bounds, opts) = query(3, 3, 3);
+    let cache = Arc::new(DesignCache::in_memory(64));
+
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let mut handles = Vec::new();
+    for _ in 0..THREADS {
+        let cache = Arc::clone(&cache);
+        let (func, bounds, opts) = (func.clone(), bounds.clone(), opts);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            cache.explore(&func, &bounds, &opts).unwrap()
+        }));
+    }
+    let runs: Vec<ExploreRun> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    let first = image(&runs[0]);
+    for run in &runs {
+        assert_eq!(image(run), first, "concurrent answers diverged");
+    }
+    let stats = cache.stats();
+    assert_eq!(stats.misses, 1, "more than one search ran for one query");
+    assert_eq!(
+        stats.hits,
+        (THREADS - 1) as u64,
+        "every non-leader should be accounted a hit"
+    );
+    assert_eq!(
+        stats.hits + stats.misses,
+        THREADS as u64,
+        "lost or double-counted queries"
+    );
+    // Followers that joined mid-flight are a subset of the hits.
+    assert!(stats.coalesced <= stats.hits);
+}
+
+/// `run_batch` dedups identical queries before sharding: distinct queries
+/// each compute once, duplicates are coalesced hits, and per-query
+/// results match their individually computed counterparts.
+#[test]
+fn batches_dedup_and_shard() {
+    let cache = DesignCache::in_memory(64);
+    let mk = |m, n, k| {
+        let (func, bounds, opts) = query(m, n, k);
+        DesignQuery { func, bounds, opts }
+    };
+    // Three distinct queries, with the first duplicated three ways.
+    let batch = vec![
+        mk(3, 3, 3),
+        mk(2, 3, 4),
+        mk(3, 3, 3),
+        mk(2, 2, 2),
+        mk(3, 3, 3),
+    ];
+    let runs = cache.run_batch(&batch);
+    assert_eq!(runs.len(), batch.len());
+
+    for (q, run) in batch.iter().zip(&runs) {
+        let run = run.as_ref().expect("batch query failed");
+        let oracle = explore_dataflows_profiled(&q.func, &q.bounds, &q.opts).unwrap();
+        let oracle_image = oracle
+            .results
+            .iter()
+            .map(|r| format!("{r:?}"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(
+            image(run),
+            oracle_image,
+            "batch answer diverged from the oracle"
+        );
+    }
+    let stats = cache.stats();
+    assert_eq!(
+        stats.misses, 3,
+        "each distinct query should compute exactly once"
+    );
+    assert_eq!(
+        stats.hits, 2,
+        "each duplicate should be served, not recomputed"
+    );
+    assert_eq!(
+        stats.coalesced, 2,
+        "duplicates should be accounted as coalesced"
+    );
+
+    // Identity of the duplicates: positions 0, 2, 4 carry the same query
+    // and must carry the same ranking.
+    assert_eq!(
+        image(runs[0].as_ref().unwrap()),
+        image(runs[2].as_ref().unwrap())
+    );
+    assert_eq!(
+        image(runs[0].as_ref().unwrap()),
+        image(runs[4].as_ref().unwrap())
+    );
+}
+
+/// The memory tier evicts least-recently-used entries at capacity, but
+/// evicted entries are still served from the durable tier.
+#[test]
+fn lru_eviction_falls_back_to_durable_tier() {
+    let dir = scratch("lru");
+    let cache = DesignCache::open_with_capacity(&dir, 2).unwrap();
+    let queries = [query(2, 2, 2), query(2, 2, 3), query(2, 3, 3)];
+    for (func, bounds, opts) in &queries {
+        cache.explore(func, bounds, opts).unwrap();
+    }
+    assert_eq!(
+        cache.stats().evictions,
+        1,
+        "capacity 2 with 3 entries must evict once"
+    );
+
+    // The evicted (oldest) query is gone from memory but intact on disk.
+    let (func, bounds, opts) = &queries[0];
+    let run = cache.explore(func, bounds, opts).unwrap();
+    assert_eq!(run.funnel.cache_hits, 1, "evicted entry was recomputed");
+    assert_eq!(
+        cache.stats().disk_hits,
+        1,
+        "evicted entry did not come from disk"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

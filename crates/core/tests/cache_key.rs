@@ -1,0 +1,112 @@
+//! Property tests for the design-cache [`QueryKey`]: every
+//! ranking-relevant input perturbation re-keys the query, the proven
+//! byte-invisible options do not, and serialization round-trips are
+//! key- and byte-stable.
+
+use proptest::prelude::*;
+use stellar_core::cache::{parse_cache_entry, render_cache_entry, QueryKey};
+use stellar_core::prelude::*;
+use stellar_core::{explore_dataflows_profiled, ExploreOptions};
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..=4, 1usize..=4, 1usize..=4)
+}
+
+fn ranking_options() -> impl Strategy<Value = (i64, usize, usize)> {
+    // (max_coeff, max_pes, keep) — the ranking-relevant triple. The
+    // key never runs the search, so larger coefficient bounds are free.
+    (1i64..=3, 16usize..=4096, 1usize..=32)
+}
+
+fn options(mc: i64, mp: usize, keep: usize) -> ExploreOptions {
+    ExploreOptions {
+        max_coeff: mc,
+        max_pes: mp,
+        keep,
+        ..ExploreOptions::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single-field change to the spec structure, the bounds, or a
+    /// ranking-relevant option produces a different key; changing the
+    /// byte-invisible options (`parallelism`, `analytic_tier`) or only
+    /// the spec's *names* does not.
+    #[test]
+    fn single_field_changes_rekey(
+        (m, n, k) in small_dims(),
+        (mc, mp, keep) in ranking_options(),
+        mutation in 0usize..=5,
+    ) {
+        let func = Functionality::matmul(m, n, k);
+        let bounds = Bounds::from_extents(&[m, n, k]);
+        let opts = options(mc, mp, keep);
+        let key = QueryKey::of(&func, &bounds, &opts);
+
+        // Identical inputs, independently constructed: identical key.
+        prop_assert_eq!(
+            QueryKey::of(&Functionality::matmul(m, n, k), &Bounds::from_extents(&[m, n, k]), &opts),
+            key.clone()
+        );
+
+        // Byte-invisible perturbations keep the key.
+        let invisible = ExploreOptions { parallelism: 3, analytic_tier: false, ..opts };
+        prop_assert_eq!(QueryKey::of(&func, &bounds, &invisible), key.clone());
+        // Names are normalized away: the recorded sizes differ, the
+        // structure does not.
+        prop_assert_eq!(
+            QueryKey::of(&Functionality::matmul(m + 1, n + 1, k + 1), &bounds, &opts),
+            key.clone()
+        );
+
+        // One mutated field: a different key.
+        let mutated = match mutation {
+            0 => QueryKey::of(&func, &Bounds::from_extents(&[m + 1, n, k]), &opts),
+            1 => {
+                // Same extents, shifted origin — still a different space.
+                let shifted = Bounds::from_ranges(&[
+                    (1, m as i64 + 1),
+                    (0, n as i64),
+                    (0, k as i64),
+                ]);
+                QueryKey::of(&func, &shifted, &opts)
+            }
+            2 => QueryKey::of(&func, &bounds, &options(mc + 1, mp, keep)),
+            3 => QueryKey::of(&func, &bounds, &options(mc, mp + 1, keep)),
+            4 => QueryKey::of(&func, &bounds, &options(mc, mp, keep + 1)),
+            _ => {
+                // A structural spec change: ReLU-clamped output.
+                let relu = Functionality::matmul_relu(m, n, k);
+                QueryKey::of(&relu, &bounds, &opts)
+            }
+        };
+        prop_assert_ne!(mutated, key);
+    }
+
+    /// Serialize → parse → re-serialize is byte-stable, the decoded
+    /// rankings equal the computed ones exactly, and the canonical
+    /// string embedded in the entry still matches the key (so a
+    /// round-tripped entry is re-addressable under the same key).
+    #[test]
+    fn round_trips_are_key_stable(
+        (m, n, k) in small_dims(),
+        keep in 1usize..=16,
+    ) {
+        let func = Functionality::matmul(m, n, k);
+        let bounds = Bounds::from_extents(&[m, n, k]);
+        let opts = ExploreOptions { keep, parallelism: 1, ..ExploreOptions::default() };
+        let key = QueryKey::of(&func, &bounds, &opts);
+        let run = explore_dataflows_profiled(&func, &bounds, &opts).unwrap();
+
+        let payload = render_cache_entry(&key, "gen-0", &run.results, &run.funnel);
+        let entry = parse_cache_entry(&payload).unwrap();
+        prop_assert!(entry.matches(&key));
+        prop_assert_eq!(&entry.results, &run.results);
+        prop_assert_eq!(entry.funnel, run.funnel);
+
+        let reserialized = render_cache_entry(&key, "gen-0", &entry.results, &entry.funnel);
+        prop_assert_eq!(payload, reserialized);
+    }
+}
